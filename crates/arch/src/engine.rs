@@ -1,0 +1,540 @@
+//! The Algorithm 1 executor: iterate edges, load valid slice pairs,
+//! AND + BitCount, manage the column cache, account latency and energy.
+
+use std::collections::HashSet;
+
+use tcim_bitmatrix::SlicedMatrix;
+use tcim_mtj::MtjCell;
+use tcim_nvsim::{ArrayCharacterization, ArrayModel};
+
+use crate::bitcounter::BitCounterModel;
+use crate::buffer::{AccessOutcome, SliceCache};
+use crate::config::PimConfig;
+use crate::error::Result;
+use crate::stats::AccessStats;
+use crate::trace::{Event, EventTrace};
+
+/// Where the simulated time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Array WRITE time (row loads + column loads), after parallelism (s).
+    pub write_s: f64,
+    /// AND operation time, after parallelism (s).
+    pub and_s: f64,
+    /// Bit-counter time, after parallelism (s).
+    pub bitcount_s: f64,
+    /// AND-result readout time (local counting only), after
+    /// parallelism (s).
+    pub readout_s: f64,
+    /// Host controller dispatch time (serial) (s).
+    pub controller_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total simulated runtime (s).
+    pub fn total_s(&self) -> f64 {
+        self.write_s + self.and_s + self.bitcount_s + self.readout_s + self.controller_s
+    }
+}
+
+/// Where the simulated energy went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Array WRITE energy (J).
+    pub write_j: f64,
+    /// AND energy (J).
+    pub and_j: f64,
+    /// Bit-counter energy (J).
+    pub bitcount_j: f64,
+    /// AND-result readout energy (local counting only) (J).
+    pub readout_j: f64,
+    /// Peripheral leakage over the runtime (J).
+    pub leakage_j: f64,
+    /// Host controller energy (J).
+    pub controller_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (J).
+    pub fn total_j(&self) -> f64 {
+        self.write_j
+            + self.and_j
+            + self.bitcount_j
+            + self.readout_j
+            + self.leakage_j
+            + self.controller_j
+    }
+}
+
+/// Result of one simulated TCIM run.
+#[derive(Debug, Clone)]
+pub struct PimRunResult {
+    /// The triangle count — functionally exact, produced by the simulated
+    /// AND/BitCount dataflow itself.
+    pub triangles: u64,
+    /// Access statistics (Fig. 5 quantities).
+    pub stats: AccessStats,
+    /// Latency breakdown.
+    pub latency: LatencyBreakdown,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Event trace (empty unless enabled in the config).
+    pub trace: EventTrace,
+}
+
+impl PimRunResult {
+    /// Total simulated runtime (s).
+    pub fn total_time_s(&self) -> f64 {
+        self.latency.total_s()
+    }
+
+    /// Total simulated energy (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// Result of one per-vertex (local) counting run — see
+/// [`PimEngine::run_local`].
+#[derive(Debug, Clone)]
+pub struct LocalRunResult {
+    /// Global triangle count (identical to [`PimRunResult::triangles`]).
+    pub triangles: u64,
+    /// Triangles each vertex participates in; sums to `3 × triangles`.
+    pub per_vertex: Vec<u64>,
+    /// Access statistics, including [`AccessStats::result_readouts`].
+    pub stats: AccessStats,
+    /// Latency breakdown (includes the readout component).
+    pub latency: LatencyBreakdown,
+    /// Energy breakdown (includes the readout component).
+    pub energy: EnergyBreakdown,
+}
+
+/// The processing-in-MRAM engine: a characterized array plus the
+/// controller logic of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct PimEngine {
+    config: PimConfig,
+    array: ArrayCharacterization,
+    bitcounter: BitCounterModel,
+    capacity_slices: usize,
+}
+
+impl PimEngine {
+    /// Characterizes the device and array for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration/characterization errors; see
+    /// [`PimConfig::validate`].
+    pub fn new(config: &PimConfig) -> Result<Self> {
+        config.validate()?;
+        let cell = MtjCell::characterize(&config.mtj)?;
+        let array = ArrayModel::characterize(&cell, &config.organization)?;
+        let bitcounter = BitCounterModel::freepdk45(config.slice_size.bits());
+        let capacity_slices = config.capacity_slices()?;
+        Ok(PimEngine { config: config.clone(), array, bitcounter, capacity_slices })
+    }
+
+    /// The NVSim-style characterization backing this engine.
+    pub fn array(&self) -> &ArrayCharacterization {
+        &self.array
+    }
+
+    /// The bit-counter model backing this engine.
+    pub fn bitcounter(&self) -> &BitCounterModel {
+        &self.bitcounter
+    }
+
+    /// The configuration this engine was built from.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Column-slice cache capacity after reserving the row region: the
+    /// current row's slices must be resident while its edges process, so
+    /// the widest row of `matrix` is set aside.
+    fn column_capacity(&self, matrix: &SlicedMatrix) -> usize {
+        let row_reserve = (0..matrix.dim() as u32)
+            .map(|i| matrix.row(i).valid_slice_count())
+            .max()
+            .unwrap_or(0);
+        self.capacity_slices.saturating_sub(row_reserve).max(1)
+    }
+
+    /// Executes Algorithm 1 over an oriented sliced matrix.
+    ///
+    /// The returned triangle count is computed by the simulated dataflow
+    /// itself (LUT bit counter over sliced ANDs), so functional
+    /// correctness of the architecture is checked on every run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` was built with a different slice size than the
+    /// engine configuration — a mapping bug at the call site.
+    pub fn run(&self, matrix: &SlicedMatrix) -> PimRunResult {
+        assert_eq!(
+            matrix.slice_size(),
+            self.config.slice_size,
+            "matrix slice size must match the engine configuration"
+        );
+        let mut cache = SliceCache::new(
+            self.column_capacity(matrix),
+            self.config.replacement,
+            self.config.replacement_seed,
+        );
+        let mut trace = EventTrace::new(self.config.trace_capacity);
+        let mut stats = AccessStats::default();
+        let mut triangles = 0u64;
+
+        let mut current_row: Option<u32> = None;
+        let mut row_loaded: HashSet<u32> = HashSet::new();
+
+        for (i, j) in matrix.edges() {
+            stats.edges += 1;
+            if current_row != Some(i) {
+                // The new row overwrites the reserved row region (§IV-A).
+                current_row = Some(i);
+                row_loaded.clear();
+            }
+            let row = matrix.row(i);
+            let col = matrix.col(j);
+            let pairs = row
+                .matching_slices(col)
+                .expect("rows and columns of one matrix always align");
+            for (k, rs, cs) in pairs {
+                if row_loaded.insert(k) {
+                    stats.row_slice_writes += 1;
+                    trace.push(Event::RowSliceWrite { row: i, slice: k });
+                }
+                let key = (u64::from(j) << 32) | u64::from(k);
+                match cache.access(key) {
+                    AccessOutcome::Hit => {
+                        stats.col_hits += 1;
+                        trace.push(Event::ColHit { col: j, slice: k });
+                    }
+                    AccessOutcome::Miss => {
+                        stats.col_misses += 1;
+                        trace.push(Event::ColMiss { col: j, slice: k });
+                    }
+                    AccessOutcome::Exchange { .. } => {
+                        stats.col_exchanges += 1;
+                        trace.push(Event::ColExchange { col: j, slice: k });
+                    }
+                }
+
+                // The in-array AND feeds the bit counter (Fig. 4 dataflow).
+                let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
+                let count = self.bitcounter.count(&anded);
+                triangles += count;
+                stats.and_ops += 1;
+                stats.bitcount_ops += 1;
+                trace.push(Event::AndBitcount { row: i, col: j, slice: k, count: count as u32 });
+            }
+        }
+
+        let (latency, energy) = self.roll_up(&stats);
+        PimRunResult { triangles, stats, latency, energy, trace }
+    }
+
+    /// Executes Algorithm 1 with per-vertex accounting: besides the global
+    /// count, every vertex receives the number of triangles it belongs to
+    /// (the quantity behind local clustering coefficients, one of the
+    /// paper's motivating applications).
+    ///
+    /// Hardware-wise this costs one extra operation class: the AND result
+    /// of each *non-zero* slice pair must be read out of the array (a
+    /// read-class access) so the host can attribute the surviving bits to
+    /// their vertices. Zero results are filtered by the bit counter and
+    /// never read out.
+    ///
+    /// Vertex ids in the returned vector are the matrix's ids; callers
+    /// that relabelled (degree/degeneracy orientation) map them back via
+    /// `OrientedGraph::original_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` was built with a different slice size than the
+    /// engine configuration.
+    pub fn run_local(&self, matrix: &SlicedMatrix) -> LocalRunResult {
+        assert_eq!(
+            matrix.slice_size(),
+            self.config.slice_size,
+            "matrix slice size must match the engine configuration"
+        );
+        let slice_bits = self.config.slice_size.bits() as u64;
+        let mut cache = SliceCache::new(
+            self.column_capacity(matrix),
+            self.config.replacement,
+            self.config.replacement_seed,
+        );
+        let mut stats = AccessStats::default();
+        let mut per_vertex = vec![0u64; matrix.dim()];
+        let mut triangles = 0u64;
+        let mut current_row: Option<u32> = None;
+        let mut row_loaded: HashSet<u32> = HashSet::new();
+
+        for (i, j) in matrix.edges() {
+            stats.edges += 1;
+            if current_row != Some(i) {
+                current_row = Some(i);
+                row_loaded.clear();
+            }
+            let pairs = matrix
+                .row(i)
+                .matching_slices(matrix.col(j))
+                .expect("rows and columns of one matrix always align");
+            for (k, rs, cs) in pairs {
+                if row_loaded.insert(k) {
+                    stats.row_slice_writes += 1;
+                }
+                let key = (u64::from(j) << 32) | u64::from(k);
+                match cache.access(key) {
+                    AccessOutcome::Hit => stats.col_hits += 1,
+                    AccessOutcome::Miss => stats.col_misses += 1,
+                    AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
+                }
+                let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
+                let count = self.bitcounter.count(&anded);
+                stats.and_ops += 1;
+                stats.bitcount_ops += 1;
+                if count > 0 {
+                    // Read the surviving bits back out and attribute them.
+                    stats.result_readouts += 1;
+                    triangles += count;
+                    per_vertex[i as usize] += count;
+                    per_vertex[j as usize] += count;
+                    for (w, &word) in anded.iter().enumerate() {
+                        let mut rem = word;
+                        while rem != 0 {
+                            let tz = rem.trailing_zeros() as u64;
+                            rem &= rem - 1;
+                            let vertex = u64::from(k) * slice_bits + w as u64 * 64 + tz;
+                            per_vertex[vertex as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let (latency, energy) = self.roll_up(&stats);
+        LocalRunResult { triangles, per_vertex, stats, latency, energy }
+    }
+
+    /// Converts operation counts into time and energy using the array
+    /// characterization. Writes and compute ops are spread across the
+    /// concurrently operating sub-arrays; controller dispatch is serial on
+    /// the host.
+    fn roll_up(&self, stats: &AccessStats) -> (LatencyBreakdown, EnergyBreakdown) {
+        let slice_bits = self.config.slice_size.bits();
+        let parallel = self.array.organization.parallel_subarrays() as f64;
+
+        let writes = stats.total_writes() as f64;
+        let ands = stats.and_ops as f64;
+        let counts = stats.bitcount_ops as f64;
+
+        let readouts = stats.result_readouts as f64;
+        let latency = LatencyBreakdown {
+            write_s: writes * self.array.write_latency_s / parallel,
+            and_s: ands * self.array.and_latency_s / parallel,
+            // One bit counter per mat (Fig. 4): same parallelism.
+            bitcount_s: counts * self.bitcounter.latency_s / parallel,
+            readout_s: readouts * self.array.read_latency_s / parallel,
+            controller_s: stats.edges as f64 * self.config.controller_overhead_s,
+        };
+
+        // Host controller energy: the single-core host burns its active
+        // package power for as long as it dispatches edges. This term is
+        // what dominates end-to-end TCIM energy, exactly as in the
+        // paper's Fig. 6 arithmetic (see EXPERIMENTS.md).
+        let energy = EnergyBreakdown {
+            write_j: writes * self.array.write_slice_energy_j(slice_bits),
+            and_j: ands * self.array.and_slice_energy_j(slice_bits),
+            bitcount_j: counts * self.bitcounter.energy_j,
+            readout_j: readouts * self.array.read_slice_energy_j(slice_bits),
+            leakage_j: self.array.leakage_w * latency.total_s(),
+            controller_j: self.config.host_power_w * latency.controller_s,
+        };
+        (latency, energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_bitmatrix::{SliceSize, SlicedMatrixBuilder};
+
+    fn fig2_matrix() -> SlicedMatrix {
+        let mut b = SlicedMatrixBuilder::new(4, SliceSize::S64);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        b.build()
+    }
+
+    fn engine() -> PimEngine {
+        PimEngine::new(&PimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn fig2_counts_two_triangles() {
+        let run = engine().run(&fig2_matrix());
+        assert_eq!(run.triangles, 2);
+        assert_eq!(run.stats.edges, 5);
+        // Every edge produces exactly one valid pair here (n = 4 < 64).
+        assert_eq!(run.stats.and_ops, 5);
+        assert_eq!(run.stats.bitcount_ops, 5);
+    }
+
+    #[test]
+    fn fig2_reuse_matches_paper_walkthrough() {
+        // Fig. 2: C2 is loaded at step 2 and reused at step 3; C3 loaded at
+        // step 4 and reused at step 5; C1 used once. Three rows load once
+        // each.
+        let run = engine().run(&fig2_matrix());
+        assert_eq!(run.stats.col_misses, 3); // C1, C2, C3 first touches
+        assert_eq!(run.stats.col_hits, 2); // C2 and C3 reuses
+        assert_eq!(run.stats.col_exchanges, 0); // 16 MB ≫ this graph
+        assert_eq!(run.stats.row_slice_writes, 3); // R0, R1, R2
+    }
+
+    #[test]
+    fn energy_and_latency_accounting_identities() {
+        let e = engine();
+        let run = e.run(&fig2_matrix());
+        let slice_bits = e.config().slice_size.bits();
+        let parallel = e.array().organization.parallel_subarrays() as f64;
+        let expected_write_s =
+            run.stats.total_writes() as f64 * e.array().write_latency_s / parallel;
+        assert!((run.latency.write_s - expected_write_s).abs() < 1e-18);
+        let expected_and_j =
+            run.stats.and_ops as f64 * e.array().and_slice_energy_j(slice_bits);
+        assert!((run.energy.and_j - expected_and_j).abs() < 1e-18);
+        assert!(run.total_time_s() > 0.0);
+        assert!(run.total_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn tiny_cache_forces_exchanges() {
+        // A 4-vertex graph with a cache big enough for the row reserve but
+        // only one column slice forces every second access to exchange.
+        let config = PimConfig {
+            organization: tcim_nvsim::ArrayOrganization {
+                rows_per_subarray: 32,
+                cols_per_subarray: 16,
+                subarrays_per_mat: 1,
+                mats_per_bank: 1,
+                banks: 1,
+            },
+            // 32×16 = 512 bits = 64 B → 5 slices capacity.
+            ..PimConfig::default()
+        };
+        let engine = PimEngine::new(&config).unwrap();
+
+        // A graph whose columns span many distinct slices: star + chain on
+        // 300 vertices (5 column slices at |S| = 64).
+        let mut b = SlicedMatrixBuilder::new(300, SliceSize::S64);
+        for v in 1..300 {
+            b.add_edge(0, v).unwrap();
+        }
+        for v in 1..299 {
+            b.add_edge(v, v + 1).unwrap();
+        }
+        let run = engine.run(&b.build());
+        assert!(run.stats.col_exchanges > 0, "{}", run.stats);
+        // Functional correctness survives cache pressure: triangles in the
+        // fan are (0, v, v+1) for v in 1..299 → 298.
+        assert_eq!(run.triangles, 298);
+    }
+
+    #[test]
+    fn triangle_count_matches_dense_reference_on_random_graph() {
+        use tcim_bitmatrix::BitMatrix;
+        // Deterministic pseudo-random graph.
+        let n = 150usize;
+        let mut edges = Vec::new();
+        let mut x = 9u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (x >> 33).is_multiple_of(10) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let reference = BitMatrix::from_edges(n, &edges).unwrap();
+        let expected = reference.triangle_count_trace();
+
+        let mut b = SlicedMatrixBuilder::new(n, SliceSize::S64);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let run = engine().run(&b.build());
+        assert_eq!(run.triangles, expected);
+    }
+
+    #[test]
+    fn local_counts_sum_to_three_per_triangle() {
+        let run = engine().run_local(&fig2_matrix());
+        assert_eq!(run.triangles, 2);
+        // Fig. 2: triangles 0-1-2 and 1-2-3 → participation 1,2,2,1.
+        assert_eq!(run.per_vertex, vec![1, 2, 2, 1]);
+        assert_eq!(run.per_vertex.iter().sum::<u64>(), 3 * run.triangles);
+        // Two of the five pairs produce non-zero counts → two readouts.
+        assert_eq!(run.stats.result_readouts, 2);
+        assert!(run.latency.readout_s > 0.0);
+        assert!(run.energy.readout_j > 0.0);
+    }
+
+    #[test]
+    fn local_and_global_runs_agree() {
+        let mut b = SlicedMatrixBuilder::new(120, SliceSize::S64);
+        let mut x = 5u64;
+        for u in 0..120u32 {
+            for v in (u + 1)..120 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (x >> 33).is_multiple_of(7) {
+                    b.add_edge(u as usize, v as usize).unwrap();
+                }
+            }
+        }
+        let m = b.build();
+        let e = engine();
+        let global = e.run(&m);
+        let local = e.run_local(&m);
+        assert_eq!(local.triangles, global.triangles);
+        assert_eq!(local.per_vertex.iter().sum::<u64>(), 3 * global.triangles);
+        // Same traffic statistics, plus the readouts.
+        assert_eq!(local.stats.col_accesses(), global.stats.col_accesses());
+        assert!(local.stats.result_readouts <= local.stats.and_ops);
+        // Readouts make the local run cost strictly more.
+        assert!(local.energy.total_j() >= global.energy.total_j());
+    }
+
+    #[test]
+    fn empty_graph_runs_cleanly() {
+        let m = SlicedMatrix::from_adjacency(&[], SliceSize::S64).unwrap();
+        let run = engine().run(&m);
+        assert_eq!(run.triangles, 0);
+        assert_eq!(run.stats.edges, 0);
+        assert_eq!(run.total_time_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice size")]
+    fn mismatched_slice_size_panics() {
+        let mut b = SlicedMatrixBuilder::new(4, SliceSize::S32);
+        b.add_edge(0, 1).unwrap();
+        engine().run(&b.build());
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let config = PimConfig { trace_capacity: 64, ..PimConfig::default() };
+        let engine = PimEngine::new(&config).unwrap();
+        let run = engine.run(&fig2_matrix());
+        assert!(!run.trace.is_empty());
+        // 3 row writes + 5 col accesses + 5 and/bitcount events = 13.
+        assert_eq!(run.trace.len(), 13);
+    }
+}

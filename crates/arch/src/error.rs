@@ -1,0 +1,70 @@
+//! Error type for the architecture simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ArchError>;
+
+/// Errors raised while configuring or running the PIM simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// The configuration was internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The device/array characterization failed (propagated).
+    Characterization(Box<dyn Error + Send + Sync>),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidConfig { reason } => write!(f, "invalid pim config: {reason}"),
+            ArchError::Characterization(e) => write!(f, "characterization failed: {e}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Characterization(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<tcim_mtj::MtjError> for ArchError {
+    fn from(e: tcim_mtj::MtjError) -> Self {
+        ArchError::Characterization(Box::new(e))
+    }
+}
+
+impl From<tcim_nvsim::NvsimError> for ArchError {
+    fn from(e: tcim_nvsim::NvsimError) -> Self {
+        ArchError::Characterization(Box::new(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ArchError::InvalidConfig { reason: "zero capacity".into() };
+        assert!(e.to_string().contains("zero capacity"));
+        assert!(e.source().is_none());
+        let e = ArchError::from(tcim_mtj::MtjError::SolverDidNotConverge { simulated_s: 1.0 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Processing-in-MRAM architecture simulator (the paper's §IV).
+//!
+//! This crate is the Rust counterpart of the authors' in-house Java
+//! architecture simulator: it executes Algorithm 1 — iterate the non-zero
+//! elements of the oriented adjacency matrix, load valid slice pairs into
+//! the computational array, perform `AND` + `BitCount`, manage the column
+//! slice cache with LRU replacement — and accounts every operation's
+//! latency and energy using the NVSim-style array characterization.
+//!
+//! Modules:
+//!
+//! * [`buffer`] — the data buffer of Fig. 4 tracking which slices are
+//!   resident in the array, with LRU (paper), FIFO and Random policies.
+//! * [`bitcounter`] — the synthesized 8→256-LUT bit counter (§V-A):
+//!   functional model plus synthesis-style latency/energy constants.
+//! * [`PimConfig`] — simulator configuration (slice size, array size,
+//!   replacement policy, controller overhead).
+//! * [`PimEngine`] — the Algorithm 1 executor.
+//! * [`stats`] — access statistics behind Fig. 5 and the WRITE-saving
+//!   claim.
+//! * [`sweep`] — structured capacity/policy sweeps over the buffer
+//!   configuration.
+//! * [`trace`] — a bounded event trace for debugging and inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use tcim_arch::{PimConfig, PimEngine};
+//! use tcim_bitmatrix::{SliceSize, SlicedMatrixBuilder};
+//!
+//! // The paper's Fig. 2 graph: 4 vertices, 5 edges, 2 triangles.
+//! let mut b = SlicedMatrixBuilder::new(4, SliceSize::S64);
+//! for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+//!     b.add_edge(u, v)?;
+//! }
+//! let matrix = b.build();
+//!
+//! let engine = PimEngine::new(&PimConfig::default())?;
+//! let run = engine.run(&matrix);
+//! assert_eq!(run.triangles, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitcounter;
+pub mod buffer;
+mod config;
+mod engine;
+mod error;
+pub mod stats;
+pub mod sweep;
+pub mod trace;
+
+pub use bitcounter::BitCounterModel;
+pub use buffer::{AccessOutcome, ReplacementPolicy, SliceCache};
+pub use config::PimConfig;
+pub use engine::{EnergyBreakdown, LatencyBreakdown, LocalRunResult, PimEngine, PimRunResult};
+pub use error::{ArchError, Result};
+pub use stats::AccessStats;

@@ -1,0 +1,169 @@
+//! Structured parameter sweeps over the architecture configuration.
+//!
+//! The paper's Fig. 5 is a single point of a broader trade-off: how the
+//! data buffer's capacity converts hits into exchanges and therefore
+//! WRITE traffic and energy. This module runs that sweep programmatically
+//! so harness binaries and tests consume one API instead of hand-rolled
+//! loops.
+
+use tcim_bitmatrix::SlicedMatrix;
+
+use crate::buffer::ReplacementPolicy;
+use crate::config::PimConfig;
+use crate::engine::PimEngine;
+use crate::error::Result;
+use crate::stats::AccessStats;
+
+/// One point of a capacity or policy sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Buffer capacity in slices used for this run.
+    pub capacity_slices: usize,
+    /// Replacement policy used for this run.
+    pub policy: ReplacementPolicy,
+    /// The run's access statistics.
+    pub stats: AccessStats,
+    /// Simulated runtime (s).
+    pub time_s: f64,
+    /// Simulated energy (J).
+    pub energy_j: f64,
+}
+
+/// Runs the engine over `matrix` at every capacity in `capacities`
+/// (slices), keeping the rest of `base` fixed.
+///
+/// The triangle count is asserted invariant across all points — a sweep
+/// that changes the answer indicates a broken configuration, and this
+/// function fails fast on it.
+///
+/// # Errors
+///
+/// Propagates engine construction failures (e.g. a zero capacity).
+///
+/// # Panics
+///
+/// Panics if two sweep points disagree on the triangle count.
+pub fn capacity_sweep(
+    base: &PimConfig,
+    matrix: &SlicedMatrix,
+    capacities: &[usize],
+) -> Result<Vec<SweepPoint>> {
+    let mut points = Vec::with_capacity(capacities.len());
+    let mut reference: Option<u64> = None;
+    for &capacity in capacities {
+        let config = PimConfig {
+            capacity_slices_override: Some(capacity),
+            ..base.clone()
+        };
+        let run = PimEngine::new(&config)?.run(matrix);
+        match reference {
+            None => reference = Some(run.triangles),
+            Some(r) => assert_eq!(r, run.triangles, "capacity must not change the count"),
+        }
+        points.push(SweepPoint {
+            capacity_slices: capacity,
+            policy: config.replacement,
+            stats: run.stats,
+            time_s: run.latency.total_s(),
+            energy_j: run.energy.total_j(),
+        });
+    }
+    Ok(points)
+}
+
+/// Runs the engine over `matrix` under every replacement policy at a
+/// fixed `capacity`, keeping the rest of `base` fixed.
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+///
+/// # Panics
+///
+/// Panics if two sweep points disagree on the triangle count.
+pub fn policy_sweep(
+    base: &PimConfig,
+    matrix: &SlicedMatrix,
+    capacity: usize,
+) -> Result<Vec<SweepPoint>> {
+    let mut points = Vec::with_capacity(3);
+    let mut reference: Option<u64> = None;
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        let config = PimConfig {
+            replacement: policy,
+            capacity_slices_override: Some(capacity),
+            ..base.clone()
+        };
+        let run = PimEngine::new(&config)?.run(matrix);
+        match reference {
+            None => reference = Some(run.triangles),
+            Some(r) => assert_eq!(r, run.triangles, "policy must not change the count"),
+        }
+        points.push(SweepPoint {
+            capacity_slices: capacity,
+            policy,
+            stats: run.stats,
+            time_s: run.latency.total_s(),
+            energy_j: run.energy.total_j(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_bitmatrix::{SliceSize, SlicedMatrixBuilder};
+
+    fn test_matrix() -> SlicedMatrix {
+        // Star + chain on 600 vertices: ~10 column slices of traffic.
+        let mut b = SlicedMatrixBuilder::new(600, SliceSize::S64);
+        for v in 1..600 {
+            b.add_edge(0, v).unwrap();
+        }
+        for v in 1..599 {
+            b.add_edge(v, v + 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn capacity_sweep_hits_decrease_monotonically() {
+        let m = test_matrix();
+        let points =
+            capacity_sweep(&PimConfig::default(), &m, &[10_000, 100, 12, 4]).unwrap();
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[0].stats.col_hits >= w[1].stats.col_hits,
+                "hits must not grow as capacity shrinks"
+            );
+        }
+        // The tightest capacity must exchange.
+        assert!(points.last().unwrap().stats.col_exchanges > 0);
+    }
+
+    #[test]
+    fn energy_grows_as_capacity_shrinks() {
+        let m = test_matrix();
+        let points = capacity_sweep(&PimConfig::default(), &m, &[10_000, 4]).unwrap();
+        assert!(points[1].energy_j >= points[0].energy_j);
+    }
+
+    #[test]
+    fn policy_sweep_covers_all_policies() {
+        let m = test_matrix();
+        let points = policy_sweep(&PimConfig::default(), &m, 8).unwrap();
+        let policies: Vec<ReplacementPolicy> = points.iter().map(|p| p.policy).collect();
+        assert_eq!(
+            policies,
+            vec![ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_zero_capacity() {
+        let m = test_matrix();
+        assert!(capacity_sweep(&PimConfig::default(), &m, &[0]).is_err());
+    }
+}

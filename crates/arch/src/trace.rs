@@ -1,0 +1,128 @@
+//! Bounded event trace for inspecting simulator behaviour.
+
+use std::collections::VecDeque;
+
+/// One simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A row slice was written into the reserved row region.
+    RowSliceWrite {
+        /// Row (vertex) id.
+        row: u32,
+        /// Slice index within the row.
+        slice: u32,
+    },
+    /// A column-slice access hit in the array.
+    ColHit {
+        /// Column (vertex) id.
+        col: u32,
+        /// Slice index within the column.
+        slice: u32,
+    },
+    /// A column slice was loaded into free space.
+    ColMiss {
+        /// Column (vertex) id.
+        col: u32,
+        /// Slice index within the column.
+        slice: u32,
+    },
+    /// A column slice replaced a victim (data exchange).
+    ColExchange {
+        /// Column (vertex) id.
+        col: u32,
+        /// Slice index within the column.
+        slice: u32,
+    },
+    /// An AND + BitCount pair completed with the given partial count.
+    AndBitcount {
+        /// Edge tail (row) vertex.
+        row: u32,
+        /// Edge head (column) vertex.
+        col: u32,
+        /// Matching slice index.
+        slice: u32,
+        /// BitCount contribution of this pair.
+        count: u32,
+    },
+}
+
+/// A fixed-capacity ring buffer of [`Event`]s; old events are dropped
+/// once full, with the number of drops reported.
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Creates a trace holding up to `capacity` events (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        EventTrace { capacity, events: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records `event`, evicting the oldest if at capacity.
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = EventTrace::new(0);
+        t.push(Event::ColHit { col: 1, slice: 2 });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = EventTrace::new(2);
+        t.push(Event::ColHit { col: 0, slice: 0 });
+        t.push(Event::ColHit { col: 1, slice: 0 });
+        t.push(Event::ColHit { col: 2, slice: 0 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let first = *t.iter().next().unwrap();
+        assert_eq!(first, Event::ColHit { col: 1, slice: 0 });
+    }
+}

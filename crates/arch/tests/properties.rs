@@ -1,0 +1,133 @@
+//! Property-based tests of the architecture layer, centred on a
+//! reference-model equivalence proof for the slice cache.
+
+use proptest::prelude::*;
+use tcim_arch::{AccessOutcome, ReplacementPolicy, SliceCache};
+
+/// A deliberately naive LRU reference model: a Vec ordered from least to
+/// most recently used.
+struct ReferenceLru {
+    capacity: usize,
+    order: Vec<u64>,
+}
+
+impl ReferenceLru {
+    fn new(capacity: usize) -> Self {
+        ReferenceLru { capacity, order: Vec::new() }
+    }
+
+    fn access(&mut self, key: u64) -> AccessOutcome {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push(key);
+            return AccessOutcome::Hit;
+        }
+        let evicted = if self.order.len() >= self.capacity {
+            Some(self.order.remove(0))
+        } else {
+            None
+        };
+        self.order.push(key);
+        match evicted {
+            Some(v) => AccessOutcome::Exchange { evicted: v },
+            None => AccessOutcome::Miss,
+        }
+    }
+}
+
+/// A FIFO reference model.
+struct ReferenceFifo {
+    capacity: usize,
+    queue: Vec<u64>,
+}
+
+impl ReferenceFifo {
+    fn new(capacity: usize) -> Self {
+        ReferenceFifo { capacity, queue: Vec::new() }
+    }
+
+    fn access(&mut self, key: u64) -> AccessOutcome {
+        if self.queue.contains(&key) {
+            return AccessOutcome::Hit;
+        }
+        let evicted = if self.queue.len() >= self.capacity {
+            Some(self.queue.remove(0))
+        } else {
+            None
+        };
+        self.queue.push(key);
+        match evicted {
+            Some(v) => AccessOutcome::Exchange { evicted: v },
+            None => AccessOutcome::Miss,
+        }
+    }
+}
+
+proptest! {
+    /// The production LRU agrees with the naive reference on every access
+    /// of every workload, including the evicted victim.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..12,
+        accesses in proptest::collection::vec(0u64..24, 0..400),
+    ) {
+        let mut cache = SliceCache::new(capacity, ReplacementPolicy::Lru, 0);
+        let mut reference = ReferenceLru::new(capacity);
+        for (step, &key) in accesses.iter().enumerate() {
+            let got = cache.access(key);
+            let want = reference.access(key);
+            prop_assert_eq!(got, want, "step {} key {}", step, key);
+        }
+    }
+
+    /// Same for FIFO.
+    #[test]
+    fn fifo_matches_reference_model(
+        capacity in 1usize..12,
+        accesses in proptest::collection::vec(0u64..24, 0..400),
+    ) {
+        let mut cache = SliceCache::new(capacity, ReplacementPolicy::Fifo, 0);
+        let mut reference = ReferenceFifo::new(capacity);
+        for (step, &key) in accesses.iter().enumerate() {
+            let got = cache.access(key);
+            let want = reference.access(key);
+            prop_assert_eq!(got, want, "step {} key {}", step, key);
+        }
+    }
+
+    /// Universal cache laws, checked for every policy: size never exceeds
+    /// capacity, a hit never evicts, the first touch of a key is never a
+    /// hit, and an access to a resident key is always a hit.
+    #[test]
+    fn cache_laws_hold_for_every_policy(
+        capacity in 1usize..16,
+        accesses in proptest::collection::vec(0u64..40, 0..300),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ][policy_idx];
+        let mut cache = SliceCache::new(capacity, policy, 7);
+        let mut touched = std::collections::HashSet::new();
+        for &key in &accesses {
+            let resident_before = cache.contains(key);
+            let outcome = cache.access(key);
+            prop_assert!(cache.len() <= capacity);
+            match outcome {
+                AccessOutcome::Hit => prop_assert!(resident_before),
+                AccessOutcome::Miss | AccessOutcome::Exchange { .. } => {
+                    prop_assert!(!resident_before);
+                }
+            }
+            if touched.insert(key) {
+                prop_assert_ne!(outcome, AccessOutcome::Hit, "first touch of {} hit", key);
+            }
+            prop_assert!(cache.contains(key), "accessed key must be resident");
+            if let AccessOutcome::Exchange { evicted } = outcome {
+                prop_assert!(!cache.contains(evicted), "victim {} still resident", evicted);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the TCIM kernel primitives: AND + BitCount over
+//! dense and sliced vectors, LUT vs native popcount.
+//!
+//! Feeds the "w/o PIM" software-path numbers of Table V: these kernels
+//! are what the sliced software implementation spends its time in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tcim_bitmatrix::popcount::{popcount_words, PopcountMethod};
+use tcim_bitmatrix::{BitVec, SliceSize, SlicedBitVector};
+
+fn bench_popcount(c: &mut Criterion) {
+    let words: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let mut group = c.benchmark_group("popcount");
+    group.throughput(Throughput::Bytes((words.len() * 8) as u64));
+    group.bench_function("native_4096_words", |b| {
+        b.iter(|| popcount_words(black_box(&words), PopcountMethod::Native))
+    });
+    group.bench_function("lut8_4096_words", |b| {
+        b.iter(|| popcount_words(black_box(&words), PopcountMethod::Lut8))
+    });
+    group.finish();
+}
+
+fn bench_and_popcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_popcount");
+    for &n_bits in &[4096usize, 65_536, 1_048_576] {
+        let a = BitVec::from_indices(n_bits, (0..n_bits).step_by(7));
+        let bv = BitVec::from_indices(n_bits, (0..n_bits).step_by(11));
+        group.throughput(Throughput::Bytes((n_bits / 8) as u64));
+        group.bench_with_input(BenchmarkId::new("dense", n_bits), &n_bits, |bench, _| {
+            bench.iter(|| black_box(&a).and_popcount(black_box(&bv)).unwrap())
+        });
+        let sa = SlicedBitVector::from_bitvec(&a, SliceSize::S64);
+        let sb = SlicedBitVector::from_bitvec(&bv, SliceSize::S64);
+        group.bench_with_input(BenchmarkId::new("sliced", n_bits), &n_bits, |bench, _| {
+            bench.iter(|| black_box(&sa).and_popcount(black_box(&sb)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_advantage(c: &mut Criterion) {
+    // The headline effect of slicing: a 1M-bit vector with 100 set bits
+    // costs only its valid slices, not its length.
+    let n_bits = 1_048_576;
+    let a = BitVec::from_indices(n_bits, (0..100).map(|i| i * 9973));
+    let bv = BitVec::from_indices(n_bits, (0..100).map(|i| i * 10007));
+    let sa = SlicedBitVector::from_bitvec(&a, SliceSize::S64);
+    let sb = SlicedBitVector::from_bitvec(&bv, SliceSize::S64);
+    let mut group = c.benchmark_group("sparse_1Mbit_100set");
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(&a).and_popcount(black_box(&bv)).unwrap())
+    });
+    group.bench_function("sliced", |b| {
+        b.iter(|| black_box(&sa).and_popcount(black_box(&sb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_popcount, bench_and_popcount, bench_sparse_advantage);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end pipeline benchmark: orient → slice → simulate Algorithm 1
+//! on Table II stand-ins — the host cost of driving the TCIM simulation
+//! (the simulated accelerator time itself is reported by `--bin table5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcim_core::{TcimAccelerator, TcimConfig};
+use tcim_graph::datasets::Dataset;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let acc = TcimAccelerator::new(&TcimConfig::default()).unwrap();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for name in ["ego-facebook", "roadnet-pa"] {
+        let dataset = Dataset::by_name(name).unwrap();
+        for scale in [0.01f64, 0.05] {
+            let g = dataset.synthesize(scale, 42).unwrap();
+            let id = format!("{name}@{scale}");
+            group.bench_with_input(BenchmarkId::new("count", &id), &g, |b, g| {
+                b.iter(|| acc.count_triangles(black_box(g)).triangles)
+            });
+            let matrix = acc.compress(&g);
+            group.bench_with_input(BenchmarkId::new("simulate_only", &id), &matrix, |b, m| {
+                b.iter(|| acc.count_compressed(black_box(m), std::time::Duration::ZERO).triangles)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

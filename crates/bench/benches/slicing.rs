@@ -1,0 +1,45 @@
+//! Benchmarks of the §IV-B compression machinery: slicing throughput and
+//! the slice-size ablation (how |S| shifts compression cost and AND-op
+//! volume — the quantities behind Tables III/IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcim_bitmatrix::{SliceSize, SlicedMatrix};
+use tcim_graph::datasets::Dataset;
+use tcim_graph::Orientation;
+
+fn bench_compression(c: &mut Criterion) {
+    let g = Dataset::by_name("ego-facebook").unwrap().synthesize(0.25, 42).unwrap();
+    let oriented = Orientation::Natural.orient(&g);
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(20);
+    for s in [SliceSize::S16, SliceSize::S64, SliceSize::S256] {
+        group.bench_with_input(BenchmarkId::new("slice_matrix", s), &s, |b, &s| {
+            b.iter(|| SlicedMatrix::from_adjacency(black_box(oriented.rows()), s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_valid_pair_iteration(c: &mut Criterion) {
+    let g = Dataset::by_name("roadnet-pa").unwrap().synthesize(0.01, 42).unwrap();
+    let oriented = Orientation::Natural.orient(&g);
+    let mut group = c.benchmark_group("valid_pairs");
+    group.sample_size(20);
+    for s in SliceSize::ALL {
+        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), s).unwrap();
+        group.bench_with_input(BenchmarkId::new("road", s), &matrix, |b, m| {
+            b.iter(|| {
+                let mut pairs = 0u64;
+                for (i, j) in m.edges() {
+                    pairs += m.row(i).matching_slices(m.col(j)).unwrap().count() as u64;
+                }
+                pairs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression, bench_valid_pair_iteration);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: computational array size (the paper fixes 16 MB).
+//!
+//! Sweeps the buffer capacity from far-too-small to ample on the com-lj
+//! stand-in — the graph whose working set exceeds 16 MB in the paper —
+//! showing how exchanges grow and writes blow up as capacity shrinks.
+
+use tcim_arch::sweep::capacity_sweep;
+use tcim_arch::PimConfig;
+use tcim_bitmatrix::SlicedMatrix;
+use tcim_graph::datasets::Dataset;
+use tcim_graph::Orientation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    let g = Dataset::by_name("com-lj").unwrap().synthesize(scale.scale, scale.seed)?;
+    println!("com-lj stand-in: |V| = {}, |E| = {}", g.vertex_count(), g.edge_count());
+
+    let oriented = Orientation::Natural.orient(&g);
+    let matrix = SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
+
+    // From 1/64 of the scale-adjusted 16 MB-equivalent capacity up to 4x.
+    let base = (16.0 * 1024.0 * 1024.0 / 12.0 * scale.scale) as usize;
+    let capacities: Vec<usize> =
+        [64usize, 16, 4, 1].iter().map(|f| (base / f).max(16)).chain([base * 4]).collect();
+
+    println!(
+        "{:>14} {:>8} {:>8} {:>8} {:>12} {:>12}",
+        "capacity (sl.)", "hit %", "miss %", "exch %", "writes", "energy (mJ)"
+    );
+    for point in capacity_sweep(&PimConfig::default(), &matrix, &capacities)? {
+        let s = point.stats;
+        println!(
+            "{:>14} {:>8.1} {:>8.1} {:>8.1} {:>12} {:>12.3}",
+            point.capacity_slices,
+            100.0 * s.hit_rate(),
+            100.0 * s.miss_rate(),
+            100.0 * s.exchange_rate(),
+            s.total_writes(),
+            point.energy_j * 1e3,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Ablation: the slice size |S| (fixed to 64 in the paper).
+//!
+//! Reports compressed size, AND-op count and the simulated runtime at
+//! every supported |S|. The knee claim is pinned by a test in
+//! `tcim_core::ablations`.
+
+use tcim_core::ablations::slice_size_ablation;
+use tcim_graph::datasets::Dataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    for name in ["ego-facebook", "roadnet-pa"] {
+        let g = Dataset::by_name(name).unwrap().synthesize(scale.scale, scale.seed)?;
+        println!("\n== {name} (|V| = {}, |E| = {}) ==", g.vertex_count(), g.edge_count());
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12}",
+            "|S|", "bytes", "AND ops", "time (ms)", "triangles"
+        );
+        for p in slice_size_ablation(&g)? {
+            println!(
+                "{:>6} {:>12} {:>12} {:>12.3} {:>12}",
+                p.slice_size.to_string(),
+                p.compressed_bytes,
+                p.and_ops,
+                p.time_s * 1e3,
+                p.triangles,
+            );
+        }
+    }
+    Ok(())
+}

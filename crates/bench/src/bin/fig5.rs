@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: data hit / miss / exchange percentages.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    println!("{}", tcim_core::experiments::fig5(scale)?);
+    Ok(())
+}

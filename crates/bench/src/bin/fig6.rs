@@ -1,0 +1,8 @@
+//! Regenerates Fig. 6: energy consumption of TCIM vs the FPGA
+//! accelerator, normalized per dataset.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    println!("{}", tcim_core::experiments::fig6(scale)?);
+    Ok(())
+}

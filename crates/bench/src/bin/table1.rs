@@ -1,0 +1,6 @@
+//! Regenerates Table I: MTJ parameters and the derived device quantities.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", tcim_core::experiments::table1()?);
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II: the dataset inventory with synthetic stand-ins.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    println!("{}", tcim_core::experiments::table2(scale)?);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table III: valid slice data size per dataset.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    let report = tcim_core::experiments::tables3_and_4(scale)?;
+    println!("Table III: valid slice data size (|S| = 64, scale {})", scale.scale);
+    println!("{:<14} {:>14} {:>14}", "dataset", "MB (paper)", "MiB (ours)");
+    for r in &report.rows {
+        println!("{:<14} {:>14.3} {:>14.3}", r.dataset.name, r.paper_mb, r.measured_mib);
+    }
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table IV: percentage of valid slices per dataset.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    let report = tcim_core::experiments::tables3_and_4(scale)?;
+    println!("Table IV: percentage of valid slices (|S| = 64, scale {})", scale.scale);
+    println!("{:<14} {:>14} {:>14}", "dataset", "% (paper)", "% (ours)");
+    for r in &report.rows {
+        println!(
+            "{:<14} {:>14.3} {:>14.3}",
+            r.dataset.name, r.paper_valid_pct, r.measured_valid_pct
+        );
+    }
+    Ok(())
+}

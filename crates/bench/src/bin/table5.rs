@@ -1,0 +1,8 @@
+//! Regenerates Table V: runtime comparison across CPU, w/o PIM and TCIM,
+//! alongside the paper's published CPU/GPU/FPGA columns.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = tcim_bench::scale_from_env();
+    println!("{}", tcim_core::experiments::table5(scale)?);
+    Ok(())
+}

@@ -1,0 +1,385 @@
+//! Dense bit matrix used to verify the paper's algebraic identities on
+//! small reference graphs.
+
+use std::fmt;
+
+use crate::bitvec::BitVec;
+use crate::error::{BitMatrixError, Result};
+
+/// A square dense bit matrix (one [`BitVec`] per row).
+///
+/// This type exists for *verification*, not performance: it implements the
+/// textbook identities of §II-A / §III so the sliced in-memory kernel can be
+/// cross-checked on small graphs:
+///
+/// * `trace(A³) / 6` — the matrix-multiplication triangle count,
+/// * `nnz(A ∩ A²)` — Equation (1) of the paper,
+/// * `Σ_{A[i][j]=1} BitCount(AND(A[i][*], A[*][j]ᵀ))` — Equation (5).
+///
+/// # Example
+///
+/// ```
+/// use tcim_bitmatrix::BitMatrix;
+///
+/// // The 4-vertex graph of the paper's Fig. 2 (upper-triangular form).
+/// let a = BitMatrix::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])?;
+/// assert_eq!(a.triangle_count_trace(), 2);
+/// assert_eq!(a.triangle_count_bitwise()?, 2);
+/// # Ok::<(), tcim_bitmatrix::BitMatrixError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    rows: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn new(n: usize) -> Self {
+        BitMatrix {
+            n,
+            rows: vec![BitVec::new(n); n],
+        }
+    }
+
+    /// Builds the **upper-triangular** adjacency matrix of an undirected
+    /// graph from an edge list, as in the paper's Fig. 2: for an edge
+    /// `(u, v)` only `A[min][max]` is set.
+    ///
+    /// Self-loops are rejected because a simple undirected graph has none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::DimensionOutOfBounds`] for a vertex outside
+    /// `0..n` and treats a self-loop as the same error on `index == u`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut m = BitMatrix::new(n);
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(BitMatrixError::DimensionOutOfBounds { index: u, dim: n });
+            }
+            if v >= n || u == v {
+                return Err(BitMatrixError::DimensionOutOfBounds { index: v, dim: n });
+            }
+            m.rows[u.min(v)].set(u.max(v));
+        }
+        Ok(m)
+    }
+
+    /// Builds the **full symmetric** adjacency matrix from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BitMatrix::from_edges`].
+    pub fn from_edges_symmetric(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let mut m = BitMatrix::from_edges(n, edges)?;
+        for i in 0..n {
+            let ones: Vec<usize> = m.rows[i].iter_ones().collect();
+            for j in ones {
+                m.rows[j].set(i);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Matrix dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `A[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i].get(j)
+    }
+
+    /// Sets entry `A[i][j]` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` or `j` is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize) {
+        self.rows[i].set(j);
+    }
+
+    /// Row `i` as a bit vector (`A[i][*]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= n`.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Column `j` as a freshly materialised bit vector (`A[*][j]ᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= n`.
+    pub fn column(&self, j: usize) -> BitVec {
+        let mut c = BitVec::new(self.n);
+        for i in 0..self.n {
+            if self.rows[i].get(j) {
+                c.set(i);
+            }
+        }
+        c
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::new(self.n);
+        for i in 0..self.n {
+            for j in self.rows[i].iter_ones() {
+                t.rows[j].set(i);
+            }
+        }
+        t
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> u64 {
+        self.rows.iter().map(BitVec::count_ones).sum()
+    }
+
+    /// Integer matrix product `self · other` (path counting, not Boolean).
+    ///
+    /// Returns a row-major `Vec<Vec<u32>>` because `A²` entries exceed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::LengthMismatch`] when dimensions differ.
+    pub fn mul_counts(&self, other: &BitMatrix) -> Result<Vec<Vec<u32>>> {
+        if self.n != other.n {
+            return Err(BitMatrixError::LengthMismatch {
+                left: self.n,
+                right: other.n,
+            });
+        }
+        let other_t = other.transpose();
+        // A[i][*] ⋅ B[*][j] = popcount(row_i AND col_j) for 0/1 data.
+        let out = self
+            .rows
+            .iter()
+            .map(|row| {
+                other_t
+                    .rows
+                    .iter()
+                    .map(|col| row.and_popcount(col).expect("rows share dimension n") as u32)
+                    .collect()
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Triangle count via `trace(A³) / 6` on the symmetrised matrix
+    /// (§II-A of the paper).
+    pub fn triangle_count_trace(&self) -> u64 {
+        // Symmetrise first: the identity requires the full adjacency matrix.
+        let mut sym = self.clone();
+        for i in 0..self.n {
+            let ones: Vec<usize> = sym.rows[i].iter_ones().collect();
+            for j in ones {
+                sym.rows[j].set(i);
+            }
+        }
+        let a2 = sym.mul_counts(&sym).expect("same dimension");
+        // trace(A³) = Σ_i Σ_k A[i][k] · A²[k][i]
+        let trace: u64 = sym
+            .rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter_ones().map(move |k| (i, k)))
+            .map(|(i, k)| u64::from(a2[k][i]))
+            .sum();
+        trace / 6
+    }
+
+    /// Triangle count via the paper's Equation (5):
+    /// `Σ_{A[i][j]=1} BitCount(AND(A[i][*], A[*][j]ᵀ))`.
+    ///
+    /// On an upper-triangular matrix each triangle is counted exactly once
+    /// (the orientation picks the unique `i < k < j` ordering); on a full
+    /// symmetric matrix the sum counts each triangle six times and is
+    /// divided accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates length mismatches from the underlying AND (cannot occur
+    /// for a well-formed square matrix).
+    pub fn triangle_count_bitwise(&self) -> Result<u64> {
+        let t = self.transpose();
+        let mut acc = 0u64;
+        let mut symmetric = true;
+        'sym: for i in 0..self.n {
+            for j in self.rows[i].iter_ones() {
+                if !self.rows[j].get(i) {
+                    symmetric = false;
+                    break 'sym;
+                }
+            }
+        }
+        for i in 0..self.n {
+            for j in self.rows[i].iter_ones() {
+                acc += self.rows[i].and_popcount(&t.rows[j])?;
+            }
+        }
+        Ok(if symmetric && self.nnz() > 0 { acc / 6 } else { acc })
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix({}×{})", self.n, self.n)?;
+        let show = self.n.min(16);
+        for i in 0..show {
+            for j in 0..show {
+                write!(f, "{}", u8::from(self.get(i, j)))?;
+            }
+            if self.n > show {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.n > show {
+            writeln!(f, "⋮")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Edges of the paper's Fig. 2 example graph.
+    const FIG2: [(usize, usize); 5] = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)];
+
+    #[test]
+    fn fig2_adjacency_matches_paper() {
+        let a = BitMatrix::from_edges(4, &FIG2).unwrap();
+        // Paper Fig. 2 upper-triangular matrix rows: 0110, 0011, 0001, 0000.
+        assert_eq!(format!("{:b}", a.row(0)), "0110");
+        assert_eq!(format!("{:b}", a.row(1)), "0011");
+        assert_eq!(format!("{:b}", a.row(2)), "0001");
+        assert_eq!(format!("{:b}", a.row(3)), "0000");
+    }
+
+    #[test]
+    fn fig2_has_two_triangles_every_way() {
+        let a = BitMatrix::from_edges(4, &FIG2).unwrap();
+        assert_eq!(a.triangle_count_trace(), 2);
+        assert_eq!(a.triangle_count_bitwise().unwrap(), 2);
+        let sym = BitMatrix::from_edges_symmetric(4, &FIG2).unwrap();
+        assert_eq!(sym.triangle_count_bitwise().unwrap(), 2);
+        assert_eq!(sym.triangle_count_trace(), 2);
+    }
+
+    #[test]
+    fn fig2_step_by_step_and_results() {
+        // The five steps of Fig. 2: (R0,C1)→0, (R0,C2)→1, (R1,C2)→0 … the
+        // accumulated BitCount ends at 2.
+        let a = BitMatrix::from_edges(4, &FIG2).unwrap();
+        let t = a.transpose();
+        let steps = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)];
+        let counts: Vec<u64> = steps
+            .iter()
+            .map(|&(i, j)| a.row(i).and_popcount(t.row(j)).unwrap())
+            .collect();
+        // Per the figure the running totals are 0,1,1,2,2 → deltas:
+        assert_eq!(counts, vec![0, 1, 0, 1, 0]);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn complete_graph_k5_has_ten_triangles() {
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let a = BitMatrix::from_edges(5, &edges).unwrap();
+        // C(5,3) = 10.
+        assert_eq!(a.triangle_count_trace(), 10);
+        assert_eq!(a.triangle_count_bitwise().unwrap(), 10);
+    }
+
+    #[test]
+    fn bipartite_graph_has_no_triangles() {
+        // K_{3,3}: triangle-free.
+        let mut edges = Vec::new();
+        for u in 0..3 {
+            for v in 3..6 {
+                edges.push((u, v));
+            }
+        }
+        let a = BitMatrix::from_edges(6, &edges).unwrap();
+        assert_eq!(a.triangle_count_trace(), 0);
+        assert_eq!(a.triangle_count_bitwise().unwrap(), 0);
+    }
+
+    #[test]
+    fn cycle_graphs() {
+        // C3 = one triangle, C5 = none.
+        let c3 = BitMatrix::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(c3.triangle_count_trace(), 1);
+        let c5 =
+            BitMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        assert_eq!(c5.triangle_count_trace(), 0);
+        assert_eq!(c5.triangle_count_bitwise().unwrap(), 0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = BitMatrix::from_edges(4, &FIG2).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn column_matches_transpose_row() {
+        let a = BitMatrix::from_edges(4, &FIG2).unwrap();
+        let t = a.transpose();
+        for j in 0..4 {
+            assert_eq!(&a.column(j), t.row(j));
+        }
+    }
+
+    #[test]
+    fn mul_counts_a2_entry_is_path_count() {
+        let a = BitMatrix::from_edges_symmetric(4, &FIG2).unwrap();
+        let a2 = a.mul_counts(&a).unwrap();
+        // Paths of length 2 from 0 to 3: 0-1-3 and 0-2-3.
+        assert_eq!(a2[0][3], 2);
+        // A²[i][i] = degree(i).
+        assert_eq!(a2[0][0], 2);
+        assert_eq!(a2[1][1], 3);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(BitMatrix::from_edges(3, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_vertex_rejected() {
+        let err = BitMatrix::from_edges(3, &[(0, 3)]).unwrap_err();
+        assert_eq!(err, BitMatrixError::DimensionOutOfBounds { index: 3, dim: 3 });
+    }
+
+    #[test]
+    fn empty_matrix_counts_zero() {
+        let a = BitMatrix::new(0);
+        assert_eq!(a.triangle_count_trace(), 0);
+        assert_eq!(a.triangle_count_bitwise().unwrap(), 0);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", BitMatrix::new(2)).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Bit-count (`BitCount`) implementations.
+//!
+//! The TCIM paper implements `BitCount` in hardware as a synthesized module
+//! that "splits the vector and feeds each 8-bit sub-vector into an 8-256
+//! look-up-table to get its non-zero element number, then sums up the
+//! non-zero numbers in all sub-vectors" (§V-A). [`popcount_lut8`] mirrors
+//! that structure bit-for-bit so the software path can be validated against
+//! the hardware-faithful one; [`popcount_native`] uses the CPU `popcnt`
+//! instruction via [`u64::count_ones`].
+//!
+//! Both strategies always return identical results; the LUT variant exists
+//! so that the architecture simulator exercises the same dataflow as the
+//! synthesized bit-counter (see `tcim-arch`'s `BitCounterModel` for the
+//! timing/energy side).
+
+/// The 8-bit-input/9-value-output look-up table of the paper's bit counter.
+///
+/// Entry `i` holds the number of set bits in the byte `i`. Built at compile
+/// time; 256 entries exactly as in the synthesized 8-256 LUT.
+pub const POPCOUNT_LUT8: [u8; 256] = build_lut8();
+
+const fn build_lut8() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[i] = (i as u8).count_ones() as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Strategy used to count set bits in a word or slice.
+///
+/// # Example
+///
+/// ```
+/// use tcim_bitmatrix::popcount::{popcount_word, PopcountMethod};
+///
+/// let w = 0b0110_u64;
+/// assert_eq!(popcount_word(w, PopcountMethod::Native), 2);
+/// assert_eq!(popcount_word(w, PopcountMethod::Lut8), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PopcountMethod {
+    /// Hardware `popcnt` via [`u64::count_ones`] (fast software path).
+    #[default]
+    Native,
+    /// 8-bit look-up table + adder tree, mirroring the paper's synthesized
+    /// bit-counter module.
+    Lut8,
+}
+
+/// Counts set bits in `word` using the native `popcnt` path.
+#[inline]
+pub fn popcount_native(word: u64) -> u32 {
+    word.count_ones()
+}
+
+/// Counts set bits in `word` via the 8-256 LUT, exactly as the paper's
+/// hardware bit counter does: eight byte-wide LUT lookups summed by an
+/// adder tree.
+#[inline]
+pub fn popcount_lut8(word: u64) -> u32 {
+    let bytes = word.to_le_bytes();
+    // Two levels of the adder tree, matching a radix-2 hardware reduction.
+    let s0 = POPCOUNT_LUT8[bytes[0] as usize] as u32 + POPCOUNT_LUT8[bytes[1] as usize] as u32;
+    let s1 = POPCOUNT_LUT8[bytes[2] as usize] as u32 + POPCOUNT_LUT8[bytes[3] as usize] as u32;
+    let s2 = POPCOUNT_LUT8[bytes[4] as usize] as u32 + POPCOUNT_LUT8[bytes[5] as usize] as u32;
+    let s3 = POPCOUNT_LUT8[bytes[6] as usize] as u32 + POPCOUNT_LUT8[bytes[7] as usize] as u32;
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Counts set bits in `word` with the chosen [`PopcountMethod`].
+#[inline]
+pub fn popcount_word(word: u64, method: PopcountMethod) -> u32 {
+    match method {
+        PopcountMethod::Native => popcount_native(word),
+        PopcountMethod::Lut8 => popcount_lut8(word),
+    }
+}
+
+/// Counts set bits across a slice of words with the chosen method.
+///
+/// # Example
+///
+/// ```
+/// use tcim_bitmatrix::popcount::{popcount_words, PopcountMethod};
+///
+/// assert_eq!(popcount_words(&[u64::MAX, 1], PopcountMethod::Lut8), 65);
+/// ```
+pub fn popcount_words(words: &[u64], method: PopcountMethod) -> u64 {
+    match method {
+        PopcountMethod::Native => words.iter().map(|&w| u64::from(w.count_ones())).sum(),
+        PopcountMethod::Lut8 => words.iter().map(|&w| u64::from(popcount_lut8(w))).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_table_matches_count_ones() {
+        for i in 0..=255u8 {
+            assert_eq!(POPCOUNT_LUT8[i as usize], i.count_ones() as u8);
+        }
+    }
+
+    #[test]
+    fn lut_word_matches_native_on_patterns() {
+        let patterns = [
+            0u64,
+            u64::MAX,
+            0x5555_5555_5555_5555,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x0123_4567_89AB_CDEF,
+            1,
+            1 << 63,
+            0x8000_0000_0000_0001,
+        ];
+        for &p in &patterns {
+            assert_eq!(popcount_lut8(p), popcount_native(p), "pattern {p:#x}");
+        }
+    }
+
+    #[test]
+    fn lut_word_matches_native_exhaustive_low_16() {
+        for w in 0..=0xFFFFu64 {
+            assert_eq!(popcount_lut8(w), popcount_native(w));
+        }
+    }
+
+    #[test]
+    fn paper_example_bitcount_0110_is_2() {
+        // "BitCount(0110) = 2" from §III of the paper.
+        assert_eq!(popcount_lut8(0b0110), 2);
+    }
+
+    #[test]
+    fn slice_popcount_sums_words() {
+        let words = [0b1u64, 0b11, 0b111];
+        assert_eq!(popcount_words(&words, PopcountMethod::Native), 6);
+        assert_eq!(popcount_words(&words, PopcountMethod::Lut8), 6);
+    }
+
+    #[test]
+    fn empty_slice_counts_zero() {
+        assert_eq!(popcount_words(&[], PopcountMethod::Native), 0);
+        assert_eq!(popcount_words(&[], PopcountMethod::Lut8), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the bit-matrix substrate.
+//!
+//! These pin the invariants the rest of the reproduction relies on:
+//! compression is lossless, the sliced AND+popcount kernel agrees with the
+//! dense one, the LUT popcount agrees with the native instruction, and the
+//! paper's byte-size formula holds exactly.
+
+use proptest::prelude::*;
+use tcim_bitmatrix::popcount::{popcount_lut8, popcount_native};
+use tcim_bitmatrix::{BitMatrix, BitVec, SliceSize, SlicedBitVector};
+
+/// Strategy: a bit-vector length and a set of bit indices below it.
+fn bits_strategy() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (1usize..2000).prop_flat_map(|len| {
+        (
+            Just(len),
+            proptest::collection::btree_set(0..len, 0..128)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+        )
+    })
+}
+
+fn slice_size_strategy() -> impl Strategy<Value = SliceSize> {
+    proptest::sample::select(&SliceSize::ALL[..])
+}
+
+proptest! {
+    #[test]
+    fn compression_roundtrips((len, ones) in bits_strategy(), s in slice_size_strategy()) {
+        let dense = BitVec::from_indices(len, ones.iter().copied());
+        let sliced = SlicedBitVector::from_bitvec(&dense, s);
+        prop_assert_eq!(sliced.to_bitvec(), dense);
+    }
+
+    #[test]
+    fn compression_preserves_popcount((len, ones) in bits_strategy(), s in slice_size_strategy()) {
+        let dense = BitVec::from_indices(len, ones.iter().copied());
+        let sliced = SlicedBitVector::from_bitvec(&dense, s);
+        prop_assert_eq!(sliced.count_ones(), ones.len() as u64);
+    }
+
+    #[test]
+    fn from_sorted_indices_equals_from_bitvec(
+        (len, ones) in bits_strategy(),
+        s in slice_size_strategy(),
+    ) {
+        let dense = BitVec::from_indices(len, ones.iter().copied());
+        let a = SlicedBitVector::from_bitvec(&dense, s);
+        let b = SlicedBitVector::from_sorted_indices(len, ones.iter().copied(), s);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sliced_and_popcount_matches_dense(
+        (len, a_ones) in bits_strategy(),
+        b_seed in proptest::collection::vec(0usize..usize::MAX, 0..128),
+        s in slice_size_strategy(),
+    ) {
+        let b_ones: Vec<usize> = {
+            let mut v: Vec<usize> = b_seed.into_iter().map(|x| x % len).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let da = BitVec::from_indices(len, a_ones.iter().copied());
+        let db = BitVec::from_indices(len, b_ones.iter().copied());
+        let ca = SlicedBitVector::from_bitvec(&da, s);
+        let cb = SlicedBitVector::from_bitvec(&db, s);
+        prop_assert_eq!(ca.and_popcount(&cb), da.and_popcount(&db).unwrap());
+    }
+
+    #[test]
+    fn byte_size_formula_holds((len, ones) in bits_strategy(), s in slice_size_strategy()) {
+        let sliced = SlicedBitVector::from_sorted_indices(len, ones.iter().copied(), s);
+        prop_assert_eq!(
+            sliced.compressed_bytes(),
+            sliced.valid_slice_count() * (s.bits() as usize / 8 + 4)
+        );
+        // Every set bit lands in some valid slice and no slice is empty, so
+        // NVS ≤ popcount and NVS ≤ total slices.
+        prop_assert!(sliced.valid_slice_count() as u64 <= ones.len() as u64);
+        prop_assert!(sliced.valid_slice_count() <= sliced.total_slices());
+    }
+
+    #[test]
+    fn lut_popcount_equals_native(word in any::<u64>()) {
+        prop_assert_eq!(popcount_lut8(word), popcount_native(word));
+    }
+
+    #[test]
+    fn and_popcount_is_commutative(
+        (len, a_ones) in bits_strategy(),
+        b_seed in proptest::collection::vec(0usize..usize::MAX, 0..64),
+    ) {
+        let b_ones: Vec<usize> = {
+            let mut v: Vec<usize> = b_seed.into_iter().map(|x| x % len).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let a = SlicedBitVector::from_sorted_indices(len, a_ones.iter().copied(), SliceSize::S64);
+        let b = SlicedBitVector::from_sorted_indices(len, b_ones.iter().copied(), SliceSize::S64);
+        prop_assert_eq!(a.and_popcount(&b), b.and_popcount(&a));
+    }
+}
+
+/// Random graph edges on `n` vertices.
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..200).prop_map(|pairs| {
+                pairs
+                    .into_iter()
+                    .filter(|(u, v)| u != v)
+                    .collect::<Vec<_>>()
+            }),
+        )
+    })
+}
+
+proptest! {
+    /// The paper's Equation (5) on the oriented matrix must agree with the
+    /// classical trace(A³)/6 identity for every graph.
+    #[test]
+    fn bitwise_tc_equals_trace_identity((n, edges) in edges_strategy()) {
+        let upper = BitMatrix::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(
+            upper.triangle_count_bitwise().unwrap(),
+            upper.triangle_count_trace()
+        );
+    }
+
+    /// Counting on the symmetric matrix (÷6) agrees with the oriented count.
+    #[test]
+    fn symmetric_and_oriented_counts_agree((n, edges) in edges_strategy()) {
+        let upper = BitMatrix::from_edges(n, &edges).unwrap();
+        let sym = BitMatrix::from_edges_symmetric(n, &edges).unwrap();
+        prop_assert_eq!(
+            upper.triangle_count_bitwise().unwrap(),
+            sym.triangle_count_bitwise().unwrap()
+        );
+    }
+}

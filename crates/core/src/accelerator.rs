@@ -1,0 +1,226 @@
+//! The top-level TCIM accelerator facade.
+
+use std::time::{Duration, Instant};
+
+use tcim_arch::{LocalRunResult, PimConfig, PimEngine, PimRunResult};
+use tcim_bitmatrix::{SliceStats, SlicedMatrix};
+use tcim_graph::{CsrGraph, Orientation};
+
+use crate::error::Result;
+
+/// Configuration of the accelerator facade: how to orient the graph plus
+/// the full PIM simulator configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TcimConfig {
+    /// Edge orientation applied before slicing (paper: natural order).
+    pub orientation: Orientation,
+    /// Architecture-simulator configuration (paper defaults).
+    pub pim: PimConfig,
+}
+
+/// Everything one accelerated counting run produces.
+#[derive(Debug, Clone)]
+pub struct TcimReport {
+    /// Exact triangle count, produced by the simulated dataflow.
+    pub triangles: u64,
+    /// The architecture simulation result: statistics, latency, energy.
+    pub sim: PimRunResult,
+    /// Slicing statistics of the compressed graph (Table III/IV
+    /// quantities).
+    pub slice_stats: SliceStats,
+    /// Host wall-clock time spent orienting + slicing the graph.
+    pub preprocess_time: Duration,
+    /// Host wall-clock time spent driving the simulation itself (this is
+    /// simulator overhead, not modelled accelerator time).
+    pub host_sim_time: Duration,
+}
+
+/// Everything one local (per-vertex) counting run produces.
+#[derive(Debug, Clone)]
+pub struct LocalTcimReport {
+    /// Global triangle count.
+    pub triangles: u64,
+    /// Triangles each input-graph vertex participates in; sums to
+    /// `3 × triangles`.
+    pub per_vertex: Vec<u64>,
+    /// The raw architecture result (statistics, latency, energy).
+    pub sim: LocalRunResult,
+}
+
+/// The TCIM accelerator: a characterized PIM engine bound to a graph
+/// pipeline (orient → slice → map → run Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use tcim_core::{TcimAccelerator, TcimConfig};
+/// use tcim_graph::generators::classic;
+///
+/// let acc = TcimAccelerator::new(&TcimConfig::default())?;
+/// let report = acc.count_triangles(&classic::wheel(12));
+/// assert_eq!(report.triangles, 11);
+/// # Ok::<(), tcim_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcimAccelerator {
+    config: TcimConfig,
+    engine: PimEngine,
+}
+
+impl TcimAccelerator {
+    /// Characterizes the device, array and bit counter for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and characterization failures.
+    pub fn new(config: &TcimConfig) -> Result<Self> {
+        let engine = PimEngine::new(&config.pim)?;
+        Ok(TcimAccelerator { config: config.clone(), engine })
+    }
+
+    /// The underlying architecture engine (for inspecting the array
+    /// characterization).
+    pub fn engine(&self) -> &PimEngine {
+        &self.engine
+    }
+
+    /// The configuration this accelerator was built from.
+    pub fn config(&self) -> &TcimConfig {
+        &self.config
+    }
+
+    /// Compresses `g` into the sliced in-memory format (orient + slice).
+    ///
+    /// Exposed separately so callers can reuse the compressed form across
+    /// runs, as the paper's data buffer does.
+    pub fn compress(&self, g: &CsrGraph) -> SlicedMatrix {
+        let oriented = self.config.orientation.orient(g);
+        SlicedMatrix::from_adjacency(oriented.rows(), self.config.pim.slice_size)
+            .expect("oriented adjacency is always in bounds")
+    }
+
+    /// Counts the triangles of `g` on the simulated accelerator.
+    pub fn count_triangles(&self, g: &CsrGraph) -> TcimReport {
+        let pre_start = Instant::now();
+        let matrix = self.compress(g);
+        let preprocess_time = pre_start.elapsed();
+        self.count_compressed(&matrix, preprocess_time)
+    }
+
+    /// Counts per-vertex (local) triangle participation on the simulated
+    /// accelerator: the quantity behind local clustering coefficients.
+    ///
+    /// Results are indexed by the *input graph's* vertex ids regardless of
+    /// the configured orientation (relabellings are undone internally).
+    /// The run costs one extra read-class array access per non-zero slice
+    /// pair; see `tcim_arch::PimEngine::run_local`.
+    pub fn count_local_triangles(&self, g: &CsrGraph) -> LocalTcimReport {
+        let oriented = self.config.orientation.orient(g);
+        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), self.config.pim.slice_size)
+            .expect("oriented adjacency is always in bounds");
+        let run = self.engine.run_local(&matrix);
+        let mut per_vertex = vec![0u64; g.vertex_count()];
+        for (new_id, &count) in run.per_vertex.iter().enumerate() {
+            per_vertex[oriented.original_id(new_id as u32) as usize] = count;
+        }
+        LocalTcimReport { triangles: run.triangles, per_vertex, sim: run }
+    }
+
+    /// Counts triangles over an already-compressed matrix.
+    pub fn count_compressed(
+        &self,
+        matrix: &SlicedMatrix,
+        preprocess_time: Duration,
+    ) -> TcimReport {
+        let slice_stats = matrix.stats();
+        let host_start = Instant::now();
+        let sim = self.engine.run(matrix);
+        let host_sim_time = host_start.elapsed();
+        TcimReport {
+            triangles: sim.triangles,
+            sim,
+            slice_stats,
+            preprocess_time,
+            host_sim_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use tcim_graph::generators::{classic, gnm, road_grid};
+
+    fn accelerator() -> TcimAccelerator {
+        TcimAccelerator::new(&TcimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn counts_match_baselines_across_graph_families() {
+        let acc = accelerator();
+        let graphs = vec![
+            classic::fig2_example(),
+            classic::complete(25),
+            classic::wheel(30),
+            gnm(400, 3000, 3).unwrap(),
+            road_grid(20, 20, 0.9, 0.3, 5).unwrap(),
+        ];
+        for g in graphs {
+            let expected = baseline::edge_iterator_merge(&g);
+            let report = acc.count_triangles(&g);
+            assert_eq!(report.triangles, expected, "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn orientation_does_not_change_the_count() {
+        let g = gnm(300, 2200, 11).unwrap();
+        let natural = accelerator().count_triangles(&g).triangles;
+        let config = TcimConfig { orientation: Orientation::Degree, ..TcimConfig::default() };
+        let degree = TcimAccelerator::new(&config).unwrap().count_triangles(&g).triangles;
+        assert_eq!(natural, degree);
+    }
+
+    #[test]
+    fn report_carries_consistent_statistics() {
+        let g = gnm(200, 1500, 2).unwrap();
+        let acc = accelerator();
+        let report = acc.count_triangles(&g);
+        assert_eq!(report.sim.stats.edges as usize, g.edge_count());
+        assert_eq!(report.sim.stats.and_ops, report.sim.stats.bitcount_ops);
+        assert!(report.slice_stats.nnz as usize == g.edge_count());
+        assert!(report.sim.total_time_s() > 0.0);
+    }
+
+    #[test]
+    fn local_counts_match_baseline_under_every_orientation() {
+        let g = gnm(250, 1800, 4).unwrap();
+        let expected = baseline::local_triangles(&g);
+        for orientation in [
+            Orientation::Natural,
+            Orientation::Degree,
+            Orientation::Degeneracy,
+        ] {
+            let config = TcimConfig { orientation, ..TcimConfig::default() };
+            let report = TcimAccelerator::new(&config).unwrap().count_local_triangles(&g);
+            assert_eq!(report.per_vertex, expected, "{orientation:?}");
+            assert_eq!(
+                report.per_vertex.iter().sum::<u64>(),
+                3 * report.triangles,
+                "{orientation:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compress_then_count_matches_direct_path() {
+        let g = gnm(150, 900, 8).unwrap();
+        let acc = accelerator();
+        let direct = acc.count_triangles(&g);
+        let matrix = acc.compress(&g);
+        let reused = acc.count_compressed(&matrix, Duration::ZERO);
+        assert_eq!(direct.triangles, reused.triangles);
+        assert_eq!(direct.sim.stats, reused.sim.stats);
+    }
+}

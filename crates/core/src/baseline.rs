@@ -1,0 +1,255 @@
+//! CPU triangle-counting baselines (§II-A of the paper).
+//!
+//! The paper compares against "the intersect-based algorithm … with the
+//! Spark GraphX framework" on a single CPU core. Four software baselines
+//! are provided, spanning the realism spectrum:
+//!
+//! * [`hash_intersect`] — per-edge hash-set intersection with per-edge
+//!   set materialisation, deliberately framework-flavoured; this plays the
+//!   role of the paper's slow CPU column.
+//! * [`edge_iterator_merge`] — per-edge sorted-list merge intersection,
+//!   the standard tuned sequential algorithm.
+//! * [`forward`] — the forward algorithm (Schank & Wagner): intersects
+//!   dynamically grown predecessor sets in degree order; the strongest
+//!   sequential baseline here.
+//! * [`parallel_edge_iterator`] — the merge intersection fanned out over
+//!   crossbeam scoped threads (a multicore ablation, not a paper column).
+//!
+//! All baselines return exact counts and are cross-checked against each
+//! other and the PIM dataflow in the integration tests.
+
+use std::collections::HashSet;
+
+use tcim_graph::{CsrGraph, Orientation};
+
+/// Intersection size of two sorted slices.
+fn merge_intersect_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Framework-flavoured intersect baseline: for every edge, materialise
+/// both endpoint neighbour sets in hash maps and intersect them — the
+/// per-record overhead profile of a dataflow framework like GraphX.
+///
+/// Counts each triangle exactly once via the `u < v < w` orientation.
+///
+/// # Example
+///
+/// ```
+/// use tcim_core::baseline::hash_intersect;
+/// use tcim_graph::generators::classic;
+///
+/// assert_eq!(hash_intersect(&classic::fig2_example()), 2);
+/// ```
+pub fn hash_intersect(g: &CsrGraph) -> u64 {
+    let mut triangles = 0u64;
+    for (u, v) in g.edges() {
+        // Rebuild the sets per edge, as a record-at-a-time framework does.
+        let set_u: HashSet<u32> = g.neighbors(u).iter().copied().filter(|&w| w > v).collect();
+        let set_v: HashSet<u32> = g.neighbors(v).iter().copied().filter(|&w| w > v).collect();
+        triangles += set_u.intersection(&set_v).count() as u64;
+    }
+    triangles
+}
+
+/// Tuned edge-iterator: merge-intersect the sorted adjacency lists of the
+/// two endpoints, restricted to higher-numbered vertices so each triangle
+/// is counted once.
+pub fn edge_iterator_merge(g: &CsrGraph) -> u64 {
+    let mut triangles = 0u64;
+    for (u, v) in g.edges() {
+        let above = |list: &[u32]| -> usize { list.partition_point(|&w| w <= v) };
+        let nu = g.neighbors(u);
+        let nv = g.neighbors(v);
+        triangles += merge_intersect_count(&nu[above(nu)..], &nv[above(nv)..]);
+    }
+    triangles
+}
+
+/// The forward algorithm: process vertices in degree order; for each arc
+/// `(u, v)` intersect the already-seen predecessor sets `A[u] ∩ A[v]`,
+/// then append `u` to `A[v]`. `O(m^{3/2})` with small constants.
+pub fn forward(g: &CsrGraph) -> u64 {
+    let oriented = Orientation::Degree.orient(g);
+    let n = oriented.vertex_count();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut triangles = 0u64;
+    for i in 0..n as u32 {
+        for &j in oriented.row(i) {
+            triangles += merge_intersect_count(&preds[i as usize], &preds[j as usize]);
+            // Predecessors are appended in ascending i, so lists stay
+            // sorted.
+            preds[j as usize].push(i);
+        }
+    }
+    triangles
+}
+
+/// Merge-based edge iterator parallelised over `threads` crossbeam scoped
+/// threads. Edges are partitioned by origin vertex in contiguous stripes.
+///
+/// # Panics
+///
+/// Panics when `threads` is zero.
+pub fn parallel_edge_iterator(g: &CsrGraph, threads: usize) -> u64 {
+    assert!(threads > 0, "at least one worker thread is required");
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut total = 0u64;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(n) as u32;
+                let hi = ((t + 1) * chunk).min(n) as u32;
+                scope.spawn(move |_| {
+                    let mut local = 0u64;
+                    for u in lo..hi {
+                        for &v in g.neighbors(u).iter().filter(|&&v| v > u) {
+                            let above = |list: &[u32]| list.partition_point(|&w| w <= v);
+                            let nu = g.neighbors(u);
+                            let nv = g.neighbors(v);
+                            local +=
+                                merge_intersect_count(&nu[above(nu)..], &nv[above(nv)..]);
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            total += h.join().expect("worker threads do not panic");
+        }
+    })
+    .expect("crossbeam scope never fails to join");
+    total
+}
+
+/// Per-vertex triangle participation counts (each triangle contributes to
+/// all three of its vertices). Used for local clustering coefficients.
+pub fn local_triangles(g: &CsrGraph) -> Vec<u64> {
+    let mut per_vertex = vec![0u64; g.vertex_count()];
+    for (u, v) in g.edges() {
+        let above = |list: &[u32]| -> usize { list.partition_point(|&w| w <= v) };
+        let nu = g.neighbors(u);
+        let nv = g.neighbors(v);
+        let (mut i, mut j) = (above(nu), above(nv));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = nu[i];
+                    per_vertex[u as usize] += 1;
+                    per_vertex[v as usize] += 1;
+                    per_vertex[w as usize] += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    per_vertex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::generators::{classic, gnm};
+
+    fn all_counts(g: &CsrGraph) -> Vec<u64> {
+        vec![
+            hash_intersect(g),
+            edge_iterator_merge(g),
+            forward(g),
+            parallel_edge_iterator(g, 4),
+        ]
+    }
+
+    #[test]
+    fn fig2_all_baselines_agree_on_two() {
+        let g = classic::fig2_example();
+        assert_eq!(all_counts(&g), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        for n in [3usize, 5, 10, 20] {
+            let g = classic::complete(n);
+            let expected = classic::complete_triangles(n);
+            for (idx, c) in all_counts(&g).into_iter().enumerate() {
+                assert_eq!(c, expected, "baseline {idx} on K_{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_count_zero() {
+        for g in [
+            classic::star(50),
+            classic::cycle(17),
+            classic::complete_bipartite(6, 7),
+            classic::path(30),
+        ] {
+            assert_eq!(all_counts(&g), vec![0, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn wheel_counts_rim_size() {
+        let g = classic::wheel(10); // 9 rim triangles
+        assert_eq!(all_counts(&g), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn baselines_agree_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gnm(200, 1200, seed).unwrap();
+            let reference = edge_iterator_merge(&g);
+            assert_eq!(hash_intersect(&g), reference, "seed {seed}");
+            assert_eq!(forward(&g), reference, "seed {seed}");
+            assert_eq!(parallel_edge_iterator(&g, 3), reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn local_counts_sum_to_three_per_triangle() {
+        let g = gnm(150, 900, 7).unwrap();
+        let total = edge_iterator_merge(&g);
+        let local: u64 = local_triangles(&g).iter().sum();
+        assert_eq!(local, 3 * total);
+    }
+
+    #[test]
+    fn parallel_with_one_thread_matches_sequential() {
+        let g = gnm(100, 500, 1).unwrap();
+        assert_eq!(parallel_edge_iterator(&g, 1), edge_iterator_merge(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        parallel_edge_iterator(&classic::fig2_example(), 0);
+    }
+
+    #[test]
+    fn empty_graph_counts_zero() {
+        let g = CsrGraph::from_edges(0, []).unwrap();
+        assert_eq!(all_counts(&g), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type of the public API.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors surfaced by the TCIM public API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Graph construction or generation failed.
+    Graph(tcim_graph::GraphError),
+    /// Architecture configuration or characterization failed.
+    Arch(tcim_arch::ArchError),
+    /// Bit-matrix construction failed.
+    BitMatrix(tcim_bitmatrix::BitMatrixError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Arch(e) => write!(f, "architecture error: {e}"),
+            CoreError::BitMatrix(e) => write!(f, "bit-matrix error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Arch(e) => Some(e),
+            CoreError::BitMatrix(e) => Some(e),
+        }
+    }
+}
+
+impl From<tcim_graph::GraphError> for CoreError {
+    fn from(e: tcim_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<tcim_arch::ArchError> for CoreError {
+    fn from(e: tcim_arch::ArchError) -> Self {
+        CoreError::Arch(e)
+    }
+}
+
+impl From<tcim_bitmatrix::BitMatrixError> for CoreError {
+    fn from(e: tcim_bitmatrix::BitMatrixError) -> Self {
+        CoreError::BitMatrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_sources() {
+        let e = CoreError::from(tcim_graph::GraphError::InvalidParameter {
+            reason: "x".into(),
+        });
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,674 @@
+//! Drivers that regenerate every table and figure of the paper's §V.
+//!
+//! Each function returns structured rows (so tests can assert on shapes)
+//! and implements `Display` on its report type (so the `tcim-bench`
+//! harness binaries print paper-style tables). All experiments run on the
+//! synthetic Table II stand-ins at a configurable [`ExperimentScale`];
+//! `scale = 1.0` reproduces the published graph sizes.
+
+use std::fmt;
+use std::time::Instant;
+
+use tcim_arch::PimConfig;
+use tcim_bitmatrix::popcount::PopcountMethod;
+use tcim_bitmatrix::SliceSize;
+use tcim_graph::datasets::{Dataset, TABLE_II};
+use tcim_graph::{CsrGraph, Orientation};
+use tcim_mtj::llg::LlgSolver;
+use tcim_mtj::sense::SenseAmp;
+use tcim_mtj::{MtjCell, MtjParams};
+
+use crate::accelerator::{TcimAccelerator, TcimConfig};
+use crate::baseline;
+use crate::error::Result;
+use crate::reported::{self, PaperRow};
+use crate::software::sliced_software_tc;
+
+/// Scale factor and seed shared by every dataset-driven experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Fraction of the published graph size (1.0 = full size).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale { scale: 0.02, seed: 42 }
+    }
+}
+
+impl ExperimentScale {
+    /// Full published size.
+    pub fn full() -> Self {
+        ExperimentScale { scale: 1.0, seed: 42 }
+    }
+
+    fn synthesize(&self, d: &Dataset) -> Result<CsrGraph> {
+        Ok(d.synthesize(self.scale, self.seed)?)
+    }
+
+    /// A PIM configuration whose data-buffer capacity is scaled with the
+    /// graphs, so cache pressure (Fig. 5 exchanges) reproduces at reduced
+    /// scale. At `scale = 1.0` this is exactly the paper's 16 MB buffer.
+    pub fn scaled_pim_config(&self) -> PimConfig {
+        let mut pim = PimConfig::default();
+        if self.scale < 1.0 {
+            let full = 16.0 * 1024.0 * 1024.0 / 12.0; // slices in 16 MiB
+            pim.capacity_slices_override = Some(((full * self.scale) as usize).max(16));
+        }
+        pim
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table I — device characterization
+// ---------------------------------------------------------------------
+
+/// Regenerated Table I: the input parameters plus the derived device
+/// quantities the co-simulation produces from them.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    /// The Table I inputs.
+    pub params: MtjParams,
+    /// Characterized cell (resistances, currents, latencies).
+    pub cell: MtjCell,
+    /// Thermal stability factor Δ.
+    pub thermal_stability: f64,
+    /// AND sense margin at the nominal corner (A).
+    pub and_margin_a: f64,
+    /// READ sense margin at the nominal corner (A).
+    pub read_margin_a: f64,
+}
+
+/// Runs the device-level co-simulation with Table I parameters.
+///
+/// # Errors
+///
+/// Propagates device characterization failures (cannot occur for the
+/// published parameter set).
+pub fn table1() -> Result<Table1Report> {
+    let params = MtjParams::table_i();
+    let cell = MtjCell::characterize(&params).map_err(tcim_arch::ArchError::from)?;
+    let solver = LlgSolver::new(&params).map_err(tcim_arch::ArchError::from)?;
+    let sa = SenseAmp::from_cell(&cell);
+    Ok(Table1Report {
+        thermal_stability: solver.thermal_stability(),
+        and_margin_a: sa.and_margin().margin_a,
+        read_margin_a: sa.read_margin().margin_a,
+        params,
+        cell,
+    })
+}
+
+impl fmt::Display for Table1Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: key parameters for MTJ simulation (inputs)")?;
+        writeln!(f, "  MTJ surface length            {} nm", self.params.surface_length_nm)?;
+        writeln!(f, "  MTJ surface width             {} nm", self.params.surface_width_nm)?;
+        writeln!(f, "  Spin Hall angle               {}", self.params.spin_hall_angle)?;
+        writeln!(f, "  RA product                    {:.0e} Ω·m²", self.params.ra_product_ohm_m2)?;
+        writeln!(f, "  Oxide barrier thickness       {} nm", self.params.oxide_thickness_nm)?;
+        writeln!(f, "  TMR                           {:.0} %", self.params.tmr * 100.0)?;
+        writeln!(f, "  Saturation field              {:.0e} A/m", self.params.saturation_magnetization_a_per_m)?;
+        writeln!(f, "  Gilbert damping               {}", self.params.gilbert_damping)?;
+        writeln!(f, "  Perpendicular anisotropy      {:.1e} A/m", self.params.anisotropy_field_a_per_m)?;
+        writeln!(f, "  Temperature                   {} K", self.params.temperature_k)?;
+        writeln!(f, "Derived by the device co-simulation (Brinkman + LLG):")?;
+        writeln!(f, "  R_P / R_AP                    {:.0} Ω / {:.0} Ω", self.cell.r_p_ohm, self.cell.r_ap_ohm)?;
+        writeln!(f, "  critical current I_c0         {:.1} µA", self.cell.critical_current_a * 1e6)?;
+        writeln!(f, "  write latency (worst dir.)    {:.2} ns", self.cell.write_latency_s * 1e9)?;
+        writeln!(f, "  write energy per bit          {:.1} fJ", self.cell.write_energy_j * 1e15)?;
+        writeln!(f, "  thermal stability Δ           {:.0}", self.thermal_stability)?;
+        writeln!(f, "  READ / AND sense margin       {:.1} µA / {:.1} µA", self.read_margin_a * 1e6, self.and_margin_a * 1e6)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table II — dataset inventory
+// ---------------------------------------------------------------------
+
+/// One regenerated Table II row: published vs. synthetic stand-in.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// The catalog entry (published |V|, |E|, triangles).
+    pub dataset: &'static Dataset,
+    /// Stand-in vertex count at this scale.
+    pub vertices: usize,
+    /// Stand-in edge count at this scale.
+    pub edges: usize,
+    /// Stand-in triangle count, measured with the forward algorithm.
+    pub triangles: u64,
+}
+
+/// Regenerated Table II over all nine datasets.
+#[derive(Debug, Clone)]
+pub struct Table2Report {
+    /// The scale the stand-ins were generated at.
+    pub scale: ExperimentScale,
+    /// One row per dataset, paper order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Synthesizes every Table II stand-in and measures its triangles.
+///
+/// # Errors
+///
+/// Propagates generator failures (cannot occur for catalog entries).
+pub fn table2(scale: ExperimentScale) -> Result<Table2Report> {
+    let mut rows = Vec::with_capacity(TABLE_II.len());
+    for d in &TABLE_II {
+        let g = scale.synthesize(d)?;
+        rows.push(Table2Row {
+            dataset: d,
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            triangles: baseline::forward(&g),
+        });
+    }
+    Ok(Table2Report { scale, rows })
+}
+
+impl fmt::Display for Table2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table II: selected graph dataset (synthetic stand-ins at scale {})",
+            self.scale.scale
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
+            "dataset", "|V| paper", "|E| paper", "tri paper", "|V| ours", "|E| ours", "tri ours"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
+                r.dataset.name,
+                r.dataset.vertices,
+                r.dataset.edges,
+                r.dataset.triangles,
+                r.vertices,
+                r.edges,
+                r.triangles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables III & IV — slicing statistics
+// ---------------------------------------------------------------------
+
+/// One slicing-statistics row (Table III size + Table IV percentage).
+#[derive(Debug, Clone, Copy)]
+pub struct SlicingRow {
+    /// The catalog entry.
+    pub dataset: &'static Dataset,
+    /// Paper's Table III valid-slice data size (MB, full-size graph).
+    pub paper_mb: f64,
+    /// Our measured compressed size at this scale (MiB).
+    pub measured_mib: f64,
+    /// Paper's Table IV valid-slice percentage.
+    pub paper_valid_pct: f64,
+    /// Our measured valid-slice percentage.
+    pub measured_valid_pct: f64,
+}
+
+/// Regenerated Tables III and IV.
+#[derive(Debug, Clone)]
+pub struct SlicingReport {
+    /// Generation scale.
+    pub scale: ExperimentScale,
+    /// One row per dataset, paper order.
+    pub rows: Vec<SlicingRow>,
+}
+
+/// Measures valid-slice data size (Table III) and valid-slice percentage
+/// (Table IV) on every stand-in.
+///
+/// # Errors
+///
+/// Propagates generator and slicing failures.
+pub fn tables3_and_4(scale: ExperimentScale) -> Result<SlicingReport> {
+    let mut rows = Vec::with_capacity(TABLE_II.len());
+    for d in &TABLE_II {
+        let g = scale.synthesize(d)?;
+        let oriented = Orientation::Natural.orient(&g);
+        let matrix =
+            tcim_bitmatrix::SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64)?;
+        let stats = matrix.stats();
+        let paper = reported::paper_row(d.name).expect("every dataset has a paper row");
+        rows.push(SlicingRow {
+            dataset: d,
+            paper_mb: paper.valid_slice_mb,
+            measured_mib: stats.compressed_mib(),
+            paper_valid_pct: paper.valid_slice_pct,
+            measured_valid_pct: 100.0 * stats.valid_fraction(),
+        });
+    }
+    Ok(SlicingReport { scale, rows })
+}
+
+impl fmt::Display for SlicingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Tables III & IV: valid slice data size and percentage (|S| = 64, scale {})",
+            self.scale.scale
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>12} | {:>12} {:>12}",
+            "dataset", "MB (paper)", "MiB (ours)", "% (paper)", "% (ours)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>12.3} {:>12.3} | {:>12.3} {:>12.3}",
+                r.dataset.name, r.paper_mb, r.measured_mib, r.paper_valid_pct, r.measured_valid_pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table V — runtime comparison
+// ---------------------------------------------------------------------
+
+/// One regenerated Table V row.
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Row {
+    /// The paper's published row (CPU/GPU/FPGA/w-o-PIM/TCIM, full size).
+    pub paper: &'static PaperRow,
+    /// Our measured framework-flavoured CPU baseline (s, at scale).
+    pub cpu_s: f64,
+    /// Our measured sliced software path (s, at scale).
+    pub wo_pim_s: f64,
+    /// Our simulated TCIM runtime (s, at scale).
+    pub tcim_s: f64,
+    /// Triangles (same count from all three of our paths).
+    pub triangles: u64,
+}
+
+impl Table5Row {
+    /// Measured speedup of the sliced software path over the CPU baseline.
+    pub fn wo_pim_speedup(&self) -> f64 {
+        self.cpu_s / self.wo_pim_s
+    }
+
+    /// Simulated speedup of TCIM over the sliced software path.
+    pub fn tcim_speedup_vs_wo_pim(&self) -> f64 {
+        self.wo_pim_s / self.tcim_s
+    }
+}
+
+/// Regenerated Table V.
+#[derive(Debug, Clone)]
+pub struct Table5Report {
+    /// Generation scale.
+    pub scale: ExperimentScale,
+    /// One row per dataset, paper order.
+    pub rows: Vec<Table5Row>,
+}
+
+impl Table5Report {
+    /// Geometric-mean speedup of w/o PIM over CPU (paper: 53.7×).
+    pub fn mean_wo_pim_speedup(&self) -> f64 {
+        geo_mean(self.rows.iter().map(Table5Row::wo_pim_speedup))
+    }
+
+    /// Geometric-mean speedup of TCIM over w/o PIM (paper: 25.5×).
+    pub fn mean_tcim_speedup(&self) -> f64 {
+        geo_mean(self.rows.iter().map(Table5Row::tcim_speedup_vs_wo_pim))
+    }
+}
+
+fn geo_mean<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Runs all three of our paths (CPU baseline, sliced software, simulated
+/// TCIM) on every stand-in and assembles Table V.
+///
+/// # Errors
+///
+/// Propagates generation/characterization failures.
+pub fn table5(scale: ExperimentScale) -> Result<Table5Report> {
+    let acc = TcimAccelerator::new(&TcimConfig {
+        orientation: Orientation::Natural,
+        pim: scale.scaled_pim_config(),
+    })?;
+    let mut rows = Vec::with_capacity(TABLE_II.len());
+    for d in &TABLE_II {
+        let g = scale.synthesize(d)?;
+
+        let start = Instant::now();
+        let cpu_triangles = baseline::hash_intersect(&g);
+        let cpu_s = start.elapsed().as_secs_f64();
+
+        let sw = sliced_software_tc(&g, SliceSize::S64, Orientation::Natural, PopcountMethod::Native)?;
+        assert_eq!(sw.triangles, cpu_triangles, "software paths disagree on {}", d.name);
+
+        let report = acc.count_triangles(&g);
+        assert_eq!(report.triangles, cpu_triangles, "pim path disagrees on {}", d.name);
+
+        rows.push(Table5Row {
+            paper: reported::paper_row(d.name).expect("every dataset has a paper row"),
+            cpu_s,
+            wo_pim_s: sw.count_time.as_secs_f64(),
+            tcim_s: report.sim.total_time_s(),
+            triangles: cpu_triangles,
+        });
+    }
+    Ok(Table5Report { scale, rows })
+}
+
+impl fmt::Display for Table5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table V: runtime (s) — paper columns are full-size; ours run at scale {}",
+            self.scale.scale
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>9} {:>8} {:>8} {:>9} {:>8} | {:>10} {:>10} {:>10}",
+            "dataset", "CPU[p]", "GPU[p]", "FPGA[p]", "w/oPIM[p]", "TCIM[p]", "CPU", "w/o PIM", "TCIM"
+        )?;
+        for r in &self.rows {
+            let opt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "N/A".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<14} {:>9.3} {:>8} {:>8} {:>9.3} {:>8.3} | {:>10.4} {:>10.4} {:>10.4}",
+                r.paper.dataset,
+                r.paper.cpu_s,
+                opt(r.paper.gpu_s),
+                opt(r.paper.fpga_s),
+                r.paper.wo_pim_s,
+                r.paper.tcim_s,
+                r.cpu_s,
+                r.wo_pim_s,
+                r.tcim_s
+            )?;
+        }
+        writeln!(
+            f,
+            "geo-mean speedups: w/o PIM vs CPU {:.1}x (paper {:.1}x); TCIM vs w/o PIM {:.1}x (paper {:.1}x)",
+            self.mean_wo_pim_speedup(),
+            reported::headline::WO_PIM_VS_CPU,
+            self.mean_tcim_speedup(),
+            reported::headline::TCIM_VS_WO_PIM
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 — hit / miss / exchange
+// ---------------------------------------------------------------------
+
+/// One regenerated Fig. 5 bar.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// The catalog entry.
+    pub dataset: &'static Dataset,
+    /// Hit share of column-slice accesses.
+    pub hit: f64,
+    /// Miss share.
+    pub miss: f64,
+    /// Exchange share.
+    pub exchange: f64,
+}
+
+/// Regenerated Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Report {
+    /// Generation scale (buffer capacity scales along).
+    pub scale: ExperimentScale,
+    /// One row per dataset, paper order.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Report {
+    /// Mean hit rate across datasets (the paper reports 72 %).
+    pub fn mean_hit_rate(&self) -> f64 {
+        self.rows.iter().map(|r| r.hit).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Runs the accelerator on every stand-in (data buffer scaled with the
+/// graphs) and collects hit/miss/exchange shares.
+///
+/// # Errors
+///
+/// Propagates generation/characterization failures.
+pub fn fig5(scale: ExperimentScale) -> Result<Fig5Report> {
+    let acc = TcimAccelerator::new(&TcimConfig {
+        orientation: Orientation::Natural,
+        pim: scale.scaled_pim_config(),
+    })?;
+    let mut rows = Vec::with_capacity(TABLE_II.len());
+    for d in &TABLE_II {
+        let g = scale.synthesize(d)?;
+        let report = acc.count_triangles(&g);
+        rows.push(Fig5Row {
+            dataset: d,
+            hit: report.sim.stats.hit_rate(),
+            miss: report.sim.stats.miss_rate(),
+            exchange: report.sim.stats.exchange_rate(),
+        });
+    }
+    Ok(Fig5Report { scale, rows })
+}
+
+impl fmt::Display for Fig5Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 5: percentages of data hit/miss/exchange (scale {})",
+            self.scale.scale
+        )?;
+        writeln!(f, "{:<14} {:>8} {:>8} {:>10}", "dataset", "hit %", "miss %", "exchange %")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>8.1} {:>8.1} {:>10.1}",
+                r.dataset.name,
+                100.0 * r.hit,
+                100.0 * r.miss,
+                100.0 * r.exchange
+            )?;
+        }
+        writeln!(
+            f,
+            "mean hit rate {:.1}% (paper: 72% average hit / 28% miss)",
+            100.0 * self.mean_hit_rate()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — energy vs FPGA
+// ---------------------------------------------------------------------
+
+/// One regenerated Fig. 6 bar (datasets with published FPGA numbers).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// The catalog entry.
+    pub dataset: &'static Dataset,
+    /// Simulated TCIM energy at this scale (J).
+    pub tcim_j: f64,
+    /// FPGA energy estimate at this scale (J): published runtime ×
+    /// assumed board power × scale.
+    pub fpga_j: f64,
+    /// Our energy ratio (FPGA / TCIM).
+    pub ratio: f64,
+    /// The paper's normalized ratio.
+    pub paper_ratio: f64,
+}
+
+/// Regenerated Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6Report {
+    /// Generation scale.
+    pub scale: ExperimentScale,
+    /// One row per dataset that has published FPGA numbers.
+    pub rows: Vec<Fig6Row>,
+}
+
+impl Fig6Report {
+    /// Geometric-mean energy advantage over the FPGA (paper: 20.6×).
+    pub fn mean_ratio(&self) -> f64 {
+        geo_mean(self.rows.iter().map(|r| r.ratio))
+    }
+}
+
+/// Simulates TCIM energy on the five Fig. 6 datasets and compares with
+/// the FPGA energy estimated from the published runtimes.
+///
+/// # Errors
+///
+/// Propagates generation/characterization failures.
+pub fn fig6(scale: ExperimentScale) -> Result<Fig6Report> {
+    let acc = TcimAccelerator::new(&TcimConfig {
+        orientation: Orientation::Natural,
+        pim: scale.scaled_pim_config(),
+    })?;
+    let mut rows = Vec::new();
+    for d in &TABLE_II {
+        let paper = reported::paper_row(d.name).expect("every dataset has a paper row");
+        let (Some(fpga_s), Some(paper_ratio)) = (paper.fpga_s, paper.fpga_energy_ratio) else {
+            continue;
+        };
+        let g = scale.synthesize(d)?;
+        let report = acc.count_triangles(&g);
+        let tcim_j = report.sim.total_energy_j();
+        // FPGA energy scales with runtime, which is roughly linear in the
+        // edge count; scale the published full-size runtime accordingly.
+        let fpga_j = fpga_s * reported::FPGA_POWER_W * scale.scale;
+        rows.push(Fig6Row { dataset: d, tcim_j, fpga_j, ratio: fpga_j / tcim_j, paper_ratio });
+    }
+    Ok(Fig6Report { scale, rows })
+}
+
+impl fmt::Display for Fig6Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 6: energy vs FPGA[3] at {} W board power (scale {})",
+            reported::FPGA_POWER_W, self.scale.scale
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>12} {:>12} {:>12}",
+            "dataset", "TCIM (J)", "FPGA (J)", "ratio", "paper ratio"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>12.3e} {:>12.3e} {:>12.1} {:>12.1}",
+                r.dataset.name, r.tcim_j, r.fpga_j, r.ratio, r.paper_ratio
+            )?;
+        }
+        writeln!(
+            f,
+            "geo-mean energy advantage {:.1}x (paper: {:.1}x)",
+            self.mean_ratio(),
+            reported::headline::ENERGY_VS_FPGA
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale { scale: 0.002, seed: 1 }
+    }
+
+    #[test]
+    fn table1_device_summary() {
+        let t = table1().unwrap();
+        assert!((t.cell.r_p_ohm - 625.0).abs() < 5.0);
+        assert!((t.thermal_stability - 142.0).abs() < 3.0);
+        assert!(t.and_margin_a > 0.0);
+        assert!(!t.to_string().is_empty());
+    }
+
+    #[test]
+    fn table2_has_nine_measured_rows() {
+        let t = table2(tiny()).unwrap();
+        assert_eq!(t.rows.len(), 9);
+        for r in &t.rows {
+            assert!(r.vertices >= 64);
+            assert!(r.edges > 0);
+        }
+        assert!(t.to_string().contains("ego-facebook"));
+    }
+
+    #[test]
+    fn tables3_and_4_sparsity_shape() {
+        let t = tables3_and_4(tiny()).unwrap();
+        assert_eq!(t.rows.len(), 9);
+        for r in &t.rows {
+            assert!(r.measured_mib > 0.0);
+            assert!(r.measured_valid_pct > 0.0 && r.measured_valid_pct < 100.0);
+        }
+        // The road networks must be far sparser than ego-facebook in valid
+        // slices, as in the paper (7 % vs 0.01 %).
+        let fb = t.rows.iter().find(|r| r.dataset.name == "ego-facebook").unwrap();
+        let pa = t.rows.iter().find(|r| r.dataset.name == "roadnet-pa").unwrap();
+        assert!(fb.measured_valid_pct > 5.0 * pa.measured_valid_pct);
+    }
+
+    #[test]
+    fn table5_ordering_holds() {
+        let t = table5(tiny()).unwrap();
+        assert_eq!(t.rows.len(), 9);
+        for r in &t.rows {
+            // Shape: TCIM < w/o PIM < CPU for every dataset.
+            assert!(r.tcim_s < r.wo_pim_s, "{}: tcim {} vs sw {}", r.paper.dataset, r.tcim_s, r.wo_pim_s);
+            assert!(r.wo_pim_s < r.cpu_s, "{}: sw {} vs cpu {}", r.paper.dataset, r.wo_pim_s, r.cpu_s);
+        }
+        assert!(t.mean_tcim_speedup() > 1.0);
+        assert!(t.mean_wo_pim_speedup() > 1.0);
+    }
+
+    #[test]
+    fn fig5_rates_are_probabilities() {
+        let t = fig5(tiny()).unwrap();
+        for r in &t.rows {
+            let sum = r.hit + r.miss + r.exchange;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {}", r.dataset.name, sum);
+        }
+        assert!(t.mean_hit_rate() > 0.3, "hit rate {}", t.mean_hit_rate());
+    }
+
+    #[test]
+    fn fig6_has_five_rows_with_positive_ratios() {
+        let t = fig6(tiny()).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert!(r.tcim_j > 0.0);
+            assert!(r.ratio > 1.0, "{}: ratio {}", r.dataset.name, r.ratio);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! TCIM: triangle counting with a processing-in-MRAM architecture.
+//!
+//! This crate is the public API of the TCIM reproduction (Wang et al.,
+//! DAC 2020). It ties the substrates together — graphs (`tcim-graph`),
+//! sliced bit matrices (`tcim-bitmatrix`), MTJ devices (`tcim-mtj`), the
+//! NVSim-style array model (`tcim-nvsim`) and the architecture simulator
+//! (`tcim-arch`) — behind one entry point, [`TcimAccelerator`], and
+//! provides everything the paper's evaluation compares against:
+//!
+//! * [`baseline`] — CPU triangle-counting algorithms: a deliberately
+//!   framework-flavoured hash-intersect baseline (the paper's Spark
+//!   GraphX column), merge-based edge iteration, the forward algorithm,
+//!   and a crossbeam-parallel variant.
+//! * [`software`] — the paper's "This Work w/o PIM" column: the same
+//!   slicing/reuse dataflow executed in software.
+//! * [`reported`] — runtimes and energy ratios quoted from the paper for
+//!   CPU/GPU/FPGA platforms that cannot be rerun here.
+//! * [`experiments`] — drivers that regenerate every table and figure.
+//! * [`metrics`] — graph metrics built on triangle counts (transitivity,
+//!   clustering coefficient).
+//! * [`verify`] — a one-call cross-check of all five counting paths.
+//! * [`ablations`] — structured drivers for the DESIGN.md §5 ablations,
+//!   with their findings pinned by tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tcim_core::{TcimAccelerator, TcimConfig};
+//! use tcim_graph::generators::classic;
+//!
+//! // The paper's Fig. 2 example graph: 2 triangles.
+//! let graph = classic::fig2_example();
+//! let accelerator = TcimAccelerator::new(&TcimConfig::default())?;
+//! let report = accelerator.count_triangles(&graph);
+//! assert_eq!(report.triangles, 2);
+//! println!("simulated runtime: {:.3e} s", report.sim.total_time_s());
+//! # Ok::<(), tcim_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+pub mod ablations;
+pub mod baseline;
+mod error;
+pub mod experiments;
+pub mod metrics;
+pub mod reported;
+pub mod software;
+pub mod verify;
+
+pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
+pub use error::{CoreError, Result};

@@ -1,0 +1,104 @@
+//! Graph metrics built on triangle counts — the applications the paper's
+//! introduction motivates (clustering coefficient, transitivity).
+
+use tcim_graph::CsrGraph;
+
+use crate::baseline::local_triangles;
+
+/// Number of wedges (paths of length two): `Σ_v C(deg(v), 2)`.
+pub fn wedge_count(g: &CsrGraph) -> u64 {
+    g.vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Global transitivity ratio `3·triangles / wedges` — the first metric
+/// the paper lists TC as a building block for.
+///
+/// Returns 0 for wedge-free graphs.
+///
+/// # Example
+///
+/// ```
+/// use tcim_core::metrics::transitivity;
+/// use tcim_graph::generators::classic;
+///
+/// // Every wedge of a complete graph closes.
+/// let k5 = classic::complete(5);
+/// assert!((transitivity(&k5, 10) - 1.0).abs() < 1e-12);
+/// ```
+pub fn transitivity(g: &CsrGraph, triangles: u64) -> f64 {
+    let wedges = wedge_count(g);
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition):
+/// mean over vertices of `triangles(v) / C(deg(v), 2)`, skipping
+/// degree-≤1 vertices per convention.
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    let local = local_triangles(g);
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for v in g.vertices() {
+        let d = g.degree(v) as u64;
+        if d >= 2 {
+            let wedges = d * (d - 1) / 2;
+            sum += local[v as usize] as f64 / wedges as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::generators::classic;
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = classic::complete(6);
+        assert!((transitivity(&g, classic::complete_triangles(6)) - 1.0).abs() < 1e-12);
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = classic::star(20);
+        assert_eq!(transitivity(&g, 0), 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn wedge_count_of_star() {
+        // Hub of degree n−1 contributes C(n−1, 2) wedges.
+        let g = classic::star(10);
+        assert_eq!(wedge_count(&g), 9 * 8 / 2);
+    }
+
+    #[test]
+    fn path_has_wedges_but_no_triangles() {
+        let g = classic::path(10);
+        assert_eq!(wedge_count(&g), 8); // 8 interior vertices of degree 2
+        assert_eq!(transitivity(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_zero() {
+        let g = CsrGraph::from_edges(0, []).unwrap();
+        assert_eq!(wedge_count(&g), 0);
+        assert_eq!(transitivity(&g, 0), 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

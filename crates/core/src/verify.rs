@@ -1,0 +1,157 @@
+//! Self-verification: run every counting path in the repository on one
+//! graph and cross-check them — the one-call version of the repository's
+//! verification strategy (DESIGN.md §7).
+//!
+//! Downstream users porting the crate to a new platform (or modifying
+//! the device model) can call [`cross_check`] on their own graphs to
+//! confirm the full stack still counts exactly.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use tcim_bitmatrix::popcount::PopcountMethod;
+use tcim_bitmatrix::SliceSize;
+use tcim_graph::{CsrGraph, Orientation};
+
+use crate::accelerator::{TcimAccelerator, TcimConfig};
+use crate::baseline;
+use crate::error::Result;
+use crate::software::sliced_software_tc;
+
+/// One path's verdict inside a [`CrossCheckReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathResult {
+    /// Human-readable path name.
+    pub name: &'static str,
+    /// The count this path produced.
+    pub triangles: u64,
+    /// Wall-clock time of the path (host time; for the PIM path this is
+    /// simulator time, not modelled accelerator time).
+    pub elapsed: Duration,
+}
+
+/// Outcome of a full cross-check run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossCheckReport {
+    /// Every path's count and timing.
+    pub paths: Vec<PathResult>,
+}
+
+impl CrossCheckReport {
+    /// Whether all paths agreed.
+    pub fn consistent(&self) -> bool {
+        self.paths.windows(2).all(|w| w[0].triangles == w[1].triangles)
+    }
+
+    /// The agreed count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the paths disagree — check [`CrossCheckReport::consistent`]
+    /// first, or rely on [`cross_check`] which already did.
+    pub fn triangles(&self) -> u64 {
+        assert!(self.consistent(), "counting paths disagree: {self}");
+        self.paths.first().map(|p| p.triangles).unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CrossCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cross-check ({}):", if self.consistent() { "consistent" } else { "INCONSISTENT" })?;
+        for p in &self.paths {
+            writeln!(f, "  {:<24} {:>12} triangles  ({:.3} ms)", p.name, p.triangles, p.elapsed.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs five independent counting implementations on `g` and verifies
+/// unanimity: hash-intersect, merge edge-iterator, the forward
+/// algorithm, the sliced software path (LUT popcount, degeneracy
+/// orientation), and the simulated PIM accelerator.
+///
+/// # Errors
+///
+/// Propagates characterization errors from the accelerator path. A count
+/// *disagreement* is not an error — it is reported in the returned
+/// struct so callers can inspect all values.
+///
+/// # Example
+///
+/// ```
+/// use tcim_core::verify::cross_check;
+/// use tcim_graph::generators::classic;
+///
+/// let report = cross_check(&classic::wheel(20))?;
+/// assert!(report.consistent());
+/// assert_eq!(report.triangles(), 19);
+/// # Ok::<(), tcim_core::CoreError>(())
+/// ```
+pub fn cross_check(g: &CsrGraph) -> Result<CrossCheckReport> {
+    let mut paths = Vec::with_capacity(5);
+    let mut timed = |name: &'static str, count: &mut dyn FnMut() -> u64| {
+        let start = Instant::now();
+        let triangles = count();
+        paths.push(PathResult { name, triangles, elapsed: start.elapsed() });
+    };
+
+    timed("hash-intersect", &mut || baseline::hash_intersect(g));
+    timed("edge-iterator (merge)", &mut || baseline::edge_iterator_merge(g));
+    timed("forward", &mut || baseline::forward(g));
+
+    let start = Instant::now();
+    let sw = sliced_software_tc(g, SliceSize::S64, Orientation::Degeneracy, PopcountMethod::Lut8)?;
+    paths.push(PathResult {
+        name: "sliced software (LUT)",
+        triangles: sw.triangles,
+        elapsed: start.elapsed(),
+    });
+
+    let accelerator = TcimAccelerator::new(&TcimConfig::default())?;
+    let start = Instant::now();
+    let report = accelerator.count_triangles(g);
+    paths.push(PathResult {
+        name: "TCIM (simulated)",
+        triangles: report.triangles,
+        elapsed: start.elapsed(),
+    });
+
+    Ok(CrossCheckReport { paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::generators::{classic, gnm};
+
+    #[test]
+    fn fig2_cross_checks_to_two() {
+        let report = cross_check(&classic::fig2_example()).unwrap();
+        assert!(report.consistent());
+        assert_eq!(report.triangles(), 2);
+        assert_eq!(report.paths.len(), 5);
+    }
+
+    #[test]
+    fn random_graph_cross_checks() {
+        let report = cross_check(&gnm(300, 2000, 17).unwrap()).unwrap();
+        assert!(report.consistent());
+    }
+
+    #[test]
+    fn display_lists_every_path() {
+        let report = cross_check(&classic::complete(8)).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("consistent"));
+        assert!(text.contains("forward"));
+        assert!(text.contains("TCIM"));
+    }
+
+    #[test]
+    fn empty_graph_reports_zero() {
+        let g = CsrGraph::from_edges(0, []).unwrap();
+        let report = cross_check(&g).unwrap();
+        assert!(report.consistent());
+        assert_eq!(report.triangles(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Connected components and the largest-component extraction that SNAP
+//! datasets conventionally apply (the paper's `com-*` graphs are the
+//! largest connected components of their crawls).
+
+use crate::csr::CsrGraph;
+
+/// Connected-component labelling of an undirected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` = component id of vertex `v` (ids are dense, 0-based,
+    /// assigned in order of first discovery).
+    labels: Vec<u32>,
+    /// Vertices per component, indexed by component id.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Labels the components of `g` with an iterative BFS.
+    pub fn find(g: &CsrGraph) -> Self {
+        let n = g.vertex_count();
+        let mut labels = vec![u32::MAX; n];
+        let mut sizes = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n as u32 {
+            if labels[start as usize] != u32::MAX {
+                continue;
+            }
+            let id = sizes.len() as u32;
+            let mut size = 0usize;
+            labels[start as usize] = id;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                size += 1;
+                for &w in g.neighbors(v) {
+                    if labels[w as usize] == u32::MAX {
+                        labels[w as usize] = id;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        Components { labels, sizes }
+    }
+
+    /// Number of components (an empty graph has zero).
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of bounds.
+    pub fn label(&self, v: u32) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Vertices in component `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of bounds.
+    pub fn size(&self, id: u32) -> usize {
+        self.sizes[id as usize]
+    }
+
+    /// Id of the largest component, or `None` for an empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        (0..self.sizes.len() as u32).max_by_key(|&id| self.sizes[id as usize])
+    }
+}
+
+/// Extracts the largest connected component of `g` as a new graph with
+/// densely renumbered vertices (discovery order) — the conventional SNAP
+/// preprocessing step.
+///
+/// Returns an empty graph when `g` is empty.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::components::largest_component;
+/// use tcim_graph::CsrGraph;
+///
+/// // A triangle plus an isolated edge.
+/// let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4)])?;
+/// let lcc = largest_component(&g);
+/// assert_eq!(lcc.vertex_count(), 3);
+/// assert_eq!(lcc.edge_count(), 3);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+pub fn largest_component(g: &CsrGraph) -> CsrGraph {
+    let components = Components::find(g);
+    let Some(target) = components.largest() else {
+        return CsrGraph::default();
+    };
+    // Dense renumbering of the surviving vertices.
+    let mut new_id = vec![u32::MAX; g.vertex_count()];
+    let mut next = 0u32;
+    for v in g.vertices() {
+        if components.label(v) == target {
+            new_id[v as usize] = next;
+            next += 1;
+        }
+    }
+    let edges = g
+        .edges()
+        .filter(|&(u, _)| components.label(u) == target)
+        .map(|(u, v)| (new_id[u as usize], new_id[v as usize]));
+    CsrGraph::from_edges(next as usize, edges).expect("renumbered ids are dense")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn connected_graph_is_one_component() {
+        let g = classic::wheel(9);
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.size(0), 9);
+        assert_eq!(c.largest(), Some(0));
+    }
+
+    #[test]
+    fn disjoint_pieces_are_separated() {
+        // Triangle (0,1,2), edge (3,4), isolated vertex 5.
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.label(0), c.label(2));
+        assert_ne!(c.label(0), c.label(3));
+        assert_eq!(c.size(c.label(5)), 1);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = CsrGraph::from_edges(7, [(0, 1), (1, 2), (2, 0), (0, 3), (5, 6)]).unwrap();
+        let lcc = largest_component(&g);
+        assert_eq!(lcc.vertex_count(), 4);
+        assert_eq!(lcc.edge_count(), 4);
+        // Triangle count is preserved inside the component.
+        let mut found = 0;
+        for u in lcc.vertices() {
+            for &v in lcc.neighbors(u) {
+                for &w in lcc.neighbors(v) {
+                    if v > u && w > v && lcc.has_edge(u, w) {
+                        found += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = CsrGraph::from_edges(0, []).unwrap();
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_form_singletons() {
+        let g = CsrGraph::from_edges(4, [(1, 2)]).unwrap();
+        let c = Components::find(&g);
+        assert_eq!(c.count(), 3);
+        let lcc = largest_component(&g);
+        assert_eq!(lcc.vertex_count(), 2);
+        assert_eq!(lcc.edge_count(), 1);
+    }
+}

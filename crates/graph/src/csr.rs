@@ -1,0 +1,257 @@
+//! Undirected simple graphs in compressed-sparse-row form.
+
+use std::fmt;
+
+use crate::error::{GraphError, Result};
+use crate::stats::DegreeStats;
+
+/// An undirected simple graph stored in CSR (compressed sparse row) form.
+///
+/// Construction deduplicates parallel edges, drops self-loops and sorts
+/// every neighbour list ascending, so downstream consumers (slicing,
+/// merge-based intersection) can rely on sorted adjacency. Both directions
+/// of every edge are stored; [`CsrGraph::edge_count`] reports *undirected*
+/// edges.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 3)])?;
+/// assert_eq!(g.edge_count(), 3);          // duplicate and self-loop dropped
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degree(3), 1);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists.
+    neighbors: Vec<u32>,
+    /// Number of undirected edges.
+    edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    ///
+    /// Self-loops are silently dropped (a simple graph has none, and the
+    /// SNAP files the paper uses contain a few); duplicate edges in either
+    /// direction are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfBounds`] if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut directed: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::VertexOutOfBounds { vertex: u64::from(u), count: n as u64 });
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfBounds { vertex: u64::from(v), count: n as u64 });
+            }
+            if u != v {
+                directed.push((u, v));
+                directed.push((v, u));
+            }
+        }
+        directed.sort_unstable();
+        directed.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &directed {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = directed.into_iter().map(|(_, v)| v).collect::<Vec<_>>();
+        let edges = neighbors.len() / 2;
+
+        Ok(CsrGraph { offsets, neighbors, edges })
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_count() == 0
+    }
+
+    /// The sorted neighbour list of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of bounds.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of bounds.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Returns `true` when the undirected edge `{u, v}` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is out of bounds.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over each undirected edge once, as `(min, max)` pairs in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.vertex_count() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = u32> {
+        0..self.vertex_count() as u32
+    }
+
+    /// Degree statistics (min/max/mean, histogram).
+    pub fn degree_stats(&self) -> DegreeStats {
+        DegreeStats::from_degrees(self.vertices().map(|v| self.degree(v)))
+    }
+
+    /// Relabels vertices by `perm` (new id = `perm[old id]`) and rebuilds
+    /// the CSR. Used by degree-based orientations to improve slice locality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabel(&self, perm: &[u32]) -> CsrGraph {
+        let n = self.vertex_count();
+        assert_eq!(perm.len(), n, "permutation length must equal vertex count");
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(!seen[p as usize], "perm must be a bijection");
+            seen[p as usize] = true;
+        }
+        let edges = self
+            .edges()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect::<Vec<_>>();
+        CsrGraph::from_edges(n, edges).expect("relabelled edges stay in bounds")
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrGraph(|V|={}, |E|={})",
+            self.vertex_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_deduplicated_csr() {
+        let g = CsrGraph::from_edges(5, [(3, 1), (1, 3), (0, 1), (1, 2), (1, 2)]).unwrap();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let g = CsrGraph::from_edges(3, [(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = CsrGraph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfBounds { vertex: 3, count: 3 }));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = CsrGraph::from_edges(4, [(2, 0)]).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn degree_sums_to_twice_edges() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, []).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        // Reverse the ids.
+        let r = g.relabel(&[3, 2, 1, 0]);
+        assert_eq!(r.edge_count(), 3);
+        assert!(r.has_edge(3, 2));
+        assert!(r.has_edge(2, 1));
+        assert!(r.has_edge(1, 0));
+        assert!(!r.has_edge(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn relabel_rejects_non_permutation() {
+        let g = CsrGraph::from_edges(2, [(0, 1)]).unwrap();
+        g.relabel(&[0, 0]);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", CsrGraph::default()).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for graph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised while building, generating or parsing graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was at or beyond the declared vertex count.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The declared vertex count.
+        count: u64,
+    },
+    /// A generator was asked for an impossible configuration, e.g. more
+    /// edges than a simple graph on `n` vertices can hold.
+    InvalidParameter {
+        /// Human-readable description of the rejected parameter.
+        reason: String,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The unparseable content.
+        content: String,
+    },
+    /// An underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, count } => {
+                write!(f, "vertex {vertex} out of bounds for graph with {count} vertices")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "unparseable edge list at line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfBounds { vertex: 7, count: 5 };
+        assert_eq!(e.to_string(), "vertex 7 out of bounds for graph with 5 vertices");
+        let e = GraphError::Parse { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,171 @@
+//! Erdős–Rényi random graphs.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+
+/// Uniform random graph `G(n, m)` with exactly `m` distinct edges.
+///
+/// Sampling is rejection-based over vertex pairs, which is efficient while
+/// `m` is well below `C(n, 2)` — always the case for the sparse graphs the
+/// paper evaluates.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `m` exceeds `C(n, 2)`.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::generators::gnm;
+///
+/// let g = gnm(100, 250, 42)?;
+/// assert_eq!(g.vertex_count(), 100);
+/// assert_eq!(g.edge_count(), 250);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+pub fn gnm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("m = {m} exceeds the C(n,2) = {max} possible edges"),
+        });
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            edges.push(key);
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+/// Bernoulli random graph `G(n, p)`: every pair independently with
+/// probability `p`, sampled via geometric skipping in `O(m)` expected time.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("probability p = {p} outside [0, 1]"),
+        });
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::new();
+    if p > 0.0 {
+        // Iterate pairs (u < v) with geometric jumps of mean 1/p.
+        let total_pairs = n as u64 * (n as u64 - 1) / 2;
+        let log_q = (1.0 - p).ln();
+        let mut idx: u64 = 0;
+        while idx < total_pairs {
+            if p >= 1.0 {
+                edges.push(pair_from_index(idx, n as u64));
+                idx += 1;
+                continue;
+            }
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (r.ln() / log_q).floor() as u64;
+            idx = idx.saturating_add(skip);
+            if idx >= total_pairs {
+                break;
+            }
+            edges.push(pair_from_index(idx, n as u64));
+            idx += 1;
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+/// Maps a linear index in `[0, C(n,2))` to the corresponding pair `(u, v)`
+/// with `u < v`, enumerating row by row.
+fn pair_from_index(idx: u64, n: u64) -> (u32, u32) {
+    // Row u owns (n - 1 - u) pairs. Walk rows arithmetically.
+    let mut u = 0u64;
+    let mut remaining = idx;
+    loop {
+        let row_len = n - 1 - u;
+        if remaining < row_len {
+            return (u as u32, (u + 1 + remaining) as u32);
+        }
+        remaining -= row_len;
+        u += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(50, 100, 1).unwrap();
+        assert_eq!(g.vertex_count(), 50);
+        assert_eq!(g.edge_count(), 100);
+    }
+
+    #[test]
+    fn gnm_deterministic_per_seed() {
+        let a = gnm(64, 128, 7).unwrap();
+        let b = gnm(64, 128, 7).unwrap();
+        let c = gnm(64, 128, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_rejects_too_many_edges() {
+        assert!(gnm(4, 7, 0).is_err()); // C(4,2) = 6
+        assert!(gnm(4, 6, 0).is_ok());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(30, 0.0, 0).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(30, 1.0, 0).unwrap();
+        assert_eq!(full.edge_count(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn gnp_rejects_bad_probability() {
+        assert!(gnp(10, -0.1, 0).is_err());
+        assert!(gnp(10, 1.1, 0).is_err());
+        assert!(gnp(10, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 3).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.edge_count() as f64;
+        // Within 10 standard deviations — essentially never flakes.
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!((actual - expected).abs() < 10.0 * sd, "actual {actual}, expected {expected}");
+    }
+
+    #[test]
+    fn pair_index_enumeration_is_bijective() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = pair_from_index(idx, n);
+            assert!(u < v);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+}

@@ -1,0 +1,151 @@
+//! Recursive-matrix (R-MAT) graphs, the Graph500 generator family.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+
+/// Quadrant probabilities of the R-MAT recursion.
+///
+/// The defaults are the Graph500 parameters `(a, b, c, d) =
+/// (0.57, 0.19, 0.19, 0.05)`, which produce the skewed, community-like
+/// structure typical of web and social graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+impl RmatParams {
+    /// Validates that the four probabilities are non-negative and sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] otherwise.
+    pub fn validate(&self) -> Result<()> {
+        let sum = self.a + self.b + self.c + self.d;
+        let all_nonneg = self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0;
+        if !all_nonneg || (sum - 1.0).abs() > 1e-9 {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("rmat probabilities must be ≥ 0 and sum to 1 (got sum {sum})"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// R-MAT graph on `2^scale` vertices with approximately `m` edges.
+///
+/// Each edge lands by descending `scale` levels of the recursive 2×2
+/// partition; duplicates and self-loops are dropped by the CSR
+/// constructor, so the realised edge count is slightly below `m` for dense
+/// corners — matching standard R-MAT practice.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for invalid probabilities or a
+/// scale that does not fit in `u32` vertex ids.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::generators::{rmat, RmatParams};
+///
+/// let g = rmat(10, 5000, RmatParams::default(), 42)?;
+/// assert_eq!(g.vertex_count(), 1024);
+/// // Duplicates collapse, so the realised count sits below the request.
+/// assert!(g.edge_count() > 3000);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Result<CsrGraph> {
+    params.validate()?;
+    if scale >= 31 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("scale {scale} too large for u32 vertex ids"),
+        });
+    }
+    let n = 1usize << scale;
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < params.a + params.b {
+                v |= 1;
+            } else if r < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(8, 1000, RmatParams::default(), 0).unwrap();
+        assert_eq!(g.vertex_count(), 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(9, 2000, RmatParams::default(), 4).unwrap();
+        let b = rmat(9, 2000, RmatParams::default(), 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let bad = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: -0.5 };
+        assert!(bad.validate().is_err());
+        assert!(rmat(4, 10, bad, 0).is_err());
+        let not_normalised = RmatParams { a: 0.5, b: 0.1, c: 0.1, d: 0.1 };
+        assert!(not_normalised.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_scale() {
+        assert!(rmat(31, 10, RmatParams::default(), 0).is_err());
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        let g = rmat(10, 8000, RmatParams::default(), 7).unwrap();
+        let stats = g.degree_stats();
+        assert!(stats.max as f64 > 4.0 * stats.mean, "{stats}");
+    }
+
+    #[test]
+    fn uniform_params_resemble_gnm() {
+        // a=b=c=d=0.25 is an unskewed random graph.
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let g = rmat(9, 3000, p, 1).unwrap();
+        let stats = g.degree_stats();
+        assert!(stats.max < 40, "uniform rmat should have no big hubs: {stats}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+
+/// Watts–Strogatz small-world graph: a ring lattice where every vertex
+/// connects to its `k` nearest neighbours (`k/2` on each side), with each
+/// edge rewired to a random endpoint with probability `beta`.
+///
+/// At `beta = 0` the lattice is maximally clustered (many triangles); at
+/// `beta = 1` it approaches a random graph. Used by the dataset catalog to
+/// tune clustering between the road-grid and social regimes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] when `k` is odd, `k >= n`, or
+/// `beta` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::generators::watts_strogatz;
+///
+/// let g = watts_strogatz(100, 6, 0.1, 42)?;
+/// assert_eq!(g.vertex_count(), 100);
+/// assert!(g.edge_count() <= 300);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGraph> {
+    if !k.is_multiple_of(2) || k == 0 || k >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("ring degree k = {k} must be even and 0 < k < n = {n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("rewiring probability beta = {beta} outside [0, 1]"),
+        });
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::with_capacity(n * k / 2);
+    for u in 0..n as u32 {
+        for hop in 1..=(k / 2) as u32 {
+            let v = (u + hop) % n as u32;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a uniform non-self target.
+                let mut t = rng.gen_range(0..n as u32);
+                while t == u {
+                    t = rng.gen_range(0..n as u32);
+                }
+                edges.push((u, t));
+            } else {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrewired_lattice_is_regular() {
+        let g = watts_strogatz(50, 4, 0.0, 0).unwrap();
+        assert_eq!(g.edge_count(), 100);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn rewiring_preserves_vertex_count() {
+        let g = watts_strogatz(80, 6, 0.5, 3).unwrap();
+        assert_eq!(g.vertex_count(), 80);
+        // Rewiring can collide, so edges ≤ n·k/2.
+        assert!(g.edge_count() <= 240);
+        assert!(g.edge_count() > 180);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err()); // odd k
+        assert!(watts_strogatz(10, 0, 0.1, 0).is_err());
+        assert!(watts_strogatz(10, 10, 0.1, 0).is_err());
+        assert!(watts_strogatz(10, 4, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            watts_strogatz(60, 4, 0.2, 11).unwrap(),
+            watts_strogatz(60, 4, 0.2, 11).unwrap()
+        );
+    }
+
+    #[test]
+    fn lattice_with_k4_has_triangles() {
+        // k = 4 ring lattice: each vertex forms a triangle with its two
+        // right neighbours, so triangles exist deterministically.
+        let g = watts_strogatz(30, 4, 0.0, 0).unwrap();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+    }
+}

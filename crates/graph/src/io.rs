@@ -1,0 +1,255 @@
+//! SNAP edge-list input/output.
+//!
+//! The paper's datasets come from the SNAP collection, distributed as
+//! whitespace-separated edge lists with `#`-prefixed comment lines. This
+//! module parses that format (so the real files drop in when available)
+//! and writes it back out (so synthetic stand-ins can be inspected with
+//! standard tooling).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+
+/// Reads a SNAP-format edge list: one `u v` pair per line, `#` comments,
+/// arbitrary whitespace, arbitrary (possibly sparse) vertex ids.
+///
+/// Vertex ids are remapped densely in first-appearance order, matching the
+/// usual preprocessing step for CSR construction. Self-loops and duplicate
+/// edges are dropped by the CSR builder.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines and [`GraphError::Io`]
+/// for read failures.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::io::read_snap_edges;
+///
+/// let text = "# tiny graph\n0\t1\n1\t2\n2\t0\n";
+/// let g = read_snap_edges(text.as_bytes())?;
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+pub fn read_snap_edges<R: Read>(reader: R) -> Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let intern = |raw: u64, ids: &mut HashMap<u64, u32>| -> u32 {
+        let next = ids.len() as u32;
+        *ids.entry(raw).or_insert(next)
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64> {
+            tok.and_then(|t| t.parse::<u64>().ok()).ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                content: trimmed.to_string(),
+            })
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                content: trimmed.to_string(),
+            });
+        }
+        let ui = intern(u, &mut ids);
+        let vi = intern(v, &mut ids);
+        edges.push((ui, vi));
+    }
+    CsrGraph::from_edges(ids.len(), edges)
+}
+
+/// Writes `g` as a SNAP-style edge list with a header comment. Each
+/// undirected edge appears once as `min\tmax`.
+///
+/// A `&mut` reference may be passed for the writer, matching the standard
+/// library's blanket `Write` impl for `&mut W`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failure.
+pub fn write_snap_edges<W: Write>(g: &CsrGraph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# Undirected graph: |V| = {}, |E| = {}",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
+    writeln!(writer, "# FromNodeId\tToNodeId")?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a MatrixMarket `coordinate` file as an undirected graph — the
+/// other common distribution format for the paper's datasets (SuiteSparse
+/// mirrors the SNAP graphs as `.mtx`).
+///
+/// Supports the `matrix coordinate pattern|integer|real
+/// general|symmetric` headers; entry values (if any) are ignored, since
+/// an adjacency matrix only needs the coordinates. Indices are 1-based
+/// per the format and converted to dense 0-based ids.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed headers or entries and
+/// [`GraphError::Io`] for read failures.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::io::read_matrix_market;
+///
+/// let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n";
+/// let g = read_matrix_market(text.as_bytes())?;
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>.
+    let (_, header) = lines.next().ok_or_else(|| GraphError::Parse {
+        line: 1,
+        content: "<empty file>".to_string(),
+    })?;
+    let header = header?;
+    let lowered = header.to_ascii_lowercase();
+    if !lowered.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(GraphError::Parse { line: 1, content: header });
+    }
+
+    // Size line: first non-comment line holds "rows cols entries".
+    let mut dims: Option<(usize, u64)> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = || GraphError::Parse { line: lineno + 1, content: trimmed.to_string() };
+        match dims {
+            None => {
+                let rows: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let cols: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let entries: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                dims = Some((rows.max(cols), entries));
+            }
+            Some(_) => {
+                let i: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let j: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                // Optional value column is ignored; 1-based → 0-based.
+                if i == 0 || j == 0 {
+                    return Err(parse_err());
+                }
+                edges.push((i as u32 - 1, j as u32 - 1));
+            }
+        }
+    }
+    let (n, _) = dims.ok_or_else(|| GraphError::Parse {
+        line: 2,
+        content: "<missing size line>".to_string(),
+    })?;
+    CsrGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_whitespace() {
+        let text = "# comment\n\n  3   7 \n7\t9\n# trailing\n9 3\n";
+        let g = read_snap_edges(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn remaps_sparse_ids_densely() {
+        let text = "1000000 2000000\n2000000 3000000\n";
+        let g = read_snap_edges(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["abc def\n", "1\n", "1 2 3\n", "1 x\n"] {
+            let err = read_snap_edges(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, GraphError::Parse { line: 1, .. }), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let g = crate::generators::classic::fig2_example();
+        let mut buf = Vec::new();
+        write_snap_edges(&g, &mut buf).unwrap();
+        let parsed = read_snap_edges(buf.as_slice()).unwrap();
+        assert_eq!(parsed.vertex_count(), g.vertex_count());
+        assert_eq!(parsed.edge_count(), g.edge_count());
+        // Edge-by-edge identical because ids appear in ascending order.
+        assert_eq!(parsed.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_snap_edges("".as_bytes()).unwrap();
+        assert!(g.is_empty());
+        let g = read_snap_edges("# only comments\n".as_bytes()).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn self_loops_dropped_like_snap_preprocessing() {
+        let g = read_snap_edges("5 5\n5 6\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn matrix_market_pattern_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n4 4 3\n2 1\n3 1\n4 3\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn matrix_market_with_values_ignores_them() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 0.5\n2 3 1.5\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix coordinate pattern general\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market("".as_bytes()).is_err());
+    }
+}

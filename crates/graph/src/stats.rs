@@ -1,0 +1,106 @@
+//! Degree statistics used by the dataset catalog and experiment reports.
+
+use std::fmt;
+
+/// Summary statistics over a graph's degree sequence.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)])?;
+/// let s = g.degree_stats();
+/// assert_eq!(s.max, 3);
+/// assert_eq!(s.min, 1);
+/// assert!((s.mean - 1.5).abs() < 1e-12);
+/// # Ok::<(), tcim_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Smallest degree (0 for an empty graph).
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of vertices with degree zero.
+    pub isolated: usize,
+    /// Number of vertices.
+    pub vertices: usize,
+}
+
+impl DegreeStats {
+    /// Computes statistics from a degree sequence.
+    pub fn from_degrees<I>(degrees: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut isolated = 0usize;
+        let mut vertices = 0usize;
+        for d in degrees {
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            vertices += 1;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if vertices == 0 {
+            min = 0;
+        }
+        DegreeStats {
+            min,
+            max,
+            mean: if vertices == 0 { 0.0 } else { sum as f64 / vertices as f64 },
+            isolated,
+            vertices,
+        }
+    }
+}
+
+impl fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degrees: min {} / mean {:.2} / max {} ({} isolated of {})",
+            self.min, self.mean, self.max, self.isolated, self.vertices
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sequence() {
+        let s = DegreeStats::from_degrees([]);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.vertices, 0);
+    }
+
+    #[test]
+    fn simple_sequence() {
+        let s = DegreeStats::from_degrees([0, 2, 4]);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.vertices, 3);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = DegreeStats::from_degrees([1, 2]);
+        let text = s.to_string();
+        assert!(text.contains("min 1"));
+        assert!(text.contains("max 2"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Brinkman tunnelling model for the MgO barrier.
+//!
+//! The paper's device level "jointly use\[s\] the Brinkman model and the LLG
+//! equation" (§V-A). The Brinkman–Dynes–Rowell model describes tunnelling
+//! through a trapezoidal barrier of mean height `φ`, asymmetry `Δφ` and
+//! thickness `d`:
+//!
+//! ```text
+//! G(V)/G(0) = 1 − (A₀·Δφ / 16·φ^{3/2})·eV + (9/128)·(A₀²/φ)·(eV)²
+//! A₀ = 4·d·√(2m*) / (3ħ)
+//! ```
+//!
+//! with the zero-bias conductance per unit area given by the standard
+//! practical form (`d` in Å, energies in eV, `m_r = m*/m_e`):
+//!
+//! ```text
+//! G(0) = 3.16×10¹⁰ · √(m_r·φ) / d · exp(−1.025·d·√(m_r·φ))   [Ω⁻¹·cm⁻²]
+//! ```
+//!
+//! Table I specifies the junction by `RA` product and thickness rather
+//! than barrier height, so [`BrinkmanModel::calibrated`] solves the
+//! inverse problem: find `φ` such that `1/G(0) = RA`.
+
+use crate::constants::{ELEMENTARY_CHARGE, ELECTRON_MASS, HBAR};
+use crate::error::{MtjError, Result};
+use crate::params::MtjParams;
+
+/// A calibrated Brinkman barrier model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrinkmanModel {
+    /// Mean barrier height `φ` in eV.
+    pub barrier_height_ev: f64,
+    /// Barrier asymmetry `Δφ` in eV (bottom vs. top electrode).
+    pub asymmetry_ev: f64,
+    /// Barrier thickness `d` in nm.
+    pub thickness_nm: f64,
+    /// Effective tunnelling mass ratio `m*/m_e` (0.4 is the accepted MgO
+    /// value).
+    pub effective_mass_ratio: f64,
+}
+
+impl BrinkmanModel {
+    /// Standard MgO effective-mass ratio.
+    pub const MGO_EFFECTIVE_MASS_RATIO: f64 = 0.4;
+
+    /// Default barrier asymmetry for a CoFeB/MgO/CoFeB stack, in eV.
+    pub const DEFAULT_ASYMMETRY_EV: f64 = 0.1;
+
+    /// Calibrates the barrier height so the zero-bias specific resistance
+    /// equals the Table I `RA` product at the Table I thickness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] when no barrier height in
+    /// `[0.01, 10]` eV reproduces the requested `RA` (unphysical inputs).
+    pub fn calibrated(params: &MtjParams) -> Result<Self> {
+        params.validate()?;
+        let d_nm = params.oxide_thickness_nm;
+        let target_g0_per_m2 = 1.0 / params.ra_product_ohm_m2; // Ω⁻¹·m⁻²
+        let m_r = Self::MGO_EFFECTIVE_MASS_RATIO;
+
+        // G(0) is monotone decreasing in φ once past its tiny-φ maximum;
+        // bracket and bisect on the decreasing branch.
+        let g0 = |phi_ev: f64| zero_bias_conductance_per_m2(phi_ev, d_nm, m_r);
+        let (mut lo, mut hi) = (0.01f64, 10.0f64);
+        // Move `lo` past the non-monotone toe if needed.
+        while g0(lo) < target_g0_per_m2 && lo < hi {
+            lo *= 1.5;
+        }
+        if g0(lo) < target_g0_per_m2 || g0(hi) > target_g0_per_m2 {
+            return Err(MtjError::InvalidParameter {
+                name: "ra_product_ohm_m2",
+                value: params.ra_product_ohm_m2,
+                requirement: "reachable by a 0.01–10 eV barrier at this thickness",
+            });
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if g0(mid) > target_g0_per_m2 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(BrinkmanModel {
+            barrier_height_ev: 0.5 * (lo + hi),
+            asymmetry_ev: Self::DEFAULT_ASYMMETRY_EV,
+            thickness_nm: d_nm,
+            effective_mass_ratio: m_r,
+        })
+    }
+
+    /// Zero-bias conductance per unit area in Ω⁻¹·m⁻².
+    pub fn zero_bias_conductance_per_m2(&self) -> f64 {
+        zero_bias_conductance_per_m2(
+            self.barrier_height_ev,
+            self.thickness_nm,
+            self.effective_mass_ratio,
+        )
+    }
+
+    /// The Brinkman bias-dependence factor `G(V)/G(0)`.
+    pub fn conductance_ratio(&self, bias_v: f64) -> f64 {
+        let phi_j = self.barrier_height_ev * ELEMENTARY_CHARGE;
+        let dphi_j = self.asymmetry_ev * ELEMENTARY_CHARGE;
+        let ev_j = bias_v * ELEMENTARY_CHARGE;
+        let d_m = self.thickness_nm * 1e-9;
+        let m_star = self.effective_mass_ratio * ELECTRON_MASS;
+        // A₀ = 4·d·√(2m*)/(3ħ), units J^(−1/2).
+        let a0 = 4.0 * d_m * (2.0 * m_star).sqrt() / (3.0 * HBAR);
+        let linear = a0 * dphi_j / (16.0 * phi_j.powf(1.5)) * ev_j;
+        let quadratic = 9.0 / 128.0 * a0 * a0 / phi_j * ev_j * ev_j;
+        1.0 - linear + quadratic
+    }
+
+    /// Parallel-state junction resistance at `bias_v`, in Ω, for a junction
+    /// of `area_m2`.
+    pub fn resistance_p_ohm(&self, area_m2: f64, bias_v: f64) -> f64 {
+        1.0 / (self.zero_bias_conductance_per_m2() * area_m2 * self.conductance_ratio(bias_v))
+    }
+
+    /// TMR roll-off with bias: `TMR(V) = TMR₀ / (1 + (V/V_h)²)` with the
+    /// conventional half-voltage `V_h = 0.5 V`.
+    pub fn tmr_at_bias(&self, tmr0: f64, bias_v: f64) -> f64 {
+        const V_HALF: f64 = 0.5;
+        tmr0 / (1.0 + (bias_v / V_HALF).powi(2))
+    }
+
+    /// Antiparallel-state resistance at `bias_v`:
+    /// `R_AP = R_P · (1 + TMR(V))`.
+    pub fn resistance_ap_ohm(&self, area_m2: f64, bias_v: f64, tmr0: f64) -> f64 {
+        self.resistance_p_ohm(area_m2, bias_v) * (1.0 + self.tmr_at_bias(tmr0, bias_v))
+    }
+}
+
+/// Practical Brinkman/Simmons zero-bias conductance (Ω⁻¹·m⁻²):
+/// `3.16e10·√(m_r φ)/d · exp(−1.025·d·√(m_r φ))` in Ω⁻¹·cm⁻² with `d` in Å,
+/// converted to SI.
+fn zero_bias_conductance_per_m2(phi_ev: f64, d_nm: f64, m_r: f64) -> f64 {
+    let d_angstrom = d_nm * 10.0;
+    let x = (m_r * phi_ev).sqrt();
+    let g_per_cm2 = 3.16e10 * x / d_angstrom * (-1.025 * d_angstrom * x).exp();
+    g_per_cm2 * 1.0e4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> BrinkmanModel {
+        BrinkmanModel::calibrated(&MtjParams::table_i()).unwrap()
+    }
+
+    #[test]
+    fn calibration_reproduces_ra_product() {
+        let p = MtjParams::table_i();
+        let m = model();
+        let ra = 1.0 / m.zero_bias_conductance_per_m2();
+        assert!(
+            (ra - p.ra_product_ohm_m2).abs() / p.ra_product_ohm_m2 < 1e-6,
+            "ra {ra:e}"
+        );
+    }
+
+    #[test]
+    fn calibrated_barrier_is_physically_plausible() {
+        let m = model();
+        // Effective MgO barrier fits at low RA land in the 0.1–1.5 eV range.
+        assert!(
+            m.barrier_height_ev > 0.05 && m.barrier_height_ev < 1.5,
+            "barrier {} eV",
+            m.barrier_height_ev
+        );
+    }
+
+    #[test]
+    fn r_p_matches_ra_over_area() {
+        let p = MtjParams::table_i();
+        let m = model();
+        let r_p = m.resistance_p_ohm(p.area_m2(), 0.0);
+        // RA / A = 1e-12 / 1.6e-15 = 625 Ω.
+        assert!((r_p - 625.0).abs() < 0.5, "r_p {r_p}");
+    }
+
+    #[test]
+    fn r_ap_is_twice_r_p_at_zero_bias() {
+        let p = MtjParams::table_i();
+        let m = model();
+        let r_p = m.resistance_p_ohm(p.area_m2(), 0.0);
+        let r_ap = m.resistance_ap_ohm(p.area_m2(), 0.0, p.tmr);
+        assert!((r_ap / r_p - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conductance_grows_with_bias_magnitude() {
+        let m = model();
+        let g0 = m.conductance_ratio(0.0);
+        assert!((g0 - 1.0).abs() < 1e-12);
+        // The quadratic term dominates at ±0.5 V: conductance rises.
+        assert!(m.conductance_ratio(0.5) > 1.0);
+        assert!(m.conductance_ratio(-0.5) > 1.0);
+    }
+
+    #[test]
+    fn asymmetry_skews_the_parabola() {
+        let m = model();
+        // Positive Δφ suppresses positive bias relative to negative bias.
+        assert!(m.conductance_ratio(-0.3) > m.conductance_ratio(0.3));
+        let symmetric = BrinkmanModel { asymmetry_ev: 0.0, ..m };
+        let diff =
+            (symmetric.conductance_ratio(0.3) - symmetric.conductance_ratio(-0.3)).abs();
+        assert!(diff < 1e-12);
+    }
+
+    #[test]
+    fn thicker_barrier_is_more_resistive() {
+        let m = model();
+        let thicker = BrinkmanModel { thickness_nm: m.thickness_nm + 0.2, ..m.clone() };
+        assert!(thicker.zero_bias_conductance_per_m2() < m.zero_bias_conductance_per_m2());
+    }
+
+    #[test]
+    fn tmr_rolls_off_with_bias() {
+        let m = model();
+        assert!((m.tmr_at_bias(1.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!((m.tmr_at_bias(1.0, 0.5) - 0.5).abs() < 1e-12);
+        assert!(m.tmr_at_bias(1.0, 0.25) > m.tmr_at_bias(1.0, 0.5));
+    }
+
+    #[test]
+    fn impossible_ra_is_rejected() {
+        let mut p = MtjParams::table_i();
+        p.ra_product_ohm_m2 = 1e-30; // far below any 0.82 nm barrier
+        assert!(BrinkmanModel::calibrated(&p).is_err());
+    }
+}

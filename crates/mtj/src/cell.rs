@@ -1,0 +1,183 @@
+//! Derived electrical characteristics of one 1T1R STT-MRAM bit-cell.
+
+use crate::brinkman::BrinkmanModel;
+use crate::error::Result;
+use crate::llg::LlgSolver;
+use crate::params::MtjParams;
+
+/// The electrical view of one MTJ bit-cell, derived from [`MtjParams`] by
+/// running the Brinkman model (resistances) and the LLG solver (switching
+/// latency) — the device-level half of the paper's co-simulation flow.
+///
+/// This struct is plain data so the NVSim-style array model can consume it
+/// without re-running the solvers.
+///
+/// # Example
+///
+/// ```
+/// use tcim_mtj::{MtjCell, MtjParams};
+///
+/// let cell = MtjCell::characterize(&MtjParams::table_i())?;
+/// assert!(cell.write_latency_s > 0.1e-9 && cell.write_latency_s < 50e-9);
+/// assert!(cell.read_current_p_a > cell.read_current_ap_a);
+/// # Ok::<(), tcim_mtj::MtjError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtjCell {
+    /// Parallel-state resistance at the read bias (Ω).
+    pub r_p_ohm: f64,
+    /// Antiparallel-state resistance at the read bias (Ω).
+    pub r_ap_ohm: f64,
+    /// Analytic critical switching current (A).
+    pub critical_current_a: f64,
+    /// Write current for the P→AP direction at the write voltage (A),
+    /// limited by the parallel-state resistance.
+    pub write_current_p2ap_a: f64,
+    /// Write current for the AP→P direction at the write voltage (A),
+    /// limited by the antiparallel-state resistance.
+    pub write_current_ap2p_a: f64,
+    /// Worst-case switching latency across both directions (s), from the
+    /// LLG solver.
+    pub write_latency_s: f64,
+    /// Worst-case write energy per bit (J): `V_write · I · t_switch`.
+    pub write_energy_j: f64,
+    /// Read current through a parallel cell at the read voltage (A).
+    pub read_current_p_a: f64,
+    /// Read current through an antiparallel cell at the read voltage (A).
+    pub read_current_ap_a: f64,
+    /// Thermal stability factor Δ.
+    pub thermal_stability: f64,
+    /// The parameters this cell was characterized from.
+    pub params: MtjParams,
+}
+
+impl MtjCell {
+    /// Runs the device-level co-simulation for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error for unphysical parameters, or a solver
+    /// error when the write voltage cannot switch the junction within the
+    /// LLG horizon (the cell would be unwritable).
+    pub fn characterize(params: &MtjParams) -> Result<Self> {
+        params.validate()?;
+        let brinkman = BrinkmanModel::calibrated(params)?;
+        let area = params.area_m2();
+
+        let r_p = brinkman.resistance_p_ohm(area, params.read_voltage_v);
+        let r_ap = brinkman.resistance_ap_ohm(area, params.read_voltage_v, params.tmr);
+
+        // Write currents are limited by the *initial* state's resistance at
+        // the (higher) write bias, where TMR has partially collapsed.
+        let r_p_write = brinkman.resistance_p_ohm(area, params.write_voltage_v);
+        let r_ap_write = brinkman.resistance_ap_ohm(area, params.write_voltage_v, params.tmr);
+        let i_p2ap = params.write_voltage_v / r_p_write;
+        let i_ap2p = params.write_voltage_v / r_ap_write;
+
+        let solver = LlgSolver::new(params)?;
+        let t_p2ap = solver
+            .switching_time_s(i_p2ap)
+            .ok_or(crate::error::MtjError::SolverDidNotConverge {
+                simulated_s: solver.max_time_s,
+            })?;
+        let t_ap2p = solver
+            .switching_time_s(i_ap2p)
+            .ok_or(crate::error::MtjError::SolverDidNotConverge {
+                simulated_s: solver.max_time_s,
+            })?;
+
+        let e_p2ap = params.write_voltage_v * i_p2ap * t_p2ap;
+        let e_ap2p = params.write_voltage_v * i_ap2p * t_ap2p;
+
+        Ok(MtjCell {
+            r_p_ohm: r_p,
+            r_ap_ohm: r_ap,
+            critical_current_a: solver.critical_current_a(),
+            write_current_p2ap_a: i_p2ap,
+            write_current_ap2p_a: i_ap2p,
+            write_latency_s: t_p2ap.max(t_ap2p),
+            write_energy_j: e_p2ap.max(e_ap2p),
+            read_current_p_a: params.read_voltage_v / r_p,
+            read_current_ap_a: params.read_voltage_v / r_ap,
+            thermal_stability: solver.thermal_stability(),
+            params: params.clone(),
+        })
+    }
+
+    /// TMR observed at the read bias: `R_AP/R_P − 1`.
+    pub fn tmr_at_read(&self) -> f64 {
+        self.r_ap_ohm / self.r_p_ohm - 1.0
+    }
+
+    /// Read-disturb safety factor: critical current over the largest read
+    /// current. Values well above 1 mean reads cannot flip the cell.
+    pub fn read_disturb_margin(&self) -> f64 {
+        self.critical_current_a / self.read_current_p_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> MtjCell {
+        MtjCell::characterize(&MtjParams::table_i()).unwrap()
+    }
+
+    #[test]
+    fn resistances_match_table_i_geometry() {
+        let c = cell();
+        // RA/A = 625 Ω; small read-bias correction allowed.
+        assert!((c.r_p_ohm - 625.0).abs() < 5.0, "r_p {}", c.r_p_ohm);
+        // TMR barely rolls off at 50 mV: R_AP/R_P stays near 2.
+        assert!(c.tmr_at_read() > 0.95, "tmr {}", c.tmr_at_read());
+    }
+
+    #[test]
+    fn write_currents_exceed_critical() {
+        let c = cell();
+        assert!(c.write_current_p2ap_a > c.critical_current_a);
+        assert!(c.write_current_ap2p_a > c.critical_current_a);
+        // P-state path carries more current than AP-state path.
+        assert!(c.write_current_p2ap_a > c.write_current_ap2p_a);
+    }
+
+    #[test]
+    fn write_latency_in_nanosecond_regime() {
+        let c = cell();
+        assert!(
+            c.write_latency_s > 0.1e-9 && c.write_latency_s < 20e-9,
+            "latency {:e}",
+            c.write_latency_s
+        );
+    }
+
+    #[test]
+    fn write_energy_in_sub_picojoule_regime() {
+        // STT-MRAM bit writes run 10 fJ – a few pJ.
+        let c = cell();
+        assert!(
+            c.write_energy_j > 1e-15 && c.write_energy_j < 5e-12,
+            "energy {:e}",
+            c.write_energy_j
+        );
+    }
+
+    #[test]
+    fn read_is_disturb_safe() {
+        let c = cell();
+        assert!(c.read_disturb_margin() > 1.5, "margin {}", c.read_disturb_margin());
+    }
+
+    #[test]
+    fn unwritable_cell_is_an_error() {
+        let mut p = MtjParams::table_i();
+        p.write_voltage_v = 0.01; // far below the switching threshold
+        assert!(MtjCell::characterize(&p).is_err());
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        assert_eq!(cell(), cell());
+    }
+}

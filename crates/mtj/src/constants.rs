@@ -1,0 +1,44 @@
+//! Physical constants (SI units) used across the device models.
+
+/// Elementary charge `e` in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Reduced Planck constant `ħ` in J·s.
+pub const HBAR: f64 = 1.054_571_817e-34;
+
+/// Boltzmann constant `k_B` in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Vacuum permeability `μ0` in T·m/A.
+pub const MU_0: f64 = 1.256_637_062e-6;
+
+/// Electron mass `m_e` in kg.
+pub const ELECTRON_MASS: f64 = 9.109_383_701_5e-31;
+
+/// Gyromagnetic ratio `γ` in rad/(s·T); `γ0 = μ0·γ` converts A/m fields
+/// to precession rates.
+pub const GYROMAGNETIC_RATIO: f64 = 1.760_859_630e11;
+
+/// `γ0 = μ0 · γ` in m/(A·s): precession rate per unit field in A/m.
+pub const GAMMA_0: f64 = MU_0 * GYROMAGNETIC_RATIO;
+
+/// Electron-volt in joules.
+pub const ELECTRON_VOLT: f64 = ELEMENTARY_CHARGE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma0_magnitude() {
+        // γ0 ≈ 2.213 × 10^5 m/(A·s), the standard LLG prefactor.
+        assert!((GAMMA_0 - 2.213e5).abs() / 2.213e5 < 1e-3);
+    }
+
+    #[test]
+    fn thermal_energy_at_room_temperature() {
+        let kt = BOLTZMANN * 300.0;
+        // kT ≈ 25.9 meV at 300 K.
+        assert!((kt / ELECTRON_VOLT - 0.0259).abs() < 5e-4);
+    }
+}

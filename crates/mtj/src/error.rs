@@ -1,0 +1,65 @@
+//! Error type for the device models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MtjError>;
+
+/// Errors raised by device-parameter validation and solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MtjError {
+    /// A physical parameter was non-positive or otherwise unphysical.
+    InvalidParameter {
+        /// Parameter name as it appears in [`crate::MtjParams`].
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// What the parameter must satisfy.
+        requirement: &'static str,
+    },
+    /// The LLG integration hit its step budget without the magnetization
+    /// settling or switching.
+    SolverDidNotConverge {
+        /// Simulated time reached, in seconds.
+        simulated_s: f64,
+    },
+}
+
+impl fmt::Display for MtjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtjError::InvalidParameter { name, value, requirement } => {
+                write!(f, "invalid parameter {name} = {value}: must be {requirement}")
+            }
+            MtjError::SolverDidNotConverge { simulated_s } => {
+                write!(f, "llg solver did not converge after {simulated_s:.3e} s")
+            }
+        }
+    }
+}
+
+impl Error for MtjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MtjError::InvalidParameter {
+            name: "tmr",
+            value: -1.0,
+            requirement: "positive",
+        };
+        assert!(e.to_string().contains("tmr"));
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MtjError>();
+    }
+}

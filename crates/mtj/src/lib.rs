@@ -1,0 +1,55 @@
+//! MTJ device-level models for the TCIM reproduction.
+//!
+//! The paper characterizes its computational STT-MRAM cell "jointly
+//! us\[ing\] the Brinkman model and Landau–Lifshitz–Gilbert (LLG) equation"
+//! (§V-A) with the parameters of Table I. This crate reimplements that
+//! device level:
+//!
+//! * [`MtjParams`] — Table I verbatim, plus the handful of standard
+//!   quantities the paper leaves implicit (free-layer thickness, spin
+//!   polarization via Julliere's relation).
+//! * [`brinkman`] — the Brinkman–Dynes–Rowell tunnelling model giving the
+//!   junction's voltage-dependent conductance and `R_P`/`R_AP`.
+//! * [`llg`] — a macrospin LLG solver with the Slonczewski spin-transfer
+//!   torque term (RK4), yielding switching trajectories, switching time
+//!   vs. write current, and the critical current.
+//! * [`MtjCell`] — the derived electrical view: resistances, critical
+//!   current, read/write latency and energy. This is what the NVSim-style
+//!   array model consumes.
+//! * [`sense`] — sense-amplifier reference design for both READ
+//!   (`R_ref ∈ (R_P, R_AP)`) and the 2-row AND mode
+//!   (`R_ref-AND ∈ (R_P∥P, R_P∥AP)`, Fig. 4), with margin analysis.
+//! * [`variation`] — Monte-Carlo process/thermal variation on the sense
+//!   margins.
+//! * [`sot`] — the spin-orbit-torque (SHE) assisted write option implied
+//!   by Table I's spin Hall angle, compared head-to-head with STT.
+//!
+//! # Example
+//!
+//! ```
+//! use tcim_mtj::{MtjCell, MtjParams};
+//!
+//! let cell = MtjCell::characterize(&MtjParams::table_i())?;
+//! // RA = 10 Ω·µm² over a 40 nm × 40 nm junction → R_P = 625 Ω.
+//! assert!((cell.r_p_ohm - 625.0).abs() < 1.0);
+//! // TMR = 100 % → R_AP ≈ 2 · R_P (slight roll-off at the 50 mV read bias).
+//! assert!((cell.r_ap_ohm - 1250.0).abs() < 15.0);
+//! # Ok::<(), tcim_mtj::MtjError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brinkman;
+mod cell;
+pub mod constants;
+mod error;
+pub mod llg;
+mod params;
+pub mod sense;
+pub mod sot;
+pub mod variation;
+
+pub use cell::MtjCell;
+pub use error::{MtjError, Result};
+pub use params::MtjParams;

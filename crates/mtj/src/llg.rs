@@ -1,0 +1,385 @@
+//! Macrospin Landau–Lifshitz–Gilbert dynamics with spin-transfer torque.
+//!
+//! The paper characterizes MTJ switching with the LLG equation (§V-A).
+//! This module integrates the macrospin LLG with the Slonczewski
+//! damping-like torque using a fixed-step RK4 scheme:
+//!
+//! ```text
+//! dm/dt = −γ₀/(1+α²) · [ m×H_eff + α·m×(m×H_eff) ]
+//!         −γ₀/(1+α²) · a_J · [ m×(m×p) − α·(m×p) ]
+//! a_J = ħ·P·J / (2·e·μ₀·M_s·t_f)          (spin-torque field, A/m)
+//! H_eff = H_k · m_z · ẑ                    (perpendicular anisotropy)
+//! ```
+//!
+//! From the same parameters the module derives the analytic critical
+//! current `I_c0 = 2·e·μ₀·M_s·t_f·A·α·H_k / (ħ·P)` and the thermal
+//! stability factor `Δ = μ₀·M_s·H_k·V / (2·k_B·T)`, both of which are
+//! cross-checked against the numerical solver in the test suite.
+
+use crate::constants::{BOLTZMANN, ELEMENTARY_CHARGE, GAMMA_0, HBAR, MU_0};
+use crate::error::{MtjError, Result};
+use crate::params::MtjParams;
+
+/// A 3-vector of magnetization direction cosines.
+pub type Vec3 = [f64; 3];
+
+fn cross(a: Vec3, b: Vec3) -> Vec3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn axpy(y: &mut Vec3, a: f64, x: Vec3) {
+    y[0] += a * x[0];
+    y[1] += a * x[1];
+    y[2] += a * x[2];
+}
+
+fn normalize(v: &mut Vec3) {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    if n > 0.0 {
+        v[0] /= n;
+        v[1] /= n;
+        v[2] /= n;
+    }
+}
+
+/// Outcome of a switching simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingResult {
+    /// Whether the magnetization reversed within the time budget.
+    pub switched: bool,
+    /// Time of reversal (s) when `switched`, else the simulated horizon.
+    pub time_s: f64,
+    /// Final magnetization direction.
+    pub final_m: Vec3,
+}
+
+/// Fixed-step RK4 integrator for the macrospin LLG+STT equation.
+///
+/// # Example
+///
+/// ```
+/// use tcim_mtj::llg::LlgSolver;
+/// use tcim_mtj::MtjParams;
+///
+/// let solver = LlgSolver::new(&MtjParams::table_i())?;
+/// let ic = solver.critical_current_a();
+/// // Twice the critical current switches within a few nanoseconds.
+/// let result = solver.simulate_switching(2.0 * ic);
+/// assert!(result.switched);
+/// assert!(result.time_s < 20e-9);
+/// # Ok::<(), tcim_mtj::MtjError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlgSolver {
+    params: MtjParams,
+    /// Integration step (s). Default 1 ps.
+    pub dt_s: f64,
+    /// Simulation horizon (s). Default 50 ns.
+    pub max_time_s: f64,
+}
+
+impl LlgSolver {
+    /// Creates a solver for the given device parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] when the parameters fail
+    /// validation.
+    pub fn new(params: &MtjParams) -> Result<Self> {
+        params.validate()?;
+        Ok(LlgSolver {
+            params: params.clone(),
+            dt_s: 1e-12,
+            max_time_s: 50e-9,
+        })
+    }
+
+    /// Spin-torque field `a_J` (A/m) produced by `current_a` through the
+    /// junction area.
+    pub fn spin_torque_field_a_per_m(&self, current_a: f64) -> f64 {
+        let p = &self.params;
+        let j = current_a / p.area_m2();
+        HBAR * p.spin_polarization() * j
+            / (2.0
+                * ELEMENTARY_CHARGE
+                * MU_0
+                * p.saturation_magnetization_a_per_m
+                * (p.free_layer_thickness_nm * 1e-9))
+    }
+
+    /// Analytic zero-temperature critical current
+    /// `I_c0 = 2·e·μ₀·M_s·t_f·A·α·H_k / (ħ·P)`.
+    pub fn critical_current_a(&self) -> f64 {
+        let p = &self.params;
+        2.0 * ELEMENTARY_CHARGE
+            * MU_0
+            * p.saturation_magnetization_a_per_m
+            * (p.free_layer_thickness_nm * 1e-9)
+            * p.area_m2()
+            * p.gilbert_damping
+            * p.anisotropy_field_a_per_m
+            / (HBAR * p.spin_polarization())
+    }
+
+    /// Thermal stability factor `Δ = μ₀·M_s·H_k·V / (2·k_B·T)`.
+    pub fn thermal_stability(&self) -> f64 {
+        let p = &self.params;
+        MU_0 * p.saturation_magnetization_a_per_m
+            * p.anisotropy_field_a_per_m
+            * p.free_layer_volume_m3()
+            / (2.0 * BOLTZMANN * p.temperature_k)
+    }
+
+    /// Expected retention time (s) via the Néel–Arrhenius law with the
+    /// conventional attempt time `τ₀ = 1 ns`.
+    pub fn retention_time_s(&self) -> f64 {
+        1e-9 * self.thermal_stability().exp()
+    }
+
+    /// Thermal equilibrium initial tilt `θ₀ = √(1 / 2Δ)` used as the
+    /// deterministic initial condition for switching runs.
+    pub fn initial_tilt_rad(&self) -> f64 {
+        (1.0 / (2.0 * self.thermal_stability())).sqrt()
+    }
+
+    /// One LLG right-hand side evaluation.
+    fn rhs(&self, m: Vec3, a_j: f64, p_dir: Vec3) -> Vec3 {
+        let prm = &self.params;
+        let alpha = prm.gilbert_damping;
+        let h_eff = [0.0, 0.0, prm.anisotropy_field_a_per_m * m[2]];
+
+        let m_x_h = cross(m, h_eff);
+        let m_x_m_x_h = cross(m, m_x_h);
+        let m_x_p = cross(m, p_dir);
+        let m_x_m_x_p = cross(m, m_x_p);
+
+        let pref = -GAMMA_0 / (1.0 + alpha * alpha);
+        let mut dm = [0.0, 0.0, 0.0];
+        axpy(&mut dm, pref, m_x_h);
+        axpy(&mut dm, pref * alpha, m_x_m_x_h);
+        axpy(&mut dm, pref * a_j, m_x_m_x_p);
+        axpy(&mut dm, -pref * alpha * a_j, m_x_p);
+        dm
+    }
+
+    /// Simulates a P→AP-style reversal: the free layer starts near `+ẑ`
+    /// (at the thermal tilt) and the spin polarization pushes it toward
+    /// `−ẑ`. Positive `current_a` drives the reversal.
+    pub fn simulate_switching(&self, current_a: f64) -> SwitchingResult {
+        self.simulate_switching_with_field(self.spin_torque_field_a_per_m(current_a))
+    }
+
+    /// Simulates a reversal driven by an explicit spin-torque field `a_J`
+    /// (A/m) regardless of how the spin current was generated — used by
+    /// the SOT-assisted write model, where the torque comes from the spin
+    /// Hall effect rather than tunnelling polarization.
+    pub fn simulate_switching_with_field(&self, a_j: f64) -> SwitchingResult {
+        let p_dir = [0.0, 0.0, -1.0];
+        let theta0 = self.initial_tilt_rad();
+        let mut m: Vec3 = [theta0.sin(), 0.0, theta0.cos()];
+        let dt = self.dt_s;
+        let steps = (self.max_time_s / dt).ceil() as usize;
+
+        for step in 0..steps {
+            // Classic RK4 with renormalization (unit-norm is an invariant
+            // of the continuous equation, not of the discrete one).
+            let k1 = self.rhs(m, a_j, p_dir);
+            let mut m2 = m;
+            axpy(&mut m2, dt / 2.0, k1);
+            let k2 = self.rhs(m2, a_j, p_dir);
+            let mut m3 = m;
+            axpy(&mut m3, dt / 2.0, k2);
+            let k3 = self.rhs(m3, a_j, p_dir);
+            let mut m4 = m;
+            axpy(&mut m4, dt, k3);
+            let k4 = self.rhs(m4, a_j, p_dir);
+
+            axpy(&mut m, dt / 6.0, k1);
+            axpy(&mut m, dt / 3.0, k2);
+            axpy(&mut m, dt / 3.0, k3);
+            axpy(&mut m, dt / 6.0, k4);
+            normalize(&mut m);
+
+            if m[2] < -0.9 {
+                return SwitchingResult {
+                    switched: true,
+                    time_s: (step + 1) as f64 * dt,
+                    final_m: m,
+                };
+            }
+        }
+        SwitchingResult {
+            switched: false,
+            time_s: self.max_time_s,
+            final_m: m,
+        }
+    }
+
+    /// Switching time (s) at `current_a`, or `None` when the current does
+    /// not switch within the horizon.
+    pub fn switching_time_s(&self, current_a: f64) -> Option<f64> {
+        let r = self.simulate_switching(current_a);
+        r.switched.then_some(r.time_s)
+    }
+
+    /// Samples the reversal trajectory at `samples` points for plotting:
+    /// returns `(time_s, m)` pairs including the initial state.
+    pub fn trajectory(&self, current_a: f64, samples: usize) -> Vec<(f64, Vec3)> {
+        let a_j = self.spin_torque_field_a_per_m(current_a);
+        let p_dir = [0.0, 0.0, -1.0];
+        let theta0 = self.initial_tilt_rad();
+        let mut m: Vec3 = [theta0.sin(), 0.0, theta0.cos()];
+        let dt = self.dt_s;
+        let steps = (self.max_time_s / dt).ceil() as usize;
+
+        // Record every step, then downsample: the reversal may finish long
+        // before the horizon, so a horizon-based stride would miss it.
+        let mut full = vec![(0.0, m)];
+        for step in 0..steps {
+            let k1 = self.rhs(m, a_j, p_dir);
+            let mut m2 = m;
+            axpy(&mut m2, dt / 2.0, k1);
+            let k2 = self.rhs(m2, a_j, p_dir);
+            let mut m3 = m;
+            axpy(&mut m3, dt / 2.0, k2);
+            let k3 = self.rhs(m3, a_j, p_dir);
+            let mut m4 = m;
+            axpy(&mut m4, dt, k3);
+            let k4 = self.rhs(m4, a_j, p_dir);
+            axpy(&mut m, dt / 6.0, k1);
+            axpy(&mut m, dt / 3.0, k2);
+            axpy(&mut m, dt / 3.0, k3);
+            axpy(&mut m, dt / 6.0, k4);
+            normalize(&mut m);
+            full.push(((step + 1) as f64 * dt, m));
+            if m[2] < -0.95 {
+                break;
+            }
+        }
+        let stride = (full.len() / samples.max(2)).max(1);
+        let last = *full.last().expect("trajectory holds the initial state");
+        let mut out: Vec<(f64, Vec3)> = full.into_iter().step_by(stride).collect();
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        out
+    }
+
+    /// Numerically locates the switching threshold by bisecting the
+    /// smallest current (within `tolerance_ratio`) that switches inside
+    /// the solver horizon. Used to validate the analytic
+    /// [`LlgSolver::critical_current_a`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::SolverDidNotConverge`] when even `8 × I_c0`
+    /// fails to switch (a symptom of a broken parameter set).
+    pub fn numeric_critical_current_a(&self, tolerance_ratio: f64) -> Result<f64> {
+        let ic0 = self.critical_current_a();
+        let mut hi = 8.0 * ic0;
+        if !self.simulate_switching(hi).switched {
+            return Err(MtjError::SolverDidNotConverge {
+                simulated_s: self.max_time_s,
+            });
+        }
+        let mut lo = 0.0;
+        while (hi - lo) / ic0 > tolerance_ratio {
+            let mid = 0.5 * (lo + hi);
+            if self.simulate_switching(mid).switched {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> LlgSolver {
+        LlgSolver::new(&MtjParams::table_i()).unwrap()
+    }
+
+    #[test]
+    fn analytic_critical_current_magnitude() {
+        // Hand calculation for Table I: ≈ 186 µA.
+        let ic = solver().critical_current_a();
+        assert!((ic - 185.7e-6).abs() / 185.7e-6 < 0.01, "ic = {ic:e}");
+    }
+
+    #[test]
+    fn thermal_stability_for_table_i() {
+        // Δ = μ0·Ms·Hk·V / 2kT ≈ 142 for Table I.
+        let delta = solver().thermal_stability();
+        assert!((delta - 142.0).abs() < 2.0, "delta = {delta}");
+        // Retention is astronomically long at this Δ — just check > 10 y.
+        assert!(solver().retention_time_s() > 10.0 * 3.15e7);
+    }
+
+    #[test]
+    fn above_critical_switches_below_does_not() {
+        let s = solver();
+        let ic = s.critical_current_a();
+        assert!(s.simulate_switching(1.5 * ic).switched);
+        assert!(!s.simulate_switching(0.5 * ic).switched);
+        assert!(s.switching_time_s(0.5 * ic).is_none());
+    }
+
+    #[test]
+    fn switching_time_decreases_with_overdrive() {
+        let s = solver();
+        let ic = s.critical_current_a();
+        let t2 = s.switching_time_s(2.0 * ic).unwrap();
+        let t3 = s.switching_time_s(3.0 * ic).unwrap();
+        let t4 = s.switching_time_s(4.0 * ic).unwrap();
+        assert!(t2 > t3 && t3 > t4, "t2 {t2:e}, t3 {t3:e}, t4 {t4:e}");
+        // Nanosecond regime at practical overdrives.
+        assert!(t2 < 20e-9 && t4 > 0.1e-9);
+    }
+
+    #[test]
+    fn numeric_threshold_matches_analytic() {
+        let s = solver();
+        let analytic = s.critical_current_a();
+        let numeric = s.numeric_critical_current_a(0.05).unwrap();
+        // Finite-horizon bisection lands near (and slightly above) I_c0.
+        let ratio = numeric / analytic;
+        assert!((0.9..2.0).contains(&ratio), "numeric/analytic = {ratio}");
+    }
+
+    #[test]
+    fn trajectory_is_unit_norm_and_reverses() {
+        let s = solver();
+        let ic = s.critical_current_a();
+        let traj = s.trajectory(3.0 * ic, 64);
+        assert!(traj.len() > 2);
+        for (_, m) in &traj {
+            let n = (m[0] * m[0] + m[1] * m[1] + m[2] * m[2]).sqrt();
+            assert!((n - 1.0).abs() < 1e-9, "norm drifted to {n}");
+        }
+        assert!(traj.first().unwrap().1[2] > 0.99);
+        assert!(traj.last().unwrap().1[2] < -0.9);
+    }
+
+    #[test]
+    fn spin_torque_field_scales_linearly_with_current() {
+        let s = solver();
+        let a1 = s.spin_torque_field_a_per_m(100e-6);
+        let a2 = s.spin_torque_field_a_per_m(200e-6);
+        assert!((a2 / a1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_params_rejected_at_construction() {
+        let mut p = MtjParams::table_i();
+        p.gilbert_damping = -0.1;
+        assert!(LlgSolver::new(&p).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Sense-amplifier reference design for READ and in-memory logic modes.
+//!
+//! The paper's Fig. 4 enhances the sense amplifier with an extra reference
+//! branch: `R_ref-READ ∈ (R_P, R_AP)` distinguishes the two states of one
+//! cell, while `R_ref-AND ∈ (R_P∥P, R_P∥AP)` evaluates a bitwise AND of two
+//! simultaneously-activated word lines — the key enabler of the TCIM
+//! kernel. This module computes those references, the current margins on
+//! either side, and the functional truth tables.
+//!
+//! Logic convention: logic `1` is the parallel (low-resistance,
+//! high-current) state, matching the paper's AND construction where only
+//! the `(1, 1)` combination must trip the high-current reference.
+
+use crate::cell::MtjCell;
+
+/// Sense margins around one reference: the currents of the two states to
+/// be distinguished and the placed reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseMargin {
+    /// Current of the logically-low side (A).
+    pub i_low_a: f64,
+    /// Current of the logically-high side (A).
+    pub i_high_a: f64,
+    /// The reference current (A).
+    pub i_ref_a: f64,
+    /// Worst-side margin: `min(i_high − i_ref, i_ref − i_low)` (A).
+    pub margin_a: f64,
+}
+
+/// Sense-amplifier model for one column of the computational array.
+///
+/// # Example
+///
+/// ```
+/// use tcim_mtj::sense::SenseAmp;
+/// use tcim_mtj::{MtjCell, MtjParams};
+///
+/// let cell = MtjCell::characterize(&MtjParams::table_i())?;
+/// let sa = SenseAmp::from_cell(&cell);
+///
+/// // AND truth table, evaluated through summed bit-line currents.
+/// assert!(sa.and_output(true, true));
+/// assert!(!sa.and_output(true, false));
+/// assert!(!sa.and_output(false, false));
+/// # Ok::<(), tcim_mtj::MtjError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseAmp {
+    v_read: f64,
+    r_p: f64,
+    r_ap: f64,
+}
+
+impl SenseAmp {
+    /// Builds the sense model from a characterized cell, sensing at the
+    /// cell's read voltage.
+    pub fn from_cell(cell: &MtjCell) -> Self {
+        SenseAmp {
+            v_read: cell.params.read_voltage_v,
+            r_p: cell.r_p_ohm,
+            r_ap: cell.r_ap_ohm,
+        }
+    }
+
+    /// Builds the sense model from explicit resistances (used by the
+    /// Monte-Carlo variation analysis).
+    pub fn from_resistances(v_read: f64, r_p: f64, r_ap: f64) -> Self {
+        SenseAmp { v_read, r_p, r_ap }
+    }
+
+    /// Current through a single cell storing `bit`.
+    pub fn cell_current_a(&self, bit: bool) -> f64 {
+        self.v_read / if bit { self.r_p } else { self.r_ap }
+    }
+
+    /// Summed current of two simultaneously activated cells — the Fig. 1
+    /// `I_i,k + I_j,k` quantity.
+    pub fn pair_current_a(&self, a: bool, b: bool) -> f64 {
+        self.cell_current_a(a) + self.cell_current_a(b)
+    }
+
+    /// READ reference and margins: the reference current sits midway
+    /// between `I_P` and `I_AP` (equivalently `R_ref-READ ∈ (R_P, R_AP)`).
+    pub fn read_margin(&self) -> SenseMargin {
+        let i_high = self.cell_current_a(true);
+        let i_low = self.cell_current_a(false);
+        let i_ref = 0.5 * (i_high + i_low);
+        SenseMargin {
+            i_low_a: i_low,
+            i_high_a: i_high,
+            i_ref_a: i_ref,
+            margin_a: (i_high - i_ref).min(i_ref - i_low),
+        }
+    }
+
+    /// AND reference and margins: distinguishes `(1,1)` (current `2·I_P`,
+    /// resistance `R_P∥P`) from `(1,0)` (current `I_P + I_AP`, resistance
+    /// `R_P∥AP`) — the paper's `R_ref-AND ∈ (R_P-P, R_P-AP)`.
+    pub fn and_margin(&self) -> SenseMargin {
+        let i_high = self.pair_current_a(true, true);
+        let i_low = self.pair_current_a(true, false);
+        let i_ref = 0.5 * (i_high + i_low);
+        SenseMargin {
+            i_low_a: i_low,
+            i_high_a: i_high,
+            i_ref_a: i_ref,
+            margin_a: (i_high - i_ref).min(i_ref - i_low),
+        }
+    }
+
+    /// OR reference and margins: distinguishes `(1,0)` from `(0,0)` — the
+    /// "various logic functions" extension the paper mentions for
+    /// different reference currents.
+    pub fn or_margin(&self) -> SenseMargin {
+        let i_high = self.pair_current_a(true, false);
+        let i_low = self.pair_current_a(false, false);
+        let i_ref = 0.5 * (i_high + i_low);
+        SenseMargin {
+            i_low_a: i_low,
+            i_high_a: i_high,
+            i_ref_a: i_ref,
+            margin_a: (i_high - i_ref).min(i_ref - i_low),
+        }
+    }
+
+    /// The AND reference expressed as a resistance, for comparison with the
+    /// paper's `R_ref-AND ∈ (R_P∥P, R_P∥AP)` placement.
+    pub fn and_reference_ohm(&self) -> f64 {
+        self.v_read / self.and_margin().i_ref_a
+    }
+
+    /// Functional single-cell READ through the reference.
+    pub fn read_output(&self, bit: bool) -> bool {
+        self.cell_current_a(bit) > self.read_margin().i_ref_a
+    }
+
+    /// Functional two-cell AND through the reference — the hardware path of
+    /// Equation (4).
+    pub fn and_output(&self, a: bool, b: bool) -> bool {
+        self.pair_current_a(a, b) > self.and_margin().i_ref_a
+    }
+
+    /// Functional two-cell OR through the lower reference.
+    pub fn or_output(&self, a: bool, b: bool) -> bool {
+        self.pair_current_a(a, b) > self.or_margin().i_ref_a
+    }
+
+    /// Functional two-cell NAND/NOR: the same sensing with the output
+    /// latch inverted — free in hardware, listed for completeness of the
+    /// paper's "various logic functions" claim.
+    pub fn nand_output(&self, a: bool, b: bool) -> bool {
+        !self.and_output(a, b)
+    }
+
+    /// See [`SenseAmp::nand_output`].
+    pub fn nor_output(&self, a: bool, b: bool) -> bool {
+        !self.or_output(a, b)
+    }
+
+    /// Functional two-cell XOR: `1` iff the summed current falls *between*
+    /// the OR and AND references (exactly one cell parallel). Requires
+    /// both reference branches — a two-comparator (or two-cycle) sense,
+    /// the standard in-memory XOR construction.
+    pub fn xor_output(&self, a: bool, b: bool) -> bool {
+        let i = self.pair_current_a(a, b);
+        i > self.or_margin().i_ref_a && i <= self.and_margin().i_ref_a
+    }
+
+    /// Summed current of three simultaneously activated cells
+    /// (three-row activation).
+    pub fn triple_current_a(&self, a: bool, b: bool, c: bool) -> f64 {
+        self.cell_current_a(a) + self.cell_current_a(b) + self.cell_current_a(c)
+    }
+
+    /// Majority-of-three reference and margins: distinguishes two ones
+    /// (`2·I_P + I_AP`) from one (`I_P + 2·I_AP`). Majority gates are the
+    /// building block of in-memory adders, extending the architecture
+    /// beyond the AND/BitCount kernel.
+    pub fn maj_margin(&self) -> SenseMargin {
+        let i_high = self.triple_current_a(true, true, false);
+        let i_low = self.triple_current_a(true, false, false);
+        let i_ref = 0.5 * (i_high + i_low);
+        SenseMargin {
+            i_low_a: i_low,
+            i_high_a: i_high,
+            i_ref_a: i_ref,
+            margin_a: (i_high - i_ref).min(i_ref - i_low),
+        }
+    }
+
+    /// Functional three-cell majority through the MAJ reference.
+    pub fn maj_output(&self, a: bool, b: bool, c: bool) -> bool {
+        self.triple_current_a(a, b, c) > self.maj_margin().i_ref_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MtjParams;
+
+    fn sa() -> SenseAmp {
+        SenseAmp::from_cell(&MtjCell::characterize(&MtjParams::table_i()).unwrap())
+    }
+
+    #[test]
+    fn read_truth_table() {
+        let sa = sa();
+        assert!(sa.read_output(true));
+        assert!(!sa.read_output(false));
+    }
+
+    #[test]
+    fn and_truth_table_all_four() {
+        let sa = sa();
+        assert!(sa.and_output(true, true));
+        assert!(!sa.and_output(true, false));
+        assert!(!sa.and_output(false, true));
+        assert!(!sa.and_output(false, false));
+    }
+
+    #[test]
+    fn or_truth_table_all_four() {
+        let sa = sa();
+        assert!(sa.or_output(true, true));
+        assert!(sa.or_output(true, false));
+        assert!(sa.or_output(false, true));
+        assert!(!sa.or_output(false, false));
+    }
+
+    #[test]
+    fn margins_are_positive_at_nominal_corner() {
+        let sa = sa();
+        assert!(sa.read_margin().margin_a > 0.0);
+        assert!(sa.and_margin().margin_a > 0.0);
+        assert!(sa.or_margin().margin_a > 0.0);
+    }
+
+    #[test]
+    fn and_reference_sits_between_parallel_combinations() {
+        let sa = sa();
+        let r_pp = sa.r_p / 2.0;
+        let r_pap = sa.r_p * sa.r_ap / (sa.r_p + sa.r_ap);
+        let r_ref = sa.and_reference_ohm();
+        assert!(r_pp < r_ref && r_ref < r_pap, "{r_pp} < {r_ref} < {r_pap}");
+    }
+
+    #[test]
+    fn and_margin_tighter_than_read_margin() {
+        // Two-cell sensing halves the distinguishable resistance gap, so
+        // the AND margin must be strictly smaller than the READ margin
+        // relative to its signal swing.
+        let sa = sa();
+        let read = sa.read_margin();
+        let and = sa.and_margin();
+        let read_rel = read.margin_a / read.i_high_a;
+        let and_rel = and.margin_a / and.i_high_a;
+        assert!(and_rel < read_rel, "and {and_rel} vs read {read_rel}");
+    }
+
+    #[test]
+    fn xor_truth_table_all_four() {
+        let sa = sa();
+        assert!(!sa.xor_output(true, true));
+        assert!(sa.xor_output(true, false));
+        assert!(sa.xor_output(false, true));
+        assert!(!sa.xor_output(false, false));
+    }
+
+    #[test]
+    fn nand_nor_truth_tables() {
+        let sa = sa();
+        assert!(!sa.nand_output(true, true));
+        assert!(sa.nand_output(true, false));
+        assert!(sa.nand_output(false, false));
+        assert!(!sa.nor_output(true, true));
+        assert!(!sa.nor_output(true, false));
+        assert!(sa.nor_output(false, false));
+    }
+
+    #[test]
+    fn majority_truth_table_all_eight() {
+        let sa = sa();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let expected = (u8::from(a) + u8::from(b) + u8::from(c)) >= 2;
+                    assert_eq!(sa.maj_output(a, b, c), expected, "maj({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maj_margin_is_tightest() {
+        // Three-row activation narrows the per-level gap further than
+        // two-row AND sensing.
+        let sa = sa();
+        let and_rel = sa.and_margin().margin_a / sa.and_margin().i_high_a;
+        let maj_rel = sa.maj_margin().margin_a / sa.maj_margin().i_high_a;
+        assert!(maj_rel < and_rel, "maj {maj_rel} vs and {and_rel}");
+    }
+
+    #[test]
+    fn degraded_tmr_shrinks_margins() {
+        let nominal = sa();
+        let degraded = SenseAmp::from_resistances(0.05, 625.0, 625.0 * 1.3);
+        assert!(degraded.and_margin().margin_a < nominal.and_margin().margin_a);
+        // Truth table still holds as long as R_AP > R_P.
+        assert!(degraded.and_output(true, true));
+        assert!(!degraded.and_output(true, false));
+    }
+}

@@ -1,0 +1,271 @@
+//! Spin-orbit-torque (SOT/SHE) assisted write — the reason Table I lists
+//! a spin Hall angle.
+//!
+//! The paper's Table I includes `Spin Hall Angle = 0.3`, the signature of
+//! a three-terminal cell option in which the write current flows through
+//! a heavy-metal strip *under* the free layer instead of through the
+//! tunnel barrier. The spin Hall effect converts the in-plane charge
+//! current into a perpendicular spin current with efficiency
+//!
+//! ```text
+//! a_J = ħ · θ_SH · J_HM / (2 · e · μ₀ · M_s · t_f)
+//! ```
+//!
+//! Two practical consequences, both modelled here:
+//!
+//! * the write path is the low-resistance heavy metal, so the voltage
+//!   and per-write energy drop and the barrier is never stressed;
+//! * the cell needs a second access transistor (2T1R), costing area.
+//!
+//! The magnetization dynamics are integrated by the same LLG solver as
+//! the STT path ([`crate::llg::LlgSolver::simulate_switching_with_field`]),
+//! so the two write mechanisms are compared on identical physics.
+
+use crate::cell::MtjCell;
+use crate::constants::{ELEMENTARY_CHARGE, HBAR, MU_0};
+use crate::error::{MtjError, Result};
+use crate::llg::LlgSolver;
+use crate::params::MtjParams;
+
+/// Geometry and material of the heavy-metal (e.g. β-W) write line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SotParams {
+    /// Heavy-metal strip thickness (nm). β-W lines run 3–5 nm.
+    pub heavy_metal_thickness_nm: f64,
+    /// Heavy-metal resistivity (Ω·m). β-W: ≈ 2 µΩ·m.
+    pub heavy_metal_resistivity_ohm_m: f64,
+    /// Strip length under the junction as a multiple of the MTJ length
+    /// (contacts on both sides).
+    pub strip_length_factor: f64,
+}
+
+impl Default for SotParams {
+    fn default() -> Self {
+        SotParams {
+            heavy_metal_thickness_nm: 3.0,
+            heavy_metal_resistivity_ohm_m: 2.0e-6,
+            strip_length_factor: 2.0,
+        }
+    }
+}
+
+/// Characterized SOT write path, comparable field-by-field with the STT
+/// quantities in [`MtjCell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotCharacteristics {
+    /// Resistance of the heavy-metal write line (Ω).
+    pub heavy_metal_resistance_ohm: f64,
+    /// Critical charge current through the strip (A).
+    pub critical_current_a: f64,
+    /// Write current at the configured write voltage (A).
+    pub write_current_a: f64,
+    /// Switching latency at that current, from the LLG solver (s).
+    pub write_latency_s: f64,
+    /// Write energy per bit: `I² · R_HM · t_switch` (J).
+    pub write_energy_j: f64,
+    /// Area factor relative to the 1T1R STT cell (the extra transistor).
+    pub cell_area_factor: f64,
+}
+
+/// The SOT-assisted write model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SotWriteModel {
+    mtj: MtjParams,
+    sot: SotParams,
+}
+
+impl SotWriteModel {
+    /// Builds the model from validated device parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::InvalidParameter`] for unphysical inputs
+    /// (including a zero spin Hall angle, which disables SOT entirely).
+    pub fn new(mtj: &MtjParams, sot: SotParams) -> Result<Self> {
+        mtj.validate()?;
+        if mtj.spin_hall_angle <= 0.0 {
+            return Err(MtjError::InvalidParameter {
+                name: "spin_hall_angle",
+                value: mtj.spin_hall_angle,
+                requirement: "positive for a SOT write path",
+            });
+        }
+        for (name, value) in [
+            ("heavy_metal_thickness_nm", sot.heavy_metal_thickness_nm),
+            ("heavy_metal_resistivity_ohm_m", sot.heavy_metal_resistivity_ohm_m),
+            ("strip_length_factor", sot.strip_length_factor),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(MtjError::InvalidParameter {
+                    name,
+                    value,
+                    requirement: "positive and finite",
+                });
+            }
+        }
+        Ok(SotWriteModel { mtj: mtj.clone(), sot })
+    }
+
+    /// Heavy-metal line resistance: `ρ·L / (w·t)`.
+    pub fn heavy_metal_resistance_ohm(&self) -> f64 {
+        let w = self.mtj.surface_width_nm * 1e-9;
+        let t = self.sot.heavy_metal_thickness_nm * 1e-9;
+        let l = self.mtj.surface_length_nm * 1e-9 * self.sot.strip_length_factor;
+        self.sot.heavy_metal_resistivity_ohm_m * l / (w * t)
+    }
+
+    /// Spin-torque field (A/m) produced by charge current `current_a`
+    /// through the strip cross-section.
+    pub fn spin_torque_field_a_per_m(&self, current_a: f64) -> f64 {
+        let w = self.mtj.surface_width_nm * 1e-9;
+        let t_hm = self.sot.heavy_metal_thickness_nm * 1e-9;
+        let j_hm = current_a / (w * t_hm);
+        HBAR * self.mtj.spin_hall_angle * j_hm
+            / (2.0
+                * ELEMENTARY_CHARGE
+                * MU_0
+                * self.mtj.saturation_magnetization_a_per_m
+                * (self.mtj.free_layer_thickness_nm * 1e-9))
+    }
+
+    /// Critical charge current: the current whose spin-torque field equals
+    /// the STT instability threshold `α·H_k` (same macrospin criterion as
+    /// the STT path, so the two mechanisms are directly comparable).
+    pub fn critical_current_a(&self) -> f64 {
+        let threshold = self.mtj.gilbert_damping * self.mtj.anisotropy_field_a_per_m;
+        // a_J is linear in current: invert at unit current.
+        threshold / self.spin_torque_field_a_per_m(1.0)
+    }
+
+    /// Runs the full SOT characterization at the cell's write voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MtjError::SolverDidNotConverge`] when the write voltage
+    /// cannot switch the free layer through the strip within the LLG
+    /// horizon.
+    pub fn characterize(&self) -> Result<SotCharacteristics> {
+        let r_hm = self.heavy_metal_resistance_ohm();
+        let write_current = self.mtj.write_voltage_v / r_hm;
+        let solver = LlgSolver::new(&self.mtj)?;
+        let a_j = self.spin_torque_field_a_per_m(write_current);
+        let result = solver.simulate_switching_with_field(a_j);
+        if !result.switched {
+            return Err(MtjError::SolverDidNotConverge { simulated_s: solver.max_time_s });
+        }
+        Ok(SotCharacteristics {
+            heavy_metal_resistance_ohm: r_hm,
+            critical_current_a: self.critical_current_a(),
+            write_current_a: write_current,
+            write_latency_s: result.time_s,
+            write_energy_j: write_current * write_current * r_hm * result.time_s,
+            // One extra (write) transistor over the 1T1R STT cell.
+            cell_area_factor: 1.5,
+        })
+    }
+}
+
+/// Side-by-side comparison of the two write mechanisms for one device.
+///
+/// # Errors
+///
+/// Propagates characterization failures from either path.
+///
+/// # Example
+///
+/// ```
+/// use tcim_mtj::sot::{compare_write_mechanisms, SotParams};
+/// use tcim_mtj::MtjParams;
+///
+/// let (stt, sot) = compare_write_mechanisms(&MtjParams::table_i(), SotParams::default())?;
+/// // The SHE path writes with less energy per bit …
+/// assert!(sot.write_energy_j < stt.write_energy_j);
+/// // … at the cost of cell area.
+/// assert!(sot.cell_area_factor > 1.0);
+/// # Ok::<(), tcim_mtj::MtjError>(())
+/// ```
+pub fn compare_write_mechanisms(
+    mtj: &MtjParams,
+    sot: SotParams,
+) -> Result<(MtjCell, SotCharacteristics)> {
+    let stt = MtjCell::characterize(mtj)?;
+    let sot = SotWriteModel::new(mtj, sot)?.characterize()?;
+    Ok((stt, sot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SotWriteModel {
+        SotWriteModel::new(&MtjParams::table_i(), SotParams::default()).unwrap()
+    }
+
+    #[test]
+    fn heavy_metal_resistance_magnitude() {
+        // ρL/(wt) = 2e-6 · 80e-9 / (40e-9 · 3e-9) ≈ 1.3 kΩ.
+        let r = model().heavy_metal_resistance_ohm();
+        assert!((r - 1333.0).abs() < 10.0, "r = {r}");
+    }
+
+    #[test]
+    fn sot_critical_current_lower_than_stt() {
+        // θ_SH = 0.3 over a thin strip injects spin more efficiently per
+        // ampere than tunnelling polarization P ≈ 0.58 through the MTJ:
+        // the charge current sees the small strip cross-section.
+        let sot = model();
+        let stt = LlgSolver::new(&MtjParams::table_i()).unwrap();
+        assert!(
+            sot.critical_current_a() < stt.critical_current_a(),
+            "sot {:e} vs stt {:e}",
+            sot.critical_current_a(),
+            stt.critical_current_a()
+        );
+    }
+
+    #[test]
+    fn characterization_is_consistent() {
+        let c = model().characterize().unwrap();
+        assert!(c.write_current_a > c.critical_current_a);
+        assert!(c.write_latency_s > 0.01e-9 && c.write_latency_s < 50e-9);
+        let expected_energy =
+            c.write_current_a * c.write_current_a * c.heavy_metal_resistance_ohm * c.write_latency_s;
+        assert!((c.write_energy_j - expected_energy).abs() < 1e-20);
+    }
+
+    #[test]
+    fn sot_beats_stt_on_energy() {
+        let (stt, sot) =
+            compare_write_mechanisms(&MtjParams::table_i(), SotParams::default()).unwrap();
+        assert!(
+            sot.write_energy_j < stt.write_energy_j,
+            "sot {:e} vs stt {:e}",
+            sot.write_energy_j,
+            stt.write_energy_j
+        );
+    }
+
+    #[test]
+    fn zero_hall_angle_is_rejected() {
+        let mut p = MtjParams::table_i();
+        p.spin_hall_angle = 0.0;
+        assert!(SotWriteModel::new(&p, SotParams::default()).is_err());
+    }
+
+    #[test]
+    fn bad_strip_geometry_is_rejected() {
+        let bad = SotParams { heavy_metal_thickness_nm: 0.0, ..SotParams::default() };
+        assert!(SotWriteModel::new(&MtjParams::table_i(), bad).is_err());
+    }
+
+    #[test]
+    fn torque_scales_with_hall_angle() {
+        let base = model().spin_torque_field_a_per_m(100e-6);
+        let mut p = MtjParams::table_i();
+        p.spin_hall_angle = 0.6;
+        let doubled = SotWriteModel::new(&p, SotParams::default())
+            .unwrap()
+            .spin_torque_field_a_per_m(100e-6);
+        assert!((doubled / base - 2.0).abs() < 1e-9);
+    }
+}

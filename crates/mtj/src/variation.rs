@@ -1,0 +1,184 @@
+//! Monte-Carlo process-variation analysis of the sense margins.
+//!
+//! Multi-row sensing (the AND mode) is the part of the paper's design most
+//! exposed to device variation: the `(1,1)` and `(1,0)` current levels are
+//! only `I_P − I_AP` apart, and resistance spread narrows that further.
+//! This module samples log-normal resistance variation per cell and
+//! reports functional yield for READ and AND sensing — the analysis a
+//! design team would run before trusting Fig. 4's reference placement.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::cell::MtjCell;
+use crate::sense::SenseAmp;
+
+/// Configuration for a variation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationConfig {
+    /// Relative resistance sigma (σ/µ) per cell; 3–5 % is typical for a
+    /// mature MTJ process.
+    pub resistance_sigma: f64,
+    /// Number of Monte-Carlo trials.
+    pub trials: usize,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for VariationConfig {
+    fn default() -> Self {
+        VariationConfig { resistance_sigma: 0.04, trials: 10_000, seed: 7 }
+    }
+}
+
+/// Result of a Monte-Carlo yield run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationReport {
+    /// Trials evaluated.
+    pub trials: usize,
+    /// Trials in which single-cell READ mis-classified either state.
+    pub read_failures: usize,
+    /// Trials in which two-cell AND mis-classified any input pair.
+    pub and_failures: usize,
+    /// Smallest AND margin observed across passing trials (A); negative
+    /// values appear only in failing trials and are excluded.
+    pub min_and_margin_a: f64,
+}
+
+impl VariationReport {
+    /// READ yield in `[0, 1]`.
+    pub fn read_yield(&self) -> f64 {
+        1.0 - self.read_failures as f64 / self.trials as f64
+    }
+
+    /// AND yield in `[0, 1]`.
+    pub fn and_yield(&self) -> f64 {
+        1.0 - self.and_failures as f64 / self.trials as f64
+    }
+}
+
+/// Runs the Monte-Carlo analysis for a characterized cell.
+///
+/// Every trial perturbs `R_P` and `R_AP` of two independent cells with
+/// multiplicative Gaussian noise and checks all truth-table entries
+/// against the *nominal* references — exactly the situation in silicon,
+/// where the reference branch cannot track per-cell variation.
+///
+/// # Panics
+///
+/// Panics if `config.trials` is zero.
+pub fn run_variation(cell: &MtjCell, config: &VariationConfig) -> VariationReport {
+    assert!(config.trials > 0, "variation run needs at least one trial");
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    let nominal = SenseAmp::from_cell(cell);
+    let read_ref = nominal.read_margin().i_ref_a;
+    let and_ref = nominal.and_margin().i_ref_a;
+    let v = cell.params.read_voltage_v;
+
+    let mut read_failures = 0usize;
+    let mut and_failures = 0usize;
+    let mut min_and_margin = f64::INFINITY;
+
+    for _ in 0..config.trials {
+        // Two independent cells (a row cell and a column cell).
+        let sample = |r: f64, rng: &mut ChaCha12Rng| -> f64 {
+            // Box–Muller keeps us off rand_distr (not in the offline set).
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+            r * (1.0 + config.resistance_sigma * z)
+        };
+        let r_p_a = sample(cell.r_p_ohm, &mut rng).max(1.0);
+        let r_ap_a = sample(cell.r_ap_ohm, &mut rng).max(1.0);
+        let r_p_b = sample(cell.r_p_ohm, &mut rng).max(1.0);
+        let r_ap_b = sample(cell.r_ap_ohm, &mut rng).max(1.0);
+
+        // READ check on cell A: both states must classify correctly.
+        let i_p = v / r_p_a;
+        let i_ap = v / r_ap_a;
+        if !(i_p > read_ref && i_ap <= read_ref) {
+            read_failures += 1;
+        }
+
+        // AND check across the four input pairs, using the appropriate
+        // per-cell state resistance.
+        let current = |bit_a: bool, bit_b: bool| -> f64 {
+            let ra = if bit_a { r_p_a } else { r_ap_a };
+            let rb = if bit_b { r_p_b } else { r_ap_b };
+            v / ra + v / rb
+        };
+        let i11 = current(true, true);
+        let worst_low = current(true, false).max(current(false, true));
+        let ok = i11 > and_ref && worst_low <= and_ref;
+        if ok {
+            min_and_margin = min_and_margin.min((i11 - and_ref).min(and_ref - worst_low));
+        } else {
+            and_failures += 1;
+        }
+    }
+
+    VariationReport {
+        trials: config.trials,
+        read_failures,
+        and_failures,
+        min_and_margin_a: if min_and_margin.is_finite() { min_and_margin } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MtjParams;
+
+    fn cell() -> MtjCell {
+        MtjCell::characterize(&MtjParams::table_i()).unwrap()
+    }
+
+    #[test]
+    fn zero_variation_yields_perfectly() {
+        let report = run_variation(
+            &cell(),
+            &VariationConfig { resistance_sigma: 0.0, trials: 100, seed: 1 },
+        );
+        assert_eq!(report.read_failures, 0);
+        assert_eq!(report.and_failures, 0);
+        assert!(report.min_and_margin_a > 0.0);
+    }
+
+    #[test]
+    fn nominal_sigma_keeps_high_yield() {
+        let report = run_variation(&cell(), &VariationConfig::default());
+        assert!(report.read_yield() > 0.999, "read yield {}", report.read_yield());
+        assert!(report.and_yield() > 0.95, "and yield {}", report.and_yield());
+    }
+
+    #[test]
+    fn extreme_sigma_degrades_and_before_read() {
+        let config = VariationConfig { resistance_sigma: 0.20, trials: 4_000, seed: 3 };
+        let report = run_variation(&cell(), &config);
+        assert!(
+            report.and_failures > report.read_failures,
+            "and {} vs read {}",
+            report.and_failures,
+            report.read_failures
+        );
+        assert!(report.and_yield() < 0.95);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_variation(&cell(), &VariationConfig::default());
+        let b = run_variation(&cell(), &VariationConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        run_variation(
+            &cell(),
+            &VariationConfig { resistance_sigma: 0.01, trials: 0, seed: 0 },
+        );
+    }
+}

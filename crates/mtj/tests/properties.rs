@@ -1,0 +1,101 @@
+//! Property-based tests of the device models: physical monotonicities
+//! and total functions over the parameter space.
+
+use proptest::prelude::*;
+use tcim_mtj::brinkman::BrinkmanModel;
+use tcim_mtj::llg::LlgSolver;
+use tcim_mtj::sense::SenseAmp;
+use tcim_mtj::MtjParams;
+
+/// Parameter perturbations within a physically plausible envelope around
+/// Table I.
+fn params_strategy() -> impl Strategy<Value = MtjParams> {
+    (
+        20.0..80.0f64,   // surface length nm
+        20.0..80.0f64,   // surface width nm
+        0.5..2.0f64,     // TMR
+        0.01..0.06f64,   // damping
+        2e5..8e5f64,     // anisotropy field
+        0.9..1.6f64,     // free layer thickness nm
+    )
+        .prop_map(|(l, w, tmr, alpha, hk, tf)| MtjParams {
+            surface_length_nm: l,
+            surface_width_nm: w,
+            tmr,
+            gilbert_damping: alpha,
+            anisotropy_field_a_per_m: hk,
+            free_layer_thickness_nm: tf,
+            ..MtjParams::table_i()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Julliere: polarization is strictly within (0, 1) for positive TMR.
+    #[test]
+    fn polarization_is_a_probability(p in params_strategy()) {
+        let pol = p.spin_polarization();
+        prop_assert!(pol > 0.0 && pol < 1.0, "P = {}", pol);
+    }
+
+    /// The analytic critical current grows with damping and anisotropy.
+    #[test]
+    fn critical_current_monotonicity(p in params_strategy()) {
+        let base = LlgSolver::new(&p).unwrap().critical_current_a();
+        let mut harder = p.clone();
+        harder.gilbert_damping *= 1.5;
+        harder.anisotropy_field_a_per_m *= 1.5;
+        let harder_ic = LlgSolver::new(&harder).unwrap().critical_current_a();
+        prop_assert!(harder_ic > base);
+    }
+
+    /// Brinkman calibration always reproduces the requested RA product.
+    #[test]
+    fn brinkman_calibration_inverts(p in params_strategy()) {
+        let model = BrinkmanModel::calibrated(&p).unwrap();
+        let ra = 1.0 / model.zero_bias_conductance_per_m2();
+        prop_assert!((ra - p.ra_product_ohm_m2).abs() / p.ra_product_ohm_m2 < 1e-6);
+    }
+
+    /// Sense truth tables hold across the whole parameter envelope as
+    /// long as the device has any TMR at all.
+    #[test]
+    fn logic_truth_tables_hold_everywhere(p in params_strategy()) {
+        let cell = tcim_mtj::MtjCell::characterize(&p).unwrap();
+        let sa = SenseAmp::from_cell(&cell);
+        for a in [false, true] {
+            for b in [false, true] {
+                prop_assert_eq!(sa.and_output(a, b), a && b);
+                prop_assert_eq!(sa.or_output(a, b), a || b);
+                prop_assert_eq!(sa.xor_output(a, b), a ^ b);
+                for c in [false, true] {
+                    let maj = (u8::from(a) + u8::from(b) + u8::from(c)) >= 2;
+                    prop_assert_eq!(sa.maj_output(a, b, c), maj);
+                }
+            }
+        }
+    }
+
+    /// Switching time decreases monotonically with overdrive.
+    #[test]
+    fn switching_time_monotone_in_current(p in params_strategy(), k in 1.5..3.0f64) {
+        let solver = LlgSolver::new(&p).unwrap();
+        let ic = solver.critical_current_a();
+        let slow = solver.switching_time_s(k * ic);
+        let fast = solver.switching_time_s(2.0 * k * ic);
+        if let (Some(slow), Some(fast)) = (slow, fast) {
+            prop_assert!(fast < slow, "fast {} vs slow {}", fast, slow);
+        }
+    }
+
+    /// Thermal stability scales linearly with volume.
+    #[test]
+    fn thermal_stability_scales_with_volume(p in params_strategy()) {
+        let base = LlgSolver::new(&p).unwrap().thermal_stability();
+        let mut doubled = p.clone();
+        doubled.free_layer_thickness_nm *= 2.0;
+        let double = LlgSolver::new(&doubled).unwrap().thermal_stability();
+        prop_assert!((double / base - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! The NVSim-style roll-up: per-operation latency/energy/area for the
+//! computational array.
+
+use tcim_mtj::MtjCell;
+
+use crate::error::Result;
+use crate::organization::ArrayOrganization;
+use crate::peripheral::{column_mux, row_decoder, sense_amps, write_drivers};
+use crate::tech::TechNode;
+use crate::wires::{bitline, htree_branch, wordline};
+
+/// Bit-line voltage-swing fraction under current-mode sensing: the line
+/// never swings rail to rail during a read/AND.
+const READ_BITLINE_SWING: f64 = 0.1;
+
+/// Characterized costs of every array operation the architecture needs.
+///
+/// Produced by [`ArrayModel::characterize`]; consumed by `tcim-arch` to
+/// cost Algorithm 1's slice loads and `AND`/`BitCount` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayCharacterization {
+    /// READ latency: decode → word line → bit line → sense (s).
+    pub read_latency_s: f64,
+    /// Two-row AND latency — a read-class operation with the AND
+    /// reference selected (s).
+    pub and_latency_s: f64,
+    /// WRITE latency: decode → word line → driver → MTJ switching (s).
+    pub write_latency_s: f64,
+    /// READ energy per sensed bit (J).
+    pub read_energy_per_bit_j: f64,
+    /// AND energy per sensed bit — two cells conduct simultaneously (J).
+    pub and_energy_per_bit_j: f64,
+    /// WRITE energy per bit, dominated by MTJ switching (J).
+    pub write_energy_per_bit_j: f64,
+    /// Fixed energy per row activation: decoder plus word line (J).
+    pub row_activation_energy_j: f64,
+    /// Global H-tree transfer energy per bit moved chip-wide (J).
+    pub htree_energy_per_bit_j: f64,
+    /// Global H-tree one-way latency (s).
+    pub htree_latency_s: f64,
+    /// Chip leakage power (W): peripheral CMOS only — MTJs are
+    /// non-volatile and leak nothing.
+    pub leakage_w: f64,
+    /// Total die area (mm²).
+    pub area_mm2: f64,
+    /// The organization this characterization describes.
+    pub organization: ArrayOrganization,
+}
+
+impl ArrayCharacterization {
+    /// Energy of one slice-pair AND across `slice_bits` sense amplifiers,
+    /// including the two row activations.
+    pub fn and_slice_energy_j(&self, slice_bits: u32) -> f64 {
+        2.0 * self.row_activation_energy_j + f64::from(slice_bits) * self.and_energy_per_bit_j
+    }
+
+    /// Energy of writing one `slice_bits`-wide slice into the array,
+    /// including its row activation and the H-tree transfer.
+    pub fn write_slice_energy_j(&self, slice_bits: u32) -> f64 {
+        self.row_activation_energy_j
+            + f64::from(slice_bits)
+                * (self.write_energy_per_bit_j + self.htree_energy_per_bit_j)
+    }
+
+    /// Energy of reading one `slice_bits`-wide slice out of the array.
+    pub fn read_slice_energy_j(&self, slice_bits: u32) -> f64 {
+        self.row_activation_energy_j
+            + f64::from(slice_bits)
+                * (self.read_energy_per_bit_j + self.htree_energy_per_bit_j)
+    }
+}
+
+/// Entry point of the array model.
+#[derive(Debug, Clone, Default)]
+pub struct ArrayModel {
+    /// Technology node; defaults to FreePDK45.
+    pub tech: TechNode,
+}
+
+impl ArrayModel {
+    /// Characterizes `org` built from `cell` devices at the default 45 nm
+    /// node — the paper's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an organization-validation error; the device inputs are
+    /// already validated by construction of [`MtjCell`].
+    pub fn characterize(cell: &MtjCell, org: &ArrayOrganization) -> Result<ArrayCharacterization> {
+        ArrayModel::default().characterize_with(cell, org)
+    }
+
+    /// Characterizes with an explicit technology node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NvsimError::InvalidOrganization`] when `org` fails
+    /// validation.
+    pub fn characterize_with(
+        &self,
+        cell: &MtjCell,
+        org: &ArrayOrganization,
+    ) -> Result<ArrayCharacterization> {
+        org.validate()?;
+        let tech = &self.tech;
+        let rows = org.rows_per_subarray;
+        let cols = org.cols_per_subarray;
+
+        let wl = wordline(tech, cols);
+        let bl = bitline(tech, rows);
+        let dec = row_decoder(tech, rows);
+        let mux = column_mux(tech, cols, cols);
+        // One extra reference branch: the AND reference of Fig. 4.
+        let sas = sense_amps(tech, cols, 1);
+        let drivers = write_drivers(tech, cols);
+
+        // --- Latency ---------------------------------------------------
+        let sense_path =
+            dec.latency_s + wl.elmore_delay_s() + bl.elmore_delay_s() + mux.latency_s + sas.latency_s;
+        // Multi-row activation drives both word lines in parallel; decode
+        // of the second address overlaps the first (two decoders per
+        // sub-array in the modified periphery), so AND adds no latency.
+        let read_latency = sense_path;
+        let and_latency = sense_path;
+        let write_latency =
+            dec.latency_s + wl.elmore_delay_s() + drivers.latency_s + cell.write_latency_s;
+
+        // --- Energy ----------------------------------------------------
+        // Cell conduction during sensing: I·V over the sense window.
+        let cell_read_e =
+            cell.read_current_p_a * cell.params.read_voltage_v * tech.sense_amp_latency_s;
+        let bl_read_e = bl.switch_energy_j(tech.vdd_v) * READ_BITLINE_SWING;
+        let read_energy_per_bit = tech.sense_amp_energy_j + bl_read_e + cell_read_e;
+        // AND: both selected cells conduct into the same sense node.
+        let and_energy_per_bit = tech.sense_amp_energy_j + bl_read_e + 2.0 * cell_read_e;
+        // WRITE: MTJ switching dominates; add the full-swing bit line and
+        // the driver logic.
+        let write_energy_per_bit = cell.write_energy_j
+            + bl.switch_energy_j(cell.params.write_voltage_v)
+            + 2.0 * tech.gate_energy_j;
+
+        let row_activation = dec.energy_j + wl.switch_energy_j(tech.vdd_v);
+
+        // --- Area ------------------------------------------------------
+        let cell_area = org.total_bits() as f64 * tech.cell_area_m2();
+        let per_subarray_peripherals =
+            dec.area_m2 + mux.area_m2 + sas.area_m2 + drivers.area_m2;
+        let peripheral_area = per_subarray_peripherals * org.total_subarrays() as f64;
+        // 20 % routing/controller overhead, the NVSim default assumption.
+        let area_m2 = (cell_area + peripheral_area) * 1.2;
+
+        // --- Global interconnect ----------------------------------------
+        let htree = htree_branch(tech, area_m2);
+        let htree_energy_per_bit = htree.switch_energy_j(tech.vdd_v);
+        let htree_latency = htree.elmore_delay_s();
+
+        Ok(ArrayCharacterization {
+            read_latency_s: read_latency,
+            and_latency_s: and_latency,
+            write_latency_s: write_latency,
+            read_energy_per_bit_j: read_energy_per_bit,
+            and_energy_per_bit_j: and_energy_per_bit,
+            write_energy_per_bit_j: write_energy_per_bit,
+            row_activation_energy_j: row_activation,
+            htree_energy_per_bit_j: htree_energy_per_bit,
+            htree_latency_s: htree_latency,
+            leakage_w: tech.subarray_leakage_w * org.total_subarrays() as f64,
+            area_mm2: area_m2 * 1e6,
+            organization: *org,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_mtj::MtjParams;
+
+    fn characterization() -> ArrayCharacterization {
+        let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
+        ArrayModel::characterize(&cell, &ArrayOrganization::tcim_16mb()).unwrap()
+    }
+
+    #[test]
+    fn read_class_latency_sub_5ns() {
+        let a = characterization();
+        assert!(a.read_latency_s > 0.1e-9 && a.read_latency_s < 5e-9, "{:e}", a.read_latency_s);
+        assert_eq!(a.read_latency_s, a.and_latency_s);
+    }
+
+    #[test]
+    fn write_slower_than_read() {
+        let a = characterization();
+        assert!(a.write_latency_s > a.read_latency_s);
+        // STT-MRAM write sits in the ns–tens-of-ns regime.
+        assert!(a.write_latency_s < 50e-9);
+    }
+
+    #[test]
+    fn write_energy_dominates_read_energy() {
+        let a = characterization();
+        // The paper's data-reuse strategy matters precisely because WRITE
+        // is far more expensive than the in-place AND.
+        assert!(
+            a.write_energy_per_bit_j > 10.0 * a.and_energy_per_bit_j,
+            "write {:e} vs and {:e}",
+            a.write_energy_per_bit_j,
+            a.and_energy_per_bit_j
+        );
+    }
+
+    #[test]
+    fn and_costs_more_than_read_per_bit() {
+        let a = characterization();
+        assert!(a.and_energy_per_bit_j > a.read_energy_per_bit_j);
+    }
+
+    #[test]
+    fn slice_energy_accounting() {
+        let a = characterization();
+        let and64 = a.and_slice_energy_j(64);
+        let expected = 2.0 * a.row_activation_energy_j + 64.0 * a.and_energy_per_bit_j;
+        assert!((and64 - expected).abs() < 1e-21);
+        assert!(a.write_slice_energy_j(64) > and64);
+    }
+
+    #[test]
+    fn area_magnitude_for_16mb() {
+        let a = characterization();
+        // 134 Mbit of 40 F² cells at 45 nm lands near 11 mm²; with
+        // peripherals the die should stay within 10–40 mm².
+        assert!(a.area_mm2 > 10.0 && a.area_mm2 < 40.0, "{}", a.area_mm2);
+    }
+
+    #[test]
+    fn leakage_scales_with_subarrays() {
+        let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
+        let big = ArrayModel::characterize(&cell, &ArrayOrganization::tcim_16mb()).unwrap();
+        let small = ArrayModel::characterize(&cell, &ArrayOrganization::small_256kb()).unwrap();
+        assert!(big.leakage_w > small.leakage_w);
+    }
+
+    #[test]
+    fn invalid_organization_is_rejected() {
+        let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
+        let mut org = ArrayOrganization::tcim_16mb();
+        org.mats_per_bank = 0;
+        assert!(ArrayModel::characterize(&cell, &org).is_err());
+    }
+}

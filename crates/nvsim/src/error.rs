@@ -1,0 +1,60 @@
+//! Error type for the array model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NvsimError>;
+
+/// Errors raised by organization validation and characterization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NvsimError {
+    /// An organization field was zero or inconsistent.
+    InvalidOrganization {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The device-level inputs were unusable (propagated from `tcim-mtj`).
+    Device(tcim_mtj::MtjError),
+}
+
+impl fmt::Display for NvsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvsimError::InvalidOrganization { reason } => {
+                write!(f, "invalid array organization: {reason}")
+            }
+            NvsimError::Device(e) => write!(f, "device model error: {e}"),
+        }
+    }
+}
+
+impl Error for NvsimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NvsimError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tcim_mtj::MtjError> for NvsimError {
+    fn from(e: tcim_mtj::MtjError) -> Self {
+        NvsimError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NvsimError::InvalidOrganization { reason: "zero rows".into() };
+        assert!(e.to_string().contains("zero rows"));
+        assert!(e.source().is_none());
+        let e = NvsimError::from(tcim_mtj::MtjError::SolverDidNotConverge { simulated_s: 1.0 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,53 @@
+//! NVSim-style analytical model of the computational STT-MRAM array.
+//!
+//! The paper "integrate\[s\] the parameters in the open-source NVSim
+//! simulator and obtain\[s\] the memory array performance" (§V-A). This
+//! crate plays that role: it takes the device-level characterization from
+//! [`tcim_mtj`] and an array organization, and produces the latency,
+//! energy and area of every operation the architecture simulator needs —
+//! READ, the 2-row AND, and slice WRITE.
+//!
+//! The model follows the structure of NVSim (Dong et al., TCAD 2012):
+//!
+//! * [`tech`] — 45 nm technology constants (FreePDK45 regime): wire RC,
+//!   FO4 delay, sense-amplifier and driver costs.
+//! * [`organization`] — the bank → mat → sub-array hierarchy of Fig. 4
+//!   with capacity accounting.
+//! * [`wires`] — Elmore-delay RC estimates for word lines, bit lines and
+//!   the global H-tree.
+//! * [`peripheral`] — row decoders, column muxes, sense amplifiers,
+//!   write drivers, modelled as logic chains over tech constants.
+//! * [`mod@array`] — the roll-up: [`array::ArrayCharacterization`] per
+//!   operation, consumed by `tcim-arch`.
+//!
+//! # Example
+//!
+//! ```
+//! use tcim_mtj::{MtjCell, MtjParams};
+//! use tcim_nvsim::organization::ArrayOrganization;
+//! use tcim_nvsim::array::ArrayModel;
+//!
+//! let cell = MtjCell::characterize(&MtjParams::table_i())?;
+//! // The paper's 16 MB computational array.
+//! let org = ArrayOrganization::tcim_16mb();
+//! let array = ArrayModel::characterize(&cell, &org)?;
+//! assert!(array.and_latency_s < 5e-9);   // AND is a read-class operation
+//! // Writing a 64-bit slice costs far more than ANDing one — the reason
+//! // the paper's data-reuse strategy pays off.
+//! assert!(array.write_slice_energy_j(64) > 10.0 * array.and_slice_energy_j(64));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+mod error;
+pub mod organization;
+pub mod peripheral;
+pub mod tech;
+pub mod wires;
+
+pub use array::{ArrayCharacterization, ArrayModel};
+pub use error::{NvsimError, Result};
+pub use organization::ArrayOrganization;

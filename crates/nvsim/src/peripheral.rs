@@ -1,0 +1,125 @@
+//! Peripheral circuit models: decoders, sense amplifiers, write drivers.
+//!
+//! Each peripheral is modelled as a logic chain over [`TechNode`]
+//! constants, the same level of abstraction NVSim uses (gate-chain delay
+//! plus wire loads), rather than transistor-level SPICE.
+
+use crate::tech::TechNode;
+
+/// Latency/energy/area summary of one peripheral block.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockCost {
+    /// Propagation latency (s).
+    pub latency_s: f64,
+    /// Energy per activation (J).
+    pub energy_j: f64,
+    /// Silicon area (m²).
+    pub area_m2: f64,
+}
+
+/// Row decoder for `rows` word lines: a NAND pre-decode tree of
+/// `log2(rows)` stages plus the word-line driver.
+///
+/// The multi-row-activation variant of the paper shares this structure —
+/// enabling two word lines uses two driver strobes but one decode.
+pub fn row_decoder(tech: &TechNode, rows: usize) -> BlockCost {
+    let stages = (rows.max(2) as f64).log2().ceil();
+    // Each decode stage ≈ 2 FO4; the final driver adds 3 FO4 of buffering.
+    let latency = (2.0 * stages + 3.0) * tech.fo4_delay_s;
+    // Roughly `rows` gates toggle across the pre-decode fan-out.
+    let energy = (rows as f64).sqrt() * 4.0 * tech.gate_energy_j;
+    let area = rows as f64 * 20.0 * tech.feature_size_m * tech.feature_size_m;
+    BlockCost { latency_s: latency, energy_j: energy, area_m2: area }
+}
+
+/// Column multiplexer selecting `cols_selected` of `cols_total` bit lines.
+pub fn column_mux(tech: &TechNode, cols_total: usize, cols_selected: usize) -> BlockCost {
+    let fan = (cols_total.max(1) / cols_selected.max(1)).max(1);
+    let stages = (fan as f64).log2().max(1.0);
+    BlockCost {
+        latency_s: stages * tech.fo4_delay_s,
+        energy_j: cols_selected as f64 * tech.gate_energy_j,
+        area_m2: cols_total as f64 * 8.0 * tech.feature_size_m * tech.feature_size_m,
+    }
+}
+
+/// Bank of `count` current-mode sense amplifiers (one per selected bit
+/// line). The same SAs implement READ and AND; only the reference branch
+/// differs (Fig. 4), which costs area but no extra latency.
+pub fn sense_amps(tech: &TechNode, count: usize, extra_references: usize) -> BlockCost {
+    BlockCost {
+        latency_s: tech.sense_amp_latency_s,
+        energy_j: count as f64 * tech.sense_amp_energy_j,
+        // Each extra reference (e.g. the AND reference) replicates the
+        // reference branch, ~40 % of the SA area.
+        area_m2: count as f64
+            * tech.sense_amp_area_m2
+            * (1.0 + 0.4 * extra_references as f64),
+    }
+}
+
+/// Write drivers for `count` bit lines. Driver latency is buffering only —
+/// the cell switching time dominates and is accounted separately.
+pub fn write_drivers(tech: &TechNode, count: usize) -> BlockCost {
+    BlockCost {
+        latency_s: 4.0 * tech.fo4_delay_s,
+        energy_j: count as f64 * 2.0 * tech.gate_energy_j,
+        area_m2: count as f64 * 30.0 * tech.feature_size_m * tech.feature_size_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_latency_grows_logarithmically() {
+        let t = TechNode::freepdk45();
+        let d256 = row_decoder(&t, 256);
+        let d512 = row_decoder(&t, 512);
+        let d1024 = row_decoder(&t, 1024);
+        let step1 = d512.latency_s - d256.latency_s;
+        let step2 = d1024.latency_s - d512.latency_s;
+        assert!(step1 > 0.0);
+        assert!((step1 - step2).abs() < 1e-15, "log steps should be equal");
+    }
+
+    #[test]
+    fn decoder_magnitude_sub_nanosecond() {
+        let t = TechNode::freepdk45();
+        let d = row_decoder(&t, 512);
+        assert!(d.latency_s > 50e-12 && d.latency_s < 1e-9, "{:e}", d.latency_s);
+    }
+
+    #[test]
+    fn sense_amp_energy_scales_with_count() {
+        let t = TechNode::freepdk45();
+        let one = sense_amps(&t, 64, 1);
+        let two = sense_amps(&t, 128, 1);
+        assert!((two.energy_j / one.energy_j - 2.0).abs() < 1e-9);
+        assert_eq!(one.latency_s, two.latency_s);
+    }
+
+    #[test]
+    fn extra_reference_costs_area_not_time() {
+        let t = TechNode::freepdk45();
+        let read_only = sense_amps(&t, 64, 0);
+        let with_and = sense_amps(&t, 64, 1);
+        assert!(with_and.area_m2 > read_only.area_m2);
+        assert_eq!(with_and.latency_s, read_only.latency_s);
+        assert_eq!(with_and.energy_j, read_only.energy_j);
+    }
+
+    #[test]
+    fn mux_with_no_reduction_is_single_stage() {
+        let t = TechNode::freepdk45();
+        let m = column_mux(&t, 512, 512);
+        assert!((m.latency_s - t.fo4_delay_s).abs() < 1e-18);
+    }
+
+    #[test]
+    fn write_driver_latency_is_small() {
+        let t = TechNode::freepdk45();
+        assert!(write_drivers(&t, 64).latency_s < 100e-12);
+    }
+}

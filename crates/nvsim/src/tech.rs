@@ -1,0 +1,98 @@
+//! 45 nm technology constants (FreePDK45 regime).
+//!
+//! The paper characterizes its circuits "with \[the\] 45nm FreePDK CMOS
+//! library" (§V-A). NVSim ships per-node constant tables for exactly this
+//! purpose; the values below are the commonly used 45 nm bulk-CMOS
+//! numbers (ITRS/FreePDK45-derived, as tabulated in NVSim and CACTI):
+//! metal-2/3 wire RC for local routing, FO4 delay for logic chains, and
+//! sense-amplifier/driver costs.
+
+/// Technology parameters for one process node.
+///
+/// All values are plain data; swap the struct to retarget the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    /// Feature size (m).
+    pub feature_size_m: f64,
+    /// Supply voltage (V).
+    pub vdd_v: f64,
+    /// FO4 inverter delay (s) — the unit of logic-chain timing.
+    pub fo4_delay_s: f64,
+    /// Switching energy of a minimum inverter (J) — the unit of
+    /// logic-chain energy.
+    pub gate_energy_j: f64,
+    /// Local wire resistance per metre (Ω/m), intermediate metal.
+    pub wire_res_per_m: f64,
+    /// Local wire capacitance per metre (F/m), intermediate metal.
+    pub wire_cap_per_m: f64,
+    /// Latency of one current-mode sense amplifier (s).
+    pub sense_amp_latency_s: f64,
+    /// Energy of one sense operation (J).
+    pub sense_amp_energy_j: f64,
+    /// Area of one sense amplifier (m²).
+    pub sense_amp_area_m2: f64,
+    /// Leakage power of the peripheral logic per sub-array (W).
+    pub subarray_leakage_w: f64,
+    /// MRAM cell size in F² (1T1R with a drive transistor sized for the
+    /// switching current).
+    pub cell_area_f2: f64,
+}
+
+impl TechNode {
+    /// The 45 nm node used throughout the paper's evaluation.
+    pub fn freepdk45() -> Self {
+        TechNode {
+            feature_size_m: 45e-9,
+            vdd_v: 1.0,
+            // FO4 ≈ 15 ps at 45 nm bulk.
+            fo4_delay_s: 15e-12,
+            // ~0.1 fJ per minimum-gate toggle at 1 V.
+            gate_energy_j: 0.1e-15,
+            // Intermediate metal: ~3.8 Ω/µm and ~0.2 fF/µm.
+            wire_res_per_m: 3.8e6,
+            wire_cap_per_m: 0.2e-9,
+            // Current-mode SA: ~200 ps, ~2 fJ, ~60 F² per column pair.
+            sense_amp_latency_s: 200e-12,
+            sense_amp_energy_j: 2e-15,
+            sense_amp_area_m2: 60.0 * 45e-9 * 45e-9,
+            subarray_leakage_w: 5e-6,
+            // 1T1R STT-MRAM cell with write-current-capable access
+            // transistor: ~40 F².
+            cell_area_f2: 40.0,
+        }
+    }
+
+    /// Cell area in m².
+    pub fn cell_area_m2(&self) -> f64 {
+        self.cell_area_f2 * self.feature_size_m * self.feature_size_m
+    }
+
+    /// Approximate cell pitch (m) assuming a square cell.
+    pub fn cell_pitch_m(&self) -> f64 {
+        self.cell_area_m2().sqrt()
+    }
+}
+
+impl Default for TechNode {
+    fn default() -> Self {
+        TechNode::freepdk45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freepdk45_magnitudes() {
+        let t = TechNode::freepdk45();
+        assert_eq!(t.feature_size_m, 45e-9);
+        // Cell pitch ≈ √40 · 45 nm ≈ 285 nm.
+        assert!((t.cell_pitch_m() - 284.6e-9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_freepdk45() {
+        assert_eq!(TechNode::default(), TechNode::freepdk45());
+    }
+}

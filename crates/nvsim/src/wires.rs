@@ -1,0 +1,102 @@
+//! Elmore-delay RC wire models for word lines, bit lines and the H-tree.
+
+use crate::tech::TechNode;
+
+/// A distributed RC wire of a given length in the node's local metal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    /// Wire length (m).
+    pub length_m: f64,
+    /// Total resistance (Ω).
+    pub resistance_ohm: f64,
+    /// Total capacitance (F).
+    pub capacitance_f: f64,
+}
+
+impl Wire {
+    /// A local-metal wire of `length_m` in `tech`.
+    pub fn local(tech: &TechNode, length_m: f64) -> Self {
+        Wire {
+            length_m,
+            resistance_ohm: tech.wire_res_per_m * length_m,
+            capacitance_f: tech.wire_cap_per_m * length_m,
+        }
+    }
+
+    /// Elmore delay of the distributed line: `0.38·R·C`.
+    pub fn elmore_delay_s(&self) -> f64 {
+        0.38 * self.resistance_ohm * self.capacitance_f
+    }
+
+    /// Switching energy for a full-swing transition: `C·V²`.
+    pub fn switch_energy_j(&self, vdd: f64) -> f64 {
+        self.capacitance_f * vdd * vdd
+    }
+}
+
+/// Word line spanning `cols` cells: wire plus one gate load per cell.
+pub fn wordline(tech: &TechNode, cols: usize) -> Wire {
+    let length = cols as f64 * tech.cell_pitch_m();
+    let mut w = Wire::local(tech, length);
+    // Access-transistor gate load ≈ 0.1 fF per cell at 45 nm.
+    w.capacitance_f += cols as f64 * 0.1e-15;
+    w
+}
+
+/// Bit line spanning `rows` cells: wire plus one junction load per cell.
+pub fn bitline(tech: &TechNode, rows: usize) -> Wire {
+    let length = rows as f64 * tech.cell_pitch_m();
+    let mut w = Wire::local(tech, length);
+    // Drain-junction load ≈ 0.05 fF per cell.
+    w.capacitance_f += rows as f64 * 0.05e-15;
+    w
+}
+
+/// Global H-tree branch reaching a chip of `area_m2`: half the die edge.
+pub fn htree_branch(tech: &TechNode, area_m2: f64) -> Wire {
+    Wire::local(tech, area_m2.sqrt() / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_scales_quadratically_with_length() {
+        let t = TechNode::freepdk45();
+        let w1 = Wire::local(&t, 100e-6);
+        let w2 = Wire::local(&t, 200e-6);
+        let ratio = w2.elmore_delay_s() / w1.elmore_delay_s();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wordline_delay_magnitude() {
+        // 512-column word line: wire delay well under the SA latency.
+        let t = TechNode::freepdk45();
+        let wl = wordline(&t, 512);
+        assert!(wl.elmore_delay_s() < 100e-12, "{:e}", wl.elmore_delay_s());
+        assert!(wl.elmore_delay_s() > 0.1e-12);
+    }
+
+    #[test]
+    fn bitline_has_smaller_per_cell_load_than_wordline() {
+        let t = TechNode::freepdk45();
+        assert!(bitline(&t, 512).capacitance_f < wordline(&t, 512).capacitance_f);
+    }
+
+    #[test]
+    fn energy_is_cv2() {
+        let t = TechNode::freepdk45();
+        let w = Wire::local(&t, 1e-3);
+        assert!((w.switch_energy_j(1.0) - w.capacitance_f).abs() < 1e-30);
+    }
+
+    #[test]
+    fn htree_scales_with_die_edge() {
+        let t = TechNode::freepdk45();
+        let small = htree_branch(&t, 1e-6);
+        let large = htree_branch(&t, 4e-6);
+        assert!((large.length_m / small.length_m - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the array model: cost monotonicities over the
+//! organization space.
+
+use proptest::prelude::*;
+use tcim_mtj::{MtjCell, MtjParams};
+use tcim_nvsim::{ArrayModel, ArrayOrganization};
+
+fn org_strategy() -> impl Strategy<Value = ArrayOrganization> {
+    (6u32..10, 6u32..10, 1usize..8, 1usize..16, 1usize..4).prop_map(
+        |(rows_log2, cols_log2, subarrays, mats, banks)| ArrayOrganization {
+            rows_per_subarray: 1 << rows_log2,
+            cols_per_subarray: 1 << cols_log2,
+            subarrays_per_mat: subarrays,
+            mats_per_bank: mats,
+            banks,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Characterization is total over valid organizations and produces
+    /// physically ordered costs.
+    #[test]
+    fn characterization_is_physical(org in org_strategy()) {
+        let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
+        let a = ArrayModel::characterize(&cell, &org).unwrap();
+        prop_assert!(a.read_latency_s > 0.0);
+        prop_assert!(a.write_latency_s > a.read_latency_s);
+        prop_assert!(a.write_energy_per_bit_j > a.and_energy_per_bit_j);
+        prop_assert!(a.and_energy_per_bit_j > a.read_energy_per_bit_j);
+        prop_assert!(a.area_mm2 > 0.0);
+        prop_assert!(a.leakage_w > 0.0);
+    }
+
+    /// Larger sub-arrays have slower accesses (longer lines, deeper
+    /// decoders) but the chip area stays proportional to capacity.
+    #[test]
+    fn bigger_subarrays_are_slower(org in org_strategy()) {
+        prop_assume!(org.rows_per_subarray <= 256 && org.cols_per_subarray <= 256);
+        let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
+        let small = ArrayModel::characterize(&cell, &org).unwrap();
+        let grown = ArrayOrganization {
+            rows_per_subarray: org.rows_per_subarray * 4,
+            cols_per_subarray: org.cols_per_subarray * 4,
+            ..org
+        };
+        let big = ArrayModel::characterize(&cell, &grown).unwrap();
+        prop_assert!(big.read_latency_s > small.read_latency_s);
+        prop_assert!(big.area_mm2 > small.area_mm2);
+    }
+
+    /// Slice-energy accounting is exactly linear in the slice width.
+    #[test]
+    fn slice_energy_linear_in_width(org in org_strategy()) {
+        let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
+        let a = ArrayModel::characterize(&cell, &org).unwrap();
+        let fixed = 2.0 * a.row_activation_energy_j;
+        let e64 = a.and_slice_energy_j(64) - fixed;
+        let e128 = a.and_slice_energy_j(128) - fixed;
+        prop_assert!((e128 / e64 - 2.0).abs() < 1e-9);
+    }
+}

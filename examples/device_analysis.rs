@@ -1,0 +1,77 @@
+//! Device-to-architecture characterization sweep: everything §V-A's
+//! co-simulation produces, from MTJ switching dynamics to array-level
+//! costs and sense-margin yield.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example device_analysis
+//! ```
+
+use tcim_repro::mtj::llg::LlgSolver;
+use tcim_repro::mtj::sense::SenseAmp;
+use tcim_repro::mtj::variation::{run_variation, VariationConfig};
+use tcim_repro::mtj::{MtjCell, MtjParams};
+use tcim_repro::nvsim::{ArrayModel, ArrayOrganization};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = MtjParams::table_i();
+    let cell = MtjCell::characterize(&params)?;
+
+    println!("== MTJ cell (Table I parameters) ==");
+    println!("  R_P = {:.0} ohm, R_AP = {:.0} ohm (TMR at read bias {:.2})",
+        cell.r_p_ohm, cell.r_ap_ohm, cell.tmr_at_read());
+    println!("  I_c0 = {:.1} uA, thermal stability = {:.0}",
+        cell.critical_current_a * 1e6, cell.thermal_stability);
+
+    // --- Switching time vs write current (LLG) -----------------------
+    let solver = LlgSolver::new(&params)?;
+    println!("\n== LLG switching time vs overdrive ==");
+    println!("  {:>10} {:>12}", "I / I_c0", "t_switch");
+    for overdrive in [1.2, 1.5, 2.0, 3.0, 4.0, 6.0] {
+        let i = overdrive * solver.critical_current_a();
+        match solver.switching_time_s(i) {
+            Some(t) => println!("  {:>10.1} {:>10.2} ns", overdrive, t * 1e9),
+            None => println!("  {:>10.1} {:>12}", overdrive, "no switch"),
+        }
+    }
+
+    // --- Sense margins and references (Fig. 4) -----------------------
+    let sa = SenseAmp::from_cell(&cell);
+    let read = sa.read_margin();
+    let and = sa.and_margin();
+    println!("\n== Sense references (Fig. 4) ==");
+    println!("  READ: I_P = {:.1} uA, I_AP = {:.1} uA, ref = {:.1} uA, margin = {:.1} uA",
+        read.i_high_a * 1e6, read.i_low_a * 1e6, read.i_ref_a * 1e6, read.margin_a * 1e6);
+    println!("  AND : I(1,1) = {:.1} uA, I(1,0) = {:.1} uA, ref = {:.1} uA, margin = {:.1} uA",
+        and.i_high_a * 1e6, and.i_low_a * 1e6, and.i_ref_a * 1e6, and.margin_a * 1e6);
+    println!("  R_ref-AND = {:.0} ohm  (between R_P||P = {:.0} and R_P||AP = {:.0})",
+        sa.and_reference_ohm(), cell.r_p_ohm / 2.0,
+        cell.r_p_ohm * cell.r_ap_ohm / (cell.r_p_ohm + cell.r_ap_ohm));
+
+    // --- Monte-Carlo yield vs process variation ----------------------
+    println!("\n== Sense yield vs resistance variation (10k trials each) ==");
+    println!("  {:>8} {:>12} {:>12}", "sigma %", "READ yield", "AND yield");
+    for sigma in [0.01, 0.02, 0.04, 0.08, 0.12] {
+        let report = run_variation(
+            &cell,
+            &VariationConfig { resistance_sigma: sigma, trials: 10_000, seed: 9 },
+        );
+        println!(
+            "  {:>8.0} {:>11.2}% {:>11.2}%",
+            sigma * 100.0,
+            100.0 * report.read_yield(),
+            100.0 * report.and_yield()
+        );
+    }
+
+    // --- Array-level roll-up (NVSim-style) ---------------------------
+    println!("\n== 16 MB computational array (45 nm) ==");
+    let array = ArrayModel::characterize(&cell, &ArrayOrganization::tcim_16mb())?;
+    println!("  read/AND latency   = {:.2} ns", array.and_latency_s * 1e9);
+    println!("  write latency      = {:.2} ns", array.write_latency_s * 1e9);
+    println!("  AND energy (64b)   = {:.2} pJ", array.and_slice_energy_j(64) * 1e12);
+    println!("  write energy (64b) = {:.2} pJ", array.write_slice_energy_j(64) * 1e12);
+    println!("  die area           = {:.1} mm^2", array.area_mm2);
+    println!("  leakage            = {:.2} mW", array.leakage_w * 1e3);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Ablation: the slice-size parameter |S| the paper fixes at 64.
+//!
+//! Sweeps |S| from 16 to 512 bits on a social-style and a road-style
+//! graph, reporting the compression/computation trade-off: small slices
+//! skip more zeros but multiply bookkeeping; large slices amortize index
+//! overhead but drag zero bits into the AND units.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example slice_size_sweep
+//! ```
+
+use tcim_repro::bitmatrix::{SliceSize, SlicedMatrix};
+use tcim_repro::graph::datasets::Dataset;
+use tcim_repro::graph::{CsrGraph, Orientation};
+use tcim_repro::tcim::baseline;
+
+fn sweep(name: &str, graph: &CsrGraph) {
+    let expected = baseline::forward(graph);
+    println!(
+        "\n== {name}: |V| = {}, |E| = {}, triangles = {expected} ==",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    println!(
+        "{:>6} {:>14} {:>12} {:>14} {:>12}",
+        "|S|", "valid slices", "valid %", "bytes", "slice pairs"
+    );
+    let oriented = Orientation::Natural.orient(graph);
+    for s in SliceSize::ALL {
+        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), s)
+            .expect("oriented adjacency is in bounds");
+        let stats = matrix.stats();
+        // Count the work the PIM engine would do at this |S|.
+        let mut pairs = 0u64;
+        let mut triangles = 0u64;
+        for (i, j) in matrix.edges() {
+            for (_, rs, cs) in matrix.row(i).matching_slices(matrix.col(j)).unwrap() {
+                pairs += 1;
+                for (a, b) in rs.iter().zip(cs) {
+                    triangles += u64::from((a & b).count_ones());
+                }
+            }
+        }
+        assert_eq!(triangles, expected, "|S| must not change the count");
+        println!(
+            "{:>6} {:>14} {:>12.4} {:>14} {:>12}",
+            s.to_string(),
+            stats.valid_slices,
+            100.0 * stats.valid_fraction(),
+            stats.compressed_bytes,
+            pairs
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let social = Dataset::by_name("ego-facebook").unwrap().synthesize(0.25, 5)?;
+    sweep("social (ego-facebook style)", &social);
+
+    let road = Dataset::by_name("roadnet-pa").unwrap().synthesize(0.01, 5)?;
+    sweep("road (roadNet-PA style)", &road);
+
+    println!(
+        "\nReading the table: valid-% falls as |S| shrinks (finer skipping) while \
+         the byte size balances payload against the 4-byte index — the paper's \
+         |S| = 64 sits at the knee for sparse graphs."
+    );
+    Ok(())
+}

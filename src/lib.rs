@@ -1,0 +1,20 @@
+//! Umbrella crate for the TCIM reproduction workspace.
+//!
+//! This crate exists to host the repository-level runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`). All real
+//! functionality lives in the member crates, re-exported here so examples
+//! can use one import root:
+//!
+//! * [`tcim_bitmatrix`] — bit-vectors and the sliced compression of §IV-B.
+//! * [`tcim_graph`] — graph storage, parsers, generators, dataset catalog.
+//! * [`tcim_mtj`] — MTJ device physics (Brinkman + LLG, Table I).
+//! * [`tcim_nvsim`] — NVSim-style array latency/energy/area model.
+//! * [`tcim_arch`] — the processing-in-MRAM architecture simulator.
+//! * [`tcim_core`] — the public TCIM accelerator API and baselines.
+
+pub use tcim_arch as arch;
+pub use tcim_bitmatrix as bitmatrix;
+pub use tcim_core as tcim;
+pub use tcim_graph as graph;
+pub use tcim_mtj as mtj;
+pub use tcim_nvsim as nvsim;

@@ -1,0 +1,148 @@
+//! Integration tests of the architecture layer against the device and
+//! array models: cost accounting, cache behaviour, and ablations.
+
+use tcim_repro::arch::{PimConfig, PimEngine, ReplacementPolicy};
+use tcim_repro::bitmatrix::{SliceSize, SlicedMatrix};
+use tcim_repro::graph::generators::gnm;
+use tcim_repro::graph::Orientation;
+use tcim_repro::tcim::baseline;
+
+fn matrix_for(seed: u64) -> (tcim_repro::graph::CsrGraph, SlicedMatrix) {
+    let g = gnm(600, 5000, seed).unwrap();
+    let oriented = Orientation::Natural.orient(&g);
+    let m = SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64).unwrap();
+    (g, m)
+}
+
+#[test]
+fn op_counts_match_matrix_structure() {
+    let (g, m) = matrix_for(1);
+    let engine = PimEngine::new(&PimConfig::default()).unwrap();
+    let run = engine.run(&m);
+
+    assert_eq!(run.stats.edges as usize, g.edge_count());
+    assert_eq!(run.stats.and_ops, run.stats.bitcount_ops);
+
+    // AND ops must equal the matrix's total matching slice pairs.
+    let expected_pairs: u64 = m
+        .edges()
+        .map(|(i, j)| m.row(i).matching_slices(m.col(j)).unwrap().count() as u64)
+        .sum();
+    assert_eq!(run.stats.and_ops, expected_pairs);
+
+    // Every column access is hit, miss or exchange; with a 16 MB buffer
+    // this graph never exchanges.
+    assert_eq!(run.stats.col_accesses(), expected_pairs);
+    assert_eq!(run.stats.col_exchanges, 0);
+}
+
+#[test]
+fn energy_equals_sum_of_op_costs() {
+    let (_, m) = matrix_for(2);
+    let engine = PimEngine::new(&PimConfig::default()).unwrap();
+    let run = engine.run(&m);
+    let array = engine.array();
+    let bits = engine.config().slice_size.bits();
+
+    let expected_write = run.stats.total_writes() as f64 * array.write_slice_energy_j(bits);
+    let expected_and = run.stats.and_ops as f64 * array.and_slice_energy_j(bits);
+    let expected_bc = run.stats.bitcount_ops as f64 * engine.bitcounter().energy_j;
+    assert!((run.energy.write_j - expected_write).abs() < 1e-15);
+    assert!((run.energy.and_j - expected_and).abs() < 1e-15);
+    assert!((run.energy.bitcount_j - expected_bc).abs() < 1e-15);
+    let total = run.energy.write_j
+        + run.energy.and_j
+        + run.energy.bitcount_j
+        + run.energy.leakage_j
+        + run.energy.controller_j;
+    assert!((run.total_energy_j() - total).abs() < 1e-15);
+}
+
+#[test]
+fn shrinking_cache_never_increases_hits() {
+    let (_, m) = matrix_for(3);
+    let mut last_hits = u64::MAX;
+    for capacity in [100_000usize, 2_000, 400, 80] {
+        let config = PimConfig {
+            capacity_slices_override: Some(capacity),
+            ..PimConfig::default()
+        };
+        let run = PimEngine::new(&config).unwrap().run(&m);
+        assert!(
+            run.stats.col_hits <= last_hits,
+            "capacity {capacity}: hits {} > previous {last_hits}",
+            run.stats.col_hits
+        );
+        last_hits = run.stats.col_hits;
+    }
+}
+
+#[test]
+fn replacement_policy_changes_hits_but_not_counts() {
+    let (g, m) = matrix_for(4);
+    let expected = baseline::edge_iterator_merge(&g);
+    let mut hit_rates = Vec::new();
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        let config = PimConfig {
+            replacement: policy,
+            capacity_slices_override: Some(300),
+            ..PimConfig::default()
+        };
+        let run = PimEngine::new(&config).unwrap().run(&m);
+        assert_eq!(run.triangles, expected, "{policy:?} must stay exact");
+        hit_rates.push((policy, run.stats.hit_rate()));
+    }
+    // LRU should not lose to Random on this reuse-heavy access stream.
+    let lru = hit_rates[0].1;
+    let random = hit_rates[2].1;
+    assert!(lru >= random, "lru {lru} vs random {random}");
+}
+
+#[test]
+fn parallelism_scales_pim_time_down() {
+    let (_, m) = matrix_for(5);
+    // One-bank organization vs the full 4-bank chip: identical op counts,
+    // quarter the parallel sub-arrays, so more PIM time.
+    let full = PimEngine::new(&PimConfig::default()).unwrap().run(&m);
+    let one_bank_org = tcim_repro::nvsim::ArrayOrganization {
+        banks: 1,
+        ..tcim_repro::nvsim::ArrayOrganization::tcim_16mb()
+    };
+    let config = PimConfig {
+        organization: one_bank_org,
+        // Keep the buffer capacity equal so cache behaviour matches.
+        capacity_slices_override: Some(PimConfig::default().capacity_slices().unwrap()),
+        ..PimConfig::default()
+    };
+    let quarter = PimEngine::new(&config).unwrap().run(&m);
+    assert_eq!(full.stats, quarter.stats);
+    let full_pim = full.latency.write_s + full.latency.and_s + full.latency.bitcount_s;
+    let quarter_pim = quarter.latency.write_s + quarter.latency.and_s + quarter.latency.bitcount_s;
+    assert!(
+        (quarter_pim / full_pim - 4.0).abs() < 0.01,
+        "expected 4x, got {}",
+        quarter_pim / full_pim
+    );
+}
+
+#[test]
+fn slice_size_ablation_preserves_counts_and_shifts_work() {
+    let g = gnm(500, 4000, 6).unwrap();
+    let oriented = Orientation::Natural.orient(&g);
+    let expected = baseline::edge_iterator_merge(&g);
+    let mut pair_counts = Vec::new();
+    for s in SliceSize::ALL {
+        let m = SlicedMatrix::from_adjacency(oriented.rows(), s).unwrap();
+        let config = PimConfig { slice_size: s, ..PimConfig::default() };
+        let run = PimEngine::new(&config).unwrap().run(&m);
+        assert_eq!(run.triangles, expected, "|S| = {s}");
+        pair_counts.push(run.stats.and_ops);
+    }
+    // Halving |S| at most doubles the AND ops: every small-slice match
+    // lies inside a matching pair at the doubled size. (The count is NOT
+    // monotone in |S|: finer slices also prune pairs whose set bits fall
+    // in different sub-slices.)
+    for w in pair_counts.windows(2) {
+        assert!(w[0] <= 2 * w[1], "pair counts violate the 2x bound: {pair_counts:?}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Repository-level property tests: the PIM dataflow is exact on
+//! arbitrary graphs under arbitrary configurations.
+
+use proptest::prelude::*;
+use tcim_repro::arch::{PimConfig, PimEngine, ReplacementPolicy};
+use tcim_repro::bitmatrix::{SliceSize, SlicedMatrix};
+use tcim_repro::graph::{CsrGraph, Orientation};
+use tcim_repro::tcim::baseline;
+
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (2usize..80).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..400)
+            .prop_map(move |edges| CsrGraph::from_edges(n, edges).unwrap())
+    })
+}
+
+fn engine(capacity: Option<usize>, policy: ReplacementPolicy, s: SliceSize) -> PimEngine {
+    let config = PimConfig {
+        slice_size: s,
+        replacement: policy,
+        capacity_slices_override: capacity,
+        ..PimConfig::default()
+    };
+    PimEngine::new(&config).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulated PIM dataflow is exact for every graph.
+    #[test]
+    fn pim_count_is_exact(g in graph_strategy()) {
+        let expected = baseline::edge_iterator_merge(&g);
+        let oriented = Orientation::Natural.orient(&g);
+        let m = SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64).unwrap();
+        let run = engine(None, ReplacementPolicy::Lru, SliceSize::S64).run(&m);
+        prop_assert_eq!(run.triangles, expected);
+    }
+
+    /// Neither cache capacity nor replacement policy may change counts.
+    #[test]
+    fn cache_configuration_is_functionally_invisible(
+        g in graph_strategy(),
+        capacity in 1usize..64,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random][policy_idx];
+        let expected = baseline::edge_iterator_merge(&g);
+        let oriented = Orientation::Natural.orient(&g);
+        let m = SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64).unwrap();
+        let run = engine(Some(capacity), policy, SliceSize::S64).run(&m);
+        prop_assert_eq!(run.triangles, expected);
+        // First touch of every distinct (column, slice) is never a hit:
+        // hits < accesses unless there are no accesses.
+        if run.stats.col_accesses() > 0 {
+            prop_assert!(run.stats.col_hits < run.stats.col_accesses());
+        }
+    }
+
+    /// Slice size is a pure performance knob.
+    #[test]
+    fn slice_size_is_functionally_invisible(g in graph_strategy(), s_idx in 0usize..6) {
+        let s = SliceSize::ALL[s_idx];
+        let expected = baseline::edge_iterator_merge(&g);
+        let oriented = Orientation::Degree.orient(&g);
+        let m = SlicedMatrix::from_adjacency(oriented.rows(), s).unwrap();
+        let run = engine(None, ReplacementPolicy::Lru, s).run(&m);
+        prop_assert_eq!(run.triangles, expected);
+    }
+
+    /// Write accounting: every miss/exchange writes exactly once, and row
+    /// writes never exceed the row slice population.
+    #[test]
+    fn write_accounting_invariants(g in graph_strategy()) {
+        let oriented = Orientation::Natural.orient(&g);
+        let m = SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64).unwrap();
+        let run = engine(Some(8), ReplacementPolicy::Lru, SliceSize::S64).run(&m);
+        let s = run.stats;
+        prop_assert_eq!(s.total_writes(), s.row_slice_writes + s.col_misses + s.col_exchanges);
+        let total_row_valid: u64 = (0..m.dim() as u32)
+            .map(|i| m.row(i).valid_slice_count() as u64)
+            .sum();
+        prop_assert!(s.row_slice_writes <= total_row_valid);
+        // Rates always form a probability distribution when traffic exists.
+        if s.col_accesses() > 0 {
+            let sum = s.hit_rate() + s.miss_rate() + s.exchange_rate();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}
