@@ -136,11 +136,8 @@ impl SliceCache {
             return AccessOutcome::Hit;
         }
 
-        let evicted = if self.resident.len() >= self.capacity {
-            Some(self.evict())
-        } else {
-            None
-        };
+        let evicted =
+            if self.resident.len() >= self.capacity { Some(self.evict()) } else { None };
 
         self.resident.insert(key, self.clock);
         match self.policy {
@@ -162,10 +159,8 @@ impl SliceCache {
     fn evict(&mut self) -> u64 {
         match self.policy {
             ReplacementPolicy::Lru => loop {
-                let (key, stamp) = self
-                    .order
-                    .pop_front()
-                    .expect("order queue covers all resident keys");
+                let (key, stamp) =
+                    self.order.pop_front().expect("order queue covers all resident keys");
                 // Skip stale entries superseded by a later touch.
                 if self.resident.get(&key) == Some(&stamp) {
                     self.resident.remove(&key);
@@ -173,10 +168,8 @@ impl SliceCache {
                 }
             },
             ReplacementPolicy::Fifo => loop {
-                let (key, _) = self
-                    .order
-                    .pop_front()
-                    .expect("order queue covers all resident keys");
+                let (key, _) =
+                    self.order.pop_front().expect("order queue covers all resident keys");
                 if self.resident.remove(&key).is_some() {
                     return key;
                 }

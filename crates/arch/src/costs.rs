@@ -1,0 +1,211 @@
+//! Per-operation cost hooks: the characterized price of each slice-level
+//! operation class, exposed so external runtimes (the `tcim-sched`
+//! multi-array scheduler) can account latency and energy for work they
+//! distribute themselves instead of relying on this engine's uniform
+//! spreading approximation.
+
+use tcim_nvsim::ArrayCharacterization;
+
+use crate::bitcounter::BitCounterModel;
+use crate::config::PimConfig;
+use crate::engine::{EnergyBreakdown, LatencyBreakdown};
+use crate::stats::AccessStats;
+
+/// The cost of every slice-level operation class of the TCIM dataflow,
+/// fully resolved against one device/array characterization.
+///
+/// [`PimEngine::cost_model`](crate::PimEngine::cost_model) produces one
+/// of these; [`SliceCostModel::roll_up`] converts an operation-count
+/// vector ([`AccessStats`]) into latency and energy under an explicit
+/// parallelism degree. The engine's own serial accounting is the special
+/// case `parallel = organization.parallel_subarrays()` — a scheduler
+/// that places work onto arrays explicitly instead calls `roll_up` per
+/// array with `parallel = 1` and aggregates critical paths itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceCostModel {
+    /// Latency of writing one slice into the array (s).
+    pub write_latency_s: f64,
+    /// Latency of one in-array AND over a slice pair (s).
+    pub and_latency_s: f64,
+    /// Latency of one bit-counter pass over a slice (s).
+    pub bitcount_latency_s: f64,
+    /// Latency of reading one AND-result slice back out (s).
+    pub readout_latency_s: f64,
+    /// Energy of writing one slice (J).
+    pub write_energy_j: f64,
+    /// Energy of one AND over a slice pair (J).
+    pub and_energy_j: f64,
+    /// Energy of one bit-counter pass (J).
+    pub bitcount_energy_j: f64,
+    /// Energy of one AND-result readout (J).
+    pub readout_energy_j: f64,
+    /// Peripheral leakage power, burned over the whole runtime (W).
+    pub leakage_w: f64,
+    /// Host controller dispatch overhead per edge (s).
+    pub controller_overhead_s: f64,
+    /// Active package power of the dispatching host (W).
+    pub host_power_w: f64,
+}
+
+impl SliceCostModel {
+    /// Resolves the per-operation costs for `config` against an array
+    /// characterization and bit-counter model.
+    pub(crate) fn resolve(
+        config: &PimConfig,
+        array: &ArrayCharacterization,
+        bitcounter: &BitCounterModel,
+    ) -> Self {
+        let slice_bits = config.slice_size.bits();
+        SliceCostModel {
+            write_latency_s: array.write_latency_s,
+            and_latency_s: array.and_latency_s,
+            bitcount_latency_s: bitcounter.latency_s,
+            readout_latency_s: array.read_latency_s,
+            write_energy_j: array.write_slice_energy_j(slice_bits),
+            and_energy_j: array.and_slice_energy_j(slice_bits),
+            bitcount_energy_j: bitcounter.energy_j,
+            readout_energy_j: array.read_slice_energy_j(slice_bits),
+            leakage_w: array.leakage_w,
+            controller_overhead_s: config.controller_overhead_s,
+            host_power_w: config.host_power_w,
+        }
+    }
+
+    /// Converts operation counts into latency and energy, spreading
+    /// array-side work over `parallel` concurrently operating units;
+    /// controller dispatch stays serial on the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parallel` is not strictly positive.
+    pub fn roll_up(
+        &self,
+        stats: &AccessStats,
+        parallel: f64,
+    ) -> (LatencyBreakdown, EnergyBreakdown) {
+        assert!(parallel > 0.0, "parallelism degree must be positive");
+        let writes = stats.total_writes() as f64;
+        let ands = stats.and_ops as f64;
+        let counts = stats.bitcount_ops as f64;
+        let readouts = stats.result_readouts as f64;
+
+        let latency = LatencyBreakdown {
+            write_s: writes * self.write_latency_s / parallel,
+            and_s: ands * self.and_latency_s / parallel,
+            // One bit counter per mat (Fig. 4): same parallelism.
+            bitcount_s: counts * self.bitcount_latency_s / parallel,
+            readout_s: readouts * self.readout_latency_s / parallel,
+            controller_s: stats.edges as f64 * self.controller_overhead_s,
+        };
+        let energy = EnergyBreakdown {
+            write_j: writes * self.write_energy_j,
+            and_j: ands * self.and_energy_j,
+            bitcount_j: counts * self.bitcount_energy_j,
+            readout_j: readouts * self.readout_energy_j,
+            leakage_j: self.leakage_w * latency.total_s(),
+            controller_j: self.host_power_w * latency.controller_s,
+        };
+        (latency, energy)
+    }
+
+    /// The array-side busy time of `stats` on a single unit (`parallel =
+    /// 1`), excluding host controller dispatch — the quantity a
+    /// multi-array scheduler balances across placement domains.
+    pub fn array_busy_s(&self, stats: &AccessStats) -> f64 {
+        stats.total_writes() as f64 * self.write_latency_s
+            + stats.and_ops as f64 * self.and_latency_s
+            + stats.bitcount_ops as f64 * self.bitcount_latency_s
+            + stats.result_readouts as f64 * self.readout_latency_s
+    }
+
+    /// Estimated array-side busy time of a unit of work described only by
+    /// its operation counts (no cache simulation): `writes` slice WRITEs
+    /// plus `pairs` AND + BitCount passes. Placement policies use this as
+    /// their load metric before any array has executed anything.
+    pub fn estimate_busy_s(&self, writes: u64, pairs: u64) -> f64 {
+        writes as f64 * self.write_latency_s
+            + pairs as f64 * (self.and_latency_s + self.bitcount_latency_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PimEngine;
+
+    fn model() -> SliceCostModel {
+        PimEngine::new(&PimConfig::default()).unwrap().cost_model()
+    }
+
+    fn sample_stats() -> AccessStats {
+        AccessStats {
+            edges: 10,
+            and_ops: 40,
+            bitcount_ops: 40,
+            row_slice_writes: 12,
+            col_hits: 30,
+            col_misses: 8,
+            col_exchanges: 2,
+            result_readouts: 3,
+        }
+    }
+
+    #[test]
+    fn costs_are_positive() {
+        let m = model();
+        for c in [
+            m.write_latency_s,
+            m.and_latency_s,
+            m.bitcount_latency_s,
+            m.readout_latency_s,
+            m.write_energy_j,
+            m.and_energy_j,
+            m.bitcount_energy_j,
+            m.readout_energy_j,
+            m.leakage_w,
+            m.host_power_w,
+        ] {
+            assert!(c > 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn parallelism_divides_array_time_but_not_energy() {
+        let m = model();
+        let stats = sample_stats();
+        let (l1, e1) = m.roll_up(&stats, 1.0);
+        let (l4, e4) = m.roll_up(&stats, 4.0);
+        assert!((l1.write_s / l4.write_s - 4.0).abs() < 1e-9);
+        assert!((l1.and_s / l4.and_s - 4.0).abs() < 1e-9);
+        // Controller dispatch is serial regardless of array parallelism.
+        assert_eq!(l1.controller_s, l4.controller_s);
+        // Switching energy is work, not time: identical either way.
+        assert_eq!(e1.write_j, e4.write_j);
+        assert_eq!(e1.and_j, e4.and_j);
+        // Leakage integrates over runtime, so more parallelism leaks less.
+        assert!(e4.leakage_j < e1.leakage_j);
+    }
+
+    #[test]
+    fn busy_time_matches_single_unit_roll_up() {
+        let m = model();
+        let stats = sample_stats();
+        let (l, _) = m.roll_up(&stats, 1.0);
+        let array_side = l.write_s + l.and_s + l.bitcount_s + l.readout_s;
+        assert!((m.array_busy_s(&stats) - array_side).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimate_tracks_writes_and_pairs() {
+        let m = model();
+        assert_eq!(m.estimate_busy_s(0, 0), 0.0);
+        assert!(m.estimate_busy_s(10, 5) > m.estimate_busy_s(5, 5));
+        assert!(m.estimate_busy_s(5, 10) > m.estimate_busy_s(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism degree")]
+    fn zero_parallelism_panics() {
+        model().roll_up(&sample_stats(), 0.0);
+    }
+}

@@ -10,6 +10,7 @@ use tcim_nvsim::{ArrayCharacterization, ArrayModel};
 use crate::bitcounter::BitCounterModel;
 use crate::buffer::{AccessOutcome, SliceCache};
 use crate::config::PimConfig;
+use crate::costs::SliceCostModel;
 use crate::error::Result;
 use crate::stats::AccessStats;
 use crate::trace::{Event, EventTrace};
@@ -151,6 +152,19 @@ impl PimEngine {
         &self.config
     }
 
+    /// The resolved per-operation cost model — the hooks an external
+    /// scheduler (`tcim-sched`) uses to account work it places onto
+    /// arrays itself.
+    pub fn cost_model(&self) -> SliceCostModel {
+        SliceCostModel::resolve(&self.config, &self.array, &self.bitcounter)
+    }
+
+    /// Total data-buffer capacity in valid slices (rows + columns), per
+    /// [`PimConfig::capacity_slices`].
+    pub fn capacity_slices(&self) -> usize {
+        self.capacity_slices
+    }
+
     /// Column-slice cache capacity after reserving the row region: the
     /// current row's slices must be resident while its edges process, so
     /// the widest row of `matrix` is set aside.
@@ -199,9 +213,8 @@ impl PimEngine {
             }
             let row = matrix.row(i);
             let col = matrix.col(j);
-            let pairs = row
-                .matching_slices(col)
-                .expect("rows and columns of one matrix always align");
+            let pairs =
+                row.matching_slices(col).expect("rows and columns of one matrix always align");
             for (k, rs, cs) in pairs {
                 if row_loaded.insert(k) {
                     stats.row_slice_writes += 1;
@@ -229,7 +242,12 @@ impl PimEngine {
                 triangles += count;
                 stats.and_ops += 1;
                 stats.bitcount_ops += 1;
-                trace.push(Event::AndBitcount { row: i, col: j, slice: k, count: count as u32 });
+                trace.push(Event::AndBitcount {
+                    row: i,
+                    col: j,
+                    slice: k,
+                    count: count as u32,
+                });
             }
         }
 
@@ -324,38 +342,13 @@ impl PimEngine {
     /// Converts operation counts into time and energy using the array
     /// characterization. Writes and compute ops are spread across the
     /// concurrently operating sub-arrays; controller dispatch is serial on
-    /// the host.
+    /// the host. Host controller energy is the single-core host burning
+    /// its active package power for as long as it dispatches edges — the
+    /// term that dominates end-to-end TCIM energy, exactly as in the
+    /// paper's Fig. 6 arithmetic (see EXPERIMENTS.md).
     fn roll_up(&self, stats: &AccessStats) -> (LatencyBreakdown, EnergyBreakdown) {
-        let slice_bits = self.config.slice_size.bits();
         let parallel = self.array.organization.parallel_subarrays() as f64;
-
-        let writes = stats.total_writes() as f64;
-        let ands = stats.and_ops as f64;
-        let counts = stats.bitcount_ops as f64;
-
-        let readouts = stats.result_readouts as f64;
-        let latency = LatencyBreakdown {
-            write_s: writes * self.array.write_latency_s / parallel,
-            and_s: ands * self.array.and_latency_s / parallel,
-            // One bit counter per mat (Fig. 4): same parallelism.
-            bitcount_s: counts * self.bitcounter.latency_s / parallel,
-            readout_s: readouts * self.array.read_latency_s / parallel,
-            controller_s: stats.edges as f64 * self.config.controller_overhead_s,
-        };
-
-        // Host controller energy: the single-core host burns its active
-        // package power for as long as it dispatches edges. This term is
-        // what dominates end-to-end TCIM energy, exactly as in the
-        // paper's Fig. 6 arithmetic (see EXPERIMENTS.md).
-        let energy = EnergyBreakdown {
-            write_j: writes * self.array.write_slice_energy_j(slice_bits),
-            and_j: ands * self.array.and_slice_energy_j(slice_bits),
-            bitcount_j: counts * self.bitcounter.energy_j,
-            readout_j: readouts * self.array.read_slice_energy_j(slice_bits),
-            leakage_j: self.array.leakage_w * latency.total_s(),
-            controller_j: self.config.host_power_w * latency.controller_s,
-        };
-        (latency, energy)
+        self.cost_model().roll_up(stats, parallel)
     }
 }
 

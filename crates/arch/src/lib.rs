@@ -16,6 +16,8 @@
 //! * [`PimConfig`] — simulator configuration (slice size, array size,
 //!   replacement policy, controller overhead).
 //! * [`PimEngine`] — the Algorithm 1 executor.
+//! * [`SliceCostModel`] — per-operation cost hooks for external
+//!   schedulers (`tcim-sched`) that place work onto arrays themselves.
 //! * [`stats`] — access statistics behind Fig. 5 and the WRITE-saving
 //!   claim.
 //! * [`sweep`] — structured capacity/policy sweeps over the buffer
@@ -47,6 +49,7 @@
 pub mod bitcounter;
 pub mod buffer;
 mod config;
+mod costs;
 mod engine;
 mod error;
 pub mod stats;
@@ -56,6 +59,7 @@ pub mod trace;
 pub use bitcounter::BitCounterModel;
 pub use buffer::{AccessOutcome, ReplacementPolicy, SliceCache};
 pub use config::PimConfig;
+pub use costs::SliceCostModel;
 pub use engine::{EnergyBreakdown, LatencyBreakdown, LocalRunResult, PimEngine, PimRunResult};
 pub use error::{ArchError, Result};
 pub use stats::AccessStats;

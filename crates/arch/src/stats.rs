@@ -62,6 +62,31 @@ impl AccessStats {
     pub fn writes_saved_fraction(&self) -> f64 {
         self.hit_rate()
     }
+
+    /// Accumulates another run's counters into `self` — the aggregation
+    /// multi-array schedulers apply over per-array statistics. Lives
+    /// here so a new counter field cannot be silently dropped from
+    /// aggregates elsewhere.
+    pub fn merge(&mut self, other: &AccessStats) {
+        let AccessStats {
+            edges,
+            and_ops,
+            bitcount_ops,
+            row_slice_writes,
+            col_hits,
+            col_misses,
+            col_exchanges,
+            result_readouts,
+        } = *other;
+        self.edges += edges;
+        self.and_ops += and_ops;
+        self.bitcount_ops += bitcount_ops;
+        self.row_slice_writes += row_slice_writes;
+        self.col_hits += col_hits;
+        self.col_misses += col_misses;
+        self.col_exchanges += col_exchanges;
+        self.result_readouts += result_readouts;
+    }
 }
 
 impl fmt::Display for AccessStats {

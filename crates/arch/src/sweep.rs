@@ -51,10 +51,7 @@ pub fn capacity_sweep(
     let mut points = Vec::with_capacity(capacities.len());
     let mut reference: Option<u64> = None;
     for &capacity in capacities {
-        let config = PimConfig {
-            capacity_slices_override: Some(capacity),
-            ..base.clone()
-        };
+        let config = PimConfig { capacity_slices_override: Some(capacity), ..base.clone() };
         let run = PimEngine::new(&config)?.run(matrix);
         match reference {
             None => reference = Some(run.triangles),
@@ -88,7 +85,8 @@ pub fn policy_sweep(
 ) -> Result<Vec<SweepPoint>> {
     let mut points = Vec::with_capacity(3);
     let mut reference: Option<u64> = None;
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]
+    {
         let config = PimConfig {
             replacement: policy,
             capacity_slices_override: Some(capacity),
@@ -130,8 +128,7 @@ mod tests {
     #[test]
     fn capacity_sweep_hits_decrease_monotonically() {
         let m = test_matrix();
-        let points =
-            capacity_sweep(&PimConfig::default(), &m, &[10_000, 100, 12, 4]).unwrap();
+        let points = capacity_sweep(&PimConfig::default(), &m, &[10_000, 100, 12, 4]).unwrap();
         assert_eq!(points.len(), 4);
         for w in points.windows(2) {
             assert!(

@@ -60,7 +60,11 @@ impl EventTrace {
     /// Creates a trace holding up to `capacity` events (0 disables
     /// recording entirely).
     pub fn new(capacity: usize) -> Self {
-        EventTrace { capacity, events: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+        EventTrace {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
     }
 
     /// Whether recording is enabled.

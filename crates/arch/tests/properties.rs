@@ -22,11 +22,8 @@ impl ReferenceLru {
             self.order.push(key);
             return AccessOutcome::Hit;
         }
-        let evicted = if self.order.len() >= self.capacity {
-            Some(self.order.remove(0))
-        } else {
-            None
-        };
+        let evicted =
+            if self.order.len() >= self.capacity { Some(self.order.remove(0)) } else { None };
         self.order.push(key);
         match evicted {
             Some(v) => AccessOutcome::Exchange { evicted: v },
@@ -50,11 +47,8 @@ impl ReferenceFifo {
         if self.queue.contains(&key) {
             return AccessOutcome::Hit;
         }
-        let evicted = if self.queue.len() >= self.capacity {
-            Some(self.queue.remove(0))
-        } else {
-            None
-        };
+        let evicted =
+            if self.queue.len() >= self.capacity { Some(self.queue.remove(0)) } else { None };
         self.queue.push(key);
         match evicted {
             Some(v) => AccessOutcome::Exchange { evicted: v },

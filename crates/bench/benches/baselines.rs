@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tcim_bitmatrix::popcount::PopcountMethod;
 use tcim_bitmatrix::SliceSize;
-use tcim_core::software::sliced_software_tc;
 use tcim_core::baseline;
+use tcim_core::software::sliced_software_tc;
 use tcim_graph::generators::{barabasi_albert, road_grid};
 use tcim_graph::{CsrGraph, Orientation};
 

@@ -52,9 +52,7 @@ fn bench_sparse_advantage(c: &mut Criterion) {
     group.bench_function("dense", |b| {
         b.iter(|| black_box(&a).and_popcount(black_box(&bv)).unwrap())
     });
-    group.bench_function("sliced", |b| {
-        b.iter(|| black_box(&sa).and_popcount(black_box(&sb)))
-    });
+    group.bench_function("sliced", |b| b.iter(|| black_box(&sa).and_popcount(black_box(&sb))));
     group.finish();
 }
 

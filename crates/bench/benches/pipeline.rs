@@ -21,7 +21,9 @@ fn bench_pipeline(c: &mut Criterion) {
             });
             let matrix = acc.compress(&g);
             group.bench_with_input(BenchmarkId::new("simulate_only", &id), &matrix, |b, m| {
-                b.iter(|| acc.count_compressed(black_box(m), std::time::Duration::ZERO).triangles)
+                b.iter(|| {
+                    acc.count_compressed(black_box(m), std::time::Duration::ZERO).triangles
+                })
             });
         }
     }

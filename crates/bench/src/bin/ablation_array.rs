@@ -16,7 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("com-lj stand-in: |V| = {}, |E| = {}", g.vertex_count(), g.edge_count());
 
     let oriented = Orientation::Natural.orient(&g);
-    let matrix = SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
+    let matrix =
+        SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
 
     // From 1/64 of the scale-adjusted 16 MB-equivalent capacity up to 4x.
     let base = (16.0 * 1024.0 * 1024.0 / 12.0 * scale.scale) as usize;

@@ -8,7 +8,10 @@ use tcim_core::experiments;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = tcim_bench::scale_from_env();
-    println!("TCIM reproduction — all experiments at scale {} (seed {})\n", scale.scale, scale.seed);
+    println!(
+        "TCIM reproduction — all experiments at scale {} (seed {})\n",
+        scale.scale, scale.seed
+    );
     println!("{}\n", experiments::table1()?);
     println!("{}\n", experiments::table2(scale)?);
     println!("{}\n", experiments::tables3_and_4(scale)?);

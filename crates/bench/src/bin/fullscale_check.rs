@@ -9,7 +9,11 @@ fn main() {
     for name in ["ego-facebook", "email-enron"] {
         let g = Dataset::by_name(name).unwrap().synthesize(1.0, 42).unwrap();
         let r = acc.count_triangles(&g);
-        println!("{name}: |E|={}, TCIM sim = {:.4} s (paper {})", g.edge_count(),
-            r.sim.total_time_s(), if name=="ego-facebook" {"0.005"} else {"0.021"});
+        println!(
+            "{name}: |E|={}, TCIM sim = {:.4} s (paper {})",
+            g.edge_count(),
+            r.sim.total_time_s(),
+            if name == "ego-facebook" { "0.005" } else { "0.021" }
+        );
     }
 }

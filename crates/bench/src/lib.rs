@@ -13,14 +13,10 @@ use tcim_core::experiments::ExperimentScale;
 /// Full-size paper runs: `TCIM_SCALE=1.0 cargo run --release -p tcim-bench
 /// --bin table5`.
 pub fn scale_from_env() -> ExperimentScale {
-    let scale = std::env::var("TCIM_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(0.05);
-    let seed = std::env::var("TCIM_SEED")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(42);
+    let scale =
+        std::env::var("TCIM_SCALE").ok().and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.05);
+    let seed =
+        std::env::var("TCIM_SEED").ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(42);
     ExperimentScale { scale, seed }
 }
 

@@ -36,10 +36,7 @@ pub struct BitVec {
 impl BitVec {
     /// Creates a zeroed bit vector of `len` bits.
     pub fn new(len: usize) -> Self {
-        BitVec {
-            words: vec![0; len.div_ceil(WORD_BITS)],
-            len,
-        }
+        BitVec { words: vec![0; len.div_ceil(WORD_BITS)], len }
     }
 
     /// Creates a bit vector of `len` bits with the given indices set.
@@ -113,10 +110,7 @@ impl BitVec {
         if index < self.len {
             Ok(self.get(index))
         } else {
-            Err(BitMatrixError::IndexOutOfBounds {
-                index,
-                len: self.len,
-            })
+            Err(BitMatrixError::IndexOutOfBounds { index, len: self.len })
         }
     }
 
@@ -164,10 +158,7 @@ impl BitVec {
     /// Returns [`BitMatrixError::LengthMismatch`] when lengths differ.
     pub fn and_popcount(&self, other: &BitVec) -> Result<u64> {
         if self.len != other.len {
-            return Err(BitMatrixError::LengthMismatch {
-                left: self.len,
-                right: other.len,
-            });
+            return Err(BitMatrixError::LengthMismatch { left: self.len, right: other.len });
         }
         Ok(self
             .words
@@ -184,21 +175,10 @@ impl BitVec {
     /// Returns [`BitMatrixError::LengthMismatch`] when lengths differ.
     pub fn and(&self, other: &BitVec) -> Result<BitVec> {
         if self.len != other.len {
-            return Err(BitMatrixError::LengthMismatch {
-                left: self.len,
-                right: other.len,
-            });
+            return Err(BitMatrixError::LengthMismatch { left: self.len, right: other.len });
         }
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| a & b)
-            .collect();
-        Ok(BitVec {
-            words,
-            len: self.len,
-        })
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| a & b).collect();
+        Ok(BitVec { words, len: self.len })
     }
 
     /// Element-wise OR, producing a new vector.
@@ -208,21 +188,10 @@ impl BitVec {
     /// Returns [`BitMatrixError::LengthMismatch`] when lengths differ.
     pub fn or(&self, other: &BitVec) -> Result<BitVec> {
         if self.len != other.len {
-            return Err(BitMatrixError::LengthMismatch {
-                left: self.len,
-                right: other.len,
-            });
+            return Err(BitMatrixError::LengthMismatch { left: self.len, right: other.len });
         }
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| a | b)
-            .collect();
-        Ok(BitVec {
-            words,
-            len: self.len,
-        })
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| a | b).collect();
+        Ok(BitVec { words, len: self.len })
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -349,10 +318,7 @@ mod tests {
     #[test]
     fn try_get_reports_error() {
         let v = BitVec::new(8);
-        assert_eq!(
-            v.try_get(9),
-            Err(BitMatrixError::IndexOutOfBounds { index: 9, len: 8 })
-        );
+        assert_eq!(v.try_get(9), Err(BitMatrixError::IndexOutOfBounds { index: 9, len: 8 }));
         assert_eq!(v.try_get(7), Ok(false));
     }
 

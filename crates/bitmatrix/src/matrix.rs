@@ -36,10 +36,7 @@ pub struct BitMatrix {
 impl BitMatrix {
     /// Creates an `n × n` zero matrix.
     pub fn new(n: usize) -> Self {
-        BitMatrix {
-            n,
-            rows: vec![BitVec::new(n); n],
-        }
+        BitMatrix { n, rows: vec![BitVec::new(n); n] }
     }
 
     /// Builds the **upper-triangular** adjacency matrix of an undirected
@@ -154,10 +151,7 @@ impl BitMatrix {
     /// Returns [`BitMatrixError::LengthMismatch`] when dimensions differ.
     pub fn mul_counts(&self, other: &BitMatrix) -> Result<Vec<Vec<u32>>> {
         if self.n != other.n {
-            return Err(BitMatrixError::LengthMismatch {
-                left: self.n,
-                right: other.n,
-            });
+            return Err(BitMatrixError::LengthMismatch { left: self.n, right: other.n });
         }
         let other_t = other.transpose();
         // A[i][*] ⋅ B[*][j] = popcount(row_i AND col_j) for 0/1 data.
@@ -285,10 +279,8 @@ mod tests {
         let a = BitMatrix::from_edges(4, &FIG2).unwrap();
         let t = a.transpose();
         let steps = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)];
-        let counts: Vec<u64> = steps
-            .iter()
-            .map(|&(i, j)| a.row(i).and_popcount(t.row(j)).unwrap())
-            .collect();
+        let counts: Vec<u64> =
+            steps.iter().map(|&(i, j)| a.row(i).and_popcount(t.row(j)).unwrap()).collect();
         // Per the figure the running totals are 0,1,1,2,2 → deltas:
         assert_eq!(counts, vec![0, 1, 0, 1, 0]);
         assert_eq!(counts.iter().sum::<u64>(), 2);
@@ -327,8 +319,7 @@ mod tests {
         // C3 = one triangle, C5 = none.
         let c3 = BitMatrix::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
         assert_eq!(c3.triangle_count_trace(), 1);
-        let c5 =
-            BitMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let c5 = BitMatrix::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
         assert_eq!(c5.triangle_count_trace(), 0);
         assert_eq!(c5.triangle_count_bitwise().unwrap(), 0);
     }

@@ -86,12 +86,7 @@ impl SlicedBitVector {
             }
         }
 
-        SlicedBitVector {
-            slice_size,
-            len_bits: v.len(),
-            indices,
-            data,
-        }
+        SlicedBitVector { slice_size, len_bits: v.len(), indices, data }
     }
 
     /// Compresses a vector of `len_bits` bits given the ascending indices of
@@ -129,12 +124,7 @@ impl SlicedBitVector {
             data[base + within / 64] |= 1u64 << (within % 64);
         }
 
-        SlicedBitVector {
-            slice_size,
-            len_bits,
-            indices,
-            data,
-        }
+        SlicedBitVector { slice_size, len_bits, indices, data }
     }
 
     /// The slice size this vector was compressed with.
@@ -187,22 +177,16 @@ impl SlicedBitVector {
     /// Payload of slice `k`, or `None` when the slice is not valid.
     pub fn slice_data(&self, k: u32) -> Option<&[u64]> {
         let wps = self.slice_size.words_per_slice();
-        self.indices
-            .binary_search(&k)
-            .ok()
-            .map(|pos| &self.data[pos * wps..(pos + 1) * wps])
+        self.indices.binary_search(&k).ok().map(|pos| &self.data[pos * wps..(pos + 1) * wps])
     }
 
     /// Iterates over the valid slices in ascending index order.
     pub fn valid_slices(&self) -> impl Iterator<Item = ValidSlice<'_>> + '_ {
         let wps = self.slice_size.words_per_slice();
-        self.indices
-            .iter()
-            .enumerate()
-            .map(move |(pos, &index)| ValidSlice {
-                index,
-                words: &self.data[pos * wps..(pos + 1) * wps],
-            })
+        self.indices.iter().enumerate().map(move |(pos, &index)| ValidSlice {
+            index,
+            words: &self.data[pos * wps..(pos + 1) * wps],
+        })
     }
 
     /// The merge-join of valid slices of `self` and `other`: yields the
@@ -214,7 +198,10 @@ impl SlicedBitVector {
     /// Returns [`BitMatrixError::SliceSizeMismatch`] when the operands use
     /// different slice sizes and [`BitMatrixError::LengthMismatch`] when the
     /// uncompressed lengths differ.
-    pub fn matching_slices<'a>(&'a self, other: &'a SlicedBitVector) -> Result<MatchingSlices<'a>> {
+    pub fn matching_slices<'a>(
+        &'a self,
+        other: &'a SlicedBitVector,
+    ) -> Result<MatchingSlices<'a>> {
         if self.slice_size != other.slice_size {
             return Err(BitMatrixError::SliceSizeMismatch {
                 left: self.slice_size.bits(),
@@ -227,12 +214,7 @@ impl SlicedBitVector {
                 right: other.len_bits,
             });
         }
-        Ok(MatchingSlices {
-            left: self,
-            right: other,
-            li: 0,
-            ri: 0,
-        })
+        Ok(MatchingSlices { left: self, right: other, li: 0, ri: 0 })
     }
 
     /// `popcount(self AND other)` over valid slice pairs only — the TCIM
@@ -255,9 +237,8 @@ impl SlicedBitVector {
     ///
     /// Panics if the slice sizes or lengths differ.
     pub fn and_popcount_with(&self, other: &SlicedBitVector, method: PopcountMethod) -> u64 {
-        let pairs = self
-            .matching_slices(other)
-            .expect("operands must share slice size and length");
+        let pairs =
+            self.matching_slices(other).expect("operands must share slice size and length");
         let mut total = 0u64;
         for (_, a, b) in pairs {
             for (x, y) in a.iter().zip(b) {
@@ -384,11 +365,7 @@ mod tests {
         assert_eq!(row_valid, vec![0, 3, 5]);
         assert_eq!(col_valid, vec![2, 3, 5]);
         // Only the {3, 5} pairs match.
-        let pairs: Vec<u32> = row
-            .matching_slices(&col)
-            .unwrap()
-            .map(|(k, _, _)| k)
-            .collect();
+        let pairs: Vec<u32> = row.matching_slices(&col).unwrap().map(|(k, _, _)| k).collect();
         assert_eq!(pairs, vec![3, 5]);
         // One common bit (3·16+1); the slice-5 pair ANDs to zero.
         assert_eq!(row.and_popcount(&col), 1);
@@ -461,10 +438,7 @@ mod tests {
     fn mismatched_length_is_error() {
         let a = sliced(128, &[0], SliceSize::S64);
         let b = sliced(129, &[0], SliceSize::S64);
-        assert!(matches!(
-            a.matching_slices(&b),
-            Err(BitMatrixError::LengthMismatch { .. })
-        ));
+        assert!(matches!(a.matching_slices(&b), Err(BitMatrixError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -88,10 +88,7 @@ impl SlicedMatrix {
     ///
     /// Returns [`BitMatrixError::DimensionOutOfBounds`] if any neighbour
     /// index is `>= n` (checked before any allocation-heavy work).
-    pub fn from_adjacency(
-        adjacency: &[Vec<u32>],
-        slice_size: SliceSize,
-    ) -> Result<Self> {
+    pub fn from_adjacency(adjacency: &[Vec<u32>], slice_size: SliceSize) -> Result<Self> {
         let n = adjacency.len();
         for row in adjacency {
             for &j in row {
@@ -136,13 +133,7 @@ impl SlicedMatrix {
             })
             .collect();
 
-        Ok(SlicedMatrix {
-            n,
-            slice_size,
-            rows,
-            cols,
-            edges,
-        })
+        Ok(SlicedMatrix { n, slice_size, rows, cols, edges })
     }
 
     /// Matrix dimension `n` (number of vertices).
@@ -227,11 +218,7 @@ pub struct SlicedMatrixBuilder {
 impl SlicedMatrixBuilder {
     /// Creates a builder for an `n × n` matrix with slice size `slice_size`.
     pub fn new(n: usize, slice_size: SliceSize) -> Self {
-        SlicedMatrixBuilder {
-            n,
-            slice_size,
-            adjacency: vec![Vec::new(); n],
-        }
+        SlicedMatrixBuilder { n, slice_size, adjacency: vec![Vec::new(); n] }
     }
 
     /// Adds undirected edge `{u, v}` (stored as `A[min][max] = 1`).

@@ -110,10 +110,7 @@ fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
         (
             Just(n),
             proptest::collection::vec((0..n, 0..n), 0..200).prop_map(|pairs| {
-                pairs
-                    .into_iter()
-                    .filter(|(u, v)| u != v)
-                    .collect::<Vec<_>>()
+                pairs.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>()
             }),
         )
     })

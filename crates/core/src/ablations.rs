@@ -117,7 +117,8 @@ pub fn slice_size_ablation(g: &CsrGraph) -> Result<Vec<SliceSizePoint>> {
 /// Propagates engine construction failures.
 pub fn replacement_ablation(g: &CsrGraph, capacity_slices: usize) -> Result<Vec<SweepPoint>> {
     let oriented = Orientation::Natural.orient(g);
-    let matrix = SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
+    let matrix =
+        SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
     Ok(policy_sweep(&PimConfig::default(), &matrix, capacity_slices)?)
 }
 
@@ -128,7 +129,8 @@ pub fn replacement_ablation(g: &CsrGraph, capacity_slices: usize) -> Result<Vec<
 /// Propagates engine construction failures.
 pub fn capacity_ablation(g: &CsrGraph, capacities: &[usize]) -> Result<Vec<SweepPoint>> {
     let oriented = Orientation::Natural.orient(g);
-    let matrix = SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
+    let matrix =
+        SlicedMatrix::from_adjacency(oriented.rows(), PimConfig::default().slice_size)?;
     Ok(capacity_sweep(&PimConfig::default(), &matrix, capacities)?)
 }
 

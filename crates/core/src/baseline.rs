@@ -124,8 +124,7 @@ pub fn parallel_edge_iterator(g: &CsrGraph, threads: usize) -> u64 {
                             let above = |list: &[u32]| list.partition_point(|&w| w <= v);
                             let nu = g.neighbors(u);
                             let nv = g.neighbors(v);
-                            local +=
-                                merge_intersect_count(&nu[above(nu)..], &nv[above(nv)..]);
+                            local += merge_intersect_count(&nu[above(nu)..], &nv[above(nv)..]);
                         }
                     }
                     local

@@ -16,6 +16,8 @@ pub enum CoreError {
     Arch(tcim_arch::ArchError),
     /// Bit-matrix construction failed.
     BitMatrix(tcim_bitmatrix::BitMatrixError),
+    /// Multi-array scheduling failed.
+    Sched(tcim_sched::SchedError),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +26,7 @@ impl fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Arch(e) => write!(f, "architecture error: {e}"),
             CoreError::BitMatrix(e) => write!(f, "bit-matrix error: {e}"),
+            CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
         }
     }
 }
@@ -34,6 +37,7 @@ impl Error for CoreError {
             CoreError::Graph(e) => Some(e),
             CoreError::Arch(e) => Some(e),
             CoreError::BitMatrix(e) => Some(e),
+            CoreError::Sched(e) => Some(e),
         }
     }
 }
@@ -56,15 +60,20 @@ impl From<tcim_bitmatrix::BitMatrixError> for CoreError {
     }
 }
 
+impl From<tcim_sched::SchedError> for CoreError {
+    fn from(e: tcim_sched::SchedError) -> Self {
+        CoreError::Sched(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn wraps_and_sources() {
-        let e = CoreError::from(tcim_graph::GraphError::InvalidParameter {
-            reason: "x".into(),
-        });
+        let e =
+            CoreError::from(tcim_graph::GraphError::InvalidParameter { reason: "x".into() });
         assert!(e.to_string().contains("graph error"));
         assert!(e.source().is_some());
     }

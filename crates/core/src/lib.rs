@@ -19,6 +19,9 @@
 //! * [`metrics`] — graph metrics built on triangle counts (transitivity,
 //!   clustering coefficient).
 //! * [`verify`] — a one-call cross-check of all five counting paths.
+//! * scheduling — [`TcimAccelerator::count_triangles_scheduled`] runs the
+//!   dataflow on the `tcim-sched` multi-array runtime ([`SchedPolicy`],
+//!   [`ScheduledReport`] are re-exported here).
 //! * [`ablations`] — structured drivers for the DESIGN.md §5 ablations,
 //!   with their findings pinned by tests.
 //!
@@ -40,8 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod accelerator;
 pub mod ablations;
+mod accelerator;
 pub mod baseline;
 mod error;
 pub mod experiments;
@@ -52,3 +55,6 @@ pub mod verify;
 
 pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
 pub use error::{CoreError, Result};
+// Scheduling types surface in the accelerator's public API
+// (`TcimAccelerator::count_triangles_scheduled`), so re-export them.
+pub use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledReport};

@@ -33,15 +33,105 @@ pub struct PaperRow {
 
 /// All nine rows of Table V in paper order.
 pub const TABLE_V: [PaperRow; 9] = [
-    PaperRow { dataset: "ego-facebook", cpu_s: 5.399, gpu_s: Some(0.15), fpga_s: Some(0.093), wo_pim_s: 0.169, tcim_s: 0.005, valid_slice_mb: 0.182, valid_slice_pct: 7.017, fpga_energy_ratio: Some(15.8) },
-    PaperRow { dataset: "email-enron", cpu_s: 9.545, gpu_s: Some(0.146), fpga_s: Some(0.22), wo_pim_s: 0.8, tcim_s: 0.021, valid_slice_mb: 1.02, valid_slice_pct: 1.607, fpga_energy_ratio: Some(9.3) },
-    PaperRow { dataset: "com-amazon", cpu_s: 20.344, gpu_s: None, fpga_s: None, wo_pim_s: 0.295, tcim_s: 0.011, valid_slice_mb: 7.4, valid_slice_pct: 0.014, fpga_energy_ratio: None },
-    PaperRow { dataset: "com-dblp", cpu_s: 20.803, gpu_s: None, fpga_s: None, wo_pim_s: 0.413, tcim_s: 0.027, valid_slice_mb: 7.6, valid_slice_pct: 0.036, fpga_energy_ratio: None },
-    PaperRow { dataset: "com-youtube", cpu_s: 61.309, gpu_s: None, fpga_s: None, wo_pim_s: 2.442, tcim_s: 0.098, valid_slice_mb: 16.8, valid_slice_pct: 0.013, fpga_energy_ratio: None },
-    PaperRow { dataset: "roadnet-pa", cpu_s: 77.320, gpu_s: Some(0.169), fpga_s: Some(1.291), wo_pim_s: 0.704, tcim_s: 0.043, valid_slice_mb: 9.96, valid_slice_pct: 0.013, fpga_energy_ratio: Some(26.5) },
-    PaperRow { dataset: "roadnet-tx", cpu_s: 94.379, gpu_s: Some(0.173), fpga_s: Some(1.586), wo_pim_s: 0.789, tcim_s: 0.053, valid_slice_mb: 12.38, valid_slice_pct: 0.010, fpga_energy_ratio: Some(26.4) },
-    PaperRow { dataset: "roadnet-ca", cpu_s: 146.858, gpu_s: Some(0.18), fpga_s: Some(2.342), wo_pim_s: 3.561, tcim_s: 0.081, valid_slice_mb: 16.78, valid_slice_pct: 0.007, fpga_energy_ratio: Some(25.4) },
-    PaperRow { dataset: "com-lj", cpu_s: 820.616, gpu_s: None, fpga_s: None, wo_pim_s: 33.034, tcim_s: 2.006, valid_slice_mb: 16.8, valid_slice_pct: 0.006, fpga_energy_ratio: None },
+    PaperRow {
+        dataset: "ego-facebook",
+        cpu_s: 5.399,
+        gpu_s: Some(0.15),
+        fpga_s: Some(0.093),
+        wo_pim_s: 0.169,
+        tcim_s: 0.005,
+        valid_slice_mb: 0.182,
+        valid_slice_pct: 7.017,
+        fpga_energy_ratio: Some(15.8),
+    },
+    PaperRow {
+        dataset: "email-enron",
+        cpu_s: 9.545,
+        gpu_s: Some(0.146),
+        fpga_s: Some(0.22),
+        wo_pim_s: 0.8,
+        tcim_s: 0.021,
+        valid_slice_mb: 1.02,
+        valid_slice_pct: 1.607,
+        fpga_energy_ratio: Some(9.3),
+    },
+    PaperRow {
+        dataset: "com-amazon",
+        cpu_s: 20.344,
+        gpu_s: None,
+        fpga_s: None,
+        wo_pim_s: 0.295,
+        tcim_s: 0.011,
+        valid_slice_mb: 7.4,
+        valid_slice_pct: 0.014,
+        fpga_energy_ratio: None,
+    },
+    PaperRow {
+        dataset: "com-dblp",
+        cpu_s: 20.803,
+        gpu_s: None,
+        fpga_s: None,
+        wo_pim_s: 0.413,
+        tcim_s: 0.027,
+        valid_slice_mb: 7.6,
+        valid_slice_pct: 0.036,
+        fpga_energy_ratio: None,
+    },
+    PaperRow {
+        dataset: "com-youtube",
+        cpu_s: 61.309,
+        gpu_s: None,
+        fpga_s: None,
+        wo_pim_s: 2.442,
+        tcim_s: 0.098,
+        valid_slice_mb: 16.8,
+        valid_slice_pct: 0.013,
+        fpga_energy_ratio: None,
+    },
+    PaperRow {
+        dataset: "roadnet-pa",
+        cpu_s: 77.320,
+        gpu_s: Some(0.169),
+        fpga_s: Some(1.291),
+        wo_pim_s: 0.704,
+        tcim_s: 0.043,
+        valid_slice_mb: 9.96,
+        valid_slice_pct: 0.013,
+        fpga_energy_ratio: Some(26.5),
+    },
+    PaperRow {
+        dataset: "roadnet-tx",
+        cpu_s: 94.379,
+        gpu_s: Some(0.173),
+        fpga_s: Some(1.586),
+        wo_pim_s: 0.789,
+        tcim_s: 0.053,
+        valid_slice_mb: 12.38,
+        valid_slice_pct: 0.010,
+        fpga_energy_ratio: Some(26.4),
+    },
+    PaperRow {
+        dataset: "roadnet-ca",
+        cpu_s: 146.858,
+        gpu_s: Some(0.18),
+        fpga_s: Some(2.342),
+        wo_pim_s: 3.561,
+        tcim_s: 0.081,
+        valid_slice_mb: 16.78,
+        valid_slice_pct: 0.007,
+        fpga_energy_ratio: Some(25.4),
+    },
+    PaperRow {
+        dataset: "com-lj",
+        cpu_s: 820.616,
+        gpu_s: None,
+        fpga_s: None,
+        wo_pim_s: 33.034,
+        tcim_s: 2.006,
+        valid_slice_mb: 16.8,
+        valid_slice_pct: 0.006,
+        fpga_energy_ratio: None,
+    },
 ];
 
 /// Board power assumed for the FPGA of \[3\] when converting its published
@@ -90,10 +180,7 @@ mod tests {
     #[test]
     fn paper_speedups_are_consistent_with_the_table() {
         // Geometric-mean sanity: TCIM beats w/o PIM by ~25× across rows.
-        let mean: f64 = TABLE_V
-            .iter()
-            .map(|r| (r.wo_pim_s / r.tcim_s).ln())
-            .sum::<f64>()
+        let mean: f64 = TABLE_V.iter().map(|r| (r.wo_pim_s / r.tcim_s).ln()).sum::<f64>()
             / TABLE_V.len() as f64;
         let gmean = mean.exp();
         assert!(

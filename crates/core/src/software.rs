@@ -123,8 +123,8 @@ mod tests {
         let g = gnm(250, 1500, 9).unwrap();
         let expected = baseline::forward(&g);
         for s in SliceSize::ALL {
-            let run =
-                sliced_software_tc(&g, s, Orientation::Natural, PopcountMethod::Native).unwrap();
+            let run = sliced_software_tc(&g, s, Orientation::Natural, PopcountMethod::Native)
+                .unwrap();
             assert_eq!(run.triangles, expected, "slice size {s}");
         }
     }
@@ -134,13 +134,22 @@ mod tests {
         // Every 16-bit match lies inside a matching 512-bit pair, so
         // shrinking |S| by 32x multiplies the pair count by at most 32.
         let g = gnm(300, 2500, 4).unwrap();
-        let p16 = sliced_software_tc(&g, SliceSize::S16, Orientation::Natural, PopcountMethod::Native)
-            .unwrap()
-            .slice_pairs;
-        let p512 =
-            sliced_software_tc(&g, SliceSize::S512, Orientation::Natural, PopcountMethod::Native)
-                .unwrap()
-                .slice_pairs;
+        let p16 = sliced_software_tc(
+            &g,
+            SliceSize::S16,
+            Orientation::Natural,
+            PopcountMethod::Native,
+        )
+        .unwrap()
+        .slice_pairs;
+        let p512 = sliced_software_tc(
+            &g,
+            SliceSize::S512,
+            Orientation::Natural,
+            PopcountMethod::Native,
+        )
+        .unwrap()
+        .slice_pairs;
         assert!(p16 <= 32 * p512, "16-bit pairs {p16} vs 512-bit pairs {p512}");
     }
 }

@@ -57,9 +57,19 @@ impl CrossCheckReport {
 
 impl fmt::Display for CrossCheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cross-check ({}):", if self.consistent() { "consistent" } else { "INCONSISTENT" })?;
+        writeln!(
+            f,
+            "cross-check ({}):",
+            if self.consistent() { "consistent" } else { "INCONSISTENT" }
+        )?;
         for p in &self.paths {
-            writeln!(f, "  {:<24} {:>12} triangles  ({:.3} ms)", p.name, p.triangles, p.elapsed.as_secs_f64() * 1e3)?;
+            writeln!(
+                f,
+                "  {:<24} {:>12} triangles  ({:.3} ms)",
+                p.name,
+                p.triangles,
+                p.elapsed.as_secs_f64() * 1e3
+            )?;
         }
         Ok(())
     }
@@ -100,7 +110,8 @@ pub fn cross_check(g: &CsrGraph) -> Result<CrossCheckReport> {
     timed("forward", &mut || baseline::forward(g));
 
     let start = Instant::now();
-    let sw = sliced_software_tc(g, SliceSize::S64, Orientation::Degeneracy, PopcountMethod::Lut8)?;
+    let sw =
+        sliced_software_tc(g, SliceSize::S64, Orientation::Degeneracy, PopcountMethod::Lut8)?;
     paths.push(PathResult {
         name: "sliced software (LUT)",
         triangles: sw.triangles,

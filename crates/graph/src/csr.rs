@@ -51,10 +51,16 @@ impl CsrGraph {
         let mut directed: Vec<(u32, u32)> = Vec::new();
         for (u, v) in edges {
             if u as usize >= n {
-                return Err(GraphError::VertexOutOfBounds { vertex: u64::from(u), count: n as u64 });
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: u64::from(u),
+                    count: n as u64,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::VertexOutOfBounds { vertex: u64::from(v), count: n as u64 });
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: u64::from(v),
+                    count: n as u64,
+                });
             }
             if u != v {
                 directed.push((u, v));
@@ -124,11 +130,7 @@ impl CsrGraph {
     /// lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.vertex_count() as u32).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -166,12 +168,7 @@ impl CsrGraph {
 
 impl fmt::Debug for CsrGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "CsrGraph(|V|={}, |E|={})",
-            self.vertex_count(),
-            self.edge_count()
-        )
+        write!(f, "CsrGraph(|V|={}, |E|={})", self.vertex_count(), self.edge_count())
     }
 }
 
@@ -218,7 +215,8 @@ mod tests {
 
     #[test]
     fn degree_sums_to_twice_edges() {
-        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let g =
+            CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
         assert_eq!(sum, 2 * g.edge_count());
     }

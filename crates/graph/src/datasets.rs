@@ -22,7 +22,7 @@ use rand::Rng;
 
 use crate::csr::CsrGraph;
 use crate::error::Result;
-use crate::generators::{barabasi_albert, road_grid, rng_from_seed};
+use crate::generators::{barabasi_albert, rng_from_seed, road_grid};
 
 /// Structural family of a dataset, selecting the synthesis recipe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,15 +53,69 @@ pub struct Dataset {
 
 /// The nine rows of Table II, in paper order.
 pub const TABLE_II: [Dataset; 9] = [
-    Dataset { name: "ego-facebook", vertices: 4_039, edges: 88_234, triangles: 1_612_010, family: GraphFamily::Social },
-    Dataset { name: "email-enron", vertices: 36_692, edges: 183_831, triangles: 727_044, family: GraphFamily::Social },
-    Dataset { name: "com-amazon", vertices: 334_863, edges: 925_872, triangles: 667_129, family: GraphFamily::Collaboration },
-    Dataset { name: "com-dblp", vertices: 317_080, edges: 1_049_866, triangles: 2_224_385, family: GraphFamily::Collaboration },
-    Dataset { name: "com-youtube", vertices: 1_134_890, edges: 2_987_624, triangles: 3_056_386, family: GraphFamily::Social },
-    Dataset { name: "roadnet-pa", vertices: 1_088_092, edges: 1_541_898, triangles: 67_150, family: GraphFamily::Road },
-    Dataset { name: "roadnet-tx", vertices: 1_379_917, edges: 1_921_660, triangles: 82_869, family: GraphFamily::Road },
-    Dataset { name: "roadnet-ca", vertices: 1_965_206, edges: 2_766_607, triangles: 120_676, family: GraphFamily::Road },
-    Dataset { name: "com-lj", vertices: 3_997_962, edges: 34_681_189, triangles: 177_820_130, family: GraphFamily::Social },
+    Dataset {
+        name: "ego-facebook",
+        vertices: 4_039,
+        edges: 88_234,
+        triangles: 1_612_010,
+        family: GraphFamily::Social,
+    },
+    Dataset {
+        name: "email-enron",
+        vertices: 36_692,
+        edges: 183_831,
+        triangles: 727_044,
+        family: GraphFamily::Social,
+    },
+    Dataset {
+        name: "com-amazon",
+        vertices: 334_863,
+        edges: 925_872,
+        triangles: 667_129,
+        family: GraphFamily::Collaboration,
+    },
+    Dataset {
+        name: "com-dblp",
+        vertices: 317_080,
+        edges: 1_049_866,
+        triangles: 2_224_385,
+        family: GraphFamily::Collaboration,
+    },
+    Dataset {
+        name: "com-youtube",
+        vertices: 1_134_890,
+        edges: 2_987_624,
+        triangles: 3_056_386,
+        family: GraphFamily::Social,
+    },
+    Dataset {
+        name: "roadnet-pa",
+        vertices: 1_088_092,
+        edges: 1_541_898,
+        triangles: 67_150,
+        family: GraphFamily::Road,
+    },
+    Dataset {
+        name: "roadnet-tx",
+        vertices: 1_379_917,
+        edges: 1_921_660,
+        triangles: 82_869,
+        family: GraphFamily::Road,
+    },
+    Dataset {
+        name: "roadnet-ca",
+        vertices: 1_965_206,
+        edges: 2_766_607,
+        triangles: 120_676,
+        family: GraphFamily::Road,
+    },
+    Dataset {
+        name: "com-lj",
+        vertices: 3_997_962,
+        edges: 34_681_189,
+        triangles: 177_820_130,
+        family: GraphFamily::Social,
+    },
 ];
 
 impl Dataset {
@@ -277,17 +331,20 @@ mod tests {
         // A shuffled ring has distant neighbour ids; BFS relabelling must
         // bring the mean |u - v| gap down near 1.
         let n = 256u32;
-        let edges: Vec<(u32, u32)> = (0..n)
-            .map(|i| ((i * 37) % n, ((i + 1) * 37) % n))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..n).map(|i| ((i * 37) % n, ((i + 1) * 37) % n)).collect();
         let g = CsrGraph::from_edges(n as usize, edges).unwrap();
         let gap = |g: &CsrGraph| -> f64 {
             g.edges().map(|(u, v)| (v - u) as f64).sum::<f64>() / g.edge_count() as f64
         };
         let relabelled = bfs_relabel(&g);
         assert_eq!(relabelled.edge_count(), g.edge_count());
-        assert!(gap(&relabelled) < gap(&g) / 4.0,
-            "gap before {} after {}", gap(&g), gap(&relabelled));
+        assert!(
+            gap(&relabelled) < gap(&g) / 4.0,
+            "gap before {} after {}",
+            gap(&g),
+            gap(&relabelled)
+        );
     }
 
     #[test]

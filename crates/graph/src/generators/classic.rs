@@ -24,8 +24,7 @@ pub fn fig2_example() -> CsrGraph {
 
 /// The complete graph `K_n`, with `C(n, 3)` triangles.
 pub fn complete(n: usize) -> CsrGraph {
-    let edges = (0..n as u32)
-        .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)));
+    let edges = (0..n as u32).flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)));
     CsrGraph::from_edges(n, edges).expect("generated edges are in bounds")
 }
 
@@ -63,9 +62,8 @@ pub fn wheel(n: usize) -> CsrGraph {
 
 /// The complete bipartite graph `K_{a,b}`: triangle-free.
 pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
-    let edges = (0..a as u32).flat_map(move |u| {
-        (a as u32..(a + b) as u32).map(move |v| (u, v))
-    });
+    let edges =
+        (0..a as u32).flat_map(move |u| (a as u32..(a + b) as u32).map(move |v| (u, v)));
     CsrGraph::from_edges(a + b, edges).expect("generated edges are in bounds")
 }
 

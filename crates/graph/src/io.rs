@@ -60,10 +60,7 @@ pub fn read_snap_edges<R: Read>(reader: R) -> Result<CsrGraph> {
         let u = parse(parts.next())?;
         let v = parse(parts.next())?;
         if parts.next().is_some() {
-            return Err(GraphError::Parse {
-                line: lineno + 1,
-                content: trimmed.to_string(),
-            });
+            return Err(GraphError::Parse { line: lineno + 1, content: trimmed.to_string() });
         }
         let ui = intern(u, &mut ids);
         let vi = intern(v, &mut ids);
@@ -125,10 +122,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph> {
     let mut lines = reader.lines().enumerate();
 
     // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>.
-    let (_, header) = lines.next().ok_or_else(|| GraphError::Parse {
-        line: 1,
-        content: "<empty file>".to_string(),
-    })?;
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse { line: 1, content: "<empty file>".to_string() })?;
     let header = header?;
     let lowered = header.to_ascii_lowercase();
     if !lowered.starts_with("%%matrixmarket matrix coordinate") {
@@ -145,17 +141,23 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse_err = || GraphError::Parse { line: lineno + 1, content: trimmed.to_string() };
+        let parse_err =
+            || GraphError::Parse { line: lineno + 1, content: trimmed.to_string() };
         match dims {
             None => {
-                let rows: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
-                let cols: usize = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
-                let entries: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let rows: usize =
+                    parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let cols: usize =
+                    parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let entries: u64 =
+                    parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
                 dims = Some((rows.max(cols), entries));
             }
             Some(_) => {
-                let i: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
-                let j: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let i: u64 =
+                    parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
+                let j: u64 =
+                    parts.next().and_then(|t| t.parse().ok()).ok_or_else(parse_err)?;
                 // Optional value column is ignored; 1-based → 0-based.
                 if i == 0 || j == 0 {
                     return Err(parse_err());
@@ -245,7 +247,10 @@ mod tests {
     #[test]
     fn matrix_market_rejects_bad_input() {
         assert!(read_matrix_market("not a header\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix coordinate pattern general\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate pattern general\n".as_bytes()
+        )
+        .is_err());
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n".as_bytes()
         )

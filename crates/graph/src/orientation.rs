@@ -113,13 +113,7 @@ impl OrientedGraph {
     fn upper_triangular(g: &CsrGraph) -> Self {
         let rows = g
             .vertices()
-            .map(|u| {
-                g.neighbors(u)
-                    .iter()
-                    .copied()
-                    .filter(|&v| v > u)
-                    .collect::<Vec<u32>>()
-            })
+            .map(|u| g.neighbors(u).iter().copied().filter(|&v| v > u).collect::<Vec<u32>>())
             .collect();
         OrientedGraph { rows, original: None }
     }
@@ -130,7 +124,10 @@ impl OrientedGraph {
         for (old, &new) in perm.iter().enumerate() {
             original[new as usize] = old as u32;
         }
-        OrientedGraph { original: Some(original), ..OrientedGraph::upper_triangular(&relabelled) }
+        OrientedGraph {
+            original: Some(original),
+            ..OrientedGraph::upper_triangular(&relabelled)
+        }
     }
 
     /// Maps a vertex id of the oriented graph back to the id in the input
@@ -204,7 +201,8 @@ mod tests {
     #[test]
     fn arcs_point_upward() {
         let g = classic::complete(20);
-        for orientation in [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy] {
+        for orientation in [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy]
+        {
             let o = orientation.orient(&g);
             assert!(o.arcs().all(|(i, j)| i < j));
             assert_eq!(o.arc_count(), g.edge_count());
@@ -256,7 +254,8 @@ mod tests {
     #[test]
     fn original_id_roundtrips() {
         let g = classic::wheel(12);
-        for orientation in [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy] {
+        for orientation in [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy]
+        {
             let o = orientation.orient(&g);
             // Every original id appears exactly once under the mapping.
             let mut seen: Vec<u32> =

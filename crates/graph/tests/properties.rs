@@ -6,10 +6,7 @@ use tcim_graph::{CsrGraph, Orientation};
 
 fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (1usize..60).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..300),
-        )
+        (Just(n), proptest::collection::vec((0..n as u32, 0..n as u32), 0..300))
     })
 }
 

@@ -21,7 +21,7 @@
 //! than barrier height, so [`BrinkmanModel::calibrated`] solves the
 //! inverse problem: find `φ` such that `1/G(0) = RA`.
 
-use crate::constants::{ELEMENTARY_CHARGE, ELECTRON_MASS, HBAR};
+use crate::constants::{ELECTRON_MASS, ELEMENTARY_CHARGE, HBAR};
 use crate::error::{MtjError, Result};
 use crate::params::MtjParams;
 
@@ -156,10 +156,7 @@ mod tests {
         let p = MtjParams::table_i();
         let m = model();
         let ra = 1.0 / m.zero_bias_conductance_per_m2();
-        assert!(
-            (ra - p.ra_product_ohm_m2).abs() / p.ra_product_ohm_m2 < 1e-6,
-            "ra {ra:e}"
-        );
+        assert!((ra - p.ra_product_ohm_m2).abs() / p.ra_product_ohm_m2 < 1e-6, "ra {ra:e}");
     }
 
     #[test]

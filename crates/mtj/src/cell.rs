@@ -75,16 +75,12 @@ impl MtjCell {
         let i_ap2p = params.write_voltage_v / r_ap_write;
 
         let solver = LlgSolver::new(params)?;
-        let t_p2ap = solver
-            .switching_time_s(i_p2ap)
-            .ok_or(crate::error::MtjError::SolverDidNotConverge {
-                simulated_s: solver.max_time_s,
-            })?;
-        let t_ap2p = solver
-            .switching_time_s(i_ap2p)
-            .ok_or(crate::error::MtjError::SolverDidNotConverge {
-                simulated_s: solver.max_time_s,
-            })?;
+        let t_p2ap = solver.switching_time_s(i_p2ap).ok_or(
+            crate::error::MtjError::SolverDidNotConverge { simulated_s: solver.max_time_s },
+        )?;
+        let t_ap2p = solver.switching_time_s(i_ap2p).ok_or(
+            crate::error::MtjError::SolverDidNotConverge { simulated_s: solver.max_time_s },
+        )?;
 
         let e_p2ap = params.write_voltage_v * i_p2ap * t_p2ap;
         let e_ap2p = params.write_voltage_v * i_ap2p * t_ap2p;

@@ -48,11 +48,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MtjError::InvalidParameter {
-            name: "tmr",
-            value: -1.0,
-            requirement: "positive",
-        };
+        let e =
+            MtjError::InvalidParameter { name: "tmr", value: -1.0, requirement: "positive" };
         assert!(e.to_string().contains("tmr"));
         assert!(e.to_string().contains("positive"));
     }

@@ -24,11 +24,7 @@ use crate::params::MtjParams;
 pub type Vec3 = [f64; 3];
 
 fn cross(a: Vec3, b: Vec3) -> Vec3 {
-    [
-        a[1] * b[2] - a[2] * b[1],
-        a[2] * b[0] - a[0] * b[2],
-        a[0] * b[1] - a[1] * b[0],
-    ]
+    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
 }
 
 fn axpy(y: &mut Vec3, a: f64, x: Vec3) {
@@ -91,11 +87,7 @@ impl LlgSolver {
     /// validation.
     pub fn new(params: &MtjParams) -> Result<Self> {
         params.validate()?;
-        Ok(LlgSolver {
-            params: params.clone(),
-            dt_s: 1e-12,
-            max_time_s: 50e-9,
-        })
+        Ok(LlgSolver { params: params.clone(), dt_s: 1e-12, max_time_s: 50e-9 })
     }
 
     /// Spin-torque field `a_J` (A/m) produced by `current_a` through the
@@ -212,11 +204,7 @@ impl LlgSolver {
                 };
             }
         }
-        SwitchingResult {
-            switched: false,
-            time_s: self.max_time_s,
-            final_m: m,
-        }
+        SwitchingResult { switched: false, time_s: self.max_time_s, final_m: m }
     }
 
     /// Switching time (s) at `current_a`, or `None` when the current does
@@ -282,9 +270,7 @@ impl LlgSolver {
         let ic0 = self.critical_current_a();
         let mut hi = 8.0 * ic0;
         if !self.simulate_switching(hi).switched {
-            return Err(MtjError::SolverDidNotConverge {
-                simulated_s: self.max_time_s,
-            });
+            return Err(MtjError::SolverDidNotConverge { simulated_s: self.max_time_s });
         }
         let mut lo = 0.0;
         while (hi - lo) / ic0 > tolerance_ratio {

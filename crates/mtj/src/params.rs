@@ -173,10 +173,7 @@ mod tests {
     fn rejects_nonpositive_fields() {
         let mut p = MtjParams::table_i();
         p.tmr = 0.0;
-        assert!(matches!(
-            p.validate(),
-            Err(MtjError::InvalidParameter { name: "tmr", .. })
-        ));
+        assert!(matches!(p.validate(), Err(MtjError::InvalidParameter { name: "tmr", .. })));
         let mut p = MtjParams::table_i();
         p.temperature_k = f64::NAN;
         assert!(p.validate().is_err());

@@ -55,11 +55,7 @@ impl SenseAmp {
     /// Builds the sense model from a characterized cell, sensing at the
     /// cell's read voltage.
     pub fn from_cell(cell: &MtjCell) -> Self {
-        SenseAmp {
-            v_read: cell.params.read_voltage_v,
-            r_p: cell.r_p_ohm,
-            r_ap: cell.r_ap_ohm,
-        }
+        SenseAmp { v_read: cell.params.read_voltage_v, r_p: cell.r_p_ohm, r_ap: cell.r_ap_ohm }
     }
 
     /// Builds the sense model from explicit resistances (used by the

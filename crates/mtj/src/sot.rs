@@ -228,8 +228,10 @@ mod tests {
         let c = model().characterize().unwrap();
         assert!(c.write_current_a > c.critical_current_a);
         assert!(c.write_latency_s > 0.01e-9 && c.write_latency_s < 50e-9);
-        let expected_energy =
-            c.write_current_a * c.write_current_a * c.heavy_metal_resistance_ohm * c.write_latency_s;
+        let expected_energy = c.write_current_a
+            * c.write_current_a
+            * c.heavy_metal_resistance_ohm
+            * c.write_latency_s;
         assert!((c.write_energy_j - expected_energy).abs() < 1e-20);
     }
 

@@ -11,12 +11,12 @@ use tcim_mtj::MtjParams;
 /// Table I.
 fn params_strategy() -> impl Strategy<Value = MtjParams> {
     (
-        20.0..80.0f64,   // surface length nm
-        20.0..80.0f64,   // surface width nm
-        0.5..2.0f64,     // TMR
-        0.01..0.06f64,   // damping
-        2e5..8e5f64,     // anisotropy field
-        0.9..1.6f64,     // free layer thickness nm
+        20.0..80.0f64, // surface length nm
+        20.0..80.0f64, // surface width nm
+        0.5..2.0f64,   // TMR
+        0.01..0.06f64, // damping
+        2e5..8e5f64,   // anisotropy field
+        0.9..1.6f64,   // free layer thickness nm
     )
         .prop_map(|(l, w, tmr, alpha, hk, tf)| MtjParams {
             surface_length_nm: l,

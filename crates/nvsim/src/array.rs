@@ -85,7 +85,10 @@ impl ArrayModel {
     ///
     /// Returns an organization-validation error; the device inputs are
     /// already validated by construction of [`MtjCell`].
-    pub fn characterize(cell: &MtjCell, org: &ArrayOrganization) -> Result<ArrayCharacterization> {
+    pub fn characterize(
+        cell: &MtjCell,
+        org: &ArrayOrganization,
+    ) -> Result<ArrayCharacterization> {
         ArrayModel::default().characterize_with(cell, org)
     }
 
@@ -114,8 +117,11 @@ impl ArrayModel {
         let drivers = write_drivers(tech, cols);
 
         // --- Latency ---------------------------------------------------
-        let sense_path =
-            dec.latency_s + wl.elmore_delay_s() + bl.elmore_delay_s() + mux.latency_s + sas.latency_s;
+        let sense_path = dec.latency_s
+            + wl.elmore_delay_s()
+            + bl.elmore_delay_s()
+            + mux.latency_s
+            + sas.latency_s;
         // Multi-row activation drives both word lines in parallel; decode
         // of the second address overlaps the first (two decoders per
         // sub-array in the modified periphery), so AND adds no latency.
@@ -183,7 +189,11 @@ mod tests {
     #[test]
     fn read_class_latency_sub_5ns() {
         let a = characterization();
-        assert!(a.read_latency_s > 0.1e-9 && a.read_latency_s < 5e-9, "{:e}", a.read_latency_s);
+        assert!(
+            a.read_latency_s > 0.1e-9 && a.read_latency_s < 5e-9,
+            "{:e}",
+            a.read_latency_s
+        );
         assert_eq!(a.read_latency_s, a.and_latency_s);
     }
 
@@ -235,7 +245,8 @@ mod tests {
     fn leakage_scales_with_subarrays() {
         let cell = MtjCell::characterize(&MtjParams::table_i()).unwrap();
         let big = ArrayModel::characterize(&cell, &ArrayOrganization::tcim_16mb()).unwrap();
-        let small = ArrayModel::characterize(&cell, &ArrayOrganization::small_256kb()).unwrap();
+        let small =
+            ArrayModel::characterize(&cell, &ArrayOrganization::small_256kb()).unwrap();
         assert!(big.leakage_w > small.leakage_w);
     }
 

@@ -54,7 +54,8 @@ mod tests {
         let e = NvsimError::InvalidOrganization { reason: "zero rows".into() };
         assert!(e.to_string().contains("zero rows"));
         assert!(e.source().is_none());
-        let e = NvsimError::from(tcim_mtj::MtjError::SolverDidNotConverge { simulated_s: 1.0 });
+        let e =
+            NvsimError::from(tcim_mtj::MtjError::SolverDidNotConverge { simulated_s: 1.0 });
         assert!(e.source().is_some());
     }
 }

@@ -78,7 +78,9 @@ impl ArrayOrganization {
                 });
             }
         }
-        if !self.rows_per_subarray.is_power_of_two() || !self.cols_per_subarray.is_power_of_two() {
+        if !self.rows_per_subarray.is_power_of_two()
+            || !self.cols_per_subarray.is_power_of_two()
+        {
             return Err(NvsimError::InvalidOrganization {
                 reason: "sub-array dimensions must be powers of two for the decoder model"
                     .to_string(),

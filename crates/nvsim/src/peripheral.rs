@@ -52,9 +52,7 @@ pub fn sense_amps(tech: &TechNode, count: usize, extra_references: usize) -> Blo
         energy_j: count as f64 * tech.sense_amp_energy_j,
         // Each extra reference (e.g. the AND reference) replicates the
         // reference branch, ~40 % of the SA area.
-        area_m2: count as f64
-            * tech.sense_amp_area_m2
-            * (1.0 + 0.4 * extra_references as f64),
+        area_m2: count as f64 * tech.sense_amp_area_m2 * (1.0 + 0.4 * extra_references as f64),
     }
 }
 

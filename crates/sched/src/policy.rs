@@ -1,0 +1,142 @@
+//! Scheduling policy configuration.
+
+use std::fmt;
+
+use crate::error::{Result, SchedError};
+
+/// How row jobs are placed onto computational arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum PlacementPolicy {
+    /// Rows are dealt to arrays in rotation, in row order. The simplest
+    /// policy and the paper-faithful null hypothesis: no cost model, no
+    /// residency knowledge.
+    RoundRobin,
+    /// Longest-processing-time-first greedy: jobs are sorted by their
+    /// popcount-derived busy-time estimate (descending) and each is
+    /// assigned to the currently least-loaded array. Classic LPT
+    /// makespan bound: ≤ 4/3 · OPT.
+    #[default]
+    LoadBalanced,
+    /// Reuse-aware greedy: jobs are placed (in row order, matching the
+    /// execution order) on the array whose modelled row-buffer already
+    /// holds the most column slices the job needs, trading estimated
+    /// WRITE savings against load balance. The residency model is an
+    /// LRU buffer per array, mirroring the paper's data-buffer
+    /// replacement choice.
+    ReuseAware,
+}
+
+impl PlacementPolicy {
+    /// All placement policies, for sweeps and ablations.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LoadBalanced,
+        PlacementPolicy::ReuseAware,
+    ];
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::LoadBalanced => "load-balanced",
+            PlacementPolicy::ReuseAware => "reuse-aware",
+        })
+    }
+}
+
+/// Configuration of one scheduled (multi-array) run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchedPolicy {
+    /// Number of independent computational arrays to place work onto.
+    pub arrays: usize,
+    /// The slice-to-array placement policy.
+    pub placement: PlacementPolicy,
+    /// Host worker threads driving array simulations concurrently.
+    /// `None` uses the machine's available parallelism; `Some(1)` forces
+    /// a serial host loop (results are identical either way — the merge
+    /// is deterministic).
+    pub host_threads: Option<usize>,
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy { arrays: 8, placement: PlacementPolicy::default(), host_threads: None }
+    }
+}
+
+impl SchedPolicy {
+    /// A policy distributing work over `arrays` arrays with the default
+    /// (load-balanced) placement.
+    pub fn with_arrays(arrays: usize) -> Self {
+        SchedPolicy { arrays, ..SchedPolicy::default() }
+    }
+
+    /// Sets the placement policy (builder style).
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The effective host worker-thread count: the configured value, or
+    /// the machine's available parallelism when unset; always at least 1.
+    pub fn resolved_host_threads(&self) -> usize {
+        self.host_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidPolicy`] for zero arrays or zero
+    /// host threads.
+    pub fn validate(&self) -> Result<()> {
+        if self.arrays == 0 {
+            return Err(SchedError::InvalidPolicy {
+                reason: "at least one computational array is required".to_string(),
+            });
+        }
+        if self.host_threads == Some(0) {
+            return Err(SchedError::InvalidPolicy {
+                reason: "at least one host thread is required".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_load_balanced() {
+        let p = SchedPolicy::default();
+        assert_eq!(p.placement, PlacementPolicy::LoadBalanced);
+        assert!(p.arrays >= 1);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_arrays_is_rejected() {
+        assert!(SchedPolicy::with_arrays(0).validate().is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let p = SchedPolicy { host_threads: Some(0), ..SchedPolicy::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        let names: Vec<String> =
+            PlacementPolicy::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(names, vec!["round-robin", "load-balanced", "reuse-aware"]);
+    }
+}

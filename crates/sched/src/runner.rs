@@ -1,0 +1,338 @@
+//! The batch job API: planned runs ([`ScheduledRun`]) and multi-graph
+//! fan-out ([`BatchRunner`]), executed over host worker threads with a
+//! deterministic merge.
+//!
+//! Host-side parallelism uses `std::thread::scope` worker fan-out (the
+//! build environment has no registry access, so a rayon dependency is
+//! deliberately avoided; scoped threads give the same fork-join shape).
+//! Determinism: per-array results are merged in array order and batch
+//! results in submission order, so the reported counts and statistics
+//! are independent of thread interleaving.
+
+use std::time::Instant;
+
+use tcim_arch::PimEngine;
+use tcim_bitmatrix::SlicedMatrix;
+
+use crate::error::{Result, SchedError};
+use crate::executor::{run_array, ArrayRun};
+use crate::jobs::{decompose, RowJob};
+use crate::placement::Placement;
+use crate::policy::SchedPolicy;
+use crate::report::ScheduledReport;
+
+/// A planned scheduled run: a matrix bound to a placement, ready to
+/// execute (possibly several times).
+#[derive(Debug)]
+pub struct ScheduledRun<'a> {
+    engine: &'a PimEngine,
+    matrix: &'a SlicedMatrix,
+    policy: SchedPolicy,
+    placement: Placement,
+    placement_time: std::time::Duration,
+}
+
+impl<'a> ScheduledRun<'a> {
+    /// Plans a run: decomposes `matrix` into row jobs and places them
+    /// onto `policy.arrays` arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidPolicy`] for a malformed policy and
+    /// [`SchedError::SliceSizeMismatch`] when `matrix` was sliced with a
+    /// different slice size than `engine` is characterized for.
+    pub fn plan(
+        engine: &'a PimEngine,
+        matrix: &'a SlicedMatrix,
+        policy: &SchedPolicy,
+    ) -> Result<ScheduledRun<'a>> {
+        policy.validate()?;
+        if matrix.slice_size() != engine.config().slice_size {
+            return Err(SchedError::SliceSizeMismatch {
+                engine_bits: engine.config().slice_size.bits(),
+                matrix_bits: matrix.slice_size().bits(),
+            });
+        }
+        let start = Instant::now();
+        let costs = engine.cost_model();
+        let jobs = decompose(matrix, &costs);
+        // Model the residency buffer the run will actually have: the
+        // per-array share minus the row-region reservation. Assignments
+        // are unknown while placing, so reserve the widest row of the
+        // whole matrix — conservative for arrays that end up with
+        // narrower rows.
+        let widest_row = jobs.iter().map(|j| j.row_slices as usize).max().unwrap_or(0);
+        let residency_capacity =
+            per_array_capacity(engine, policy.arrays).saturating_sub(widest_row).max(1);
+        let placement = Placement::place(
+            jobs,
+            policy.arrays,
+            policy.placement,
+            &costs,
+            residency_capacity,
+            engine.config().replacement,
+            engine.config().replacement_seed,
+        );
+        placement.validate();
+        Ok(ScheduledRun {
+            engine,
+            matrix,
+            policy: policy.clone(),
+            placement,
+            placement_time: start.elapsed(),
+        })
+    }
+
+    /// The placement this run will execute.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Executes the planned run: fans per-array work over host worker
+    /// threads, merges triangle counts and statistics deterministically,
+    /// and aggregates inter-array timing/energy.
+    pub fn execute(&self) -> ScheduledReport {
+        let arrays = self.policy.arrays;
+        let costs = self.engine.cost_model();
+        let per_array_jobs: Vec<Vec<&RowJob>> = (0..arrays)
+            .map(|a| {
+                self.placement
+                    .rows_of(a)
+                    .into_iter()
+                    .map(|j| &self.placement.jobs[j])
+                    .collect()
+            })
+            .collect();
+        let capacity = per_array_capacity(self.engine, arrays);
+        let replacement = self.engine.config().replacement;
+        let base_seed = self.engine.config().replacement_seed;
+
+        let start = Instant::now();
+        let runs: Vec<ArrayRun> = parallel_map_indexed(arrays, self.host_threads(), |a| {
+            let jobs = &per_array_jobs[a];
+            // Reserve the widest assigned row inside this array's
+            // share of the buffer, exactly like the serial engine
+            // reserves its widest row.
+            let row_reserve = jobs.iter().map(|j| j.row_slices as usize).max().unwrap_or(0);
+            run_array(
+                self.matrix,
+                jobs,
+                self.engine.bitcounter(),
+                capacity.saturating_sub(row_reserve).max(1),
+                replacement,
+                base_seed.wrapping_add(a as u64),
+            )
+        });
+        let host_sim_time = start.elapsed();
+
+        // Deterministic merge: array order, independent of thread timing.
+        let triangles = runs.iter().map(|r| r.triangles).sum();
+        let rows_per_array: Vec<usize> =
+            per_array_jobs.iter().map(std::vec::Vec::len).collect();
+        ScheduledReport::assemble(
+            triangles,
+            self.policy.clone(),
+            &rows_per_array,
+            runs.into_iter().map(|r| r.stats).collect(),
+            &costs,
+            self.placement_time,
+            host_sim_time,
+        )
+    }
+
+    fn host_threads(&self) -> usize {
+        self.policy.resolved_host_threads()
+    }
+}
+
+/// Plans and runs batches of independent counting jobs under one policy.
+///
+/// Jobs fan out over host threads (one worker per job, bounded by the
+/// policy's `host_threads`); inside a batch each job simulates its
+/// arrays serially so the host is never oversubscribed. Reports come
+/// back in submission order.
+#[derive(Debug)]
+pub struct BatchRunner<'e> {
+    engine: &'e PimEngine,
+    policy: SchedPolicy,
+}
+
+impl<'e> BatchRunner<'e> {
+    /// A runner scheduling every job with `policy` on `engine`.
+    pub fn new(engine: &'e PimEngine, policy: SchedPolicy) -> Self {
+        BatchRunner { engine, policy }
+    }
+
+    /// The policy applied to every job.
+    pub fn policy(&self) -> &SchedPolicy {
+        &self.policy
+    }
+
+    /// Plans and executes one job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors; see [`ScheduledRun::plan`].
+    pub fn run(&self, matrix: &SlicedMatrix) -> Result<ScheduledReport> {
+        ScheduledRun::plan(self.engine, matrix, &self.policy).map(|run| run.execute())
+    }
+
+    /// Plans and executes every job, fanning independent jobs over host
+    /// threads. Reports are returned in submission order; the first
+    /// planning error aborts the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first planning error across the batch.
+    pub fn run_all(&self, matrices: &[SlicedMatrix]) -> Result<Vec<ScheduledReport>> {
+        // Plan serially (cheap, and errors surface before any spawn)…
+        let inner_policy = SchedPolicy { host_threads: Some(1), ..self.policy.clone() };
+        let runs: Vec<ScheduledRun<'_>> = matrices
+            .iter()
+            .map(|m| ScheduledRun::plan(self.engine, m, &inner_policy))
+            .collect::<Result<_>>()?;
+        // …execute in parallel.
+        let threads = self.policy.resolved_host_threads();
+        Ok(parallel_map_indexed(runs.len(), threads, |i| runs[i].execute()))
+    }
+}
+
+/// Applies `f` to `0..n`, fanning over at most `threads` scoped worker
+/// threads; results come back indexed, so output order is deterministic
+/// regardless of scheduling.
+fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let chunks = results.chunks_mut(n.div_ceil(workers));
+        for (w, chunk) in chunks.enumerate() {
+            let f = &f;
+            let base = w * n.div_ceil(workers);
+            scope.spawn(move || {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index is computed by exactly one worker"))
+        .collect()
+}
+
+/// Column-slice buffer capacity available to each of `arrays` equal
+/// partitions of the engine's data buffer.
+fn per_array_capacity(engine: &PimEngine, arrays: usize) -> usize {
+    (engine.capacity_slices() / arrays.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PlacementPolicy;
+    use tcim_arch::PimConfig;
+    use tcim_bitmatrix::{SliceSize, SlicedMatrixBuilder};
+
+    fn engine() -> PimEngine {
+        PimEngine::new(&PimConfig::default()).unwrap()
+    }
+
+    fn wheel_matrix(n: usize) -> SlicedMatrix {
+        // Hub 0 plus a rim cycle: n - 1 rim triangles.
+        let mut b = SlicedMatrixBuilder::new(n, SliceSize::S64);
+        for v in 1..n {
+            b.add_edge(0, v).unwrap();
+        }
+        for v in 1..n - 1 {
+            b.add_edge(v, v + 1).unwrap();
+        }
+        b.add_edge(n - 1, 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn scheduled_count_matches_serial_for_every_policy_and_width() {
+        let e = engine();
+        let m = wheel_matrix(300);
+        let serial = e.run(&m).triangles;
+        assert_eq!(serial, 299);
+        for placement in PlacementPolicy::ALL {
+            for arrays in [1usize, 2, 4, 8, 16] {
+                let policy = SchedPolicy { arrays, placement, host_threads: Some(2) };
+                let report = ScheduledRun::plan(&e, &m, &policy).unwrap().execute().triangles;
+                assert_eq!(report, serial, "{placement} x{arrays}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_host_agree_exactly() {
+        let e = engine();
+        let m = wheel_matrix(500);
+        let serial_host = SchedPolicy { host_threads: Some(1), ..SchedPolicy::with_arrays(8) };
+        let parallel_host = SchedPolicy { host_threads: None, ..SchedPolicy::with_arrays(8) };
+        let a = ScheduledRun::plan(&e, &m, &serial_host).unwrap().execute();
+        let b = ScheduledRun::plan(&e, &m, &parallel_host).unwrap().execute();
+        assert_eq!(a.triangles, b.triangles);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.critical_path_s, b.critical_path_s);
+    }
+
+    #[test]
+    fn plan_rejects_slice_size_mismatch() {
+        let e = engine();
+        let mut b = SlicedMatrixBuilder::new(8, SliceSize::S32);
+        b.add_edge(0, 1).unwrap();
+        let m = b.build();
+        let err = ScheduledRun::plan(&e, &m, &SchedPolicy::default()).unwrap_err();
+        assert!(matches!(err, SchedError::SliceSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn batch_runner_preserves_submission_order() {
+        let e = engine();
+        let matrices: Vec<SlicedMatrix> =
+            [50usize, 150, 100].iter().map(|&n| wheel_matrix(n)).collect();
+        let runner = BatchRunner::new(&e, SchedPolicy::with_arrays(4));
+        let reports = runner.run_all(&matrices).unwrap();
+        let counts: Vec<u64> = reports.iter().map(|r| r.triangles).collect();
+        assert_eq!(counts, vec![49, 149, 99]);
+    }
+
+    #[test]
+    fn batch_and_single_runs_agree() {
+        let e = engine();
+        let m = wheel_matrix(200);
+        let runner = BatchRunner::new(&e, SchedPolicy::with_arrays(4));
+        let single = runner.run(&m).unwrap();
+        let batch = runner.run_all(std::slice::from_ref(&m)).unwrap();
+        assert_eq!(single.triangles, batch[0].triangles);
+        assert_eq!(single.stats, batch[0].stats);
+    }
+
+    #[test]
+    fn empty_matrix_schedules_cleanly() {
+        let e = engine();
+        let m = SlicedMatrix::from_adjacency(&[], SliceSize::S64).unwrap();
+        let report = ScheduledRun::plan(&e, &m, &SchedPolicy::default()).unwrap().execute();
+        assert_eq!(report.triangles, 0);
+        assert_eq!(report.critical_path_s, 0.0);
+        assert_eq!(report.imbalance, 1.0);
+    }
+
+    #[test]
+    fn parallel_map_is_deterministic_and_complete() {
+        let out = parallel_map_indexed(37, 5, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        let serial = parallel_map_indexed(7, 1, |i| i + 1);
+        assert_eq!(serial, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+}

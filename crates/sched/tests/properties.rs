@@ -1,0 +1,168 @@
+//! Property tests of the scheduler invariants: every slice is placed
+//! exactly once, and scheduling — any policy, any array count, any host
+//! thread count — never changes the triangle count produced by the
+//! dataflow.
+
+use proptest::prelude::*;
+use tcim_arch::{PimConfig, PimEngine};
+use tcim_bitmatrix::{SliceSize, SlicedMatrix};
+use tcim_graph::generators::{classic, gnm};
+use tcim_graph::{CsrGraph, Orientation};
+use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledRun};
+
+fn engine() -> PimEngine {
+    PimEngine::new(&PimConfig::default()).unwrap()
+}
+
+fn compress(g: &CsrGraph) -> SlicedMatrix {
+    let oriented = Orientation::Natural.orient(g);
+    SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64).unwrap()
+}
+
+/// Reference software baseline: merge-intersect over sorted neighbour
+/// lists (independent of every simulated path).
+fn software_tc(g: &CsrGraph) -> u64 {
+    let mut triangles = 0u64;
+    for (u, v) in g.edges() {
+        let above = |list: &[u32]| -> usize { list.partition_point(|&w| w <= v) };
+        let nu = g.neighbors(u);
+        let nv = g.neighbors(v);
+        let (mut i, mut j) = (above(nu), above(nv));
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    triangles += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    triangles
+}
+
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..250)
+            .prop_map(move |edges| CsrGraph::from_edges(n, edges).unwrap())
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = PlacementPolicy> {
+    proptest::sample::select(&PlacementPolicy::ALL[..])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partition invariant: every row job is placed exactly once, so the
+    /// scheduled run processes exactly the matrix's edges and pairs.
+    #[test]
+    fn every_slice_is_placed_exactly_once(
+        g in graph_strategy(),
+        placement in policy_strategy(),
+        arrays in 1usize..20,
+    ) {
+        let e = engine();
+        let m = compress(&g);
+        let policy = SchedPolicy { arrays, placement, host_threads: Some(1) };
+        let run = ScheduledRun::plan(&e, &m, &policy).unwrap();
+        // Placement::validate panics on dropped/duplicated jobs.
+        let counts = run.placement().validate();
+        prop_assert_eq!(counts.len(), arrays);
+
+        let serial = e.run(&m);
+        let report = run.execute();
+        prop_assert_eq!(report.stats.edges as usize, m.edge_count());
+        prop_assert_eq!(report.stats.and_ops, serial.stats.and_ops);
+        prop_assert_eq!(report.stats.bitcount_ops, serial.stats.bitcount_ops);
+        // Row slices reload per array at worst, never silently vanish.
+        prop_assert!(report.stats.row_slice_writes >= serial.stats.row_slice_writes);
+    }
+
+    /// The tentpole equivalence: scheduled == serial == software on
+    /// random Erdős–Rényi-style graphs, for every policy and width.
+    #[test]
+    fn scheduled_equals_serial_equals_software(
+        g in graph_strategy(),
+        placement in policy_strategy(),
+        arrays in 1usize..20,
+        threads in 1usize..5,
+    ) {
+        let e = engine();
+        let m = compress(&g);
+        let expected = software_tc(&g);
+        prop_assert_eq!(e.run(&m).triangles, expected);
+        let policy = SchedPolicy { arrays, placement, host_threads: Some(threads) };
+        let report = ScheduledRun::plan(&e, &m, &policy).unwrap().execute();
+        prop_assert_eq!(report.triangles, expected);
+    }
+
+    /// Aggregate report invariants hold on arbitrary inputs.
+    #[test]
+    fn report_invariants(
+        g in graph_strategy(),
+        placement in policy_strategy(),
+        arrays in 1usize..17,
+    ) {
+        let e = engine();
+        let m = compress(&g);
+        let policy = SchedPolicy { arrays, placement, host_threads: Some(2) };
+        let report = ScheduledRun::plan(&e, &m, &policy).unwrap().execute();
+        prop_assert!(report.imbalance >= 1.0 - 1e-12);
+        prop_assert!(report.critical_path_s >= report.max_busy_s);
+        prop_assert!(report.max_busy_s >= report.mean_busy_s - 1e-18);
+        prop_assert_eq!(report.arrays(), arrays);
+        for array in &report.per_array {
+            prop_assert!(array.utilization >= 0.0 && array.utilization <= 1.0 + 1e-12);
+            prop_assert!(array.busy_s <= report.max_busy_s + 1e-18);
+        }
+        prop_assert!(
+            report.array_speedup() <= arrays as f64 + 1e-9,
+            "speedup {} with {} arrays",
+            report.array_speedup(),
+            arrays
+        );
+    }
+
+    /// Seeded G(n, m) graphs at every policy/width agree with software.
+    #[test]
+    fn erdos_renyi_counts_are_schedule_invariant(
+        seed in 0u64..500,
+        placement in policy_strategy(),
+        arrays_idx in 0usize..5,
+    ) {
+        let arrays = [1usize, 2, 4, 8, 16][arrays_idx];
+        let g = gnm(120, 700, seed).unwrap();
+        let e = engine();
+        let m = compress(&g);
+        let expected = software_tc(&g);
+        let policy = SchedPolicy { arrays, placement, host_threads: Some(2) };
+        let report = ScheduledRun::plan(&e, &m, &policy).unwrap().execute();
+        prop_assert_eq!(report.triangles, expected, "seed {} {} x{}", seed, placement, arrays);
+    }
+}
+
+#[test]
+fn classic_graphs_count_exactly_under_every_schedule() {
+    let e = engine();
+    let cases: Vec<(CsrGraph, u64)> = vec![
+        (classic::fig2_example(), 2),
+        (classic::complete(20), classic::complete_triangles(20)),
+        (classic::wheel(30), 29),
+        (classic::star(40), 0),
+        (classic::cycle(17), 0),
+    ];
+    for (g, expected) in cases {
+        let m = compress(&g);
+        for placement in PlacementPolicy::ALL {
+            for arrays in [1usize, 2, 4, 8, 16] {
+                let policy = SchedPolicy { arrays, placement, host_threads: Some(2) };
+                let report = ScheduledRun::plan(&e, &m, &policy).unwrap().execute();
+                assert_eq!(report.triangles, expected, "{placement} x{arrays} on {g:?}");
+            }
+        }
+    }
+}

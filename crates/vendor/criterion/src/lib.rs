@@ -1,0 +1,291 @@
+//! Offline vendored subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build environment has no registry access, so this shim provides a
+//! small wall-clock harness behind criterion's API: benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `bench_function` /
+//! `bench_with_input`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Statistics are deliberately simple —
+//! warm-up, a fixed number of timed samples, then min/median/mean — with
+//! results printed one line per benchmark:
+//!
+//! ```text
+//! pipeline/count/road_20x20    median 184.3 µs/iter  (24 samples × 7 iters, 11.2 MiB/s)
+//! ```
+//!
+//! Like upstream, benchmark binaries must set `harness = false` in their
+//! `[[bench]]` manifest section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How throughput is derived from elapsed time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured samples, one duration per batch of `iters_per_sample`.
+    samples: Vec<Duration>,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running warm-up followed by the configured number
+    /// of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration calibration: aim for samples
+        // of ~2 ms so fast routines are not dominated by timer noise.
+        let calibrate_start = Instant::now();
+        black_box(routine());
+        let once = calibrate_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample =
+            (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn per_iter_nanos(&self) -> Vec<f64> {
+        let mut nanos: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        nanos.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        nanos
+    }
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1e6 {
+        format!("{:.1} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.1} ms", nanos / 1e6)
+    } else {
+        format!("{:.2} s", nanos / 1e9)
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (upstream flushes reports here; the shim
+    /// reports eagerly, so this only prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        let nanos = bencher.per_iter_nanos();
+        if nanos.is_empty() {
+            return;
+        }
+        let median = nanos[nanos.len() / 2];
+        let throughput = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mib_s = bytes as f64 / (1024.0 * 1024.0) / (median / 1e9);
+                format!(", {mib_s:.1} MiB/s")
+            }
+            Some(Throughput::Elements(elems)) => {
+                let elem_s = elems as f64 / (median / 1e9);
+                format!(", {elem_s:.3e} elem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<44} median {}/iter  ({} samples × {} iters{})",
+            format!("{}/{}", self.name, id),
+            human_time(median),
+            bencher.samples.len(),
+            bencher.iters_per_sample,
+            throughput,
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// The harness entry point; one per benchmark binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("── group {name} ──");
+        BenchmarkGroup { criterion: self, name, throughput: None, sample_size: 24 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |acc, x| acc ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(3);
+            group.throughput(Throughput::Bytes(8 * 1024));
+            group.bench_function("xor_fold", |b| b.iter(|| work(black_box(1024))));
+            group.bench_with_input(BenchmarkId::new("sized", 64), &64u64, |b, &n| {
+                b.iter(|| work(n))
+            });
+            group.finish();
+        }
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("count", 16).to_string(), "count/16");
+        assert_eq!(BenchmarkId::from_parameter("lru").to_string(), "lru");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(12_340.0), "12.3 µs");
+        assert_eq!(human_time(12_340_000.0), "12.3 ms");
+    }
+}

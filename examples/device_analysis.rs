@@ -18,10 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cell = MtjCell::characterize(&params)?;
 
     println!("== MTJ cell (Table I parameters) ==");
-    println!("  R_P = {:.0} ohm, R_AP = {:.0} ohm (TMR at read bias {:.2})",
-        cell.r_p_ohm, cell.r_ap_ohm, cell.tmr_at_read());
-    println!("  I_c0 = {:.1} uA, thermal stability = {:.0}",
-        cell.critical_current_a * 1e6, cell.thermal_stability);
+    println!(
+        "  R_P = {:.0} ohm, R_AP = {:.0} ohm (TMR at read bias {:.2})",
+        cell.r_p_ohm,
+        cell.r_ap_ohm,
+        cell.tmr_at_read()
+    );
+    println!(
+        "  I_c0 = {:.1} uA, thermal stability = {:.0}",
+        cell.critical_current_a * 1e6,
+        cell.thermal_stability
+    );
 
     // --- Switching time vs write current (LLG) -----------------------
     let solver = LlgSolver::new(&params)?;
@@ -40,13 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let read = sa.read_margin();
     let and = sa.and_margin();
     println!("\n== Sense references (Fig. 4) ==");
-    println!("  READ: I_P = {:.1} uA, I_AP = {:.1} uA, ref = {:.1} uA, margin = {:.1} uA",
-        read.i_high_a * 1e6, read.i_low_a * 1e6, read.i_ref_a * 1e6, read.margin_a * 1e6);
-    println!("  AND : I(1,1) = {:.1} uA, I(1,0) = {:.1} uA, ref = {:.1} uA, margin = {:.1} uA",
-        and.i_high_a * 1e6, and.i_low_a * 1e6, and.i_ref_a * 1e6, and.margin_a * 1e6);
-    println!("  R_ref-AND = {:.0} ohm  (between R_P||P = {:.0} and R_P||AP = {:.0})",
-        sa.and_reference_ohm(), cell.r_p_ohm / 2.0,
-        cell.r_p_ohm * cell.r_ap_ohm / (cell.r_p_ohm + cell.r_ap_ohm));
+    println!(
+        "  READ: I_P = {:.1} uA, I_AP = {:.1} uA, ref = {:.1} uA, margin = {:.1} uA",
+        read.i_high_a * 1e6,
+        read.i_low_a * 1e6,
+        read.i_ref_a * 1e6,
+        read.margin_a * 1e6
+    );
+    println!(
+        "  AND : I(1,1) = {:.1} uA, I(1,0) = {:.1} uA, ref = {:.1} uA, margin = {:.1} uA",
+        and.i_high_a * 1e6,
+        and.i_low_a * 1e6,
+        and.i_ref_a * 1e6,
+        and.margin_a * 1e6
+    );
+    println!(
+        "  R_ref-AND = {:.0} ohm  (between R_P||P = {:.0} and R_P||AP = {:.0})",
+        sa.and_reference_ohm(),
+        cell.r_p_ohm / 2.0,
+        cell.r_p_ohm * cell.r_ap_ohm / (cell.r_p_ohm + cell.r_ap_ohm)
+    );
 
     // --- Monte-Carlo yield vs process variation ----------------------
     println!("\n== Sense yield vs resistance variation (10k trials each) ==");

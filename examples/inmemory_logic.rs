@@ -73,9 +73,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("  x         = {x:#010b}");
     println!("  y         = {y:#010b}");
-    println!("  x AND y   = {:#010b} (expect {:#010b})", bulk(&|a, b| sa.and_output(a, b)), x & y);
-    println!("  x OR  y   = {:#010b} (expect {:#010b})", bulk(&|a, b| sa.or_output(a, b)), x | y);
-    println!("  x XOR y   = {:#010b} (expect {:#010b})", bulk(&|a, b| sa.xor_output(a, b)), x ^ y);
+    println!(
+        "  x AND y   = {:#010b} (expect {:#010b})",
+        bulk(&|a, b| sa.and_output(a, b)),
+        x & y
+    );
+    println!(
+        "  x OR  y   = {:#010b} (expect {:#010b})",
+        bulk(&|a, b| sa.or_output(a, b)),
+        x | y
+    );
+    println!(
+        "  x XOR y   = {:#010b} (expect {:#010b})",
+        bulk(&|a, b| sa.xor_output(a, b)),
+        x ^ y
+    );
     assert_eq!(bulk(&|a, b| sa.and_output(a, b)), x & y);
     assert_eq!(bulk(&|a, b| sa.or_output(a, b)), x | y);
     assert_eq!(bulk(&|a, b| sa.xor_output(a, b)), x ^ y);

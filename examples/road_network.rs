@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "capacity", "hit %", "miss %", "exch %", "writes"
     );
     for capacity in [50_000usize, 5_000, 500] {
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+        for policy in
+            [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]
+        {
             let config = TcimConfig {
                 pim: PimConfig {
                     replacement: policy,

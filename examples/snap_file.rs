@@ -37,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(path) => {
             println!("loading {path} …");
             let raw = load(&path)?;
-            println!(
-                "  parsed: |V| = {}, |E| = {}",
-                raw.vertex_count(),
-                raw.edge_count()
-            );
+            println!("  parsed: |V| = {}, |E| = {}", raw.vertex_count(), raw.edge_count());
             // SNAP's published statistics refer to the largest connected
             // component; apply the same preprocessing.
             let lcc = largest_component(&raw);

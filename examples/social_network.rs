@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cpu = baseline::hash_intersect(&graph);
     let cpu_time = t.elapsed();
 
-    let sw = sliced_software_tc(&graph, SliceSize::S64, Orientation::Natural, PopcountMethod::Native)?;
+    let sw = sliced_software_tc(
+        &graph,
+        SliceSize::S64,
+        Orientation::Natural,
+        PopcountMethod::Native,
+    )?;
 
     let accelerator = TcimAccelerator::new(&TcimConfig::default())?;
     let report = accelerator.count_triangles(&graph);
@@ -41,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(cpu, report.triangles);
     println!("\ntriangles = {cpu} (all three paths agree)");
     println!("  framework-style CPU  : {:>10.3} ms (measured)", cpu_time.as_secs_f64() * 1e3);
-    println!("  sliced software      : {:>10.3} ms (measured)", sw.count_time.as_secs_f64() * 1e3);
-    println!("  TCIM                 : {:>10.3} ms (simulated)", report.sim.total_time_s() * 1e3);
+    println!(
+        "  sliced software      : {:>10.3} ms (measured)",
+        sw.count_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  TCIM                 : {:>10.3} ms (simulated)",
+        report.sim.total_time_s() * 1e3
+    );
 
     // --- The metrics the paper says TC unlocks -----------------------
     println!("\nnetwork metrics built on the triangle count:");

@@ -10,6 +10,8 @@
 //! * [`tcim_mtj`] — MTJ device physics (Brinkman + LLG, Table I).
 //! * [`tcim_nvsim`] — NVSim-style array latency/energy/area model.
 //! * [`tcim_arch`] — the processing-in-MRAM architecture simulator.
+//! * [`tcim_sched`] — the multi-array scheduler and parallel execution
+//!   runtime (placement policies, critical-path aggregation, batching).
 //! * [`tcim_core`] — the public TCIM accelerator API and baselines.
 
 pub use tcim_arch as arch;
@@ -18,3 +20,4 @@ pub use tcim_core as tcim;
 pub use tcim_graph as graph;
 pub use tcim_mtj as mtj;
 pub use tcim_nvsim as nvsim;
+pub use tcim_sched as sched;

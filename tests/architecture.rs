@@ -63,10 +63,8 @@ fn shrinking_cache_never_increases_hits() {
     let (_, m) = matrix_for(3);
     let mut last_hits = u64::MAX;
     for capacity in [100_000usize, 2_000, 400, 80] {
-        let config = PimConfig {
-            capacity_slices_override: Some(capacity),
-            ..PimConfig::default()
-        };
+        let config =
+            PimConfig { capacity_slices_override: Some(capacity), ..PimConfig::default() };
         let run = PimEngine::new(&config).unwrap().run(&m);
         assert!(
             run.stats.col_hits <= last_hits,
@@ -82,7 +80,8 @@ fn replacement_policy_changes_hits_but_not_counts() {
     let (g, m) = matrix_for(4);
     let expected = baseline::edge_iterator_merge(&g);
     let mut hit_rates = Vec::new();
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]
+    {
         let config = PimConfig {
             replacement: policy,
             capacity_slices_override: Some(300),
@@ -117,7 +116,8 @@ fn parallelism_scales_pim_time_down() {
     let quarter = PimEngine::new(&config).unwrap().run(&m);
     assert_eq!(full.stats, quarter.stats);
     let full_pim = full.latency.write_s + full.latency.and_s + full.latency.bitcount_s;
-    let quarter_pim = quarter.latency.write_s + quarter.latency.and_s + quarter.latency.bitcount_s;
+    let quarter_pim =
+        quarter.latency.write_s + quarter.latency.and_s + quarter.latency.bitcount_s;
     assert!(
         (quarter_pim / full_pim - 4.0).abs() < 0.01,
         "expected 4x, got {}",

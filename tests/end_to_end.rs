@@ -24,7 +24,8 @@ fn assert_all_paths_agree(g: &CsrGraph, label: &str) -> u64 {
         assert_eq!(run.triangles, reference, "{label}: software {orientation:?}");
     }
 
-    let acc = TcimAccelerator::new(&TcimConfig::default()).expect("default config characterizes");
+    let acc =
+        TcimAccelerator::new(&TcimConfig::default()).expect("default config characterizes");
     assert_eq!(acc.count_triangles(g).triangles, reference, "{label}: tcim");
 
     // Dense verification is only affordable on small graphs.
