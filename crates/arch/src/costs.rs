@@ -8,7 +8,7 @@ use tcim_nvsim::ArrayCharacterization;
 
 use crate::bitcounter::BitCounterModel;
 use crate::config::PimConfig;
-use crate::engine::{EnergyBreakdown, LatencyBreakdown};
+use crate::runtime::{EnergyBreakdown, LatencyBreakdown};
 use crate::stats::AccessStats;
 
 /// The cost of every slice-level operation class of the TCIM dataflow,

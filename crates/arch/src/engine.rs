@@ -1,124 +1,26 @@
-//! The Algorithm 1 executor: iterate edges, load valid slice pairs,
-//! AND + BitCount, manage the column cache, account latency and energy.
-
-use std::collections::HashSet;
+//! The one-stop PIM engine facade: characterize-time state
+//! ([`PimCharacterization`]) bundled with the run-time executor
+//! ([`runtime`](crate::runtime)) behind the original single-object API.
 
 use tcim_bitmatrix::SlicedMatrix;
-use tcim_mtj::MtjCell;
-use tcim_nvsim::{ArrayCharacterization, ArrayModel};
 
-use crate::bitcounter::BitCounterModel;
-use crate::buffer::{AccessOutcome, SliceCache};
+use crate::characterization::PimCharacterization;
 use crate::config::PimConfig;
 use crate::costs::SliceCostModel;
 use crate::error::Result;
-use crate::stats::AccessStats;
-use crate::trace::{Event, EventTrace};
-
-/// Where the simulated time went.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct LatencyBreakdown {
-    /// Array WRITE time (row loads + column loads), after parallelism (s).
-    pub write_s: f64,
-    /// AND operation time, after parallelism (s).
-    pub and_s: f64,
-    /// Bit-counter time, after parallelism (s).
-    pub bitcount_s: f64,
-    /// AND-result readout time (local counting only), after
-    /// parallelism (s).
-    pub readout_s: f64,
-    /// Host controller dispatch time (serial) (s).
-    pub controller_s: f64,
-}
-
-impl LatencyBreakdown {
-    /// Total simulated runtime (s).
-    pub fn total_s(&self) -> f64 {
-        self.write_s + self.and_s + self.bitcount_s + self.readout_s + self.controller_s
-    }
-}
-
-/// Where the simulated energy went.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct EnergyBreakdown {
-    /// Array WRITE energy (J).
-    pub write_j: f64,
-    /// AND energy (J).
-    pub and_j: f64,
-    /// Bit-counter energy (J).
-    pub bitcount_j: f64,
-    /// AND-result readout energy (local counting only) (J).
-    pub readout_j: f64,
-    /// Peripheral leakage over the runtime (J).
-    pub leakage_j: f64,
-    /// Host controller energy (J).
-    pub controller_j: f64,
-}
-
-impl EnergyBreakdown {
-    /// Total energy (J).
-    pub fn total_j(&self) -> f64 {
-        self.write_j
-            + self.and_j
-            + self.bitcount_j
-            + self.readout_j
-            + self.leakage_j
-            + self.controller_j
-    }
-}
-
-/// Result of one simulated TCIM run.
-#[derive(Debug, Clone)]
-pub struct PimRunResult {
-    /// The triangle count — functionally exact, produced by the simulated
-    /// AND/BitCount dataflow itself.
-    pub triangles: u64,
-    /// Access statistics (Fig. 5 quantities).
-    pub stats: AccessStats,
-    /// Latency breakdown.
-    pub latency: LatencyBreakdown,
-    /// Energy breakdown.
-    pub energy: EnergyBreakdown,
-    /// Event trace (empty unless enabled in the config).
-    pub trace: EventTrace,
-}
-
-impl PimRunResult {
-    /// Total simulated runtime (s).
-    pub fn total_time_s(&self) -> f64 {
-        self.latency.total_s()
-    }
-
-    /// Total simulated energy (J).
-    pub fn total_energy_j(&self) -> f64 {
-        self.energy.total_j()
-    }
-}
-
-/// Result of one per-vertex (local) counting run — see
-/// [`PimEngine::run_local`].
-#[derive(Debug, Clone)]
-pub struct LocalRunResult {
-    /// Global triangle count (identical to [`PimRunResult::triangles`]).
-    pub triangles: u64,
-    /// Triangles each vertex participates in; sums to `3 × triangles`.
-    pub per_vertex: Vec<u64>,
-    /// Access statistics, including [`AccessStats::result_readouts`].
-    pub stats: AccessStats,
-    /// Latency breakdown (includes the readout component).
-    pub latency: LatencyBreakdown,
-    /// Energy breakdown (includes the readout component).
-    pub energy: EnergyBreakdown,
-}
+use crate::runtime::{self, LocalRunResult, PimRunResult};
 
 /// The processing-in-MRAM engine: a characterized array plus the
 /// controller logic of Algorithm 1.
+///
+/// Since the characterize/run split this is a thin facade:
+/// [`PimCharacterization`] holds everything configuration-dependent and
+/// the [`runtime`](crate::runtime) functions execute prepared matrices
+/// against it. The facade remains the convenient entry point for
+/// callers that want both halves in one object.
 #[derive(Debug, Clone)]
 pub struct PimEngine {
-    config: PimConfig,
-    array: ArrayCharacterization,
-    bitcounter: BitCounterModel,
-    capacity_slices: usize,
+    characterization: PimCharacterization,
 }
 
 impl PimEngine {
@@ -129,226 +31,73 @@ impl PimEngine {
     /// Returns configuration/characterization errors; see
     /// [`PimConfig::validate`].
     pub fn new(config: &PimConfig) -> Result<Self> {
-        config.validate()?;
-        let cell = MtjCell::characterize(&config.mtj)?;
-        let array = ArrayModel::characterize(&cell, &config.organization)?;
-        let bitcounter = BitCounterModel::freepdk45(config.slice_size.bits());
-        let capacity_slices = config.capacity_slices()?;
-        Ok(PimEngine { config: config.clone(), array, bitcounter, capacity_slices })
+        Ok(PimEngine { characterization: PimCharacterization::characterize(config)? })
+    }
+
+    /// Wraps an existing characterization (no re-characterization).
+    pub fn from_characterization(characterization: PimCharacterization) -> Self {
+        PimEngine { characterization }
+    }
+
+    /// The characterize-time half of this engine.
+    pub fn characterization(&self) -> &PimCharacterization {
+        &self.characterization
     }
 
     /// The NVSim-style characterization backing this engine.
-    pub fn array(&self) -> &ArrayCharacterization {
-        &self.array
+    pub fn array(&self) -> &tcim_nvsim::ArrayCharacterization {
+        self.characterization.array()
     }
 
     /// The bit-counter model backing this engine.
-    pub fn bitcounter(&self) -> &BitCounterModel {
-        &self.bitcounter
+    pub fn bitcounter(&self) -> &crate::bitcounter::BitCounterModel {
+        self.characterization.bitcounter()
     }
 
     /// The configuration this engine was built from.
     pub fn config(&self) -> &PimConfig {
-        &self.config
+        self.characterization.config()
     }
 
     /// The resolved per-operation cost model — the hooks an external
     /// scheduler (`tcim-sched`) uses to account work it places onto
     /// arrays itself.
     pub fn cost_model(&self) -> SliceCostModel {
-        SliceCostModel::resolve(&self.config, &self.array, &self.bitcounter)
+        self.characterization.cost_model()
     }
 
     /// Total data-buffer capacity in valid slices (rows + columns), per
     /// [`PimConfig::capacity_slices`].
     pub fn capacity_slices(&self) -> usize {
-        self.capacity_slices
+        self.characterization.capacity_slices()
     }
 
-    /// Column-slice cache capacity after reserving the row region: the
-    /// current row's slices must be resident while its edges process, so
-    /// the widest row of `matrix` is set aside.
-    fn column_capacity(&self, matrix: &SlicedMatrix) -> usize {
-        let row_reserve = (0..matrix.dim() as u32)
-            .map(|i| matrix.row(i).valid_slice_count())
-            .max()
-            .unwrap_or(0);
-        self.capacity_slices.saturating_sub(row_reserve).max(1)
-    }
-
-    /// Executes Algorithm 1 over an oriented sliced matrix.
-    ///
-    /// The returned triangle count is computed by the simulated dataflow
-    /// itself (LUT bit counter over sliced ANDs), so functional
-    /// correctness of the architecture is checked on every run.
+    /// Executes Algorithm 1 over an oriented sliced matrix; see
+    /// [`runtime::run`].
     ///
     /// # Panics
     ///
     /// Panics if `matrix` was built with a different slice size than the
     /// engine configuration — a mapping bug at the call site.
     pub fn run(&self, matrix: &SlicedMatrix) -> PimRunResult {
-        assert_eq!(
-            matrix.slice_size(),
-            self.config.slice_size,
-            "matrix slice size must match the engine configuration"
-        );
-        let mut cache = SliceCache::new(
-            self.column_capacity(matrix),
-            self.config.replacement,
-            self.config.replacement_seed,
-        );
-        let mut trace = EventTrace::new(self.config.trace_capacity);
-        let mut stats = AccessStats::default();
-        let mut triangles = 0u64;
-
-        let mut current_row: Option<u32> = None;
-        let mut row_loaded: HashSet<u32> = HashSet::new();
-
-        for (i, j) in matrix.edges() {
-            stats.edges += 1;
-            if current_row != Some(i) {
-                // The new row overwrites the reserved row region (§IV-A).
-                current_row = Some(i);
-                row_loaded.clear();
-            }
-            let row = matrix.row(i);
-            let col = matrix.col(j);
-            let pairs =
-                row.matching_slices(col).expect("rows and columns of one matrix always align");
-            for (k, rs, cs) in pairs {
-                if row_loaded.insert(k) {
-                    stats.row_slice_writes += 1;
-                    trace.push(Event::RowSliceWrite { row: i, slice: k });
-                }
-                let key = (u64::from(j) << 32) | u64::from(k);
-                match cache.access(key) {
-                    AccessOutcome::Hit => {
-                        stats.col_hits += 1;
-                        trace.push(Event::ColHit { col: j, slice: k });
-                    }
-                    AccessOutcome::Miss => {
-                        stats.col_misses += 1;
-                        trace.push(Event::ColMiss { col: j, slice: k });
-                    }
-                    AccessOutcome::Exchange { .. } => {
-                        stats.col_exchanges += 1;
-                        trace.push(Event::ColExchange { col: j, slice: k });
-                    }
-                }
-
-                // The in-array AND feeds the bit counter (Fig. 4 dataflow).
-                let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
-                let count = self.bitcounter.count(&anded);
-                triangles += count;
-                stats.and_ops += 1;
-                stats.bitcount_ops += 1;
-                trace.push(Event::AndBitcount {
-                    row: i,
-                    col: j,
-                    slice: k,
-                    count: count as u32,
-                });
-            }
-        }
-
-        let (latency, energy) = self.roll_up(&stats);
-        PimRunResult { triangles, stats, latency, energy, trace }
+        runtime::run(&self.characterization, matrix)
     }
 
-    /// Executes Algorithm 1 with per-vertex accounting: besides the global
-    /// count, every vertex receives the number of triangles it belongs to
-    /// (the quantity behind local clustering coefficients, one of the
-    /// paper's motivating applications).
-    ///
-    /// Hardware-wise this costs one extra operation class: the AND result
-    /// of each *non-zero* slice pair must be read out of the array (a
-    /// read-class access) so the host can attribute the surviving bits to
-    /// their vertices. Zero results are filtered by the bit counter and
-    /// never read out.
-    ///
-    /// Vertex ids in the returned vector are the matrix's ids; callers
-    /// that relabelled (degree/degeneracy orientation) map them back via
-    /// `OrientedGraph::original_id`.
+    /// Executes Algorithm 1 with per-vertex accounting; see
+    /// [`runtime::run_local`].
     ///
     /// # Panics
     ///
     /// Panics if `matrix` was built with a different slice size than the
     /// engine configuration.
     pub fn run_local(&self, matrix: &SlicedMatrix) -> LocalRunResult {
-        assert_eq!(
-            matrix.slice_size(),
-            self.config.slice_size,
-            "matrix slice size must match the engine configuration"
-        );
-        let slice_bits = self.config.slice_size.bits() as u64;
-        let mut cache = SliceCache::new(
-            self.column_capacity(matrix),
-            self.config.replacement,
-            self.config.replacement_seed,
-        );
-        let mut stats = AccessStats::default();
-        let mut per_vertex = vec![0u64; matrix.dim()];
-        let mut triangles = 0u64;
-        let mut current_row: Option<u32> = None;
-        let mut row_loaded: HashSet<u32> = HashSet::new();
-
-        for (i, j) in matrix.edges() {
-            stats.edges += 1;
-            if current_row != Some(i) {
-                current_row = Some(i);
-                row_loaded.clear();
-            }
-            let pairs = matrix
-                .row(i)
-                .matching_slices(matrix.col(j))
-                .expect("rows and columns of one matrix always align");
-            for (k, rs, cs) in pairs {
-                if row_loaded.insert(k) {
-                    stats.row_slice_writes += 1;
-                }
-                let key = (u64::from(j) << 32) | u64::from(k);
-                match cache.access(key) {
-                    AccessOutcome::Hit => stats.col_hits += 1,
-                    AccessOutcome::Miss => stats.col_misses += 1,
-                    AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
-                }
-                let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
-                let count = self.bitcounter.count(&anded);
-                stats.and_ops += 1;
-                stats.bitcount_ops += 1;
-                if count > 0 {
-                    // Read the surviving bits back out and attribute them.
-                    stats.result_readouts += 1;
-                    triangles += count;
-                    per_vertex[i as usize] += count;
-                    per_vertex[j as usize] += count;
-                    for (w, &word) in anded.iter().enumerate() {
-                        let mut rem = word;
-                        while rem != 0 {
-                            let tz = rem.trailing_zeros() as u64;
-                            rem &= rem - 1;
-                            let vertex = u64::from(k) * slice_bits + w as u64 * 64 + tz;
-                            per_vertex[vertex as usize] += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        let (latency, energy) = self.roll_up(&stats);
-        LocalRunResult { triangles, per_vertex, stats, latency, energy }
+        runtime::run_local(&self.characterization, matrix)
     }
+}
 
-    /// Converts operation counts into time and energy using the array
-    /// characterization. Writes and compute ops are spread across the
-    /// concurrently operating sub-arrays; controller dispatch is serial on
-    /// the host. Host controller energy is the single-core host burning
-    /// its active package power for as long as it dispatches edges — the
-    /// term that dominates end-to-end TCIM energy, exactly as in the
-    /// paper's Fig. 6 arithmetic (see EXPERIMENTS.md).
-    fn roll_up(&self, stats: &AccessStats) -> (LatencyBreakdown, EnergyBreakdown) {
-        let parallel = self.array.organization.parallel_subarrays() as f64;
-        self.cost_model().roll_up(stats, parallel)
+impl From<PimCharacterization> for PimEngine {
+    fn from(characterization: PimCharacterization) -> Self {
+        PimEngine::from_characterization(characterization)
     }
 }
 
@@ -529,5 +278,18 @@ mod tests {
         assert!(!run.trace.is_empty());
         // 3 row writes + 5 col accesses + 5 and/bitcount events = 13.
         assert_eq!(run.trace.len(), 13);
+    }
+
+    #[test]
+    fn runtime_functions_match_the_facade() {
+        use crate::runtime;
+        let chr = PimCharacterization::characterize(&PimConfig::default()).unwrap();
+        let m = fig2_matrix();
+        let direct = runtime::run(&chr, &m);
+        let facade = PimEngine::from_characterization(chr.clone()).run(&m);
+        assert_eq!(direct.triangles, facade.triangles);
+        assert_eq!(direct.stats, facade.stats);
+        let local = runtime::run_local(&chr, &m);
+        assert_eq!(local.triangles, direct.triangles);
     }
 }

@@ -15,7 +15,11 @@
 //!   functional model plus synthesis-style latency/energy constants.
 //! * [`PimConfig`] — simulator configuration (slice size, array size,
 //!   replacement policy, controller overhead).
-//! * [`PimEngine`] — the Algorithm 1 executor.
+//! * [`PimCharacterization`] — the characterize-time half: device, array
+//!   and bit-counter models resolved once per configuration.
+//! * [`runtime`] — the run-time half: Algorithm 1 executed over a
+//!   prepared sliced matrix against a characterization.
+//! * [`PimEngine`] — the one-object facade over both halves.
 //! * [`SliceCostModel`] — per-operation cost hooks for external
 //!   schedulers (`tcim-sched`) that place work onto arrays themselves.
 //! * [`stats`] — access statistics behind Fig. 5 and the WRITE-saving
@@ -48,18 +52,22 @@
 
 pub mod bitcounter;
 pub mod buffer;
+mod characterization;
 mod config;
 mod costs;
 mod engine;
 mod error;
+pub mod runtime;
 pub mod stats;
 pub mod sweep;
 pub mod trace;
 
 pub use bitcounter::BitCounterModel;
 pub use buffer::{AccessOutcome, ReplacementPolicy, SliceCache};
+pub use characterization::PimCharacterization;
 pub use config::PimConfig;
 pub use costs::SliceCostModel;
-pub use engine::{EnergyBreakdown, LatencyBreakdown, LocalRunResult, PimEngine, PimRunResult};
+pub use engine::PimEngine;
 pub use error::{ArchError, Result};
+pub use runtime::{EnergyBreakdown, LatencyBreakdown, LocalRunResult, PimRunResult};
 pub use stats::AccessStats;

@@ -1,0 +1,271 @@
+//! Run-time execution of Algorithm 1 over a prepared [`SlicedMatrix`]:
+//! iterate edges, load valid slice pairs, AND + BitCount, manage the
+//! column cache, account latency and energy.
+//!
+//! These functions take a [`PimCharacterization`] (built once per
+//! configuration) and a matrix that is already oriented and sliced — the
+//! run-time half of the characterize/run split. They never re-slice or
+//! re-characterize; callers that want the one-shot convenience use
+//! [`PimEngine`](crate::PimEngine), which wraps both halves.
+
+use std::collections::HashSet;
+
+use tcim_bitmatrix::SlicedMatrix;
+
+use crate::buffer::{AccessOutcome, SliceCache};
+use crate::characterization::PimCharacterization;
+use crate::stats::AccessStats;
+use crate::trace::{Event, EventTrace};
+
+/// Where the simulated time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Array WRITE time (row loads + column loads), after parallelism (s).
+    pub write_s: f64,
+    /// AND operation time, after parallelism (s).
+    pub and_s: f64,
+    /// Bit-counter time, after parallelism (s).
+    pub bitcount_s: f64,
+    /// AND-result readout time (local counting only), after
+    /// parallelism (s).
+    pub readout_s: f64,
+    /// Host controller dispatch time (serial) (s).
+    pub controller_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total simulated runtime (s).
+    pub fn total_s(&self) -> f64 {
+        self.write_s + self.and_s + self.bitcount_s + self.readout_s + self.controller_s
+    }
+}
+
+/// Where the simulated energy went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Array WRITE energy (J).
+    pub write_j: f64,
+    /// AND energy (J).
+    pub and_j: f64,
+    /// Bit-counter energy (J).
+    pub bitcount_j: f64,
+    /// AND-result readout energy (local counting only) (J).
+    pub readout_j: f64,
+    /// Peripheral leakage over the runtime (J).
+    pub leakage_j: f64,
+    /// Host controller energy (J).
+    pub controller_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (J).
+    pub fn total_j(&self) -> f64 {
+        self.write_j
+            + self.and_j
+            + self.bitcount_j
+            + self.readout_j
+            + self.leakage_j
+            + self.controller_j
+    }
+}
+
+/// Result of one simulated TCIM run.
+#[derive(Debug, Clone)]
+pub struct PimRunResult {
+    /// The triangle count — functionally exact, produced by the simulated
+    /// AND/BitCount dataflow itself.
+    pub triangles: u64,
+    /// Access statistics (Fig. 5 quantities).
+    pub stats: AccessStats,
+    /// Latency breakdown.
+    pub latency: LatencyBreakdown,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Event trace (empty unless enabled in the config).
+    pub trace: EventTrace,
+}
+
+impl PimRunResult {
+    /// Total simulated runtime (s).
+    pub fn total_time_s(&self) -> f64 {
+        self.latency.total_s()
+    }
+
+    /// Total simulated energy (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// Result of one per-vertex (local) counting run — see [`run_local`].
+#[derive(Debug, Clone)]
+pub struct LocalRunResult {
+    /// Global triangle count (identical to [`PimRunResult::triangles`]).
+    pub triangles: u64,
+    /// Triangles each vertex participates in; sums to `3 × triangles`.
+    pub per_vertex: Vec<u64>,
+    /// Access statistics, including [`AccessStats::result_readouts`].
+    pub stats: AccessStats,
+    /// Latency breakdown (includes the readout component).
+    pub latency: LatencyBreakdown,
+    /// Energy breakdown (includes the readout component).
+    pub energy: EnergyBreakdown,
+}
+
+/// Executes Algorithm 1 over an oriented sliced matrix.
+///
+/// The returned triangle count is computed by the simulated dataflow
+/// itself (LUT bit counter over sliced ANDs), so functional correctness
+/// of the architecture is checked on every run.
+///
+/// # Panics
+///
+/// Panics if `matrix` was built with a different slice size than the
+/// characterization's configuration — a mapping bug at the call site.
+pub fn run(chr: &PimCharacterization, matrix: &SlicedMatrix) -> PimRunResult {
+    assert_eq!(
+        matrix.slice_size(),
+        chr.config().slice_size,
+        "matrix slice size must match the engine configuration"
+    );
+    let mut cache = SliceCache::new(
+        chr.column_capacity(matrix),
+        chr.config().replacement,
+        chr.config().replacement_seed,
+    );
+    let mut trace = EventTrace::new(chr.config().trace_capacity);
+    let mut stats = AccessStats::default();
+    let mut triangles = 0u64;
+
+    let mut current_row: Option<u32> = None;
+    let mut row_loaded: HashSet<u32> = HashSet::new();
+
+    for (i, j) in matrix.edges() {
+        stats.edges += 1;
+        if current_row != Some(i) {
+            // The new row overwrites the reserved row region (§IV-A).
+            current_row = Some(i);
+            row_loaded.clear();
+        }
+        let row = matrix.row(i);
+        let col = matrix.col(j);
+        let pairs =
+            row.matching_slices(col).expect("rows and columns of one matrix always align");
+        for (k, rs, cs) in pairs {
+            if row_loaded.insert(k) {
+                stats.row_slice_writes += 1;
+                trace.push(Event::RowSliceWrite { row: i, slice: k });
+            }
+            let key = (u64::from(j) << 32) | u64::from(k);
+            match cache.access(key) {
+                AccessOutcome::Hit => {
+                    stats.col_hits += 1;
+                    trace.push(Event::ColHit { col: j, slice: k });
+                }
+                AccessOutcome::Miss => {
+                    stats.col_misses += 1;
+                    trace.push(Event::ColMiss { col: j, slice: k });
+                }
+                AccessOutcome::Exchange { .. } => {
+                    stats.col_exchanges += 1;
+                    trace.push(Event::ColExchange { col: j, slice: k });
+                }
+            }
+
+            // The in-array AND feeds the bit counter (Fig. 4 dataflow).
+            let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
+            let count = chr.bitcounter().count(&anded);
+            triangles += count;
+            stats.and_ops += 1;
+            stats.bitcount_ops += 1;
+            trace.push(Event::AndBitcount { row: i, col: j, slice: k, count: count as u32 });
+        }
+    }
+
+    let (latency, energy) = chr.roll_up(&stats);
+    PimRunResult { triangles, stats, latency, energy, trace }
+}
+
+/// Executes Algorithm 1 with per-vertex accounting: besides the global
+/// count, every vertex receives the number of triangles it belongs to
+/// (the quantity behind local clustering coefficients, one of the
+/// paper's motivating applications).
+///
+/// Hardware-wise this costs one extra operation class: the AND result
+/// of each *non-zero* slice pair must be read out of the array (a
+/// read-class access) so the host can attribute the surviving bits to
+/// their vertices. Zero results are filtered by the bit counter and
+/// never read out.
+///
+/// Vertex ids in the returned vector are the matrix's ids; callers
+/// that relabelled (degree/degeneracy orientation) map them back via
+/// `OrientedGraph::original_id`.
+///
+/// # Panics
+///
+/// Panics if `matrix` was built with a different slice size than the
+/// characterization's configuration.
+pub fn run_local(chr: &PimCharacterization, matrix: &SlicedMatrix) -> LocalRunResult {
+    assert_eq!(
+        matrix.slice_size(),
+        chr.config().slice_size,
+        "matrix slice size must match the engine configuration"
+    );
+    let slice_bits = chr.config().slice_size.bits() as u64;
+    let mut cache = SliceCache::new(
+        chr.column_capacity(matrix),
+        chr.config().replacement,
+        chr.config().replacement_seed,
+    );
+    let mut stats = AccessStats::default();
+    let mut per_vertex = vec![0u64; matrix.dim()];
+    let mut triangles = 0u64;
+    let mut current_row: Option<u32> = None;
+    let mut row_loaded: HashSet<u32> = HashSet::new();
+
+    for (i, j) in matrix.edges() {
+        stats.edges += 1;
+        if current_row != Some(i) {
+            current_row = Some(i);
+            row_loaded.clear();
+        }
+        let pairs = matrix
+            .row(i)
+            .matching_slices(matrix.col(j))
+            .expect("rows and columns of one matrix always align");
+        for (k, rs, cs) in pairs {
+            if row_loaded.insert(k) {
+                stats.row_slice_writes += 1;
+            }
+            let key = (u64::from(j) << 32) | u64::from(k);
+            match cache.access(key) {
+                AccessOutcome::Hit => stats.col_hits += 1,
+                AccessOutcome::Miss => stats.col_misses += 1,
+                AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
+            }
+            let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
+            let count = chr.bitcounter().count(&anded);
+            stats.and_ops += 1;
+            stats.bitcount_ops += 1;
+            if count > 0 {
+                // Read the surviving bits back out and attribute them.
+                stats.result_readouts += 1;
+                triangles += count;
+                per_vertex[i as usize] += count;
+                per_vertex[j as usize] += count;
+                for (w, &word) in anded.iter().enumerate() {
+                    let mut rem = word;
+                    while rem != 0 {
+                        let tz = rem.trailing_zeros() as u64;
+                        rem &= rem - 1;
+                        let vertex = u64::from(k) * slice_bits + w as u64 * 64 + tz;
+                        per_vertex[vertex as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let (latency, energy) = chr.roll_up(&stats);
+    LocalRunResult { triangles, per_vertex, stats, latency, energy }
+}

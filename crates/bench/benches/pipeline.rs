@@ -1,34 +1,88 @@
-//! End-to-end pipeline benchmark: orient → slice → simulate Algorithm 1
-//! on Table II stand-ins — the host cost of driving the TCIM simulation
-//! (the simulated accelerator time itself is reported by `--bin table5`).
+//! Staged-pipeline benchmark: preparation cost vs per-backend execution
+//! cost, and the amortization win of executing N queries against one
+//! `PreparedGraph` instead of re-preparing per query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tcim_core::{TcimAccelerator, TcimConfig};
+use tcim_bitmatrix::popcount::PopcountMethod;
+use tcim_core::{Backend, SchedPolicy, TcimConfig, TcimPipeline};
 use tcim_graph::datasets::Dataset;
 
-fn bench_pipeline(c: &mut Criterion) {
-    let acc = TcimAccelerator::new(&TcimConfig::default()).unwrap();
+fn backend_suite() -> Vec<(&'static str, Backend)> {
+    vec![
+        ("serial-pim", Backend::SerialPim),
+        ("sched-pim-4", Backend::ScheduledPim(SchedPolicy::with_arrays(4))),
+        ("software", Backend::Software(PopcountMethod::Native)),
+        ("cpu-merge", Backend::CpuMerge),
+        ("cpu-forward", Backend::CpuForward),
+    ]
+}
+
+/// Prepare time vs execute time, per backend, on Table II stand-ins.
+fn bench_prepare_vs_execute(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     for name in ["ego-facebook", "roadnet-pa"] {
         let dataset = Dataset::by_name(name).unwrap();
-        for scale in [0.01f64, 0.05] {
-            let g = dataset.synthesize(scale, 42).unwrap();
-            let id = format!("{name}@{scale}");
-            group.bench_with_input(BenchmarkId::new("count", &id), &g, |b, g| {
-                b.iter(|| acc.count_triangles(black_box(g)).triangles)
-            });
-            let matrix = acc.compress(&g);
-            group.bench_with_input(BenchmarkId::new("simulate_only", &id), &matrix, |b, m| {
-                b.iter(|| {
-                    acc.count_compressed(black_box(m), std::time::Duration::ZERO).triangles
-                })
-            });
+        let g = dataset.synthesize(0.02, 42).unwrap();
+        let id = format!("{name}@0.02");
+
+        // The preparation stage alone (uncached, so it is measured).
+        group.bench_with_input(BenchmarkId::new("prepare", &id), &g, |b, g| {
+            b.iter(|| pipeline.prepare_uncached(black_box(g)).slice_stats().valid_slices)
+        });
+
+        // Each backend's execution stage over one prepared artifact.
+        let prepared = pipeline.prepare(&g);
+        for (label, spec) in backend_suite() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("execute/{label}"), &id),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| pipeline.execute(black_box(prepared), &spec).unwrap().triangles)
+                },
+            );
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The amortization win: N queries against one cached `PreparedGraph`
+/// vs N one-shot prepare+execute cycles.
+fn bench_amortization(c: &mut Criterion) {
+    const QUERIES: usize = 8;
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let g = Dataset::by_name("ego-facebook").unwrap().synthesize(0.02, 42).unwrap();
+    let mut group = c.benchmark_group("amortization");
+    group.sample_size(10);
+
+    group.bench_function(format!("reprepare-x{QUERIES}"), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..QUERIES {
+                let prepared = pipeline.prepare_uncached(black_box(&g));
+                total += pipeline.execute(&prepared, &Backend::SerialPim).unwrap().triangles;
+            }
+            total
+        })
+    });
+
+    group.bench_function(format!("prepared-x{QUERIES}"), |b| {
+        let prepared = pipeline.prepare(&g);
+        b.iter(|| {
+            let mut total = 0u64;
+            for _ in 0..QUERIES {
+                total += pipeline
+                    .execute(black_box(&prepared), &Backend::SerialPim)
+                    .unwrap()
+                    .triangles;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepare_vs_execute, bench_amortization);
 criterion_main!(benches);

@@ -55,4 +55,4 @@ pub use matrix::BitMatrix;
 pub use popcount::PopcountMethod;
 pub use slice::SliceSize;
 pub use sliced::{MatchingSlices, SlicedBitVector, ValidSlice};
-pub use sliced_matrix::{SliceStats, SlicedMatrix, SlicedMatrixBuilder};
+pub use sliced_matrix::{matrices_built, SliceStats, SlicedMatrix, SlicedMatrixBuilder};

@@ -1,13 +1,24 @@
-//! The top-level TCIM accelerator facade.
+//! The top-level TCIM accelerator facade — thin shims over the staged
+//! pipeline.
+//!
+//! [`TcimAccelerator`] predates the [`TcimPipeline`] and is kept as the
+//! convenience entry point: every method delegates to the pipeline's
+//! prepare/execute stages (sharing its prepared-graph cache), so
+//! repeated calls on the same graph re-orient and re-slice nothing. New
+//! code that selects backends or reuses prepared artifacts explicitly
+//! should use [`TcimPipeline`] directly; these per-path methods remain
+//! as shims for existing callers.
 
 use std::time::{Duration, Instant};
 
 use tcim_arch::{LocalRunResult, PimConfig, PimEngine, PimRunResult};
 use tcim_bitmatrix::{SliceStats, SlicedMatrix};
 use tcim_graph::{CsrGraph, Orientation};
-use tcim_sched::{SchedPolicy, ScheduledReport, ScheduledRun};
+use tcim_sched::{SchedPolicy, ScheduledReport};
 
+use crate::backend::{Backend, BackendDetail};
 use crate::error::Result;
+use crate::pipeline::TcimPipeline;
 
 /// Configuration of the accelerator facade: how to orient the graph plus
 /// the full PIM simulator configuration.
@@ -29,7 +40,8 @@ pub struct TcimReport {
     /// Slicing statistics of the compressed graph (Table III/IV
     /// quantities).
     pub slice_stats: SliceStats,
-    /// Host wall-clock time spent orienting + slicing the graph.
+    /// Host wall-clock time spent orienting + slicing the graph (zero
+    /// when the prepared form came out of the pipeline cache).
     pub preprocess_time: Duration,
     /// Host wall-clock time spent driving the simulation itself (this is
     /// simulator overhead, not modelled accelerator time).
@@ -62,10 +74,13 @@ pub struct LocalTcimReport {
 /// assert_eq!(report.triangles, 11);
 /// # Ok::<(), tcim_core::CoreError>(())
 /// ```
+///
+/// Cloning clones the configuration and characterized engine; the clone
+/// starts with an empty prepared-graph cache (see
+/// [`TcimPipeline::clone`]).
 #[derive(Debug, Clone)]
 pub struct TcimAccelerator {
-    config: TcimConfig,
-    engine: PimEngine,
+    pipeline: TcimPipeline,
 }
 
 impl TcimAccelerator {
@@ -75,37 +90,61 @@ impl TcimAccelerator {
     ///
     /// Propagates configuration and characterization failures.
     pub fn new(config: &TcimConfig) -> Result<Self> {
-        let engine = PimEngine::new(&config.pim)?;
-        Ok(TcimAccelerator { config: config.clone(), engine })
+        Ok(TcimAccelerator { pipeline: TcimPipeline::new(config)? })
+    }
+
+    /// The staged pipeline backing this facade — prepare/execute stages,
+    /// backend dispatch and the prepared-graph cache.
+    pub fn pipeline(&self) -> &TcimPipeline {
+        &self.pipeline
     }
 
     /// The underlying architecture engine (for inspecting the array
     /// characterization).
     pub fn engine(&self) -> &PimEngine {
-        &self.engine
+        self.pipeline.engine()
     }
 
     /// The configuration this accelerator was built from.
     pub fn config(&self) -> &TcimConfig {
-        &self.config
+        self.pipeline.config()
     }
 
     /// Compresses `g` into the sliced in-memory format (orient + slice).
     ///
-    /// Exposed separately so callers can reuse the compressed form across
-    /// runs, as the paper's data buffer does.
+    /// Legacy one-shot compression: builds the matrix directly, without
+    /// pricing it or pinning anything in the pipeline cache — the
+    /// caller owns the only copy. New code that reuses compressed forms
+    /// should hold a [`PreparedGraph`](crate::PreparedGraph) from
+    /// [`TcimPipeline::prepare`] instead.
     pub fn compress(&self, g: &CsrGraph) -> SlicedMatrix {
-        let oriented = self.config.orientation.orient(g);
-        SlicedMatrix::from_adjacency(oriented.rows(), self.config.pim.slice_size)
+        let oriented = self.config().orientation.orient(g);
+        SlicedMatrix::from_adjacency(oriented.rows(), self.config().pim.slice_size)
             .expect("oriented adjacency is always in bounds")
     }
 
     /// Counts the triangles of `g` on the simulated accelerator.
+    ///
+    /// Shim over the pipeline's [`Backend::SerialPim`]; the preparation
+    /// stage is cached across calls.
     pub fn count_triangles(&self, g: &CsrGraph) -> TcimReport {
         let pre_start = Instant::now();
-        let matrix = self.compress(g);
+        let prepared = self.pipeline.prepare(g);
         let preprocess_time = pre_start.elapsed();
-        self.count_compressed(&matrix, preprocess_time)
+        let report = self
+            .pipeline
+            .execute(&prepared, &Backend::SerialPim)
+            .expect("pipeline-prepared artifacts always match the engine");
+        let BackendDetail::SerialPim(sim) = report.detail else {
+            unreachable!("the serial PIM backend always returns a serial detail")
+        };
+        TcimReport {
+            triangles: report.triangles,
+            sim: *sim,
+            slice_stats: prepared.slice_stats(),
+            preprocess_time,
+            host_sim_time: report.execute_time,
+        }
     }
 
     /// Counts per-vertex (local) triangle participation on the simulated
@@ -114,15 +153,13 @@ impl TcimAccelerator {
     /// Results are indexed by the *input graph's* vertex ids regardless of
     /// the configured orientation (relabellings are undone internally).
     /// The run costs one extra read-class array access per non-zero slice
-    /// pair; see `tcim_arch::PimEngine::run_local`.
+    /// pair; see `tcim_arch::runtime::run_local`.
     pub fn count_local_triangles(&self, g: &CsrGraph) -> LocalTcimReport {
-        let oriented = self.config.orientation.orient(g);
-        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), self.config.pim.slice_size)
-            .expect("oriented adjacency is always in bounds");
-        let run = self.engine.run_local(&matrix);
+        let prepared = self.pipeline.prepare(g);
+        let run = self.engine().run_local(prepared.matrix());
         let mut per_vertex = vec![0u64; g.vertex_count()];
         for (new_id, &count) in run.per_vertex.iter().enumerate() {
-            per_vertex[oriented.original_id(new_id as u32) as usize] = count;
+            per_vertex[prepared.oriented().original_id(new_id as u32) as usize] = count;
         }
         LocalTcimReport { triangles: run.triangles, per_vertex, sim: run }
     }
@@ -132,6 +169,8 @@ impl TcimAccelerator {
     /// decomposed into row jobs, placed onto `policy.arrays` independent
     /// computational arrays by `policy.placement`, and executed with
     /// per-array data buffers over host worker threads.
+    ///
+    /// Shim over the pipeline's [`Backend::ScheduledPim`].
     ///
     /// The returned [`ScheduledReport`] carries the exact triangle count
     /// (always equal to [`TcimAccelerator::count_triangles`]'s — the
@@ -163,8 +202,13 @@ impl TcimAccelerator {
         g: &CsrGraph,
         policy: &SchedPolicy,
     ) -> Result<ScheduledReport> {
-        let matrix = self.compress(g);
-        Ok(ScheduledRun::plan(&self.engine, &matrix, policy)?.execute())
+        let prepared = self.pipeline.prepare(g);
+        let report =
+            self.pipeline.execute(&prepared, &Backend::ScheduledPim(policy.clone()))?;
+        let BackendDetail::ScheduledPim(sched) = report.detail else {
+            unreachable!("the scheduled PIM backend always returns a scheduled detail")
+        };
+        Ok(*sched)
     }
 
     /// Counts triangles over an already-compressed matrix.
@@ -175,7 +219,7 @@ impl TcimAccelerator {
     ) -> TcimReport {
         let slice_stats = matrix.stats();
         let host_start = Instant::now();
-        let sim = self.engine.run(matrix);
+        let sim = self.engine().run(matrix);
         let host_sim_time = host_start.elapsed();
         TcimReport {
             triangles: sim.triangles,
@@ -232,6 +276,20 @@ mod tests {
         assert_eq!(report.sim.stats.and_ops, report.sim.stats.bitcount_ops);
         assert!(report.slice_stats.nnz as usize == g.edge_count());
         assert!(report.sim.total_time_s() > 0.0);
+    }
+
+    #[test]
+    fn repeated_counts_hit_the_pipeline_cache() {
+        let g = gnm(150, 1000, 6).unwrap();
+        let acc = accelerator();
+        let first = acc.count_triangles(&g);
+        let misses = acc.pipeline().cache().misses();
+        let second = acc.count_triangles(&g);
+        assert_eq!(first.triangles, second.triangles);
+        assert_eq!(first.sim.stats, second.sim.stats);
+        // The second run prepared nothing new.
+        assert_eq!(acc.pipeline().cache().misses(), misses);
+        assert!(acc.pipeline().cache().hits() >= 1);
     }
 
     #[test]

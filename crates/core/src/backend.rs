@@ -1,0 +1,497 @@
+//! The unified execution layer: interchangeable counting engines behind
+//! one [`ExecutionBackend`] trait, selected by value via [`Backend`] and
+//! all consuming the same [`PreparedGraph`] artifact.
+//!
+//! Every backend returns a common [`CountReport`], so callers compare
+//! engines (simulated PIM, scheduled multi-array PIM, the sliced
+//! software path, CPU baselines) without per-engine entry points — the
+//! transparent-offloading seam: swap the engine, keep the call site.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use tcim_arch::{AccessStats, PimEngine, PimRunResult, SliceCostModel};
+use tcim_bitmatrix::popcount::PopcountMethod;
+use tcim_sched::{SchedPolicy, ScheduledReport, ScheduledRun};
+
+use crate::error::{CoreError, Result};
+use crate::pipeline::PreparedGraph;
+use crate::software;
+
+/// A counting engine that executes prepared graphs.
+///
+/// Implementations must be *pure executors*: they consume the prepared
+/// oriented/sliced artifacts as-is and never re-orient or re-slice —
+/// that is the pipeline's preparation stage. All faithful backends
+/// produce identical triangle counts (property-tested across the
+/// repository).
+pub trait ExecutionBackend {
+    /// Human-readable backend name (stable per configuration).
+    fn name(&self) -> String;
+
+    /// Executes over a prepared graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Pipeline`] when the artifact does not match
+    /// the backend (wrong slice size), and propagates engine-specific
+    /// failures (e.g. invalid scheduling policies).
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport>;
+}
+
+/// Backend-specific payload of a [`CountReport`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum BackendDetail {
+    /// Full serial PIM simulation result.
+    SerialPim(Box<PimRunResult>),
+    /// Full scheduled multi-array report.
+    ScheduledPim(Box<ScheduledReport>),
+    /// Software slicing counters.
+    Software {
+        /// Valid slice pairs processed.
+        slice_pairs: u64,
+        /// The popcount kernel used.
+        popcount: PopcountMethod,
+    },
+    /// CPU baselines carry no extra payload.
+    Cpu,
+}
+
+/// The common result every backend returns.
+#[derive(Debug, Clone)]
+pub struct CountReport {
+    /// Which backend produced this report.
+    pub backend: String,
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Host wall-clock time of the execution stage only (preparation is
+    /// accounted on the [`PreparedGraph`]).
+    pub execute_time: Duration,
+    /// Modelled accelerator latency (s), for simulated-hardware backends.
+    pub modelled_time_s: Option<f64>,
+    /// Modelled accelerator energy (J), for simulated-hardware backends.
+    pub modelled_energy_j: Option<f64>,
+    /// Access statistics, for backends that simulate the data buffer.
+    pub stats: Option<AccessStats>,
+    /// Backend-specific payload.
+    pub detail: BackendDetail,
+}
+
+impl fmt::Display for CountReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>12} triangles  ({:.3} ms host",
+            self.backend,
+            self.triangles,
+            self.execute_time.as_secs_f64() * 1e3
+        )?;
+        if let Some(t) = self.modelled_time_s {
+            write!(f, ", {t:.3e} s modelled")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Value-based backend selection: which engine to run, with its
+/// engine-specific knobs. Resolved against a pipeline's characterized
+/// engine via [`Backend::bind`] (or [`TcimPipeline::execute`]).
+///
+/// [`TcimPipeline::execute`]: crate::TcimPipeline::execute
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Backend {
+    /// The serial processing-in-MRAM engine (`tcim-arch`).
+    SerialPim,
+    /// The multi-array scheduled PIM runtime (`tcim-sched`).
+    ScheduledPim(SchedPolicy),
+    /// The paper's "w/o PIM" column: the sliced dataflow in software.
+    Software(PopcountMethod),
+    /// CPU baseline: merge intersection over the oriented DAG.
+    CpuMerge,
+    /// CPU baseline: the forward algorithm over the oriented DAG.
+    CpuForward,
+}
+
+impl Backend {
+    /// The backend's display label (matches [`ExecutionBackend::name`]).
+    pub fn label(&self) -> String {
+        match self {
+            Backend::SerialPim => "tcim-serial".to_string(),
+            Backend::ScheduledPim(policy) => {
+                format!("tcim-sched[{}x {}]", policy.arrays, policy.placement)
+            }
+            Backend::Software(PopcountMethod::Native) => "software-sliced[native]".to_string(),
+            Backend::Software(PopcountMethod::Lut8) => "software-sliced[lut8]".to_string(),
+            Backend::CpuMerge => "cpu-merge".to_string(),
+            Backend::CpuForward => "cpu-forward".to_string(),
+        }
+    }
+
+    /// One representative of every backend family — the suite
+    /// verification and experiments iterate.
+    pub fn default_suite() -> Vec<Backend> {
+        vec![
+            Backend::CpuMerge,
+            Backend::CpuForward,
+            Backend::Software(PopcountMethod::Native),
+            Backend::SerialPim,
+            Backend::ScheduledPim(SchedPolicy::with_arrays(4)),
+        ]
+    }
+
+    /// Binds this selection to a characterized engine, yielding an
+    /// executable backend. CPU and software backends ignore the engine.
+    pub fn bind<'e>(&self, engine: &'e PimEngine) -> Box<dyn ExecutionBackend + 'e> {
+        match self {
+            Backend::SerialPim => Box::new(SerialPimBackend::new(engine)),
+            Backend::ScheduledPim(policy) => {
+                Box::new(ScheduledPimBackend::new(engine, policy.clone()))
+            }
+            Backend::Software(popcount) => Box::new(SoftwareBackend::new(*popcount)),
+            Backend::CpuMerge => Box::new(CpuMergeBackend),
+            Backend::CpuForward => Box::new(CpuForwardBackend),
+        }
+    }
+}
+
+fn check_slice_size(
+    backend: &str,
+    engine: &PimEngine,
+    prepared: &PreparedGraph,
+) -> Result<()> {
+    if prepared.slice_size() != engine.config().slice_size {
+        return Err(CoreError::Pipeline {
+            reason: format!(
+                "{backend}: prepared with |S| = {} but the engine is characterized for |S| = {}",
+                prepared.slice_size(),
+                engine.config().slice_size
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Serial PIM execution over the prepared sliced matrix.
+#[derive(Debug, Clone)]
+pub struct SerialPimBackend<'e> {
+    engine: &'e PimEngine,
+}
+
+impl<'e> SerialPimBackend<'e> {
+    /// A serial backend running on `engine`.
+    pub fn new(engine: &'e PimEngine) -> Self {
+        SerialPimBackend { engine }
+    }
+}
+
+impl ExecutionBackend for SerialPimBackend<'_> {
+    fn name(&self) -> String {
+        Backend::SerialPim.label()
+    }
+
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport> {
+        check_slice_size(&self.name(), self.engine, prepared)?;
+        let start = Instant::now();
+        let sim = self.engine.run(prepared.matrix());
+        Ok(CountReport {
+            backend: self.name(),
+            triangles: sim.triangles,
+            execute_time: start.elapsed(),
+            modelled_time_s: Some(sim.total_time_s()),
+            modelled_energy_j: Some(sim.total_energy_j()),
+            stats: Some(sim.stats),
+            detail: BackendDetail::SerialPim(Box::new(sim)),
+        })
+    }
+}
+
+/// Scheduled multi-array PIM execution over the prepared sliced matrix.
+///
+/// The cost model is resolved once at construction and shared by every
+/// plan/execute cycle ([`ScheduledRun::plan_with_costs`]).
+#[derive(Debug, Clone)]
+pub struct ScheduledPimBackend<'e> {
+    engine: &'e PimEngine,
+    policy: SchedPolicy,
+    costs: SliceCostModel,
+}
+
+impl<'e> ScheduledPimBackend<'e> {
+    /// A scheduled backend running `policy` on `engine`.
+    pub fn new(engine: &'e PimEngine, policy: SchedPolicy) -> Self {
+        let costs = engine.cost_model();
+        ScheduledPimBackend { engine, policy, costs }
+    }
+
+    /// The scheduling policy this backend executes with.
+    pub fn policy(&self) -> &SchedPolicy {
+        &self.policy
+    }
+}
+
+impl ExecutionBackend for ScheduledPimBackend<'_> {
+    fn name(&self) -> String {
+        Backend::ScheduledPim(self.policy.clone()).label()
+    }
+
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport> {
+        let start = Instant::now();
+        let report = ScheduledRun::plan_with_costs(
+            self.engine,
+            prepared.matrix(),
+            &self.policy,
+            self.costs,
+        )?
+        .execute();
+        Ok(CountReport {
+            backend: self.name(),
+            triangles: report.triangles,
+            execute_time: start.elapsed(),
+            modelled_time_s: Some(report.critical_path_s),
+            modelled_energy_j: Some(report.total_energy_j),
+            stats: Some(report.stats),
+            detail: BackendDetail::ScheduledPim(Box::new(report)),
+        })
+    }
+}
+
+/// The sliced dataflow executed in software over the prepared matrix
+/// (the paper's "This Work w/o PIM" column).
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwareBackend {
+    popcount: PopcountMethod,
+}
+
+impl SoftwareBackend {
+    /// A software backend using `popcount` for bit counting.
+    pub fn new(popcount: PopcountMethod) -> Self {
+        SoftwareBackend { popcount }
+    }
+}
+
+impl ExecutionBackend for SoftwareBackend {
+    fn name(&self) -> String {
+        Backend::Software(self.popcount).label()
+    }
+
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport> {
+        let start = Instant::now();
+        let run = software::sliced_count(prepared.matrix(), self.popcount);
+        Ok(CountReport {
+            backend: self.name(),
+            triangles: run.triangles,
+            execute_time: start.elapsed(),
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            stats: None,
+            detail: BackendDetail::Software {
+                slice_pairs: run.slice_pairs,
+                popcount: self.popcount,
+            },
+        })
+    }
+}
+
+/// Intersection size of two sorted slices (shared by the CPU backends).
+fn merge_intersect_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut count = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// CPU merge-intersection baseline over the prepared DAG: for every arc
+/// `(i, j)`, count the common out-neighbours of `i` and `j`. Under any
+/// acyclic orientation each triangle has exactly one vertex with arcs to
+/// the other two, so the per-arc intersections sum to the triangle count
+/// without division.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuMergeBackend;
+
+impl ExecutionBackend for CpuMergeBackend {
+    fn name(&self) -> String {
+        Backend::CpuMerge.label()
+    }
+
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport> {
+        let start = Instant::now();
+        let dag = prepared.oriented();
+        let mut triangles = 0u64;
+        for (i, j) in dag.arcs() {
+            triangles += merge_intersect_count(dag.row(i), dag.row(j));
+        }
+        Ok(CountReport {
+            backend: self.name(),
+            triangles,
+            execute_time: start.elapsed(),
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            stats: None,
+            detail: BackendDetail::Cpu,
+        })
+    }
+}
+
+/// CPU forward-algorithm baseline (Schank & Wagner) over the prepared
+/// DAG: processing vertices in id order, intersect the dynamically grown
+/// predecessor sets `A[i] ∩ A[j]` per arc `(i, j)`, then append `i` to
+/// `A[j]`. Exact for any topologically ordered DAG, which every
+/// [`Orientation`](tcim_graph::Orientation) produces.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuForwardBackend;
+
+impl ExecutionBackend for CpuForwardBackend {
+    fn name(&self) -> String {
+        Backend::CpuForward.label()
+    }
+
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport> {
+        let start = Instant::now();
+        let dag = prepared.oriented();
+        let n = dag.vertex_count();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut triangles = 0u64;
+        for i in 0..n as u32 {
+            for &j in dag.row(i) {
+                triangles += merge_intersect_count(&preds[i as usize], &preds[j as usize]);
+                // Predecessors arrive in ascending i, so lists stay sorted.
+                preds[j as usize].push(i);
+            }
+        }
+        Ok(CountReport {
+            backend: self.name(),
+            triangles,
+            execute_time: start.elapsed(),
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            stats: None,
+            detail: BackendDetail::Cpu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::TcimConfig;
+    use crate::baseline;
+    use crate::pipeline::TcimPipeline;
+    use tcim_bitmatrix::SliceSize;
+    use tcim_graph::generators::{classic, gnm};
+    use tcim_graph::Orientation;
+
+    fn pipeline() -> TcimPipeline {
+        TcimPipeline::new(&TcimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn every_backend_counts_fig2() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::fig2_example());
+        for spec in Backend::default_suite() {
+            let report = p.execute(&prepared, &spec).unwrap();
+            assert_eq!(report.triangles, 2, "{}", spec.label());
+            assert_eq!(report.backend, spec.label());
+        }
+    }
+
+    #[test]
+    fn backends_agree_with_the_graph_level_baseline() {
+        let g = gnm(300, 2100, 5).unwrap();
+        let expected = baseline::edge_iterator_merge(&g);
+        for orientation in [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy]
+        {
+            let p = TcimPipeline::new(&TcimConfig { orientation, ..TcimConfig::default() })
+                .unwrap();
+            let prepared = p.prepare(&g);
+            for spec in Backend::default_suite() {
+                let report = p.execute(&prepared, &spec).unwrap();
+                assert_eq!(report.triangles, expected, "{orientation:?} {}", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn pim_backends_carry_modelled_costs_and_stats() {
+        let p = pipeline();
+        let prepared = p.prepare(&gnm(150, 900, 2).unwrap());
+        for spec in [Backend::SerialPim, Backend::ScheduledPim(SchedPolicy::with_arrays(2))] {
+            let report = p.execute(&prepared, &spec).unwrap();
+            assert!(report.modelled_time_s.unwrap() > 0.0, "{}", spec.label());
+            assert!(report.modelled_energy_j.unwrap() > 0.0, "{}", spec.label());
+            let stats = report.stats.unwrap();
+            assert_eq!(stats.edges as usize, prepared.matrix().edge_count());
+            assert_eq!(stats.and_ops, prepared.pricing().slice_pairs);
+        }
+        let sw = p.execute(&prepared, &Backend::Software(PopcountMethod::Lut8)).unwrap();
+        assert!(sw.modelled_time_s.is_none());
+        let BackendDetail::Software { slice_pairs, .. } = sw.detail else {
+            panic!("software detail expected");
+        };
+        assert_eq!(slice_pairs, prepared.pricing().slice_pairs);
+    }
+
+    #[test]
+    fn slice_size_mismatch_is_a_pipeline_error() {
+        let p = pipeline();
+        // Prepare with a *different* slice size than the engine's.
+        let g = classic::wheel(20);
+        let prepared = crate::pipeline::PreparedGraph::build(
+            &g,
+            Orientation::Natural,
+            SliceSize::S32,
+            p.engine(),
+        );
+        let err = p.execute(&prepared, &Backend::SerialPim).unwrap_err();
+        assert!(matches!(err, CoreError::Pipeline { .. }), "{err}");
+        // Scheduled PIM reports the same mismatch through sched's error.
+        assert!(p.execute(&prepared, &Backend::ScheduledPim(SchedPolicy::default())).is_err());
+        // Backends that do not touch the engine still run.
+        assert_eq!(p.execute(&prepared, &Backend::CpuMerge).unwrap().triangles, 19);
+    }
+
+    #[test]
+    fn invalid_policy_propagates() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::wheel(8));
+        let err = p
+            .execute(&prepared, &Backend::ScheduledPim(SchedPolicy::with_arrays(0)))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Sched(_)));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Backend::SerialPim.label(), "tcim-serial");
+        assert_eq!(Backend::CpuMerge.label(), "cpu-merge");
+        assert_eq!(Backend::CpuForward.label(), "cpu-forward");
+        assert_eq!(Backend::Software(PopcountMethod::Lut8).label(), "software-sliced[lut8]");
+        assert_eq!(
+            Backend::ScheduledPim(SchedPolicy::with_arrays(4)).label(),
+            "tcim-sched[4x load-balanced]"
+        );
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::fig2_example());
+        let report = p.execute(&prepared, &Backend::SerialPim).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("tcim-serial"));
+        assert!(text.contains("2 triangles"));
+        assert!(text.contains("modelled"));
+    }
+}

@@ -18,6 +18,13 @@ pub enum CoreError {
     BitMatrix(tcim_bitmatrix::BitMatrixError),
     /// Multi-array scheduling failed.
     Sched(tcim_sched::SchedError),
+    /// The staged pipeline was driven with mismatched artifacts (e.g. a
+    /// graph prepared under a different slice size than the executing
+    /// engine).
+    Pipeline {
+        /// What was mismatched.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +34,7 @@ impl fmt::Display for CoreError {
             CoreError::Arch(e) => write!(f, "architecture error: {e}"),
             CoreError::BitMatrix(e) => write!(f, "bit-matrix error: {e}"),
             CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+            CoreError::Pipeline { reason } => write!(f, "pipeline error: {reason}"),
         }
     }
 }
@@ -38,6 +46,7 @@ impl Error for CoreError {
             CoreError::Arch(e) => Some(e),
             CoreError::BitMatrix(e) => Some(e),
             CoreError::Sched(e) => Some(e),
+            CoreError::Pipeline { .. } => None,
         }
     }
 }

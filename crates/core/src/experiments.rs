@@ -18,11 +18,12 @@ use tcim_mtj::llg::LlgSolver;
 use tcim_mtj::sense::SenseAmp;
 use tcim_mtj::{MtjCell, MtjParams};
 
-use crate::accelerator::{TcimAccelerator, TcimConfig};
+use crate::accelerator::TcimConfig;
+use crate::backend::Backend;
 use crate::baseline;
 use crate::error::Result;
+use crate::pipeline::TcimPipeline;
 use crate::reported::{self, PaperRow};
-use crate::software::sliced_software_tc;
 
 /// Scale factor and seed shared by every dataset-driven experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -386,13 +387,17 @@ fn geo_mean<I: Iterator<Item = f64>>(values: I) -> f64 {
 }
 
 /// Runs all three of our paths (CPU baseline, sliced software, simulated
-/// TCIM) on every stand-in and assembles Table V.
+/// TCIM) on every stand-in and assembles Table V. The software and PIM
+/// columns are two backends executing one shared
+/// [`PreparedGraph`](crate::PreparedGraph) per dataset, so slicing cost
+/// is paid once; the CPU column stays graph-level (that is the
+/// framework-flavoured baseline being measured).
 ///
 /// # Errors
 ///
 /// Propagates generation/characterization failures.
 pub fn table5(scale: ExperimentScale) -> Result<Table5Report> {
-    let acc = TcimAccelerator::new(&TcimConfig {
+    let pipeline = TcimPipeline::new(&TcimConfig {
         orientation: Orientation::Natural,
         pim: scale.scaled_pim_config(),
     })?;
@@ -404,22 +409,18 @@ pub fn table5(scale: ExperimentScale) -> Result<Table5Report> {
         let cpu_triangles = baseline::hash_intersect(&g);
         let cpu_s = start.elapsed().as_secs_f64();
 
-        let sw = sliced_software_tc(
-            &g,
-            SliceSize::S64,
-            Orientation::Natural,
-            PopcountMethod::Native,
-        )?;
+        let prepared = pipeline.prepare(&g);
+        let sw = pipeline.execute(&prepared, &Backend::Software(PopcountMethod::Native))?;
         assert_eq!(sw.triangles, cpu_triangles, "software paths disagree on {}", d.name);
 
-        let report = acc.count_triangles(&g);
-        assert_eq!(report.triangles, cpu_triangles, "pim path disagrees on {}", d.name);
+        let pim = pipeline.execute(&prepared, &Backend::SerialPim)?;
+        assert_eq!(pim.triangles, cpu_triangles, "pim path disagrees on {}", d.name);
 
         rows.push(Table5Row {
             paper: reported::paper_row(d.name).expect("every dataset has a paper row"),
             cpu_s,
-            wo_pim_s: sw.count_time.as_secs_f64(),
-            tcim_s: report.sim.total_time_s(),
+            wo_pim_s: sw.execute_time.as_secs_f64(),
+            tcim_s: pim.modelled_time_s.expect("the PIM backend always models time"),
             triangles: cpu_triangles,
         });
     }
@@ -509,26 +510,27 @@ impl Fig5Report {
     }
 }
 
-/// Runs the accelerator on every stand-in (data buffer scaled with the
-/// graphs) and collects hit/miss/exchange shares.
+/// Runs the serial PIM backend on every stand-in (data buffer scaled
+/// with the graphs) and collects hit/miss/exchange shares.
 ///
 /// # Errors
 ///
 /// Propagates generation/characterization failures.
 pub fn fig5(scale: ExperimentScale) -> Result<Fig5Report> {
-    let acc = TcimAccelerator::new(&TcimConfig {
+    let pipeline = TcimPipeline::new(&TcimConfig {
         orientation: Orientation::Natural,
         pim: scale.scaled_pim_config(),
     })?;
     let mut rows = Vec::with_capacity(TABLE_II.len());
     for d in &TABLE_II {
         let g = scale.synthesize(d)?;
-        let report = acc.count_triangles(&g);
+        let report = pipeline.count(&g, &Backend::SerialPim)?;
+        let stats = report.stats.expect("the PIM backend always reports stats");
         rows.push(Fig5Row {
             dataset: d,
-            hit: report.sim.stats.hit_rate(),
-            miss: report.sim.stats.miss_rate(),
-            exchange: report.sim.stats.exchange_rate(),
+            hit: stats.hit_rate(),
+            miss: stats.miss_rate(),
+            exchange: stats.exchange_rate(),
         });
     }
     Ok(Fig5Report { scale, rows })
@@ -603,7 +605,7 @@ impl Fig6Report {
 ///
 /// Propagates generation/characterization failures.
 pub fn fig6(scale: ExperimentScale) -> Result<Fig6Report> {
-    let acc = TcimAccelerator::new(&TcimConfig {
+    let pipeline = TcimPipeline::new(&TcimConfig {
         orientation: Orientation::Natural,
         pim: scale.scaled_pim_config(),
     })?;
@@ -614,8 +616,8 @@ pub fn fig6(scale: ExperimentScale) -> Result<Fig6Report> {
             continue;
         };
         let g = scale.synthesize(d)?;
-        let report = acc.count_triangles(&g);
-        let tcim_j = report.sim.total_energy_j();
+        let report = pipeline.count(&g, &Backend::SerialPim)?;
+        let tcim_j = report.modelled_energy_j.expect("the PIM backend always models energy");
         // FPGA energy scales with runtime, which is roughly linear in the
         // edge count; scale the published full-size runtime accordingly.
         let fpga_j = fpga_s * reported::FPGA_POWER_W * scale.scale;

@@ -25,18 +25,34 @@
 //! * [`ablations`] — structured drivers for the DESIGN.md §5 ablations,
 //!   with their findings pinned by tests.
 //!
+//! The counting path itself is a **staged pipeline**: graphs are
+//! *prepared* once (orient → slice → price, [`PreparedGraph`], cached by
+//! [`PreparedCache`]) and then *executed* any number of times on
+//! interchangeable [`ExecutionBackend`]s selected by value
+//! ([`Backend`]) — serial PIM, scheduled multi-array PIM, the sliced
+//! software path, and CPU baselines all return one [`CountReport`].
+//!
 //! # Quickstart
 //!
 //! ```
-//! use tcim_core::{TcimAccelerator, TcimConfig};
+//! use tcim_core::{Backend, SchedPolicy, TcimConfig, TcimPipeline};
 //! use tcim_graph::generators::classic;
 //!
 //! // The paper's Fig. 2 example graph: 2 triangles.
 //! let graph = classic::fig2_example();
-//! let accelerator = TcimAccelerator::new(&TcimConfig::default())?;
-//! let report = accelerator.count_triangles(&graph);
-//! assert_eq!(report.triangles, 2);
-//! println!("simulated runtime: {:.3e} s", report.sim.total_time_s());
+//!
+//! // Stage 1: prepare once (orient → slice → price; cached by graph).
+//! let pipeline = TcimPipeline::new(&TcimConfig::default())?;
+//! let prepared = pipeline.prepare(&graph);
+//!
+//! // Stage 2: execute the same artifact on any backend.
+//! let pim = pipeline.execute(&prepared, &Backend::SerialPim)?;
+//! let sched = pipeline.execute(&prepared, &Backend::ScheduledPim(SchedPolicy::with_arrays(4)))?;
+//! let cpu = pipeline.execute(&prepared, &Backend::CpuMerge)?;
+//! assert_eq!(pim.triangles, 2);
+//! assert_eq!(sched.triangles, 2);
+//! assert_eq!(cpu.triangles, 2);
+//! println!("modelled runtime: {:.3e} s", pim.modelled_time_s.unwrap());
 //! # Ok::<(), tcim_core::CoreError>(())
 //! ```
 
@@ -45,16 +61,20 @@
 
 pub mod ablations;
 mod accelerator;
+pub mod backend;
 pub mod baseline;
 mod error;
 pub mod experiments;
 pub mod metrics;
+pub mod pipeline;
 pub mod reported;
 pub mod software;
 pub mod verify;
 
 pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
+pub use backend::{Backend, BackendDetail, CountReport, ExecutionBackend};
 pub use error::{CoreError, Result};
+pub use pipeline::{PreparedCache, PreparedGraph, PreparedKey, PreparedPricing, TcimPipeline};
 // Scheduling types surface in the accelerator's public API
 // (`TcimAccelerator::count_triangles_scheduled`), so re-export them.
 pub use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledReport};

@@ -1,0 +1,507 @@
+//! The staged counting pipeline: one-time graph *preparation*
+//! ([`PreparedGraph`], cached by [`PreparedCache`]) separated from
+//! repeated *execution* against interchangeable backends
+//! ([`crate::backend`]).
+//!
+//! The paper's dataflow is inherently two-phase — orient, slice and map
+//! the graph once (§IV-A/B), then run Algorithm 1's AND + BitCount
+//! kernel over the prepared form. Serving workloads repeat the second
+//! phase many times per graph (different backends, policies, or repeated
+//! queries), so the pipeline materialises phase one as a reusable
+//! artifact and keys it by graph fingerprint + orientation + slice size.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tcim_arch::PimEngine;
+use tcim_bitmatrix::{SliceSize, SliceStats, SlicedMatrix};
+use tcim_graph::{CsrGraph, Orientation, OrientedGraph};
+
+use crate::accelerator::TcimConfig;
+use crate::backend::{Backend, CountReport, ExecutionBackend};
+use crate::error::Result;
+
+/// Cache key of one prepared artifact: the graph's structural
+/// fingerprint (paired with its exact sizes to make collisions
+/// vanishingly unlikely) plus the preparation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PreparedKey {
+    /// [`CsrGraph::fingerprint`] of the input graph.
+    pub fingerprint: u64,
+    /// Vertex count of the input graph.
+    pub vertices: usize,
+    /// Undirected edge count of the input graph.
+    pub edges: usize,
+    /// Orientation applied during preparation.
+    pub orientation: Orientation,
+    /// Slice size the matrix was built with.
+    pub slice_size: SliceSize,
+}
+
+impl PreparedKey {
+    /// The key `g` prepares under with the given parameters.
+    pub fn for_graph(g: &CsrGraph, orientation: Orientation, slice_size: SliceSize) -> Self {
+        PreparedKey {
+            fingerprint: g.fingerprint(),
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            orientation,
+            slice_size,
+        }
+    }
+}
+
+/// Cost-model pricing of a prepared graph: the work Algorithm 1 will
+/// perform, priced at preparation time against the engine's
+/// characterization so schedulers and capacity planners can reason about
+/// a query before running it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedPricing {
+    /// Valid slice pairs across all edges — the exact number of AND +
+    /// BitCount operations any faithful execution performs.
+    pub slice_pairs: u64,
+    /// Optimistic single-array busy time (s): every valid slice written
+    /// once plus the AND/BitCount work (an all-hits lower bound).
+    pub est_busy_s: f64,
+    /// Serial host dispatch time over all edges (s).
+    pub controller_s: f64,
+}
+
+/// A graph prepared for execution: oriented, sliced, measured and
+/// priced. Built once per [`PreparedKey`] and shared (via `Arc`) by
+/// every backend execution — backends never re-orient or re-slice.
+#[derive(Debug, Clone)]
+pub struct PreparedGraph {
+    key: PreparedKey,
+    oriented: OrientedGraph,
+    matrix: SlicedMatrix,
+    stats: SliceStats,
+    pricing: PreparedPricing,
+    prepare_time: Duration,
+}
+
+impl PreparedGraph {
+    /// Orients, slices and prices `g`; the uncached preparation
+    /// primitive behind [`TcimPipeline::prepare`].
+    pub fn build(
+        g: &CsrGraph,
+        orientation: Orientation,
+        slice_size: SliceSize,
+        engine: &PimEngine,
+    ) -> PreparedGraph {
+        let start = Instant::now();
+        let key = PreparedKey::for_graph(g, orientation, slice_size);
+        let oriented = orientation.orient(g);
+        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), slice_size)
+            .expect("oriented adjacency is always in bounds");
+        let stats = matrix.stats();
+
+        // Price the run: the valid-pair population is exact (the same
+        // merge the controller performs), the busy time optimistic.
+        let mut slice_pairs = 0u64;
+        for (i, j) in matrix.edges() {
+            let pairs = matrix
+                .row(i)
+                .matching_slices(matrix.col(j))
+                .expect("rows and columns of one matrix always align");
+            slice_pairs += pairs.count() as u64;
+        }
+        let costs = engine.cost_model();
+        let pricing = PreparedPricing {
+            slice_pairs,
+            est_busy_s: costs.estimate_busy_s(stats.valid_slices, slice_pairs),
+            controller_s: matrix.edge_count() as f64 * costs.controller_overhead_s,
+        };
+
+        PreparedGraph { key, oriented, matrix, stats, pricing, prepare_time: start.elapsed() }
+    }
+
+    /// The cache key this artifact was built under.
+    pub fn key(&self) -> &PreparedKey {
+        &self.key
+    }
+
+    /// The oriented (DAG) adjacency — what CPU backends execute over.
+    pub fn oriented(&self) -> &OrientedGraph {
+        &self.oriented
+    }
+
+    /// The sliced matrix — what PIM and software backends execute over.
+    pub fn matrix(&self) -> &SlicedMatrix {
+        &self.matrix
+    }
+
+    /// Slicing statistics (Table III/IV quantities), measured once at
+    /// preparation time.
+    pub fn slice_stats(&self) -> SliceStats {
+        self.stats
+    }
+
+    /// Cost-model pricing of the prepared work.
+    pub fn pricing(&self) -> PreparedPricing {
+        self.pricing
+    }
+
+    /// Host wall-clock time the preparation took.
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
+    }
+
+    /// The orientation the graph was prepared with.
+    pub fn orientation(&self) -> Orientation {
+        self.key.orientation
+    }
+
+    /// The slice size the matrix was built with.
+    pub fn slice_size(&self) -> SliceSize {
+        self.key.slice_size
+    }
+}
+
+struct CacheInner {
+    map: HashMap<PreparedKey, Arc<PreparedGraph>>,
+    /// Keys in least-recently-used-first order.
+    order: Vec<PreparedKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, keyed cache of prepared graphs with LRU eviction.
+///
+/// Thread-safe behind a mutex; artifacts are shared out as
+/// `Arc<PreparedGraph>` so eviction never invalidates an in-flight
+/// execution.
+pub struct PreparedCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for PreparedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PreparedCache(len={}, capacity={}, hits={}, misses={})",
+            self.len(),
+            self.capacity,
+            self.hits(),
+            self.misses()
+        )
+    }
+}
+
+impl PreparedCache {
+    /// An empty cache holding at most `capacity` prepared graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        PreparedCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// The cached artifact for `key`, or `None` (recording a hit/miss
+    /// either way).
+    pub fn get(&self, key: &PreparedKey) -> Option<Arc<PreparedGraph>> {
+        let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
+        match inner.map.get(key).cloned() {
+            Some(found) => {
+                inner.hits += 1;
+                // Refresh recency.
+                inner.order.retain(|k| k != key);
+                inner.order.push(*key);
+                Some(found)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `prepared`, evicting the least recently used artifact when
+    /// full. Returns the cached value (the existing one if another thread
+    /// inserted the same key first).
+    pub fn insert(&self, prepared: PreparedGraph) -> Arc<PreparedGraph> {
+        let key = *prepared.key();
+        let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
+        if let Some(existing) = inner.map.get(&key).cloned() {
+            return existing;
+        }
+        let shared = Arc::new(prepared);
+        inner.map.insert(key, Arc::clone(&shared));
+        inner.order.push(key);
+        if inner.order.len() > self.capacity {
+            let evicted = inner.order.remove(0);
+            inner.map.remove(&evicted);
+        }
+        shared
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache mutex is never poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a cached artifact.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("cache mutex is never poisoned").hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("cache mutex is never poisoned").misses
+    }
+
+    /// Drops every cached artifact (hit/miss counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+/// The staged counting pipeline: a characterized engine, a prepared-graph
+/// cache, and value-selected execution backends.
+///
+/// # Example
+///
+/// ```
+/// use tcim_core::{Backend, TcimConfig, TcimPipeline};
+/// use tcim_graph::generators::classic;
+///
+/// let pipeline = TcimPipeline::new(&TcimConfig::default())?;
+/// let prepared = pipeline.prepare(&classic::wheel(12));
+/// // Execute the same prepared artifact on two different backends.
+/// let pim = pipeline.execute(&prepared, &Backend::SerialPim)?;
+/// let cpu = pipeline.execute(&prepared, &Backend::CpuMerge)?;
+/// assert_eq!(pim.triangles, 11);
+/// assert_eq!(cpu.triangles, 11);
+/// # Ok::<(), tcim_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct TcimPipeline {
+    config: TcimConfig,
+    engine: PimEngine,
+    cache: PreparedCache,
+}
+
+impl Clone for TcimPipeline {
+    /// Clones the configuration and characterized engine (no
+    /// re-characterization); the clone starts with a fresh, empty cache
+    /// of the same capacity — prepared artifacts are shared by `Arc`,
+    /// not by cloning pipelines.
+    fn clone(&self) -> Self {
+        TcimPipeline {
+            config: self.config.clone(),
+            engine: self.engine.clone(),
+            cache: PreparedCache::new(self.cache.capacity),
+        }
+    }
+}
+
+impl TcimPipeline {
+    /// Default capacity of the prepared-graph cache.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+    /// Characterizes the engine for `config` with the default cache
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and characterization failures.
+    pub fn new(config: &TcimConfig) -> Result<Self> {
+        TcimPipeline::with_cache_capacity(config, TcimPipeline::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// As [`TcimPipeline::new`] with an explicit cache capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and characterization failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_cache_capacity(config: &TcimConfig, capacity: usize) -> Result<Self> {
+        let engine = PimEngine::new(&config.pim)?;
+        Ok(TcimPipeline {
+            config: config.clone(),
+            engine,
+            cache: PreparedCache::new(capacity),
+        })
+    }
+
+    /// The configuration this pipeline was built from.
+    pub fn config(&self) -> &TcimConfig {
+        &self.config
+    }
+
+    /// The characterized engine shared by the PIM backends.
+    pub fn engine(&self) -> &PimEngine {
+        &self.engine
+    }
+
+    /// The prepared-graph cache (for hit/miss inspection).
+    pub fn cache(&self) -> &PreparedCache {
+        &self.cache
+    }
+
+    /// Prepares `g` under this pipeline's orientation and slice size,
+    /// returning the cached artifact when one exists — repeated calls on
+    /// the same graph re-orient and re-slice nothing.
+    pub fn prepare(&self, g: &CsrGraph) -> Arc<PreparedGraph> {
+        let key =
+            PreparedKey::for_graph(g, self.config.orientation, self.config.pim.slice_size);
+        if let Some(found) = self.cache.get(&key) {
+            return found;
+        }
+        self.cache.insert(self.prepare_uncached(g))
+    }
+
+    /// Prepares `g` without touching the cache (benchmarking, or callers
+    /// managing artifact lifetime themselves).
+    pub fn prepare_uncached(&self, g: &CsrGraph) -> PreparedGraph {
+        PreparedGraph::build(
+            g,
+            self.config.orientation,
+            self.config.pim.slice_size,
+            &self.engine,
+        )
+    }
+
+    /// Resolves a backend selection into an executable backend bound to
+    /// this pipeline's engine.
+    pub fn backend(&self, spec: &Backend) -> Box<dyn ExecutionBackend + '_> {
+        spec.bind(&self.engine)
+    }
+
+    /// Executes `spec` over a prepared graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors (mismatched slice size, invalid
+    /// scheduling policy).
+    pub fn execute(&self, prepared: &PreparedGraph, spec: &Backend) -> Result<CountReport> {
+        self.backend(spec).execute(prepared)
+    }
+
+    /// Executes every backend in `specs` over one prepared graph,
+    /// returning reports in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend error.
+    pub fn execute_all(
+        &self,
+        prepared: &PreparedGraph,
+        specs: &[Backend],
+    ) -> Result<Vec<CountReport>> {
+        specs.iter().map(|spec| self.execute(prepared, spec)).collect()
+    }
+
+    /// One-shot convenience: prepare (cached) and execute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn count(&self, g: &CsrGraph, spec: &Backend) -> Result<CountReport> {
+        self.execute(&self.prepare(g), spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::generators::{classic, gnm};
+
+    fn pipeline() -> TcimPipeline {
+        TcimPipeline::new(&TcimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn prepare_is_cached_by_graph_identity() {
+        let p = pipeline();
+        let g = gnm(120, 700, 3).unwrap();
+        let a = p.prepare(&g);
+        let b = p.prepare(&g);
+        assert!(Arc::ptr_eq(&a, &b), "second prepare must return the cached artifact");
+        assert_eq!(p.cache().hits(), 1);
+        assert_eq!(p.cache().misses(), 1);
+        // An equal reconstruction of the graph also hits.
+        let g2 =
+            CsrGraph::from_edges(g.vertex_count(), g.edges().collect::<Vec<_>>()).unwrap();
+        let c = p.prepare(&g2);
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn distinct_graphs_prepare_distinct_artifacts() {
+        let p = pipeline();
+        let a = p.prepare(&classic::wheel(10));
+        let b = p.prepare(&classic::wheel(11));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.key(), b.key());
+        assert_eq!(p.cache().len(), 2);
+    }
+
+    #[test]
+    fn pricing_matches_measured_work() {
+        let p = pipeline();
+        let g = gnm(200, 1400, 9).unwrap();
+        let prepared = p.prepare(&g);
+        let run = p.engine().run(prepared.matrix());
+        // The priced pair population is exact.
+        assert_eq!(prepared.pricing().slice_pairs, run.stats.and_ops);
+        assert!(prepared.pricing().est_busy_s > 0.0);
+        assert!(prepared.pricing().controller_s > 0.0);
+        assert_eq!(prepared.slice_stats().nnz as usize, g.edge_count());
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let p = TcimPipeline::with_cache_capacity(&TcimConfig::default(), 2).unwrap();
+        let g1 = classic::wheel(10);
+        let g2 = classic::wheel(11);
+        let g3 = classic::wheel(12);
+        let first = p.prepare(&g1);
+        p.prepare(&g2);
+        p.prepare(&g1); // refresh g1 → g2 becomes LRU
+        p.prepare(&g3); // evicts g2
+        assert_eq!(p.cache().len(), 2);
+        assert!(Arc::ptr_eq(&first, &p.prepare(&g1)), "g1 must have survived");
+        let misses_before = p.cache().misses();
+        p.prepare(&g2); // g2 was evicted → rebuild
+        assert_eq!(p.cache().misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let p = pipeline();
+        p.prepare(&classic::wheel(10));
+        p.prepare(&classic::wheel(10));
+        p.cache().clear();
+        assert!(p.cache().is_empty());
+        assert_eq!(p.cache().hits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_cache_panics() {
+        PreparedCache::new(0);
+    }
+}

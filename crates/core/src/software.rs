@@ -28,6 +28,52 @@ pub struct SoftwareRun {
     pub slice_pairs: u64,
 }
 
+/// Outcome of the pure counting kernel over an already-sliced matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareCount {
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Valid slice pairs processed.
+    pub slice_pairs: u64,
+}
+
+/// Runs the AND + BitCount kernel over a *prepared* sliced matrix — the
+/// execution half of the software path, consuming the pipeline's
+/// [`PreparedGraph`](crate::PreparedGraph) artifact without re-slicing.
+///
+/// # Example
+///
+/// ```
+/// use tcim_bitmatrix::{popcount::PopcountMethod, SliceSize, SlicedMatrixBuilder};
+/// use tcim_core::software::sliced_count;
+///
+/// let mut b = SlicedMatrixBuilder::new(4, SliceSize::S64);
+/// for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+///     b.add_edge(u, v)?;
+/// }
+/// let run = sliced_count(&b.build(), PopcountMethod::Native);
+/// assert_eq!(run.triangles, 2);
+/// # Ok::<(), tcim_bitmatrix::BitMatrixError>(())
+/// ```
+pub fn sliced_count(matrix: &SlicedMatrix, popcount: PopcountMethod) -> SoftwareCount {
+    let mut triangles = 0u64;
+    let mut slice_pairs = 0u64;
+    for (i, j) in matrix.edges() {
+        let pairs = matrix
+            .row(i)
+            .matching_slices(matrix.col(j))
+            .expect("rows and columns of one matrix always align");
+        for (_, rs, cs) in pairs {
+            slice_pairs += 1;
+            for (a, b) in rs.iter().zip(cs) {
+                triangles +=
+                    u64::from(tcim_bitmatrix::popcount::popcount_word(a & b, popcount));
+            }
+        }
+    }
+    SoftwareCount { triangles, slice_pairs }
+}
+
 /// Runs the sliced bitwise dataflow in software: orient, slice, then for
 /// every edge AND the matching valid slice pairs and accumulate the
 /// bit count.
@@ -64,21 +110,7 @@ pub fn sliced_software_tc(
     let build_time = build_start.elapsed();
 
     let count_start = Instant::now();
-    let mut triangles = 0u64;
-    let mut slice_pairs = 0u64;
-    for (i, j) in matrix.edges() {
-        let pairs = matrix
-            .row(i)
-            .matching_slices(matrix.col(j))
-            .expect("rows and columns of one matrix always align");
-        for (_, rs, cs) in pairs {
-            slice_pairs += 1;
-            for (a, b) in rs.iter().zip(cs) {
-                triangles +=
-                    u64::from(tcim_bitmatrix::popcount::popcount_word(a & b, popcount));
-            }
-        }
-    }
+    let SoftwareCount { triangles, slice_pairs } = sliced_count(&matrix, popcount);
     let count_time = count_start.elapsed();
 
     Ok(SoftwareRun { triangles, count_time, build_time, slice_pairs })

@@ -2,6 +2,13 @@
 //! graph and cross-check them — the one-call version of the repository's
 //! verification strategy (DESIGN.md §7).
 //!
+//! Since the staged-pipeline refactor this is backend-driven: one
+//! [`PreparedGraph`](crate::PreparedGraph) is built and every
+//! [`Backend`] in the default suite executes it, plus one
+//! pipeline-independent reference (the graph-level hash-intersect
+//! baseline) so a preparation bug cannot hide by corrupting every
+//! backend identically.
+//!
 //! Downstream users porting the crate to a new platform (or modifying
 //! the device model) can call [`cross_check`] on their own graphs to
 //! confirm the full stack still counts exactly.
@@ -9,23 +16,22 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use tcim_bitmatrix::popcount::PopcountMethod;
-use tcim_bitmatrix::SliceSize;
-use tcim_graph::{CsrGraph, Orientation};
+use tcim_graph::CsrGraph;
 
-use crate::accelerator::{TcimAccelerator, TcimConfig};
+use crate::accelerator::TcimConfig;
+use crate::backend::Backend;
 use crate::baseline;
 use crate::error::Result;
-use crate::software::sliced_software_tc;
+use crate::pipeline::TcimPipeline;
 
 /// One path's verdict inside a [`CrossCheckReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathResult {
     /// Human-readable path name.
-    pub name: &'static str,
+    pub name: String,
     /// The count this path produced.
     pub triangles: u64,
-    /// Wall-clock time of the path (host time; for the PIM path this is
+    /// Wall-clock time of the path (host time; for the PIM paths this is
     /// simulator time, not modelled accelerator time).
     pub elapsed: Duration,
 }
@@ -65,7 +71,7 @@ impl fmt::Display for CrossCheckReport {
         for p in &self.paths {
             writeln!(
                 f,
-                "  {:<24} {:>12} triangles  ({:.3} ms)",
+                "  {:<28} {:>12} triangles  ({:.3} ms)",
                 p.name,
                 p.triangles,
                 p.elapsed.as_secs_f64() * 1e3
@@ -75,14 +81,19 @@ impl fmt::Display for CrossCheckReport {
     }
 }
 
-/// Runs five independent counting implementations on `g` and verifies
-/// unanimity: hash-intersect, merge edge-iterator, the forward
-/// algorithm, the sliced software path (LUT popcount, degeneracy
-/// orientation), and the simulated PIM accelerator.
+/// Runs every backend of the default suite (CPU merge, CPU forward,
+/// sliced software, serial PIM, scheduled multi-array PIM) plus the
+/// LUT-popcount software variant over one prepared graph, plus the
+/// pipeline-independent hash-intersect baseline, and verifies unanimity.
+///
+/// The pipeline prepares with **degeneracy** orientation so the
+/// relabelling machinery is exercised too — the hash-intersect
+/// reference never sees the relabelled graph, so an orientation bug
+/// cannot cancel out.
 ///
 /// # Errors
 ///
-/// Propagates characterization errors from the accelerator path. A count
+/// Propagates characterization and backend failures. A count
 /// *disagreement* is not an error — it is reported in the returned
 /// struct so callers can inspect all values.
 ///
@@ -98,34 +109,48 @@ impl fmt::Display for CrossCheckReport {
 /// # Ok::<(), tcim_core::CoreError>(())
 /// ```
 pub fn cross_check(g: &CsrGraph) -> Result<CrossCheckReport> {
-    let mut paths = Vec::with_capacity(5);
-    let mut timed = |name: &'static str, count: &mut dyn FnMut() -> u64| {
-        let start = Instant::now();
-        let triangles = count();
-        paths.push(PathResult { name, triangles, elapsed: start.elapsed() });
-    };
+    use tcim_bitmatrix::popcount::PopcountMethod;
+    use tcim_graph::Orientation;
 
-    timed("hash-intersect", &mut || baseline::hash_intersect(g));
-    timed("edge-iterator (merge)", &mut || baseline::edge_iterator_merge(g));
-    timed("forward", &mut || baseline::forward(g));
+    let mut backends = Backend::default_suite();
+    backends.push(Backend::Software(PopcountMethod::Lut8));
+    let config = TcimConfig { orientation: Orientation::Degeneracy, ..TcimConfig::default() };
+    cross_check_with(g, &config, &backends)
+}
 
+/// [`cross_check`] with an explicit configuration and backend list; the
+/// hash-intersect reference is always prepended.
+///
+/// # Errors
+///
+/// As [`cross_check`].
+pub fn cross_check_with(
+    g: &CsrGraph,
+    config: &TcimConfig,
+    backends: &[Backend],
+) -> Result<CrossCheckReport> {
+    let mut paths = Vec::with_capacity(backends.len() + 1);
+
+    // Pipeline-independent reference: counts on the raw graph, touching
+    // neither orientation, slicing, nor any backend.
     let start = Instant::now();
-    let sw =
-        sliced_software_tc(g, SliceSize::S64, Orientation::Degeneracy, PopcountMethod::Lut8)?;
+    let reference = baseline::hash_intersect(g);
     paths.push(PathResult {
-        name: "sliced software (LUT)",
-        triangles: sw.triangles,
+        name: "hash-intersect (reference)".to_string(),
+        triangles: reference,
         elapsed: start.elapsed(),
     });
 
-    let accelerator = TcimAccelerator::new(&TcimConfig::default())?;
-    let start = Instant::now();
-    let report = accelerator.count_triangles(g);
-    paths.push(PathResult {
-        name: "TCIM (simulated)",
-        triangles: report.triangles,
-        elapsed: start.elapsed(),
-    });
+    let pipeline = TcimPipeline::new(config)?;
+    let prepared = pipeline.prepare(g);
+    for backend in backends {
+        let report = pipeline.execute(&prepared, backend)?;
+        paths.push(PathResult {
+            name: report.backend,
+            triangles: report.triangles,
+            elapsed: report.execute_time,
+        });
+    }
 
     Ok(CrossCheckReport { paths })
 }
@@ -140,7 +165,8 @@ mod tests {
         let report = cross_check(&classic::fig2_example()).unwrap();
         assert!(report.consistent());
         assert_eq!(report.triangles(), 2);
-        assert_eq!(report.paths.len(), 5);
+        // The reference, the five default backends, and the LUT variant.
+        assert_eq!(report.paths.len(), 7);
     }
 
     #[test]
@@ -154,8 +180,23 @@ mod tests {
         let report = cross_check(&classic::complete(8)).unwrap();
         let text = report.to_string();
         assert!(text.contains("consistent"));
-        assert!(text.contains("forward"));
-        assert!(text.contains("TCIM"));
+        assert!(text.contains("cpu-forward"));
+        assert!(text.contains("tcim-serial"));
+        assert!(text.contains("tcim-sched"));
+        assert!(text.contains("software-sliced[lut8]"));
+        assert!(text.contains("hash-intersect"));
+    }
+
+    #[test]
+    fn explicit_backend_selection_is_respected() {
+        let report = cross_check_with(
+            &classic::wheel(15),
+            &TcimConfig::default(),
+            &[Backend::CpuMerge],
+        )
+        .unwrap();
+        assert_eq!(report.paths.len(), 2);
+        assert_eq!(report.triangles(), 14);
     }
 
     #[test]

@@ -144,6 +144,34 @@ impl CsrGraph {
         DegreeStats::from_degrees(self.vertices().map(|v| self.degree(v)))
     }
 
+    /// A structural fingerprint of the graph: an FNV-1a hash over the
+    /// vertex count and the CSR arrays.
+    ///
+    /// Two equal graphs always fingerprint identically, so the value can
+    /// key caches of per-graph derived artifacts (oriented/sliced forms)
+    /// without retaining the graph itself. As with any 64-bit hash,
+    /// distinct graphs may collide; cache keys should pair the
+    /// fingerprint with the vertex and edge counts.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.vertex_count() as u64);
+        for &o in &self.offsets {
+            mix(o as u64);
+        }
+        for &v in &self.neighbors {
+            mix(u64::from(v));
+        }
+        h
+    }
+
     /// Relabels vertices by `perm` (new id = `perm[old id]`) and rebuilds
     /// the CSR. Used by degree-based orientations to improve slice locality.
     ///
@@ -211,6 +239,22 @@ mod tests {
         assert!(g.has_edge(0, 2));
         assert!(g.has_edge(2, 0));
         assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let g1 = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let g2 = CsrGraph::from_edges(4, [(2, 3), (1, 2), (0, 1), (1, 0)]).unwrap();
+        // Equal graphs (construction normalises) → equal fingerprints.
+        assert_eq!(g1, g2);
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        // Any structural change moves the fingerprint.
+        let h = CsrGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        assert_ne!(g1.fingerprint(), h.fingerprint());
+        let bigger = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_ne!(g1.fingerprint(), bigger.fingerprint());
+        // Deterministic across calls.
+        assert_eq!(g1.fingerprint(), g1.fingerprint());
     }
 
     #[test]

@@ -7,22 +7,45 @@
 //! standard tooling).
 
 use std::collections::HashMap;
+use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 use crate::csr::CsrGraph;
 use crate::error::{GraphError, Result};
+
+/// Interns a raw SNAP vertex id as a dense `u32` in first-appearance
+/// order, refusing (rather than silently wrapping) once the distinct-id
+/// population exceeds the `u32` id space.
+fn intern(raw: u64, ids: &mut HashMap<u64, u32>, lineno: usize) -> Result<u32> {
+    if let Some(&id) = ids.get(&raw) {
+        return Ok(id);
+    }
+    let next = u32::try_from(ids.len()).map_err(|_| GraphError::Parse {
+        line: lineno,
+        content: format!("vertex id {raw}: more than u32::MAX distinct vertex ids"),
+    })?;
+    ids.insert(raw, next);
+    Ok(next)
+}
 
 /// Reads a SNAP-format edge list: one `u v` pair per line, `#` comments,
 /// arbitrary whitespace, arbitrary (possibly sparse) vertex ids.
 ///
 /// Vertex ids are remapped densely in first-appearance order, matching the
 /// usual preprocessing step for CSR construction. Self-loops and duplicate
-/// edges are dropped by the CSR builder.
+/// edges are dropped by the CSR builder. A single line buffer is reused
+/// across the whole input, so parsing allocates per distinct vertex, not
+/// per line.
+///
+/// `edge_hint` pre-reserves the edge vector (0 for unknown);
+/// [`read_snap_edges_path`] derives it from the file size.
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] for malformed lines and [`GraphError::Io`]
-/// for read failures.
+/// Returns [`GraphError::Parse`] (carrying the 1-based line number) for
+/// malformed lines and for inputs with more than `u32::MAX` distinct
+/// vertex ids, and [`GraphError::Io`] for read failures.
 ///
 /// # Example
 ///
@@ -36,16 +59,36 @@ use crate::error::{GraphError, Result};
 /// # Ok::<(), tcim_graph::GraphError>(())
 /// ```
 pub fn read_snap_edges<R: Read>(reader: R) -> Result<CsrGraph> {
-    let reader = BufReader::new(reader);
-    let mut ids: HashMap<u64, u32> = HashMap::new();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let intern = |raw: u64, ids: &mut HashMap<u64, u32>| -> u32 {
-        let next = ids.len() as u32;
-        *ids.entry(raw).or_insert(next)
-    };
+    read_snap_edges_with_hint(reader, 0)
+}
 
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+/// Reads a SNAP-format edge list from a file path; see
+/// [`read_snap_edges`]. The edge vector is pre-reserved from the file
+/// size (SNAP lines run ~10–20 bytes each).
+///
+/// # Errors
+///
+/// As [`read_snap_edges`], plus [`GraphError::Io`] when the file cannot
+/// be opened.
+pub fn read_snap_edges_path<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let file = File::open(path)?;
+    let hint = file.metadata().map(|m| m.len() as usize / 12).unwrap_or(0);
+    read_snap_edges_with_hint(file, hint)
+}
+
+fn read_snap_edges_with_hint<R: Read>(reader: R, edge_hint: usize) -> Result<CsrGraph> {
+    let mut reader = BufReader::new(reader);
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(edge_hint);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -53,17 +96,17 @@ pub fn read_snap_edges<R: Read>(reader: R) -> Result<CsrGraph> {
         let mut parts = trimmed.split_whitespace();
         let parse = |tok: Option<&str>| -> Result<u64> {
             tok.and_then(|t| t.parse::<u64>().ok()).ok_or_else(|| GraphError::Parse {
-                line: lineno + 1,
+                line: lineno,
                 content: trimmed.to_string(),
             })
         };
         let u = parse(parts.next())?;
         let v = parse(parts.next())?;
         if parts.next().is_some() {
-            return Err(GraphError::Parse { line: lineno + 1, content: trimmed.to_string() });
+            return Err(GraphError::Parse { line: lineno, content: trimmed.to_string() });
         }
-        let ui = intern(u, &mut ids);
-        let vi = intern(v, &mut ids);
+        let ui = intern(u, &mut ids, lineno)?;
+        let vi = intern(v, &mut ids, lineno)?;
         edges.push((ui, vi));
     }
     CsrGraph::from_edges(ids.len(), edges)
@@ -200,6 +243,30 @@ mod tests {
             let err = read_snap_edges(bad.as_bytes()).unwrap_err();
             assert!(matches!(err, GraphError::Parse { line: 1, .. }), "input {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_the_right_line_number() {
+        let text = "# header\n1 2\n\n3 4\nbogus line\n";
+        match read_snap_edges(text.as_bytes()).unwrap_err() {
+            GraphError::Parse { line, content } => {
+                assert_eq!(line, 5);
+                assert_eq!(content, "bogus line");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn path_convenience_reads_files() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("tcim-io-test-{}.txt", std::process::id()));
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let g = read_snap_edges_path(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(read_snap_edges_path("/nonexistent/tcim-missing.txt").is_err());
     }
 
     #[test]

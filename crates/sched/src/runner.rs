@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use tcim_arch::PimEngine;
+use tcim_arch::{PimEngine, SliceCostModel};
 use tcim_bitmatrix::SlicedMatrix;
 
 use crate::error::{Result, SchedError};
@@ -29,12 +29,18 @@ pub struct ScheduledRun<'a> {
     matrix: &'a SlicedMatrix,
     policy: SchedPolicy,
     placement: Placement,
+    /// The cost model resolved once at plan time and reused by every
+    /// `execute` call, so repeated executions of one plan never
+    /// re-resolve characterization-derived pricing.
+    costs: SliceCostModel,
     placement_time: std::time::Duration,
 }
 
 impl<'a> ScheduledRun<'a> {
     /// Plans a run: decomposes `matrix` into row jobs and places them
-    /// onto `policy.arrays` arrays.
+    /// onto `policy.arrays` arrays. Resolves the engine's cost model
+    /// internally; callers that already hold one (a prepared pipeline)
+    /// use [`ScheduledRun::plan_with_costs`].
     ///
     /// # Errors
     ///
@@ -46,6 +52,23 @@ impl<'a> ScheduledRun<'a> {
         matrix: &'a SlicedMatrix,
         policy: &SchedPolicy,
     ) -> Result<ScheduledRun<'a>> {
+        let costs = engine.cost_model();
+        ScheduledRun::plan_with_costs(engine, matrix, policy, costs)
+    }
+
+    /// Plans a run against an externally prepared cost model — the
+    /// characterize-once seam: the caller resolved pricing once (e.g. at
+    /// graph-preparation time) and every plan/execute cycle reuses it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduledRun::plan`].
+    pub fn plan_with_costs(
+        engine: &'a PimEngine,
+        matrix: &'a SlicedMatrix,
+        policy: &SchedPolicy,
+        costs: SliceCostModel,
+    ) -> Result<ScheduledRun<'a>> {
         policy.validate()?;
         if matrix.slice_size() != engine.config().slice_size {
             return Err(SchedError::SliceSizeMismatch {
@@ -54,7 +77,6 @@ impl<'a> ScheduledRun<'a> {
             });
         }
         let start = Instant::now();
-        let costs = engine.cost_model();
         let jobs = decompose(matrix, &costs);
         // Model the residency buffer the run will actually have: the
         // per-array share minus the row-region reservation. Assignments
@@ -79,6 +101,7 @@ impl<'a> ScheduledRun<'a> {
             matrix,
             policy: policy.clone(),
             placement,
+            costs,
             placement_time: start.elapsed(),
         })
     }
@@ -93,7 +116,6 @@ impl<'a> ScheduledRun<'a> {
     /// and aggregates inter-array timing/energy.
     pub fn execute(&self) -> ScheduledReport {
         let arrays = self.policy.arrays;
-        let costs = self.engine.cost_model();
         let per_array_jobs: Vec<Vec<&RowJob>> = (0..arrays)
             .map(|a| {
                 self.placement
@@ -134,7 +156,7 @@ impl<'a> ScheduledRun<'a> {
             self.policy.clone(),
             &rows_per_array,
             runs.into_iter().map(|r| r.stats).collect(),
-            &costs,
+            &self.costs,
             self.placement_time,
             host_sim_time,
         )

@@ -241,7 +241,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::*;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,

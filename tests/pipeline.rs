@@ -1,0 +1,103 @@
+//! Cross-crate pipeline properties: for every backend × orientation ×
+//! graph family, prepare-once/execute-many equals the one-shot path and
+//! all backends agree on the triangle count.
+
+use proptest::prelude::*;
+use tcim_repro::graph::generators::{barabasi_albert, classic, gnm};
+use tcim_repro::graph::{CsrGraph, Orientation};
+use tcim_repro::tcim::{baseline, Backend, TcimConfig, TcimPipeline};
+
+const ORIENTATIONS: [Orientation; 3] =
+    [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy];
+
+fn pipeline(orientation: Orientation) -> TcimPipeline {
+    TcimPipeline::new(&TcimConfig { orientation, ..TcimConfig::default() }).unwrap()
+}
+
+fn test_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("fig2", classic::fig2_example()),
+        ("wheel", classic::wheel(40)),
+        ("er", gnm(250, 1600, 11).unwrap()),
+        ("ba", barabasi_albert(300, 5, 7).unwrap()),
+    ]
+}
+
+/// The acceptance grid: every backend × orientation × {fig2, wheel, ER,
+/// BA}. A second execution of the same prepared artifact and the
+/// one-shot `count` path must all equal the graph-level baseline.
+#[test]
+fn every_backend_orientation_and_family_agrees() {
+    for orientation in ORIENTATIONS {
+        let p = pipeline(orientation);
+        for (label, g) in test_graphs() {
+            let expected = baseline::edge_iterator_merge(&g);
+            let prepared = p.prepare(&g);
+            for spec in Backend::default_suite() {
+                let name = spec.label();
+                let first = p.execute(&prepared, &spec).unwrap();
+                let second = p.execute(&prepared, &spec).unwrap();
+                let one_shot = p.count(&g, &spec).unwrap();
+                assert_eq!(
+                    first.triangles, expected,
+                    "{label} {orientation:?} {name}: prepared execution"
+                );
+                assert_eq!(
+                    second.triangles, expected,
+                    "{label} {orientation:?} {name}: repeated execution"
+                );
+                assert_eq!(
+                    one_shot.triangles, expected,
+                    "{label} {orientation:?} {name}: one-shot path"
+                );
+                // Work statistics are deterministic across executions of
+                // one artifact.
+                assert_eq!(first.stats, second.stats, "{label} {orientation:?} {name}");
+            }
+        }
+    }
+}
+
+/// The one-shot `count` calls above must have hit the cache (same
+/// graph), never rebuilding the artifact.
+#[test]
+fn one_shot_counts_reuse_the_prepared_artifact() {
+    let p = pipeline(Orientation::Natural);
+    let g = gnm(200, 1300, 3).unwrap();
+    let prepared = p.prepare(&g);
+    assert_eq!(p.cache().misses(), 1);
+    for spec in Backend::default_suite() {
+        p.count(&g, &spec).unwrap();
+    }
+    // Five counts → five cache hits, zero further misses.
+    assert_eq!(p.cache().misses(), 1);
+    assert_eq!(p.cache().hits(), 5);
+    assert!(std::sync::Arc::ptr_eq(&prepared, &p.prepare(&g)));
+}
+
+fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..250)
+            .prop_map(move |edges| CsrGraph::from_edges(n, edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary graphs under arbitrary orientations: the full backend
+    /// suite is exact and agrees with the graph-level baseline.
+    #[test]
+    fn backend_suite_is_exact_on_arbitrary_graphs(
+        g in graph_strategy(),
+        orientation_idx in 0usize..3,
+    ) {
+        let expected = baseline::edge_iterator_merge(&g);
+        let p = pipeline(ORIENTATIONS[orientation_idx]);
+        let prepared = p.prepare(&g);
+        for spec in Backend::default_suite() {
+            let report = p.execute(&prepared, &spec).unwrap();
+            prop_assert_eq!(report.triangles, expected, "{}", spec.label());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Acceptance proof for the prepared-graph cache: a second execution on
+//! a cached `PreparedGraph` performs **no re-slicing** — the
+//! `tcim-bitmatrix` build counter and the slice statistics are
+//! unchanged.
+//!
+//! This file holds a single test on purpose: the slicing build counter
+//! is process-global, so the proof lives in its own integration-test
+//! binary where no concurrent test can build matrices.
+
+use std::sync::Arc;
+
+use tcim_repro::graph::generators::gnm;
+use tcim_repro::tcim::{Backend, TcimConfig, TcimPipeline};
+
+#[test]
+fn cached_prepared_graph_is_never_resliced() {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let g = gnm(300, 2200, 19).unwrap();
+
+    // First preparation slices exactly once.
+    let builds_before_prepare = tcim_bitmatrix::matrices_built();
+    let prepared = pipeline.prepare(&g);
+    assert_eq!(tcim_bitmatrix::matrices_built(), builds_before_prepare + 1);
+    let stats = prepared.slice_stats();
+    let pricing = prepared.pricing();
+
+    // Execute the full backend suite twice over the cached artifact:
+    // no backend, planner or popcount path may slice anything.
+    let builds_after_prepare = tcim_bitmatrix::matrices_built();
+    let mut counts = Vec::new();
+    for round in 0..2 {
+        let again = pipeline.prepare(&g);
+        assert!(
+            Arc::ptr_eq(&prepared, &again),
+            "round {round}: prepare must return the cached artifact"
+        );
+        for spec in Backend::default_suite() {
+            counts.push(pipeline.execute(&again, &spec).unwrap().triangles);
+        }
+    }
+    assert_eq!(
+        tcim_bitmatrix::matrices_built(),
+        builds_after_prepare,
+        "execution must not re-slice"
+    );
+
+    // Work counters of the artifact are untouched…
+    assert_eq!(prepared.slice_stats(), stats);
+    assert_eq!(prepared.pricing(), pricing);
+    // …and every execution agreed.
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+
+    // Cache accounting: one miss (the initial build), hits ever after.
+    assert_eq!(pipeline.cache().misses(), 1);
+    assert_eq!(pipeline.cache().hits(), 2);
+}
