@@ -1,0 +1,106 @@
+//! Streaming benchmark: incremental delta maintenance vs re-preparing
+//! and recounting from scratch after every batch — the amortization win
+//! the dynamic-graph subsystem exists for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcim_core::{Backend, TcimConfig, TcimPipeline};
+use tcim_graph::generators::barabasi_albert;
+use tcim_graph::CsrGraph;
+use tcim_stream::{DriftPolicy, DynamicGraph, StreamConfig, Update, UpdateBatch};
+
+const BATCHES: usize = 4;
+const BATCH_LEN: usize = 50;
+
+fn seed_graph() -> CsrGraph {
+    barabasi_albert(1_500, 6, 11).unwrap()
+}
+
+/// Deterministic batches: fresh chords plus deletions of seed edges,
+/// all valid against the evolving state when applied in order.
+fn update_batches(g: &CsrGraph) -> Vec<UpdateBatch> {
+    let n = g.vertex_count() as u64;
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let mut x = 0x5a5a_1234_u64;
+    (0..BATCHES)
+        .map(|b| {
+            let mut batch = UpdateBatch::new();
+            for k in 0..BATCH_LEN {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if k % 5 == 0 {
+                    let (u, v) = edges[(b * BATCH_LEN + k) % edges.len()];
+                    batch.push(Update::Delete(u, v));
+                } else {
+                    let u = ((x >> 11) % n) as u32;
+                    let v = ((x >> 37) % n) as u32;
+                    batch.push(Update::Insert(u, v));
+                }
+            }
+            batch
+        })
+        .collect()
+}
+
+/// Incremental maintenance (no folds) vs a full prepare + count per
+/// batch: the per-update kernel path against the static pipeline's
+/// whole-graph path.
+fn bench_incremental_vs_recount(c: &mut Criterion) {
+    let g = seed_graph();
+    let batches = update_batches(&g);
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+
+    group.bench_function("incremental-deltas", |b| {
+        b.iter(|| {
+            let config =
+                StreamConfig { drift: DriftPolicy::never(), ..StreamConfig::default() };
+            let mut dg = DynamicGraph::new(black_box(&g), config).unwrap();
+            for batch in &batches {
+                dg.apply_batch(batch).unwrap();
+            }
+            dg.triangles()
+        })
+    });
+
+    group.bench_function("reprepare-recount", |b| {
+        b.iter(|| {
+            let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+            // Same traffic, but every batch pays a full re-prepare.
+            let config =
+                StreamConfig { drift: DriftPolicy::never(), ..StreamConfig::default() };
+            let mut dg = DynamicGraph::new(black_box(&g), config).unwrap();
+            let mut total = 0u64;
+            for batch in &batches {
+                dg.apply_batch(batch).unwrap();
+                let prepared = pipeline.prepare_uncached(&dg.snapshot());
+                total += pipeline.execute(&prepared, &Backend::CpuMerge).unwrap().triangles;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+/// Fold cost in isolation: how expensive is one drift-triggered rebuild
+/// relative to the batch that caused it.
+fn bench_fold(c: &mut Criterion) {
+    let g = seed_graph();
+    let batches = update_batches(&g);
+    let mut group = c.benchmark_group("stream-fold");
+    group.sample_size(10);
+    group.bench_function("fold-after-churn", |b| {
+        b.iter(|| {
+            let config =
+                StreamConfig { drift: DriftPolicy::never(), ..StreamConfig::default() };
+            let mut dg = DynamicGraph::new(black_box(&g), config).unwrap();
+            for batch in &batches {
+                dg.apply_batch(batch).unwrap();
+            }
+            dg.fold().unwrap().slice_stats().valid_slices
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_recount, bench_fold);
+criterion_main!(benches);

@@ -45,6 +45,20 @@ pub enum BitMatrixError {
         /// The matrix dimension.
         dim: usize,
     },
+    /// An undirected edge had both endpoints on the same vertex. The
+    /// adjacency matrices of this crate describe simple graphs, whose
+    /// diagonal is always zero.
+    SelfLoop {
+        /// The vertex looping onto itself.
+        vertex: usize,
+    },
+    /// An undirected edge was added twice (in either endpoint order).
+    DuplicateEdge {
+        /// Smaller endpoint of the duplicated edge.
+        u: usize,
+        /// Larger endpoint of the duplicated edge.
+        v: usize,
+    },
 }
 
 impl fmt::Display for BitMatrixError {
@@ -64,6 +78,12 @@ impl fmt::Display for BitMatrixError {
             }
             BitMatrixError::DimensionOutOfBounds { index, dim } => {
                 write!(f, "index {index} out of bounds for dimension {dim}")
+            }
+            BitMatrixError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not a simple-graph edge")
+            }
+            BitMatrixError::DuplicateEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} was already added")
             }
         }
     }

@@ -248,6 +248,76 @@ impl SlicedBitVector {
         total
     }
 
+    /// Sets bit `bit` in place, inserting a freshly valid slice when the
+    /// bit's slice was previously all-zero. Returns `true` when the bit
+    /// was newly set (`false` when it was already 1).
+    ///
+    /// The compressed invariant — only non-zero slices are stored, in
+    /// ascending index order — is preserved, so a mutated vector compares
+    /// equal to a from-scratch compression of the same bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::IndexOutOfBounds`] when `bit` is at or
+    /// beyond the vector length.
+    pub fn set_bit(&mut self, bit: usize) -> Result<bool> {
+        let (slice, word, mask) = self.locate(bit)?;
+        let wps = self.slice_size.words_per_slice();
+        match self.indices.binary_search(&slice) {
+            Ok(pos) => {
+                let w = &mut self.data[pos * wps + word];
+                let was_set = *w & mask != 0;
+                *w |= mask;
+                Ok(!was_set)
+            }
+            Err(pos) => {
+                self.indices.insert(pos, slice);
+                let base = pos * wps;
+                self.data.splice(base..base, std::iter::repeat_n(0u64, wps));
+                self.data[base + word] |= mask;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Clears bit `bit` in place, dropping the slice from the valid set
+    /// when it becomes all-zero. Returns `true` when the bit was
+    /// previously set (`false` when it was already 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::IndexOutOfBounds`] when `bit` is at or
+    /// beyond the vector length.
+    pub fn clear_bit(&mut self, bit: usize) -> Result<bool> {
+        let (slice, word, mask) = self.locate(bit)?;
+        let wps = self.slice_size.words_per_slice();
+        let Ok(pos) = self.indices.binary_search(&slice) else {
+            return Ok(false); // bit lives in an invalid (all-zero) slice
+        };
+        let base = pos * wps;
+        let w = &mut self.data[base + word];
+        if *w & mask == 0 {
+            return Ok(false);
+        }
+        *w &= !mask;
+        if self.data[base..base + wps].iter().all(|&x| x == 0) {
+            self.indices.remove(pos);
+            self.data.drain(base..base + wps);
+        }
+        Ok(true)
+    }
+
+    /// Resolves `bit` into its `(slice index, word-within-slice, mask)`
+    /// coordinates, bounds-checked.
+    fn locate(&self, bit: usize) -> Result<(u32, usize, u64)> {
+        if bit >= self.len_bits {
+            return Err(BitMatrixError::IndexOutOfBounds { index: bit, len: self.len_bits });
+        }
+        let bits = self.slice_size.bits() as usize;
+        let within = bit % bits;
+        Ok(((bit / bits) as u32, within / 64, 1u64 << (within % 64)))
+    }
+
     /// Decompresses back to a dense [`BitVec`].
     pub fn to_bitvec(&self) -> BitVec {
         let mut v = BitVec::new(self.len_bits);
@@ -439,6 +509,66 @@ mod tests {
         let a = sliced(128, &[0], SliceSize::S64);
         let b = sliced(129, &[0], SliceSize::S64);
         assert!(matches!(a.matching_slices(&b), Err(BitMatrixError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn set_bit_inserts_and_clear_bit_drops_valid_slices() {
+        for s in SliceSize::ALL {
+            let mut v = sliced(600, &[], s);
+            assert!(v.set_bit(70).unwrap());
+            assert!(v.set_bit(71).unwrap());
+            assert!(!v.set_bit(70).unwrap(), "already set, slice size {s}");
+            assert_eq!(v, sliced(600, &[70, 71], s), "slice size {s}");
+
+            assert!(v.clear_bit(70).unwrap());
+            assert!(!v.clear_bit(70).unwrap(), "already clear, slice size {s}");
+            assert!(!v.clear_bit(599).unwrap(), "never set, slice size {s}");
+            assert_eq!(v, sliced(600, &[71], s), "slice size {s}");
+
+            // Emptying the last slice restores the canonical empty form.
+            assert!(v.clear_bit(71).unwrap());
+            assert_eq!(v, sliced(600, &[], s), "slice size {s}");
+            assert!(v.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_mutation_sequence_matches_rebuild() {
+        // Deterministic pseudo-random set/clear churn; after every step the
+        // mutated vector must equal a fresh compression of the dense truth.
+        let len = 900usize;
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for s in [SliceSize::S16, SliceSize::S64, SliceSize::S256] {
+            let mut dense = BitVec::new(len);
+            let mut v = SlicedBitVector::from_bitvec(&dense, s);
+            for _ in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let bit = (x >> 11) as usize % len;
+                if x & 1 == 0 {
+                    let newly = v.set_bit(bit).unwrap();
+                    assert_eq!(newly, !dense.get(bit));
+                    dense.set(bit);
+                } else {
+                    let was = v.clear_bit(bit).unwrap();
+                    assert_eq!(was, dense.get(bit));
+                    dense.clear(bit);
+                }
+            }
+            assert_eq!(v, SlicedBitVector::from_bitvec(&dense, s), "slice size {s}");
+            assert_eq!(v.count_ones(), dense.count_ones(), "slice size {s}");
+        }
+    }
+
+    #[test]
+    fn mutation_out_of_bounds_is_error() {
+        let mut v = sliced(100, &[3], SliceSize::S64);
+        assert!(matches!(
+            v.set_bit(100),
+            Err(BitMatrixError::IndexOutOfBounds { index: 100, len: 100 })
+        ));
+        assert!(matches!(v.clear_bit(512), Err(BitMatrixError::IndexOutOfBounds { .. })));
+        // The failed mutations left the vector untouched.
+        assert_eq!(v, sliced(100, &[3], SliceSize::S64));
     }
 
     #[test]

@@ -193,6 +193,62 @@ impl SlicedMatrix {
         self.edges.len()
     }
 
+    /// Sets entry `A[i][j] = 1` in place — the row-patch primitive of
+    /// the dynamic-graph layer: row `i`, column `j` and the oriented edge
+    /// list are all updated without rebuilding (or re-slicing) the
+    /// matrix. Returns `true` when the entry was newly set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::DimensionOutOfBounds`] when `i` or `j`
+    /// is at or beyond the matrix dimension.
+    pub fn set_entry(&mut self, i: u32, j: u32) -> Result<bool> {
+        self.check_entry(i, j)?;
+        let newly = self.rows[i as usize].set_bit(j as usize)?;
+        if newly {
+            self.cols[j as usize].set_bit(i as usize)?;
+            let pos = self
+                .edges
+                .binary_search(&(i, j))
+                .expect_err("row bit was clear, so the edge cannot be listed");
+            self.edges.insert(pos, (i, j));
+        }
+        Ok(newly)
+    }
+
+    /// Clears entry `A[i][j]` in place (row, column and edge list).
+    /// Returns `true` when the entry was previously set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::DimensionOutOfBounds`] when `i` or `j`
+    /// is at or beyond the matrix dimension.
+    pub fn clear_entry(&mut self, i: u32, j: u32) -> Result<bool> {
+        self.check_entry(i, j)?;
+        let was_set = self.rows[i as usize].clear_bit(j as usize)?;
+        if was_set {
+            self.cols[j as usize].clear_bit(i as usize)?;
+            let pos = self
+                .edges
+                .binary_search(&(i, j))
+                .expect("row bit was set, so the edge must be listed");
+            self.edges.remove(pos);
+        }
+        Ok(was_set)
+    }
+
+    fn check_entry(&self, i: u32, j: u32) -> Result<()> {
+        for idx in [i, j] {
+            if idx as usize >= self.n {
+                return Err(BitMatrixError::DimensionOutOfBounds {
+                    index: idx as usize,
+                    dim: self.n,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Aggregate slicing statistics over all rows *and* columns.
     pub fn stats(&self) -> SliceStats {
         let row_valid: u64 = self.rows.iter().map(|r| r.valid_slice_count() as u64).sum();
@@ -240,29 +296,48 @@ impl SlicedMatrixBuilder {
     }
 
     /// Adds undirected edge `{u, v}` (stored as `A[min][max] = 1`).
-    /// Duplicate edges are deduplicated at [`SlicedMatrixBuilder::build`].
+    ///
+    /// The builder does not trust the caller: the streaming layer feeds
+    /// it adversarial update streams, so malformed edges are rejected
+    /// here rather than silently normalised away.
     ///
     /// # Errors
     ///
-    /// Returns [`BitMatrixError::DimensionOutOfBounds`] for vertices outside
-    /// `0..n` or a self-loop.
+    /// Returns [`BitMatrixError::DimensionOutOfBounds`] for vertices
+    /// outside `0..n`, [`BitMatrixError::SelfLoop`] when `u == v`, and
+    /// [`BitMatrixError::DuplicateEdge`] when the edge was already added
+    /// (in either endpoint order).
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self> {
         if u >= self.n {
             return Err(BitMatrixError::DimensionOutOfBounds { index: u, dim: self.n });
         }
-        if v >= self.n || u == v {
+        if v >= self.n {
             return Err(BitMatrixError::DimensionOutOfBounds { index: v, dim: self.n });
         }
-        self.adjacency[u.min(v)].push(u.max(v) as u32);
-        Ok(self)
+        if u == v {
+            return Err(BitMatrixError::SelfLoop { vertex: u });
+        }
+        let (lo, hi) = (u.min(v), u.max(v) as u32);
+        let row = &mut self.adjacency[lo];
+        // Fast path for the dominant construction pattern (neighbours
+        // arriving in ascending order): amortized O(1) append instead
+        // of a shifting insert.
+        if row.last().is_none_or(|&last| last < hi) {
+            row.push(hi);
+            return Ok(self);
+        }
+        match row.binary_search(&hi) {
+            Ok(_) => Err(BitMatrixError::DuplicateEdge { u: lo, v: hi as usize }),
+            Err(pos) => {
+                row.insert(pos, hi);
+                Ok(self)
+            }
+        }
     }
 
-    /// Finishes the matrix, sorting and deduplicating each row.
-    pub fn build(mut self) -> SlicedMatrix {
-        for row in &mut self.adjacency {
-            row.sort_unstable();
-            row.dedup();
-        }
+    /// Finishes the matrix. Rows are kept sorted and duplicate-free at
+    /// insertion time, so no normalisation pass is needed.
+    pub fn build(self) -> SlicedMatrix {
         SlicedMatrix::from_adjacency(&self.adjacency, self.slice_size)
             .expect("builder validated all indices")
     }
@@ -317,22 +392,103 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_edges_are_deduplicated() {
+    fn duplicate_edges_are_rejected_in_either_order() {
         let mut b = SlicedMatrixBuilder::new(3, SliceSize::S64);
         b.add_edge(0, 1).unwrap();
-        b.add_edge(1, 0).unwrap();
-        b.add_edge(0, 1).unwrap();
+        assert_eq!(
+            b.add_edge(1, 0).unwrap_err(),
+            BitMatrixError::DuplicateEdge { u: 0, v: 1 }
+        );
+        assert_eq!(
+            b.add_edge(0, 1).unwrap_err(),
+            BitMatrixError::DuplicateEdge { u: 0, v: 1 }
+        );
+        // The rejections left the builder state intact.
         let m = b.build();
         assert_eq!(m.edge_count(), 1);
         assert_eq!(m.stats().nnz, 1);
     }
 
     #[test]
-    fn builder_rejects_bad_edges() {
+    fn self_loops_are_rejected() {
         let mut b = SlicedMatrixBuilder::new(3, SliceSize::S64);
-        assert!(b.add_edge(0, 3).is_err());
-        assert!(b.add_edge(3, 0).is_err());
-        assert!(b.add_edge(1, 1).is_err());
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), BitMatrixError::SelfLoop { vertex: 1 });
+        assert_eq!(b.add_edge(0, 0).unwrap_err(), BitMatrixError::SelfLoop { vertex: 0 });
+        assert_eq!(b.build().edge_count(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_bounds_edges() {
+        let mut b = SlicedMatrixBuilder::new(3, SliceSize::S64);
+        assert_eq!(
+            b.add_edge(0, 3).unwrap_err(),
+            BitMatrixError::DimensionOutOfBounds { index: 3, dim: 3 }
+        );
+        assert_eq!(
+            b.add_edge(3, 0).unwrap_err(),
+            BitMatrixError::DimensionOutOfBounds { index: 3, dim: 3 }
+        );
+    }
+
+    #[test]
+    fn entry_patches_update_rows_columns_and_edges() {
+        let mut m = fig2();
+        // (0, 3) closes two more triangles in Fig. 2.
+        assert!(m.set_entry(0, 3).unwrap());
+        assert!(!m.set_entry(0, 3).unwrap(), "already set");
+        let edges: Vec<(u32, u32)> = m.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(m.row(0).to_bitvec().get(3));
+        assert!(m.col(3).to_bitvec().get(0));
+        let tc: u64 = m.edges().map(|(i, j)| m.row(i).and_popcount(m.col(j))).sum();
+        assert_eq!(tc, 4);
+
+        // Clearing restores the original matrix exactly.
+        assert!(m.clear_entry(0, 3).unwrap());
+        assert!(!m.clear_entry(0, 3).unwrap(), "already clear");
+        assert_eq!(m, fig2());
+    }
+
+    #[test]
+    fn patched_matrix_equals_from_scratch_build() {
+        let mut m = fig2();
+        m.clear_entry(1, 2).unwrap();
+        m.set_entry(0, 3).unwrap();
+        let mut b = SlicedMatrixBuilder::new(4, SliceSize::S64);
+        for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(m, b.build());
+        assert_eq!(m.stats(), {
+            let mut b2 = SlicedMatrixBuilder::new(4, SliceSize::S64);
+            for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)] {
+                b2.add_edge(u, v).unwrap();
+            }
+            b2.build().stats()
+        });
+    }
+
+    #[test]
+    fn entry_patch_bounds_are_checked() {
+        let mut m = fig2();
+        assert_eq!(
+            m.set_entry(0, 4).unwrap_err(),
+            BitMatrixError::DimensionOutOfBounds { index: 4, dim: 4 }
+        );
+        assert_eq!(
+            m.clear_entry(9, 0).unwrap_err(),
+            BitMatrixError::DimensionOutOfBounds { index: 9, dim: 4 }
+        );
+        assert_eq!(m, fig2());
+    }
+
+    #[test]
+    fn entry_patches_do_not_bump_the_build_counter() {
+        let mut m = fig2();
+        let before = matrices_built();
+        m.set_entry(0, 3).unwrap();
+        m.clear_entry(0, 1).unwrap();
+        assert_eq!(matrices_built(), before);
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //! ([`Backend`]) — serial PIM, scheduled multi-array PIM, the sliced
 //! software path, and CPU baselines all return one [`CountReport`].
 //!
+//! For *dynamic* graphs (streams of edge insertions/deletions), the
+//! `tcim-stream` crate layers incremental delta counting on top of this
+//! pipeline: it maintains the count with per-update AND + BitCount
+//! kernels and folds drifted state back through [`TcimPipeline::prepare`]
+//! into the [`PreparedCache`].
+//!
 //! # Quickstart
 //!
 //! ```

@@ -252,6 +252,17 @@ impl PreparedCache {
         self.inner.lock().expect("cache mutex is never poisoned").map.len()
     }
 
+    /// Maximum number of artifacts the cache holds before evicting.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cached keys in least-recently-used-first order (for eviction
+    /// inspection; does not touch hit/miss counters or recency).
+    pub fn keys_lru_first(&self) -> Vec<PreparedKey> {
+        self.inner.lock().expect("cache mutex is never poisoned").order.clone()
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -487,6 +498,50 @@ mod tests {
         let misses_before = p.cache().misses();
         p.prepare(&g2); // g2 was evicted → rebuild
         assert_eq!(p.cache().misses(), misses_before + 1);
+    }
+
+    /// Direct cache-level LRU regression: eviction removes the least
+    /// recently used key and `get` refreshes recency — pinned at the
+    /// `PreparedCache` API level, independent of pipeline plumbing.
+    #[test]
+    fn cache_evictions_follow_lru_order_and_get_refreshes_recency() {
+        let p = pipeline();
+        let engine = p.engine();
+        let prepared_for = |n: usize| {
+            PreparedGraph::build(
+                &classic::wheel(n),
+                Orientation::Natural,
+                SliceSize::S64,
+                engine,
+            )
+        };
+        let cache = PreparedCache::new(2);
+        assert_eq!(cache.capacity(), 2);
+        let ka = *cache.insert(prepared_for(10)).key();
+        let kb = *cache.insert(prepared_for(11)).key();
+        assert_eq!(cache.keys_lru_first(), vec![ka, kb]);
+
+        // A hit moves the key to most-recently-used.
+        assert!(cache.get(&ka).is_some());
+        assert_eq!(cache.keys_lru_first(), vec![kb, ka]);
+
+        // The next insert evicts the LRU key (kb), not the refreshed ka.
+        let kc = *cache.insert(prepared_for(12)).key();
+        assert_eq!(cache.keys_lru_first(), vec![ka, kc]);
+        assert!(cache.get(&kb).is_none(), "kb was the LRU victim");
+        assert!(cache.get(&ka).is_some(), "ka survived thanks to the refresh");
+
+        // Eviction keeps following recency: ka was just refreshed, so
+        // kc is now the victim.
+        let kd = *cache.insert(prepared_for(13)).key();
+        assert_eq!(cache.keys_lru_first(), vec![ka, kd]);
+        assert!(cache.get(&kc).is_none());
+
+        // Re-inserting a resident key returns the cached artifact and
+        // evicts nothing.
+        let again = cache.insert(prepared_for(13));
+        assert_eq!(*again.key(), kd);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   latency (serial host dispatch + slowest array), per-array
 //!   utilization, and the load-imbalance factor, instead of a serial
 //!   sum.
+//! * **Batch delta jobs** ([`delta`]) — placement of the per-update
+//!   AND + BitCount kernels a dynamic-graph batch (`tcim-stream`)
+//!   produces: tiny, independent, residency-free jobs priced by the
+//!   same cost model and balanced by the same policies.
 //! * **Batch execution** ([`ScheduledRun`], [`BatchRunner`]) —
 //!   independent per-array work fans out over scoped host threads and
 //!   partial triangle counts merge deterministically in array order.
@@ -59,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 mod error;
 mod executor;
 pub mod jobs;
@@ -67,9 +72,10 @@ mod policy;
 mod report;
 mod runner;
 
+pub use delta::{plan_deltas, DeltaJob, DeltaPlan};
 pub use error::{Result, SchedError};
 pub use jobs::RowJob;
 pub use placement::Placement;
 pub use policy::{PlacementPolicy, SchedPolicy};
 pub use report::{ArrayReport, ScheduledReport};
-pub use runner::{BatchRunner, ScheduledRun};
+pub use runner::{parallel_map_indexed, BatchRunner, ScheduledRun};

@@ -222,7 +222,11 @@ impl<'e> BatchRunner<'e> {
 /// Applies `f` to `0..n`, fanning over at most `threads` scoped worker
 /// threads; results come back indexed, so output order is deterministic
 /// regardless of scheduling.
-fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+///
+/// Exposed because every layer that fans per-array work over the host
+/// (this crate's runners, the `tcim-stream` delta executor) needs the
+/// identical deterministic fork-join shape.
+pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -1,0 +1,173 @@
+//! The drift policy: when to fold the dynamic state back into a fresh
+//! prepared artifact.
+//!
+//! The dynamic rows stay exact under any number of updates — folding is
+//! never needed for *correctness*. What decays is the quality of the
+//! prepared artifact serving read traffic: the epoch snapshot drifts
+//! from the live graph, and the in-place patched slice population
+//! (hence the paper's `NVS`-driven cost accounting) drifts from what
+//! the artifact was priced for. The drift policy bounds that decay.
+
+/// The measured drift of a dynamic graph since its last fold, fed to
+/// [`DriftPolicy::should_fold`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftMeasure {
+    /// Rows (vertices) whose neighbourhood changed since the last fold.
+    pub touched_rows: usize,
+    /// Total rows in the graph.
+    pub total_rows: usize,
+    /// Current valid slices across all dynamic rows.
+    pub valid_slices: u64,
+    /// Valid slices at the last fold.
+    pub valid_slices_at_fold: u64,
+    /// Updates applied since the last fold.
+    pub updates_since_fold: u64,
+}
+
+impl DriftMeasure {
+    /// Fraction of rows touched since the last fold, in `[0, 1]`.
+    pub fn touched_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.touched_rows as f64 / self.total_rows as f64
+        }
+    }
+
+    /// Relative change of the valid-slice population since the last
+    /// fold (slice-validity decay), `|now − then| / then`.
+    pub fn valid_slice_drift(&self) -> f64 {
+        if self.valid_slices_at_fold == 0 {
+            if self.valid_slices == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.valid_slices.abs_diff(self.valid_slices_at_fold)) as f64
+                / self.valid_slices_at_fold as f64
+        }
+    }
+}
+
+/// When to fold dynamic state back through the pipeline. Each criterion
+/// is optional; the policy folds when **any** enabled criterion is
+/// exceeded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPolicy {
+    /// Fold when more than this fraction of rows was touched since the
+    /// last fold.
+    pub max_touched_fraction: Option<f64>,
+    /// Fold when the valid-slice population drifted by more than this
+    /// relative amount since the last fold.
+    pub max_valid_slice_drift: Option<f64>,
+    /// Fold after this many applied updates regardless of locality.
+    pub max_updates: Option<u64>,
+}
+
+impl Default for DriftPolicy {
+    /// Fold when a quarter of the rows was touched or the valid-slice
+    /// population moved by half; no unconditional update cap.
+    fn default() -> Self {
+        DriftPolicy {
+            max_touched_fraction: Some(0.25),
+            max_valid_slice_drift: Some(0.5),
+            max_updates: None,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// A policy that never folds — the dynamic state floats forever
+    /// (useful for tests and pure write-only workloads).
+    pub fn never() -> Self {
+        DriftPolicy {
+            max_touched_fraction: None,
+            max_valid_slice_drift: None,
+            max_updates: None,
+        }
+    }
+
+    /// Whether `measure` exceeds any enabled criterion.
+    pub fn should_fold(&self, measure: &DriftMeasure) -> bool {
+        if let Some(limit) = self.max_touched_fraction {
+            if measure.touched_fraction() > limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.max_valid_slice_drift {
+            if measure.valid_slice_drift() > limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.max_updates {
+            if measure.updates_since_fold > limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measure(
+        touched: usize,
+        total: usize,
+        valid: u64,
+        at_fold: u64,
+        n: u64,
+    ) -> DriftMeasure {
+        DriftMeasure {
+            touched_rows: touched,
+            total_rows: total,
+            valid_slices: valid,
+            valid_slices_at_fold: at_fold,
+            updates_since_fold: n,
+        }
+    }
+
+    #[test]
+    fn never_policy_never_folds() {
+        let p = DriftPolicy::never();
+        assert!(!p.should_fold(&measure(100, 100, 9999, 1, u64::MAX)));
+    }
+
+    #[test]
+    fn touched_fraction_trips_the_default_policy() {
+        let p = DriftPolicy::default();
+        assert!(!p.should_fold(&measure(25, 100, 10, 10, 3)));
+        assert!(p.should_fold(&measure(26, 100, 10, 10, 3)));
+    }
+
+    #[test]
+    fn valid_slice_decay_trips_independently() {
+        let p = DriftPolicy { max_touched_fraction: None, ..DriftPolicy::default() };
+        assert!(!p.should_fold(&measure(99, 100, 150, 100, 1)));
+        assert!(p.should_fold(&measure(1, 100, 151, 100, 1)));
+        // Shrinkage counts as drift too (deletions hollow out slices).
+        assert!(p.should_fold(&measure(1, 100, 49, 100, 1)));
+    }
+
+    #[test]
+    fn update_cap_is_unconditional() {
+        let p = DriftPolicy {
+            max_touched_fraction: None,
+            max_valid_slice_drift: None,
+            max_updates: Some(10),
+        };
+        assert!(!p.should_fold(&measure(0, 10, 5, 5, 10)));
+        assert!(p.should_fold(&measure(0, 10, 5, 5, 11)));
+    }
+
+    #[test]
+    fn empty_graph_measures_zero_drift() {
+        let m = measure(0, 0, 0, 0, 0);
+        assert_eq!(m.touched_fraction(), 0.0);
+        assert_eq!(m.valid_slice_drift(), 0.0);
+        // Growth from an empty fold is infinite relative drift.
+        assert!(measure(1, 2, 3, 0, 1).valid_slice_drift().is_infinite());
+    }
+}

@@ -1,0 +1,778 @@
+//! The dynamic graph: live triangle-count maintenance under edge
+//! insertions and deletions, without re-slicing the whole graph.
+//!
+//! # Dataflow
+//!
+//! A [`DynamicGraph`] owns mutable adjacency plus one mutable sliced
+//! bit-row per vertex holding its **full** neighbourhood `N(v)` (not the
+//! oriented DAG rows a one-shot count uses). Under that representation
+//! the triangle delta of an edge update `{u, v}` is *exactly one* TCIM
+//! kernel invocation — `BitCount(AND(N(u), N(v)))` over valid slice
+//! pairs (PAPER.md §IV, Alg. 1):
+//!
+//! * insert `{u, v}`: every common neighbour closes a new triangle, so
+//!   `ΔTC = +|N(u) ∩ N(v)|`;
+//! * delete `{u, v}`: every common neighbour loses one, `ΔTC = −|N(u) ∩
+//!   N(v)|` (the edge itself never appears in the intersection, so the
+//!   kernel is the same either side of the mutation).
+//!
+//! Batches are partitioned into endpoint-disjoint *rounds*: updates in
+//! one round touch pairwise-disjoint vertex sets, so their kernels read
+//! disjoint neighbourhoods and execute concurrently — fanned across
+//! arrays via `tcim-sched`'s [delta jobs](tcim_sched::delta) — while
+//! conflicting updates serialize into later rounds, preserving exact
+//! sequential semantics.
+//!
+//! Mutations patch the sliced rows in place
+//! ([`SlicedBitVector::set_bit`]/[`clear_bit`]); nothing is re-sliced
+//! until the [`DriftPolicy`] decides the epoch snapshot has decayed,
+//! at which point [`DynamicGraph::fold`] rebuilds one fresh
+//! [`PreparedGraph`] through the pipeline's `PreparedCache`.
+//!
+//! [`clear_bit`]: SlicedBitVector::clear_bit
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tcim_arch::SliceCostModel;
+use tcim_bitmatrix::{SliceSize, SlicedBitVector};
+use tcim_core::{Backend, PreparedGraph, TcimConfig, TcimPipeline};
+use tcim_graph::CsrGraph;
+use tcim_sched::{parallel_map_indexed, plan_deltas, DeltaJob, SchedPolicy};
+
+use crate::drift::{DriftMeasure, DriftPolicy};
+use crate::error::{Result, StreamError};
+use crate::report::{BatchReport, Delta, Rejected, StreamReport};
+use crate::update::{Update, UpdateBatch};
+
+/// Configuration of a [`DynamicGraph`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The underlying pipeline configuration (orientation and PIM
+    /// parameters used for prepared snapshots and the initial count).
+    pub tcim: TcimConfig,
+    /// When to fold dynamic state into a fresh prepared artifact.
+    pub drift: DriftPolicy,
+    /// Arrays/placement/host threads used to fan large rounds of delta
+    /// kernels out via `tcim-sched`.
+    pub sched: SchedPolicy,
+    /// Minimum round size that engages the multi-array fan-out; smaller
+    /// rounds run serially on one array.
+    pub fanout_threshold: usize,
+    /// Recount the folded artifact and fail on disagreement with the
+    /// maintained count (a self-check; disabled by default).
+    pub verify_on_fold: bool,
+    /// Backend used for the initial count and fold-time verification.
+    pub count_backend: Backend,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            tcim: TcimConfig::default(),
+            drift: DriftPolicy::default(),
+            sched: SchedPolicy::with_arrays(4),
+            fanout_threshold: 8,
+            verify_on_fold: false,
+            count_backend: Backend::CpuMerge,
+        }
+    }
+}
+
+/// One member of an endpoint-disjoint execution round.
+#[derive(Debug, Clone, Copy)]
+struct RoundMember {
+    /// Position in the accepted-update sequence (submission order).
+    idx: usize,
+    u: u32,
+    v: u32,
+    insert: bool,
+}
+
+/// A graph under write traffic: mutable adjacency, mutable sliced
+/// bit-rows, an incrementally maintained triangle count and an epoch
+/// snapshot folded through the [`TcimPipeline`] on drift.
+///
+/// # Example
+///
+/// ```
+/// use tcim_graph::generators::classic;
+/// use tcim_stream::{DynamicGraph, StreamConfig, UpdateBatch};
+///
+/// // Fig. 2 of the paper: 2 triangles.
+/// let mut dg = DynamicGraph::new(&classic::fig2_example(), StreamConfig::default())?;
+/// assert_eq!(dg.triangles(), 2);
+///
+/// // Closing {0, 3} creates two new triangles — one delta kernel.
+/// let mut batch = UpdateBatch::new();
+/// batch.insert(0, 3);
+/// let outcome = dg.apply_batch(&batch)?;
+/// assert_eq!(outcome.net_delta(), 2);
+/// assert_eq!(dg.triangles(), 4);
+/// # Ok::<(), tcim_stream::StreamError>(())
+/// ```
+#[derive(Debug)]
+pub struct DynamicGraph {
+    config: StreamConfig,
+    pipeline: TcimPipeline,
+    costs: SliceCostModel,
+    slice_size: SliceSize,
+    /// Sorted full neighbour lists (both directions of every edge).
+    adjacency: Vec<Vec<u32>>,
+    /// `rows[v]` is `N(v)` in compressed sliced form.
+    rows: Vec<SlicedBitVector>,
+    triangles: u64,
+    edges: usize,
+    touched: Vec<bool>,
+    touched_rows: usize,
+    valid_slices: u64,
+    valid_at_fold: u64,
+    updates_since_fold: u64,
+    epoch: u64,
+    prepared: Arc<PreparedGraph>,
+    report: StreamReport,
+}
+
+impl DynamicGraph {
+    /// Builds the dynamic state from an initial graph: prepares (and
+    /// caches) the epoch-0 artifact, obtains the initial count with
+    /// `config.count_backend`, and slices every full neighbourhood row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine characterization and backend failures.
+    pub fn new(g: &CsrGraph, config: StreamConfig) -> Result<Self> {
+        let pipeline = TcimPipeline::new(&config.tcim)?;
+        let prepared = pipeline.prepare(g);
+        let initial = pipeline.execute(&prepared, &config.count_backend)?;
+        let n = g.vertex_count();
+        let slice_size = config.tcim.pim.slice_size;
+        let rows: Vec<SlicedBitVector> = g
+            .vertices()
+            .map(|v| {
+                SlicedBitVector::from_sorted_indices(
+                    n,
+                    g.neighbors(v).iter().map(|&x| x as usize),
+                    slice_size,
+                )
+            })
+            .collect();
+        let valid_slices = rows.iter().map(|r| r.valid_slice_count() as u64).sum();
+        let costs = pipeline.engine().cost_model();
+        Ok(DynamicGraph {
+            config,
+            costs,
+            slice_size,
+            adjacency: g.vertices().map(|v| g.neighbors(v).to_vec()).collect(),
+            rows,
+            triangles: initial.triangles,
+            edges: g.edge_count(),
+            touched: vec![false; n],
+            touched_rows: 0,
+            valid_slices,
+            valid_at_fold: valid_slices,
+            updates_since_fold: 0,
+            epoch: 0,
+            prepared,
+            pipeline,
+            report: StreamReport::default(),
+        })
+    }
+
+    /// Number of vertices (fixed at construction).
+    pub fn vertex_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Current number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The incrementally maintained exact triangle count.
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// The slice size `|S|` every dynamic row is compressed with.
+    pub fn slice_size(&self) -> SliceSize {
+        self.slice_size
+    }
+
+    /// Current valid slices across all dynamic rows (the live `NVS`).
+    pub fn valid_slices(&self) -> u64 {
+        self.valid_slices
+    }
+
+    /// Whether the undirected edge `{u, v}` currently exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `u` is out of bounds.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adjacency[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// The sliced neighbourhood row `N(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of bounds.
+    pub fn row(&self, v: u32) -> &SlicedBitVector {
+        &self.rows[v as usize]
+    }
+
+    /// The sorted live neighbour list of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of bounds.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adjacency[v as usize]
+    }
+
+    /// The fold epoch: how many times the state was folded back into a
+    /// fresh prepared artifact.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The latest epoch artifact (from construction or the last fold).
+    /// May lag the live state by up to one drift threshold.
+    pub fn prepared(&self) -> &Arc<PreparedGraph> {
+        &self.prepared
+    }
+
+    /// The pipeline folding snapshots (exposes the `PreparedCache`).
+    pub fn pipeline(&self) -> &TcimPipeline {
+        &self.pipeline
+    }
+
+    /// The configuration this dynamic graph runs under.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Cumulative streaming accounting.
+    pub fn report(&self) -> &StreamReport {
+        &self.report
+    }
+
+    /// The current drift of the dynamic state relative to its last fold.
+    pub fn drift(&self) -> DriftMeasure {
+        DriftMeasure {
+            touched_rows: self.touched_rows,
+            total_rows: self.rows.len(),
+            valid_slices: self.valid_slices,
+            valid_slices_at_fold: self.valid_at_fold,
+            updates_since_fold: self.updates_since_fold,
+        }
+    }
+
+    /// Materialises the live state as an immutable [`CsrGraph`].
+    pub fn snapshot(&self) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = self
+            .adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| {
+                let u = u as u32;
+                list.iter().copied().filter(move |&v| v > u).map(move |v| (u, v))
+            })
+            .collect();
+        CsrGraph::from_edges(self.rows.len(), edges)
+            .expect("dynamic adjacency is always in bounds")
+    }
+
+    /// Applies a single update; a one-update [`DynamicGraph::apply_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error when the update is rejected, and
+    /// propagates fold failures.
+    pub fn apply(&mut self, update: Update) -> Result<Delta> {
+        let mut batch = UpdateBatch::new();
+        batch.push(update);
+        let mut outcome = self.apply_batch(&batch)?;
+        if let Some(r) = outcome.rejected.pop() {
+            return Err(r.error);
+        }
+        Ok(outcome
+            .deltas
+            .pop()
+            .expect("a one-update batch yields exactly one delta or rejection"))
+    }
+
+    /// Applies a batch of updates: validates sequentially, partitions
+    /// accepted updates into endpoint-disjoint rounds, computes every
+    /// round's triangle deltas with the PIM AND + BitCount kernel
+    /// (fanned across arrays for large rounds), patches the sliced rows
+    /// in place, and folds the state through the pipeline when the
+    /// drift policy trips.
+    ///
+    /// Rejected updates are reported in the outcome and leave the graph
+    /// untouched; the rest of the batch still applies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fold failures ([`StreamError::Core`],
+    /// [`StreamError::CountDrift`]); validation failures are *not*
+    /// errors of the batch.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<BatchReport> {
+        let start = Instant::now();
+        let (round_members, rejected) = self.validate(batch);
+        let rounds = round_members.len();
+        let accepted: usize = round_members.iter().map(Vec::len).sum();
+
+        let mut deltas: Vec<Option<Delta>> = vec![None; accepted];
+        let mut modelled_kernel_s = 0.0f64;
+        for (round, members) in round_members.iter().enumerate() {
+            let (results, round_critical_s) = self.run_round(members)?;
+            modelled_kernel_s += round_critical_s;
+            for (m, (common, pairs)) in members.iter().zip(&results) {
+                let signed = if m.insert { *common as i64 } else { -(*common as i64) };
+                self.patch(m.u, m.v, m.insert);
+                self.triangles = self
+                    .triangles
+                    .checked_add_signed(signed)
+                    .expect("deletion deltas never exceed the maintained count");
+                let update =
+                    if m.insert { Update::Insert(m.u, m.v) } else { Update::Delete(m.u, m.v) };
+                deltas[m.idx] =
+                    Some(Delta { update, triangles: signed, slice_pairs: *pairs, round });
+            }
+        }
+        let deltas: Vec<Delta> = deltas
+            .into_iter()
+            .map(|d| d.expect("every accepted update executed in exactly one round"))
+            .collect();
+
+        // Cumulative accounting (before the fold, which bills its own
+        // host time separately).
+        self.report.batches += 1;
+        self.report.rounds += rounds as u64;
+        self.report.kernel_invocations += deltas.len() as u64;
+        self.report.slice_pairs += deltas.iter().map(|d| d.slice_pairs).sum::<u64>();
+        self.report.inserts += deltas.iter().filter(|d| d.update.is_insert()).count() as u64;
+        self.report.deletes += deltas.iter().filter(|d| !d.update.is_insert()).count() as u64;
+        self.report.rejected += rejected.len() as u64;
+        self.report.modelled_kernel_s += modelled_kernel_s;
+        self.report.host_update_time += start.elapsed();
+
+        let folded = self.config.drift.should_fold(&self.drift());
+        if folded {
+            self.fold()?;
+        }
+        Ok(BatchReport {
+            deltas,
+            rejected,
+            rounds,
+            modelled_kernel_s,
+            folded,
+            triangles: self.triangles,
+        })
+    }
+
+    /// Folds the live state into a fresh prepared artifact through the
+    /// pipeline (one re-slice, landing in the `PreparedCache`), resets
+    /// the drift measure and advances the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::CountDrift`] when `verify_on_fold` is set
+    /// and the recount disagrees, and propagates backend failures.
+    pub fn fold(&mut self) -> Result<Arc<PreparedGraph>> {
+        let start = Instant::now();
+        let snapshot = self.snapshot();
+        let prepared = self.pipeline.prepare(&snapshot);
+        self.prepared = Arc::clone(&prepared);
+        self.epoch += 1;
+        self.report.rebuilds += 1;
+        self.touched.fill(false);
+        self.touched_rows = 0;
+        self.valid_at_fold = self.valid_slices;
+        self.updates_since_fold = 0;
+        if self.config.verify_on_fold {
+            let recount = self.pipeline.execute(&prepared, &self.config.count_backend)?;
+            if recount.triangles != self.triangles {
+                return Err(StreamError::CountDrift {
+                    maintained: self.triangles,
+                    recount: recount.triangles,
+                });
+            }
+        }
+        self.report.host_rebuild_time += start.elapsed();
+        Ok(prepared)
+    }
+
+    /// Sequential validation with in-batch awareness: each update sees
+    /// the graph as left by every earlier accepted update. Accepted
+    /// updates are assigned the earliest round after every earlier
+    /// update sharing an endpoint, grouped by round (outer index) so
+    /// batch execution never re-scans the accepted list.
+    fn validate(&self, batch: &UpdateBatch) -> (Vec<Vec<RoundMember>>, Vec<Rejected>) {
+        let n = self.rows.len();
+        let mut overlay: HashMap<(u32, u32), bool> = HashMap::new();
+        let mut last_round: HashMap<u32, usize> = HashMap::new();
+        let mut accepted = 0usize;
+        let mut rounds: Vec<Vec<RoundMember>> = Vec::new();
+        let mut rejected = Vec::new();
+        for &update in batch {
+            let (a, b) = update.endpoints();
+            let error = if a as usize >= n {
+                Some(StreamError::VertexOutOfBounds { vertex: a, count: n })
+            } else if b as usize >= n {
+                Some(StreamError::VertexOutOfBounds { vertex: b, count: n })
+            } else if a == b {
+                Some(StreamError::SelfLoop { vertex: a })
+            } else {
+                let key = (a.min(b), a.max(b));
+                let exists =
+                    overlay.get(&key).copied().unwrap_or_else(|| self.has_edge(key.0, key.1));
+                match (update.is_insert(), exists) {
+                    (true, true) => Some(StreamError::DuplicateEdge { u: key.0, v: key.1 }),
+                    (false, false) => Some(StreamError::UnknownEdge { u: key.0, v: key.1 }),
+                    (insert, _) => {
+                        overlay.insert(key, insert);
+                        None
+                    }
+                }
+            };
+            if let Some(error) = error {
+                rejected.push(Rejected { update, error });
+                continue;
+            }
+            let (u, v) = (a.min(b), a.max(b));
+            let round =
+                [u, v].iter().filter_map(|x| last_round.get(x)).max().map_or(0, |&r| r + 1);
+            last_round.insert(u, round);
+            last_round.insert(v, round);
+            if rounds.len() <= round {
+                rounds.push(Vec::new());
+            }
+            rounds[round].push(RoundMember {
+                idx: accepted,
+                u,
+                v,
+                insert: update.is_insert(),
+            });
+            accepted += 1;
+        }
+        (rounds, rejected)
+    }
+
+    /// Executes one endpoint-disjoint round of delta kernels. Returns
+    /// `(common-neighbour count, slice pairs)` per member (member
+    /// order) and the round's modelled critical path.
+    fn run_round(&self, members: &[RoundMember]) -> Result<(Vec<(u64, u64)>, f64)> {
+        if members.is_empty() {
+            return Ok((Vec::new(), 0.0));
+        }
+        let fan_out = members.len() >= self.config.fanout_threshold.max(1)
+            && self.config.sched.arrays > 1;
+        let plan_policy = if fan_out {
+            self.config.sched.clone()
+        } else {
+            SchedPolicy { arrays: 1, host_threads: Some(1), ..self.config.sched.clone() }
+        };
+        // Price each kernel for placement: both operands are written
+        // once; the pair estimate is the upper bound min(valid, valid).
+        let jobs: Vec<DeltaJob> = members
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                let va = self.rows[m.u as usize].valid_slice_count() as u64;
+                let vb = self.rows[m.v as usize].valid_slice_count() as u64;
+                DeltaJob::price(k, va, vb, va.min(vb), &self.costs)
+            })
+            .collect();
+        let plan = plan_deltas(&jobs, &plan_policy)?;
+
+        let results = if fan_out {
+            let rows = &self.rows;
+            let per_array: Vec<Vec<usize>> =
+                (0..plan.arrays).map(|a| plan.jobs_of(a)).collect();
+            let outs: Vec<Vec<(usize, (u64, u64))>> = parallel_map_indexed(
+                plan.arrays,
+                self.config.sched.resolved_host_threads(),
+                |a| {
+                    per_array[a]
+                        .iter()
+                        .map(|&k| {
+                            let m = &members[k];
+                            (k, kernel(&rows[m.u as usize], &rows[m.v as usize]))
+                        })
+                        .collect()
+                },
+            );
+            let mut results = vec![(0u64, 0u64); members.len()];
+            for out in outs {
+                for (k, r) in out {
+                    results[k] = r;
+                }
+            }
+            results
+        } else {
+            members
+                .iter()
+                .map(|m| kernel(&self.rows[m.u as usize], &self.rows[m.v as usize]))
+                .collect()
+        };
+        Ok((results, plan.critical_path_s()))
+    }
+
+    /// Patches one validated update into rows, adjacency and the drift
+    /// bookkeeping.
+    fn patch(&mut self, u: u32, v: u32, insert: bool) {
+        for (a, b) in [(u, v), (v, u)] {
+            let row = &mut self.rows[a as usize];
+            let before = row.valid_slice_count() as u64;
+            let changed =
+                if insert { row.set_bit(b as usize) } else { row.clear_bit(b as usize) }
+                    .expect("validated endpoints are in bounds");
+            debug_assert!(changed, "validation guarantees the mutation is effective");
+            let after = row.valid_slice_count() as u64;
+            // The total always includes this row's `before` slices, so
+            // the subtraction cannot underflow.
+            self.valid_slices = self.valid_slices - before + after;
+            let list = &mut self.adjacency[a as usize];
+            match (list.binary_search(&b), insert) {
+                (Err(pos), true) => list.insert(pos, b),
+                (Ok(pos), false) => {
+                    list.remove(pos);
+                }
+                _ => debug_assert!(false, "validation guarantees adjacency consistency"),
+            }
+            if !self.touched[a as usize] {
+                self.touched[a as usize] = true;
+                self.touched_rows += 1;
+            }
+        }
+        if insert {
+            self.edges += 1;
+        } else {
+            self.edges -= 1;
+        }
+        self.updates_since_fold += 1;
+    }
+}
+
+/// The TCIM delta kernel: `popcount(a AND b)` over matching valid slice
+/// pairs, returning `(count, pairs processed)`.
+fn kernel(a: &SlicedBitVector, b: &SlicedBitVector) -> (u64, u64) {
+    let mut common = 0u64;
+    let mut pairs = 0u64;
+    for (_, x, y) in a.matching_slices(b).expect("dynamic rows share one universe") {
+        pairs += 1;
+        for (w1, w2) in x.iter().zip(y) {
+            common += u64::from((w1 & w2).count_ones());
+        }
+    }
+    (common, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_graph::generators::classic;
+
+    fn fig2_dynamic(config: StreamConfig) -> DynamicGraph {
+        DynamicGraph::new(&classic::fig2_example(), config).unwrap()
+    }
+
+    fn no_fold() -> StreamConfig {
+        StreamConfig { drift: DriftPolicy::never(), ..StreamConfig::default() }
+    }
+
+    #[test]
+    fn single_updates_track_fig2_deltas() {
+        let mut dg = fig2_dynamic(no_fold());
+        assert_eq!(dg.triangles(), 2);
+        assert_eq!(dg.edge_count(), 5);
+
+        // {0, 3}: N(0) = {1, 2}, N(3) = {1, 2} → +2.
+        let d = dg.apply(Update::Insert(3, 0)).unwrap();
+        assert_eq!(d.triangles, 2);
+        assert_eq!(d.update, Update::Insert(0, 3), "endpoints are normalized");
+        assert_eq!(dg.triangles(), 4);
+        assert!(dg.has_edge(0, 3) && dg.has_edge(3, 0));
+
+        // Deleting it reverses the delta exactly.
+        let d = dg.apply(Update::Delete(0, 3)).unwrap();
+        assert_eq!(d.triangles, -2);
+        assert_eq!(dg.triangles(), 2);
+        assert_eq!(dg.edge_count(), 5);
+
+        // Removing a triangle edge.
+        let d = dg.apply(Update::Delete(1, 2)).unwrap();
+        assert_eq!(d.triangles, -2);
+        assert_eq!(dg.triangles(), 0);
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected_without_state_change() {
+        let mut dg = fig2_dynamic(no_fold());
+        assert!(matches!(
+            dg.apply(Update::Insert(0, 1)),
+            Err(StreamError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            dg.apply(Update::Delete(0, 3)),
+            Err(StreamError::UnknownEdge { u: 0, v: 3 })
+        ));
+        assert!(matches!(dg.apply(Update::Insert(2, 2)), Err(StreamError::SelfLoop { .. })));
+        assert!(matches!(
+            dg.apply(Update::Delete(0, 9)),
+            Err(StreamError::VertexOutOfBounds { vertex: 9, count: 4 })
+        ));
+        assert_eq!(dg.triangles(), 2);
+        assert_eq!(dg.edge_count(), 5);
+        assert_eq!(dg.report().rejected, 4);
+        assert_eq!(dg.report().kernel_invocations, 0);
+    }
+
+    #[test]
+    fn batch_validation_sees_earlier_batch_members() {
+        let mut dg = fig2_dynamic(no_fold());
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(0, 3) // ok → +2
+            .insert(0, 3) // duplicate of the in-batch insert
+            .delete(0, 3) // ok (inserted above) → −2
+            .delete(0, 3); // unknown again
+        let outcome = dg.apply_batch(&batch).unwrap();
+        assert_eq!(outcome.applied(), 2);
+        assert_eq!(outcome.rejected.len(), 2);
+        assert_eq!(outcome.net_delta(), 0);
+        // Conflicting updates serialize into distinct rounds.
+        assert_eq!(outcome.rounds, 2);
+        assert_eq!(dg.triangles(), 2);
+        assert!(!dg.has_edge(0, 3));
+        assert!(matches!(outcome.rejected[0].error, StreamError::DuplicateEdge { .. }));
+        assert!(matches!(outcome.rejected[1].error, StreamError::UnknownEdge { .. }));
+    }
+
+    #[test]
+    fn independent_updates_share_a_round() {
+        // Wheel on 8 rim vertices: plenty of disjoint pairs.
+        let g = classic::wheel(9);
+        let mut dg = DynamicGraph::new(&g, no_fold()).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 3).insert(2, 4).insert(5, 7);
+        let outcome = dg.apply_batch(&batch).unwrap();
+        assert_eq!(outcome.rounds, 1, "endpoint-disjoint updates run in one round");
+        assert_eq!(outcome.applied(), 3);
+    }
+
+    #[test]
+    fn parallel_fanout_agrees_with_serial_execution() {
+        let g = classic::wheel(40);
+        let updates: Vec<Update> =
+            (1..20)
+                .map(|v| {
+                    if v % 3 == 0 {
+                        Update::Delete(v, v + 1)
+                    } else {
+                        Update::Insert(v, v + 19)
+                    }
+                })
+                .collect();
+        let serial_cfg = StreamConfig {
+            drift: DriftPolicy::never(),
+            fanout_threshold: usize::MAX,
+            ..StreamConfig::default()
+        };
+        let fan_cfg = StreamConfig {
+            drift: DriftPolicy::never(),
+            fanout_threshold: 1,
+            sched: SchedPolicy::with_arrays(4),
+            ..StreamConfig::default()
+        };
+        let mut serial = DynamicGraph::new(&g, serial_cfg).unwrap();
+        let mut fanned = DynamicGraph::new(&g, fan_cfg).unwrap();
+        let batch: UpdateBatch = updates.into_iter().collect();
+        let a = serial.apply_batch(&batch).unwrap();
+        let b = fanned.apply_batch(&batch).unwrap();
+        assert_eq!(a.deltas.len(), b.deltas.len());
+        for (x, y) in a.deltas.iter().zip(&b.deltas) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(serial.triangles(), fanned.triangles());
+        assert_eq!(serial.snapshot(), fanned.snapshot());
+    }
+
+    #[test]
+    fn drift_policy_folds_and_advances_the_epoch() {
+        let config = StreamConfig {
+            drift: DriftPolicy {
+                max_touched_fraction: None,
+                max_valid_slice_drift: None,
+                max_updates: Some(2),
+            },
+            verify_on_fold: true,
+            ..StreamConfig::default()
+        };
+        let mut dg = fig2_dynamic(config);
+        assert_eq!(dg.epoch(), 0);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 3).delete(1, 2).delete(0, 1);
+        let outcome = dg.apply_batch(&batch).unwrap();
+        assert!(outcome.folded);
+        assert_eq!(dg.epoch(), 1);
+        assert_eq!(dg.report().rebuilds, 1);
+        assert_eq!(dg.drift().updates_since_fold, 0);
+        assert_eq!(dg.drift().touched_rows, 0);
+        // The folded artifact reflects the live state.
+        assert_eq!(dg.prepared().key().edges, dg.edge_count());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_pipeline() {
+        let mut dg = fig2_dynamic(no_fold());
+        dg.apply(Update::Insert(0, 3)).unwrap();
+        let snapshot = dg.snapshot();
+        assert_eq!(snapshot.edge_count(), 6);
+        let fresh = DynamicGraph::new(&snapshot, no_fold()).unwrap();
+        assert_eq!(fresh.triangles(), dg.triangles());
+    }
+
+    #[test]
+    fn report_accumulates_and_prices_work() {
+        let mut dg = fig2_dynamic(no_fold());
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 3).delete(2, 3);
+        dg.apply_batch(&batch).unwrap();
+        let r = dg.report();
+        assert_eq!(r.inserts, 1);
+        assert_eq!(r.deletes, 1);
+        assert_eq!(r.kernel_invocations, 2);
+        assert!(r.slice_pairs >= 2, "every kernel touched at least one pair");
+        assert!(r.modelled_kernel_s > 0.0);
+        assert!(r.amortized_kernel_s() > 0.0);
+        assert_eq!(r.rebuilds, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut dg = fig2_dynamic(no_fold());
+        let outcome = dg.apply_batch(&UpdateBatch::new()).unwrap();
+        assert_eq!(outcome.applied(), 0);
+        assert_eq!(outcome.rounds, 0);
+        assert!(!outcome.folded);
+        assert_eq!(outcome.triangles, 2);
+        assert_eq!(dg.report().batches, 1);
+    }
+
+    #[test]
+    fn valid_slice_bookkeeping_matches_recomputation() {
+        let g = classic::wheel(20);
+        let mut dg = DynamicGraph::new(&g, no_fold()).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(2, 10).insert(3, 11).delete(1, 2).delete(5, 6);
+        dg.apply_batch(&batch).unwrap();
+        let recomputed: u64 =
+            (0..dg.vertex_count() as u32).map(|v| dg.row(v).valid_slice_count() as u64).sum();
+        assert_eq!(dg.valid_slices(), recomputed);
+    }
+}

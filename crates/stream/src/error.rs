@@ -1,0 +1,123 @@
+//! Error type of the dynamic-graph subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use tcim_core::CoreError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, StreamError>;
+
+/// Errors raised while applying edge updates to a [`DynamicGraph`]
+/// (validation failures of individual updates) or while folding the
+/// dynamic state back into a prepared artifact.
+///
+/// [`DynamicGraph`]: crate::DynamicGraph
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// An update endpoint lies outside the graph's vertex universe.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The vertex count of the dynamic graph.
+        count: usize,
+    },
+    /// An update had both endpoints on the same vertex.
+    SelfLoop {
+        /// The vertex looping onto itself.
+        vertex: u32,
+    },
+    /// An insertion of an edge that already exists (possibly inserted
+    /// earlier in the same batch).
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: u32,
+        /// Larger endpoint.
+        v: u32,
+    },
+    /// A deletion of an edge that does not exist (never inserted, or
+    /// already deleted earlier in the same batch).
+    UnknownEdge {
+        /// Smaller endpoint.
+        u: u32,
+        /// Larger endpoint.
+        v: u32,
+    },
+    /// A fold-time verification recount disagreed with the incrementally
+    /// maintained triangle count. This indicates a bug in the delta
+    /// kernel or in the update bookkeeping, never expected in practice.
+    CountDrift {
+        /// The incrementally maintained count.
+        maintained: u64,
+        /// The from-scratch recount of the folded artifact.
+        recount: u64,
+    },
+    /// A pipeline or backend failure from the underlying `tcim-core`
+    /// machinery (engine characterization, fold-time execution).
+    Core(CoreError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::VertexOutOfBounds { vertex, count } => {
+                write!(f, "update endpoint {vertex} out of bounds for {count} vertices")
+            }
+            StreamError::SelfLoop { vertex } => {
+                write!(f, "self-loop update on vertex {vertex}")
+            }
+            StreamError::DuplicateEdge { u, v } => {
+                write!(f, "insert of existing edge {{{u}, {v}}}")
+            }
+            StreamError::UnknownEdge { u, v } => {
+                write!(f, "delete of unknown edge {{{u}, {v}}}")
+            }
+            StreamError::CountDrift { maintained, recount } => write!(
+                f,
+                "incremental count {maintained} disagrees with fold-time recount {recount}"
+            ),
+            StreamError::Core(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StreamError {
+    fn from(e: CoreError) -> Self {
+        StreamError::Core(e)
+    }
+}
+
+impl From<tcim_sched::SchedError> for StreamError {
+    fn from(e: tcim_sched::SchedError) -> Self {
+        StreamError::Core(CoreError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = StreamError::UnknownEdge { u: 3, v: 9 };
+        assert_eq!(e.to_string(), "delete of unknown edge {3, 9}");
+        let e = StreamError::CountDrift { maintained: 5, recount: 4 };
+        assert!(e.to_string().contains("recount 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Edge updates and batches: the write traffic of the streaming
+//! workload.
+
+use std::fmt;
+
+/// One edge update against the dynamic graph. Endpoints are unordered —
+/// `Insert(3, 7)` and `Insert(7, 3)` describe the same undirected edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Insert the undirected edge `{u, v}`.
+    Insert(u32, u32),
+    /// Delete the undirected edge `{u, v}`.
+    Delete(u32, u32),
+}
+
+impl Update {
+    /// The update's endpoints as given.
+    pub fn endpoints(self) -> (u32, u32) {
+        match self {
+            Update::Insert(u, v) | Update::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// The same update with endpoints in `(min, max)` order.
+    pub fn normalized(self) -> Update {
+        match self {
+            Update::Insert(u, v) => Update::Insert(u.min(v), u.max(v)),
+            Update::Delete(u, v) => Update::Delete(u.min(v), u.max(v)),
+        }
+    }
+
+    /// `true` for insertions.
+    pub fn is_insert(self) -> bool {
+        matches!(self, Update::Insert(..))
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::Insert(u, v) => write!(f, "+{{{u}, {v}}}"),
+            Update::Delete(u, v) => write!(f, "-{{{u}, {v}}}"),
+        }
+    }
+}
+
+/// An ordered batch of edge updates, applied atomically per batch by
+/// [`DynamicGraph::apply_batch`](crate::DynamicGraph::apply_batch).
+///
+/// Order matters: a batch may insert and later delete the same edge, and
+/// validation honours the sequential semantics even though independent
+/// updates execute their delta kernels in parallel rounds.
+///
+/// # Example
+///
+/// ```
+/// use tcim_stream::{Update, UpdateBatch};
+///
+/// let mut batch = UpdateBatch::new();
+/// batch.insert(0, 5).delete(2, 3).insert(4, 1);
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.iter().next(), Some(&Update::Insert(0, 5)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    updates: Vec<Update>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Appends an insertion of `{u, v}`.
+    pub fn insert(&mut self, u: u32, v: u32) -> &mut Self {
+        self.updates.push(Update::Insert(u, v));
+        self
+    }
+
+    /// Appends a deletion of `{u, v}`.
+    pub fn delete(&mut self, u: u32, v: u32) -> &mut Self {
+        self.updates.push(Update::Delete(u, v));
+        self
+    }
+
+    /// Appends an arbitrary update.
+    pub fn push(&mut self, update: Update) -> &mut Self {
+        self.updates.push(update);
+        self
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates over the updates in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Update> {
+        self.updates.iter()
+    }
+}
+
+impl From<Vec<Update>> for UpdateBatch {
+    fn from(updates: Vec<Update>) -> Self {
+        UpdateBatch { updates }
+    }
+}
+
+impl FromIterator<Update> for UpdateBatch {
+    fn from_iter<I: IntoIterator<Item = Update>>(iter: I) -> Self {
+        UpdateBatch { updates: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a UpdateBatch {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_orders_endpoints() {
+        assert_eq!(Update::Insert(7, 3).normalized(), Update::Insert(3, 7));
+        assert_eq!(Update::Delete(1, 2).normalized(), Update::Delete(1, 2));
+        assert!(Update::Insert(0, 1).is_insert());
+        assert!(!Update::Delete(0, 1).is_insert());
+    }
+
+    #[test]
+    fn batch_builder_preserves_order() {
+        let mut b = UpdateBatch::new();
+        b.insert(0, 1).delete(0, 1).push(Update::Insert(2, 3));
+        let seq: Vec<Update> = b.iter().copied().collect();
+        assert_eq!(
+            seq,
+            vec![Update::Insert(0, 1), Update::Delete(0, 1), Update::Insert(2, 3)]
+        );
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn display_is_signed() {
+        assert_eq!(Update::Insert(1, 2).to_string(), "+{1, 2}");
+        assert_eq!(Update::Delete(4, 0).to_string(), "-{4, 0}");
+    }
+}

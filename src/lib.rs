@@ -13,6 +13,8 @@
 //! * [`tcim_sched`] — the multi-array scheduler and parallel execution
 //!   runtime (placement policies, critical-path aggregation, batching).
 //! * [`tcim_core`] — the public TCIM accelerator API and baselines.
+//! * [`tcim_stream`] — the dynamic-graph subsystem: incremental triangle
+//!   maintenance under edge streams with per-update PIM delta kernels.
 
 pub use tcim_arch as arch;
 pub use tcim_bitmatrix as bitmatrix;
@@ -21,3 +23,4 @@ pub use tcim_graph as graph;
 pub use tcim_mtj as mtj;
 pub use tcim_nvsim as nvsim;
 pub use tcim_sched as sched;
+pub use tcim_stream as stream;

@@ -3,7 +3,9 @@
 //! all backends agree on the triangle count.
 
 use proptest::prelude::*;
-use tcim_repro::graph::generators::{barabasi_albert, classic, gnm};
+use tcim_repro::graph::generators::{
+    barabasi_albert, classic, gnm, rmat, watts_strogatz, RmatParams,
+};
 use tcim_repro::graph::{CsrGraph, Orientation};
 use tcim_repro::tcim::{baseline, Backend, TcimConfig, TcimPipeline};
 
@@ -20,12 +22,15 @@ fn test_graphs() -> Vec<(&'static str, CsrGraph)> {
         ("wheel", classic::wheel(40)),
         ("er", gnm(250, 1600, 11).unwrap()),
         ("ba", barabasi_albert(300, 5, 7).unwrap()),
+        ("rmat", rmat(8, 1800, RmatParams::default(), 17).unwrap()),
+        ("ws", watts_strogatz(260, 6, 0.1, 23).unwrap()),
     ]
 }
 
 /// The acceptance grid: every backend × orientation × {fig2, wheel, ER,
-/// BA}. A second execution of the same prepared artifact and the
-/// one-shot `count` path must all equal the graph-level baseline.
+/// BA, R-MAT, Watts–Strogatz}. A second execution of the same prepared
+/// artifact and the one-shot `count` path must all equal the
+/// graph-level baseline.
 #[test]
 fn every_backend_orientation_and_family_agrees() {
     for orientation in ORIENTATIONS {

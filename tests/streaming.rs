@@ -1,0 +1,133 @@
+//! Acceptance property for the dynamic-graph subsystem: for randomized
+//! insert/delete sequences over every graph family, the incrementally
+//! maintained count equals a from-scratch recount after every batch,
+//! and invalid updates are rejected cleanly.
+
+use proptest::prelude::*;
+use tcim_repro::graph::generators::{barabasi_albert, classic, gnm, rmat, RmatParams};
+use tcim_repro::graph::CsrGraph;
+use tcim_repro::stream::{
+    DriftPolicy, DynamicGraph, StreamConfig, StreamError, Update, UpdateBatch,
+};
+use tcim_repro::tcim::baseline;
+
+fn seed_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("fig2", classic::fig2_example()),
+        ("wheel", classic::wheel(30)),
+        ("er", gnm(80, 400, 5).unwrap()),
+        ("ba", barabasi_albert(90, 4, 9).unwrap()),
+        ("rmat", rmat(6, 220, RmatParams::default(), 21).unwrap()),
+    ]
+}
+
+/// Turn a raw `(u, v, kind)` triple into an update; proptest drives the
+/// raw values, the graph's vertex count bounds them only loosely so the
+/// stream stays adversarial (out-of-range ids, self-loops, duplicates).
+fn to_update(u: u32, v: u32, kind: bool) -> Update {
+    if kind {
+        Update::Insert(u, v)
+    } else {
+        Update::Delete(u, v)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized churn over every seed family: after every batch the
+    /// incremental count equals the graph-level recount of the live
+    /// snapshot, every update is either applied or rejected, and
+    /// rejections leave the edge set untouched.
+    #[test]
+    fn incremental_count_equals_recount_after_every_batch(
+        raw in proptest::collection::vec((0u32..100, 0u32..100, any::<bool>()), 1..120),
+        batch_size in 1usize..24,
+    ) {
+        for (label, g) in seed_graphs() {
+            let config = StreamConfig {
+                drift: DriftPolicy {
+                    max_touched_fraction: Some(0.5),
+                    max_valid_slice_drift: None,
+                    max_updates: None,
+                },
+                verify_on_fold: true,
+                fanout_threshold: 6,
+                ..StreamConfig::default()
+            };
+            let mut dg = DynamicGraph::new(&g, config).unwrap();
+            for chunk in raw.chunks(batch_size) {
+                let batch: UpdateBatch =
+                    chunk.iter().map(|&(u, v, k)| to_update(u, v, k)).collect();
+                let before_edges = dg.edge_count();
+                let outcome = dg.apply_batch(&batch).unwrap();
+                prop_assert_eq!(
+                    outcome.applied() + outcome.rejected.len(),
+                    batch.len(),
+                    "{}: every update is accounted for", label
+                );
+                let recount = baseline::edge_iterator_merge(&dg.snapshot());
+                prop_assert_eq!(
+                    dg.triangles(), recount,
+                    "{}: incremental count must equal recount", label
+                );
+                // Edge bookkeeping is consistent with the deltas.
+                let net_edges: i64 = outcome
+                    .deltas
+                    .iter()
+                    .map(|d| if d.update.is_insert() { 1 } else { -1 })
+                    .sum();
+                prop_assert_eq!(
+                    dg.edge_count() as i64,
+                    before_edges as i64 + net_edges,
+                    "{}: edge count tracks applied updates", label
+                );
+            }
+        }
+    }
+}
+
+/// Deleting edges that were never inserted is rejected cleanly, with
+/// the precise error and zero state change — including edges deleted
+/// earlier in the same batch.
+#[test]
+fn never_inserted_deletions_are_rejected_cleanly() {
+    let mut dg = DynamicGraph::new(&classic::fig2_example(), StreamConfig::default()).unwrap();
+    let err = dg.apply(Update::Delete(0, 3)).unwrap_err();
+    assert!(matches!(err, StreamError::UnknownEdge { u: 0, v: 3 }), "{err}");
+
+    let mut batch = UpdateBatch::new();
+    batch.delete(1, 2).delete(2, 1); // second delete hits a now-absent edge
+    let outcome = dg.apply_batch(&batch).unwrap();
+    assert_eq!(outcome.applied(), 1);
+    assert_eq!(outcome.rejected.len(), 1);
+    assert!(matches!(outcome.rejected[0].error, StreamError::UnknownEdge { u: 1, v: 2 }));
+    assert_eq!(dg.triangles(), baseline::edge_iterator_merge(&dg.snapshot()));
+    assert_eq!(dg.report().rejected, 2);
+}
+
+/// A full insert-everything / delete-everything cycle returns to the
+/// empty graph with a zero count and an exact report trail.
+#[test]
+fn full_drain_returns_to_zero() {
+    let g = classic::wheel(25);
+    let config = StreamConfig { drift: DriftPolicy::never(), ..StreamConfig::default() };
+    let mut dg = DynamicGraph::new(&g, config).unwrap();
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let deletions: UpdateBatch = edges.iter().map(|&(u, v)| Update::Delete(u, v)).collect();
+    let outcome = dg.apply_batch(&deletions).unwrap();
+    assert_eq!(outcome.applied(), edges.len());
+    assert_eq!(dg.triangles(), 0);
+    assert_eq!(dg.edge_count(), 0);
+    assert_eq!(outcome.net_delta(), -24);
+
+    let insertions: UpdateBatch = edges.iter().map(|&(u, v)| Update::Insert(u, v)).collect();
+    dg.apply_batch(&insertions).unwrap();
+    assert_eq!(dg.triangles(), 24);
+    assert_eq!(dg.edge_count(), edges.len());
+    assert_eq!(dg.snapshot(), g);
+    let r = dg.report();
+    assert_eq!(r.inserts, edges.len() as u64);
+    assert_eq!(r.deletes, edges.len() as u64);
+    assert_eq!(r.kernel_invocations, 2 * edges.len() as u64);
+}
