@@ -93,6 +93,23 @@ impl PimEngine {
     pub fn run_local(&self, matrix: &SlicedMatrix) -> LocalRunResult {
         runtime::run_local(&self.characterization, matrix)
     }
+
+    /// Executes Algorithm 1 with triangle attribution, reporting every
+    /// surviving triangle to `sink` (ascending matrix ids — the
+    /// [`TriangleSink`](runtime::TriangleSink) contract); see
+    /// [`runtime::run_attributed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` was built with a different slice size than the
+    /// engine configuration.
+    pub fn run_attributed<S: runtime::TriangleSink + ?Sized>(
+        &self,
+        matrix: &SlicedMatrix,
+        sink: &mut S,
+    ) -> PimRunResult {
+        runtime::run_attributed(&self.characterization, matrix, sink)
+    }
 }
 
 impl From<PimCharacterization> for PimEngine {
@@ -277,6 +294,17 @@ mod tests {
         let run = engine.run(&fig2_matrix());
         assert!(!run.trace.is_empty());
         // 3 row writes + 5 col accesses + 5 and/bitcount events = 13.
+        assert_eq!(run.trace.len(), 13);
+    }
+
+    #[test]
+    fn attributed_trace_records_when_enabled() {
+        let config = PimConfig { trace_capacity: 64, ..PimConfig::default() };
+        let engine = PimEngine::new(&config).unwrap();
+        let mut sink = |_: u32, _: u32, _: u32| {};
+        let run = engine.run_attributed(&fig2_matrix(), &mut sink);
+        // Same event stream as the plain run: 3 row writes + 5 col
+        // accesses + 5 and/bitcount events.
         assert_eq!(run.trace.len(), 13);
     }
 

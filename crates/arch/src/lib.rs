@@ -69,5 +69,8 @@ pub use config::PimConfig;
 pub use costs::SliceCostModel;
 pub use engine::PimEngine;
 pub use error::{ArchError, Result};
-pub use runtime::{EnergyBreakdown, LatencyBreakdown, LocalRunResult, PimRunResult};
+pub use runtime::{
+    EnergyBreakdown, LatencyBreakdown, LocalRunResult, PimRunResult, TriangleSink,
+    TriangleTally,
+};
 pub use stats::AccessStats;

@@ -186,39 +186,126 @@ pub fn run(chr: &PimCharacterization, matrix: &SlicedMatrix) -> PimRunResult {
     PimRunResult { triangles, stats, latency, energy, trace }
 }
 
-/// Executes Algorithm 1 with per-vertex accounting: besides the global
-/// count, every vertex receives the number of triangles it belongs to
-/// (the quantity behind local clustering coefficients, one of the
-/// paper's motivating applications).
+/// Receives every triangle an attributed run surfaces — the per-row
+/// accumulation hook behind every query that needs more than the
+/// global count (per-vertex participation, clustering coefficients,
+/// edge support).
 ///
-/// Hardware-wise this costs one extra operation class: the AND result
-/// of each *non-zero* slice pair must be read out of the array (a
-/// read-class access) so the host can attribute the surviving bits to
-/// their vertices. Zero results are filtered by the bit counter and
-/// never read out.
+/// While processing arc `(i, j)` the kernel's AND result is read back
+/// out of the array (see [`BitCounterModel::read_out`]); a surviving
+/// bit `w` is set in both row `i` and column `j`, so `i < w < j` and
+/// the triangle is reported as `triangle(i, w, j)`. The contract holds
+/// for every sink source in the repository: `triangle(a, b, c)` is
+/// called with `a < b < c` in matrix id order, so the triangle's three
+/// edges are exactly the DAG arcs `(a, b)`, `(a, c)` and `(b, c)` and
+/// a sink can attribute per-vertex or per-edge quantities without any
+/// further graph lookups.
 ///
-/// Vertex ids in the returned vector are the matrix's ids; callers
-/// that relabelled (degree/degeneracy orientation) map them back via
-/// `OrientedGraph::original_id`.
+/// Closures `FnMut(u32, u32, u32)` implement the trait, so ad-hoc
+/// sinks need no named type.
+///
+/// [`BitCounterModel::read_out`]: crate::BitCounterModel::read_out
+pub trait TriangleSink {
+    /// Called once per triangle `{a, b, c}`, `a < b < c` in matrix id
+    /// order (arcs `(a, b)`, `(a, c)`, `(b, c)`).
+    fn triangle(&mut self, a: u32, b: u32, c: u32);
+}
+
+impl<F: FnMut(u32, u32, u32)> TriangleSink for F {
+    fn triangle(&mut self, a: u32, b: u32, c: u32) {
+        self(a, b, c);
+    }
+}
+
+/// The canonical [`TriangleSink`]: accumulates per-vertex triangle
+/// participation and (optionally) per-arc triangle support, shared by
+/// every attributed execution path in the repository (serial engine,
+/// per-array scheduled executor, software slicing) so the attribution
+/// bookkeeping has exactly one implementation.
+#[derive(Debug, Clone)]
+pub struct TriangleTally {
+    per_vertex: Vec<u64>,
+    support: Option<std::collections::BTreeMap<(u32, u32), u64>>,
+    triangles: u64,
+}
+
+impl TriangleTally {
+    /// An empty tally over `dim` vertices; accumulates per-arc support
+    /// only when `need_support` is set.
+    pub fn new(dim: usize, need_support: bool) -> Self {
+        TriangleTally {
+            per_vertex: vec![0u64; dim],
+            support: need_support.then(std::collections::BTreeMap::new),
+            triangles: 0,
+        }
+    }
+
+    /// Triangles recorded so far.
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// Consumes the tally: `(triangles, per-vertex counts, per-arc
+    /// support)`. The support triples `(i, j, count)` are ascending and
+    /// cover every arc in at least one triangle; `None` unless
+    /// requested at construction.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (u64, Vec<u64>, Option<Vec<(u32, u32, u64)>>) {
+        (
+            self.triangles,
+            self.per_vertex,
+            self.support.map(|map| map.into_iter().map(|((i, j), c)| (i, j, c)).collect()),
+        )
+    }
+}
+
+impl TriangleSink for TriangleTally {
+    fn triangle(&mut self, a: u32, b: u32, c: u32) {
+        self.triangles += 1;
+        self.per_vertex[a as usize] += 1;
+        self.per_vertex[b as usize] += 1;
+        self.per_vertex[c as usize] += 1;
+        if let Some(map) = self.support.as_mut() {
+            for arc in [(a, b), (a, c), (b, c)] {
+                *map.entry(arc).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+/// Executes Algorithm 1 with triangle attribution: besides counting,
+/// every non-zero AND result is read back out of the array and its
+/// surviving bits are reported to `sink` as triangles (see
+/// [`TriangleSink`]).
+///
+/// Hardware-wise this costs one extra operation class relative to
+/// [`run`]: one read-class array access per *non-zero* slice pair
+/// ([`AccessStats::result_readouts`]), rolled into the latency/energy
+/// model. Zero results are filtered by the bit counter and never read
+/// out.
 ///
 /// # Panics
 ///
 /// Panics if `matrix` was built with a different slice size than the
 /// characterization's configuration.
-pub fn run_local(chr: &PimCharacterization, matrix: &SlicedMatrix) -> LocalRunResult {
+pub fn run_attributed<S: TriangleSink + ?Sized>(
+    chr: &PimCharacterization,
+    matrix: &SlicedMatrix,
+    sink: &mut S,
+) -> PimRunResult {
     assert_eq!(
         matrix.slice_size(),
         chr.config().slice_size,
         "matrix slice size must match the engine configuration"
     );
-    let slice_bits = chr.config().slice_size.bits() as u64;
+    let slice_bits = chr.config().slice_size.bits();
     let mut cache = SliceCache::new(
         chr.column_capacity(matrix),
         chr.config().replacement,
         chr.config().replacement_seed,
     );
+    let mut trace = EventTrace::new(chr.config().trace_capacity);
     let mut stats = AccessStats::default();
-    let mut per_vertex = vec![0u64; matrix.dim()];
     let mut triangles = 0u64;
     let mut current_row: Option<u32> = None;
     let mut row_loaded: HashSet<u32> = HashSet::new();
@@ -236,36 +323,69 @@ pub fn run_local(chr: &PimCharacterization, matrix: &SlicedMatrix) -> LocalRunRe
         for (k, rs, cs) in pairs {
             if row_loaded.insert(k) {
                 stats.row_slice_writes += 1;
+                trace.push(Event::RowSliceWrite { row: i, slice: k });
             }
             let key = (u64::from(j) << 32) | u64::from(k);
             match cache.access(key) {
-                AccessOutcome::Hit => stats.col_hits += 1,
-                AccessOutcome::Miss => stats.col_misses += 1,
-                AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
+                AccessOutcome::Hit => {
+                    stats.col_hits += 1;
+                    trace.push(Event::ColHit { col: j, slice: k });
+                }
+                AccessOutcome::Miss => {
+                    stats.col_misses += 1;
+                    trace.push(Event::ColMiss { col: j, slice: k });
+                }
+                AccessOutcome::Exchange { .. } => {
+                    stats.col_exchanges += 1;
+                    trace.push(Event::ColExchange { col: j, slice: k });
+                }
             }
             let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
             let count = chr.bitcounter().count(&anded);
             stats.and_ops += 1;
             stats.bitcount_ops += 1;
+            trace.push(Event::AndBitcount { row: i, col: j, slice: k, count: count as u32 });
             if count > 0 {
-                // Read the surviving bits back out and attribute them.
+                // Drain the counter's latch and attribute each
+                // surviving bit to its triangle.
                 stats.result_readouts += 1;
                 triangles += count;
-                per_vertex[i as usize] += count;
-                per_vertex[j as usize] += count;
-                for (w, &word) in anded.iter().enumerate() {
-                    let mut rem = word;
-                    while rem != 0 {
-                        let tz = rem.trailing_zeros() as u64;
-                        rem &= rem - 1;
-                        let vertex = u64::from(k) * slice_bits + w as u64 * 64 + tz;
-                        per_vertex[vertex as usize] += 1;
-                    }
-                }
+                chr.bitcounter().read_out(&anded, |offset| {
+                    // The witness lies between the arc's endpoints:
+                    // i < w < j.
+                    sink.triangle(i, k * slice_bits + offset, j);
+                });
             }
         }
     }
 
     let (latency, energy) = chr.roll_up(&stats);
-    LocalRunResult { triangles, per_vertex, stats, latency, energy }
+    PimRunResult { triangles, stats, latency, energy, trace }
+}
+
+/// Executes Algorithm 1 with per-vertex accounting: every vertex
+/// receives the number of triangles it belongs to (the quantity behind
+/// local clustering coefficients, one of the paper's motivating
+/// applications). A thin wrapper over [`run_attributed`] with a
+/// per-vertex [`TriangleSink`].
+///
+/// Vertex ids in the returned vector are the matrix's ids; callers
+/// that relabelled (degree/degeneracy orientation) map them back via
+/// `OrientedGraph::original_id`.
+///
+/// # Panics
+///
+/// Panics if `matrix` was built with a different slice size than the
+/// characterization's configuration.
+pub fn run_local(chr: &PimCharacterization, matrix: &SlicedMatrix) -> LocalRunResult {
+    let mut tally = TriangleTally::new(matrix.dim(), false);
+    let run = run_attributed(chr, matrix, &mut tally);
+    let (_, per_vertex, _) = tally.into_parts();
+    LocalRunResult {
+        triangles: run.triangles,
+        per_vertex,
+        stats: run.stats,
+        latency: run.latency,
+        energy: run.energy,
+    }
 }

@@ -1,0 +1,127 @@
+//! Typed-query benchmark: what each query shape costs relative to the
+//! plain count, what the service facade adds on top of a raw pipeline
+//! call, and how repeated mixed workloads amortize over one registered
+//! artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcim_core::{Backend, Query, TcimConfig, TcimPipeline};
+use tcim_graph::generators::barabasi_albert;
+use tcim_service::{QueryRequest, ServiceConfig, TcimService};
+
+fn workload() -> Vec<Query> {
+    vec![
+        Query::TotalTriangles,
+        Query::PerVertexTriangles,
+        Query::GlobalClustering,
+        Query::TopKVertices { k: 10 },
+        Query::EdgeSupport,
+    ]
+}
+
+/// Per-query-shape execution cost over one prepared artifact: the
+/// attributed shapes (per-vertex, edge support) pay for AND-result
+/// readouts; the count-only shapes do not.
+fn bench_query_shapes(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let g = barabasi_albert(1_500, 8, 5).unwrap();
+    let prepared = pipeline.prepare(&g);
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    for backend in [Backend::SerialPim, Backend::CpuMerge] {
+        for query in workload() {
+            group.bench_with_input(
+                BenchmarkId::new(backend.label(), query.to_string()),
+                &query,
+                |b, query| {
+                    b.iter(|| {
+                        pipeline
+                            .query(black_box(&prepared), &backend, query)
+                            .unwrap()
+                            .triangles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Service dispatch overhead: the same query through the facade
+/// (name lookup, provenance assembly) vs directly on the pipeline.
+fn bench_service_dispatch(c: &mut Criterion) {
+    let g = barabasi_albert(1_500, 8, 5).unwrap();
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let prepared = pipeline.prepare(&g);
+    let service = TcimService::new(&ServiceConfig {
+        default_backend: Backend::CpuMerge,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    service.register("g", &g).unwrap();
+
+    let mut group = c.benchmark_group("service-dispatch");
+    group.sample_size(10);
+    group.bench_function("pipeline-direct", |b| {
+        b.iter(|| {
+            pipeline
+                .query(black_box(&prepared), &Backend::CpuMerge, &Query::TotalTriangles)
+                .unwrap()
+                .triangles
+        })
+    });
+    group.bench_function("service-facade", |b| {
+        b.iter(|| service.query(black_box("g"), &Query::TotalTriangles).unwrap().triangles)
+    });
+    group.finish();
+}
+
+/// Amortization of a repeated mixed workload: N mixed queries against
+/// one registered graph vs re-preparing the graph for every query —
+/// the whole point of serving from one prepared artifact.
+fn bench_mixed_amortization(c: &mut Criterion) {
+    const ROUNDS: usize = 4;
+    let g = barabasi_albert(1_000, 6, 9).unwrap();
+    let service = TcimService::new(&ServiceConfig {
+        default_backend: Backend::CpuMerge,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    service.register("g", &g).unwrap();
+    let requests: Vec<QueryRequest> = (0..ROUNDS)
+        .flat_map(|_| workload().into_iter().map(|q| QueryRequest::new("g", q)))
+        .collect();
+
+    let mut group = c.benchmark_group("mixed-amortization");
+    group.sample_size(10);
+    group.bench_function(format!("served-x{}", requests.len()), |b| {
+        b.iter(|| {
+            let responses = service.serve(black_box(&requests));
+            responses.into_iter().map(|r| r.unwrap().triangles).sum::<u64>()
+        })
+    });
+    group.bench_function(format!("reprepare-x{}", requests.len()), |b| {
+        let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+        b.iter(|| {
+            let mut sum = 0u64;
+            for request in &requests {
+                // Pathological baseline: rebuild the artifact per query.
+                let prepared = pipeline.prepare_uncached(black_box(&g));
+                sum += pipeline
+                    .query(&prepared, &Backend::CpuMerge, &request.query)
+                    .unwrap()
+                    .triangles;
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_shapes,
+    bench_service_dispatch,
+    bench_mixed_amortization
+);
+criterion_main!(benches);

@@ -95,6 +95,30 @@ pub fn popcount_words(words: &[u64], method: PopcountMethod) -> u64 {
     }
 }
 
+/// Visits the bit offset of every set bit across `words` (ascending;
+/// word `w`'s bit `b` is offset `64·w + b`) — the readout primitive
+/// every attributed counting path drains AND results with.
+///
+/// # Example
+///
+/// ```
+/// use tcim_bitmatrix::popcount::visit_set_bits;
+///
+/// let mut seen = Vec::new();
+/// visit_set_bits([0b0110u64, 1].into_iter(), |offset| seen.push(offset));
+/// assert_eq!(seen, vec![1, 2, 64]);
+/// ```
+pub fn visit_set_bits(words: impl IntoIterator<Item = u64>, mut visit: impl FnMut(u32)) {
+    for (word, w) in words.into_iter().enumerate() {
+        let mut rem = w;
+        while rem != 0 {
+            let tz = rem.trailing_zeros();
+            rem &= rem - 1;
+            visit(word as u32 * 64 + tz);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

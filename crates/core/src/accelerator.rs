@@ -4,9 +4,13 @@
 //! [`TcimAccelerator`] predates the [`TcimPipeline`] and is kept as the
 //! convenience entry point: every method delegates to the pipeline's
 //! prepare/execute stages (sharing its prepared-graph cache), so
-//! repeated calls on the same graph re-orient and re-slice nothing. New
-//! code that selects backends or reuses prepared artifacts explicitly
-//! should use [`TcimPipeline`] directly; these per-path methods remain
+//! repeated calls on the same graph re-orient and re-slice nothing —
+//! counting methods are thin shims over
+//! [`Query::TotalTriangles`](crate::Query::TotalTriangles) on the
+//! respective backend. New code that selects backends, reuses prepared
+//! artifacts explicitly, or asks richer questions (per-vertex counts,
+//! clustering, edge support) should use [`TcimPipeline`] and the typed
+//! [`Query`](crate::Query) API directly; these per-path methods remain
 //! as shims for existing callers.
 
 use std::time::{Duration, Instant};

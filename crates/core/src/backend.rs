@@ -1,35 +1,45 @@
-//! The unified execution layer: interchangeable counting engines behind
+//! The unified execution layer: interchangeable query engines behind
 //! one [`ExecutionBackend`] trait, selected by value via [`Backend`] and
 //! all consuming the same [`PreparedGraph`] artifact.
 //!
-//! Every backend returns a common [`CountReport`], so callers compare
-//! engines (simulated PIM, scheduled multi-array PIM, the sliced
-//! software path, CPU baselines) without per-engine entry points — the
-//! transparent-offloading seam: swap the engine, keep the call site.
+//! Since the typed-query redesign the trait answers [`Query`] values
+//! rather than only counting: every backend implements two primitives —
+//! [`execute`](ExecutionBackend::execute) (the global count, returned
+//! as the legacy [`CountReport`]) and
+//! [`execute_attributed`](ExecutionBackend::execute_attributed) (the
+//! per-triangle attribution every richer query shape is derived from) —
+//! and the provided [`query`](ExecutionBackend::query) method dispatches
+//! a [`Query`] onto whichever primitive it needs. Swap the engine, keep
+//! the call site *and* the question.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use tcim_arch::{AccessStats, PimEngine, PimRunResult, SliceCostModel};
+use tcim_arch::{
+    AccessStats, PimEngine, PimRunResult, SliceCostModel, TriangleSink, TriangleTally,
+};
 use tcim_bitmatrix::popcount::PopcountMethod;
 use tcim_sched::{SchedPolicy, ScheduledReport, ScheduledRun};
 
 use crate::error::{CoreError, Result};
 use crate::pipeline::PreparedGraph;
+use crate::query::{self, KernelStats, Query, QueryReport};
 use crate::software;
 
-/// A counting engine that executes prepared graphs.
+/// A query engine that executes prepared graphs.
 ///
 /// Implementations must be *pure executors*: they consume the prepared
 /// oriented/sliced artifacts as-is and never re-orient or re-slice —
 /// that is the pipeline's preparation stage. All faithful backends
-/// produce identical triangle counts (property-tested across the
-/// repository).
+/// produce identical answers for every query shape (property-tested
+/// across the repository).
 pub trait ExecutionBackend {
     /// Human-readable backend name (stable per configuration).
     fn name(&self) -> String;
 
-    /// Executes over a prepared graph.
+    /// Executes the global count over a prepared graph — the engine's
+    /// cheap primitive (no AND-result readouts), equivalent to
+    /// [`Query::TotalTriangles`].
     ///
     /// # Errors
     ///
@@ -37,6 +47,85 @@ pub trait ExecutionBackend {
     /// the backend (wrong slice size), and propagates engine-specific
     /// failures (e.g. invalid scheduling policies).
     fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport>;
+
+    /// Executes with per-triangle attribution — the engine's rich
+    /// primitive: besides counting, every triangle is attributed to its
+    /// three vertices (and, when `need_support` is set, to its three
+    /// edges). On the PIM backends this reads each non-zero AND result
+    /// back out of the array, which the modelled costs include.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecutionBackend::execute`].
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun>;
+
+    /// Answers a typed query over a prepared graph, dispatching to the
+    /// cheapest primitive that can answer it: count-only queries run
+    /// [`execute`](ExecutionBackend::execute), everything else runs
+    /// [`execute_attributed`](ExecutionBackend::execute_attributed).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecutionBackend::execute`], plus [`CoreError::Query`] for
+    /// invalid query parameters (e.g. out-of-bounds vertices).
+    fn query(&self, prepared: &PreparedGraph, query: &Query) -> Result<QueryReport> {
+        if !query.needs_attribution() {
+            let report = self.execute(prepared)?;
+            let value = query::shape_count(query, prepared, report.triangles);
+            return Ok(QueryReport {
+                backend: report.backend,
+                query: query.clone(),
+                value,
+                triangles: report.triangles,
+                execute_time: report.execute_time,
+                modelled_time_s: report.modelled_time_s,
+                modelled_energy_j: report.modelled_energy_j,
+                kernel: report.kernel,
+            });
+        }
+        let need_support = matches!(query, Query::EdgeSupport);
+        let run = self.execute_attributed(prepared, need_support)?;
+        let per_vertex = query::to_original_ids(prepared, &run.per_vertex);
+        let value = query::shape_attributed(query, prepared, per_vertex, run.support)?;
+        Ok(QueryReport {
+            backend: run.backend,
+            query: query.clone(),
+            value,
+            triangles: run.triangles,
+            execute_time: run.execute_time,
+            modelled_time_s: run.modelled_time_s,
+            modelled_energy_j: run.modelled_energy_j,
+            kernel: run.kernel,
+        })
+    }
+}
+
+/// The raw product of an attributed execution, in *matrix* id space
+/// (the query layer maps ids back to the input graph).
+#[derive(Debug, Clone)]
+pub struct AttributedRun {
+    /// Which backend produced this run.
+    pub backend: String,
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Triangles each matrix vertex participates in; sums to
+    /// `3 × triangles`.
+    pub per_vertex: Vec<u64>,
+    /// Triangle support per DAG arc `(i, j)`, ascending, covering every
+    /// arc in at least one triangle; present only when requested.
+    pub support: Option<Vec<(u32, u32, u64)>>,
+    /// Host wall-clock time of the execution stage.
+    pub execute_time: Duration,
+    /// Modelled accelerator latency (s), for simulated-hardware backends.
+    pub modelled_time_s: Option<f64>,
+    /// Modelled accelerator energy (J), for simulated-hardware backends.
+    pub modelled_energy_j: Option<f64>,
+    /// Normalized kernel accounting (includes the readouts).
+    pub kernel: KernelStats,
 }
 
 /// Backend-specific payload of a [`CountReport`].
@@ -47,10 +136,9 @@ pub enum BackendDetail {
     SerialPim(Box<PimRunResult>),
     /// Full scheduled multi-array report.
     ScheduledPim(Box<ScheduledReport>),
-    /// Software slicing counters.
+    /// Software slicing payload (work counters live in the shared
+    /// [`CountReport::kernel`]).
     Software {
-        /// Valid slice pairs processed.
-        slice_pairs: u64,
         /// The popcount kernel used.
         popcount: PopcountMethod,
     },
@@ -74,6 +162,10 @@ pub struct CountReport {
     pub modelled_energy_j: Option<f64>,
     /// Access statistics, for backends that simulate the data buffer.
     pub stats: Option<AccessStats>,
+    /// Normalized kernel accounting, identical in meaning across
+    /// backends (the serial and scheduled PIM paths report identical
+    /// `slice_pairs`/`kernel_invocations` by construction).
+    pub kernel: KernelStats,
     /// Backend-specific payload.
     pub detail: BackendDetail,
 }
@@ -156,6 +248,17 @@ impl Backend {
     }
 }
 
+/// The shared [`KernelStats`] mapping for engines that simulate the
+/// array: one kernel dispatch per processed edge, one slice pair per
+/// AND.
+fn kernel_from_stats(stats: &AccessStats) -> KernelStats {
+    KernelStats {
+        kernel_invocations: stats.edges,
+        slice_pairs: stats.and_ops,
+        result_readouts: stats.result_readouts,
+    }
+}
+
 fn check_slice_size(
     backend: &str,
     engine: &PimEngine,
@@ -202,7 +305,30 @@ impl ExecutionBackend for SerialPimBackend<'_> {
             modelled_time_s: Some(sim.total_time_s()),
             modelled_energy_j: Some(sim.total_energy_j()),
             stats: Some(sim.stats),
+            kernel: kernel_from_stats(&sim.stats),
             detail: BackendDetail::SerialPim(Box::new(sim)),
+        })
+    }
+
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun> {
+        check_slice_size(&self.name(), self.engine, prepared)?;
+        let start = Instant::now();
+        let mut tally = TriangleTally::new(prepared.matrix().dim(), need_support);
+        let sim = self.engine.run_attributed(prepared.matrix(), &mut tally);
+        let (_, per_vertex, support) = tally.into_parts();
+        Ok(AttributedRun {
+            backend: self.name(),
+            triangles: sim.triangles,
+            per_vertex,
+            support,
+            execute_time: start.elapsed(),
+            modelled_time_s: Some(sim.total_time_s()),
+            modelled_energy_j: Some(sim.total_energy_j()),
+            kernel: kernel_from_stats(&sim.stats),
         })
     }
 }
@@ -252,7 +378,33 @@ impl ExecutionBackend for ScheduledPimBackend<'_> {
             modelled_time_s: Some(report.critical_path_s),
             modelled_energy_j: Some(report.total_energy_j),
             stats: Some(report.stats),
+            kernel: kernel_from_stats(&report.stats),
             detail: BackendDetail::ScheduledPim(Box::new(report)),
+        })
+    }
+
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun> {
+        let start = Instant::now();
+        let run = ScheduledRun::plan_with_costs(
+            self.engine,
+            prepared.matrix(),
+            &self.policy,
+            self.costs,
+        )?
+        .execute_attributed(need_support);
+        Ok(AttributedRun {
+            backend: self.name(),
+            triangles: run.report.triangles,
+            per_vertex: run.per_vertex,
+            support: run.support,
+            execute_time: start.elapsed(),
+            modelled_time_s: Some(run.report.critical_path_s),
+            modelled_energy_j: Some(run.report.total_energy_j),
+            kernel: kernel_from_stats(&run.report.stats),
         })
     }
 }
@@ -286,9 +438,38 @@ impl ExecutionBackend for SoftwareBackend {
             modelled_time_s: None,
             modelled_energy_j: None,
             stats: None,
-            detail: BackendDetail::Software {
+            kernel: KernelStats {
+                kernel_invocations: prepared.matrix().edge_count() as u64,
                 slice_pairs: run.slice_pairs,
-                popcount: self.popcount,
+                result_readouts: 0,
+            },
+            detail: BackendDetail::Software { popcount: self.popcount },
+        })
+    }
+
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun> {
+        let start = Instant::now();
+        let mut tally = TriangleTally::new(prepared.matrix().dim(), need_support);
+        let run = software::sliced_count_attributed(prepared.matrix(), |i, j, w| {
+            tally.triangle(i, j, w)
+        });
+        let (_, per_vertex, support) = tally.into_parts();
+        Ok(AttributedRun {
+            backend: self.name(),
+            triangles: run.triangles,
+            per_vertex,
+            support,
+            execute_time: start.elapsed(),
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            kernel: KernelStats {
+                kernel_invocations: prepared.matrix().edge_count() as u64,
+                slice_pairs: run.slice_pairs,
+                result_readouts: 0,
             },
         })
     }
@@ -297,19 +478,35 @@ impl ExecutionBackend for SoftwareBackend {
 /// Intersection size of two sorted slices (shared by the CPU backends).
 fn merge_intersect_count(a: &[u32], b: &[u32]) -> u64 {
     let mut count = 0u64;
+    merge_intersect_visit(a, b, |_| count += 1);
+    count
+}
+
+/// Visits each common element of two sorted slices — the one
+/// implementation of the two-pointer walk both CPU baselines build on.
+fn merge_intersect_visit(a: &[u32], b: &[u32], mut visit: impl FnMut(u32)) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                count += 1;
+                visit(a[i]);
                 i += 1;
                 j += 1;
             }
         }
     }
-    count
+}
+
+/// The CPU baselines' [`KernelStats`]: one per-edge intersection per
+/// arc, no slicing, no readouts.
+fn cpu_kernel(prepared: &PreparedGraph) -> KernelStats {
+    KernelStats {
+        kernel_invocations: prepared.oriented().arc_count() as u64,
+        slice_pairs: 0,
+        result_readouts: 0,
+    }
 }
 
 /// CPU merge-intersection baseline over the prepared DAG: for every arc
@@ -339,7 +536,32 @@ impl ExecutionBackend for CpuMergeBackend {
             modelled_time_s: None,
             modelled_energy_j: None,
             stats: None,
+            kernel: cpu_kernel(prepared),
             detail: BackendDetail::Cpu,
+        })
+    }
+
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun> {
+        let start = Instant::now();
+        let dag = prepared.oriented();
+        let mut tally = TriangleTally::new(dag.vertex_count(), need_support);
+        for (i, j) in dag.arcs() {
+            merge_intersect_visit(dag.row(i), dag.row(j), |w| tally.triangle(i, j, w));
+        }
+        let (triangles, per_vertex, support) = tally.into_parts();
+        Ok(AttributedRun {
+            backend: self.name(),
+            triangles,
+            per_vertex,
+            support,
+            execute_time: start.elapsed(),
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            kernel: cpu_kernel(prepared),
         })
     }
 }
@@ -377,7 +599,41 @@ impl ExecutionBackend for CpuForwardBackend {
             modelled_time_s: None,
             modelled_energy_j: None,
             stats: None,
+            kernel: cpu_kernel(prepared),
             detail: BackendDetail::Cpu,
+        })
+    }
+
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun> {
+        let start = Instant::now();
+        let dag = prepared.oriented();
+        let n = dag.vertex_count();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut tally = TriangleTally::new(n, need_support);
+        for i in 0..n as u32 {
+            for &j in dag.row(i) {
+                // A common predecessor w closes the triangle {w, i, j},
+                // whose arcs are (w, i), (w, j) and (i, j).
+                merge_intersect_visit(&preds[i as usize], &preds[j as usize], |w| {
+                    tally.triangle(w, i, j);
+                });
+                preds[j as usize].push(i);
+            }
+        }
+        let (triangles, per_vertex, support) = tally.into_parts();
+        Ok(AttributedRun {
+            backend: self.name(),
+            triangles,
+            per_vertex,
+            support,
+            execute_time: start.elapsed(),
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            kernel: cpu_kernel(prepared),
         })
     }
 }
@@ -437,10 +693,35 @@ mod tests {
         }
         let sw = p.execute(&prepared, &Backend::Software(PopcountMethod::Lut8)).unwrap();
         assert!(sw.modelled_time_s.is_none());
-        let BackendDetail::Software { slice_pairs, .. } = sw.detail else {
-            panic!("software detail expected");
-        };
-        assert_eq!(slice_pairs, prepared.pricing().slice_pairs);
+        assert!(matches!(
+            sw.detail,
+            BackendDetail::Software { popcount: PopcountMethod::Lut8 }
+        ));
+        assert_eq!(sw.kernel.slice_pairs, prepared.pricing().slice_pairs);
+    }
+
+    /// Satellite regression: the normalized `KernelStats` report the
+    /// identical work for the serial and scheduled PIM paths, and the
+    /// software path's pair count matches them too.
+    #[test]
+    fn kernel_stats_are_identical_across_faithful_backends() {
+        let p = pipeline();
+        let prepared = p.prepare(&gnm(220, 1600, 13).unwrap());
+        let serial = p.execute(&prepared, &Backend::SerialPim).unwrap().kernel;
+        for arrays in [1usize, 2, 4, 8] {
+            let sched = p
+                .execute(&prepared, &Backend::ScheduledPim(SchedPolicy::with_arrays(arrays)))
+                .unwrap()
+                .kernel;
+            assert_eq!(sched, serial, "{arrays} arrays");
+        }
+        let sw = p.execute(&prepared, &Backend::Software(PopcountMethod::Native)).unwrap();
+        assert_eq!(sw.kernel.slice_pairs, serial.slice_pairs);
+        assert_eq!(sw.kernel.kernel_invocations, serial.kernel_invocations);
+        // CPU baselines dispatch per arc but process no slices.
+        let cpu = p.execute(&prepared, &Backend::CpuMerge).unwrap().kernel;
+        assert_eq!(cpu.kernel_invocations, serial.kernel_invocations);
+        assert_eq!(cpu.slice_pairs, 0);
     }
 
     #[test]

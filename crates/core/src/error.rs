@@ -25,6 +25,12 @@ pub enum CoreError {
         /// What was mismatched.
         reason: String,
     },
+    /// A typed query carried invalid parameters (e.g. a clustering
+    /// query naming a vertex beyond the graph's universe).
+    Query {
+        /// What was invalid.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::BitMatrix(e) => write!(f, "bit-matrix error: {e}"),
             CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
             CoreError::Pipeline { reason } => write!(f, "pipeline error: {reason}"),
+            CoreError::Query { reason } => write!(f, "query error: {reason}"),
         }
     }
 }
@@ -46,7 +53,7 @@ impl Error for CoreError {
             CoreError::Arch(e) => Some(e),
             CoreError::BitMatrix(e) => Some(e),
             CoreError::Sched(e) => Some(e),
-            CoreError::Pipeline { .. } => None,
+            CoreError::Pipeline { .. } | CoreError::Query { .. } => None,
         }
     }
 }

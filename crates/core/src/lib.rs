@@ -32,6 +32,14 @@
 //! ([`Backend`]) — serial PIM, scheduled multi-array PIM, the sliced
 //! software path, and CPU baselines all return one [`CountReport`].
 //!
+//! Execution is **query-shaped** ([`query`]): a typed [`Query`] (total
+//! count, per-vertex counts, local/global clustering, edge support,
+//! top-k) is answered by any backend from one prepared artifact,
+//! returning a [`QueryReport`] with normalized [`KernelStats`]. The
+//! count-only entry points ([`TcimPipeline::count`],
+//! [`TcimAccelerator`]) are thin shims over
+//! [`Query::TotalTriangles`].
+//!
 //! For *dynamic* graphs (streams of edge insertions/deletions), the
 //! `tcim-stream` crate layers incremental delta counting on top of this
 //! pipeline: it maintains the count with per-update AND + BitCount
@@ -73,14 +81,19 @@ mod error;
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
+pub mod query;
 pub mod reported;
 pub mod software;
 pub mod verify;
 
 pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
-pub use backend::{Backend, BackendDetail, CountReport, ExecutionBackend};
+pub use backend::{AttributedRun, Backend, BackendDetail, CountReport, ExecutionBackend};
 pub use error::{CoreError, Result};
 pub use pipeline::{PreparedCache, PreparedGraph, PreparedKey, PreparedPricing, TcimPipeline};
+pub use query::{
+    EdgeSupport, KernelStats, Query, QueryReport, QueryValue, VertexClustering,
+    VertexTriangles,
+};
 // Scheduling types surface in the accelerator's public API
 // (`TcimAccelerator::count_triangles_scheduled`), so re-export them.
 pub use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledReport};

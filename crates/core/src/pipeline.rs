@@ -21,6 +21,7 @@ use tcim_graph::{CsrGraph, Orientation, OrientedGraph};
 use crate::accelerator::TcimConfig;
 use crate::backend::{Backend, CountReport, ExecutionBackend};
 use crate::error::Result;
+use crate::query::{Query, QueryReport};
 
 /// Cache key of one prepared artifact: the graph's structural
 /// fingerprint (paired with its exact sizes to make collisions
@@ -376,12 +377,19 @@ impl TcimPipeline {
     /// returning the cached artifact when one exists — repeated calls on
     /// the same graph re-orient and re-slice nothing.
     pub fn prepare(&self, g: &CsrGraph) -> Arc<PreparedGraph> {
+        self.prepare_reporting(g).0
+    }
+
+    /// As [`TcimPipeline::prepare`], additionally reporting whether the
+    /// artifact was served from the cache (`true`) or built by this
+    /// call (`false`) — the provenance serving layers record.
+    pub fn prepare_reporting(&self, g: &CsrGraph) -> (Arc<PreparedGraph>, bool) {
         let key =
             PreparedKey::for_graph(g, self.config.orientation, self.config.pim.slice_size);
         if let Some(found) = self.cache.get(&key) {
-            return found;
+            return (found, true);
         }
-        self.cache.insert(self.prepare_uncached(g))
+        (self.cache.insert(self.prepare_uncached(g)), false)
     }
 
     /// Prepares `g` without touching the cache (benchmarking, or callers
@@ -425,7 +433,42 @@ impl TcimPipeline {
         specs.iter().map(|spec| self.execute(prepared, spec)).collect()
     }
 
-    /// One-shot convenience: prepare (cached) and execute.
+    /// Answers a typed [`Query`] over a prepared graph on the selected
+    /// backend — the general entry point [`TcimPipeline::execute`] and
+    /// [`TcimPipeline::count`] are the `TotalTriangles` shims of.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors, plus
+    /// [`CoreError::Query`](crate::CoreError::Query) for invalid query
+    /// parameters.
+    pub fn query(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &Backend,
+        query: &Query,
+    ) -> Result<QueryReport> {
+        self.backend(spec).query(prepared, query)
+    }
+
+    /// Answers every query in `queries` over one prepared graph on one
+    /// backend, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first query error.
+    pub fn query_all(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &Backend,
+        queries: &[Query],
+    ) -> Result<Vec<QueryReport>> {
+        let backend = self.backend(spec);
+        queries.iter().map(|q| backend.query(prepared, q)).collect()
+    }
+
+    /// One-shot convenience: prepare (cached) and execute — the
+    /// [`Query::TotalTriangles`] shim kept for existing drivers.
     ///
     /// # Errors
     ///

@@ -74,6 +74,38 @@ pub fn sliced_count(matrix: &SlicedMatrix, popcount: PopcountMethod) -> Software
     SoftwareCount { triangles, slice_pairs }
 }
 
+/// Runs the AND + BitCount kernel with triangle attribution: every
+/// surviving bit `w` of an AND result at arc `(i, j)` satisfies
+/// `i < w < j` and is reported to `sink` as the triangle
+/// `sink(i, w, j)` (matrix ids, ascending — the
+/// `tcim_arch::TriangleSink` contract), the software twin of
+/// `tcim_arch::runtime::run_attributed` minus the readout cost model.
+/// The count falls out of the readout drain itself, so no popcount
+/// method is selected.
+pub fn sliced_count_attributed(
+    matrix: &SlicedMatrix,
+    mut sink: impl FnMut(u32, u32, u32),
+) -> SoftwareCount {
+    let slice_bits = matrix.slice_size().bits();
+    let mut triangles = 0u64;
+    let mut slice_pairs = 0u64;
+    for (i, j) in matrix.edges() {
+        let pairs = matrix
+            .row(i)
+            .matching_slices(matrix.col(j))
+            .expect("rows and columns of one matrix always align");
+        for (k, rs, cs) in pairs {
+            slice_pairs += 1;
+            let anded = rs.iter().zip(cs).map(|(a, b)| a & b);
+            tcim_bitmatrix::popcount::visit_set_bits(anded, |offset| {
+                triangles += 1;
+                sink(i, k * slice_bits + offset, j);
+            });
+        }
+    }
+    SoftwareCount { triangles, slice_pairs }
+}
+
 /// Runs the sliced bitwise dataflow in software: orient, slice, then for
 /// every edge AND the matching valid slice pairs and accumulate the
 /// bit count.
@@ -133,6 +165,23 @@ mod tests {
         .unwrap();
         assert_eq!(run.triangles, 2);
         assert_eq!(run.slice_pairs, 5);
+    }
+
+    #[test]
+    fn attributed_count_agrees_with_plain_count_and_sums_to_three() {
+        let g = gnm(200, 1400, 5).unwrap();
+        let oriented = Orientation::Natural.orient(&g);
+        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), SliceSize::S64).unwrap();
+        let plain = sliced_count(&matrix, PopcountMethod::Native);
+        let mut per_vertex = vec![0u64; g.vertex_count()];
+        let attributed = sliced_count_attributed(&matrix, |i, j, w| {
+            per_vertex[i as usize] += 1;
+            per_vertex[j as usize] += 1;
+            per_vertex[w as usize] += 1;
+        });
+        assert_eq!(attributed, plain);
+        assert_eq!(per_vertex.iter().sum::<u64>(), 3 * plain.triangles);
+        assert_eq!(per_vertex, baseline::local_triangles(&g));
     }
 
     #[test]

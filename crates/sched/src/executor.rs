@@ -10,10 +10,24 @@
 
 use std::collections::HashSet;
 
-use tcim_arch::{AccessStats, BitCounterModel, ReplacementPolicy, SliceCache};
+use tcim_arch::{
+    AccessStats, BitCounterModel, ReplacementPolicy, SliceCache, TriangleSink, TriangleTally,
+};
 use tcim_bitmatrix::SlicedMatrix;
 
 use crate::jobs::RowJob;
+
+/// What each array accumulates beyond the triangle count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Attribution {
+    /// Plain counting: the bit counter consumes AND results in place.
+    Count,
+    /// Per-vertex participation: every non-zero AND result is read back
+    /// out (one read-class access) and its bits attributed.
+    PerVertex,
+    /// Per-vertex participation plus per-arc triangle support.
+    PerVertexWithSupport,
+}
 
 /// The functional result of one array's execution.
 #[derive(Debug, Clone)]
@@ -22,6 +36,14 @@ pub(crate) struct ArrayRun {
     pub triangles: u64,
     /// This array's access statistics.
     pub stats: AccessStats,
+    /// Partial per-vertex participation over the whole vertex universe
+    /// (matrix ids); present unless the attribution was
+    /// [`Attribution::Count`].
+    pub per_vertex: Option<Vec<u64>>,
+    /// Partial per-arc triangle support triples `(i, j, count)` in
+    /// ascending matrix-id order; present only for
+    /// [`Attribution::PerVertexWithSupport`].
+    pub support: Option<Vec<(u32, u32, u64)>>,
 }
 
 /// Executes the assigned `jobs` (ascending row order) on one array.
@@ -32,11 +54,18 @@ pub(crate) fn run_array(
     column_capacity: usize,
     replacement: ReplacementPolicy,
     replacement_seed: u64,
+    attribution: Attribution,
 ) -> ArrayRun {
     let mut cache = SliceCache::new(column_capacity.max(1), replacement, replacement_seed);
     let mut stats = AccessStats::default();
     let mut triangles = 0u64;
     let mut row_loaded: HashSet<u32> = HashSet::new();
+    let slice_bits = matrix.slice_size().bits();
+    let mut tally = match attribution {
+        Attribution::Count => None,
+        Attribution::PerVertex => Some(TriangleTally::new(matrix.dim(), false)),
+        Attribution::PerVertexWithSupport => Some(TriangleTally::new(matrix.dim(), true)),
+    };
 
     for job in jobs {
         let i = job.row;
@@ -59,14 +88,34 @@ pub(crate) fn run_array(
                     tcim_arch::AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
                 }
                 let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
-                triangles += bitcounter.count(&anded);
+                let count = bitcounter.count(&anded);
+                triangles += count;
                 stats.and_ops += 1;
                 stats.bitcount_ops += 1;
+                if count > 0 {
+                    if let Some(tally) = tally.as_mut() {
+                        // Read the surviving bits back out and attribute
+                        // the triangle exactly as the serial attributed
+                        // run does: a surviving bit w satisfies
+                        // i < w < j (the `TriangleSink` contract).
+                        stats.result_readouts += 1;
+                        bitcounter.read_out(&anded, |offset| {
+                            tally.triangle(i, k * slice_bits + offset, j);
+                        });
+                    }
+                }
             }
         }
     }
 
-    ArrayRun { triangles, stats }
+    let (per_vertex, support) = match tally {
+        Some(tally) => {
+            let (_, per_vertex, support) = tally.into_parts();
+            (Some(per_vertex), support)
+        }
+        None => (None, None),
+    };
+    ArrayRun { triangles, stats, per_vertex, support }
 }
 
 #[cfg(test)]
@@ -90,7 +139,15 @@ mod tests {
         let engine = PimEngine::new(&PimConfig::default()).unwrap();
         let jobs = decompose(&m, &engine.cost_model());
         let refs: Vec<&RowJob> = jobs.iter().collect();
-        let run = run_array(&m, &refs, engine.bitcounter(), 1024, ReplacementPolicy::Lru, 0);
+        let run = run_array(
+            &m,
+            &refs,
+            engine.bitcounter(),
+            1024,
+            ReplacementPolicy::Lru,
+            0,
+            Attribution::Count,
+        );
         let serial = engine.run(&m);
         assert_eq!(run.triangles, serial.triangles);
         assert_eq!(run.stats.and_ops, serial.stats.and_ops);
@@ -105,8 +162,24 @@ mod tests {
         let serial = engine.run(&m).triangles;
         let first: Vec<&RowJob> = jobs.iter().take(1).collect();
         let rest: Vec<&RowJob> = jobs.iter().skip(1).collect();
-        let a = run_array(&m, &first, engine.bitcounter(), 64, ReplacementPolicy::Lru, 0);
-        let b = run_array(&m, &rest, engine.bitcounter(), 64, ReplacementPolicy::Lru, 1);
+        let a = run_array(
+            &m,
+            &first,
+            engine.bitcounter(),
+            64,
+            ReplacementPolicy::Lru,
+            0,
+            Attribution::Count,
+        );
+        let b = run_array(
+            &m,
+            &rest,
+            engine.bitcounter(),
+            64,
+            ReplacementPolicy::Lru,
+            1,
+            Attribution::Count,
+        );
         assert_eq!(a.triangles + b.triangles, serial);
         assert_eq!(a.stats.edges + b.stats.edges, 5);
     }
@@ -124,8 +197,24 @@ mod tests {
         let engine = PimEngine::new(&PimConfig::default()).unwrap();
         let jobs = decompose(&m, &engine.cost_model());
         let refs: Vec<&RowJob> = jobs.iter().collect();
-        let roomy = run_array(&m, &refs, engine.bitcounter(), 4096, ReplacementPolicy::Lru, 0);
-        let tight = run_array(&m, &refs, engine.bitcounter(), 1, ReplacementPolicy::Lru, 0);
+        let roomy = run_array(
+            &m,
+            &refs,
+            engine.bitcounter(),
+            4096,
+            ReplacementPolicy::Lru,
+            0,
+            Attribution::Count,
+        );
+        let tight = run_array(
+            &m,
+            &refs,
+            engine.bitcounter(),
+            1,
+            ReplacementPolicy::Lru,
+            0,
+            Attribution::Count,
+        );
         assert_eq!(roomy.triangles, tight.triangles);
         assert!(tight.stats.col_exchanges > roomy.stats.col_exchanges);
     }

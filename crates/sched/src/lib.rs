@@ -78,4 +78,4 @@ pub use jobs::RowJob;
 pub use placement::Placement;
 pub use policy::{PlacementPolicy, SchedPolicy};
 pub use report::{ArrayReport, ScheduledReport};
-pub use runner::{parallel_map_indexed, BatchRunner, ScheduledRun};
+pub use runner::{parallel_map_indexed, AttributedScheduledRun, BatchRunner, ScheduledRun};

@@ -14,12 +14,34 @@ use std::time::Instant;
 use tcim_arch::{PimEngine, SliceCostModel};
 use tcim_bitmatrix::SlicedMatrix;
 
+use std::collections::BTreeMap;
+
 use crate::error::{Result, SchedError};
-use crate::executor::{run_array, ArrayRun};
+use crate::executor::{run_array, ArrayRun, Attribution};
 use crate::jobs::{decompose, RowJob};
 use crate::placement::Placement;
 use crate::policy::SchedPolicy;
 use crate::report::ScheduledReport;
+
+/// A scheduled run executed with triangle attribution: the usual
+/// [`ScheduledReport`] plus the attributed quantities, merged
+/// deterministically from each array's partial vectors (array order, so
+/// results are independent of host-thread interleaving).
+///
+/// All ids are matrix ids; callers that relabelled vertices map them
+/// back through their orientation.
+#[derive(Debug, Clone)]
+pub struct AttributedScheduledRun {
+    /// The scheduled report (triangles, per-array statistics including
+    /// the attribution's result readouts, critical path, energy).
+    pub report: ScheduledReport,
+    /// Triangles each vertex participates in; sums to `3 × triangles`.
+    pub per_vertex: Vec<u64>,
+    /// Triangle support per arc `(i, j)`, ascending, covering every arc
+    /// that participates in at least one triangle. Present only when
+    /// support accumulation was requested.
+    pub support: Option<Vec<(u32, u32, u64)>>,
+}
 
 /// A planned scheduled run: a matrix bound to a placement, ready to
 /// execute (possibly several times).
@@ -115,6 +137,27 @@ impl<'a> ScheduledRun<'a> {
     /// threads, merges triangle counts and statistics deterministically,
     /// and aggregates inter-array timing/energy.
     pub fn execute(&self) -> ScheduledReport {
+        self.execute_mode(Attribution::Count).report
+    }
+
+    /// Executes the planned run with triangle attribution: every array
+    /// additionally reads non-zero AND results back out and accumulates
+    /// a partial per-vertex participation vector (and, when
+    /// `need_support` is set, partial per-arc triangle support); the
+    /// partials merge deterministically in array order.
+    ///
+    /// The extra readouts appear in the per-array statistics and are
+    /// priced into the report's critical path and energy, mirroring the
+    /// serial engine's attributed run.
+    pub fn execute_attributed(&self, need_support: bool) -> AttributedScheduledRun {
+        self.execute_mode(if need_support {
+            Attribution::PerVertexWithSupport
+        } else {
+            Attribution::PerVertex
+        })
+    }
+
+    fn execute_mode(&self, attribution: Attribution) -> AttributedScheduledRun {
         let arrays = self.policy.arrays;
         let per_array_jobs: Vec<Vec<&RowJob>> = (0..arrays)
             .map(|a| {
@@ -143,6 +186,7 @@ impl<'a> ScheduledRun<'a> {
                 capacity.saturating_sub(row_reserve).max(1),
                 replacement,
                 base_seed.wrapping_add(a as u64),
+                attribution,
             )
         });
         let host_sim_time = start.elapsed();
@@ -151,15 +195,40 @@ impl<'a> ScheduledRun<'a> {
         let triangles = runs.iter().map(|r| r.triangles).sum();
         let rows_per_array: Vec<usize> =
             per_array_jobs.iter().map(std::vec::Vec::len).collect();
-        ScheduledReport::assemble(
+        let mut per_vertex = vec![0u64; self.matrix.dim()];
+        let mut support: Option<BTreeMap<(u32, u32), u64>> = match attribution {
+            Attribution::PerVertexWithSupport => Some(BTreeMap::new()),
+            _ => None,
+        };
+        let mut stats_per_array = Vec::with_capacity(runs.len());
+        for run in runs {
+            let ArrayRun { stats, per_vertex: partial, support: partial_support, .. } = run;
+            stats_per_array.push(stats);
+            if let Some(partial) = partial {
+                for (total, part) in per_vertex.iter_mut().zip(&partial) {
+                    *total += part;
+                }
+            }
+            if let (Some(map), Some(partial_support)) = (support.as_mut(), partial_support) {
+                for (i, j, count) in partial_support {
+                    *map.entry((i, j)).or_insert(0) += count;
+                }
+            }
+        }
+        let report = ScheduledReport::assemble(
             triangles,
             self.policy.clone(),
             &rows_per_array,
-            runs.into_iter().map(|r| r.stats).collect(),
+            stats_per_array,
             &self.costs,
             self.placement_time,
             host_sim_time,
-        )
+        );
+        AttributedScheduledRun {
+            report,
+            per_vertex,
+            support: support.map(|map| map.into_iter().map(|((i, j), c)| (i, j, c)).collect()),
+        }
     }
 
     fn host_threads(&self) -> usize {
@@ -310,6 +379,26 @@ mod tests {
         assert_eq!(a.triangles, b.triangles);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.critical_path_s, b.critical_path_s);
+    }
+
+    #[test]
+    fn attributed_run_matches_serial_local_counts() {
+        let e = engine();
+        let m = wheel_matrix(120);
+        let serial = e.run_local(&m);
+        for arrays in [1usize, 2, 4, 8] {
+            let policy =
+                SchedPolicy { arrays, host_threads: Some(2), ..SchedPolicy::default() };
+            let run = ScheduledRun::plan(&e, &m, &policy).unwrap().execute_attributed(true);
+            assert_eq!(run.report.triangles, serial.triangles, "{arrays} arrays");
+            assert_eq!(run.per_vertex, serial.per_vertex, "{arrays} arrays");
+            assert_eq!(run.report.stats.result_readouts, serial.stats.result_readouts);
+            // Every triangle contributes to exactly three arcs.
+            let support = run.support.unwrap();
+            let total: u64 = support.iter().map(|&(_, _, c)| c).sum();
+            assert_eq!(total, 3 * serial.triangles);
+            assert!(support.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        }
     }
 
     #[test]

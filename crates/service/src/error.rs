@@ -1,0 +1,91 @@
+//! Error type of the serving facade.
+
+use std::error::Error;
+use std::fmt;
+
+use tcim_core::CoreError;
+use tcim_stream::StreamError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;
+
+/// Errors raised while registering graphs or serving queries.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// A query or eviction named a graph the registry does not hold.
+    UnknownGraph {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A registration reused a name already bound to a *live* graph
+    /// (or vice versa) — the two registries share one namespace so a
+    /// request's name always resolves unambiguously.
+    NameInUse {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A pipeline/backend/query failure from `tcim-core`.
+    Core(CoreError),
+    /// An update or maintenance failure from a live `tcim-stream`
+    /// graph.
+    Stream(StreamError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph { name } => {
+                write!(f, "no graph registered under {name:?}")
+            }
+            ServiceError::NameInUse { name } => {
+                write!(f, "graph name {name:?} is already in use")
+            }
+            ServiceError::Core(e) => write!(f, "query error: {e}"),
+            ServiceError::Stream(e) => write!(f, "stream error: {e}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            ServiceError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<StreamError> for ServiceError {
+    fn from(e: StreamError) -> Self {
+        ServiceError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = ServiceError::UnknownGraph { name: "orkut".into() };
+        assert_eq!(e.to_string(), "no graph registered under \"orkut\"");
+        assert!(e.source().is_none());
+        let e = ServiceError::from(CoreError::Query { reason: "bad vertex".into() });
+        assert!(e.to_string().contains("bad vertex"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! Multi-graph serving for the TCIM reproduction: a facade that keeps
+//! many graphs resident — as prepared artifacts or live dynamic
+//! graphs — and answers typed triangle queries against any of them,
+//! concurrently, with per-response provenance.
+//!
+//! The ROADMAP's north star ("serve heavy traffic … as many scenarios
+//! as you can imagine") meets the paper's architecture here: the
+//! expensive work (orient → slice → characterize) happens once per
+//! graph at registration; every query after that is pure execution
+//! over a shared `Arc<PreparedGraph>` on whichever
+//! [`Backend`](tcim_core::Backend) the request selects, or a direct
+//! read of a live graph's incrementally maintained counts.
+//!
+//! * [`TcimService`] — the facade: register/evict/list graphs, answer
+//!   [`Query`](tcim_core::Query)s one at a time or in concurrent
+//!   batches ([`TcimService::serve`]).
+//! * [`GraphStore`] — the named registry of prepared artifacts, keyed
+//!   by name + structural fingerprint and backed by the pipeline's
+//!   `PreparedCache`.
+//! * [`QueryRequest`] / [`QueryResponse`] — the request/response pair;
+//!   responses carry provenance (backend, prepared-cache hit, modelled
+//!   cost, wall time) so callers can audit how every answer was made.
+//! * [`ServiceError`] — unknown names, name conflicts, and wrapped
+//!   core/stream failures.
+//!
+//! # Example
+//!
+//! ```
+//! use tcim_service::{ServiceConfig, TcimService};
+//! use tcim_core::Query;
+//! use tcim_graph::generators::classic;
+//! use tcim_stream::UpdateBatch;
+//!
+//! let service = TcimService::new(&ServiceConfig::default())?;
+//!
+//! // A static graph answers from its prepared artifact…
+//! service.register("fig2", &classic::fig2_example())?;
+//! assert_eq!(service.query("fig2", &Query::TotalTriangles)?.triangles, 2);
+//!
+//! // …a live graph answers from incrementally maintained counts.
+//! service.register_live("feed", &classic::fig2_example())?;
+//! let mut batch = UpdateBatch::new();
+//! batch.insert(0, 3);
+//! service.update("feed", &batch)?;
+//! let response = service.query("feed", &Query::PerVertexTriangles)?;
+//! assert_eq!(response.value.per_vertex().unwrap(), &[3, 3, 3, 3]);
+//! assert!(response.live);
+//! # Ok::<(), tcim_service::ServiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod service;
+mod store;
+
+pub use error::{Result, ServiceError};
+pub use service::{QueryRequest, QueryResponse, ServiceConfig, TcimService};
+pub use store::{GraphInfo, GraphStore};

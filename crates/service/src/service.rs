@@ -1,0 +1,473 @@
+//! The serving facade: concurrent typed queries over many registered
+//! graphs, from one engine and one prepared-artifact pool.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use tcim_core::query::shape_value;
+use tcim_core::{
+    Backend, EdgeSupport, KernelStats, PreparedGraph, Query, QueryValue, TcimConfig,
+    TcimPipeline,
+};
+use tcim_graph::CsrGraph;
+use tcim_sched::parallel_map_indexed;
+use tcim_stream::{BatchReport, DynamicGraph, StreamConfig, UpdateBatch};
+
+use crate::error::{Result, ServiceError};
+use crate::store::{GraphInfo, GraphStore};
+
+/// Configuration of a [`TcimService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pipeline configuration (orientation + PIM parameters) shared by
+    /// every registered graph, static and live.
+    pub tcim: TcimConfig,
+    /// Capacity of the underlying `PreparedCache`.
+    pub cache_capacity: usize,
+    /// Backend used when a request does not select one.
+    pub default_backend: Backend,
+    /// Template for live graphs (drift policy, delta fan-out). Its
+    /// `tcim` field is overridden by [`ServiceConfig::tcim`] so live
+    /// and static graphs always share one engine configuration.
+    pub stream: StreamConfig,
+    /// Worker threads [`TcimService::serve`] fans requests over
+    /// (`None` = available parallelism).
+    pub serve_threads: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            tcim: TcimConfig::default(),
+            cache_capacity: TcimPipeline::DEFAULT_CACHE_CAPACITY,
+            default_backend: Backend::SerialPim,
+            stream: StreamConfig::default(),
+            serve_threads: None,
+        }
+    }
+}
+
+/// One query addressed to a named graph, with an optional backend
+/// override.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The registered graph to answer from.
+    pub graph: String,
+    /// The question.
+    pub query: Query,
+    /// Backend override (`None` = the service's default backend).
+    /// Ignored by live graphs, which answer from maintained state.
+    pub backend: Option<Backend>,
+}
+
+impl QueryRequest {
+    /// A request for `query` on the graph registered as `graph`, using
+    /// the service's default backend.
+    pub fn new(graph: impl Into<String>, query: Query) -> Self {
+        QueryRequest { graph: graph.into(), query, backend: None }
+    }
+
+    /// Selects an explicit backend for this request.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+}
+
+/// A served answer with full provenance: which graph (by name and
+/// fingerprint) and which backend answered, whether the prepared
+/// artifact was served from cache, the modelled hardware cost, and the
+/// host wall time.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The graph that answered.
+    pub graph: String,
+    /// Structural fingerprint of the artifact that answered (for live
+    /// graphs: the latest folded epoch snapshot).
+    pub fingerprint: u64,
+    /// The backend label that answered (`stream-incremental` for live
+    /// graphs).
+    pub backend: String,
+    /// The question, echoed.
+    pub query: Query,
+    /// The typed answer.
+    pub value: QueryValue,
+    /// The graph's global triangle count.
+    pub triangles: u64,
+    /// Whether the answer came from an already-prepared artifact
+    /// (true for every query on a registered graph — preparation
+    /// happened at registration; false never escapes registration
+    /// itself, which reports its hit/miss on
+    /// [`GraphInfo::prepared_cache_hit`]).
+    pub prepared_cache_hit: bool,
+    /// Whether a live (incrementally maintained) graph answered.
+    pub live: bool,
+    /// Modelled accelerator latency (s), for simulated-hardware
+    /// backends.
+    pub modelled_time_s: Option<f64>,
+    /// Modelled accelerator energy (J), for simulated-hardware
+    /// backends.
+    pub modelled_energy_j: Option<f64>,
+    /// Normalized kernel accounting of the answering run.
+    pub kernel: KernelStats,
+    /// Host wall-clock time spent serving this request.
+    pub wall: Duration,
+}
+
+impl fmt::Display for QueryResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<22} via {:<28} {:>10} triangles  ({:.3} ms, {})",
+            self.graph,
+            self.query.to_string(),
+            self.backend,
+            self.triangles,
+            self.wall.as_secs_f64() * 1e3,
+            if self.live { "live" } else { "prepared" }
+        )
+    }
+}
+
+struct LiveGraph {
+    dynamic: Mutex<DynamicGraph>,
+    served: AtomicU64,
+}
+
+/// The TCIM serving facade: one characterized engine and one prepared
+/// artifact pool behind a named-graph registry, answering typed
+/// [`Query`]s — concurrently, across graphs — with per-response
+/// provenance.
+///
+/// Two kinds of graphs are served from one namespace:
+///
+/// * **static** graphs ([`TcimService::register`]) are prepared once
+///   and answered by any [`Backend`] from the shared
+///   `Arc<PreparedGraph>`;
+/// * **live** graphs ([`TcimService::register_live`]) are
+///   `tcim-stream` dynamic graphs whose total *and* per-vertex counts
+///   are maintained incrementally under [`TcimService::update`]
+///   batches, so queries answer from state without recounting.
+///
+/// # Example
+///
+/// ```
+/// use tcim_service::{QueryRequest, ServiceConfig, TcimService};
+/// use tcim_core::{Backend, Query};
+/// use tcim_graph::generators::classic;
+///
+/// let service = TcimService::new(&ServiceConfig::default())?;
+/// service.register("wheel", &classic::wheel(12))?;
+/// service.register("k5", &classic::complete(5))?;
+///
+/// // Concurrent mixed queries across graphs, one artifact each.
+/// let responses = service.serve(&[
+///     QueryRequest::new("wheel", Query::TotalTriangles),
+///     QueryRequest::new("k5", Query::PerVertexTriangles),
+///     QueryRequest::new("wheel", Query::TopKVertices { k: 1 }).with_backend(Backend::CpuMerge),
+///     QueryRequest::new("k5", Query::GlobalClustering),
+/// ]);
+/// let responses: Vec<_> = responses.into_iter().collect::<Result<_, _>>()?;
+/// assert_eq!(responses[0].triangles, 11);
+/// assert_eq!(responses[1].value.per_vertex().unwrap(), &[6, 6, 6, 6, 6]);
+/// assert_eq!(responses[2].value.top_k().unwrap()[0].vertex, 0); // the hub
+/// assert!(responses.iter().all(|r| r.prepared_cache_hit));
+/// # Ok::<(), tcim_service::ServiceError>(())
+/// ```
+pub struct TcimService {
+    config: ServiceConfig,
+    pipeline: TcimPipeline,
+    store: GraphStore,
+    live: RwLock<HashMap<String, Arc<LiveGraph>>>,
+}
+
+impl fmt::Debug for TcimService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TcimService(static={}, live={}, cache={:?})",
+            self.store.len(),
+            self.live.read().expect("live lock is never poisoned").len(),
+            self.pipeline.cache()
+        )
+    }
+}
+
+impl TcimService {
+    /// Characterizes the engine and opens an empty registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine characterization failures.
+    pub fn new(config: &ServiceConfig) -> Result<Self> {
+        let pipeline = TcimPipeline::with_cache_capacity(&config.tcim, config.cache_capacity)
+            .map_err(ServiceError::Core)?;
+        Ok(TcimService {
+            config: config.clone(),
+            pipeline,
+            store: GraphStore::new(),
+            live: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The pipeline serving every static graph (exposes the
+    /// `PreparedCache` for hit/miss inspection).
+    pub fn pipeline(&self) -> &TcimPipeline {
+        &self.pipeline
+    }
+
+    /// The static-graph registry.
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// The backend answering requests that do not select one.
+    pub fn default_backend(&self) -> &Backend {
+        &self.config.default_backend
+    }
+
+    /// Registers `g` under `name`: prepares it (once — re-registration
+    /// and fingerprint-equal graphs hit the `PreparedCache`) and makes
+    /// it queryable. Returns the graph's card, whose
+    /// `prepared_cache_hit` records whether preparation was served
+    /// from cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NameInUse`] when `name` is bound to a
+    /// live graph.
+    pub fn register(&self, name: &str, g: &CsrGraph) -> Result<GraphInfo> {
+        // Hold the live-registry lock across the whole registration.
+        // Both registration paths acquire `live` before touching the
+        // store, so a concurrent `register_live` can never slip the
+        // same name in between this check and the store insert.
+        let live = self.live.read().expect("live lock is never poisoned");
+        if live.contains_key(name) {
+            return Err(ServiceError::NameInUse { name: name.to_string() });
+        }
+        let (prepared, hit) = self.pipeline.prepare_reporting(g);
+        Ok(self.store.insert(name, prepared, hit))
+    }
+
+    /// Registers `g` under `name` as a *live* graph: a dynamic graph
+    /// whose total and per-vertex triangle counts are maintained
+    /// incrementally under [`TcimService::update`] batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::NameInUse`] when `name` is already
+    /// bound, and propagates dynamic-graph construction failures.
+    pub fn register_live(&self, name: &str, g: &CsrGraph) -> Result<GraphInfo> {
+        // Build the dynamic state before locking anything (slow), then
+        // check *both* namespaces under the live write lock: `register`
+        // holds the live lock while it inserts into the store, so this
+        // store check cannot race it (lock order is live → store on
+        // every path).
+        let stream_config =
+            StreamConfig { tcim: self.config.tcim.clone(), ..self.config.stream.clone() };
+        let dynamic = DynamicGraph::new(g, stream_config)?;
+        let mut live = self.live.write().expect("live lock is never poisoned");
+        if live.contains_key(name) || self.store.contains(name) {
+            return Err(ServiceError::NameInUse { name: name.to_string() });
+        }
+        let info = live_info(name, &dynamic, 0);
+        live.insert(
+            name.to_string(),
+            Arc::new(LiveGraph { dynamic: Mutex::new(dynamic), served: AtomicU64::new(0) }),
+        );
+        Ok(info)
+    }
+
+    /// Applies an update batch to the live graph bound to `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownGraph`] for unbound (or static)
+    /// names and propagates batch failures.
+    pub fn update(&self, name: &str, batch: &UpdateBatch) -> Result<BatchReport> {
+        let graph = self
+            .live_graph(name)
+            .ok_or_else(|| ServiceError::UnknownGraph { name: name.to_string() })?;
+        let mut dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
+        Ok(dynamic.apply_batch(batch)?)
+    }
+
+    /// Evicts the graph bound to `name` (static or live), returning
+    /// its final card. A static artifact survives in the
+    /// `PreparedCache` until LRU eviction drops it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownGraph`] when nothing is bound.
+    pub fn evict(&self, name: &str) -> Result<GraphInfo> {
+        if let Some(info) = self.store.remove(name) {
+            return Ok(info);
+        }
+        let mut live = self.live.write().expect("live lock is never poisoned");
+        match live.remove(name) {
+            Some(graph) => {
+                let dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
+                Ok(live_info(name, &dynamic, graph.served.load(Ordering::Relaxed)))
+            }
+            None => Err(ServiceError::UnknownGraph { name: name.to_string() }),
+        }
+    }
+
+    /// Every registered graph's card — static and live — sorted by
+    /// name.
+    pub fn list(&self) -> Vec<GraphInfo> {
+        let mut infos = self.store.list();
+        let snapshot: Vec<(String, Arc<LiveGraph>)> = {
+            let live = self.live.read().expect("live lock is never poisoned");
+            live.iter().map(|(name, graph)| (name.clone(), Arc::clone(graph))).collect()
+        };
+        for (name, graph) in snapshot {
+            let dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
+            infos.push(live_info(&name, &dynamic, graph.served.load(Ordering::Relaxed)));
+        }
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Answers one query on the graph bound to `graph`, with the
+    /// default backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownGraph`] for unbound names and
+    /// propagates backend/query failures.
+    pub fn query(&self, graph: &str, query: &Query) -> Result<QueryResponse> {
+        self.query_with(&QueryRequest::new(graph, query.clone()))
+    }
+
+    /// Answers one request (graph + query + optional backend
+    /// override).
+    ///
+    /// # Errors
+    ///
+    /// As [`TcimService::query`].
+    pub fn query_with(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let start = Instant::now();
+        if let Some(prepared) = self.store.get(&request.graph) {
+            return self.answer_static(request, &prepared, start);
+        }
+        match self.live_graph(&request.graph) {
+            Some(graph) => {
+                graph.served.fetch_add(1, Ordering::Relaxed);
+                let dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
+                answer_live(&request.graph, &dynamic, &request.query, start)
+            }
+            None => Err(ServiceError::UnknownGraph { name: request.graph.clone() }),
+        }
+    }
+
+    /// Clones the live graph bound to `name` out of the registry, so
+    /// callers never hold the registry lock while executing against the
+    /// graph (the registry lock guards only the name table; each live
+    /// graph serializes behind its own mutex).
+    fn live_graph(&self, name: &str) -> Option<Arc<LiveGraph>> {
+        self.live.read().expect("live lock is never poisoned").get(name).cloned()
+    }
+
+    /// Serves a batch of requests concurrently over scoped worker
+    /// threads, returning per-request outcomes in submission order.
+    /// Requests may mix graphs, query shapes and backends freely; all
+    /// of them answer from already-prepared artifacts (nothing is
+    /// re-oriented or re-sliced at serve time).
+    pub fn serve(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        let threads = self.config.serve_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
+        });
+        parallel_map_indexed(requests.len(), threads, |i| self.query_with(&requests[i]))
+    }
+
+    fn answer_static(
+        &self,
+        request: &QueryRequest,
+        prepared: &Arc<PreparedGraph>,
+        start: Instant,
+    ) -> Result<QueryResponse> {
+        let backend = request.backend.as_ref().unwrap_or(&self.config.default_backend);
+        let report = self.pipeline.query(prepared, backend, &request.query)?;
+        Ok(QueryResponse {
+            graph: request.graph.clone(),
+            fingerprint: prepared.key().fingerprint,
+            backend: report.backend,
+            query: report.query,
+            value: report.value,
+            triangles: report.triangles,
+            prepared_cache_hit: true,
+            live: false,
+            modelled_time_s: report.modelled_time_s,
+            modelled_energy_j: report.modelled_energy_j,
+            kernel: report.kernel,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+/// The card of a live graph (the fingerprint is the latest epoch
+/// snapshot's).
+fn live_info(name: &str, dynamic: &DynamicGraph, queries_served: u64) -> GraphInfo {
+    GraphInfo {
+        name: name.to_string(),
+        fingerprint: dynamic.prepared().key().fingerprint,
+        vertices: dynamic.vertex_count(),
+        edges: dynamic.edge_count(),
+        prepared_cache_hit: false,
+        queries_served,
+        live: true,
+    }
+}
+
+/// Answers a query from a live graph's incrementally maintained state:
+/// total and per-vertex counts are read directly, clustering derives
+/// from them plus live degrees, and edge support runs one delta kernel
+/// per live edge — never a re-slice.
+fn answer_live(
+    name: &str,
+    dynamic: &DynamicGraph,
+    query: &Query,
+    start: Instant,
+) -> Result<QueryResponse> {
+    let n = dynamic.vertex_count();
+    let degrees: Vec<u64> = match query {
+        Query::LocalClustering { .. } | Query::GlobalClustering => {
+            (0..n as u32).map(|v| dynamic.neighbors(v).len() as u64).collect()
+        }
+        _ => Vec::new(),
+    };
+    let (edge_support, kernel) = if matches!(query, Query::EdgeSupport) {
+        let (entries, slice_pairs) = dynamic.edge_support();
+        let support: Vec<EdgeSupport> =
+            entries.into_iter().map(|(u, v, support)| EdgeSupport { u, v, support }).collect();
+        let kernel = KernelStats {
+            kernel_invocations: support.len() as u64,
+            slice_pairs,
+            result_readouts: 0,
+        };
+        (Some(support), kernel)
+    } else {
+        (None, KernelStats::default())
+    };
+    let value =
+        shape_value(query, dynamic.triangles(), dynamic.per_vertex(), &degrees, edge_support)?;
+    Ok(QueryResponse {
+        graph: name.to_string(),
+        fingerprint: dynamic.prepared().key().fingerprint,
+        backend: "stream-incremental".to_string(),
+        query: query.clone(),
+        value,
+        triangles: dynamic.triangles(),
+        prepared_cache_hit: true,
+        live: true,
+        modelled_time_s: None,
+        modelled_energy_j: None,
+        kernel,
+        wall: start.elapsed(),
+    })
+}

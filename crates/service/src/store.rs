@@ -1,0 +1,201 @@
+//! The named-graph registry: prepared artifacts addressable by name.
+//!
+//! A [`GraphStore`] binds human-meaningful names ("orkut",
+//! "friendster-sample") to prepared artifacts keyed by name **and**
+//! structural fingerprint: re-registering the same graph under its name
+//! is idempotent, while registering a *different* graph under an
+//! existing name replaces the binding (a new dataset version rolling
+//! over). The artifacts themselves live in (and are shared with) the
+//! pipeline's `PreparedCache`; the store pins its own `Arc`, so LRU
+//! eviction from the cache never invalidates a registered graph.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tcim_core::PreparedGraph;
+
+/// A registered graph's public card: identity, size and serving stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// The registry name.
+    pub name: String,
+    /// Structural fingerprint of the registered graph.
+    pub fingerprint: u64,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Whether registration found the artifact already prepared (in
+    /// the pipeline's `PreparedCache`) instead of building it.
+    pub prepared_cache_hit: bool,
+    /// Queries served from this registration so far.
+    pub queries_served: u64,
+    /// Whether this is a live (incrementally maintained) graph rather
+    /// than a static prepared artifact.
+    pub live: bool,
+}
+
+struct StoredGraph {
+    prepared: Arc<PreparedGraph>,
+    prepared_cache_hit: bool,
+    served: AtomicU64,
+}
+
+impl StoredGraph {
+    fn info(&self, name: &str) -> GraphInfo {
+        let key = self.prepared.key();
+        GraphInfo {
+            name: name.to_string(),
+            fingerprint: key.fingerprint,
+            vertices: key.vertices,
+            edges: key.edges,
+            prepared_cache_hit: self.prepared_cache_hit,
+            queries_served: self.served.load(Ordering::Relaxed),
+            live: false,
+        }
+    }
+}
+
+/// A thread-safe name → prepared-artifact registry.
+///
+/// Reads (query dispatch, listing) take a shared lock; registration
+/// and eviction take the exclusive lock briefly — artifacts are handed
+/// out as `Arc`s, so queries never hold the lock while executing.
+#[derive(Default)]
+pub struct GraphStore {
+    inner: RwLock<HashMap<String, StoredGraph>>,
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GraphStore(len={})", self.len())
+    }
+}
+
+impl GraphStore {
+    /// An empty registry.
+    pub fn new() -> Self {
+        GraphStore::default()
+    }
+
+    /// Binds `name` to `prepared`, recording whether the preparation
+    /// was a cache hit. Re-binding the *same* fingerprint is
+    /// idempotent (the original registration and its serving counter
+    /// survive); a different fingerprint replaces the binding.
+    pub fn insert(
+        &self,
+        name: &str,
+        prepared: Arc<PreparedGraph>,
+        prepared_cache_hit: bool,
+    ) -> GraphInfo {
+        let mut inner = self.inner.write().expect("store lock is never poisoned");
+        if let Some(existing) = inner.get(name) {
+            if existing.prepared.key().fingerprint == prepared.key().fingerprint {
+                return existing.info(name);
+            }
+        }
+        let stored = StoredGraph { prepared, prepared_cache_hit, served: AtomicU64::new(0) };
+        let info = stored.info(name);
+        inner.insert(name.to_string(), stored);
+        info
+    }
+
+    /// The artifact bound to `name`, bumping its serving counter.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedGraph>> {
+        let inner = self.inner.read().expect("store lock is never poisoned");
+        inner.get(name).map(|stored| {
+            stored.served.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&stored.prepared)
+        })
+    }
+
+    /// The card of the graph bound to `name` (no counter bump).
+    pub fn info(&self, name: &str) -> Option<GraphInfo> {
+        let inner = self.inner.read().expect("store lock is never poisoned");
+        inner.get(name).map(|stored| stored.info(name))
+    }
+
+    /// Unbinds `name`, returning the final card. The artifact itself
+    /// survives in the `PreparedCache` until LRU eviction drops it.
+    pub fn remove(&self, name: &str) -> Option<GraphInfo> {
+        let mut inner = self.inner.write().expect("store lock is never poisoned");
+        inner.remove(name).map(|stored| stored.info(name))
+    }
+
+    /// Every registered graph's card, sorted by name.
+    pub fn list(&self) -> Vec<GraphInfo> {
+        let inner = self.inner.read().expect("store lock is never poisoned");
+        let mut infos: Vec<GraphInfo> =
+            inner.iter().map(|(name, stored)| stored.info(name)).collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Whether `name` is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().expect("store lock is never poisoned").contains_key(name)
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("store lock is never poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcim_core::{TcimConfig, TcimPipeline};
+    use tcim_graph::generators::classic;
+
+    fn prepared(n: usize) -> Arc<PreparedGraph> {
+        TcimPipeline::new(&TcimConfig::default()).unwrap().prepare(&classic::wheel(n))
+    }
+
+    #[test]
+    fn register_get_evict_roundtrip() {
+        let store = GraphStore::new();
+        assert!(store.is_empty());
+        let info = store.insert("wheel", prepared(10), false);
+        assert_eq!((info.vertices, info.edges), (10, 18));
+        assert!(!info.prepared_cache_hit);
+        assert!(store.contains("wheel"));
+        assert!(store.get("wheel").is_some());
+        assert!(store.get("unknown").is_none());
+        let info = store.info("wheel").unwrap();
+        assert_eq!(info.queries_served, 1, "get bumps the serving counter");
+        let removed = store.remove("wheel").unwrap();
+        assert_eq!(removed.queries_served, 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn same_fingerprint_reregistration_is_idempotent() {
+        let store = GraphStore::new();
+        store.insert("g", prepared(12), false);
+        store.get("g");
+        let again = store.insert("g", prepared(12), true);
+        assert_eq!(again.queries_served, 1, "original registration survives");
+        assert!(!again.prepared_cache_hit, "original provenance survives");
+        // A different graph under the same name replaces the binding.
+        let replaced = store.insert("g", prepared(13), true);
+        assert_eq!(replaced.queries_served, 0);
+        assert_eq!(replaced.vertices, 13);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn list_is_sorted_by_name() {
+        let store = GraphStore::new();
+        store.insert("zebra", prepared(10), false);
+        store.insert("alpha", prepared(11), false);
+        let names: Vec<String> = store.list().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, vec!["alpha", "zebra"]);
+    }
+}

@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use tcim_arch::SliceCostModel;
 use tcim_bitmatrix::{SliceSize, SlicedBitVector};
-use tcim_core::{Backend, PreparedGraph, TcimConfig, TcimPipeline};
+use tcim_core::{Backend, PreparedGraph, Query, TcimConfig, TcimPipeline};
 use tcim_graph::CsrGraph;
 use tcim_sched::{parallel_map_indexed, plan_deltas, DeltaJob, SchedPolicy};
 
@@ -123,6 +123,9 @@ pub struct DynamicGraph {
     /// `rows[v]` is `N(v)` in compressed sliced form.
     rows: Vec<SlicedBitVector>,
     triangles: u64,
+    /// Triangles each vertex participates in, maintained incrementally
+    /// alongside the total (sums to `3 × triangles`).
+    per_vertex: Vec<u64>,
     edges: usize,
     touched: Vec<bool>,
     touched_rows: usize,
@@ -145,7 +148,15 @@ impl DynamicGraph {
     pub fn new(g: &CsrGraph, config: StreamConfig) -> Result<Self> {
         let pipeline = TcimPipeline::new(&config.tcim)?;
         let prepared = pipeline.prepare(g);
-        let initial = pipeline.execute(&prepared, &config.count_backend)?;
+        // One attributed execution seeds both maintained quantities:
+        // the per-vertex query's report carries the total alongside.
+        let local =
+            pipeline.query(&prepared, &config.count_backend, &Query::PerVertexTriangles)?;
+        let per_vertex = local
+            .value
+            .per_vertex()
+            .expect("a per-vertex query always returns a per-vertex value")
+            .to_vec();
         let n = g.vertex_count();
         let slice_size = config.tcim.pim.slice_size;
         let rows: Vec<SlicedBitVector> = g
@@ -166,7 +177,8 @@ impl DynamicGraph {
             slice_size,
             adjacency: g.vertices().map(|v| g.neighbors(v).to_vec()).collect(),
             rows,
-            triangles: initial.triangles,
+            triangles: local.triangles,
+            per_vertex,
             edges: g.edge_count(),
             touched: vec![false; n],
             touched_rows: 0,
@@ -193,6 +205,43 @@ impl DynamicGraph {
     /// The incrementally maintained exact triangle count.
     pub fn triangles(&self) -> u64 {
         self.triangles
+    }
+
+    /// The incrementally maintained exact per-vertex participation
+    /// counts (sums to `3 ×` [`DynamicGraph::triangles`]): every delta
+    /// kernel's surviving bits are attributed to the update's endpoints
+    /// and witnesses as the batch applies, so per-vertex queries on a
+    /// live graph never recount.
+    pub fn per_vertex(&self) -> &[u64] {
+        &self.per_vertex
+    }
+
+    /// Triangles vertex `v` currently participates in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of bounds.
+    pub fn triangles_of(&self, v: u32) -> u64 {
+        self.per_vertex[v as usize]
+    }
+
+    /// Live per-edge triangle support: for every current edge `{u, v}`
+    /// (ascending), `|N(u) ∩ N(v)|` computed with one delta kernel over
+    /// the live sliced rows — `O(m)` kernels, no re-slicing. Returns
+    /// the per-edge entries together with the total valid slice pairs
+    /// the kernels processed (provenance for serving layers).
+    pub fn edge_support(&self) -> (Vec<(u32, u32, u64)>, u64) {
+        let mut support = Vec::with_capacity(self.edges);
+        let mut slice_pairs = 0u64;
+        for (u, list) in self.adjacency.iter().enumerate() {
+            let u = u as u32;
+            for &v in list.iter().filter(|&&v| v > u) {
+                let (common, pairs) = kernel(&self.rows[u as usize], &self.rows[v as usize]);
+                slice_pairs += pairs;
+                support.push((u, v, common));
+            }
+        }
+        (support, slice_pairs)
     }
 
     /// The slice size `|S|` every dynamic row is compressed with.
@@ -330,13 +379,29 @@ impl DynamicGraph {
         for (round, members) in round_members.iter().enumerate() {
             let (results, round_critical_s) = self.run_round(members)?;
             modelled_kernel_s += round_critical_s;
-            for (m, (common, pairs)) in members.iter().zip(&results) {
+            for (m, (common, pairs, witnesses)) in members.iter().zip(&results) {
                 let signed = if m.insert { *common as i64 } else { -(*common as i64) };
                 self.patch(m.u, m.v, m.insert);
                 self.triangles = self
                     .triangles
                     .checked_add_signed(signed)
                     .expect("deletion deltas never exceed the maintained count");
+                // Attribute the delta: the endpoints gain/lose every
+                // closed triangle, each witness exactly one.
+                let attribute = |counts: &mut [u64], vertex: u32, delta: u64| {
+                    let slot = &mut counts[vertex as usize];
+                    *slot = if m.insert {
+                        *slot + delta
+                    } else {
+                        slot.checked_sub(delta)
+                            .expect("deletions never detach more triangles than maintained")
+                    };
+                };
+                attribute(&mut self.per_vertex, m.u, *common);
+                attribute(&mut self.per_vertex, m.v, *common);
+                for &w in witnesses {
+                    attribute(&mut self.per_vertex, w, 1);
+                }
                 let update =
                     if m.insert { Update::Insert(m.u, m.v) } else { Update::Delete(m.u, m.v) };
                 deltas[m.idx] =
@@ -394,12 +459,32 @@ impl DynamicGraph {
         self.valid_at_fold = self.valid_slices;
         self.updates_since_fold = 0;
         if self.config.verify_on_fold {
-            let recount = self.pipeline.execute(&prepared, &self.config.count_backend)?;
-            if recount.triangles != self.triangles {
+            // One attributed recount checks both maintained quantities.
+            let local = self.pipeline.query(
+                &prepared,
+                &self.config.count_backend,
+                &Query::PerVertexTriangles,
+            )?;
+            if local.triangles != self.triangles {
                 return Err(StreamError::CountDrift {
                     maintained: self.triangles,
-                    recount: recount.triangles,
+                    recount: local.triangles,
                 });
+            }
+            let recounted = local
+                .value
+                .per_vertex()
+                .expect("a per-vertex query always returns a per-vertex value");
+            for (v, (&maintained, &recount)) in
+                self.per_vertex.iter().zip(recounted).enumerate()
+            {
+                if maintained != recount {
+                    return Err(StreamError::PerVertexDrift {
+                        vertex: v as u32,
+                        maintained,
+                        recount,
+                    });
+                }
             }
         }
         self.report.host_rebuild_time += start.elapsed();
@@ -463,9 +548,12 @@ impl DynamicGraph {
     }
 
     /// Executes one endpoint-disjoint round of delta kernels. Returns
-    /// `(common-neighbour count, slice pairs)` per member (member
-    /// order) and the round's modelled critical path.
-    fn run_round(&self, members: &[RoundMember]) -> Result<(Vec<(u64, u64)>, f64)> {
+    /// `(common-neighbour count, slice pairs, witnesses)` per member
+    /// (member order) and the round's modelled critical path; the
+    /// witnesses are the common neighbours read back out of the AND
+    /// result, which per-vertex maintenance attributes.
+    #[allow(clippy::type_complexity)]
+    fn run_round(&self, members: &[RoundMember]) -> Result<(Vec<(u64, u64, Vec<u32>)>, f64)> {
         if members.is_empty() {
             return Ok((Vec::new(), 0.0));
         }
@@ -489,11 +577,12 @@ impl DynamicGraph {
             .collect();
         let plan = plan_deltas(&jobs, &plan_policy)?;
 
+        let slice_bits = self.slice_size.bits();
         let results = if fan_out {
             let rows = &self.rows;
             let per_array: Vec<Vec<usize>> =
                 (0..plan.arrays).map(|a| plan.jobs_of(a)).collect();
-            let outs: Vec<Vec<(usize, (u64, u64))>> = parallel_map_indexed(
+            let outs: Vec<Vec<(usize, (u64, u64, Vec<u32>))>> = parallel_map_indexed(
                 plan.arrays,
                 self.config.sched.resolved_host_threads(),
                 |a| {
@@ -501,12 +590,19 @@ impl DynamicGraph {
                         .iter()
                         .map(|&k| {
                             let m = &members[k];
-                            (k, kernel(&rows[m.u as usize], &rows[m.v as usize]))
+                            (
+                                k,
+                                kernel_attributed(
+                                    &rows[m.u as usize],
+                                    &rows[m.v as usize],
+                                    slice_bits,
+                                ),
+                            )
                         })
                         .collect()
                 },
             );
-            let mut results = vec![(0u64, 0u64); members.len()];
+            let mut results = vec![(0u64, 0u64, Vec::new()); members.len()];
             for out in outs {
                 for (k, r) in out {
                     results[k] = r;
@@ -516,7 +612,13 @@ impl DynamicGraph {
         } else {
             members
                 .iter()
-                .map(|m| kernel(&self.rows[m.u as usize], &self.rows[m.v as usize]))
+                .map(|m| {
+                    kernel_attributed(
+                        &self.rows[m.u as usize],
+                        &self.rows[m.v as usize],
+                        slice_bits,
+                    )
+                })
                 .collect()
         };
         Ok((results, plan.critical_path_s()))
@@ -572,6 +674,28 @@ fn kernel(a: &SlicedBitVector, b: &SlicedBitVector) -> (u64, u64) {
     (common, pairs)
 }
 
+/// As [`kernel`], additionally reading the surviving bits back out of
+/// each non-zero AND result: the returned witnesses are the common
+/// neighbours themselves (ascending), which per-vertex maintenance
+/// attributes — the streaming twin of
+/// `tcim_arch::runtime::run_attributed`'s readout.
+fn kernel_attributed(
+    a: &SlicedBitVector,
+    b: &SlicedBitVector,
+    slice_bits: u32,
+) -> (u64, u64, Vec<u32>) {
+    let mut witnesses = Vec::new();
+    let mut pairs = 0u64;
+    for (k, x, y) in a.matching_slices(b).expect("dynamic rows share one universe") {
+        pairs += 1;
+        let anded = x.iter().zip(y).map(|(w1, w2)| w1 & w2);
+        tcim_bitmatrix::popcount::visit_set_bits(anded, |offset| {
+            witnesses.push(k * slice_bits + offset);
+        });
+    }
+    (witnesses.len() as u64, pairs, witnesses)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +732,38 @@ mod tests {
         let d = dg.apply(Update::Delete(1, 2)).unwrap();
         assert_eq!(d.triangles, -2);
         assert_eq!(dg.triangles(), 0);
+    }
+
+    #[test]
+    fn per_vertex_counts_track_updates_exactly() {
+        let mut dg = fig2_dynamic(no_fold());
+        // Fig. 2: triangles 0-1-2 and 1-2-3.
+        assert_eq!(dg.per_vertex(), &[1, 2, 2, 1]);
+        dg.apply(Update::Insert(0, 3)).unwrap();
+        // {0, 3} closes 0-1-3 and 0-2-3.
+        assert_eq!(dg.per_vertex(), &[3, 3, 3, 3]);
+        assert_eq!(dg.triangles_of(0), 3);
+        // Deleting {1, 2} destroys 0-1-2 and 1-2-3; 0-1-3 and 0-2-3
+        // survive.
+        dg.apply(Update::Delete(1, 2)).unwrap();
+        assert_eq!(dg.per_vertex(), &[2, 1, 1, 2]);
+        let total: u64 = dg.per_vertex().iter().sum();
+        assert_eq!(total, 3 * dg.triangles());
+    }
+
+    #[test]
+    fn live_edge_support_matches_definition() {
+        let mut dg = fig2_dynamic(no_fold());
+        dg.apply(Update::Insert(0, 3)).unwrap();
+        // K4: every edge supports two triangles.
+        let (support, slice_pairs) = dg.edge_support();
+        assert_eq!(support.len(), dg.edge_count());
+        assert!(slice_pairs >= support.len() as u64, "every kernel touched a pair");
+        assert!(support.iter().all(|&(_, _, s)| s == 2));
+        assert!(support.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        // Every triangle supports three edges.
+        let total: u64 = support.iter().map(|&(_, _, s)| s).sum();
+        assert_eq!(total, 3 * dg.triangles());
     }
 
     #[test]

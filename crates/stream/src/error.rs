@@ -53,6 +53,17 @@ pub enum StreamError {
         /// The from-scratch recount of the folded artifact.
         recount: u64,
     },
+    /// A fold-time verification recount disagreed with an incrementally
+    /// maintained *per-vertex* count. Like [`StreamError::CountDrift`],
+    /// this indicates an attribution bug, never expected in practice.
+    PerVertexDrift {
+        /// The first vertex whose counts disagree.
+        vertex: u32,
+        /// The incrementally maintained participation count.
+        maintained: u64,
+        /// The from-scratch recount.
+        recount: u64,
+    },
     /// A pipeline or backend failure from the underlying `tcim-core`
     /// machinery (engine characterization, fold-time execution).
     Core(CoreError),
@@ -76,6 +87,11 @@ impl fmt::Display for StreamError {
             StreamError::CountDrift { maintained, recount } => write!(
                 f,
                 "incremental count {maintained} disagrees with fold-time recount {recount}"
+            ),
+            StreamError::PerVertexDrift { vertex, maintained, recount } => write!(
+                f,
+                "incremental per-vertex count {maintained} of vertex {vertex} disagrees \
+                 with fold-time recount {recount}"
             ),
             StreamError::Core(e) => write!(f, "pipeline error: {e}"),
         }

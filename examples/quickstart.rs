@@ -1,5 +1,5 @@
-//! Quickstart: walk through the paper's Fig. 2 example end to end, then
-//! run a realistically sized random graph through the accelerator.
+//! Quickstart: walk through the paper's Fig. 2 example end to end with
+//! the typed query API, then serve a realistically sized random graph.
 //!
 //! Run with:
 //! ```text
@@ -8,9 +8,9 @@
 
 use tcim_repro::bitmatrix::BitMatrix;
 use tcim_repro::graph::generators::{classic, gnm};
-use tcim_repro::tcim::{baseline, TcimAccelerator, TcimConfig};
+use tcim_repro::tcim::{baseline, Backend, Query, QueryValue, TcimConfig, TcimPipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> tcim_repro::Result<()> {
     // --- Part 1: the Fig. 2 walkthrough ------------------------------
     println!("== Fig. 2 of the paper: 4 vertices, 5 edges ==");
     let graph = classic::fig2_example();
@@ -26,44 +26,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Eq. (5) bitwise       = {}", matrix.triangle_count_bitwise()?);
     println!("  edge-iterator CPU     = {}", baseline::edge_iterator_merge(&graph));
 
-    // And on the simulated in-MRAM accelerator.
-    let accelerator = TcimAccelerator::new(&TcimConfig::default())?;
-    let report = accelerator.count_triangles(&graph);
-    println!("  TCIM (simulated)      = {}", report.triangles);
+    // Stage 1: prepare once (orient → slice → price; cached by graph).
+    let pipeline = TcimPipeline::new(&TcimConfig::default())?;
+    let prepared = pipeline.prepare(&graph);
+
+    // Stage 2: the same artifact answers any query shape, on any
+    // backend. The total count on the simulated in-MRAM accelerator:
+    let total = pipeline.query(&prepared, &Backend::SerialPim, &Query::TotalTriangles)?;
+    println!("  TCIM (simulated)      = {}", total.triangles);
     println!(
-        "  simulated: {:.2} us, {:.2} nJ, {} AND ops, {}",
-        report.sim.total_time_s() * 1e6,
-        report.sim.total_energy_j() * 1e9,
-        report.sim.stats.and_ops,
-        report.sim.stats
+        "  simulated: {:.2} us, {:.2} nJ, {}",
+        total.modelled_time_s.unwrap() * 1e6,
+        total.modelled_energy_j.unwrap() * 1e9,
+        total.kernel,
     );
+
+    // Per-vertex participation and clustering come from the same
+    // kernel — the AND results are read back out and attributed.
+    let local = pipeline.query(
+        &prepared,
+        &Backend::SerialPim,
+        &Query::LocalClustering { vertices: None },
+    )?;
+    for entry in local.value.local_clustering().unwrap() {
+        println!(
+            "  vertex {}: {} triangles, degree {}, clustering {:.3}",
+            entry.vertex, entry.triangles, entry.degree, entry.coefficient
+        );
+    }
 
     // --- Part 2: a bigger graph --------------------------------------
     println!("\n== G(n=20k, m=100k) random graph ==");
     let graph = gnm(20_000, 100_000, 42)?;
     let expected = baseline::forward(&graph);
-    let report = accelerator.count_triangles(&graph);
-    assert_eq!(report.triangles, expected, "simulated dataflow must be exact");
+    let prepared = pipeline.prepare(&graph);
 
+    let report = pipeline.query(&prepared, &Backend::SerialPim, &Query::TotalTriangles)?;
+    assert_eq!(report.triangles, expected, "simulated dataflow must be exact");
     println!("  triangles             = {}", report.triangles);
-    println!("  compressed size       = {:.3} MiB", report.slice_stats.compressed_mib());
+    println!("  compressed size       = {:.3} MiB", prepared.slice_stats().compressed_mib());
     println!(
         "  valid slices          = {:.3} % of all slices",
-        100.0 * report.slice_stats.valid_fraction()
+        100.0 * prepared.slice_stats().valid_fraction()
     );
     println!(
-        "  simulated runtime     = {:.3} ms  ({:.1}% writes / {:.1}% AND / {:.1}% host)",
-        report.sim.total_time_s() * 1e3,
-        100.0 * report.sim.latency.write_s / report.sim.total_time_s(),
-        100.0 * report.sim.latency.and_s / report.sim.total_time_s(),
-        100.0 * report.sim.latency.controller_s / report.sim.total_time_s(),
+        "  simulated runtime     = {:.3} ms  ({})",
+        report.modelled_time_s.unwrap() * 1e3,
+        report.kernel,
     );
-    println!("  simulated energy      = {:.3} mJ", report.sim.total_energy_j() * 1e3);
-    println!(
-        "  column-slice traffic  : {:.1}% hit / {:.1}% miss / {:.1}% exchange",
-        100.0 * report.sim.stats.hit_rate(),
-        100.0 * report.sim.stats.miss_rate(),
-        100.0 * report.sim.stats.exchange_rate()
-    );
+
+    // Global clustering and the most triangle-heavy vertices, answered
+    // from the *same* prepared artifact (nothing re-slices).
+    let clustering =
+        pipeline.query(&prepared, &Backend::CpuForward, &Query::GlobalClustering)?;
+    if let QueryValue::GlobalClustering { wedges, transitivity, .. } = clustering.value {
+        println!("  wedges                = {wedges}");
+        println!("  transitivity          = {transitivity:.6}");
+    }
+    let top =
+        pipeline.query(&prepared, &Backend::CpuForward, &Query::TopKVertices { k: 3 })?;
+    for entry in top.value.top_k().unwrap() {
+        println!("  top vertex {:>6}     = {} triangles", entry.vertex, entry.triangles);
+    }
     Ok(())
 }

@@ -12,9 +12,20 @@
 //! * [`tcim_arch`] — the processing-in-MRAM architecture simulator.
 //! * [`tcim_sched`] — the multi-array scheduler and parallel execution
 //!   runtime (placement policies, critical-path aggregation, batching).
-//! * [`tcim_core`] — the public TCIM accelerator API and baselines.
+//! * [`tcim_core`] — the public TCIM accelerator API, the typed
+//!   [`Query`](tcim_core::Query) layer and baselines.
 //! * [`tcim_stream`] — the dynamic-graph subsystem: incremental triangle
-//!   maintenance under edge streams with per-update PIM delta kernels.
+//!   maintenance (total + per-vertex) under edge streams with per-update
+//!   PIM delta kernels.
+//! * [`tcim_service`] — the serving facade: a named multi-graph registry
+//!   answering concurrent typed queries with provenance.
+//!
+//! The umbrella also provides [`TcimError`], the workspace-level error
+//! every member crate's error converts into, so `?` composes across
+//! crate boundaries in examples and integration tests.
+
+use std::error::Error;
+use std::fmt;
 
 pub use tcim_arch as arch;
 pub use tcim_bitmatrix as bitmatrix;
@@ -23,4 +34,137 @@ pub use tcim_graph as graph;
 pub use tcim_mtj as mtj;
 pub use tcim_nvsim as nvsim;
 pub use tcim_sched as sched;
+pub use tcim_service as service;
 pub use tcim_stream as stream;
+
+/// Convenience alias for results in examples and integration tests.
+pub type Result<T> = std::result::Result<T, TcimError>;
+
+/// The workspace-level error: every member crate's error type converts
+/// into it, so one `?` works across any sequence of cross-crate calls
+/// (`fn main() -> tcim_repro::Result<()>` in the examples).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TcimError {
+    /// From `tcim-graph` (construction, generation, parsing).
+    Graph(tcim_graph::GraphError),
+    /// From `tcim-bitmatrix` (bit-vector and sliced-matrix operations).
+    BitMatrix(tcim_bitmatrix::BitMatrixError),
+    /// From `tcim-mtj` (device physics).
+    Mtj(tcim_mtj::MtjError),
+    /// From `tcim-nvsim` (array characterization).
+    Nvsim(tcim_nvsim::NvsimError),
+    /// From `tcim-arch` (simulator configuration/characterization).
+    Arch(tcim_arch::ArchError),
+    /// From `tcim-sched` (scheduling policies and planning).
+    Sched(tcim_sched::SchedError),
+    /// From `tcim-core` (pipeline, backends, queries).
+    Core(tcim_core::CoreError),
+    /// From `tcim-stream` (dynamic-graph updates and folding).
+    Stream(tcim_stream::StreamError),
+    /// From `tcim-service` (registry and serving).
+    Service(tcim_service::ServiceError),
+}
+
+impl fmt::Display for TcimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcimError::Graph(e) => write!(f, "graph: {e}"),
+            TcimError::BitMatrix(e) => write!(f, "bitmatrix: {e}"),
+            TcimError::Mtj(e) => write!(f, "mtj: {e}"),
+            TcimError::Nvsim(e) => write!(f, "nvsim: {e}"),
+            TcimError::Arch(e) => write!(f, "arch: {e}"),
+            TcimError::Sched(e) => write!(f, "sched: {e}"),
+            TcimError::Core(e) => write!(f, "core: {e}"),
+            TcimError::Stream(e) => write!(f, "stream: {e}"),
+            TcimError::Service(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl Error for TcimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TcimError::Graph(e) => Some(e),
+            TcimError::BitMatrix(e) => Some(e),
+            TcimError::Mtj(e) => Some(e),
+            TcimError::Nvsim(e) => Some(e),
+            TcimError::Arch(e) => Some(e),
+            TcimError::Sched(e) => Some(e),
+            TcimError::Core(e) => Some(e),
+            TcimError::Stream(e) => Some(e),
+            TcimError::Service(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_member {
+    ($variant:ident, $err:ty) => {
+        impl From<$err> for TcimError {
+            fn from(e: $err) -> Self {
+                TcimError::$variant(e)
+            }
+        }
+    };
+}
+
+from_member!(Graph, tcim_graph::GraphError);
+from_member!(BitMatrix, tcim_bitmatrix::BitMatrixError);
+from_member!(Mtj, tcim_mtj::MtjError);
+from_member!(Nvsim, tcim_nvsim::NvsimError);
+from_member!(Arch, tcim_arch::ArchError);
+from_member!(Sched, tcim_sched::SchedError);
+from_member!(Core, tcim_core::CoreError);
+from_member!(Stream, tcim_stream::StreamError);
+from_member!(Service, tcim_service::ServiceError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `?` composes across crate boundaries through `TcimError`.
+    #[test]
+    fn question_mark_composes_across_crates() {
+        fn cross_crate() -> Result<u64> {
+            let g = tcim_graph::generators::gnm(50, 200, 1)?; // GraphError
+            let mut b =
+                tcim_bitmatrix::SlicedMatrixBuilder::new(4, tcim_bitmatrix::SliceSize::S64);
+            b.add_edge(0, 1)?; // BitMatrixError
+            let pipeline = tcim_core::TcimPipeline::new(&tcim_core::TcimConfig::default())?; // CoreError
+            let report = pipeline.count(&g, &tcim_core::Backend::CpuMerge)?;
+            let mut dynamic =
+                tcim_stream::DynamicGraph::new(&g, tcim_stream::StreamConfig::default())?; // StreamError
+            dynamic.apply(tcim_stream::Update::Insert(0, 49)).ok();
+            let service =
+                tcim_service::TcimService::new(&tcim_service::ServiceConfig::default())?; // ServiceError
+            service.register("g", &g)?;
+            Ok(report.triangles)
+        }
+        let triangles = cross_crate().unwrap();
+        assert_eq!(
+            triangles,
+            tcim_core::baseline::edge_iterator_merge(
+                &tcim_graph::generators::gnm(50, 200, 1).unwrap()
+            )
+        );
+    }
+
+    #[test]
+    fn every_member_error_converts_and_sources() {
+        let e: TcimError =
+            tcim_graph::GraphError::InvalidParameter { reason: "x".into() }.into();
+        assert!(e.to_string().starts_with("graph:"));
+        assert!(e.source().is_some());
+        let e: TcimError =
+            tcim_service::ServiceError::UnknownGraph { name: "g".into() }.into();
+        assert!(e.to_string().starts_with("service:"));
+        let e: TcimError = tcim_sched::SchedError::InvalidPolicy { reason: "y".into() }.into();
+        assert!(matches!(e, TcimError::Sched(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TcimError>();
+    }
+}
