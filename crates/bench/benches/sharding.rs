@@ -1,0 +1,118 @@
+//! Sharding benchmarks: the shard-count sweep (how intra + composition
+//! cost moves as the partition gets finer), the boundary-composition
+//! overhead in isolation (1D arcs vs 2D edge blocks), and the one-time
+//! partitioning cost against its cached reuse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcim_core::{Backend, Query, ShardPolicy, TcimConfig, TcimPipeline};
+use tcim_graph::generators::barabasi_albert;
+use tcim_graph::CsrGraph;
+use tcim_shard::{compose, plan_shards, BoundarySlices, ShardMode, ShardSpec};
+
+fn graph() -> CsrGraph {
+    barabasi_albert(2_048, 8, 5).unwrap()
+}
+
+/// Shard-count sweep: total sharded execution (intra runs + the
+/// composition pass) over one cached artifact, against the unsharded
+/// serial engine.
+fn bench_shard_count_sweep(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let prepared = pipeline.prepare(&graph());
+    let mut group = c.benchmark_group("sharding/sweep");
+    group.sample_size(10);
+    group.bench_function("unsharded-serial", |b| {
+        b.iter(|| {
+            pipeline.execute(black_box(&prepared), &Backend::SerialPim).unwrap().triangles
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let spec = Backend::Sharded(ShardPolicy::with_shards(shards));
+        // Warm the sharded cache so the sweep measures execution, not
+        // partitioning.
+        pipeline.execute(&prepared, &spec).unwrap();
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &spec, |b, spec| {
+            b.iter(|| pipeline.execute(black_box(&prepared), spec).unwrap().triangles)
+        });
+    }
+    group.finish();
+}
+
+/// Boundary-composition overhead in isolation: the cross-shard pass
+/// alone, per composition mode — 2D edge blocks amortize operand
+/// writes over whole blocks.
+fn bench_composition_overhead(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let engine = pipeline.engine();
+    let prepared = pipeline.prepare(&graph());
+    let oriented = prepared.oriented();
+    let slice_size = prepared.slice_size();
+    let costs = engine.cost_model();
+    let mut group = c.benchmark_group("sharding/composition");
+    group.sample_size(10);
+    for mode in [ShardMode::OneD, ShardMode::TwoD] {
+        let spec = ShardSpec { shards: 4, mode };
+        let plan = plan_shards(oriented, &spec, slice_size).unwrap();
+        let boundary = BoundarySlices::extract(oriented, &plan, slice_size);
+        group.bench_with_input(BenchmarkId::new("mode", mode), &mode, |b, _| {
+            b.iter(|| {
+                compose(
+                    oriented.vertex_count(),
+                    black_box(&plan),
+                    &boundary,
+                    &tcim_core::SchedPolicy::with_arrays(4),
+                    &costs,
+                    false,
+                    false,
+                )
+                .unwrap()
+                .triangles
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One-time partitioning cost vs the cached path repeated queries take.
+fn bench_prepare_sharded_amortization(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let prepared = pipeline.prepare(&graph());
+    let policy = ShardPolicy::with_shards(4);
+    let mut group = c.benchmark_group("sharding/prepare");
+    group.sample_size(10);
+    group.bench_function("build-uncached", |b| {
+        b.iter(|| {
+            tcim_core::ShardedPreparedGraph::build(
+                black_box(&prepared),
+                &policy.spec,
+                pipeline.engine(),
+            )
+            .unwrap()
+            .pieces()
+            .len()
+        })
+    });
+    pipeline.prepare_sharded(&prepared, &policy.spec).unwrap();
+    group.bench_function("cached-query", |b| {
+        b.iter(|| {
+            pipeline
+                .query(
+                    black_box(&prepared),
+                    &Backend::Sharded(policy.clone()),
+                    &Query::TotalTriangles,
+                )
+                .unwrap()
+                .triangles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shard_count_sweep,
+    bench_composition_overhead,
+    bench_prepare_sharded_amortization
+);
+criterion_main!(benches);

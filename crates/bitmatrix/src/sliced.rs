@@ -307,6 +307,59 @@ impl SlicedBitVector {
         Ok(true)
     }
 
+    /// Extracts the valid slices whose index falls in `slices`,
+    /// preserving the vector's length and slice size — the
+    /// *boundary-slice extraction* primitive of sharded execution.
+    ///
+    /// A shard owns a contiguous, slice-aligned vertex range, so the
+    /// part of a row (or column) that refers to *other* shards is
+    /// exactly a slice-index range of the compressed vector. The result
+    /// is a well-formed [`SlicedBitVector`] over the same bit universe:
+    /// restrictions with disjoint slice ranges AND/popcount
+    /// independently and their valid-pair counts sum to the full
+    /// vector's, which is what makes the cross-shard composition pass
+    /// exact.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tcim_bitmatrix::{BitVec, SliceSize, SlicedBitVector};
+    ///
+    /// // Bits in slices 0, 2 and 5 of a 6-slice vector (|S| = 16).
+    /// let v = BitVec::from_indices(96, [3, 40, 85]);
+    /// let s = SlicedBitVector::from_bitvec(&v, SliceSize::S16);
+    ///
+    /// // Split at slice 3: a "local" prefix and a "boundary" tail.
+    /// let local = s.restrict_slices(0..3);
+    /// let boundary = s.restrict_slices(3..6);
+    /// assert_eq!(local.valid_slice_count(), 2);
+    /// assert_eq!(boundary.valid_slice_count(), 1);
+    /// assert_eq!(local.count_ones() + boundary.count_ones(), s.count_ones());
+    /// // Both halves still describe the original 96-bit universe.
+    /// assert_eq!(boundary.len_bits(), 96);
+    /// // Empty (or decreasing) ranges restrict to the empty vector.
+    /// assert!(s.restrict_slices(3..1).is_empty());
+    /// ```
+    pub fn restrict_slices(&self, slices: std::ops::Range<u32>) -> SlicedBitVector {
+        let wps = self.slice_size.words_per_slice();
+        let lo = self.indices.partition_point(|&k| k < slices.start);
+        let hi = self.indices.partition_point(|&k| k < slices.end).max(lo);
+        SlicedBitVector {
+            slice_size: self.slice_size,
+            len_bits: self.len_bits,
+            indices: self.indices[lo..hi].to_vec(),
+            data: self.data[lo * wps..hi * wps].to_vec(),
+        }
+    }
+
+    /// Number of valid slices whose index falls in `slices`, without
+    /// materialising the restriction (sizing pass of boundary
+    /// extraction). Empty and decreasing ranges count zero.
+    pub fn valid_slices_in(&self, slices: std::ops::Range<u32>) -> usize {
+        let lo = self.indices.partition_point(|&k| k < slices.start);
+        self.indices.partition_point(|&k| k < slices.end).saturating_sub(lo)
+    }
+
     /// Resolves `bit` into its `(slice index, word-within-slice, mask)`
     /// coordinates, bounds-checked.
     fn locate(&self, bit: usize) -> Result<(u32, usize, u64)> {
@@ -569,6 +622,62 @@ mod tests {
         assert!(matches!(v.clear_bit(512), Err(BitMatrixError::IndexOutOfBounds { .. })));
         // The failed mutations left the vector untouched.
         assert_eq!(v, sliced(100, &[3], SliceSize::S64));
+    }
+
+    #[test]
+    fn restrict_slices_partitions_valid_slices_exactly() {
+        let ones = [1usize, 62, 64, 127, 200, 450, 700];
+        for s in SliceSize::ALL {
+            let v = sliced(701, &ones, s);
+            let total = v.total_slices() as u32;
+            // Any split point partitions ones and valid slices exactly.
+            for cut in [0u32, 1, total / 2, total] {
+                let head = v.restrict_slices(0..cut);
+                let tail = v.restrict_slices(cut..total);
+                assert_eq!(
+                    head.count_ones() + tail.count_ones(),
+                    v.count_ones(),
+                    "cut {cut}, slice size {s}"
+                );
+                assert_eq!(
+                    head.valid_slice_count() + tail.valid_slice_count(),
+                    v.valid_slice_count(),
+                    "cut {cut}, slice size {s}"
+                );
+                assert_eq!(head.valid_slices_in(0..cut), head.valid_slice_count());
+                assert_eq!(v.valid_slices_in(0..cut), head.valid_slice_count());
+                // Restrictions stay canonical: re-compressing the dense
+                // form of the restriction reproduces it.
+                let dense = head.to_bitvec();
+                assert_eq!(SlicedBitVector::from_bitvec(&dense, s), head, "slice size {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_restrictions_and_popcount_independently() {
+        // The sharded composition invariant: AND over disjoint slice
+        // ranges sums to the AND over the whole vector.
+        let a = sliced(640, &(0..640).step_by(3).collect::<Vec<_>>(), SliceSize::S64);
+        let b = sliced(640, &(0..640).step_by(5).collect::<Vec<_>>(), SliceSize::S64);
+        let full = a.and_popcount(&b);
+        let cut = 4u32;
+        let split = a.restrict_slices(0..cut).and_popcount(&b.restrict_slices(0..cut))
+            + a.restrict_slices(cut..10).and_popcount(&b.restrict_slices(cut..10));
+        assert_eq!(split, full);
+        // Restricting only one operand also works: matching pairs only
+        // exist where both operands hold valid slices.
+        let one_sided = a.restrict_slices(0..cut).and_popcount(&b)
+            + a.restrict_slices(cut..10).and_popcount(&b);
+        assert_eq!(one_sided, full);
+    }
+
+    #[test]
+    fn restrict_slices_of_empty_range_is_empty() {
+        let v = sliced(256, &[0, 70, 200], SliceSize::S64);
+        assert!(v.restrict_slices(2..2).is_empty());
+        assert_eq!(v.restrict_slices(99..120).valid_slice_count(), 0);
+        assert_eq!(v.valid_slices_in(99..120), 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use tcim_sched::{SchedPolicy, ScheduledReport, ScheduledRun};
 use crate::error::{CoreError, Result};
 use crate::pipeline::PreparedGraph;
 use crate::query::{self, KernelStats, Query, QueryReport};
+use crate::sharded::{ShardPolicy, ShardProvenance, ShardedBackend};
 use crate::software;
 
 /// A query engine that executes prepared graphs.
@@ -85,6 +86,7 @@ pub trait ExecutionBackend {
                 modelled_time_s: report.modelled_time_s,
                 modelled_energy_j: report.modelled_energy_j,
                 kernel: report.kernel,
+                sharding: None,
             });
         }
         let need_support = matches!(query, Query::EdgeSupport);
@@ -100,6 +102,7 @@ pub trait ExecutionBackend {
             modelled_time_s: run.modelled_time_s,
             modelled_energy_j: run.modelled_energy_j,
             kernel: run.kernel,
+            sharding: None,
         })
     }
 }
@@ -144,6 +147,9 @@ pub enum BackendDetail {
     },
     /// CPU baselines carry no extra payload.
     Cpu,
+    /// Sharded execution provenance: shard count, imbalance, boundary
+    /// arcs, per-shard kernel accounting.
+    Sharded(Box<ShardProvenance>),
 }
 
 /// The common result every backend returns.
@@ -204,6 +210,13 @@ pub enum Backend {
     CpuMerge,
     /// CPU baseline: the forward algorithm over the oriented DAG.
     CpuForward,
+    /// Sharded execution for graphs beyond one array's slice budget:
+    /// per-shard scheduled PIM runs plus a cross-shard composition
+    /// pass (`tcim-shard`). Unlike the other backends this one derives
+    /// a [`ShardedPreparedGraph`](crate::ShardedPreparedGraph) from
+    /// the prepared artifact (cached when bound through a
+    /// [`TcimPipeline`](crate::TcimPipeline)).
+    Sharded(ShardPolicy),
 }
 
 impl Backend {
@@ -218,6 +231,12 @@ impl Backend {
             Backend::Software(PopcountMethod::Lut8) => "software-sliced[lut8]".to_string(),
             Backend::CpuMerge => "cpu-merge".to_string(),
             Backend::CpuForward => "cpu-forward".to_string(),
+            Backend::Sharded(policy) => {
+                format!(
+                    "tcim-shard[{} via tcim-sched[{}x {}]]",
+                    policy.spec, policy.inner.arrays, policy.inner.placement
+                )
+            }
         }
     }
 
@@ -244,6 +263,10 @@ impl Backend {
             Backend::Software(popcount) => Box::new(SoftwareBackend::new(*popcount)),
             Backend::CpuMerge => Box::new(CpuMergeBackend),
             Backend::CpuForward => Box::new(CpuForwardBackend),
+            // Uncached: every execution builds its sharded artifact.
+            // Pipelines bind through their `ShardedCache` instead
+            // (`TcimPipeline::backend`).
+            Backend::Sharded(policy) => Box::new(ShardedBackend::new(engine, policy.clone())),
         }
     }
 }

@@ -18,6 +18,8 @@ pub enum CoreError {
     BitMatrix(tcim_bitmatrix::BitMatrixError),
     /// Multi-array scheduling failed.
     Sched(tcim_sched::SchedError),
+    /// Shard planning, boundary extraction or composition failed.
+    Shard(tcim_shard::ShardError),
     /// The staged pipeline was driven with mismatched artifacts (e.g. a
     /// graph prepared under a different slice size than the executing
     /// engine).
@@ -40,6 +42,7 @@ impl fmt::Display for CoreError {
             CoreError::Arch(e) => write!(f, "architecture error: {e}"),
             CoreError::BitMatrix(e) => write!(f, "bit-matrix error: {e}"),
             CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+            CoreError::Shard(e) => write!(f, "sharding error: {e}"),
             CoreError::Pipeline { reason } => write!(f, "pipeline error: {reason}"),
             CoreError::Query { reason } => write!(f, "query error: {reason}"),
         }
@@ -53,6 +56,7 @@ impl Error for CoreError {
             CoreError::Arch(e) => Some(e),
             CoreError::BitMatrix(e) => Some(e),
             CoreError::Sched(e) => Some(e),
+            CoreError::Shard(e) => Some(e),
             CoreError::Pipeline { .. } | CoreError::Query { .. } => None,
         }
     }
@@ -79,6 +83,12 @@ impl From<tcim_bitmatrix::BitMatrixError> for CoreError {
 impl From<tcim_sched::SchedError> for CoreError {
     fn from(e: tcim_sched::SchedError) -> Self {
         CoreError::Sched(e)
+    }
+}
+
+impl From<tcim_shard::ShardError> for CoreError {
+    fn from(e: tcim_shard::ShardError) -> Self {
+        CoreError::Shard(e)
     }
 }
 

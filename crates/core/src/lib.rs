@@ -46,6 +46,15 @@
 //! kernels and folds drifted state back through [`TcimPipeline::prepare`]
 //! into the [`PreparedCache`].
 //!
+//! For graphs **beyond one array's slice budget**, [`sharded`]
+//! execution ([`Backend::Sharded`], built on the `tcim-shard` crate)
+//! partitions the oriented DAG into slice-aligned vertex ranges,
+//! prepares each induced subgraph as its own artifact
+//! ([`ShardedPreparedGraph`], cached by [`ShardedCache`]) and counts
+//! intra-shard runs plus a cross-shard composition pass — answering
+//! every [`Query`] shape with shard provenance
+//! ([`ShardProvenance`]).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -71,7 +80,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 mod accelerator;
@@ -83,6 +92,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod query;
 pub mod reported;
+pub mod sharded;
 pub mod software;
 pub mod verify;
 
@@ -94,6 +104,12 @@ pub use query::{
     EdgeSupport, KernelStats, Query, QueryReport, QueryValue, VertexClustering,
     VertexTriangles,
 };
+pub use sharded::{
+    ShardPolicy, ShardProvenance, ShardSliceReport, ShardedBackend, ShardedCache,
+    ShardedPreparedGraph,
+};
 // Scheduling types surface in the accelerator's public API
 // (`TcimAccelerator::count_triangles_scheduled`), so re-export them.
 pub use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledReport};
+// Shard-spec types surface in `Backend::Sharded`'s `ShardPolicy`.
+pub use tcim_shard::{ShardMode, ShardSpec};

@@ -22,6 +22,8 @@ use crate::accelerator::TcimConfig;
 use crate::backend::{Backend, CountReport, ExecutionBackend};
 use crate::error::Result;
 use crate::query::{Query, QueryReport};
+use crate::sharded::{ShardedBackend, ShardedCache, ShardedPreparedGraph};
+use tcim_shard::ShardSpec;
 
 /// Cache key of one prepared artifact: the graph's structural
 /// fingerprint (paired with its exact sizes to make collisions
@@ -310,11 +312,12 @@ pub struct TcimPipeline {
     config: TcimConfig,
     engine: PimEngine,
     cache: PreparedCache,
+    sharded: ShardedCache,
 }
 
 impl Clone for TcimPipeline {
     /// Clones the configuration and characterized engine (no
-    /// re-characterization); the clone starts with a fresh, empty cache
+    /// re-characterization); the clone starts with fresh, empty caches
     /// of the same capacity — prepared artifacts are shared by `Arc`,
     /// not by cloning pipelines.
     fn clone(&self) -> Self {
@@ -322,6 +325,7 @@ impl Clone for TcimPipeline {
             config: self.config.clone(),
             engine: self.engine.clone(),
             cache: PreparedCache::new(self.cache.capacity),
+            sharded: ShardedCache::new(self.sharded.capacity()),
         }
     }
 }
@@ -355,6 +359,7 @@ impl TcimPipeline {
             config: config.clone(),
             engine,
             cache: PreparedCache::new(capacity),
+            sharded: ShardedCache::new(capacity),
         })
     }
 
@@ -371,6 +376,29 @@ impl TcimPipeline {
     /// The prepared-graph cache (for hit/miss inspection).
     pub fn cache(&self) -> &PreparedCache {
         &self.cache
+    }
+
+    /// The sharded-artifact cache (for hit/miss inspection).
+    pub fn sharded_cache(&self) -> &ShardedCache {
+        &self.sharded
+    }
+
+    /// Partitions an already-prepared graph under `spec`, returning
+    /// the cached [`ShardedPreparedGraph`] when one exists — repeated
+    /// sharded executions re-partition and re-slice nothing. The
+    /// artifact is keyed by spec alone: [`Backend::Sharded`] policies
+    /// differing only in inner scheduling share it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedPreparedGraph::build`] failures (invalid
+    /// spec, slice-size mismatch).
+    pub fn prepare_sharded(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &ShardSpec,
+    ) -> Result<Arc<ShardedPreparedGraph>> {
+        self.sharded.get_or_build(prepared, spec, &self.engine)
     }
 
     /// Prepares `g` under this pipeline's orientation and slice size,
@@ -404,9 +432,19 @@ impl TcimPipeline {
     }
 
     /// Resolves a backend selection into an executable backend bound to
-    /// this pipeline's engine.
+    /// this pipeline's engine. Sharded selections additionally share
+    /// the pipeline's [`ShardedCache`], so repeated executions reuse
+    /// one partitioned artifact (the raw [`Backend::bind`] builds it
+    /// per call).
     pub fn backend(&self, spec: &Backend) -> Box<dyn ExecutionBackend + '_> {
-        spec.bind(&self.engine)
+        match spec {
+            Backend::Sharded(policy) => Box::new(ShardedBackend::with_cache(
+                &self.engine,
+                policy.clone(),
+                &self.sharded,
+            )),
+            _ => spec.bind(&self.engine),
+        }
     }
 
     /// Executes `spec` over a prepared graph.

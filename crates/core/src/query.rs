@@ -41,6 +41,27 @@ use crate::pipeline::PreparedGraph;
 /// A typed triangle query, answered by any backend from one prepared
 /// graph. Vertex ids always refer to the *input* graph's ids — the
 /// orientation's relabelling is undone inside the execution layer.
+///
+/// # Examples
+///
+/// ```
+/// use tcim_core::{Backend, Query, TcimConfig, TcimPipeline};
+/// use tcim_graph::generators::classic;
+///
+/// let pipeline = TcimPipeline::new(&TcimConfig::default())?;
+/// let prepared = pipeline.prepare(&classic::wheel(12));
+///
+/// // The cheap shape runs without AND-result readouts…
+/// let total = pipeline.query(&prepared, &Backend::SerialPim, &Query::TotalTriangles)?;
+/// assert_eq!((total.triangles, total.kernel.result_readouts), (11, 0));
+///
+/// // …attributed shapes read each surviving AND result back out.
+/// let ranked =
+///     pipeline.query(&prepared, &Backend::SerialPim, &Query::TopKVertices { k: 1 })?;
+/// assert_eq!(ranked.value.top_k().unwrap()[0].vertex, 0); // the hub
+/// assert!(ranked.kernel.result_readouts > 0);
+/// # Ok::<(), tcim_core::CoreError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Query {
@@ -267,6 +288,9 @@ pub struct QueryReport {
     pub modelled_energy_j: Option<f64>,
     /// Normalized kernel accounting.
     pub kernel: KernelStats,
+    /// Shard-level provenance (shard count, imbalance, boundary arcs);
+    /// present only when a sharded backend answered.
+    pub sharding: Option<crate::sharded::ShardProvenance>,
 }
 
 impl fmt::Display for QueryReport {

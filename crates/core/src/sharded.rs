@@ -1,0 +1,841 @@
+//! Sharded execution at the pipeline level: graphs larger than one
+//! array's slice budget, prepared as per-shard artifacts and counted as
+//! intra-shard runs plus a cross-shard composition pass.
+//!
+//! The `tcim-shard` crate provides the mechanics (degree-aware
+//! slice-aligned partitioning, boundary-slice extraction, the
+//! composition kernels); this module ties them to the pipeline's
+//! artifact model:
+//!
+//! * [`ShardPolicy`] — the value-level selection carried by
+//!   [`Backend::Sharded`]: a
+//!   [`ShardSpec`] (shard count + composition mode) plus the inner
+//!   [`SchedPolicy`] each shard's multi-array run and the composition
+//!   fan-out execute with.
+//! * [`ShardedPreparedGraph`] — per-shard [`PreparedGraph`]s over the
+//!   induced subgraphs of slice-aligned vertex ranges, plus the
+//!   cross-shard [`BoundarySlices`].
+//! * [`ShardedCache`] — keyed LRU of sharded artifacts, so repeated
+//!   sharded queries through one
+//!   [`TcimPipeline`](crate::TcimPipeline) partition and re-slice
+//!   nothing.
+//! * [`ShardedBackend`] — the [`ExecutionBackend`] answering every
+//!   [`Query`] shape: shards run concurrently through the `tcim-sched`
+//!   executor, the composition pass rides its delta-job machinery, and
+//!   partial results merge deterministically in shard/array order.
+//! * [`ShardProvenance`] — shard-count / imbalance / boundary-edge
+//!   provenance, surfaced on [`QueryReport`] and `tcim-service`'s
+//!   `QueryResponse`.
+//!
+//! **Exactness.** Shard ranges are contiguous in oriented-id order and
+//! the kernel counts a triangle `a < b < c` at its extreme arc
+//! `(a, c)`: same-shard extremes pin the middle to that shard (the
+//! triangle is counted by that shard's induced run), different-shard
+//! extremes make `(a, c)` a composition kernel. Every triangle is
+//! counted exactly once; the sharded backend therefore agrees
+//! bit-exactly with every other backend on every query shape
+//! (`tests/sharding.rs`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tcim_arch::{AccessStats, PimEngine};
+use tcim_graph::CsrGraph;
+use tcim_sched::{parallel_map_indexed, SchedPolicy};
+use tcim_shard::{compose, plan_shards, BoundarySlices, ShardMode, ShardPlan, ShardSpec};
+
+use crate::backend::{
+    AttributedRun, Backend, BackendDetail, CountReport, ExecutionBackend, ScheduledPimBackend,
+};
+use crate::error::{CoreError, Result};
+use crate::pipeline::{PreparedGraph, PreparedKey};
+use crate::query::{self, KernelStats, Query, QueryReport};
+
+/// Value-level selection of a sharded execution: how to partition and
+/// what each piece runs on.
+///
+/// # Examples
+///
+/// ```
+/// use tcim_core::{Backend, ShardPolicy, TcimConfig, TcimPipeline};
+/// use tcim_graph::generators::gnm;
+///
+/// let pipeline = TcimPipeline::new(&TcimConfig::default())?;
+/// let prepared = pipeline.prepare(&gnm(512, 4000, 7)?);
+///
+/// // Count the same artifact sharded 4 ways and unsharded.
+/// let sharded = pipeline.execute(&prepared, &Backend::Sharded(ShardPolicy::with_shards(4)))?;
+/// let serial = pipeline.execute(&prepared, &Backend::SerialPim)?;
+/// assert_eq!(sharded.triangles, serial.triangles);
+/// # Ok::<(), tcim_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShardPolicy {
+    /// Partition specification: shard count and composition mode.
+    pub spec: ShardSpec,
+    /// Scheduling policy of each shard's intra run *and* of the
+    /// composition pass's array fan-out.
+    pub inner: SchedPolicy,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy { spec: ShardSpec::default(), inner: SchedPolicy::with_arrays(4) }
+    }
+}
+
+impl ShardPolicy {
+    /// A 1D policy with `shards` shards and the default inner policy.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPolicy { spec: ShardSpec::one_d(shards), ..ShardPolicy::default() }
+    }
+
+    /// Selects the composition grouping mode (builder style).
+    #[must_use]
+    pub fn mode(mut self, mode: ShardMode) -> Self {
+        self.spec.mode = mode;
+        self
+    }
+
+    /// Selects the inner scheduling policy (builder style).
+    #[must_use]
+    pub fn inner(mut self, inner: SchedPolicy) -> Self {
+        self.inner = inner;
+        self
+    }
+}
+
+/// One shard of a [`ShardedPreparedGraph`]: its oriented-id range and
+/// the prepared artifact of the subgraph induced on it.
+#[derive(Debug, Clone)]
+pub struct ShardPiece {
+    range: (u32, u32),
+    prepared: PreparedGraph,
+}
+
+impl ShardPiece {
+    /// The oriented-id range `(lo, hi)` this piece owns.
+    pub fn range(&self) -> (u32, u32) {
+        self.range
+    }
+
+    /// The prepared induced subgraph (local ids `0..hi-lo`).
+    pub fn prepared(&self) -> &PreparedGraph {
+        &self.prepared
+    }
+}
+
+/// A graph prepared for sharded execution: the global oriented DAG
+/// partitioned into slice-aligned vertex ranges, one [`PreparedGraph`]
+/// per induced subgraph, plus the cross-shard boundary slices the
+/// composition pass ANDs.
+///
+/// # Examples
+///
+/// ```
+/// use tcim_core::{ShardSpec, TcimConfig, TcimPipeline};
+/// use tcim_graph::generators::gnm;
+///
+/// let pipeline = TcimPipeline::new(&TcimConfig::default())?;
+/// let prepared = pipeline.prepare(&gnm(512, 4000, 7)?);
+/// let sharded = pipeline.prepare_sharded(&prepared, &ShardSpec::one_d(4))?;
+/// assert_eq!(sharded.pieces().len(), 4);
+/// // Intra and cross arcs partition the DAG's arcs.
+/// let intra: usize = sharded.pieces().iter().map(|p| p.prepared().oriented().arc_count()).sum();
+/// assert_eq!(intra as u64 + sharded.plan().cross_arcs(), 4000);
+/// # Ok::<(), tcim_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedPreparedGraph {
+    base: PreparedKey,
+    spec: ShardSpec,
+    plan: ShardPlan,
+    boundary: BoundarySlices,
+    pieces: Vec<ShardPiece>,
+    prepare_time: Duration,
+}
+
+impl ShardedPreparedGraph {
+    /// Partitions `prepared`'s oriented DAG, extracts boundary slices
+    /// and prepares every induced subgraph — the sharded analogue of
+    /// [`PreparedGraph::build`]. Cached callers go through
+    /// [`TcimPipeline::prepare_sharded`](crate::TcimPipeline::prepare_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] for an invalid spec and
+    /// [`CoreError::Pipeline`] when `prepared`'s slice size does not
+    /// match the engine's.
+    pub fn build(
+        prepared: &PreparedGraph,
+        spec: &ShardSpec,
+        engine: &PimEngine,
+    ) -> Result<ShardedPreparedGraph> {
+        if prepared.slice_size() != engine.config().slice_size {
+            return Err(CoreError::Pipeline {
+                reason: format!(
+                    "sharded prepare: artifact has |S| = {} but the engine is characterized \
+                     for |S| = {}",
+                    prepared.slice_size(),
+                    engine.config().slice_size
+                ),
+            });
+        }
+        let start = Instant::now();
+        let oriented = prepared.oriented();
+        let slice_size = prepared.slice_size();
+        let plan = plan_shards(oriented, spec, slice_size).map_err(CoreError::Shard)?;
+        let boundary = BoundarySlices::extract(oriented, &plan, slice_size);
+
+        let pieces = plan
+            .ranges()
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut edges = Vec::new();
+                for a in lo..hi {
+                    for &c in oriented.row(a) {
+                        if c >= hi {
+                            break;
+                        }
+                        edges.push((a - lo, c - lo));
+                    }
+                }
+                let local = CsrGraph::from_edges((hi - lo) as usize, edges)
+                    .expect("intra-shard arcs are in bounds by construction");
+                let prepared_local =
+                    PreparedGraph::build(&local, prepared.orientation(), slice_size, engine);
+                ShardPiece { range: (lo, hi), prepared: prepared_local }
+            })
+            .collect();
+
+        Ok(ShardedPreparedGraph {
+            base: *prepared.key(),
+            spec: *spec,
+            plan,
+            boundary,
+            pieces,
+            prepare_time: start.elapsed(),
+        })
+    }
+
+    /// The base (unsharded) artifact's cache key.
+    pub fn base_key(&self) -> &PreparedKey {
+        &self.base
+    }
+
+    /// The specification this artifact was partitioned under. The
+    /// inner scheduling policy is deliberately *not* part of the
+    /// artifact: partitioning, boundary extraction and per-shard
+    /// slicing depend only on the spec, so policies differing only in
+    /// inner scheduling share one cached artifact.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The partition plan (ranges, weights, imbalance, arc census).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The extracted cross-shard boundary slices.
+    pub fn boundary(&self) -> &BoundarySlices {
+        &self.boundary
+    }
+
+    /// The per-shard prepared pieces, in shard order.
+    pub fn pieces(&self) -> &[ShardPiece] {
+        &self.pieces
+    }
+
+    /// Host wall-clock time of partitioning + boundary extraction +
+    /// per-shard preparation.
+    pub fn prepare_time(&self) -> Duration {
+        self.prepare_time
+    }
+}
+
+/// Shard-level provenance of a sharded execution, surfaced on
+/// [`QueryReport`] and the service's `QueryResponse`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardProvenance {
+    /// Configured shard count.
+    pub shards: usize,
+    /// Shards that own a non-empty vertex range.
+    pub occupied_shards: usize,
+    /// Composition grouping mode.
+    pub mode: ShardMode,
+    /// Partition-weight imbalance (`max / mean` shard weight).
+    pub imbalance: f64,
+    /// Cross-shard arcs — the boundary edges the composition pass
+    /// processed.
+    pub boundary_arcs: u64,
+    /// Valid slices in the boundary parts of the extracted operands.
+    pub boundary_valid_slices: u64,
+    /// Triangles counted inside shards.
+    pub intra_triangles: u64,
+    /// Triangles counted by the composition pass.
+    pub cross_triangles: u64,
+    /// Placement units the composition pass scheduled (arcs in 1D,
+    /// edge blocks in 2D).
+    pub composition_units: usize,
+    /// Per-shard execution reports, in shard order.
+    pub per_shard: Vec<ShardSliceReport>,
+}
+
+/// One shard's slice of a sharded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSliceReport {
+    /// The oriented-id range the shard owns.
+    pub range: (u32, u32),
+    /// Arcs of the induced subgraph.
+    pub arcs: u64,
+    /// Triangles the shard's intra run found.
+    pub triangles: u64,
+    /// The shard run's normalized kernel accounting.
+    pub kernel: KernelStats,
+}
+
+struct CacheInner {
+    map: HashMap<(PreparedKey, ShardSpec), Arc<ShardedPreparedGraph>>,
+    order: Vec<(PreparedKey, ShardSpec)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded LRU cache of [`ShardedPreparedGraph`]s keyed by base
+/// artifact × shard spec — the sharded twin of
+/// [`PreparedCache`](crate::PreparedCache), so repeated sharded queries
+/// partition and re-slice nothing.
+pub struct ShardedCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardedCache(len={}, capacity={}, hits={}, misses={})",
+            self.len(),
+            self.capacity,
+            self.hits(),
+            self.misses()
+        )
+    }
+}
+
+impl ShardedCache {
+    /// An empty cache holding at most `capacity` sharded artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        ShardedCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: Vec::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// The cached artifact for `prepared` under `spec`, building and
+    /// inserting it (with LRU eviction) on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedPreparedGraph::build`] failures.
+    pub fn get_or_build(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &ShardSpec,
+        engine: &PimEngine,
+    ) -> Result<Arc<ShardedPreparedGraph>> {
+        let key = (*prepared.key(), *spec);
+        {
+            let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
+            if let Some(found) = inner.map.get(&key).cloned() {
+                inner.hits += 1;
+                inner.order.retain(|k| k != &key);
+                inner.order.push(key);
+                return Ok(found);
+            }
+            inner.misses += 1;
+        }
+        // Build outside the lock (slow); racing builders agree on the
+        // first inserted value.
+        let built = Arc::new(ShardedPreparedGraph::build(prepared, spec, engine)?);
+        let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
+        if let Some(existing) = inner.map.get(&key).cloned() {
+            return Ok(existing);
+        }
+        inner.map.insert(key, Arc::clone(&built));
+        inner.order.push(key);
+        if inner.order.len() > self.capacity {
+            let evicted = inner.order.remove(0);
+            inner.map.remove(&evicted);
+        }
+        Ok(built)
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache mutex is never poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a cached artifact.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().expect("cache mutex is never poisoned").hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().expect("cache mutex is never poisoned").misses
+    }
+
+    /// Maximum number of artifacts held before evicting.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// One shard's merged partial result, in shard order.
+struct IntraPartial {
+    triangles: u64,
+    kernel: KernelStats,
+    modelled_time_s: f64,
+    modelled_energy_j: f64,
+    stats: AccessStats,
+    /// Per-vertex counts indexed by *local input* id (dense over the
+    /// shard's range).
+    per_vertex: Option<Vec<u64>>,
+    /// Support over *global oriented* arcs.
+    support: Option<Vec<(u32, u32, u64)>>,
+}
+
+/// Everything one sharded execution produces, in global oriented ids
+/// (the query layer maps back to input-graph ids exactly as for every
+/// other backend).
+struct ShardedOutcome {
+    triangles: u64,
+    per_vertex: Option<Vec<u64>>,
+    support: Option<Vec<(u32, u32, u64)>>,
+    kernel: KernelStats,
+    stats: AccessStats,
+    modelled_time_s: f64,
+    modelled_energy_j: f64,
+    provenance: ShardProvenance,
+}
+
+/// Sharded execution over a prepared graph: intra-shard scheduled runs
+/// plus the cross-shard composition pass, answering every [`Query`]
+/// shape.
+///
+/// Bound through a [`TcimPipeline`](crate::TcimPipeline) the backend
+/// reuses the pipeline's [`ShardedCache`]; bound directly via
+/// [`Backend::bind`](crate::Backend::bind) it builds the sharded
+/// artifact per call (the uncached convenience path).
+#[derive(Debug, Clone)]
+pub struct ShardedBackend<'e> {
+    engine: &'e PimEngine,
+    policy: ShardPolicy,
+    cache: Option<&'e ShardedCache>,
+}
+
+impl<'e> ShardedBackend<'e> {
+    /// An uncached sharded backend running `policy` on `engine`.
+    pub fn new(engine: &'e PimEngine, policy: ShardPolicy) -> Self {
+        ShardedBackend { engine, policy, cache: None }
+    }
+
+    /// A sharded backend sharing `cache` (the pipeline's).
+    pub fn with_cache(
+        engine: &'e PimEngine,
+        policy: ShardPolicy,
+        cache: &'e ShardedCache,
+    ) -> Self {
+        ShardedBackend { engine, policy, cache: Some(cache) }
+    }
+
+    /// The shard policy this backend executes with.
+    pub fn policy(&self) -> &ShardPolicy {
+        &self.policy
+    }
+
+    fn artifact(&self, prepared: &PreparedGraph) -> Result<Arc<ShardedPreparedGraph>> {
+        match self.cache {
+            Some(cache) => cache.get_or_build(prepared, &self.policy.spec, self.engine),
+            None => Ok(Arc::new(ShardedPreparedGraph::build(
+                prepared,
+                &self.policy.spec,
+                self.engine,
+            )?)),
+        }
+    }
+
+    fn run(
+        &self,
+        prepared: &PreparedGraph,
+        attributed: bool,
+        need_support: bool,
+    ) -> Result<(ShardedOutcome, Duration)> {
+        let start = Instant::now();
+        let sharded = self.artifact(prepared)?;
+        let pieces = sharded.pieces();
+
+        // Intra-shard runs: every piece through the tcim-sched executor,
+        // pieces fanned over host threads, arrays simulated serially
+        // inside each piece so the host is never oversubscribed.
+        let inner = SchedPolicy { host_threads: Some(1), ..self.policy.inner.clone() };
+        let backend = ScheduledPimBackend::new(self.engine, inner);
+        let threads = self.policy.inner.resolved_host_threads();
+        let partials: Vec<Result<IntraPartial>> =
+            parallel_map_indexed(pieces.len(), threads, |s| {
+                intra_partial(&backend, &pieces[s], attributed, need_support)
+            });
+
+        let n = prepared.oriented().vertex_count();
+        let mut triangles = 0u64;
+        let mut kernel = KernelStats::default();
+        let mut stats = AccessStats::default();
+        let mut intra_critical = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut per_vertex = attributed.then(|| vec![0u64; n]);
+        let mut support: Option<BTreeMap<(u32, u32), u64>> =
+            (attributed && need_support).then(BTreeMap::new);
+        let mut per_shard = Vec::with_capacity(pieces.len());
+        for (s, partial) in partials.into_iter().enumerate() {
+            let partial = partial?;
+            triangles += partial.triangles;
+            kernel.kernel_invocations += partial.kernel.kernel_invocations;
+            kernel.slice_pairs += partial.kernel.slice_pairs;
+            kernel.result_readouts += partial.kernel.result_readouts;
+            stats.merge(&partial.stats);
+            // Shards execute concurrently on disjoint array groups: the
+            // intra phase runs on the slowest shard's clock.
+            intra_critical = intra_critical.max(partial.modelled_time_s);
+            energy += partial.modelled_energy_j;
+            per_shard.push(ShardSliceReport {
+                range: pieces[s].range(),
+                arcs: pieces[s].prepared().oriented().arc_count() as u64,
+                triangles: partial.triangles,
+                kernel: partial.kernel,
+            });
+            let (lo, _) = pieces[s].range();
+            if let (Some(total), Some(local)) = (per_vertex.as_mut(), partial.per_vertex) {
+                for (offset, count) in local.into_iter().enumerate() {
+                    total[lo as usize + offset] += count;
+                }
+            }
+            if let (Some(map), Some(partial_support)) = (support.as_mut(), partial.support) {
+                for (i, j, c) in partial_support {
+                    *map.entry((i, j)).or_insert(0) += c;
+                }
+            }
+        }
+        let intra_triangles = triangles;
+
+        // Cross-shard composition pass.
+        let comp = compose(
+            n,
+            sharded.plan(),
+            sharded.boundary(),
+            &self.policy.inner,
+            &self.engine.cost_model(),
+            attributed,
+            need_support,
+        )
+        .map_err(CoreError::Shard)?;
+        triangles += comp.triangles;
+        kernel.kernel_invocations += comp.kernel_invocations;
+        kernel.slice_pairs += comp.slice_pairs;
+        kernel.result_readouts += comp.result_readouts;
+        stats.merge(&AccessStats {
+            edges: comp.kernel_invocations,
+            and_ops: comp.slice_pairs,
+            bitcount_ops: comp.slice_pairs,
+            row_slice_writes: comp.write_slices,
+            result_readouts: comp.result_readouts,
+            ..AccessStats::default()
+        });
+        energy += comp.modelled_energy_j;
+        if let (Some(total), Some(cross)) = (per_vertex.as_mut(), comp.per_vertex) {
+            for (v, count) in cross.into_iter().enumerate() {
+                total[v] += count;
+            }
+        }
+        if let (Some(map), Some(cross_support)) = (support.as_mut(), comp.support) {
+            for (i, j, c) in cross_support {
+                *map.entry((i, j)).or_insert(0) += c;
+            }
+        }
+
+        let provenance = ShardProvenance {
+            shards: sharded.plan().shard_count(),
+            occupied_shards: sharded.plan().occupied_shards(),
+            mode: sharded.plan().mode(),
+            imbalance: sharded.plan().imbalance(),
+            boundary_arcs: sharded.plan().cross_arcs(),
+            boundary_valid_slices: sharded.boundary().boundary_valid_slices(),
+            intra_triangles,
+            cross_triangles: comp.triangles,
+            composition_units: comp.placement_units,
+            per_shard,
+        };
+        Ok((
+            ShardedOutcome {
+                triangles,
+                per_vertex,
+                support: support
+                    .map(|map| map.into_iter().map(|((i, j), c)| (i, j, c)).collect()),
+                kernel,
+                stats,
+                modelled_time_s: intra_critical + comp.critical_path_s,
+                modelled_energy_j: energy,
+                provenance,
+            },
+            start.elapsed(),
+        ))
+    }
+}
+
+/// Runs one shard piece through the scheduled backend and normalizes
+/// the partial: per-vertex counts mapped to local *input* ids (dense
+/// over the range), support mapped to global oriented arcs.
+fn intra_partial(
+    backend: &ScheduledPimBackend<'_>,
+    piece: &ShardPiece,
+    attributed: bool,
+    need_support: bool,
+) -> Result<IntraPartial> {
+    let oriented = piece.prepared().oriented();
+    if oriented.arc_count() == 0 {
+        return Ok(IntraPartial {
+            triangles: 0,
+            kernel: KernelStats::default(),
+            modelled_time_s: 0.0,
+            modelled_energy_j: 0.0,
+            stats: AccessStats::default(),
+            per_vertex: attributed.then(|| vec![0u64; oriented.vertex_count()]),
+            support: (attributed && need_support).then(Vec::new),
+        });
+    }
+    let (lo, _) = piece.range();
+    if attributed {
+        let run = backend.execute_attributed(piece.prepared(), need_support)?;
+        // Local matrix ids → local input ids (undo the piece's own
+        // orientation relabelling).
+        let mut per_vertex = vec![0u64; oriented.vertex_count()];
+        for (m, &count) in run.per_vertex.iter().enumerate() {
+            per_vertex[oriented.original_id(m as u32) as usize] += count;
+        }
+        let support = run.support.map(|triples| {
+            triples
+                .into_iter()
+                .map(|(i, j, c)| {
+                    let x = lo + oriented.original_id(i);
+                    let y = lo + oriented.original_id(j);
+                    (x.min(y), x.max(y), c)
+                })
+                .collect()
+        });
+        Ok(IntraPartial {
+            triangles: run.triangles,
+            kernel: run.kernel,
+            modelled_time_s: run.modelled_time_s.unwrap_or(0.0),
+            modelled_energy_j: run.modelled_energy_j.unwrap_or(0.0),
+            stats: AccessStats::default(),
+            per_vertex: Some(per_vertex),
+            support,
+        })
+    } else {
+        let report = backend.execute(piece.prepared())?;
+        Ok(IntraPartial {
+            triangles: report.triangles,
+            kernel: report.kernel,
+            modelled_time_s: report.modelled_time_s.unwrap_or(0.0),
+            modelled_energy_j: report.modelled_energy_j.unwrap_or(0.0),
+            stats: report.stats.unwrap_or_default(),
+            per_vertex: None,
+            support: None,
+        })
+    }
+}
+
+impl ExecutionBackend for ShardedBackend<'_> {
+    fn name(&self) -> String {
+        Backend::Sharded(self.policy.clone()).label()
+    }
+
+    fn execute(&self, prepared: &PreparedGraph) -> Result<CountReport> {
+        let (out, wall) = self.run(prepared, false, false)?;
+        Ok(CountReport {
+            backend: self.name(),
+            triangles: out.triangles,
+            execute_time: wall,
+            modelled_time_s: Some(out.modelled_time_s),
+            modelled_energy_j: Some(out.modelled_energy_j),
+            stats: Some(out.stats),
+            kernel: out.kernel,
+            detail: BackendDetail::Sharded(Box::new(out.provenance)),
+        })
+    }
+
+    fn execute_attributed(
+        &self,
+        prepared: &PreparedGraph,
+        need_support: bool,
+    ) -> Result<AttributedRun> {
+        let (out, wall) = self.run(prepared, true, need_support)?;
+        Ok(AttributedRun {
+            backend: self.name(),
+            triangles: out.triangles,
+            per_vertex: out.per_vertex.expect("attributed runs always tally"),
+            support: out.support,
+            execute_time: wall,
+            modelled_time_s: Some(out.modelled_time_s),
+            modelled_energy_j: Some(out.modelled_energy_j),
+            kernel: out.kernel,
+        })
+    }
+
+    fn query(&self, prepared: &PreparedGraph, query: &Query) -> Result<QueryReport> {
+        // Same dispatch as the provided method, plus shard provenance.
+        if !query.needs_attribution() {
+            let (out, wall) = self.run(prepared, false, false)?;
+            let value = query::shape_count(query, prepared, out.triangles);
+            return Ok(QueryReport {
+                backend: self.name(),
+                query: query.clone(),
+                value,
+                triangles: out.triangles,
+                execute_time: wall,
+                modelled_time_s: Some(out.modelled_time_s),
+                modelled_energy_j: Some(out.modelled_energy_j),
+                kernel: out.kernel,
+                sharding: Some(out.provenance),
+            });
+        }
+        let need_support = matches!(query, Query::EdgeSupport);
+        let (out, wall) = self.run(prepared, true, need_support)?;
+        let per_vertex = query::to_original_ids(
+            prepared,
+            out.per_vertex.as_deref().expect("attributed runs always tally"),
+        );
+        let value = query::shape_attributed(query, prepared, per_vertex, out.support)?;
+        Ok(QueryReport {
+            backend: self.name(),
+            query: query.clone(),
+            value,
+            triangles: out.triangles,
+            execute_time: wall,
+            modelled_time_s: Some(out.modelled_time_s),
+            modelled_energy_j: Some(out.modelled_energy_j),
+            kernel: out.kernel,
+            sharding: Some(out.provenance),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::TcimConfig;
+    use crate::pipeline::TcimPipeline;
+    use tcim_graph::generators::gnm;
+
+    fn pipeline() -> TcimPipeline {
+        TcimPipeline::new(&TcimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sharded_count_agrees_with_serial_and_carries_provenance() {
+        let p = pipeline();
+        let prepared = p.prepare(&gnm(512, 3600, 21).unwrap());
+        let serial = p.execute(&prepared, &Backend::SerialPim).unwrap();
+        let sharded =
+            p.execute(&prepared, &Backend::Sharded(ShardPolicy::with_shards(4))).unwrap();
+        assert_eq!(sharded.triangles, serial.triangles);
+        // The arc census is preserved: intra + cross dispatches equal
+        // the monolithic per-edge dispatch count.
+        assert_eq!(sharded.kernel.kernel_invocations, serial.kernel.kernel_invocations);
+        let BackendDetail::Sharded(detail) = &sharded.detail else {
+            panic!("sharded runs carry sharded detail");
+        };
+        assert_eq!(detail.shards, 4);
+        assert!(detail.boundary_arcs > 0);
+        assert_eq!(detail.intra_triangles + detail.cross_triangles, sharded.triangles);
+        assert_eq!(detail.per_shard.len(), 4);
+        assert!(detail.imbalance >= 1.0);
+        assert!(sharded.modelled_time_s.unwrap() > 0.0);
+        assert!(sharded.modelled_energy_j.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn pipeline_sharded_cache_prevents_repartitioning() {
+        let p = pipeline();
+        let prepared = p.prepare(&gnm(256, 1800, 5).unwrap());
+        let spec = Backend::Sharded(ShardPolicy::with_shards(2));
+        p.execute(&prepared, &spec).unwrap();
+        let built = tcim_bitmatrix::matrices_built();
+        for _ in 0..3 {
+            p.query(&prepared, &spec, &Query::PerVertexTriangles).unwrap();
+        }
+        assert_eq!(tcim_bitmatrix::matrices_built(), built, "no re-slicing after first build");
+        assert_eq!(p.sharded_cache().len(), 1);
+        assert!(p.sharded_cache().hits() >= 3);
+    }
+
+    #[test]
+    fn sharded_artifact_is_keyed_by_spec_not_inner_policy() {
+        let p = pipeline();
+        let prepared = p.prepare(&gnm(256, 1800, 5).unwrap());
+        let a = p.prepare_sharded(&prepared, &ShardSpec::one_d(2)).unwrap();
+        let b = p.prepare_sharded(&prepared, &ShardSpec::one_d(4)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(p.sharded_cache().len(), 2);
+        let again = p.prepare_sharded(&prepared, &ShardSpec::one_d(2)).unwrap();
+        assert!(Arc::ptr_eq(&a, &again));
+        // Policies differing only in inner scheduling share the
+        // artifact: executing with a different array count hits.
+        let hits = p.sharded_cache().hits();
+        let spec =
+            Backend::Sharded(ShardPolicy::with_shards(2).inner(SchedPolicy::with_arrays(8)));
+        p.execute(&prepared, &spec).unwrap();
+        assert_eq!(p.sharded_cache().len(), 2, "no duplicate artifact");
+        assert!(p.sharded_cache().hits() > hits);
+    }
+
+    #[test]
+    fn slice_size_mismatch_is_a_pipeline_error() {
+        let p = pipeline();
+        let g = gnm(128, 700, 2).unwrap();
+        let prepared = PreparedGraph::build(
+            &g,
+            tcim_graph::Orientation::Natural,
+            tcim_bitmatrix::SliceSize::S32,
+            p.engine(),
+        );
+        let err = p.execute(&prepared, &Backend::Sharded(ShardPolicy::default())).unwrap_err();
+        assert!(matches!(err, CoreError::Pipeline { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_shard_spec_propagates() {
+        let p = pipeline();
+        let prepared = p.prepare(&gnm(128, 700, 2).unwrap());
+        let err =
+            p.execute(&prepared, &Backend::Sharded(ShardPolicy::with_shards(0))).unwrap_err();
+        assert!(matches!(err, CoreError::Shard(_)), "{err}");
+    }
+}

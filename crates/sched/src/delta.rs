@@ -75,6 +75,18 @@ impl DeltaPlan {
         crate::placement::imbalance(&self.per_array_busy_s)
     }
 
+    /// Job positions grouped by array in one pass: `result[a]` holds
+    /// the input-order positions assigned to array `a` (ascending).
+    /// The grouped form every per-array executor (stream delta rounds,
+    /// shard composition passes) consumes.
+    pub fn per_array_jobs(&self) -> Vec<Vec<usize>> {
+        let mut per: Vec<Vec<usize>> = vec![Vec::new(); self.arrays];
+        for (k, &a) in self.assignment.iter().enumerate() {
+            per[a].push(k);
+        }
+        per
+    }
+
     /// Job positions (input order) assigned to `array`.
     pub fn jobs_of(&self, array: usize) -> Vec<usize> {
         self.assignment

@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use tcim_core::query::shape_value;
 use tcim_core::{
-    Backend, EdgeSupport, KernelStats, PreparedGraph, Query, QueryValue, TcimConfig,
-    TcimPipeline,
+    Backend, EdgeSupport, KernelStats, PreparedGraph, Query, QueryValue, ShardPolicy,
+    ShardProvenance, ShardSpec, TcimConfig, TcimPipeline,
 };
 use tcim_graph::CsrGraph;
 use tcim_sched::parallel_map_indexed;
@@ -36,6 +36,17 @@ pub struct ServiceConfig {
     /// Worker threads [`TcimService::serve`] fans requests over
     /// (`None` = available parallelism).
     pub serve_threads: Option<usize>,
+    /// Per-array slice budget: when a registered graph's prepared
+    /// artifact holds more valid slices than this, requests without an
+    /// explicit backend are answered by sharded execution
+    /// ([`Backend::Sharded`]) instead of [`ServiceConfig::default_backend`].
+    /// `None` disables auto-sharding.
+    pub shard_slice_budget: Option<u64>,
+    /// Template for auto-selected sharded execution: its composition
+    /// mode and inner scheduling policy are used as-is, while the shard
+    /// count is computed per graph as `⌈valid slices / budget⌉`
+    /// (clamped to at least the template's count).
+    pub shard: ShardPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +57,8 @@ impl Default for ServiceConfig {
             default_backend: Backend::SerialPim,
             stream: StreamConfig::default(),
             serve_threads: None,
+            shard_slice_budget: None,
+            shard: ShardPolicy::with_shards(2),
         }
     }
 }
@@ -114,6 +127,10 @@ pub struct QueryResponse {
     pub modelled_energy_j: Option<f64>,
     /// Normalized kernel accounting of the answering run.
     pub kernel: KernelStats,
+    /// Shard provenance (shard count, imbalance, boundary arcs) when a
+    /// sharded backend answered — whether selected explicitly or by
+    /// the service's slice-budget auto-selection.
+    pub sharding: Option<ShardProvenance>,
     /// Host wall-clock time spent serving this request.
     pub wall: Duration,
 }
@@ -391,8 +408,11 @@ impl TcimService {
         prepared: &Arc<PreparedGraph>,
         start: Instant,
     ) -> Result<QueryResponse> {
-        let backend = request.backend.as_ref().unwrap_or(&self.config.default_backend);
-        let report = self.pipeline.query(prepared, backend, &request.query)?;
+        let backend = match &request.backend {
+            Some(explicit) => explicit.clone(),
+            None => self.select_backend(prepared),
+        };
+        let report = self.pipeline.query(prepared, &backend, &request.query)?;
         Ok(QueryResponse {
             graph: request.graph.clone(),
             fingerprint: prepared.key().fingerprint,
@@ -405,7 +425,28 @@ impl TcimService {
             modelled_time_s: report.modelled_time_s,
             modelled_energy_j: report.modelled_energy_j,
             kernel: report.kernel,
+            sharding: report.sharding,
             wall: start.elapsed(),
+        })
+    }
+
+    /// Picks the backend for a request with no explicit selection:
+    /// the default backend, unless the artifact exceeds the configured
+    /// per-array slice budget — then sharded execution with
+    /// `⌈valid slices / budget⌉` shards (the sharded artifact is built
+    /// once and cached in the pipeline's `ShardedCache`).
+    fn select_backend(&self, prepared: &PreparedGraph) -> Backend {
+        let Some(budget) = self.config.shard_slice_budget else {
+            return self.config.default_backend.clone();
+        };
+        let valid = prepared.slice_stats().valid_slices;
+        if budget == 0 || valid <= budget {
+            return self.config.default_backend.clone();
+        }
+        let shards = (valid.div_ceil(budget) as usize).max(self.config.shard.spec.shards);
+        Backend::Sharded(ShardPolicy {
+            spec: ShardSpec { shards, ..self.config.shard.spec },
+            inner: self.config.shard.inner.clone(),
         })
     }
 }
@@ -468,6 +509,7 @@ fn answer_live(
         modelled_time_s: None,
         modelled_energy_j: None,
         kernel,
+        sharding: None,
         wall: start.elapsed(),
     })
 }

@@ -1,0 +1,237 @@
+//! Cross-shard boundary slices: the sliced row/column material the
+//! composition pass ANDs.
+//!
+//! For a cross-shard arc `(a, c)` the TCIM kernel needs row `R_a` and
+//! column `C_c` of the *global* oriented matrix. Shard cuts are
+//! slice-aligned, so each operand splits cleanly (via
+//! [`SlicedBitVector::restrict_slices`]) into a **local** part — the
+//! slices covering the owning shard's own vertex range — and a
+//! **boundary** part — the slices referring to other shards. Only
+//! vertices that actually terminate a cross arc get material extracted;
+//! everything else stays inside its shard's own prepared artifact.
+
+use std::collections::HashMap;
+
+use tcim_bitmatrix::{SliceSize, SlicedBitVector};
+use tcim_graph::OrientedGraph;
+
+use crate::plan::ShardPlan;
+
+/// One operand of a composition kernel, split at its owning shard's
+/// slice range.
+///
+/// For a row (out-neighbourhood of a tail vertex) `local` covers the
+/// shard's own slice range and `boundary` the slices *after* it (arcs
+/// only point upward). For a column (in-neighbourhood of a head
+/// vertex) `boundary` covers the slices *before* the shard and `local`
+/// the shard's own range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitOperand {
+    /// Slices inside the owning shard's slice range.
+    pub local: SlicedBitVector,
+    /// Slices outside it — the cross-shard boundary material.
+    pub boundary: SlicedBitVector,
+}
+
+impl SplitOperand {
+    /// Total valid slices across both parts (what a composition kernel
+    /// writes for this operand).
+    pub fn valid_slices(&self) -> u64 {
+        (self.local.valid_slice_count() + self.boundary.valid_slice_count()) as u64
+    }
+}
+
+/// The extracted boundary material of a sharded graph: split sliced
+/// rows for every vertex with an outgoing cross arc, split sliced
+/// columns for every vertex with an incoming one, plus the cross-arc
+/// list itself (row-major, deterministic).
+#[derive(Debug, Clone)]
+pub struct BoundarySlices {
+    rows: HashMap<u32, SplitOperand>,
+    cols: HashMap<u32, SplitOperand>,
+    cross_arcs: Vec<(u32, u32)>,
+    boundary_valid_slices: u64,
+}
+
+impl BoundarySlices {
+    /// Extracts the boundary material for `plan` over `oriented`.
+    ///
+    /// One pass classifies arcs; marked tail vertices get their full
+    /// oriented row sliced and split at their shard's upper cut, marked
+    /// head vertices get their in-neighbour column sliced and split at
+    /// their shard's lower cut.
+    pub fn extract(
+        oriented: &OrientedGraph,
+        plan: &ShardPlan,
+        slice_size: SliceSize,
+    ) -> BoundarySlices {
+        let n = oriented.vertex_count();
+        let total_slices = slice_size.slices_for(n) as u32;
+        let mut cross_arcs = Vec::new();
+        for (a, c) in oriented.arcs() {
+            if plan.is_cross(a, c) {
+                cross_arcs.push((a, c));
+            }
+        }
+        // Full in-neighbour lists for cross heads: a middle vertex `w`
+        // closes the triangle through arc `(w, c)` whether that arc is
+        // intra- or cross-shard, so the column operand must carry every
+        // tail of `c`. Row-major arc order appends tails ascending, as
+        // slicing requires.
+        let mut col_tails: HashMap<u32, Vec<u32>> =
+            cross_arcs.iter().map(|&(_, c)| (c, Vec::new())).collect();
+        for (a, c) in oriented.arcs() {
+            if let Some(tails) = col_tails.get_mut(&c) {
+                tails.push(a);
+            }
+        }
+
+        let mut rows = HashMap::new();
+        for &(a, _) in &cross_arcs {
+            rows.entry(a).or_insert_with(|| {
+                let full = SlicedBitVector::from_sorted_indices(
+                    n,
+                    oriented.row(a).iter().map(|&j| j as usize),
+                    slice_size,
+                );
+                let own = plan.slice_range(plan.shard_of(a));
+                SplitOperand {
+                    local: full.restrict_slices(own.clone()),
+                    boundary: full.restrict_slices(own.end..total_slices),
+                }
+            });
+        }
+        let cols: HashMap<u32, SplitOperand> = col_tails
+            .into_iter()
+            .map(|(c, tails)| {
+                let full = SlicedBitVector::from_sorted_indices(
+                    n,
+                    tails.iter().map(|&a| a as usize),
+                    slice_size,
+                );
+                let own = plan.slice_range(plan.shard_of(c));
+                let split = SplitOperand {
+                    boundary: full.restrict_slices(0..own.start),
+                    local: full.restrict_slices(own),
+                };
+                (c, split)
+            })
+            .collect();
+
+        let boundary_valid_slices = rows
+            .values()
+            .chain(cols.values())
+            .map(|s| s.boundary.valid_slice_count() as u64)
+            .sum();
+        BoundarySlices { rows, cols, cross_arcs, boundary_valid_slices }
+    }
+
+    /// The split row of cross-tail vertex `a`, if one was extracted.
+    pub fn row(&self, a: u32) -> Option<&SplitOperand> {
+        self.rows.get(&a)
+    }
+
+    /// The split column of cross-head vertex `c`, if one was extracted.
+    pub fn col(&self, c: u32) -> Option<&SplitOperand> {
+        self.cols.get(&c)
+    }
+
+    /// The cross-shard arcs, in deterministic row-major order.
+    pub fn cross_arcs(&self) -> &[(u32, u32)] {
+        &self.cross_arcs
+    }
+
+    /// Valid slices in the *boundary* parts across all extracted
+    /// operands — the material that crosses shard cuts.
+    pub fn boundary_valid_slices(&self) -> u64 {
+        self.boundary_valid_slices
+    }
+
+    /// Number of extracted row operands.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of extracted column operands.
+    pub fn col_count(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_shards;
+    use crate::spec::ShardSpec;
+    use tcim_graph::generators::gnm;
+    use tcim_graph::Orientation;
+
+    fn fixture(shards: usize) -> (OrientedGraph, ShardPlan, BoundarySlices) {
+        let g = gnm(512, 3500, 3).unwrap();
+        let oriented = Orientation::Natural.orient(&g);
+        let plan = plan_shards(&oriented, &ShardSpec::one_d(shards), SliceSize::S64).unwrap();
+        let b = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        (oriented, plan, b)
+    }
+
+    #[test]
+    fn extracts_exactly_the_cross_arc_endpoints() {
+        let (oriented, plan, b) = fixture(4);
+        assert_eq!(b.cross_arcs().len() as u64, plan.cross_arcs());
+        for &(a, c) in b.cross_arcs() {
+            assert!(plan.is_cross(a, c));
+            assert!(b.row(a).is_some(), "tail {a} must have a split row");
+            assert!(b.col(c).is_some(), "head {c} must have a split column");
+        }
+        // No spurious extractions: every extracted row belongs to some
+        // cross arc tail.
+        assert!(b.row_count() <= oriented.vertex_count());
+        assert!(b.boundary_valid_slices() > 0);
+    }
+
+    #[test]
+    fn split_row_reconstitutes_the_full_oriented_row() {
+        let (oriented, _, b) = fixture(4);
+        for &(a, _) in b.cross_arcs().iter().take(50) {
+            let split = b.row(a).unwrap();
+            let got = split.local.count_ones() + split.boundary.count_ones();
+            assert_eq!(got, oriented.row(a).len() as u64, "row {a}");
+            assert_eq!(
+                split.valid_slices(),
+                (split.local.valid_slice_count() + split.boundary.valid_slice_count()) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn column_carries_every_tail_of_each_cross_head() {
+        let (oriented, plan, b) = fixture(4);
+        // Full in-degree per cross head: intra tails complete cross
+        // triangles too, so the column operand must carry all of them.
+        let mut in_degree: HashMap<u32, u64> = HashMap::new();
+        let mut cross_heads: std::collections::HashSet<u32> = Default::default();
+        for (a, c) in oriented.arcs() {
+            *in_degree.entry(c).or_default() += 1;
+            if plan.is_cross(a, c) {
+                cross_heads.insert(c);
+            }
+        }
+        for c in cross_heads {
+            let split = b.col(c).unwrap();
+            assert_eq!(
+                split.local.count_ones() + split.boundary.count_ones(),
+                in_degree[&c],
+                "column {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_extracts_nothing() {
+        let (_, plan, b) = fixture(1);
+        assert_eq!(plan.cross_arcs(), 0);
+        assert!(b.cross_arcs().is_empty());
+        assert_eq!(b.row_count() + b.col_count(), 0);
+        assert_eq!(b.boundary_valid_slices(), 0);
+    }
+}

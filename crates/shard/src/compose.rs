@@ -1,0 +1,456 @@
+//! The cross-shard composition pass: one AND + BitCount kernel per
+//! cross-shard arc, fanned over computational arrays through the
+//! `tcim-sched` delta-job machinery.
+//!
+//! A cross arc `(a, c)` (tail shard `s`, head shard `t > s`) needs
+//! `popcount(R_a AND C_c)` over the global bit universe. Both operands
+//! are stored split at their shard cuts ([`crate::boundary`]), and
+//! because shard slice ranges are disjoint the full kernel decomposes
+//! into three region-disjoint sub-passes whose valid-pair counts sum to
+//! the monolithic arc's:
+//!
+//! ```text
+//!   R_a.local    AND  C_c.boundary   → middles in shard s
+//!   R_a.boundary AND  C_c.boundary   → middles in shards between s and t
+//!   R_a.boundary AND  C_c.local      → middles in shard t
+//! ```
+//!
+//! Each surviving bit `w` names the triangle `(a, w, c)` — read back
+//! out when attribution is requested, exactly like the monolithic
+//! attributed run.
+
+use tcim_arch::{SliceCostModel, TriangleSink, TriangleTally};
+use tcim_bitmatrix::popcount::{popcount_word, visit_set_bits, PopcountMethod};
+use tcim_sched::{parallel_map_indexed, plan_deltas, DeltaJob, SchedPolicy};
+
+use crate::boundary::{BoundarySlices, SplitOperand};
+use crate::error::{Result, ShardError};
+use crate::plan::ShardPlan;
+use crate::spec::ShardMode;
+
+/// The merged outcome of one composition pass.
+#[derive(Debug, Clone)]
+pub struct CompositionRun {
+    /// Triangles spanning at least two shards.
+    pub triangles: u64,
+    /// Per-vertex participation over the *global oriented* id space;
+    /// present only for attributed runs.
+    pub per_vertex: Option<Vec<u64>>,
+    /// Per-arc triangle support `(i, j, count)` over global oriented
+    /// arcs, ascending; present only when support was requested.
+    pub support: Option<Vec<(u32, u32, u64)>>,
+    /// Kernel dispatches: one per cross-shard arc.
+    pub kernel_invocations: u64,
+    /// Valid slice pairs AND + BitCounted across all region sub-passes
+    /// (equal to the monolithic pair count over the same arcs).
+    pub slice_pairs: u64,
+    /// Non-zero AND results read back out (attributed runs only).
+    pub result_readouts: u64,
+    /// Operand slices written into arrays.
+    pub write_slices: u64,
+    /// Modelled critical path of the pass (serial host dispatch plus
+    /// the busiest array's AND/BitCount/readout work), in seconds.
+    pub critical_path_s: f64,
+    /// Modelled energy of the pass (J).
+    pub modelled_energy_j: f64,
+    /// Load-imbalance factor of the placement (`max / mean` busy time).
+    pub imbalance: f64,
+    /// Placement units the pass was scheduled as: arcs in
+    /// [`ShardMode::OneD`], `(tail shard, head shard)` edge blocks in
+    /// [`ShardMode::TwoD`].
+    pub placement_units: usize,
+}
+
+/// One worker array's partial results.
+struct ArrayPartial {
+    triangles: u64,
+    pairs: u64,
+    readouts: u64,
+    writes: u64,
+    busy_s: f64,
+    tally: Option<TriangleTally>,
+}
+
+/// Runs the composition pass for `plan` over the extracted `boundary`
+/// material, placing kernels onto `policy.arrays` arrays.
+///
+/// With `attributed` set, every non-zero AND result is read back out
+/// and each surviving middle vertex `w` is recorded as the triangle
+/// `(a, w, c)`; `need_support` additionally accumulates per-arc
+/// support.
+///
+/// # Errors
+///
+/// Returns [`ShardError::MissingBoundary`] when an arc's operands were
+/// not extracted (an internal invariant violation) and propagates
+/// placement errors.
+pub fn compose(
+    vertex_count: usize,
+    plan: &ShardPlan,
+    boundary: &BoundarySlices,
+    policy: &SchedPolicy,
+    costs: &SliceCostModel,
+    attributed: bool,
+    need_support: bool,
+) -> Result<CompositionRun> {
+    policy.validate().map_err(ShardError::Sched)?;
+    let arcs = boundary.cross_arcs();
+
+    // Group arcs into placement units and price each unit.
+    let units: Vec<Vec<usize>> = match plan.mode() {
+        ShardMode::OneD => (0..arcs.len()).map(|k| vec![k]).collect(),
+        ShardMode::TwoD => {
+            let mut blocks: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (k, &(a, c)) in arcs.iter().enumerate() {
+                blocks.entry((plan.shard_of(a), plan.shard_of(c))).or_default().push(k);
+            }
+            blocks.into_values().collect()
+        }
+    };
+    let jobs: Vec<DeltaJob> = units
+        .iter()
+        .enumerate()
+        .map(|(id, unit)| price_unit(id, unit, arcs, boundary, costs))
+        .collect::<Result<_>>()?;
+    let delta_plan = plan_deltas(&jobs, policy).map_err(ShardError::Sched)?;
+    let per_array = delta_plan.per_array_jobs();
+
+    // Execute each array's units; merge deterministically in array
+    // order afterwards.
+    let threads = policy.resolved_host_threads();
+    let partials: Vec<Result<ArrayPartial>> =
+        parallel_map_indexed(per_array.len(), threads, |array| {
+            let mut partial = ArrayPartial {
+                triangles: 0,
+                pairs: 0,
+                readouts: 0,
+                writes: 0,
+                busy_s: 0.0,
+                tally: attributed.then(|| TriangleTally::new(vertex_count, need_support)),
+            };
+            for &unit in &per_array[array] {
+                run_unit(&units[unit], arcs, boundary, &mut partial)?;
+            }
+            partial.busy_s = costs.write_latency_s * partial.writes as f64
+                + (costs.and_latency_s + costs.bitcount_latency_s) * partial.pairs as f64
+                + costs.readout_latency_s * partial.readouts as f64;
+            Ok(partial)
+        });
+
+    let mut triangles = 0u64;
+    let mut pairs = 0u64;
+    let mut readouts = 0u64;
+    let mut writes = 0u64;
+    let mut busy: Vec<f64> = Vec::with_capacity(per_array.len());
+    let mut per_vertex = attributed.then(|| vec![0u64; vertex_count]);
+    let mut support: Option<std::collections::BTreeMap<(u32, u32), u64>> =
+        (attributed && need_support).then(std::collections::BTreeMap::new);
+    for partial in partials {
+        let partial = partial?;
+        triangles += partial.triangles;
+        pairs += partial.pairs;
+        readouts += partial.readouts;
+        writes += partial.writes;
+        busy.push(partial.busy_s);
+        if let Some(tally) = partial.tally {
+            let (_, pv, sp) = tally.into_parts();
+            if let Some(total) = per_vertex.as_mut() {
+                for (t, p) in total.iter_mut().zip(&pv) {
+                    *t += p;
+                }
+            }
+            if let (Some(map), Some(sp)) = (support.as_mut(), sp) {
+                for (i, j, c) in sp {
+                    *map.entry((i, j)).or_insert(0) += c;
+                }
+            }
+        }
+    }
+
+    // Host dispatch stays serial (one controller), array work runs on
+    // the busiest array's clock.
+    let host_s = arcs.len() as f64 * costs.controller_overhead_s;
+    let max_busy = busy.iter().copied().fold(0.0, f64::max);
+    let mean_busy =
+        if busy.is_empty() { 0.0 } else { busy.iter().sum::<f64>() / busy.len() as f64 };
+    let energy = costs.write_energy_j * writes as f64
+        + (costs.and_energy_j + costs.bitcount_energy_j) * pairs as f64
+        + costs.readout_energy_j * readouts as f64;
+
+    Ok(CompositionRun {
+        triangles,
+        per_vertex,
+        support: support.map(|map| map.into_iter().map(|((i, j), c)| (i, j, c)).collect()),
+        kernel_invocations: arcs.len() as u64,
+        slice_pairs: pairs,
+        result_readouts: readouts,
+        write_slices: writes,
+        critical_path_s: host_s + max_busy,
+        modelled_energy_j: energy,
+        imbalance: if mean_busy > 0.0 { max_busy / mean_busy } else { 1.0 },
+        placement_units: units.len(),
+    })
+}
+
+/// Prices one placement unit: operand write slices (each distinct
+/// operand written once per unit — the 2D mode's reuse) plus a pair
+/// upper bound for load balancing.
+fn price_unit(
+    id: usize,
+    unit: &[usize],
+    arcs: &[(u32, u32)],
+    boundary: &BoundarySlices,
+    costs: &SliceCostModel,
+) -> Result<DeltaJob> {
+    let mut row_writes = 0u64;
+    let mut col_writes = 0u64;
+    let mut est_pairs = 0u64;
+    let mut seen_rows: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut seen_cols: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for &k in unit {
+        let (a, c) = arcs[k];
+        let row = operand(boundary.row(a), a, "row")?;
+        let col = operand(boundary.col(c), c, "column")?;
+        if seen_rows.insert(a) {
+            row_writes += row.valid_slices();
+        }
+        if seen_cols.insert(c) {
+            col_writes += col.valid_slices();
+        }
+        est_pairs += row.valid_slices().min(col.valid_slices());
+    }
+    Ok(DeltaJob::price(id, row_writes, col_writes, est_pairs, costs))
+}
+
+fn operand<'a>(
+    found: Option<&'a SplitOperand>,
+    vertex: u32,
+    side: &'static str,
+) -> Result<&'a SplitOperand> {
+    found.ok_or(ShardError::MissingBoundary { vertex, side })
+}
+
+/// Executes one placement unit's arcs on one array: every arc runs its
+/// three region sub-passes, counting operand writes with per-unit
+/// reuse (a 2D block writes each distinct operand once).
+fn run_unit(
+    unit: &[usize],
+    arcs: &[(u32, u32)],
+    boundary: &BoundarySlices,
+    partial: &mut ArrayPartial,
+) -> Result<()> {
+    let mut seen_rows: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut seen_cols: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for &k in unit {
+        let (a, c) = arcs[k];
+        let row = operand(boundary.row(a), a, "row")?;
+        let col = operand(boundary.col(c), c, "column")?;
+        if seen_rows.insert(a) {
+            partial.writes += row.valid_slices();
+        }
+        if seen_cols.insert(c) {
+            partial.writes += col.valid_slices();
+        }
+        for (left, right) in [
+            (&row.local, &col.boundary),
+            (&row.boundary, &col.boundary),
+            (&row.boundary, &col.local),
+        ] {
+            let slice_bits = left.slice_size().bits();
+            let pairs = left
+                .matching_slices(right)
+                .expect("boundary operands share slice size and universe");
+            for (slice, ls, rs) in pairs {
+                partial.pairs += 1;
+                let anded: Vec<u64> = ls.iter().zip(rs).map(|(x, y)| x & y).collect();
+                let count: u64 = anded
+                    .iter()
+                    .map(|&w| u64::from(popcount_word(w, PopcountMethod::Native)))
+                    .sum();
+                partial.triangles += count;
+                if count > 0 {
+                    if let Some(tally) = partial.tally.as_mut() {
+                        partial.readouts += 1;
+                        visit_set_bits(anded.iter().copied(), |offset| {
+                            tally.triangle(a, slice * slice_bits + offset, c);
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_shards;
+    use crate::spec::ShardSpec;
+    use tcim_arch::{PimConfig, PimEngine};
+    use tcim_bitmatrix::SliceSize;
+    use tcim_graph::generators::gnm;
+    use tcim_graph::{CsrGraph, Orientation, OrientedGraph};
+
+    fn costs() -> SliceCostModel {
+        PimEngine::new(&PimConfig::default()).unwrap().cost_model()
+    }
+
+    fn fixture(shards: usize, mode_2d: bool) -> (CsrGraph, OrientedGraph, CompositionRun) {
+        let g = gnm(512, 3500, 9).unwrap();
+        let oriented = Orientation::Natural.orient(&g);
+        let spec = if mode_2d { ShardSpec::two_d(shards) } else { ShardSpec::one_d(shards) };
+        let plan = plan_shards(&oriented, &spec, SliceSize::S64).unwrap();
+        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let run = compose(
+            oriented.vertex_count(),
+            &plan,
+            &boundary,
+            &SchedPolicy::with_arrays(4),
+            &costs(),
+            true,
+            true,
+        )
+        .unwrap();
+        (g, oriented, run)
+    }
+
+    /// CPU reference: triangles whose extreme vertices span shards.
+    fn cross_reference(oriented: &OrientedGraph, plan: &ShardPlan) -> u64 {
+        let mut count = 0u64;
+        for (a, c) in oriented.arcs() {
+            if !plan.is_cross(a, c) {
+                continue;
+            }
+            // Middles w: heads of a that are tails of c.
+            for &w in oriented.row(a) {
+                if w < c && oriented.row(w).binary_search(&c).is_ok() {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn composition_counts_exactly_the_cross_shard_triangles() {
+        for shards in [2usize, 4, 8] {
+            let g = gnm(512, 3500, 9).unwrap();
+            let oriented = Orientation::Natural.orient(&g);
+            let plan =
+                plan_shards(&oriented, &ShardSpec::one_d(shards), SliceSize::S64).unwrap();
+            let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+            let run = compose(
+                oriented.vertex_count(),
+                &plan,
+                &boundary,
+                &SchedPolicy::with_arrays(4),
+                &costs(),
+                false,
+                false,
+            )
+            .unwrap();
+            assert_eq!(run.triangles, cross_reference(&oriented, &plan), "{shards} shards");
+            assert_eq!(run.kernel_invocations, plan.cross_arcs());
+            assert_eq!(run.result_readouts, 0, "count-only runs read nothing out");
+        }
+    }
+
+    #[test]
+    fn attribution_sums_to_three_per_triangle_and_support_to_three() {
+        let (_, _, run) = fixture(4, false);
+        let pv = run.per_vertex.as_ref().unwrap();
+        assert_eq!(pv.iter().sum::<u64>(), 3 * run.triangles);
+        let support = run.support.as_ref().unwrap();
+        assert_eq!(support.iter().map(|&(_, _, c)| c).sum::<u64>(), 3 * run.triangles);
+        assert!(run.result_readouts > 0);
+        assert!(run.critical_path_s > 0.0);
+        assert!(run.modelled_energy_j > 0.0);
+    }
+
+    #[test]
+    fn two_d_blocks_count_identically_with_fewer_units_and_writes() {
+        let (_, _, one_d) = fixture(4, false);
+        let (_, _, two_d) = fixture(4, true);
+        assert_eq!(one_d.triangles, two_d.triangles);
+        assert_eq!(one_d.slice_pairs, two_d.slice_pairs);
+        assert_eq!(one_d.per_vertex, two_d.per_vertex);
+        assert_eq!(one_d.support, two_d.support);
+        assert!(
+            two_d.placement_units < one_d.placement_units,
+            "blocks must coarsen placement ({} vs {})",
+            two_d.placement_units,
+            one_d.placement_units
+        );
+        assert!(
+            two_d.write_slices < one_d.write_slices,
+            "block operand reuse must save writes ({} vs {})",
+            two_d.write_slices,
+            one_d.write_slices
+        );
+    }
+
+    #[test]
+    fn slice_pairs_match_the_monolithic_pair_count_over_cross_arcs() {
+        // The three region sub-passes partition the monolithic arc's
+        // matching pairs, so totals must agree with a full-vector AND.
+        let g = gnm(512, 3500, 9).unwrap();
+        let oriented = Orientation::Natural.orient(&g);
+        let plan = plan_shards(&oriented, &ShardSpec::one_d(4), SliceSize::S64).unwrap();
+        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let run = compose(
+            oriented.vertex_count(),
+            &plan,
+            &boundary,
+            &SchedPolicy::with_arrays(2),
+            &costs(),
+            false,
+            false,
+        )
+        .unwrap();
+
+        let n = oriented.vertex_count();
+        let mut in_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, c) in oriented.arcs() {
+            in_lists[c as usize].push(a as usize);
+        }
+        let mut expected = 0u64;
+        for &(a, c) in boundary.cross_arcs() {
+            let row = tcim_bitmatrix::SlicedBitVector::from_sorted_indices(
+                n,
+                oriented.row(a).iter().map(|&j| j as usize),
+                SliceSize::S64,
+            );
+            let col = tcim_bitmatrix::SlicedBitVector::from_sorted_indices(
+                n,
+                in_lists[c as usize].iter().copied(),
+                SliceSize::S64,
+            );
+            expected += row.matching_slices(&col).unwrap().count() as u64;
+        }
+        assert_eq!(run.slice_pairs, expected);
+    }
+
+    #[test]
+    fn empty_composition_is_a_no_op() {
+        let g = gnm(128, 600, 1).unwrap();
+        let oriented = Orientation::Natural.orient(&g);
+        let plan = plan_shards(&oriented, &ShardSpec::one_d(1), SliceSize::S64).unwrap();
+        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let run = compose(
+            oriented.vertex_count(),
+            &plan,
+            &boundary,
+            &SchedPolicy::with_arrays(4),
+            &costs(),
+            true,
+            true,
+        )
+        .unwrap();
+        assert_eq!(run.triangles, 0);
+        assert_eq!(run.slice_pairs, 0);
+        assert_eq!(run.imbalance, 1.0);
+        assert_eq!(run.placement_units, 0);
+    }
+}

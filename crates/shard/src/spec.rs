@@ -1,0 +1,125 @@
+//! The shard specification: how many shards, and how cross-shard work
+//! is grouped for placement.
+
+use std::fmt;
+
+use crate::error::{Result, ShardError};
+
+/// How the cross-shard composition pass groups its kernels for
+/// placement onto arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ShardMode {
+    /// 1D vertex-range sharding: every cross-shard arc is its own
+    /// placement unit — finest-grained balancing, one operand write
+    /// pair per kernel.
+    #[default]
+    OneD,
+    /// 2D edge-block mode: cross-shard arcs are grouped into `(tail
+    /// shard, head shard)` blocks and each block is one placement
+    /// unit. An array processes a whole block, writing each distinct
+    /// row/column operand once — coarser balancing, amortized operand
+    /// traffic (the layout of the journal follow-up's blocked
+    /// partitioning and of UPMEM-style per-DPU edge blocks).
+    TwoD,
+}
+
+impl ShardMode {
+    /// Short stable label (`"1d"` / `"2d"`), used in backend names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardMode::OneD => "1d",
+            ShardMode::TwoD => "2d",
+        }
+    }
+}
+
+impl fmt::Display for ShardMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Specification of a sharded execution: shard count plus the
+/// composition grouping mode.
+///
+/// # Examples
+///
+/// ```
+/// use tcim_shard::{ShardMode, ShardSpec};
+///
+/// let spec = ShardSpec::one_d(4);
+/// assert_eq!(spec.shards, 4);
+/// spec.validate()?;
+///
+/// let blocked = ShardSpec::two_d(8);
+/// assert_eq!(blocked.mode, ShardMode::TwoD);
+/// assert!(ShardSpec::one_d(0).validate().is_err());
+/// # Ok::<(), tcim_shard::ShardError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// Number of vertex-range shards to partition the oriented DAG
+    /// into. Ranges are slice-aligned, so on graphs with fewer
+    /// vertices than `shards × |S|` some trailing shards may own an
+    /// empty range (execution handles them as no-ops).
+    pub shards: usize,
+    /// How the composition pass groups cross-shard kernels.
+    pub mode: ShardMode,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec { shards: 4, mode: ShardMode::OneD }
+    }
+}
+
+impl ShardSpec {
+    /// A 1D vertex-range specification with `shards` shards.
+    pub fn one_d(shards: usize) -> Self {
+        ShardSpec { shards, mode: ShardMode::OneD }
+    }
+
+    /// A 2D edge-block specification with `shards` shards.
+    pub fn two_d(shards: usize) -> Self {
+        ShardSpec { shards, mode: ShardMode::TwoD }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::InvalidSpec`] for zero shards.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(ShardError::InvalidSpec {
+                reason: "at least one shard is required".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.shards, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ShardSpec::one_d(4).to_string(), "4x1d");
+        assert_eq!(ShardSpec::two_d(2).to_string(), "2x2d");
+        assert_eq!(ShardMode::TwoD.label(), "2d");
+    }
+
+    #[test]
+    fn zero_shards_is_invalid() {
+        assert!(ShardSpec::one_d(0).validate().is_err());
+        assert!(ShardSpec::default().validate().is_ok());
+    }
+}

@@ -580,8 +580,7 @@ impl DynamicGraph {
         let slice_bits = self.slice_size.bits();
         let results = if fan_out {
             let rows = &self.rows;
-            let per_array: Vec<Vec<usize>> =
-                (0..plan.arrays).map(|a| plan.jobs_of(a)).collect();
+            let per_array = plan.per_array_jobs();
             let outs: Vec<Vec<(usize, (u64, u64, Vec<u32>))>> = parallel_map_indexed(
                 plan.arrays,
                 self.config.sched.resolved_host_threads(),

@@ -12,6 +12,9 @@
 //! * [`tcim_arch`] — the processing-in-MRAM architecture simulator.
 //! * [`tcim_sched`] — the multi-array scheduler and parallel execution
 //!   runtime (placement policies, critical-path aggregation, batching).
+//! * [`tcim_shard`] — sharded large-graph execution: degree-aware
+//!   vertex-range partitioning, cross-shard boundary slices, the
+//!   composition pass.
 //! * [`tcim_core`] — the public TCIM accelerator API, the typed
 //!   [`Query`](tcim_core::Query) layer and baselines.
 //! * [`tcim_stream`] — the dynamic-graph subsystem: incremental triangle
@@ -35,6 +38,7 @@ pub use tcim_mtj as mtj;
 pub use tcim_nvsim as nvsim;
 pub use tcim_sched as sched;
 pub use tcim_service as service;
+pub use tcim_shard as shard;
 pub use tcim_stream as stream;
 
 /// Convenience alias for results in examples and integration tests.
@@ -58,6 +62,8 @@ pub enum TcimError {
     Arch(tcim_arch::ArchError),
     /// From `tcim-sched` (scheduling policies and planning).
     Sched(tcim_sched::SchedError),
+    /// From `tcim-shard` (partition planning and composition).
+    Shard(tcim_shard::ShardError),
     /// From `tcim-core` (pipeline, backends, queries).
     Core(tcim_core::CoreError),
     /// From `tcim-stream` (dynamic-graph updates and folding).
@@ -75,6 +81,7 @@ impl fmt::Display for TcimError {
             TcimError::Nvsim(e) => write!(f, "nvsim: {e}"),
             TcimError::Arch(e) => write!(f, "arch: {e}"),
             TcimError::Sched(e) => write!(f, "sched: {e}"),
+            TcimError::Shard(e) => write!(f, "shard: {e}"),
             TcimError::Core(e) => write!(f, "core: {e}"),
             TcimError::Stream(e) => write!(f, "stream: {e}"),
             TcimError::Service(e) => write!(f, "service: {e}"),
@@ -91,6 +98,7 @@ impl Error for TcimError {
             TcimError::Nvsim(e) => Some(e),
             TcimError::Arch(e) => Some(e),
             TcimError::Sched(e) => Some(e),
+            TcimError::Shard(e) => Some(e),
             TcimError::Core(e) => Some(e),
             TcimError::Stream(e) => Some(e),
             TcimError::Service(e) => Some(e),
@@ -114,6 +122,7 @@ from_member!(Mtj, tcim_mtj::MtjError);
 from_member!(Nvsim, tcim_nvsim::NvsimError);
 from_member!(Arch, tcim_arch::ArchError);
 from_member!(Sched, tcim_sched::SchedError);
+from_member!(Shard, tcim_shard::ShardError);
 from_member!(Core, tcim_core::CoreError);
 from_member!(Stream, tcim_stream::StreamError);
 from_member!(Service, tcim_service::ServiceError);
