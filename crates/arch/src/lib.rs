@@ -26,7 +26,11 @@
 //!   claim.
 //! * [`sweep`] — structured capacity/policy sweeps over the buffer
 //!   configuration.
-//! * [`trace`] — a bounded event trace for debugging and inspection.
+//!
+//! Kernel-event tracing lives in [`tcim_telemetry`]: runs record
+//! [`KernelEvent`]s into a bounded [`EventTrace`] when
+//! [`PimConfig::trace_capacity`] is non-zero (both types are
+//! re-exported here for convenience).
 //!
 //! # Example
 //!
@@ -60,7 +64,6 @@ mod error;
 pub mod runtime;
 pub mod stats;
 pub mod sweep;
-pub mod trace;
 
 pub use bitcounter::BitCounterModel;
 pub use buffer::{AccessOutcome, ReplacementPolicy, SliceCache};
@@ -74,3 +77,4 @@ pub use runtime::{
     TriangleTally,
 };
 pub use stats::AccessStats;
+pub use tcim_telemetry::{EventTrace, KernelEvent};

@@ -15,7 +15,7 @@ use tcim_bitmatrix::SlicedMatrix;
 use crate::buffer::{AccessOutcome, SliceCache};
 use crate::characterization::PimCharacterization;
 use crate::stats::AccessStats;
-use crate::trace::{Event, EventTrace};
+use tcim_telemetry::{EventTrace, KernelEvent};
 
 /// Where the simulated time went.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -154,21 +154,21 @@ pub fn run(chr: &PimCharacterization, matrix: &SlicedMatrix) -> PimRunResult {
         for (k, rs, cs) in pairs {
             if row_loaded.insert(k) {
                 stats.row_slice_writes += 1;
-                trace.push(Event::RowSliceWrite { row: i, slice: k });
+                trace.push(KernelEvent::RowSliceWrite { row: i, slice: k });
             }
             let key = (u64::from(j) << 32) | u64::from(k);
             match cache.access(key) {
                 AccessOutcome::Hit => {
                     stats.col_hits += 1;
-                    trace.push(Event::ColHit { col: j, slice: k });
+                    trace.push(KernelEvent::ColHit { col: j, slice: k });
                 }
                 AccessOutcome::Miss => {
                     stats.col_misses += 1;
-                    trace.push(Event::ColMiss { col: j, slice: k });
+                    trace.push(KernelEvent::ColMiss { col: j, slice: k });
                 }
                 AccessOutcome::Exchange { .. } => {
                     stats.col_exchanges += 1;
-                    trace.push(Event::ColExchange { col: j, slice: k });
+                    trace.push(KernelEvent::ColExchange { col: j, slice: k });
                 }
             }
 
@@ -178,7 +178,12 @@ pub fn run(chr: &PimCharacterization, matrix: &SlicedMatrix) -> PimRunResult {
             triangles += count;
             stats.and_ops += 1;
             stats.bitcount_ops += 1;
-            trace.push(Event::AndBitcount { row: i, col: j, slice: k, count: count as u32 });
+            trace.push(KernelEvent::AndBitcount {
+                row: i,
+                col: j,
+                slice: k,
+                count: count as u32,
+            });
         }
     }
 
@@ -323,28 +328,33 @@ pub fn run_attributed<S: TriangleSink + ?Sized>(
         for (k, rs, cs) in pairs {
             if row_loaded.insert(k) {
                 stats.row_slice_writes += 1;
-                trace.push(Event::RowSliceWrite { row: i, slice: k });
+                trace.push(KernelEvent::RowSliceWrite { row: i, slice: k });
             }
             let key = (u64::from(j) << 32) | u64::from(k);
             match cache.access(key) {
                 AccessOutcome::Hit => {
                     stats.col_hits += 1;
-                    trace.push(Event::ColHit { col: j, slice: k });
+                    trace.push(KernelEvent::ColHit { col: j, slice: k });
                 }
                 AccessOutcome::Miss => {
                     stats.col_misses += 1;
-                    trace.push(Event::ColMiss { col: j, slice: k });
+                    trace.push(KernelEvent::ColMiss { col: j, slice: k });
                 }
                 AccessOutcome::Exchange { .. } => {
                     stats.col_exchanges += 1;
-                    trace.push(Event::ColExchange { col: j, slice: k });
+                    trace.push(KernelEvent::ColExchange { col: j, slice: k });
                 }
             }
             let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
             let count = chr.bitcounter().count(&anded);
             stats.and_ops += 1;
             stats.bitcount_ops += 1;
-            trace.push(Event::AndBitcount { row: i, col: j, slice: k, count: count as u32 });
+            trace.push(KernelEvent::AndBitcount {
+                row: i,
+                col: j,
+                slice: k,
+                count: count as u32,
+            });
             if count > 0 {
                 // Drain the counter's latch and attribute each
                 // surviving bit to its triangle.

@@ -118,10 +118,45 @@ fn bench_mixed_amortization(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead: the same served query with profiling off
+/// (uninstalled spans are one thread-local read) vs on (every span is
+/// timed and a `PhaseBreakdown` is assembled per response). The "off"
+/// case must track `service-facade` above — disabled telemetry is the
+/// no-regression acceptance bar.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let g = barabasi_albert(1_500, 8, 5).unwrap();
+    let make = |profile_queries| {
+        let service = TcimService::new(&ServiceConfig {
+            default_backend: Backend::CpuMerge,
+            profile_queries,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        service.register("g", &g).unwrap();
+        service
+    };
+    let plain = make(false);
+    let profiled = make(true);
+
+    let mut group = c.benchmark_group("telemetry-overhead");
+    group.sample_size(10);
+    group.bench_function("profiling-off", |b| {
+        b.iter(|| plain.query(black_box("g"), &Query::TotalTriangles).unwrap().triangles)
+    });
+    group.bench_function("profiling-on", |b| {
+        b.iter(|| {
+            let response = profiled.query(black_box("g"), &Query::TotalTriangles).unwrap();
+            (response.triangles, response.phases.unwrap().phase_sum())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_query_shapes,
     bench_service_dispatch,
-    bench_mixed_amortization
+    bench_mixed_amortization,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Emits the perf-trajectory artifact `BENCH_6.json`: throughput and
+//! exact latency percentiles per backend × generator.
+//!
+//! Percentiles come from sorted raw per-iteration samples (exact), not
+//! from the runtime histogram's power-of-two buckets (approximate) —
+//! the artifact is the reference record future PRs compare against, so
+//! it uses the precise form.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [--out PATH] [--full]     # run the harness and write PATH
+//! bench_json --validate PATH           # schema-check an existing file
+//! ```
+//!
+//! The default smoke mode (what CI runs) uses few iterations; `--full`
+//! raises the iteration count for a lower-noise committed artifact.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tcim_bench::json::{self, num_u64, object, Json};
+use tcim_core::{
+    Backend, Query, SchedPolicy, ShardMode, ShardPolicy, ShardSpec, TcimConfig, TcimPipeline,
+};
+use tcim_graph::generators::{barabasi_albert, rmat, RmatParams};
+use tcim_graph::CsrGraph;
+
+struct Mode {
+    label: &'static str,
+    warmup: usize,
+    iterations: usize,
+}
+
+const SMOKE: Mode = Mode { label: "smoke", warmup: 2, iterations: 12 };
+const FULL: Mode = Mode { label: "full", warmup: 10, iterations: 80 };
+
+fn backends() -> Vec<(&'static str, Backend)> {
+    vec![
+        ("serial-pim", Backend::SerialPim),
+        ("scheduled-pim-4", Backend::ScheduledPim(SchedPolicy::with_arrays(4))),
+        (
+            "sharded-4",
+            Backend::Sharded(ShardPolicy {
+                spec: ShardSpec { shards: 4, mode: ShardMode::OneD },
+                inner: SchedPolicy::with_arrays(2),
+            }),
+        ),
+    ]
+}
+
+fn generators() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("ba", barabasi_albert(600, 5, 7).expect("generator parameters are valid")),
+        (
+            "rmat",
+            rmat(9, 2600, RmatParams::default(), 17).expect("generator parameters are valid"),
+        ),
+    ]
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1]
+}
+
+fn run(mode: &Mode) -> Json {
+    let pipeline =
+        TcimPipeline::new(&TcimConfig::default()).expect("default config characterizes");
+    let mut results = Vec::new();
+    for (gen_label, graph) in generators() {
+        let prepared = pipeline.prepare(&graph);
+        for (backend_label, backend) in backends() {
+            eprintln!(
+                "bench_json: {backend_label} × {gen_label} ({} iterations)",
+                mode.iterations
+            );
+            for _ in 0..mode.warmup {
+                pipeline
+                    .query(&prepared, &backend, &Query::TotalTriangles)
+                    .expect("warmup query succeeds");
+            }
+            let mut samples_ns = Vec::with_capacity(mode.iterations);
+            let mut triangles = 0u64;
+            let mut kernel_invocations = 0u64;
+            let mut slice_pairs = 0u64;
+            let mut modelled_s = 0.0f64;
+            let started = Instant::now();
+            for _ in 0..mode.iterations {
+                let iter_start = Instant::now();
+                let report = pipeline
+                    .query(&prepared, &backend, &Query::TotalTriangles)
+                    .expect("measured query succeeds");
+                samples_ns.push(iter_start.elapsed().as_nanos() as u64);
+                triangles = report.triangles;
+                kernel_invocations = report.kernel.kernel_invocations;
+                slice_pairs = report.kernel.slice_pairs;
+                modelled_s = report.modelled_time_s.unwrap_or(0.0);
+            }
+            let total = started.elapsed();
+            samples_ns.sort_unstable();
+            let sum: u64 = samples_ns.iter().sum();
+            let qps = mode.iterations as f64 / total.as_secs_f64();
+            results.push(object([
+                ("backend", Json::String(backend_label.to_string())),
+                ("generator", Json::String(gen_label.to_string())),
+                ("vertices", num_u64(graph.vertex_count() as u64)),
+                ("edges", num_u64(graph.edge_count() as u64)),
+                ("triangles", num_u64(triangles)),
+                ("iterations", num_u64(mode.iterations as u64)),
+                ("qps", Json::Number(qps)),
+                (
+                    "latency_ns",
+                    object([
+                        ("min", num_u64(samples_ns[0])),
+                        ("p50", num_u64(percentile(&samples_ns, 0.50))),
+                        ("p90", num_u64(percentile(&samples_ns, 0.90))),
+                        ("p99", num_u64(percentile(&samples_ns, 0.99))),
+                        ("max", num_u64(*samples_ns.last().expect("non-empty samples"))),
+                        ("mean", Json::Number(sum as f64 / samples_ns.len() as f64)),
+                    ]),
+                ),
+                ("modelled_time_s", Json::Number(modelled_s)),
+                ("kernel_invocations", num_u64(kernel_invocations)),
+                ("slice_pairs", num_u64(slice_pairs)),
+            ]));
+        }
+    }
+    object([
+        ("bench", num_u64(6)),
+        ("schema_version", num_u64(1)),
+        ("mode", Json::String(mode.label.to_string())),
+        ("iterations", num_u64(mode.iterations as u64)),
+        ("query", Json::String("TotalTriangles".to_string())),
+        ("results", Json::Array(results)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_6.json".to_string();
+    let mut validate: Option<String> = None;
+    let mut mode = &SMOKE;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            "--validate" if i + 1 < args.len() => {
+                validate = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--full" => {
+                mode = &FULL;
+                i += 1;
+            }
+            other => {
+                eprintln!("bench_json: unknown argument {other:?}");
+                eprintln!("usage: bench_json [--out PATH] [--full] | --validate PATH");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_json: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match json::parse(&text).and_then(|doc| json::validate_bench(&doc)) {
+            Ok(()) => {
+                println!("bench_json: {path} is a valid BENCH artifact");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_json: {path} failed validation: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let doc = run(mode);
+    json::validate_bench(&doc).expect("the harness emits its own schema");
+    if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
+        eprintln!("bench_json: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_json: wrote {out} ({} mode)", mode.label);
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,8 @@
 //! figure of the paper (see EXPERIMENTS.md). Both consume the experiment
 //! drivers in `tcim_core::experiments`.
 
+pub mod json;
+
 use tcim_core::experiments::ExperimentScale;
 
 /// Reads the experiment scale from `TCIM_SCALE` / `TCIM_SEED` environment

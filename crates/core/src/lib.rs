@@ -94,6 +94,7 @@ pub mod query;
 pub mod reported;
 pub mod sharded;
 pub mod software;
+pub mod telemetry;
 pub mod verify;
 
 pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
@@ -108,6 +109,7 @@ pub use sharded::{
     ShardPolicy, ShardProvenance, ShardSliceReport, ShardedBackend, ShardedCache,
     ShardedPreparedGraph,
 };
+pub use telemetry::PipelineMetrics;
 // Scheduling types surface in the accelerator's public API
 // (`TcimAccelerator::count_triangles_scheduled`), so re-export them.
 pub use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledReport};

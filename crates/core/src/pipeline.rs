@@ -23,6 +23,7 @@ use crate::backend::{Backend, CountReport, ExecutionBackend};
 use crate::error::Result;
 use crate::query::{Query, QueryReport};
 use crate::sharded::{ShardedBackend, ShardedCache, ShardedPreparedGraph};
+use crate::telemetry::PipelineMetrics;
 use tcim_shard::ShardSpec;
 
 /// Cache key of one prepared artifact: the graph's structural
@@ -93,12 +94,15 @@ impl PreparedGraph {
         slice_size: SliceSize,
         engine: &PimEngine,
     ) -> PreparedGraph {
+        let prepare_span = tcim_telemetry::span("prepare");
         let start = Instant::now();
         let key = PreparedKey::for_graph(g, orientation, slice_size);
         let oriented = orientation.orient(g);
+        let slice_span = tcim_telemetry::span("slice");
         let matrix = SlicedMatrix::from_adjacency(oriented.rows(), slice_size)
             .expect("oriented adjacency is always in bounds");
         let stats = matrix.stats();
+        drop(slice_span);
 
         // Price the run: the valid-pair population is exact (the same
         // merge the controller performs), the busy time optimistic.
@@ -117,6 +121,7 @@ impl PreparedGraph {
             controller_s: matrix.edge_count() as f64 * costs.controller_overhead_s,
         };
 
+        drop(prepare_span);
         PreparedGraph { key, oriented, matrix, stats, pricing, prepare_time: start.elapsed() }
     }
 
@@ -313,19 +318,22 @@ pub struct TcimPipeline {
     engine: PimEngine,
     cache: PreparedCache,
     sharded: ShardedCache,
+    metrics: PipelineMetrics,
 }
 
 impl Clone for TcimPipeline {
     /// Clones the configuration and characterized engine (no
     /// re-characterization); the clone starts with fresh, empty caches
     /// of the same capacity — prepared artifacts are shared by `Arc`,
-    /// not by cloning pipelines.
+    /// not by cloning pipelines — and a fresh metrics registry, so the
+    /// clone's counts start from zero.
     fn clone(&self) -> Self {
         TcimPipeline {
             config: self.config.clone(),
             engine: self.engine.clone(),
             cache: PreparedCache::new(self.cache.capacity),
             sharded: ShardedCache::new(self.sharded.capacity()),
+            metrics: PipelineMetrics::new(),
         }
     }
 }
@@ -360,6 +368,7 @@ impl TcimPipeline {
             engine,
             cache: PreparedCache::new(capacity),
             sharded: ShardedCache::new(capacity),
+            metrics: PipelineMetrics::new(),
         })
     }
 
@@ -381,6 +390,39 @@ impl TcimPipeline {
     /// The sharded-artifact cache (for hit/miss inspection).
     pub fn sharded_cache(&self) -> &ShardedCache {
         &self.sharded
+    }
+
+    /// This pipeline's metric instruments (recorded automatically by
+    /// the prepare/execute/query entry points).
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time read of this pipeline's metrics, extended with
+    /// the prepared- and sharded-cache hit/miss counters.
+    pub fn metrics_snapshot(&self) -> tcim_telemetry::MetricsSnapshot {
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.push_counter(
+            "tcim_prepared_cache_hits_total",
+            "prepared-graph cache lookups that found an artifact",
+            self.cache.hits(),
+        );
+        snapshot.push_counter(
+            "tcim_prepared_cache_misses_total",
+            "prepared-graph cache lookups that missed",
+            self.cache.misses(),
+        );
+        snapshot.push_counter(
+            "tcim_sharded_cache_hits_total",
+            "sharded-artifact cache lookups that found an artifact",
+            self.sharded.hits(),
+        );
+        snapshot.push_counter(
+            "tcim_sharded_cache_misses_total",
+            "sharded-artifact cache lookups that missed",
+            self.sharded.misses(),
+        );
+        snapshot
     }
 
     /// Partitions an already-prepared graph under `spec`, returning
@@ -417,6 +459,7 @@ impl TcimPipeline {
         if let Some(found) = self.cache.get(&key) {
             return (found, true);
         }
+        self.metrics.record_prepared_build();
         (self.cache.insert(self.prepare_uncached(g)), false)
     }
 
@@ -454,7 +497,13 @@ impl TcimPipeline {
     /// Propagates backend errors (mismatched slice size, invalid
     /// scheduling policy).
     pub fn execute(&self, prepared: &PreparedGraph, spec: &Backend) -> Result<CountReport> {
-        self.backend(spec).execute(prepared)
+        let report = self.backend(spec).execute(prepared)?;
+        self.metrics.record_execution(
+            &report.kernel,
+            report.execute_time,
+            report.modelled_time_s,
+        );
+        Ok(report)
     }
 
     /// Executes every backend in `specs` over one prepared graph,
@@ -486,7 +535,13 @@ impl TcimPipeline {
         spec: &Backend,
         query: &Query,
     ) -> Result<QueryReport> {
-        self.backend(spec).query(prepared, query)
+        let report = self.backend(spec).query(prepared, query)?;
+        self.metrics.record_execution(
+            &report.kernel,
+            report.execute_time,
+            report.modelled_time_s,
+        );
+        Ok(report)
     }
 
     /// Answers every query in `queries` over one prepared graph on one
@@ -502,7 +557,18 @@ impl TcimPipeline {
         queries: &[Query],
     ) -> Result<Vec<QueryReport>> {
         let backend = self.backend(spec);
-        queries.iter().map(|q| backend.query(prepared, q)).collect()
+        queries
+            .iter()
+            .map(|q| {
+                let report = backend.query(prepared, q)?;
+                self.metrics.record_execution(
+                    &report.kernel,
+                    report.execute_time,
+                    report.modelled_time_s,
+                );
+                Ok(report)
+            })
+            .collect()
     }
 
     /// One-shot convenience: prepare (cached) and execute — the

@@ -256,6 +256,29 @@ pub struct KernelStats {
     pub result_readouts: u64,
 }
 
+impl KernelStats {
+    /// Accumulates `other` into `self`, counter by counter.
+    ///
+    /// This is the single accumulation primitive for every place that
+    /// sums kernel accounting — per-shard partials inside a sharded
+    /// run, the composition pass, and top-level report sums — so the
+    /// three counters can never drift apart. Merging is associative
+    /// and commutative with [`KernelStats::default`] as identity.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.kernel_invocations += other.kernel_invocations;
+        self.slice_pairs += other.slice_pairs;
+        self.result_readouts += other.result_readouts;
+    }
+
+    /// [`merge`](KernelStats::merge) as a by-value fold operator, for
+    /// iterator `fold`/`reduce` chains.
+    #[must_use]
+    pub fn merged(mut self, other: &KernelStats) -> KernelStats {
+        self.merge(other);
+        self
+    }
+}
+
 impl fmt::Display for KernelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -581,5 +604,34 @@ mod tests {
         assert!(v.local_clustering().is_none());
         assert!(v.edge_support().is_none());
         assert!(v.top_k().is_none());
+    }
+
+    /// `KernelStats::merge` is the single accumulation primitive for
+    /// every stats sum (per-shard partials, composition, report
+    /// totals); pin the algebra that makes any merge order correct:
+    /// associativity, commutativity, and the default as identity.
+    #[test]
+    fn kernel_stats_merge_is_associative_and_commutative() {
+        let a = KernelStats { kernel_invocations: 3, slice_pairs: 10, result_readouts: 1 };
+        let b = KernelStats { kernel_invocations: 7, slice_pairs: 0, result_readouts: 4 };
+        let c = KernelStats { kernel_invocations: 11, slice_pairs: 5, result_readouts: 0 };
+
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        assert_eq!(left, right, "associativity");
+        assert_eq!(a.merged(&b), b.merged(&a), "commutativity");
+        assert_eq!(a.merged(&KernelStats::default()), a, "right identity");
+        assert_eq!(KernelStats::default().merged(&a), a, "left identity");
+        assert_eq!(
+            left,
+            KernelStats { kernel_invocations: 21, slice_pairs: 15, result_readouts: 5 }
+        );
+
+        // The in-place form agrees with the by-value fold form.
+        let mut acc = KernelStats::default();
+        for part in [&a, &b, &c] {
+            acc.merge(part);
+        }
+        assert_eq!(acc, left);
     }
 }

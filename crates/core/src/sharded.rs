@@ -499,10 +499,12 @@ impl<'e> ShardedBackend<'e> {
         let inner = SchedPolicy { host_threads: Some(1), ..self.policy.inner.clone() };
         let backend = ScheduledPimBackend::new(self.engine, inner);
         let threads = self.policy.inner.resolved_host_threads();
+        let shard_span = tcim_telemetry::span("shard");
         let partials: Vec<Result<IntraPartial>> =
             parallel_map_indexed(pieces.len(), threads, |s| {
                 intra_partial(&backend, &pieces[s], attributed, need_support)
             });
+        drop(shard_span);
 
         let n = prepared.oriented().vertex_count();
         let mut triangles = 0u64;
@@ -517,9 +519,7 @@ impl<'e> ShardedBackend<'e> {
         for (s, partial) in partials.into_iter().enumerate() {
             let partial = partial?;
             triangles += partial.triangles;
-            kernel.kernel_invocations += partial.kernel.kernel_invocations;
-            kernel.slice_pairs += partial.kernel.slice_pairs;
-            kernel.result_readouts += partial.kernel.result_readouts;
+            kernel.merge(&partial.kernel);
             stats.merge(&partial.stats);
             // Shards execute concurrently on disjoint array groups: the
             // intra phase runs on the slowest shard's clock.
@@ -546,6 +546,7 @@ impl<'e> ShardedBackend<'e> {
         let intra_triangles = triangles;
 
         // Cross-shard composition pass.
+        let compose_span = tcim_telemetry::span("compose");
         let comp = compose(
             n,
             sharded.plan(),
@@ -556,10 +557,13 @@ impl<'e> ShardedBackend<'e> {
             need_support,
         )
         .map_err(CoreError::Shard)?;
+        drop(compose_span);
         triangles += comp.triangles;
-        kernel.kernel_invocations += comp.kernel_invocations;
-        kernel.slice_pairs += comp.slice_pairs;
-        kernel.result_readouts += comp.result_readouts;
+        kernel.merge(&KernelStats {
+            kernel_invocations: comp.kernel_invocations,
+            slice_pairs: comp.slice_pairs,
+            result_readouts: comp.result_readouts,
+        });
         stats.merge(&AccessStats {
             edges: comp.kernel_invocations,
             and_ops: comp.slice_pairs,

@@ -1,0 +1,144 @@
+//! Pipeline-level metrics: one [`PipelineMetrics`] registry per
+//! [`TcimPipeline`](crate::TcimPipeline), recorded at execution
+//! boundaries.
+//!
+//! Instruments are registered once when the pipeline is built and
+//! recorded from already-aggregated values ([`KernelStats`], report
+//! wall/modelled times) at the end of each execute/query — never inside
+//! the per-edge kernel loop — so the hot path carries no metric cost
+//! at all. Snapshots additionally fold in the prepared- and
+//! sharded-cache hit/miss counters, which the caches themselves own.
+//!
+//! Metric names follow the Prometheus convention and are listed in the
+//! ARCHITECTURE.md observability glossary.
+
+use std::time::Duration;
+
+use tcim_telemetry::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
+
+use crate::query::KernelStats;
+
+/// Per-pipeline metric instruments, recorded at execution boundaries.
+///
+/// Cheap to clone (handles share the underlying atomics); every
+/// pipeline owns its own registry so co-resident pipelines and
+/// parallel tests never mix counts.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    registry: MetricsRegistry,
+    executions: Counter,
+    kernel_invocations: Counter,
+    slice_pairs: Counter,
+    result_readouts: Counter,
+    prepared_builds: Counter,
+    execute_latency: Histogram,
+    modelled_latency: Histogram,
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineMetrics {
+    /// Registers the pipeline instrument set on a fresh registry.
+    pub fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        PipelineMetrics {
+            executions: registry.counter(
+                "tcim_executions_total",
+                "backend executions (execute or query) completed",
+            ),
+            kernel_invocations: registry.counter(
+                "tcim_kernel_invocations_total",
+                "per-edge kernel dispatches across all executions",
+            ),
+            slice_pairs: registry.counter(
+                "tcim_slice_pairs_total",
+                "valid slice pairs AND + BitCounted across all executions",
+            ),
+            result_readouts: registry.counter(
+                "tcim_result_readouts_total",
+                "AND results read back out of the array across all executions",
+            ),
+            prepared_builds: registry.counter(
+                "tcim_prepared_builds_total",
+                "prepared-graph artifacts built (cache misses that did work)",
+            ),
+            execute_latency: registry.histogram(
+                "tcim_execute_latency_nanoseconds",
+                "host wall-clock time of the execution stage",
+            ),
+            modelled_latency: registry.histogram(
+                "tcim_modelled_latency_nanoseconds",
+                "modelled accelerator latency, for simulated-hardware backends",
+            ),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for registering additional instruments
+    /// that should appear in this pipeline's snapshots).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Records one completed execution's aggregate accounting.
+    pub fn record_execution(
+        &self,
+        kernel: &KernelStats,
+        execute_time: Duration,
+        modelled_time_s: Option<f64>,
+    ) {
+        self.executions.incr();
+        self.kernel_invocations.add(kernel.kernel_invocations);
+        self.slice_pairs.add(kernel.slice_pairs);
+        self.result_readouts.add(kernel.result_readouts);
+        self.execute_latency.observe_duration(execute_time);
+        if let Some(s) = modelled_time_s {
+            self.modelled_latency.observe_duration(Duration::from_secs_f64(s.max(0.0)));
+        }
+    }
+
+    /// Records one prepared-graph build (a prepare that did the work
+    /// rather than hitting the cache).
+    pub fn record_prepared_build(&self) {
+        self.prepared_builds.incr();
+    }
+
+    /// Point-in-time read of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_recording_accumulates_kernel_counters() {
+        let m = PipelineMetrics::new();
+        let a = KernelStats { kernel_invocations: 5, slice_pairs: 9, result_readouts: 1 };
+        let b = KernelStats { kernel_invocations: 2, slice_pairs: 4, result_readouts: 0 };
+        m.record_execution(&a, Duration::from_micros(10), Some(1e-6));
+        m.record_execution(&b, Duration::from_micros(20), None);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("tcim_executions_total"), Some(2));
+        assert_eq!(snap.counter("tcim_kernel_invocations_total"), Some(7));
+        assert_eq!(snap.counter("tcim_slice_pairs_total"), Some(13));
+        assert_eq!(snap.counter("tcim_result_readouts_total"), Some(1));
+        let lat = snap.histogram("tcim_execute_latency_nanoseconds").unwrap();
+        assert_eq!(lat.count, 2);
+        let modelled = snap.histogram("tcim_modelled_latency_nanoseconds").unwrap();
+        assert_eq!(modelled.count, 1);
+    }
+
+    #[test]
+    fn clones_share_instruments() {
+        let m = PipelineMetrics::new();
+        m.clone().record_prepared_build();
+        assert_eq!(m.snapshot().counter("tcim_prepared_builds_total"), Some(1));
+    }
+}

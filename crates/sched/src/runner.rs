@@ -98,6 +98,7 @@ impl<'a> ScheduledRun<'a> {
                 matrix_bits: matrix.slice_size().bits(),
             });
         }
+        let schedule_span = tcim_telemetry::span("schedule");
         let start = Instant::now();
         let jobs = decompose(matrix, &costs);
         // Model the residency buffer the run will actually have: the
@@ -118,6 +119,7 @@ impl<'a> ScheduledRun<'a> {
             engine.config().replacement_seed,
         );
         placement.validate();
+        drop(schedule_span);
         Ok(ScheduledRun {
             engine,
             matrix,
@@ -173,6 +175,10 @@ impl<'a> ScheduledRun<'a> {
         let base_seed = self.engine.config().replacement_seed;
 
         let start = Instant::now();
+        // One span covers the whole fan-out: per-array work runs on
+        // worker threads, which the calling thread's profiler cannot
+        // observe, so the array phase is timed as a unit here.
+        let array_span = tcim_telemetry::span("array");
         let runs: Vec<ArrayRun> = parallel_map_indexed(arrays, self.host_threads(), |a| {
             let jobs = &per_array_jobs[a];
             // Reserve the widest assigned row inside this array's
@@ -189,6 +195,7 @@ impl<'a> ScheduledRun<'a> {
                 attribution,
             )
         });
+        drop(array_span);
         let host_sim_time = start.elapsed();
 
         // Deterministic merge: array order, independent of thread timing.

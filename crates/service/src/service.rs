@@ -15,6 +15,9 @@ use tcim_core::{
 use tcim_graph::CsrGraph;
 use tcim_sched::parallel_map_indexed;
 use tcim_stream::{BatchReport, DynamicGraph, StreamConfig, UpdateBatch};
+use tcim_telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PhaseBreakdown,
+};
 
 use crate::error::{Result, ServiceError};
 use crate::store::{GraphInfo, GraphStore};
@@ -47,6 +50,12 @@ pub struct ServiceConfig {
     /// count is computed per graph as `⌈valid slices / budget⌉`
     /// (clamped to at least the template's count).
     pub shard: ShardPolicy,
+    /// When set, every query is profiled and its [`QueryResponse`]
+    /// carries a per-phase wall-time breakdown
+    /// ([`QueryResponse::phases`]). Profiling is scoped to the serving
+    /// thread for the duration of one request, so concurrent requests
+    /// never observe each other's spans.
+    pub profile_queries: bool,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +68,7 @@ impl Default for ServiceConfig {
             serve_threads: None,
             shard_slice_budget: None,
             shard: ShardPolicy::with_shards(2),
+            profile_queries: false,
         }
     }
 }
@@ -133,6 +143,10 @@ pub struct QueryResponse {
     pub sharding: Option<ShardProvenance>,
     /// Host wall-clock time spent serving this request.
     pub wall: Duration,
+    /// Per-phase wall-time breakdown of this request (`route`,
+    /// `execute`, …), present when [`ServiceConfig::profile_queries`]
+    /// is set.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl fmt::Display for QueryResponse {
@@ -153,6 +167,42 @@ impl fmt::Display for QueryResponse {
 struct LiveGraph {
     dynamic: Mutex<DynamicGraph>,
     served: AtomicU64,
+}
+
+/// Service-level instruments, registered once per service.
+#[derive(Debug, Clone)]
+struct ServiceMetrics {
+    registry: MetricsRegistry,
+    queries: Counter,
+    failures: Counter,
+    updates: Counter,
+    inflight: Gauge,
+    wall: Histogram,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        ServiceMetrics {
+            queries: registry
+                .counter("tcim_service_queries_total", "queries served (including failures)"),
+            failures: registry.counter(
+                "tcim_service_query_failures_total",
+                "queries that returned an error",
+            ),
+            updates: registry.counter(
+                "tcim_service_update_batches_total",
+                "update batches applied to live graphs",
+            ),
+            inflight: registry
+                .gauge("tcim_service_inflight_queries", "queries currently executing"),
+            wall: registry.histogram(
+                "tcim_service_query_wall_nanoseconds",
+                "host wall-clock time per served query",
+            ),
+            registry,
+        }
+    }
 }
 
 /// The TCIM serving facade: one characterized engine and one prepared
@@ -200,6 +250,7 @@ pub struct TcimService {
     pipeline: TcimPipeline,
     store: GraphStore,
     live: RwLock<HashMap<String, Arc<LiveGraph>>>,
+    metrics: ServiceMetrics,
 }
 
 impl fmt::Debug for TcimService {
@@ -228,6 +279,7 @@ impl TcimService {
             pipeline,
             store: GraphStore::new(),
             live: RwLock::new(HashMap::new()),
+            metrics: ServiceMetrics::new(),
         })
     }
 
@@ -310,7 +362,9 @@ impl TcimService {
             .live_graph(name)
             .ok_or_else(|| ServiceError::UnknownGraph { name: name.to_string() })?;
         let mut dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
-        Ok(dynamic.apply_batch(batch)?)
+        let report = dynamic.apply_batch(batch)?;
+        self.metrics.updates.incr();
+        Ok(report)
     }
 
     /// Evicts the graph bound to `name` (static or live), returning
@@ -368,14 +422,43 @@ impl TcimService {
     ///
     /// As [`TcimService::query`].
     pub fn query_with(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        self.metrics.inflight.add(1);
         let start = Instant::now();
+        let (result, profiled) = if self.config.profile_queries {
+            tcim_telemetry::profile("query", || self.answer(request))
+        } else {
+            (self.answer(request), None)
+        };
+        self.metrics.inflight.sub(1);
+        self.metrics.queries.incr();
+        self.metrics.wall.observe_duration(start.elapsed());
+        if result.is_err() {
+            self.metrics.failures.incr();
+        }
+        let mut response = result?;
+        response.phases = profiled.map(|report| report.breakdown());
+        Ok(response)
+    }
+
+    /// Routes the request to the answering graph and executes it
+    /// (the profiled body of [`TcimService::query_with`]).
+    fn answer(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let start = Instant::now();
+        let route_span = tcim_telemetry::span("route");
         if let Some(prepared) = self.store.get(&request.graph) {
-            return self.answer_static(request, &prepared, start);
+            let backend = match &request.backend {
+                Some(explicit) => explicit.clone(),
+                None => self.select_backend(&prepared),
+            };
+            drop(route_span);
+            return self.answer_static(request, &prepared, backend, start);
         }
         match self.live_graph(&request.graph) {
             Some(graph) => {
                 graph.served.fetch_add(1, Ordering::Relaxed);
                 let dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
+                drop(route_span);
+                let _execute = tcim_telemetry::span("execute");
                 answer_live(&request.graph, &dynamic, &request.query, start)
             }
             None => Err(ServiceError::UnknownGraph { name: request.graph.clone() }),
@@ -406,13 +489,12 @@ impl TcimService {
         &self,
         request: &QueryRequest,
         prepared: &Arc<PreparedGraph>,
+        backend: Backend,
         start: Instant,
     ) -> Result<QueryResponse> {
-        let backend = match &request.backend {
-            Some(explicit) => explicit.clone(),
-            None => self.select_backend(prepared),
-        };
+        let execute_span = tcim_telemetry::span("execute");
         let report = self.pipeline.query(prepared, &backend, &request.query)?;
+        drop(execute_span);
         Ok(QueryResponse {
             graph: request.graph.clone(),
             fingerprint: prepared.key().fingerprint,
@@ -427,6 +509,7 @@ impl TcimService {
             kernel: report.kernel,
             sharding: report.sharding,
             wall: start.elapsed(),
+            phases: None,
         })
     }
 
@@ -448,6 +531,32 @@ impl TcimService {
             spec: ShardSpec { shards, ..self.config.shard.spec },
             inner: self.config.shard.inner.clone(),
         })
+    }
+
+    /// A point-in-time read of every metric this service can see:
+    /// service-level request instruments, the pipeline's execution
+    /// instruments and cache counters, and registry-size gauges.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.metrics.registry.snapshot();
+        snapshot.samples.extend(self.pipeline.metrics_snapshot().samples);
+        snapshot.push_gauge(
+            "tcim_service_static_graphs",
+            "static graphs currently registered",
+            self.store.len() as i64,
+        );
+        snapshot.push_gauge(
+            "tcim_service_live_graphs",
+            "live graphs currently registered",
+            self.live.read().expect("live lock is never poisoned").len() as i64,
+        );
+        snapshot
+    }
+
+    /// [`TcimService::metrics_snapshot`] rendered in the Prometheus
+    /// text exposition format, ready to serve from a `/metrics`
+    /// endpoint.
+    pub fn render_prometheus(&self) -> String {
+        tcim_telemetry::render_prometheus(&self.metrics_snapshot())
     }
 }
 
@@ -511,5 +620,6 @@ fn answer_live(
         kernel,
         sharding: None,
         wall: start.elapsed(),
+        phases: None,
     })
 }

@@ -369,6 +369,7 @@ impl DynamicGraph {
     /// [`StreamError::CountDrift`]); validation failures are *not*
     /// errors of the batch.
     pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Result<BatchReport> {
+        let update_span = tcim_telemetry::span("update");
         let start = Instant::now();
         let (round_members, rejected) = self.validate(batch);
         let rounds = round_members.len();
@@ -377,7 +378,9 @@ impl DynamicGraph {
         let mut deltas: Vec<Option<Delta>> = vec![None; accepted];
         let mut modelled_kernel_s = 0.0f64;
         for (round, members) in round_members.iter().enumerate() {
+            let delta_span = tcim_telemetry::span("delta");
             let (results, round_critical_s) = self.run_round(members)?;
+            drop(delta_span);
             modelled_kernel_s += round_critical_s;
             for (m, (common, pairs, witnesses)) in members.iter().zip(&results) {
                 let signed = if m.insert { *common as i64 } else { -(*common as i64) };
@@ -429,6 +432,7 @@ impl DynamicGraph {
         if folded {
             self.fold()?;
         }
+        drop(update_span);
         Ok(BatchReport {
             deltas,
             rejected,
@@ -448,6 +452,7 @@ impl DynamicGraph {
     /// Returns [`StreamError::CountDrift`] when `verify_on_fold` is set
     /// and the recount disagrees, and propagates backend failures.
     pub fn fold(&mut self) -> Result<Arc<PreparedGraph>> {
+        let _fold_span = tcim_telemetry::span("fold");
         let start = Instant::now();
         let snapshot = self.snapshot();
         let prepared = self.pipeline.prepare(&snapshot);

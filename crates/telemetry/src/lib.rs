@@ -1,0 +1,64 @@
+//! Unified observability for the TCIM reproduction: structured
+//! tracing spans, a bounded ring recorder, and a metrics registry with
+//! a Prometheus-style text exporter.
+//!
+//! The paper's claim is a *performance* claim — bitwise AND + BitCount
+//! kernels in the MRAM array replace data movement — so the
+//! reproduction needs to see where modelled and host time actually go.
+//! This crate is the substrate every other `tcim-*` crate reports
+//! into; it depends on nothing but `std`, so it sits below the whole
+//! stack:
+//!
+//! * [`ring`] — [`BoundedRing`], a fixed-capacity drop-oldest ring
+//!   buffer (the bounded-ring semantics formerly private to
+//!   `tcim-arch`'s event trace, now shared by the kernel-event trace
+//!   and the span recorder).
+//! * [`trace`] — [`KernelEvent`] and [`EventTrace`]: the per-kernel
+//!   simulator event stream (row-slice writes, column hits/misses,
+//!   AND + BitCount completions).
+//! * [`mod@span`] — the zero-cost-when-disabled tracing facade:
+//!   [`span()`](span::span) guards record hierarchical phase timings
+//!   (`prepare → slice`, `query → execute → shard → compose`,
+//!   `update → delta → fold`) into a per-request profiler
+//!   ([`span::profile`]) and an optional global flight-recorder ring.
+//! * [`metrics`] — [`Counter`]/[`Gauge`]/[`Histogram`] primitives, a
+//!   named [`MetricsRegistry`], point-in-time [`MetricsSnapshot`]s and
+//!   [`render_prometheus`] for scrape-style export.
+//!
+//! # Example
+//!
+//! ```
+//! use tcim_telemetry::{profile, span, MetricsRegistry};
+//!
+//! let registry = MetricsRegistry::new();
+//! let kernels = registry.counter("tcim_kernel_invocations_total", "kernel dispatches");
+//!
+//! let (answer, report) = profile("query", || {
+//!     let _guard = span("execute");
+//!     kernels.add(5);
+//!     42
+//! });
+//! assert_eq!(answer, 42);
+//! let breakdown = report.expect("profiling is on for this thread").breakdown();
+//! assert_eq!(breakdown.phases[0].name, "execute");
+//! assert_eq!(registry.snapshot().counter("tcim_kernel_invocations_total"), Some(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod ring;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{
+    render_prometheus, Counter, Gauge, Histogram, HistogramSummary, MetricSample,
+    MetricsRegistry, MetricsSnapshot, SampleValue,
+};
+pub use ring::BoundedRing;
+pub use span::{
+    profile, recent_spans, set_flight_recorder, span, PhaseBreakdown, PhaseTime,
+    ProfileReport, SpanGuard, SpanRecord,
+};
+pub use trace::{EventTrace, KernelEvent};

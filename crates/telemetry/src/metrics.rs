@@ -1,0 +1,483 @@
+//! Metric primitives, a named registry, and a Prometheus-style text
+//! exporter.
+//!
+//! Instruments are registered once by name on a [`MetricsRegistry`]
+//! and recorded through cheap `Arc`-backed handles ([`Counter`],
+//! [`Gauge`], [`Histogram`]); every update is a single atomic
+//! operation, so handles can be shared freely across worker threads.
+//! A [`MetricsSnapshot`] is a point-in-time read of every registered
+//! instrument, and [`render_prometheus`] serializes a snapshot in the
+//! Prometheus text exposition format.
+//!
+//! Registries are plain values rather than process globals: each
+//! pipeline or service owns its own, so parallel tests and co-resident
+//! services never contaminate each other's counts.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge that can move in both directions (queue depths,
+/// in-flight request counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (possibly negative) to the gauge.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    // Bucket `i` counts observations whose value has bit length `i`
+    // (i.e. values in `[2^(i-1), 2^i)`; 0 and 1 land in buckets 0/1).
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free histogram over `u64` values with power-of-two buckets.
+///
+/// Quantiles are therefore approximate (resolved to the enclosing
+/// power-of-two bucket, clamped to the observed min/max); exact
+/// percentiles for offline artifacts like `BENCH_*.json` should sort
+/// raw samples instead.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let inner = &*self.inner;
+        let bucket = (u64::BITS - value.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Point-in-time summary of everything observed so far.
+    pub fn summary(&self) -> HistogramSummary {
+        let inner = &*self.inner;
+        let count = inner.count.load(Ordering::Relaxed);
+        let sum = inner.sum.load(Ordering::Relaxed);
+        let min = if count == 0 { 0 } else { inner.min.load(Ordering::Relaxed) };
+        let max = inner.max.load(Ordering::Relaxed);
+        let buckets: Vec<u64> =
+            inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Upper bound of bucket i is 2^i - 1 (bit length i).
+                    let upper = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                    return upper.clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum,
+            min,
+            max,
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Approximate 50th-percentile value.
+    pub p50: u64,
+    /// Approximate 90th-percentile value.
+    pub p90: u64,
+    /// Approximate 99th-percentile value.
+    pub p99: u64,
+}
+
+/// The value of one instrument in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A monotonic counter value.
+    Counter(u64),
+    /// A signed gauge value.
+    Gauge(i64),
+    /// A histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// One named instrument read out of a registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Instrument name (Prometheus-style, e.g.
+    /// `tcim_kernel_invocations_total`).
+    pub name: String,
+    /// One-line description.
+    pub help: String,
+    /// The instrument's value at snapshot time.
+    pub value: SampleValue,
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Registered {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A named registry of metric instruments.
+///
+/// Registration is idempotent: asking for an already-registered name
+/// (with the same instrument kind) returns a handle to the existing
+/// instrument. Cloning the registry shares the underlying instruments.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Vec<Registered>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        f.debug_struct("MetricsRegistry").field("instruments", &inner.len()).finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        if let Some(existing) = inner.iter().find(|r| r.name == name) {
+            match &existing.instrument {
+                Instrument::Counter(c) => return c.clone(),
+                _ => panic!("metric {name:?} is already registered as a non-counter"),
+            }
+        }
+        let counter = Counter::default();
+        inner.push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: Instrument::Counter(counter.clone()),
+        });
+        counter
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        if let Some(existing) = inner.iter().find(|r| r.name == name) {
+            match &existing.instrument {
+                Instrument::Gauge(g) => return g.clone(),
+                _ => panic!("metric {name:?} is already registered as a non-gauge"),
+            }
+        }
+        let gauge = Gauge::default();
+        inner.push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: Instrument::Gauge(gauge.clone()),
+        });
+        gauge
+    }
+
+    /// Registers (or retrieves) a histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        if let Some(existing) = inner.iter().find(|r| r.name == name) {
+            match &existing.instrument {
+                Instrument::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name:?} is already registered as a non-histogram"),
+            }
+        }
+        let histogram = Histogram::default();
+        inner.push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            instrument: Instrument::Histogram(histogram.clone()),
+        });
+        histogram
+    }
+
+    /// Reads every registered instrument, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        let samples = inner
+            .iter()
+            .map(|r| MetricSample {
+                name: r.name.clone(),
+                help: r.help.clone(),
+                value: match &r.instrument {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram(h.summary()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// A point-in-time read of a [`MetricsRegistry`], optionally extended
+/// with externally computed samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Samples in registration (then push) order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            SampleValue::Counter(v) if s.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Value of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            SampleValue::Gauge(v) if s.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Summary of the histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.samples.iter().find_map(|s| match &s.value {
+            SampleValue::Histogram(v) if s.name == name => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Appends an externally computed counter sample (for values owned
+    /// by other subsystems, e.g. a cache's own hit counters).
+    pub fn push_counter(&mut self, name: &str, help: &str, value: u64) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SampleValue::Counter(value),
+        });
+    }
+
+    /// Appends an externally computed gauge sample.
+    pub fn push_gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SampleValue::Gauge(value),
+        });
+    }
+}
+
+/// Serializes a snapshot in the Prometheus text exposition format
+/// (histograms are rendered as `summary` quantiles plus `_sum` and
+/// `_count` series).
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for sample in &snapshot.samples {
+        out.push_str(&format!("# HELP {} {}\n", sample.name, sample.help));
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {} counter\n", sample.name));
+                out.push_str(&format!("{} {v}\n", sample.name));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {} gauge\n", sample.name));
+                out.push_str(&format!("{} {v}\n", sample.name));
+            }
+            SampleValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {} summary\n", sample.name));
+                out.push_str(&format!("{}{{quantile=\"0.5\"}} {}\n", sample.name, h.p50));
+                out.push_str(&format!("{}{{quantile=\"0.9\"}} {}\n", sample.name, h.p90));
+                out.push_str(&format!("{}{{quantile=\"0.99\"}} {}\n", sample.name, h.p99));
+                out.push_str(&format!("{}_sum {}\n", sample.name, h.sum));
+                out.push_str(&format!("{}_count {}\n", sample.name, h.count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("tcim_executions_total", "executions");
+        let b = registry.counter("tcim_executions_total", "executions");
+        a.add(2);
+        b.incr();
+        assert_eq!(registry.snapshot().counter("tcim_executions_total"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("tcim_depth", "queue depth");
+        registry.counter("tcim_depth", "queue depth");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("tcim_inflight", "in-flight queries");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(registry.snapshot().gauge("tcim_inflight"), Some(-1));
+    }
+
+    #[test]
+    fn histogram_summary_tracks_quantile_bounds() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // p50 falls in the bucket containing 3 (bit length 2 → upper 3).
+        assert!(s.p50 >= 3 && s.p50 <= 100, "p50 = {}", s.p50);
+        // p99 resolves to the top bucket, clamped to the observed max.
+        assert_eq!(s.p99, 1000);
+        assert!((s.mean - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn prometheus_render_covers_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("tcim_a_total", "a").add(7);
+        registry.gauge("tcim_b", "b").set(-2);
+        registry.histogram("tcim_c_nanoseconds", "c").observe(5);
+        let mut snapshot = registry.snapshot();
+        snapshot.push_counter("tcim_external_total", "external", 9);
+        let text = render_prometheus(&snapshot);
+        assert!(text.contains("# TYPE tcim_a_total counter"));
+        assert!(text.contains("tcim_a_total 7"));
+        assert!(text.contains("tcim_b -2"));
+        assert!(text.contains("# TYPE tcim_c_nanoseconds summary"));
+        assert!(text.contains("tcim_c_nanoseconds_count 1"));
+        assert!(text.contains("tcim_c_nanoseconds{quantile=\"0.99\"}"));
+        assert!(text.contains("tcim_external_total 9"));
+    }
+}

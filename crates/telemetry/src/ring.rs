@@ -1,0 +1,127 @@
+//! A fixed-capacity drop-oldest ring buffer.
+//!
+//! This generalizes the bounded event trace that used to live inside
+//! `tcim-arch`: the same semantics (capacity 0 disables recording, the
+//! oldest entry is evicted once full, drops are counted) now back both
+//! the kernel-event trace ([`crate::EventTrace`]) and the span flight
+//! recorder ([`mod@crate::span`]).
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity ring buffer; old entries are dropped once full,
+/// with the number of drops reported.
+///
+/// # Examples
+///
+/// ```
+/// use tcim_telemetry::BoundedRing;
+///
+/// let mut ring = BoundedRing::new(2);
+/// ring.push('a');
+/// ring.push('b');
+/// ring.push('c'); // evicts 'a'
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec!['b', 'c']);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BoundedRing<T> {
+    capacity: usize,
+    entries: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T> BoundedRing<T> {
+    /// Creates a ring holding up to `capacity` entries (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        BoundedRing {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Whether recording is enabled (capacity above zero).
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records `entry`, evicting the oldest if at capacity.
+    pub fn push(&mut self, entry: T) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns every retained entry, oldest first (the
+    /// drop counter is preserved).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = BoundedRing::new(0);
+        r.push(7u32);
+        assert!(r.is_empty());
+        assert!(!r.is_enabled());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut r = BoundedRing::new(2);
+        r.push(0u32);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(*r.iter().next().unwrap(), 1);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let mut r = BoundedRing::new(1);
+        r.push('x');
+        r.push('y');
+        assert_eq!(r.drain(), vec!['y']);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.capacity(), 1);
+    }
+}

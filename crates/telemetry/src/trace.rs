@@ -1,0 +1,83 @@
+//! Kernel-level simulator events and their bounded trace.
+//!
+//! These events describe the innermost TCIM loop — row-slice writes
+//! into the reserved region, column-slice cache hits/misses/exchanges,
+//! and AND + BitCount completions — and are recorded into an
+//! [`EventTrace`] (a [`BoundedRing`] of [`KernelEvent`]s) when a
+//! positive trace capacity is configured.
+
+use crate::ring::BoundedRing;
+
+/// One simulator event at the kernel boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelEvent {
+    /// A row slice was written into the reserved row region.
+    RowSliceWrite {
+        /// Row (vertex) id.
+        row: u32,
+        /// Slice index within the row.
+        slice: u32,
+    },
+    /// A column-slice access hit in the array.
+    ColHit {
+        /// Column (vertex) id.
+        col: u32,
+        /// Slice index within the column.
+        slice: u32,
+    },
+    /// A column slice was loaded into free space.
+    ColMiss {
+        /// Column (vertex) id.
+        col: u32,
+        /// Slice index within the column.
+        slice: u32,
+    },
+    /// A column slice replaced a victim (data exchange).
+    ColExchange {
+        /// Column (vertex) id.
+        col: u32,
+        /// Slice index within the column.
+        slice: u32,
+    },
+    /// An AND + BitCount pair completed with the given partial count.
+    AndBitcount {
+        /// Edge tail (row) vertex.
+        row: u32,
+        /// Edge head (column) vertex.
+        col: u32,
+        /// Matching slice index.
+        slice: u32,
+        /// BitCount contribution of this pair.
+        count: u32,
+    },
+}
+
+/// A bounded ring of [`KernelEvent`]s (capacity 0 disables recording).
+pub type EventTrace = BoundedRing<KernelEvent>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = EventTrace::new(0);
+        t.push(KernelEvent::ColHit { col: 1, slice: 2 });
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = EventTrace::new(2);
+        t.push(KernelEvent::ColHit { col: 0, slice: 0 });
+        t.push(KernelEvent::ColHit { col: 1, slice: 0 });
+        t.push(KernelEvent::ColHit { col: 2, slice: 0 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let first = *t.iter().next().unwrap();
+        assert_eq!(first, KernelEvent::ColHit { col: 1, slice: 0 });
+    }
+}

@@ -1,0 +1,101 @@
+//! Observability end to end: profile a served query into a per-phase
+//! breakdown, read the metrics registry, render the Prometheus
+//! exposition, and replay the span flight recorder.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+
+use tcim_repro::graph::generators::{barabasi_albert, rmat, RmatParams};
+use tcim_repro::service::{QueryRequest, ServiceConfig, TcimService};
+use tcim_repro::tcim::{Backend, Query, SchedPolicy, ShardPolicy};
+use tcim_repro::telemetry::{recent_spans, set_flight_recorder};
+
+fn main() -> tcim_repro::Result<()> {
+    // Keep the last spans of every profiled run for post-hoc replay.
+    set_flight_recorder(256);
+
+    // A service with per-query profiling on: every response carries a
+    // wall-time breakdown over the span hierarchy.
+    let config = ServiceConfig { profile_queries: true, ..ServiceConfig::default() };
+    let service = TcimService::new(&config)?;
+    service.register("social", &barabasi_albert(2_000, 8, 7)?)?;
+    service.register("power-law", &rmat(11, 16_000, RmatParams::default(), 23)?)?;
+
+    // --- Per-phase breakdowns ----------------------------------------
+    println!("== profiled queries ==");
+    let backends = [
+        ("serial", Backend::SerialPim),
+        ("scheduled", Backend::ScheduledPim(SchedPolicy::with_arrays(4))),
+        ("sharded", Backend::Sharded(ShardPolicy::with_shards(4))),
+    ];
+    for (label, backend) in backends {
+        let request =
+            QueryRequest::new("power-law", Query::TotalTriangles).with_backend(backend);
+        let response = service.query_with(&request)?;
+        let phases = response.phases.expect("profiling is enabled");
+        println!(
+            "  {label:<9} {:>9} triangles  total {:>9.1?}  ({:.1}% accounted)",
+            response.triangles,
+            phases.total,
+            100.0 * phases.phase_sum().as_secs_f64() / phases.total.as_secs_f64(),
+        );
+        for phase in &phases.phases {
+            println!(
+                "    {:<10} {:>9.1?}  x{:<3} {:>5.1}%",
+                phase.name,
+                phase.total,
+                phase.count,
+                100.0 * phase.total.as_secs_f64() / phases.total.as_secs_f64(),
+            );
+        }
+    }
+
+    // --- Metrics snapshot --------------------------------------------
+    // A little more traffic so the counters have something to say.
+    for _ in 0..20 {
+        service.query("social", &Query::TotalTriangles)?;
+    }
+    let snap = service.metrics_snapshot();
+    println!("\n== counters ==");
+    for name in [
+        "tcim_service_queries_total",
+        "tcim_executions_total",
+        "tcim_kernel_invocations_total",
+        "tcim_slice_pairs_total",
+        "tcim_prepared_cache_hits_total",
+        "tcim_prepared_cache_misses_total",
+    ] {
+        println!("  {name:<34} {}", snap.counter(name).unwrap_or(0));
+    }
+    if let Some(wall) = snap.histogram("tcim_service_query_wall_nanoseconds") {
+        println!("  query wall: count {} p50 ~{}ns p99 ~{}ns", wall.count, wall.p50, wall.p99);
+    }
+
+    // --- Prometheus text exposition ----------------------------------
+    println!("\n== /metrics (excerpt) ==");
+    for line in service
+        .render_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("tcim_service_") || l.starts_with("tcim_executions"))
+        .take(10)
+    {
+        println!("  {line}");
+    }
+
+    // --- Flight recorder ---------------------------------------------
+    println!("\n== flight recorder (most recent spans) ==");
+    let spans = recent_spans();
+    for span in spans.iter().rev().take(8) {
+        println!(
+            "  {:indent$}{:<10} {:>9.1?}",
+            "",
+            span.name,
+            span.elapsed,
+            indent = span.depth as usize * 2
+        );
+    }
+    set_flight_recorder(0);
+    Ok(())
+}

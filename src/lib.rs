@@ -22,6 +22,9 @@
 //!   PIM delta kernels.
 //! * [`tcim_service`] — the serving facade: a named multi-graph registry
 //!   answering concurrent typed queries with provenance.
+//! * [`tcim_telemetry`] — the observability substrate: tracing spans,
+//!   the bounded ring recorder, the metrics registry and the
+//!   Prometheus-style exporter.
 //!
 //! The umbrella also provides [`TcimError`], the workspace-level error
 //! every member crate's error converts into, so `?` composes across
@@ -40,6 +43,7 @@ pub use tcim_sched as sched;
 pub use tcim_service as service;
 pub use tcim_shard as shard;
 pub use tcim_stream as stream;
+pub use tcim_telemetry as telemetry;
 
 /// Convenience alias for results in examples and integration tests.
 pub type Result<T> = std::result::Result<T, TcimError>;

@@ -80,6 +80,46 @@ fn one_shot_counts_reuse_the_prepared_artifact() {
     assert!(std::sync::Arc::ptr_eq(&prepared, &p.prepare(&g)));
 }
 
+/// The pipeline's metric counters are the same accounting its reports
+/// and caches carry: executions, kernel work sums, cache hits/misses
+/// and prepared builds all line up exactly.
+#[test]
+fn pipeline_metrics_mirror_report_and_cache_accounting() {
+    let p = pipeline(Orientation::Degree);
+    let g = barabasi_albert(300, 5, 7).unwrap();
+    let prepared = p.prepare(&g);
+
+    let mut kernels = 0u64;
+    let mut pairs = 0u64;
+    let mut executions = 0u64;
+    for spec in Backend::default_suite() {
+        let report = p.execute(&prepared, &spec).unwrap();
+        kernels += report.kernel.kernel_invocations;
+        pairs += report.kernel.slice_pairs;
+        executions += 1;
+        // The one-shot path routes through the same instrumented
+        // execute, so it counts too (and hits the prepared cache).
+        let one_shot = p.count(&g, &spec).unwrap();
+        kernels += one_shot.kernel.kernel_invocations;
+        pairs += one_shot.kernel.slice_pairs;
+        executions += 1;
+    }
+
+    let snap = p.metrics_snapshot();
+    assert_eq!(snap.counter("tcim_executions_total"), Some(executions));
+    assert_eq!(snap.counter("tcim_kernel_invocations_total"), Some(kernels));
+    assert_eq!(snap.counter("tcim_slice_pairs_total"), Some(pairs));
+    // One explicit prepare → one build and one miss; the five `count`
+    // calls above all hit (the same pins as the cache test).
+    assert_eq!(snap.counter("tcim_prepared_builds_total"), Some(1));
+    assert_eq!(snap.counter("tcim_prepared_cache_misses_total"), Some(p.cache().misses()));
+    assert_eq!(snap.counter("tcim_prepared_cache_hits_total"), Some(p.cache().hits()));
+    assert_eq!(p.cache().misses(), 1);
+    assert_eq!(p.cache().hits(), 5);
+    let latency = snap.histogram("tcim_execute_latency_nanoseconds").unwrap();
+    assert_eq!(latency.count, executions);
+}
+
 fn graph_strategy() -> impl Strategy<Value = CsrGraph> {
     (2usize..60).prop_flat_map(|n| {
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..250)

@@ -87,6 +87,45 @@ fn sharded_queries_reuse_the_partitioned_artifact() {
         "queries after the first sharded build must not re-slice"
     );
     assert!(pipeline.sharded_cache().hits() >= 6);
+
+    // The same reuse story told by the metrics snapshot: sharded-cache
+    // counters fold in from the cache itself, and the execution counter
+    // equals the 1 + example-suite queries run above.
+    let snap = pipeline.metrics_snapshot();
+    assert_eq!(
+        snap.counter("tcim_sharded_cache_hits_total"),
+        Some(pipeline.sharded_cache().hits())
+    );
+    assert_eq!(
+        snap.counter("tcim_sharded_cache_misses_total"),
+        Some(pipeline.sharded_cache().misses())
+    );
+    assert_eq!(
+        snap.counter("tcim_executions_total"),
+        Some(1 + Query::example_suite().len() as u64)
+    );
+}
+
+/// Sharded runs account their work into the pipeline's metrics exactly
+/// as their reports do — the per-shard sums that `KernelStats::merge`
+/// folds reach the counters unchanged.
+#[test]
+fn sharded_kernel_work_reaches_the_metrics() {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let prepared = pipeline.prepare(&rmat(9, 2600, RmatParams::default(), 11).unwrap());
+    let mut kernels = 0u64;
+    let mut readouts = 0u64;
+    for shards in [2usize, 4] {
+        let report = pipeline
+            .query(&prepared, &sharded(shards, ShardMode::TwoD), &Query::TotalTriangles)
+            .unwrap();
+        kernels += report.kernel.kernel_invocations;
+        readouts += report.kernel.result_readouts;
+    }
+    let snap = pipeline.metrics_snapshot();
+    assert_eq!(snap.counter("tcim_kernel_invocations_total"), Some(kernels));
+    assert_eq!(snap.counter("tcim_result_readouts_total"), Some(readouts));
+    assert_eq!(snap.counter("tcim_executions_total"), Some(2));
 }
 
 /// The service auto-selects sharded execution above the slice budget
