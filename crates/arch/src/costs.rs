@@ -147,6 +147,7 @@ mod tests {
             col_misses: 8,
             col_exchanges: 2,
             result_readouts: 3,
+            blocks_skipped: 0,
         }
     }
 

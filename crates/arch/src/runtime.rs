@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use tcim_bitmatrix::SlicedMatrix;
+use tcim_bitmatrix::{RowEncoding, SlicedMatrix};
 
 use crate::buffer::{AccessOutcome, SliceCache};
 use crate::characterization::PimCharacterization;
@@ -140,8 +140,8 @@ pub fn run(chr: &PimCharacterization, matrix: &SlicedMatrix) -> PimRunResult {
     let mut current_row: Option<u32> = None;
     let mut row_loaded: HashSet<u32> = HashSet::new();
 
+    let sparse = matrix.encoding() == RowEncoding::Sparse;
     for (i, j) in matrix.edges() {
-        stats.edges += 1;
         if current_row != Some(i) {
             // The new row overwrites the reserved row region (§IV-A).
             current_row = Some(i);
@@ -149,41 +149,48 @@ pub fn run(chr: &PimCharacterization, matrix: &SlicedMatrix) -> PimRunResult {
         }
         let row = matrix.row(i);
         let col = matrix.col(j);
-        let pairs =
-            row.matching_slices(col).expect("rows and columns of one matrix always align");
-        for (k, rs, cs) in pairs {
-            if row_loaded.insert(k) {
-                stats.row_slice_writes += 1;
-                trace.push(KernelEvent::RowSliceWrite { row: i, slice: k });
-            }
-            let key = (u64::from(j) << 32) | u64::from(k);
-            match cache.access(key) {
-                AccessOutcome::Hit => {
-                    stats.col_hits += 1;
-                    trace.push(KernelEvent::ColHit { col: j, slice: k });
+        let pair_stats = row
+            .for_each_matching(col, |k, anded| {
+                if row_loaded.insert(k) {
+                    stats.row_slice_writes += 1;
+                    trace.push(KernelEvent::RowSliceWrite { row: i, slice: k });
                 }
-                AccessOutcome::Miss => {
-                    stats.col_misses += 1;
-                    trace.push(KernelEvent::ColMiss { col: j, slice: k });
+                let key = (u64::from(j) << 32) | u64::from(k);
+                match cache.access(key) {
+                    AccessOutcome::Hit => {
+                        stats.col_hits += 1;
+                        trace.push(KernelEvent::ColHit { col: j, slice: k });
+                    }
+                    AccessOutcome::Miss => {
+                        stats.col_misses += 1;
+                        trace.push(KernelEvent::ColMiss { col: j, slice: k });
+                    }
+                    AccessOutcome::Exchange { .. } => {
+                        stats.col_exchanges += 1;
+                        trace.push(KernelEvent::ColExchange { col: j, slice: k });
+                    }
                 }
-                AccessOutcome::Exchange { .. } => {
-                    stats.col_exchanges += 1;
-                    trace.push(KernelEvent::ColExchange { col: j, slice: k });
-                }
-            }
 
-            // The in-array AND feeds the bit counter (Fig. 4 dataflow).
-            let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
-            let count = chr.bitcounter().count(&anded);
-            triangles += count;
-            stats.and_ops += 1;
-            stats.bitcount_ops += 1;
-            trace.push(KernelEvent::AndBitcount {
-                row: i,
-                col: j,
-                slice: k,
-                count: count as u32,
-            });
+                // The in-array AND feeds the bit counter (Fig. 4 dataflow).
+                let count = chr.bitcounter().count(anded);
+                triangles += count;
+                stats.and_ops += 1;
+                stats.bitcount_ops += 1;
+                trace.push(KernelEvent::AndBitcount {
+                    row: i,
+                    col: j,
+                    slice: k,
+                    count: count as u32,
+                });
+            })
+            .expect("rows and columns of one matrix always align");
+        stats.blocks_skipped += pair_stats.skipped;
+        // On sparse matrices the controller consults the summary masks
+        // before dispatching, so edges with no visited pair never invoke
+        // the kernel at all. Dense matrices keep the paper's per-edge
+        // dispatch accounting.
+        if !sparse || pair_stats.visited > 0 {
+            stats.edges += 1;
         }
     }
 
@@ -315,57 +322,59 @@ pub fn run_attributed<S: TriangleSink + ?Sized>(
     let mut current_row: Option<u32> = None;
     let mut row_loaded: HashSet<u32> = HashSet::new();
 
+    let sparse = matrix.encoding() == RowEncoding::Sparse;
     for (i, j) in matrix.edges() {
-        stats.edges += 1;
         if current_row != Some(i) {
             current_row = Some(i);
             row_loaded.clear();
         }
-        let pairs = matrix
+        let pair_stats = matrix
             .row(i)
-            .matching_slices(matrix.col(j))
-            .expect("rows and columns of one matrix always align");
-        for (k, rs, cs) in pairs {
-            if row_loaded.insert(k) {
-                stats.row_slice_writes += 1;
-                trace.push(KernelEvent::RowSliceWrite { row: i, slice: k });
-            }
-            let key = (u64::from(j) << 32) | u64::from(k);
-            match cache.access(key) {
-                AccessOutcome::Hit => {
-                    stats.col_hits += 1;
-                    trace.push(KernelEvent::ColHit { col: j, slice: k });
+            .for_each_matching(matrix.col(j), |k, anded| {
+                if row_loaded.insert(k) {
+                    stats.row_slice_writes += 1;
+                    trace.push(KernelEvent::RowSliceWrite { row: i, slice: k });
                 }
-                AccessOutcome::Miss => {
-                    stats.col_misses += 1;
-                    trace.push(KernelEvent::ColMiss { col: j, slice: k });
+                let key = (u64::from(j) << 32) | u64::from(k);
+                match cache.access(key) {
+                    AccessOutcome::Hit => {
+                        stats.col_hits += 1;
+                        trace.push(KernelEvent::ColHit { col: j, slice: k });
+                    }
+                    AccessOutcome::Miss => {
+                        stats.col_misses += 1;
+                        trace.push(KernelEvent::ColMiss { col: j, slice: k });
+                    }
+                    AccessOutcome::Exchange { .. } => {
+                        stats.col_exchanges += 1;
+                        trace.push(KernelEvent::ColExchange { col: j, slice: k });
+                    }
                 }
-                AccessOutcome::Exchange { .. } => {
-                    stats.col_exchanges += 1;
-                    trace.push(KernelEvent::ColExchange { col: j, slice: k });
-                }
-            }
-            let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
-            let count = chr.bitcounter().count(&anded);
-            stats.and_ops += 1;
-            stats.bitcount_ops += 1;
-            trace.push(KernelEvent::AndBitcount {
-                row: i,
-                col: j,
-                slice: k,
-                count: count as u32,
-            });
-            if count > 0 {
-                // Drain the counter's latch and attribute each
-                // surviving bit to its triangle.
-                stats.result_readouts += 1;
-                triangles += count;
-                chr.bitcounter().read_out(&anded, |offset| {
-                    // The witness lies between the arc's endpoints:
-                    // i < w < j.
-                    sink.triangle(i, k * slice_bits + offset, j);
+                let count = chr.bitcounter().count(anded);
+                stats.and_ops += 1;
+                stats.bitcount_ops += 1;
+                trace.push(KernelEvent::AndBitcount {
+                    row: i,
+                    col: j,
+                    slice: k,
+                    count: count as u32,
                 });
-            }
+                if count > 0 {
+                    // Drain the counter's latch and attribute each
+                    // surviving bit to its triangle.
+                    stats.result_readouts += 1;
+                    triangles += count;
+                    chr.bitcounter().read_out(anded, |offset| {
+                        // The witness lies between the arc's endpoints:
+                        // i < w < j.
+                        sink.triangle(i, k * slice_bits + offset, j);
+                    });
+                }
+            })
+            .expect("rows and columns of one matrix always align");
+        stats.blocks_skipped += pair_stats.skipped;
+        if !sparse || pair_stats.visited > 0 {
+            stats.edges += 1;
         }
     }
 

@@ -26,6 +26,11 @@ pub struct AccessStats {
     /// for local (per-vertex) counting, which must see *which* bits
     /// survived the AND.
     pub result_readouts: u64,
+    /// Mutually valid slice pairs the sparse row encoding's byte-mask
+    /// filter proved zero and skipped before the AND. Always zero on
+    /// dense matrices; `and_ops + blocks_skipped` is the pair count the
+    /// dense encoding would have computed.
+    pub blocks_skipped: u64,
 }
 
 impl AccessStats {
@@ -77,6 +82,7 @@ impl AccessStats {
             col_misses,
             col_exchanges,
             result_readouts,
+            blocks_skipped,
         } = *other;
         self.edges += edges;
         self.and_ops += and_ops;
@@ -86,6 +92,7 @@ impl AccessStats {
         self.col_misses += col_misses;
         self.col_exchanges += col_exchanges;
         self.result_readouts += result_readouts;
+        self.blocks_skipped += blocks_skipped;
     }
 }
 
@@ -126,6 +133,7 @@ mod tests {
             col_misses: 8,
             col_exchanges: 2,
             result_readouts: 0,
+            blocks_skipped: 0,
         }
     }
 

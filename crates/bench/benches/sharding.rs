@@ -54,7 +54,8 @@ fn bench_composition_overhead(c: &mut Criterion) {
     for mode in [ShardMode::OneD, ShardMode::TwoD] {
         let spec = ShardSpec { shards: 4, mode };
         let plan = plan_shards(oriented, &spec, slice_size).unwrap();
-        let boundary = BoundarySlices::extract(oriented, &plan, slice_size);
+        let boundary =
+            BoundarySlices::extract(oriented, &plan, slice_size, prepared.encoding());
         group.bench_with_input(BenchmarkId::new("mode", mode), &mode, |b, _| {
             b.iter(|| {
                 compose(

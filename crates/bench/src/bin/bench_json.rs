@@ -1,5 +1,11 @@
-//! Emits the perf-trajectory artifact `BENCH_6.json`: throughput and
-//! exact latency percentiles per backend × generator.
+//! Emits the perf-trajectory artifact `BENCH_7.json`: throughput,
+//! exact latency percentiles and kernel/memory accounting per backend
+//! × generator × row encoding.
+//!
+//! Both encodings are *forced* (not auto-resolved) so the artifact
+//! always carries a dense/sparse pair per cell: BA at 600 vertices
+//! measures ~26% valid density, just above the automatic threshold,
+//! and would otherwise lose its sparse column.
 //!
 //! Percentiles come from sorted raw per-iteration samples (exact), not
 //! from the runtime histogram's power-of-two buckets (approximate) —
@@ -20,6 +26,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use tcim_bench::json::{self, num_u64, object, Json};
+use tcim_bitmatrix::EncodingPolicy;
 use tcim_core::{
     Backend, Query, SchedPolicy, ShardMode, ShardPolicy, ShardSpec, TcimConfig, TcimPipeline,
 };
@@ -64,71 +71,84 @@ fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
     sorted_ns[rank - 1]
 }
 
+fn encodings() -> Vec<(&'static str, EncodingPolicy)> {
+    vec![("dense", EncodingPolicy::ForceDense), ("sparse", EncodingPolicy::ForceSparse)]
+}
+
 fn run(mode: &Mode) -> Json {
-    let pipeline =
-        TcimPipeline::new(&TcimConfig::default()).expect("default config characterizes");
     let mut results = Vec::new();
-    for (gen_label, graph) in generators() {
-        let prepared = pipeline.prepare(&graph);
-        for (backend_label, backend) in backends() {
-            eprintln!(
-                "bench_json: {backend_label} × {gen_label} ({} iterations)",
-                mode.iterations
-            );
-            for _ in 0..mode.warmup {
-                pipeline
-                    .query(&prepared, &backend, &Query::TotalTriangles)
-                    .expect("warmup query succeeds");
+    for (encoding_label, encoding) in encodings() {
+        let pipeline = TcimPipeline::new(&TcimConfig { encoding, ..TcimConfig::default() })
+            .expect("default config characterizes");
+        for (gen_label, graph) in generators() {
+            let prepared = pipeline.prepare(&graph);
+            for (backend_label, backend) in backends() {
+                eprintln!(
+                    "bench_json: {backend_label} × {gen_label} × {encoding_label} ({} iterations)",
+                    mode.iterations
+                );
+                for _ in 0..mode.warmup {
+                    pipeline
+                        .query(&prepared, &backend, &Query::TotalTriangles)
+                        .expect("warmup query succeeds");
+                }
+                let mut samples_ns = Vec::with_capacity(mode.iterations);
+                let mut triangles = 0u64;
+                let mut kernel_invocations = 0u64;
+                let mut slice_pairs = 0u64;
+                let mut blocks_skipped = 0u64;
+                let mut compressed_bytes = 0u64;
+                let mut modelled_s = 0.0f64;
+                let started = Instant::now();
+                for _ in 0..mode.iterations {
+                    let iter_start = Instant::now();
+                    let report = pipeline
+                        .query(&prepared, &backend, &Query::TotalTriangles)
+                        .expect("measured query succeeds");
+                    samples_ns.push(iter_start.elapsed().as_nanos() as u64);
+                    triangles = report.triangles;
+                    kernel_invocations = report.kernel.kernel_invocations;
+                    slice_pairs = report.kernel.slice_pairs;
+                    blocks_skipped = report.kernel.blocks_skipped;
+                    compressed_bytes = report.compressed_bytes;
+                    modelled_s = report.modelled_time_s.unwrap_or(0.0);
+                }
+                let total = started.elapsed();
+                samples_ns.sort_unstable();
+                let sum: u64 = samples_ns.iter().sum();
+                let qps = mode.iterations as f64 / total.as_secs_f64();
+                results.push(object([
+                    ("backend", Json::String(backend_label.to_string())),
+                    ("generator", Json::String(gen_label.to_string())),
+                    ("encoding", Json::String(encoding_label.to_string())),
+                    ("vertices", num_u64(graph.vertex_count() as u64)),
+                    ("edges", num_u64(graph.edge_count() as u64)),
+                    ("triangles", num_u64(triangles)),
+                    ("iterations", num_u64(mode.iterations as u64)),
+                    ("qps", Json::Number(qps)),
+                    (
+                        "latency_ns",
+                        object([
+                            ("min", num_u64(samples_ns[0])),
+                            ("p50", num_u64(percentile(&samples_ns, 0.50))),
+                            ("p90", num_u64(percentile(&samples_ns, 0.90))),
+                            ("p99", num_u64(percentile(&samples_ns, 0.99))),
+                            ("max", num_u64(*samples_ns.last().expect("non-empty samples"))),
+                            ("mean", Json::Number(sum as f64 / samples_ns.len() as f64)),
+                        ]),
+                    ),
+                    ("modelled_time_s", Json::Number(modelled_s)),
+                    ("kernel_invocations", num_u64(kernel_invocations)),
+                    ("slice_pairs", num_u64(slice_pairs)),
+                    ("blocks_skipped", num_u64(blocks_skipped)),
+                    ("compressed_bytes", num_u64(compressed_bytes)),
+                ]));
             }
-            let mut samples_ns = Vec::with_capacity(mode.iterations);
-            let mut triangles = 0u64;
-            let mut kernel_invocations = 0u64;
-            let mut slice_pairs = 0u64;
-            let mut modelled_s = 0.0f64;
-            let started = Instant::now();
-            for _ in 0..mode.iterations {
-                let iter_start = Instant::now();
-                let report = pipeline
-                    .query(&prepared, &backend, &Query::TotalTriangles)
-                    .expect("measured query succeeds");
-                samples_ns.push(iter_start.elapsed().as_nanos() as u64);
-                triangles = report.triangles;
-                kernel_invocations = report.kernel.kernel_invocations;
-                slice_pairs = report.kernel.slice_pairs;
-                modelled_s = report.modelled_time_s.unwrap_or(0.0);
-            }
-            let total = started.elapsed();
-            samples_ns.sort_unstable();
-            let sum: u64 = samples_ns.iter().sum();
-            let qps = mode.iterations as f64 / total.as_secs_f64();
-            results.push(object([
-                ("backend", Json::String(backend_label.to_string())),
-                ("generator", Json::String(gen_label.to_string())),
-                ("vertices", num_u64(graph.vertex_count() as u64)),
-                ("edges", num_u64(graph.edge_count() as u64)),
-                ("triangles", num_u64(triangles)),
-                ("iterations", num_u64(mode.iterations as u64)),
-                ("qps", Json::Number(qps)),
-                (
-                    "latency_ns",
-                    object([
-                        ("min", num_u64(samples_ns[0])),
-                        ("p50", num_u64(percentile(&samples_ns, 0.50))),
-                        ("p90", num_u64(percentile(&samples_ns, 0.90))),
-                        ("p99", num_u64(percentile(&samples_ns, 0.99))),
-                        ("max", num_u64(*samples_ns.last().expect("non-empty samples"))),
-                        ("mean", Json::Number(sum as f64 / samples_ns.len() as f64)),
-                    ]),
-                ),
-                ("modelled_time_s", Json::Number(modelled_s)),
-                ("kernel_invocations", num_u64(kernel_invocations)),
-                ("slice_pairs", num_u64(slice_pairs)),
-            ]));
         }
     }
     object([
-        ("bench", num_u64(6)),
-        ("schema_version", num_u64(1)),
+        ("bench", num_u64(7)),
+        ("schema_version", num_u64(2)),
         ("mode", Json::String(mode.label.to_string())),
         ("iterations", num_u64(mode.iterations as u64)),
         ("query", Json::String("TotalTriangles".to_string())),
@@ -138,7 +158,7 @@ fn run(mode: &Mode) -> Json {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_6.json".to_string();
+    let mut out = "BENCH_7.json".to_string();
     let mut validate: Option<String> = None;
     let mut mode = &SMOKE;
     let mut i = 0;

@@ -332,6 +332,9 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
     for key in ["bench", "schema_version", "mode", "iterations"] {
         doc.get(key).ok_or_else(|| format!("missing top-level key {key:?}"))?;
     }
+    // BENCH_7 added the row-encoding dimension and its kernel/memory
+    // accounting; earlier artifacts stay valid without them.
+    let per_encoding = doc.get("bench").and_then(Json::as_f64).unwrap_or(0.0) >= 7.0;
     let results = doc
         .get("results")
         .and_then(Json::as_array)
@@ -346,7 +349,25 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("results[{i}]: missing string {key:?}"))?;
         }
-        for key in ["vertices", "edges", "triangles", "iterations", "qps"] {
+        let mut numbers = vec!["vertices", "edges", "triangles", "iterations", "qps"];
+        if per_encoding {
+            let encoding = entry
+                .get("encoding")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("results[{i}]: missing string \"encoding\""))?;
+            if !matches!(encoding, "dense" | "sparse") {
+                return Err(format!(
+                    "results[{i}]: \"encoding\" must be \"dense\" or \"sparse\", got {encoding:?}"
+                ));
+            }
+            numbers.extend([
+                "kernel_invocations",
+                "slice_pairs",
+                "blocks_skipped",
+                "compressed_bytes",
+            ]);
+        }
+        for key in numbers {
             let n = entry
                 .get(key)
                 .and_then(Json::as_f64)
@@ -437,6 +458,33 @@ mod tests {
     #[test]
     fn validator_accepts_the_emitted_schema() {
         assert_eq!(validate_bench(&minimal_bench()), Ok(()));
+    }
+
+    #[test]
+    fn validator_requires_encoding_accounting_from_bench_seven_on() {
+        let mut v7 = minimal_bench();
+        if let Json::Object(map) = &mut v7 {
+            map.insert("bench".to_string(), num_u64(7));
+        }
+        let err = validate_bench(&v7).unwrap_err();
+        assert!(err.contains("encoding"), "{err}");
+
+        if let Json::Object(map) = &mut v7 {
+            if let Some(Json::Array(items)) = map.get_mut("results") {
+                if let Json::Object(entry) = &mut items[0] {
+                    entry.insert("encoding".to_string(), Json::String("sparse".to_string()));
+                    for key in [
+                        "kernel_invocations",
+                        "slice_pairs",
+                        "blocks_skipped",
+                        "compressed_bytes",
+                    ] {
+                        entry.insert(key.to_string(), num_u64(1));
+                    }
+                }
+            }
+        }
+        assert_eq!(validate_bench(&v7), Ok(()));
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub enum BitMatrixError {
         /// Larger endpoint of the duplicated edge.
         v: usize,
     },
+    /// Two row operands used different physical encodings, or a
+    /// dense-only view was requested of a sparse row. Matrix rows and
+    /// columns always share one encoding; mixing indicates operands from
+    /// differently prepared artifacts.
+    EncodingMismatch,
 }
 
 impl fmt::Display for BitMatrixError {
@@ -84,6 +89,9 @@ impl fmt::Display for BitMatrixError {
             }
             BitMatrixError::DuplicateEdge { u, v } => {
                 write!(f, "edge {{{u}, {v}}} was already added")
+            }
+            BitMatrixError::EncodingMismatch => {
+                write!(f, "row encodings of the operands do not match")
             }
         }
     }

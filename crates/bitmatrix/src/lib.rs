@@ -14,6 +14,12 @@
 //! * [`SlicedBitVector`] — the compressed `(valid slice index, slice data)`
 //!   representation, including the paper's byte-size accounting
 //!   `NVS × (|S|/8 + 4)`.
+//! * [`SparseSlicedRow`] — the hierarchical sparse encoding: summary
+//!   bitmasks over packed non-zero payload bytes, with a two-level
+//!   skip-empty intersection walk.
+//! * [`SlicedRow`] / [`RowEncoding`] / [`EncodingPolicy`] — the
+//!   density-adaptive abstraction over both encodings; prepared graphs
+//!   pick one per matrix from the measured valid-slice fraction.
 //! * [`SlicedMatrix`] — every row and column of an adjacency matrix in sliced
 //!   form, the input to the architecture simulator.
 //! * [`BitMatrix`] — a small dense bit matrix used to verify the identity
@@ -45,14 +51,18 @@ mod bitvec;
 mod error;
 mod matrix;
 pub mod popcount;
+mod row;
 mod slice;
 mod sliced;
 mod sliced_matrix;
+mod sparse;
 
 pub use bitvec::BitVec;
 pub use error::{BitMatrixError, Result};
 pub use matrix::BitMatrix;
 pub use popcount::PopcountMethod;
+pub use row::{EncodingPolicy, PairStats, RowEncoding, SlicedRow};
 pub use slice::SliceSize;
 pub use sliced::{MatchingSlices, SlicedBitVector, ValidSlice};
 pub use sliced_matrix::{matrices_built, SliceStats, SlicedMatrix, SlicedMatrixBuilder};
+pub use sparse::SparseSlicedRow;

@@ -127,6 +127,21 @@ impl SlicedBitVector {
         SlicedBitVector { slice_size, len_bits, indices, data }
     }
 
+    /// Assembles a vector from already-compressed parts: ascending valid
+    /// slice `indices` and `indices.len() * words_per_slice` payload
+    /// `data` words, none of them all-zero. Used by the sparse encoding's
+    /// decompression path, which produces exactly this layout.
+    pub(crate) fn from_parts(
+        slice_size: SliceSize,
+        len_bits: usize,
+        indices: Vec<u32>,
+        data: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(data.len(), indices.len() * slice_size.words_per_slice());
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        SlicedBitVector { slice_size, len_bits, indices, data }
+    }
+
     /// The slice size this vector was compressed with.
     pub fn slice_size(&self) -> SliceSize {
         self.slice_size

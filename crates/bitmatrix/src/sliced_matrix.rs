@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{BitMatrixError, Result};
+use crate::row::{EncodingPolicy, RowEncoding, SlicedRow};
 use crate::slice::SliceSize;
 use crate::sliced::SlicedBitVector;
 
@@ -34,7 +35,9 @@ pub struct SliceStats {
     /// Total slice positions across all rows and columns,
     /// `2 · n · ⌈n / |S|⌉`.
     pub total_slices: u64,
-    /// Compressed size in bytes: `NVS × (|S|/8 + 4)`.
+    /// Compressed size in bytes under the matrix's row encoding:
+    /// `NVS × (|S|/8 + 4)` for dense, the summary/mask/block hierarchy
+    /// total for sparse.
     pub compressed_bytes: u64,
     /// Non-zero matrix entries counted over the rows.
     pub nnz: u64,
@@ -88,8 +91,9 @@ impl SliceStats {
 pub struct SlicedMatrix {
     n: usize,
     slice_size: SliceSize,
-    rows: Vec<SlicedBitVector>,
-    cols: Vec<SlicedBitVector>,
+    encoding: RowEncoding,
+    rows: Vec<SlicedRow>,
+    cols: Vec<SlicedRow>,
     /// Oriented edges (i, j) in row-major order — the iteration order of
     /// Algorithm 1.
     edges: Vec<(u32, u32)>,
@@ -97,7 +101,7 @@ pub struct SlicedMatrix {
 
 impl SlicedMatrix {
     /// Builds the matrix from per-row neighbour lists that are already
-    /// oriented and **sorted ascending**.
+    /// oriented and **sorted ascending**, in the paper's dense encoding.
     ///
     /// `rows[i]` holds the column indices `j` with `A[i][j] = 1`.
     ///
@@ -106,6 +110,23 @@ impl SlicedMatrix {
     /// Returns [`BitMatrixError::DimensionOutOfBounds`] if any neighbour
     /// index is `>= n` (checked before any allocation-heavy work).
     pub fn from_adjacency(adjacency: &[Vec<u32>], slice_size: SliceSize) -> Result<Self> {
+        SlicedMatrix::from_adjacency_with(adjacency, slice_size, EncodingPolicy::ForceDense)
+    }
+
+    /// [`SlicedMatrix::from_adjacency`] with a row-encoding policy: the
+    /// matrix is sliced densely first, its valid-slice fraction measured,
+    /// and every row and column re-encoded when the policy resolves to
+    /// [`RowEncoding::Sparse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitMatrixError::DimensionOutOfBounds`] if any neighbour
+    /// index is `>= n` (checked before any allocation-heavy work).
+    pub fn from_adjacency_with(
+        adjacency: &[Vec<u32>],
+        slice_size: SliceSize,
+        policy: EncodingPolicy,
+    ) -> Result<Self> {
         let n = adjacency.len();
         for row in adjacency {
             for &j in row {
@@ -127,7 +148,7 @@ impl SlicedMatrix {
             }
         }
 
-        let rows = adjacency
+        let dense_rows: Vec<SlicedBitVector> = adjacency
             .iter()
             .map(|r| {
                 SlicedBitVector::from_sorted_indices(
@@ -139,7 +160,7 @@ impl SlicedMatrix {
             .collect();
         // Column lists are filled in ascending i because rows are scanned in
         // order, so they are already sorted.
-        let cols = col_lists
+        let dense_cols: Vec<SlicedBitVector> = col_lists
             .iter()
             .map(|c| {
                 SlicedBitVector::from_sorted_indices(
@@ -150,8 +171,23 @@ impl SlicedMatrix {
             })
             .collect();
 
+        // Resolve the encoding from the measured density, then wrap (or
+        // re-encode) every vector under it.
+        let valid: u64 = dense_rows
+            .iter()
+            .chain(dense_cols.iter())
+            .map(|v| v.valid_slice_count() as u64)
+            .sum();
+        let total = 2 * slice_size.slices_for(n) as u64 * n as u64;
+        let fraction = if total == 0 { 0.0 } else { valid as f64 / total as f64 };
+        let encoding = policy.resolve(fraction);
+        let wrap = |vs: Vec<SlicedBitVector>| -> Vec<SlicedRow> {
+            vs.into_iter().map(|v| SlicedRow::encode(v, encoding)).collect()
+        };
+        let (rows, cols) = (wrap(dense_rows), wrap(dense_cols));
+
         MATRICES_BUILT.fetch_add(1, Ordering::Relaxed);
-        Ok(SlicedMatrix { n, slice_size, rows, cols, edges })
+        Ok(SlicedMatrix { n, slice_size, encoding, rows, cols, edges })
     }
 
     /// Matrix dimension `n` (number of vertices).
@@ -164,12 +200,17 @@ impl SlicedMatrix {
         self.slice_size
     }
 
+    /// The row encoding every row and column of this matrix uses.
+    pub fn encoding(&self) -> RowEncoding {
+        self.encoding
+    }
+
     /// Row `A[i][*]` in sliced form.
     ///
     /// # Panics
     ///
     /// Panics when `i >= n`.
-    pub fn row(&self, i: u32) -> &SlicedBitVector {
+    pub fn row(&self, i: u32) -> &SlicedRow {
         &self.rows[i as usize]
     }
 
@@ -178,7 +219,7 @@ impl SlicedMatrix {
     /// # Panics
     ///
     /// Panics when `j >= n`.
-    pub fn col(&self, j: u32) -> &SlicedBitVector {
+    pub fn col(&self, j: u32) -> &SlicedRow {
         &self.cols[j as usize]
     }
 
@@ -250,6 +291,10 @@ impl SlicedMatrix {
     }
 
     /// Aggregate slicing statistics over all rows *and* columns.
+    ///
+    /// `compressed_bytes` is summed per vector under the matrix's actual
+    /// encoding, so dense (`NVS × (|S|/8 + 4)`) and sparse (hierarchy
+    /// levels included) sizes are directly comparable.
     pub fn stats(&self) -> SliceStats {
         let row_valid: u64 = self.rows.iter().map(|r| r.valid_slice_count() as u64).sum();
         let col_valid: u64 = self.cols.iter().map(|c| c.valid_slice_count() as u64).sum();
@@ -258,8 +303,13 @@ impl SlicedMatrix {
         SliceStats {
             valid_slices: valid,
             total_slices: 2 * per_vector * self.n as u64,
-            compressed_bytes: valid * self.slice_size.bytes_per_valid_slice() as u64,
-            nnz: self.rows.iter().map(SlicedBitVector::count_ones).sum(),
+            compressed_bytes: self
+                .rows
+                .iter()
+                .chain(self.cols.iter())
+                .map(|v| v.compressed_bytes() as u64)
+                .sum(),
+            nnz: self.rows.iter().map(SlicedRow::count_ones).sum(),
         }
     }
 }
@@ -516,6 +566,78 @@ mod tests {
         let _ = fig2();
         let _ = SlicedMatrix::from_adjacency(&[], SliceSize::S64).unwrap();
         assert!(matrices_built() >= before + 2);
+    }
+
+    #[test]
+    fn auto_policy_selects_sparse_on_sparse_graphs_and_preserves_results() {
+        // A scattered sparse random graph on 1024 vertices (~6 neighbours
+        // each, spread across the whole index range): most slices are
+        // empty, and valid slices hold only a few non-zero bytes.
+        let n = 1024usize;
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, row) in adj.iter_mut().enumerate().take(n - 8) {
+            let mut out = std::collections::BTreeSet::new();
+            for _ in 0..6 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                out.insert((i + 1 + state as usize % (n - i - 1)) as u32);
+            }
+            *row = out.into_iter().collect();
+        }
+        let dense = SlicedMatrix::from_adjacency(&adj, SliceSize::S64).unwrap();
+        let auto =
+            SlicedMatrix::from_adjacency_with(&adj, SliceSize::S64, EncodingPolicy::default())
+                .unwrap();
+        assert_eq!(dense.encoding(), RowEncoding::Dense);
+        assert_eq!(auto.encoding(), RowEncoding::Sparse);
+
+        let tc = |m: &SlicedMatrix| -> u64 {
+            m.edges().map(|(i, j)| m.row(i).and_popcount(m.col(j))).sum()
+        };
+        assert_eq!(tc(&auto), tc(&dense));
+
+        let (ds, ss) = (dense.stats(), auto.stats());
+        assert_eq!(ss.valid_slices, ds.valid_slices);
+        assert_eq!(ss.nnz, ds.nnz);
+        assert!(
+            ss.compressed_bytes < ds.compressed_bytes,
+            "sparse {} must undercut dense {}",
+            ss.compressed_bytes,
+            ds.compressed_bytes
+        );
+    }
+
+    #[test]
+    fn entry_patches_work_on_sparse_matrices() {
+        let mut adj = vec![Vec::new(); 512];
+        adj[0] = vec![100, 300];
+        adj[100] = vec![300];
+        let mut m = SlicedMatrix::from_adjacency_with(
+            &adj,
+            SliceSize::S64,
+            EncodingPolicy::ForceSparse,
+        )
+        .unwrap();
+        assert_eq!(m.encoding(), RowEncoding::Sparse);
+        let tc = |m: &SlicedMatrix| -> u64 {
+            m.edges().map(|(i, j)| m.row(i).and_popcount(m.col(j))).sum()
+        };
+        assert_eq!(tc(&m), 1);
+        assert!(m.clear_entry(100, 300).unwrap());
+        assert_eq!(tc(&m), 0);
+        assert!(m.set_entry(100, 300).unwrap());
+        adj[0].push(400);
+        adj[0].sort_unstable();
+        assert!(m.set_entry(0, 400).unwrap());
+        let rebuilt = SlicedMatrix::from_adjacency_with(
+            &adj,
+            SliceSize::S64,
+            EncodingPolicy::ForceSparse,
+        )
+        .unwrap();
+        assert_eq!(m, rebuilt, "patched sparse matrix stays canonical");
     }
 
     #[test]

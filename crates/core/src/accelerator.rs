@@ -16,7 +16,7 @@
 use std::time::{Duration, Instant};
 
 use tcim_arch::{LocalRunResult, PimConfig, PimEngine, PimRunResult};
-use tcim_bitmatrix::{SliceStats, SlicedMatrix};
+use tcim_bitmatrix::{EncodingPolicy, SliceStats, SlicedMatrix};
 use tcim_graph::{CsrGraph, Orientation};
 use tcim_sched::{SchedPolicy, ScheduledReport};
 
@@ -30,6 +30,10 @@ use crate::pipeline::TcimPipeline;
 pub struct TcimConfig {
     /// Edge orientation applied before slicing (paper: natural order).
     pub orientation: Orientation,
+    /// Row-encoding selection policy: measure the sliced matrix's
+    /// valid-slice density and pick dense or hierarchical sparse rows
+    /// (default: automatic with a 25% density threshold).
+    pub encoding: EncodingPolicy,
     /// Architecture-simulator configuration (paper defaults).
     pub pim: PimConfig,
 }
@@ -123,8 +127,12 @@ impl TcimAccelerator {
     /// [`TcimPipeline::prepare`] instead.
     pub fn compress(&self, g: &CsrGraph) -> SlicedMatrix {
         let oriented = self.config().orientation.orient(g);
-        SlicedMatrix::from_adjacency(oriented.rows(), self.config().pim.slice_size)
-            .expect("oriented adjacency is always in bounds")
+        SlicedMatrix::from_adjacency_with(
+            oriented.rows(),
+            self.config().pim.slice_size,
+            self.config().encoding,
+        )
+        .expect("oriented adjacency is always in bounds")
     }
 
     /// Counts the triangles of `g` on the simulated accelerator.

@@ -86,6 +86,7 @@ pub trait ExecutionBackend {
                 modelled_time_s: report.modelled_time_s,
                 modelled_energy_j: report.modelled_energy_j,
                 kernel: report.kernel,
+                compressed_bytes: prepared.slice_stats().compressed_bytes,
                 sharding: None,
             });
         }
@@ -102,6 +103,7 @@ pub trait ExecutionBackend {
             modelled_time_s: run.modelled_time_s,
             modelled_energy_j: run.modelled_energy_j,
             kernel: run.kernel,
+            compressed_bytes: prepared.slice_stats().compressed_bytes,
             sharding: None,
         })
     }
@@ -279,6 +281,7 @@ fn kernel_from_stats(stats: &AccessStats) -> KernelStats {
         kernel_invocations: stats.edges,
         slice_pairs: stats.and_ops,
         result_readouts: stats.result_readouts,
+        blocks_skipped: stats.blocks_skipped,
     }
 }
 
@@ -462,9 +465,10 @@ impl ExecutionBackend for SoftwareBackend {
             modelled_energy_j: None,
             stats: None,
             kernel: KernelStats {
-                kernel_invocations: prepared.matrix().edge_count() as u64,
+                kernel_invocations: run.kernel_invocations,
                 slice_pairs: run.slice_pairs,
                 result_readouts: 0,
+                blocks_skipped: run.blocks_skipped,
             },
             detail: BackendDetail::Software { popcount: self.popcount },
         })
@@ -490,9 +494,10 @@ impl ExecutionBackend for SoftwareBackend {
             modelled_time_s: None,
             modelled_energy_j: None,
             kernel: KernelStats {
-                kernel_invocations: prepared.matrix().edge_count() as u64,
+                kernel_invocations: run.kernel_invocations,
                 slice_pairs: run.slice_pairs,
                 result_readouts: 0,
+                blocks_skipped: run.blocks_skipped,
             },
         })
     }
@@ -529,6 +534,7 @@ fn cpu_kernel(prepared: &PreparedGraph) -> KernelStats {
         kernel_invocations: prepared.oriented().arc_count() as u64,
         slice_pairs: 0,
         result_readouts: 0,
+        blocks_skipped: 0,
     }
 }
 
@@ -756,6 +762,7 @@ mod tests {
             &g,
             Orientation::Natural,
             SliceSize::S32,
+            tcim_bitmatrix::EncodingPolicy::default(),
             p.engine(),
         );
         let err = p.execute(&prepared, &Backend::SerialPim).unwrap_err();

@@ -400,6 +400,7 @@ pub fn table5(scale: ExperimentScale) -> Result<Table5Report> {
     let pipeline = TcimPipeline::new(&TcimConfig {
         orientation: Orientation::Natural,
         pim: scale.scaled_pim_config(),
+        ..TcimConfig::default()
     })?;
     let mut rows = Vec::with_capacity(TABLE_II.len());
     for d in &TABLE_II {
@@ -520,6 +521,7 @@ pub fn fig5(scale: ExperimentScale) -> Result<Fig5Report> {
     let pipeline = TcimPipeline::new(&TcimConfig {
         orientation: Orientation::Natural,
         pim: scale.scaled_pim_config(),
+        ..TcimConfig::default()
     })?;
     let mut rows = Vec::with_capacity(TABLE_II.len());
     for d in &TABLE_II {
@@ -608,6 +610,7 @@ pub fn fig6(scale: ExperimentScale) -> Result<Fig6Report> {
     let pipeline = TcimPipeline::new(&TcimConfig {
         orientation: Orientation::Natural,
         pim: scale.scaled_pim_config(),
+        ..TcimConfig::default()
     })?;
     let mut rows = Vec::new();
     for d in &TABLE_II {

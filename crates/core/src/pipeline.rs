@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tcim_arch::PimEngine;
-use tcim_bitmatrix::{SliceSize, SliceStats, SlicedMatrix};
+use tcim_bitmatrix::{EncodingPolicy, RowEncoding, SliceSize, SliceStats, SlicedMatrix};
 use tcim_graph::{CsrGraph, Orientation, OrientedGraph};
 
 use crate::accelerator::TcimConfig;
@@ -41,17 +41,27 @@ pub struct PreparedKey {
     pub orientation: Orientation,
     /// Slice size the matrix was built with.
     pub slice_size: SliceSize,
+    /// Row-encoding policy the matrix was built under. Part of the key
+    /// because the policy changes the artifact (different thresholds can
+    /// resolve the same graph to different encodings).
+    pub encoding: EncodingPolicy,
 }
 
 impl PreparedKey {
     /// The key `g` prepares under with the given parameters.
-    pub fn for_graph(g: &CsrGraph, orientation: Orientation, slice_size: SliceSize) -> Self {
+    pub fn for_graph(
+        g: &CsrGraph,
+        orientation: Orientation,
+        slice_size: SliceSize,
+        encoding: EncodingPolicy,
+    ) -> Self {
         PreparedKey {
             fingerprint: g.fingerprint(),
             vertices: g.vertex_count(),
             edges: g.edge_count(),
             orientation,
             slice_size,
+            encoding,
         }
     }
 }
@@ -92,27 +102,29 @@ impl PreparedGraph {
         g: &CsrGraph,
         orientation: Orientation,
         slice_size: SliceSize,
+        encoding: EncodingPolicy,
         engine: &PimEngine,
     ) -> PreparedGraph {
         let prepare_span = tcim_telemetry::span("prepare");
         let start = Instant::now();
-        let key = PreparedKey::for_graph(g, orientation, slice_size);
+        let key = PreparedKey::for_graph(g, orientation, slice_size, encoding);
         let oriented = orientation.orient(g);
         let slice_span = tcim_telemetry::span("slice");
-        let matrix = SlicedMatrix::from_adjacency(oriented.rows(), slice_size)
+        let matrix = SlicedMatrix::from_adjacency_with(oriented.rows(), slice_size, encoding)
             .expect("oriented adjacency is always in bounds");
         let stats = matrix.stats();
         drop(slice_span);
 
-        // Price the run: the valid-pair population is exact (the same
-        // merge the controller performs), the busy time optimistic.
+        // Price the run: the visited-pair population is exact (the same
+        // walk the controller performs, skipping what the sparse
+        // encoding proves zero), the busy time optimistic.
         let mut slice_pairs = 0u64;
         for (i, j) in matrix.edges() {
             let pairs = matrix
                 .row(i)
-                .matching_slices(matrix.col(j))
+                .matching_stats(matrix.col(j))
                 .expect("rows and columns of one matrix always align");
-            slice_pairs += pairs.count() as u64;
+            slice_pairs += pairs.visited;
         }
         let costs = engine.cost_model();
         let pricing = PreparedPricing {
@@ -164,6 +176,11 @@ impl PreparedGraph {
     /// The slice size the matrix was built with.
     pub fn slice_size(&self) -> SliceSize {
         self.key.slice_size
+    }
+
+    /// The row encoding the matrix resolved to under the build policy.
+    pub fn encoding(&self) -> RowEncoding {
+        self.matrix.encoding()
     }
 }
 
@@ -454,13 +471,18 @@ impl TcimPipeline {
     /// artifact was served from the cache (`true`) or built by this
     /// call (`false`) — the provenance serving layers record.
     pub fn prepare_reporting(&self, g: &CsrGraph) -> (Arc<PreparedGraph>, bool) {
-        let key =
-            PreparedKey::for_graph(g, self.config.orientation, self.config.pim.slice_size);
+        let key = PreparedKey::for_graph(
+            g,
+            self.config.orientation,
+            self.config.pim.slice_size,
+            self.config.encoding,
+        );
         if let Some(found) = self.cache.get(&key) {
             return (found, true);
         }
-        self.metrics.record_prepared_build();
-        (self.cache.insert(self.prepare_uncached(g)), false)
+        let built = self.prepare_uncached(g);
+        self.metrics.record_prepared_build(built.encoding());
+        (self.cache.insert(built), false)
     }
 
     /// Prepares `g` without touching the cache (benchmarking, or callers
@@ -470,6 +492,7 @@ impl TcimPipeline {
             g,
             self.config.orientation,
             self.config.pim.slice_size,
+            self.config.encoding,
             &self.engine,
         )
     }
@@ -659,6 +682,7 @@ mod tests {
                 &classic::wheel(n),
                 Orientation::Natural,
                 SliceSize::S64,
+                EncodingPolicy::default(),
                 engine,
             )
         };

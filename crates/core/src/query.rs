@@ -254,6 +254,11 @@ pub struct KernelStats {
     /// AND results read back out of the array — non-zero only for
     /// attributed (per-vertex / edge-support) queries on PIM backends.
     pub result_readouts: u64,
+    /// Mutually valid slice pairs proven zero by the sparse encoding's
+    /// byte-mask filter and skipped before the AND. Always zero on
+    /// dense-encoded graphs; `slice_pairs + blocks_skipped` is the pair
+    /// count a dense run would have computed.
+    pub blocks_skipped: u64,
 }
 
 impl KernelStats {
@@ -268,6 +273,7 @@ impl KernelStats {
         self.kernel_invocations += other.kernel_invocations;
         self.slice_pairs += other.slice_pairs;
         self.result_readouts += other.result_readouts;
+        self.blocks_skipped += other.blocks_skipped;
     }
 
     /// [`merge`](KernelStats::merge) as a by-value fold operator, for
@@ -311,6 +317,10 @@ pub struct QueryReport {
     pub modelled_energy_j: Option<f64>,
     /// Normalized kernel accounting.
     pub kernel: KernelStats,
+    /// Compressed size in bytes of the prepared matrix that answered
+    /// the query, under its actual row encoding — the memory side of
+    /// the capacity claim, carried as provenance with every answer.
+    pub compressed_bytes: u64,
     /// Shard-level provenance (shard count, imbalance, boundary arcs);
     /// present only when a sharded backend answered.
     pub sharding: Option<crate::sharded::ShardProvenance>,
@@ -612,9 +622,24 @@ mod tests {
     /// associativity, commutativity, and the default as identity.
     #[test]
     fn kernel_stats_merge_is_associative_and_commutative() {
-        let a = KernelStats { kernel_invocations: 3, slice_pairs: 10, result_readouts: 1 };
-        let b = KernelStats { kernel_invocations: 7, slice_pairs: 0, result_readouts: 4 };
-        let c = KernelStats { kernel_invocations: 11, slice_pairs: 5, result_readouts: 0 };
+        let a = KernelStats {
+            kernel_invocations: 3,
+            slice_pairs: 10,
+            result_readouts: 1,
+            blocks_skipped: 2,
+        };
+        let b = KernelStats {
+            kernel_invocations: 7,
+            slice_pairs: 0,
+            result_readouts: 4,
+            blocks_skipped: 0,
+        };
+        let c = KernelStats {
+            kernel_invocations: 11,
+            slice_pairs: 5,
+            result_readouts: 0,
+            blocks_skipped: 1,
+        };
 
         let left = a.merged(&b).merged(&c);
         let right = a.merged(&b.merged(&c));
@@ -624,7 +649,12 @@ mod tests {
         assert_eq!(KernelStats::default().merged(&a), a, "left identity");
         assert_eq!(
             left,
-            KernelStats { kernel_invocations: 21, slice_pairs: 15, result_readouts: 5 }
+            KernelStats {
+                kernel_invocations: 21,
+                slice_pairs: 15,
+                result_readouts: 5,
+                blocks_skipped: 3,
+            }
         );
 
         // The in-place form agrees with the by-value fold form.

@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tcim_arch::{AccessStats, PimEngine};
+use tcim_bitmatrix::EncodingPolicy;
 use tcim_graph::CsrGraph;
 use tcim_sched::{parallel_map_indexed, SchedPolicy};
 use tcim_shard::{compose, plan_shards, BoundarySlices, ShardMode, ShardPlan, ShardSpec};
@@ -186,7 +187,8 @@ impl ShardedPreparedGraph {
         let oriented = prepared.oriented();
         let slice_size = prepared.slice_size();
         let plan = plan_shards(oriented, spec, slice_size).map_err(CoreError::Shard)?;
-        let boundary = BoundarySlices::extract(oriented, &plan, slice_size);
+        let boundary =
+            BoundarySlices::extract(oriented, &plan, slice_size, prepared.encoding());
 
         let pieces = plan
             .ranges()
@@ -203,8 +205,17 @@ impl ShardedPreparedGraph {
                 }
                 let local = CsrGraph::from_edges((hi - lo) as usize, edges)
                     .expect("intra-shard arcs are in bounds by construction");
-                let prepared_local =
-                    PreparedGraph::build(&local, prepared.orientation(), slice_size, engine);
+                // Pieces inherit the base artifact's *resolved* encoding
+                // rather than re-measuring their own density: a sharded
+                // run must process exactly the encoding the unsharded
+                // artifact committed to.
+                let prepared_local = PreparedGraph::build(
+                    &local,
+                    prepared.orientation(),
+                    slice_size,
+                    EncodingPolicy::force(prepared.encoding()),
+                    engine,
+                );
                 ShardPiece { range: (lo, hi), prepared: prepared_local }
             })
             .collect();
@@ -563,6 +574,7 @@ impl<'e> ShardedBackend<'e> {
             kernel_invocations: comp.kernel_invocations,
             slice_pairs: comp.slice_pairs,
             result_readouts: comp.result_readouts,
+            blocks_skipped: comp.blocks_skipped,
         });
         stats.merge(&AccessStats {
             edges: comp.kernel_invocations,
@@ -727,6 +739,7 @@ impl ExecutionBackend for ShardedBackend<'_> {
                 modelled_time_s: Some(out.modelled_time_s),
                 modelled_energy_j: Some(out.modelled_energy_j),
                 kernel: out.kernel,
+                compressed_bytes: prepared.slice_stats().compressed_bytes,
                 sharding: Some(out.provenance),
             });
         }
@@ -746,6 +759,7 @@ impl ExecutionBackend for ShardedBackend<'_> {
             modelled_time_s: Some(out.modelled_time_s),
             modelled_energy_j: Some(out.modelled_energy_j),
             kernel: out.kernel,
+            compressed_bytes: prepared.slice_stats().compressed_bytes,
             sharding: Some(out.provenance),
         })
     }
@@ -828,6 +842,7 @@ mod tests {
             &g,
             tcim_graph::Orientation::Natural,
             tcim_bitmatrix::SliceSize::S32,
+            EncodingPolicy::default(),
             p.engine(),
         );
         let err = p.execute(&prepared, &Backend::Sharded(ShardPolicy::default())).unwrap_err();

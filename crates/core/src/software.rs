@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use tcim_bitmatrix::popcount::PopcountMethod;
-use tcim_bitmatrix::{SliceSize, SlicedMatrix};
+use tcim_bitmatrix::{RowEncoding, SliceSize, SlicedMatrix};
 use tcim_graph::{CsrGraph, Orientation};
 
 use crate::error::Result;
@@ -33,8 +33,14 @@ pub struct SoftwareRun {
 pub struct SoftwareCount {
     /// Exact triangle count.
     pub triangles: u64,
-    /// Valid slice pairs processed.
+    /// Valid slice pairs processed (pairs the sparse encoding proves
+    /// zero are skipped, not processed).
     pub slice_pairs: u64,
+    /// Per-edge kernel dispatches: every edge on dense matrices, edges
+    /// with at least one visited pair on sparse ones.
+    pub kernel_invocations: u64,
+    /// Mutually valid pairs skipped by the sparse byte-mask filter.
+    pub blocks_skipped: u64,
 }
 
 /// Runs the AND + BitCount kernel over a *prepared* sliced matrix — the
@@ -56,22 +62,28 @@ pub struct SoftwareCount {
 /// # Ok::<(), tcim_bitmatrix::BitMatrixError>(())
 /// ```
 pub fn sliced_count(matrix: &SlicedMatrix, popcount: PopcountMethod) -> SoftwareCount {
+    let sparse = matrix.encoding() == RowEncoding::Sparse;
     let mut triangles = 0u64;
     let mut slice_pairs = 0u64;
+    let mut kernel_invocations = 0u64;
+    let mut blocks_skipped = 0u64;
     for (i, j) in matrix.edges() {
-        let pairs = matrix
+        let pair_stats = matrix
             .row(i)
-            .matching_slices(matrix.col(j))
+            .for_each_matching(matrix.col(j), |_, anded| {
+                slice_pairs += 1;
+                for &w in anded {
+                    triangles +=
+                        u64::from(tcim_bitmatrix::popcount::popcount_word(w, popcount));
+                }
+            })
             .expect("rows and columns of one matrix always align");
-        for (_, rs, cs) in pairs {
-            slice_pairs += 1;
-            for (a, b) in rs.iter().zip(cs) {
-                triangles +=
-                    u64::from(tcim_bitmatrix::popcount::popcount_word(a & b, popcount));
-            }
+        blocks_skipped += pair_stats.skipped;
+        if !sparse || pair_stats.visited > 0 {
+            kernel_invocations += 1;
         }
     }
-    SoftwareCount { triangles, slice_pairs }
+    SoftwareCount { triangles, slice_pairs, kernel_invocations, blocks_skipped }
 }
 
 /// Runs the AND + BitCount kernel with triangle attribution: every
@@ -86,24 +98,29 @@ pub fn sliced_count_attributed(
     matrix: &SlicedMatrix,
     mut sink: impl FnMut(u32, u32, u32),
 ) -> SoftwareCount {
+    let sparse = matrix.encoding() == RowEncoding::Sparse;
     let slice_bits = matrix.slice_size().bits();
     let mut triangles = 0u64;
     let mut slice_pairs = 0u64;
+    let mut kernel_invocations = 0u64;
+    let mut blocks_skipped = 0u64;
     for (i, j) in matrix.edges() {
-        let pairs = matrix
+        let pair_stats = matrix
             .row(i)
-            .matching_slices(matrix.col(j))
+            .for_each_matching(matrix.col(j), |k, anded| {
+                slice_pairs += 1;
+                tcim_bitmatrix::popcount::visit_set_bits(anded.iter().copied(), |offset| {
+                    triangles += 1;
+                    sink(i, k * slice_bits + offset, j);
+                });
+            })
             .expect("rows and columns of one matrix always align");
-        for (k, rs, cs) in pairs {
-            slice_pairs += 1;
-            let anded = rs.iter().zip(cs).map(|(a, b)| a & b);
-            tcim_bitmatrix::popcount::visit_set_bits(anded, |offset| {
-                triangles += 1;
-                sink(i, k * slice_bits + offset, j);
-            });
+        blocks_skipped += pair_stats.skipped;
+        if !sparse || pair_stats.visited > 0 {
+            kernel_invocations += 1;
         }
     }
-    SoftwareCount { triangles, slice_pairs }
+    SoftwareCount { triangles, slice_pairs, kernel_invocations, blocks_skipped }
 }
 
 /// Runs the sliced bitwise dataflow in software: orient, slice, then for
@@ -142,7 +159,7 @@ pub fn sliced_software_tc(
     let build_time = build_start.elapsed();
 
     let count_start = Instant::now();
-    let SoftwareCount { triangles, slice_pairs } = sliced_count(&matrix, popcount);
+    let SoftwareCount { triangles, slice_pairs, .. } = sliced_count(&matrix, popcount);
     let count_time = count_start.elapsed();
 
     Ok(SoftwareRun { triangles, count_time, build_time, slice_pairs })

@@ -14,6 +14,7 @@
 
 use std::time::Duration;
 
+use tcim_bitmatrix::RowEncoding;
 use tcim_telemetry::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::query::KernelStats;
@@ -30,7 +31,10 @@ pub struct PipelineMetrics {
     kernel_invocations: Counter,
     slice_pairs: Counter,
     result_readouts: Counter,
+    blocks_skipped: Counter,
     prepared_builds: Counter,
+    encoding_dense: Counter,
+    encoding_sparse: Counter,
     execute_latency: Histogram,
     modelled_latency: Histogram,
 }
@@ -62,9 +66,22 @@ impl PipelineMetrics {
                 "tcim_result_readouts_total",
                 "AND results read back out of the array across all executions",
             ),
+            blocks_skipped: registry.counter(
+                "tcim_blocks_skipped_total",
+                "mutually valid slice pairs proven zero by the sparse row \
+                 encoding and skipped before the AND",
+            ),
             prepared_builds: registry.counter(
                 "tcim_prepared_builds_total",
                 "prepared-graph artifacts built (cache misses that did work)",
+            ),
+            encoding_dense: registry.counter(
+                "tcim_encoding_selected_dense_total",
+                "prepared-graph builds that resolved to the dense row encoding",
+            ),
+            encoding_sparse: registry.counter(
+                "tcim_encoding_selected_sparse_total",
+                "prepared-graph builds that resolved to the sparse row encoding",
             ),
             execute_latency: registry.histogram(
                 "tcim_execute_latency_nanoseconds",
@@ -95,6 +112,7 @@ impl PipelineMetrics {
         self.kernel_invocations.add(kernel.kernel_invocations);
         self.slice_pairs.add(kernel.slice_pairs);
         self.result_readouts.add(kernel.result_readouts);
+        self.blocks_skipped.add(kernel.blocks_skipped);
         self.execute_latency.observe_duration(execute_time);
         if let Some(s) = modelled_time_s {
             self.modelled_latency.observe_duration(Duration::from_secs_f64(s.max(0.0)));
@@ -102,9 +120,14 @@ impl PipelineMetrics {
     }
 
     /// Records one prepared-graph build (a prepare that did the work
-    /// rather than hitting the cache).
-    pub fn record_prepared_build(&self) {
+    /// rather than hitting the cache), tagged with the row encoding the
+    /// build resolved to.
+    pub fn record_prepared_build(&self, encoding: RowEncoding) {
         self.prepared_builds.incr();
+        match encoding {
+            RowEncoding::Dense => self.encoding_dense.incr(),
+            RowEncoding::Sparse => self.encoding_sparse.incr(),
+        }
     }
 
     /// Point-in-time read of every instrument.
@@ -120,8 +143,18 @@ mod tests {
     #[test]
     fn execution_recording_accumulates_kernel_counters() {
         let m = PipelineMetrics::new();
-        let a = KernelStats { kernel_invocations: 5, slice_pairs: 9, result_readouts: 1 };
-        let b = KernelStats { kernel_invocations: 2, slice_pairs: 4, result_readouts: 0 };
+        let a = KernelStats {
+            kernel_invocations: 5,
+            slice_pairs: 9,
+            result_readouts: 1,
+            blocks_skipped: 3,
+        };
+        let b = KernelStats {
+            kernel_invocations: 2,
+            slice_pairs: 4,
+            result_readouts: 0,
+            blocks_skipped: 1,
+        };
         m.record_execution(&a, Duration::from_micros(10), Some(1e-6));
         m.record_execution(&b, Duration::from_micros(20), None);
         let snap = m.snapshot();
@@ -129,6 +162,7 @@ mod tests {
         assert_eq!(snap.counter("tcim_kernel_invocations_total"), Some(7));
         assert_eq!(snap.counter("tcim_slice_pairs_total"), Some(13));
         assert_eq!(snap.counter("tcim_result_readouts_total"), Some(1));
+        assert_eq!(snap.counter("tcim_blocks_skipped_total"), Some(4));
         let lat = snap.histogram("tcim_execute_latency_nanoseconds").unwrap();
         assert_eq!(lat.count, 2);
         let modelled = snap.histogram("tcim_modelled_latency_nanoseconds").unwrap();
@@ -136,9 +170,21 @@ mod tests {
     }
 
     #[test]
+    fn prepared_builds_count_per_encoding() {
+        let m = PipelineMetrics::new();
+        m.record_prepared_build(RowEncoding::Dense);
+        m.record_prepared_build(RowEncoding::Sparse);
+        m.record_prepared_build(RowEncoding::Dense);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("tcim_prepared_builds_total"), Some(3));
+        assert_eq!(snap.counter("tcim_encoding_selected_dense_total"), Some(2));
+        assert_eq!(snap.counter("tcim_encoding_selected_sparse_total"), Some(1));
+    }
+
+    #[test]
     fn clones_share_instruments() {
         let m = PipelineMetrics::new();
-        m.clone().record_prepared_build();
+        m.clone().record_prepared_build(RowEncoding::Dense);
         assert_eq!(m.snapshot().counter("tcim_prepared_builds_total"), Some(1));
     }
 }

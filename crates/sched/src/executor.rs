@@ -13,7 +13,7 @@ use std::collections::HashSet;
 use tcim_arch::{
     AccessStats, BitCounterModel, ReplacementPolicy, SliceCache, TriangleSink, TriangleTally,
 };
-use tcim_bitmatrix::SlicedMatrix;
+use tcim_bitmatrix::{RowEncoding, SlicedMatrix};
 
 use crate::jobs::RowJob;
 
@@ -67,43 +67,48 @@ pub(crate) fn run_array(
         Attribution::PerVertexWithSupport => Some(TriangleTally::new(matrix.dim(), true)),
     };
 
+    let sparse = matrix.encoding() == RowEncoding::Sparse;
     for job in jobs {
         let i = job.row;
         // A new row overwrites the reserved row region (§IV-A).
         row_loaded.clear();
         let row = matrix.row(i);
         for &j in &job.cols {
-            stats.edges += 1;
-            let pairs = row
-                .matching_slices(matrix.col(j))
-                .expect("rows and columns of one matrix always align");
-            for (k, rs, cs) in pairs {
-                if row_loaded.insert(k) {
-                    stats.row_slice_writes += 1;
-                }
-                let key = (u64::from(j) << 32) | u64::from(k);
-                match cache.access(key) {
-                    tcim_arch::AccessOutcome::Hit => stats.col_hits += 1,
-                    tcim_arch::AccessOutcome::Miss => stats.col_misses += 1,
-                    tcim_arch::AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
-                }
-                let anded: Vec<u64> = rs.iter().zip(cs).map(|(a, b)| a & b).collect();
-                let count = bitcounter.count(&anded);
-                triangles += count;
-                stats.and_ops += 1;
-                stats.bitcount_ops += 1;
-                if count > 0 {
-                    if let Some(tally) = tally.as_mut() {
-                        // Read the surviving bits back out and attribute
-                        // the triangle exactly as the serial attributed
-                        // run does: a surviving bit w satisfies
-                        // i < w < j (the `TriangleSink` contract).
-                        stats.result_readouts += 1;
-                        bitcounter.read_out(&anded, |offset| {
-                            tally.triangle(i, k * slice_bits + offset, j);
-                        });
+            let pair_stats = row
+                .for_each_matching(matrix.col(j), |k, anded| {
+                    if row_loaded.insert(k) {
+                        stats.row_slice_writes += 1;
                     }
-                }
+                    let key = (u64::from(j) << 32) | u64::from(k);
+                    match cache.access(key) {
+                        tcim_arch::AccessOutcome::Hit => stats.col_hits += 1,
+                        tcim_arch::AccessOutcome::Miss => stats.col_misses += 1,
+                        tcim_arch::AccessOutcome::Exchange { .. } => stats.col_exchanges += 1,
+                    }
+                    let count = bitcounter.count(anded);
+                    triangles += count;
+                    stats.and_ops += 1;
+                    stats.bitcount_ops += 1;
+                    if count > 0 {
+                        if let Some(tally) = tally.as_mut() {
+                            // Read the surviving bits back out and attribute
+                            // the triangle exactly as the serial attributed
+                            // run does: a surviving bit w satisfies
+                            // i < w < j (the `TriangleSink` contract).
+                            stats.result_readouts += 1;
+                            bitcounter.read_out(anded, |offset| {
+                                tally.triangle(i, k * slice_bits + offset, j);
+                            });
+                        }
+                    }
+                })
+                .expect("rows and columns of one matrix always align");
+            stats.blocks_skipped += pair_stats.skipped;
+            // Sparse matrices skip the per-edge dispatch entirely when
+            // the summary walk visits nothing (mirrors the serial
+            // engine's accounting).
+            if !sparse || pair_stats.visited > 0 {
+                stats.edges += 1;
             }
         }
     }

@@ -55,15 +55,17 @@ pub fn decompose(matrix: &SlicedMatrix, costs: &SliceCostModel) -> Vec<RowJob> {
         }
         let job = jobs.last_mut().expect("job for current row was just pushed");
         job.cols.push(j);
-        let pairs = matrix
+        // The index-only walk skips sparse pairs the kernel will skip
+        // too, so the job's pair count and reuse footprint price exactly
+        // the work the executor will dispatch.
+        matrix
             .row(i)
-            .matching_slices(matrix.col(j))
+            .for_each_matching_index(matrix.col(j), |k| {
+                job.pairs += 1;
+                // Edges are unique within a row, so (j, k) keys never repeat.
+                job.col_keys.push((u64::from(j) << 32) | u64::from(k));
+            })
             .expect("rows and columns of one matrix always align");
-        for (k, _, _) in pairs {
-            job.pairs += 1;
-            // Edges are unique within a row, so (j, k) keys never repeat.
-            job.col_keys.push((u64::from(j) << 32) | u64::from(k));
-        }
     }
     for job in &mut jobs {
         job.est_busy_s =

@@ -25,8 +25,9 @@ use crate::store::{GraphInfo, GraphStore};
 /// Configuration of a [`TcimService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Pipeline configuration (orientation + PIM parameters) shared by
-    /// every registered graph, static and live.
+    /// Pipeline configuration (orientation, PIM parameters and the
+    /// row-encoding policy with its density threshold) shared by every
+    /// registered graph, static and live.
     pub tcim: TcimConfig,
     /// Capacity of the underlying `PreparedCache`.
     pub cache_capacity: usize,
@@ -137,6 +138,9 @@ pub struct QueryResponse {
     pub modelled_energy_j: Option<f64>,
     /// Normalized kernel accounting of the answering run.
     pub kernel: KernelStats,
+    /// Compressed bytes of the sliced artifact that answered, under its
+    /// resolved row encoding (for live graphs: the live rows).
+    pub compressed_bytes: u64,
     /// Shard provenance (shard count, imbalance, boundary arcs) when a
     /// sharded backend answered — whether selected explicitly or by
     /// the service's slice-budget auto-selection.
@@ -507,6 +511,7 @@ impl TcimService {
             modelled_time_s: report.modelled_time_s,
             modelled_energy_j: report.modelled_energy_j,
             kernel: report.kernel,
+            compressed_bytes: report.compressed_bytes,
             sharding: report.sharding,
             wall: start.elapsed(),
             phases: None,
@@ -592,13 +597,14 @@ fn answer_live(
         _ => Vec::new(),
     };
     let (edge_support, kernel) = if matches!(query, Query::EdgeSupport) {
-        let (entries, slice_pairs) = dynamic.edge_support();
+        let (entries, slice_pairs, blocks_skipped) = dynamic.edge_support();
         let support: Vec<EdgeSupport> =
             entries.into_iter().map(|(u, v, support)| EdgeSupport { u, v, support }).collect();
         let kernel = KernelStats {
             kernel_invocations: support.len() as u64,
             slice_pairs,
             result_readouts: 0,
+            blocks_skipped,
         };
         (Some(support), kernel)
     } else {
@@ -618,6 +624,7 @@ fn answer_live(
         modelled_time_s: None,
         modelled_energy_j: None,
         kernel,
+        compressed_bytes: dynamic.compressed_bytes(),
         sharding: None,
         wall: start.elapsed(),
         phases: None,

@@ -4,15 +4,17 @@
 //! For a cross-shard arc `(a, c)` the TCIM kernel needs row `R_a` and
 //! column `C_c` of the *global* oriented matrix. Shard cuts are
 //! slice-aligned, so each operand splits cleanly (via
-//! [`SlicedBitVector::restrict_slices`]) into a **local** part — the
+//! [`SlicedRow::restrict_slices`]) into a **local** part — the
 //! slices covering the owning shard's own vertex range — and a
 //! **boundary** part — the slices referring to other shards. Only
 //! vertices that actually terminate a cross arc get material extracted;
 //! everything else stays inside its shard's own prepared artifact.
+//! Operands are built under the caller's [`RowEncoding`] so a sparse
+//! base artifact keeps its skip-empty walk across shard cuts.
 
 use std::collections::HashMap;
 
-use tcim_bitmatrix::{SliceSize, SlicedBitVector};
+use tcim_bitmatrix::{RowEncoding, SliceSize, SlicedRow};
 use tcim_graph::OrientedGraph;
 
 use crate::plan::ShardPlan;
@@ -28,9 +30,9 @@ use crate::plan::ShardPlan;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitOperand {
     /// Slices inside the owning shard's slice range.
-    pub local: SlicedBitVector,
+    pub local: SlicedRow,
     /// Slices outside it — the cross-shard boundary material.
-    pub boundary: SlicedBitVector,
+    pub boundary: SlicedRow,
 }
 
 impl SplitOperand {
@@ -59,11 +61,14 @@ impl BoundarySlices {
     /// One pass classifies arcs; marked tail vertices get their full
     /// oriented row sliced and split at their shard's upper cut, marked
     /// head vertices get their in-neighbour column sliced and split at
-    /// their shard's lower cut.
+    /// their shard's lower cut. Every operand is compressed under
+    /// `encoding` — pass the base artifact's resolved encoding so the
+    /// composition pass runs the same kernel walk the shards do.
     pub fn extract(
         oriented: &OrientedGraph,
         plan: &ShardPlan,
         slice_size: SliceSize,
+        encoding: RowEncoding,
     ) -> BoundarySlices {
         let n = oriented.vertex_count();
         let total_slices = slice_size.slices_for(n) as u32;
@@ -89,10 +94,11 @@ impl BoundarySlices {
         let mut rows = HashMap::new();
         for &(a, _) in &cross_arcs {
             rows.entry(a).or_insert_with(|| {
-                let full = SlicedBitVector::from_sorted_indices(
+                let full = SlicedRow::from_sorted_indices(
                     n,
                     oriented.row(a).iter().map(|&j| j as usize),
                     slice_size,
+                    encoding,
                 );
                 let own = plan.slice_range(plan.shard_of(a));
                 SplitOperand {
@@ -104,10 +110,11 @@ impl BoundarySlices {
         let cols: HashMap<u32, SplitOperand> = col_tails
             .into_iter()
             .map(|(c, tails)| {
-                let full = SlicedBitVector::from_sorted_indices(
+                let full = SlicedRow::from_sorted_indices(
                     n,
                     tails.iter().map(|&a| a as usize),
                     slice_size,
+                    encoding,
                 );
                 let own = plan.slice_range(plan.shard_of(c));
                 let split = SplitOperand {
@@ -170,8 +177,27 @@ mod tests {
         let g = gnm(512, 3500, 3).unwrap();
         let oriented = Orientation::Natural.orient(&g);
         let plan = plan_shards(&oriented, &ShardSpec::one_d(shards), SliceSize::S64).unwrap();
-        let b = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let b = BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Dense);
         (oriented, plan, b)
+    }
+
+    #[test]
+    fn sparse_extraction_carries_the_same_material() {
+        let (oriented, plan, dense) = fixture(4);
+        let sparse =
+            BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Sparse);
+        assert_eq!(sparse.cross_arcs(), dense.cross_arcs());
+        assert_eq!(sparse.boundary_valid_slices(), dense.boundary_valid_slices());
+        for &(a, c) in dense.cross_arcs() {
+            let (ds, ss) = (dense.row(a).unwrap(), sparse.row(a).unwrap());
+            assert_eq!(ss.local.encoding(), RowEncoding::Sparse);
+            assert_eq!(ss.local.to_bitvec(), ds.local.to_bitvec(), "row {a} local");
+            assert_eq!(ss.boundary.to_bitvec(), ds.boundary.to_bitvec(), "row {a} boundary");
+            assert_eq!(ss.valid_slices(), ds.valid_slices());
+            let (dc, sc) = (dense.col(c).unwrap(), sparse.col(c).unwrap());
+            assert_eq!(sc.local.to_bitvec(), dc.local.to_bitvec(), "col {c} local");
+            assert_eq!(sc.boundary.to_bitvec(), dc.boundary.to_bitvec(), "col {c} boundary");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use tcim_arch::{SliceCostModel, TriangleSink, TriangleTally};
 use tcim_bitmatrix::popcount::{popcount_word, visit_set_bits, PopcountMethod};
+use tcim_bitmatrix::RowEncoding;
 use tcim_sched::{parallel_map_indexed, plan_deltas, DeltaJob, SchedPolicy};
 
 use crate::boundary::{BoundarySlices, SplitOperand};
@@ -39,11 +40,16 @@ pub struct CompositionRun {
     /// Per-arc triangle support `(i, j, count)` over global oriented
     /// arcs, ascending; present only when support was requested.
     pub support: Option<Vec<(u32, u32, u64)>>,
-    /// Kernel dispatches: one per cross-shard arc.
+    /// Kernel dispatches: one per cross-shard arc on dense operands;
+    /// sparse operands skip arcs whose summary walk visits nothing.
     pub kernel_invocations: u64,
     /// Valid slice pairs AND + BitCounted across all region sub-passes
-    /// (equal to the monolithic pair count over the same arcs).
+    /// (equal to the monolithic pair count over the same arcs on dense
+    /// operands; sparse operands skip byte-disjoint pairs).
     pub slice_pairs: u64,
+    /// Mutually valid pairs proven zero by the sparse byte-mask filter
+    /// and skipped before the AND (zero on dense operands).
+    pub blocks_skipped: u64,
     /// Non-zero AND results read back out (attributed runs only).
     pub result_readouts: u64,
     /// Operand slices written into arrays.
@@ -64,7 +70,9 @@ pub struct CompositionRun {
 /// One worker array's partial results.
 struct ArrayPartial {
     triangles: u64,
+    invocations: u64,
     pairs: u64,
+    skipped: u64,
     readouts: u64,
     writes: u64,
     busy_s: f64,
@@ -123,7 +131,9 @@ pub fn compose(
         parallel_map_indexed(per_array.len(), threads, |array| {
             let mut partial = ArrayPartial {
                 triangles: 0,
+                invocations: 0,
                 pairs: 0,
+                skipped: 0,
                 readouts: 0,
                 writes: 0,
                 busy_s: 0.0,
@@ -139,7 +149,9 @@ pub fn compose(
         });
 
     let mut triangles = 0u64;
+    let mut invocations = 0u64;
     let mut pairs = 0u64;
+    let mut skipped = 0u64;
     let mut readouts = 0u64;
     let mut writes = 0u64;
     let mut busy: Vec<f64> = Vec::with_capacity(per_array.len());
@@ -149,7 +161,9 @@ pub fn compose(
     for partial in partials {
         let partial = partial?;
         triangles += partial.triangles;
+        invocations += partial.invocations;
         pairs += partial.pairs;
+        skipped += partial.skipped;
         readouts += partial.readouts;
         writes += partial.writes;
         busy.push(partial.busy_s);
@@ -182,8 +196,9 @@ pub fn compose(
         triangles,
         per_vertex,
         support: support.map(|map| map.into_iter().map(|((i, j), c)| (i, j, c)).collect()),
-        kernel_invocations: arcs.len() as u64,
+        kernel_invocations: invocations,
         slice_pairs: pairs,
+        blocks_skipped: skipped,
         result_readouts: readouts,
         write_slices: writes,
         critical_path_s: host_s + max_busy,
@@ -252,32 +267,38 @@ fn run_unit(
         if seen_cols.insert(c) {
             partial.writes += col.valid_slices();
         }
+        // A sparse arc whose three sub-passes all filter to nothing is
+        // never dispatched; dense arcs always are.
+        let sparse = row.local.encoding() == RowEncoding::Sparse;
+        let pairs_before = partial.pairs;
         for (left, right) in [
             (&row.local, &col.boundary),
             (&row.boundary, &col.boundary),
             (&row.boundary, &col.local),
         ] {
             let slice_bits = left.slice_size().bits();
-            let pairs = left
-                .matching_slices(right)
-                .expect("boundary operands share slice size and universe");
-            for (slice, ls, rs) in pairs {
-                partial.pairs += 1;
-                let anded: Vec<u64> = ls.iter().zip(rs).map(|(x, y)| x & y).collect();
-                let count: u64 = anded
-                    .iter()
-                    .map(|&w| u64::from(popcount_word(w, PopcountMethod::Native)))
-                    .sum();
-                partial.triangles += count;
-                if count > 0 {
-                    if let Some(tally) = partial.tally.as_mut() {
-                        partial.readouts += 1;
-                        visit_set_bits(anded.iter().copied(), |offset| {
-                            tally.triangle(a, slice * slice_bits + offset, c);
-                        });
+            let pair_stats = left
+                .for_each_matching(right, |slice, anded| {
+                    partial.pairs += 1;
+                    let count: u64 = anded
+                        .iter()
+                        .map(|&w| u64::from(popcount_word(w, PopcountMethod::Native)))
+                        .sum();
+                    partial.triangles += count;
+                    if count > 0 {
+                        if let Some(tally) = partial.tally.as_mut() {
+                            partial.readouts += 1;
+                            visit_set_bits(anded.iter().copied(), |offset| {
+                                tally.triangle(a, slice * slice_bits + offset, c);
+                            });
+                        }
                     }
-                }
-            }
+                })
+                .expect("boundary operands share slice size and universe");
+            partial.skipped += pair_stats.skipped;
+        }
+        if !sparse || partial.pairs > pairs_before {
+            partial.invocations += 1;
         }
     }
     Ok(())
@@ -302,7 +323,8 @@ mod tests {
         let oriented = Orientation::Natural.orient(&g);
         let spec = if mode_2d { ShardSpec::two_d(shards) } else { ShardSpec::one_d(shards) };
         let plan = plan_shards(&oriented, &spec, SliceSize::S64).unwrap();
-        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let boundary =
+            BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Dense);
         let run = compose(
             oriented.vertex_count(),
             &plan,
@@ -340,7 +362,8 @@ mod tests {
             let oriented = Orientation::Natural.orient(&g);
             let plan =
                 plan_shards(&oriented, &ShardSpec::one_d(shards), SliceSize::S64).unwrap();
-            let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+            let boundary =
+                BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Dense);
             let run = compose(
                 oriented.vertex_count(),
                 &plan,
@@ -398,7 +421,8 @@ mod tests {
         let g = gnm(512, 3500, 9).unwrap();
         let oriented = Orientation::Natural.orient(&g);
         let plan = plan_shards(&oriented, &ShardSpec::one_d(4), SliceSize::S64).unwrap();
-        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let boundary =
+            BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Dense);
         let run = compose(
             oriented.vertex_count(),
             &plan,
@@ -437,7 +461,8 @@ mod tests {
         let g = gnm(128, 600, 1).unwrap();
         let oriented = Orientation::Natural.orient(&g);
         let plan = plan_shards(&oriented, &ShardSpec::one_d(1), SliceSize::S64).unwrap();
-        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let boundary =
+            BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Dense);
         let run = compose(
             oriented.vertex_count(),
             &plan,

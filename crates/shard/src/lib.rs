@@ -56,7 +56,8 @@
 //! assert!(plan.cross_arcs() > 0);
 //!
 //! // …extract the boundary material and run the composition pass.
-//! let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+//! let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64,
+//!                                          tcim_bitmatrix::RowEncoding::Dense);
 //! let engine = PimEngine::new(&PimConfig::default())?;
 //! let run = compose(
 //!     oriented.vertex_count(),

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use tcim_arch::{PimConfig, PimEngine, SliceCostModel};
-use tcim_bitmatrix::SliceSize;
+use tcim_bitmatrix::{RowEncoding, SliceSize};
 use tcim_graph::{CsrGraph, Orientation, OrientedGraph};
 use tcim_sched::SchedPolicy;
 use tcim_shard::{compose, plan_shards, BoundarySlices, ShardMode, ShardPlan, ShardSpec};
@@ -93,7 +93,7 @@ proptest! {
         }
 
         // Cross pass: the composition kernels find exactly the rest.
-        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64);
+        let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64, RowEncoding::Dense);
         let run = compose(
             oriented.vertex_count(),
             &plan,

@@ -24,19 +24,25 @@
 //! sequential semantics.
 //!
 //! Mutations patch the sliced rows in place
-//! ([`SlicedBitVector::set_bit`]/[`clear_bit`]); nothing is re-sliced
+//! ([`SlicedRow::set_bit`]/[`clear_bit`]); nothing is re-sliced
 //! until the [`DriftPolicy`] decides the epoch snapshot has decayed,
 //! at which point [`DynamicGraph::fold`] rebuilds one fresh
 //! [`PreparedGraph`] through the pipeline's `PreparedCache`.
 //!
-//! [`clear_bit`]: SlicedBitVector::clear_bit
+//! Rows live under one [`RowEncoding`] resolved once at construction
+//! from the configured [`EncodingPolicy`](tcim_bitmatrix::EncodingPolicy)
+//! and the initial density: sparse rows keep their skip-empty kernel
+//! walk across in-place patches, so a sparse stream never pays for
+//! slices its neighbourhoods don't populate.
+//!
+//! [`clear_bit`]: SlicedRow::clear_bit
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use tcim_arch::SliceCostModel;
-use tcim_bitmatrix::{SliceSize, SlicedBitVector};
+use tcim_bitmatrix::{PairStats, RowEncoding, SliceSize, SlicedRow};
 use tcim_core::{Backend, PreparedGraph, Query, TcimConfig, TcimPipeline};
 use tcim_graph::CsrGraph;
 use tcim_sched::{parallel_map_indexed, plan_deltas, DeltaJob, SchedPolicy};
@@ -120,8 +126,12 @@ pub struct DynamicGraph {
     slice_size: SliceSize,
     /// Sorted full neighbour lists (both directions of every edge).
     adjacency: Vec<Vec<u32>>,
-    /// `rows[v]` is `N(v)` in compressed sliced form.
-    rows: Vec<SlicedBitVector>,
+    /// `rows[v]` is `N(v)` in compressed sliced form, all under
+    /// `encoding`.
+    rows: Vec<SlicedRow>,
+    /// The row encoding resolved at construction (fixed for the
+    /// graph's lifetime; folds re-resolve inside the pipeline).
+    encoding: RowEncoding,
     triangles: u64,
     /// Triangles each vertex participates in, maintained incrementally
     /// alongside the total (sums to `3 × triangles`).
@@ -159,16 +169,29 @@ impl DynamicGraph {
             .to_vec();
         let n = g.vertex_count();
         let slice_size = config.tcim.pim.slice_size;
-        let rows: Vec<SlicedBitVector> = g
+        let rows: Vec<SlicedRow> = g
             .vertices()
             .map(|v| {
-                SlicedBitVector::from_sorted_indices(
+                SlicedRow::from_sorted_indices(
                     n,
                     g.neighbors(v).iter().map(|&x| x as usize),
                     slice_size,
+                    RowEncoding::Dense,
                 )
             })
             .collect();
+        // Resolve the encoding from the *full*-neighbourhood density
+        // (roughly twice the oriented artifact's) so streaming skips
+        // exactly where its own kernels would find empty slices.
+        let total: usize = rows.iter().map(SlicedRow::total_slices).sum();
+        let valid: usize = rows.iter().map(SlicedRow::valid_slice_count).sum();
+        let fraction = if total == 0 { 1.0 } else { valid as f64 / total as f64 };
+        let encoding = config.tcim.encoding.resolve(fraction);
+        let rows: Vec<SlicedRow> = if encoding == RowEncoding::Sparse {
+            rows.iter().map(|r| r.reencoded(RowEncoding::Sparse)).collect()
+        } else {
+            rows
+        };
         let valid_slices = rows.iter().map(|r| r.valid_slice_count() as u64).sum();
         let costs = pipeline.engine().cost_model();
         Ok(DynamicGraph {
@@ -177,6 +200,7 @@ impl DynamicGraph {
             slice_size,
             adjacency: g.vertices().map(|v| g.neighbors(v).to_vec()).collect(),
             rows,
+            encoding,
             triangles: local.triangles,
             per_vertex,
             edges: g.edge_count(),
@@ -228,25 +252,40 @@ impl DynamicGraph {
     /// Live per-edge triangle support: for every current edge `{u, v}`
     /// (ascending), `|N(u) ∩ N(v)|` computed with one delta kernel over
     /// the live sliced rows — `O(m)` kernels, no re-slicing. Returns
-    /// the per-edge entries together with the total valid slice pairs
-    /// the kernels processed (provenance for serving layers).
-    pub fn edge_support(&self) -> (Vec<(u32, u32, u64)>, u64) {
+    /// the per-edge entries together with the valid slice pairs the
+    /// kernels processed and the pairs the sparse filter proved zero
+    /// and skipped (provenance for serving layers).
+    pub fn edge_support(&self) -> (Vec<(u32, u32, u64)>, u64, u64) {
         let mut support = Vec::with_capacity(self.edges);
         let mut slice_pairs = 0u64;
+        let mut skipped = 0u64;
         for (u, list) in self.adjacency.iter().enumerate() {
             let u = u as u32;
             for &v in list.iter().filter(|&&v| v > u) {
-                let (common, pairs) = kernel(&self.rows[u as usize], &self.rows[v as usize]);
-                slice_pairs += pairs;
+                let (common, stats) = kernel(&self.rows[u as usize], &self.rows[v as usize]);
+                slice_pairs += stats.visited;
+                skipped += stats.skipped;
                 support.push((u, v, common));
             }
         }
-        (support, slice_pairs)
+        (support, slice_pairs, skipped)
     }
 
     /// The slice size `|S|` every dynamic row is compressed with.
     pub fn slice_size(&self) -> SliceSize {
         self.slice_size
+    }
+
+    /// The row encoding every dynamic row lives under, resolved once at
+    /// construction from the configured policy and initial density.
+    pub fn encoding(&self) -> RowEncoding {
+        self.encoding
+    }
+
+    /// Compressed bytes across all live rows under the active encoding
+    /// (provenance for serving layers; tracks in-place patches).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.compressed_bytes() as u64).sum()
     }
 
     /// Current valid slices across all dynamic rows (the live `NVS`).
@@ -268,7 +307,7 @@ impl DynamicGraph {
     /// # Panics
     ///
     /// Panics when `v` is out of bounds.
-    pub fn row(&self, v: u32) -> &SlicedBitVector {
+    pub fn row(&self, v: u32) -> &SlicedRow {
         &self.rows[v as usize]
     }
 
@@ -665,17 +704,18 @@ impl DynamicGraph {
 }
 
 /// The TCIM delta kernel: `popcount(a AND b)` over matching valid slice
-/// pairs, returning `(count, pairs processed)`.
-fn kernel(a: &SlicedBitVector, b: &SlicedBitVector) -> (u64, u64) {
+/// pairs, returning the count and the pair accounting. Sparse rows skip
+/// pairs their byte masks prove disjoint before the AND.
+fn kernel(a: &SlicedRow, b: &SlicedRow) -> (u64, PairStats) {
     let mut common = 0u64;
-    let mut pairs = 0u64;
-    for (_, x, y) in a.matching_slices(b).expect("dynamic rows share one universe") {
-        pairs += 1;
-        for (w1, w2) in x.iter().zip(y) {
-            common += u64::from((w1 & w2).count_ones());
-        }
-    }
-    (common, pairs)
+    let stats = a
+        .for_each_matching(b, |_, anded| {
+            for &w in anded {
+                common += u64::from(w.count_ones());
+            }
+        })
+        .expect("dynamic rows share one universe and encoding");
+    (common, stats)
 }
 
 /// As [`kernel`], additionally reading the surviving bits back out of
@@ -683,20 +723,16 @@ fn kernel(a: &SlicedBitVector, b: &SlicedBitVector) -> (u64, u64) {
 /// neighbours themselves (ascending), which per-vertex maintenance
 /// attributes — the streaming twin of
 /// `tcim_arch::runtime::run_attributed`'s readout.
-fn kernel_attributed(
-    a: &SlicedBitVector,
-    b: &SlicedBitVector,
-    slice_bits: u32,
-) -> (u64, u64, Vec<u32>) {
+fn kernel_attributed(a: &SlicedRow, b: &SlicedRow, slice_bits: u32) -> (u64, u64, Vec<u32>) {
     let mut witnesses = Vec::new();
     let mut pairs = 0u64;
-    for (k, x, y) in a.matching_slices(b).expect("dynamic rows share one universe") {
+    a.for_each_matching(b, |k, anded| {
         pairs += 1;
-        let anded = x.iter().zip(y).map(|(w1, w2)| w1 & w2);
-        tcim_bitmatrix::popcount::visit_set_bits(anded, |offset| {
+        tcim_bitmatrix::popcount::visit_set_bits(anded.iter().copied(), |offset| {
             witnesses.push(k * slice_bits + offset);
         });
-    }
+    })
+    .expect("dynamic rows share one universe and encoding");
     (witnesses.len() as u64, pairs, witnesses)
 }
 
@@ -760,7 +796,8 @@ mod tests {
         let mut dg = fig2_dynamic(no_fold());
         dg.apply(Update::Insert(0, 3)).unwrap();
         // K4: every edge supports two triangles.
-        let (support, slice_pairs) = dg.edge_support();
+        let (support, slice_pairs, skipped) = dg.edge_support();
+        assert_eq!(skipped, 0, "a dense fig2 graph skips nothing");
         assert_eq!(support.len(), dg.edge_count());
         assert!(slice_pairs >= support.len() as u64, "every kernel touched a pair");
         assert!(support.iter().all(|&(_, _, s)| s == 2));

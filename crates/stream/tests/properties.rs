@@ -36,7 +36,12 @@ fn random_batch(rng: &mut Rng, dg: &DynamicGraph, len: usize) -> UpdateBatch {
 }
 
 fn churn(g: &CsrGraph, label: &str, seed: u64) {
+    churn_with(g, label, seed, tcim_bitmatrix::EncodingPolicy::default());
+}
+
+fn churn_with(g: &CsrGraph, label: &str, seed: u64, encoding: tcim_bitmatrix::EncodingPolicy) {
     let config = StreamConfig {
+        tcim: tcim_core::TcimConfig { encoding, ..Default::default() },
         drift: DriftPolicy {
             max_touched_fraction: Some(0.6),
             max_valid_slice_drift: None,
@@ -65,13 +70,26 @@ fn churn(g: &CsrGraph, label: &str, seed: u64) {
         );
     }
     // The dynamic rows stayed canonical: equal to a fresh slicing of
-    // the final adjacency.
+    // the final adjacency under the same encoding. (The fresh graph may
+    // resolve a different encoding — churn changes density — so the
+    // reference is re-encoded to the churned graph's.)
     let final_graph = dg.snapshot();
     let fresh = DynamicGraph::new(&final_graph, StreamConfig::default()).unwrap();
     for v in 0..dg.vertex_count() as u32 {
-        assert_eq!(dg.row(v), fresh.row(v), "{label}: row {v} canonical form");
+        assert_eq!(
+            dg.row(v),
+            &fresh.row(v).reencoded(dg.encoding()),
+            "{label}: row {v} canonical form"
+        );
     }
     assert_eq!(dg.valid_slices(), fresh.valid_slices());
+    assert_eq!(
+        dg.compressed_bytes(),
+        (0..dg.vertex_count() as u32)
+            .map(|v| fresh.row(v).reencoded(dg.encoding()).compressed_bytes() as u64)
+            .sum::<u64>(),
+        "{label}: patched bytes match a fresh compression"
+    );
 }
 
 #[test]
@@ -92,4 +110,23 @@ fn er_churn_stays_exact() {
 #[test]
 fn empty_graph_churn_stays_exact() {
     churn(&CsrGraph::from_edges(30, []).unwrap(), "empty", 29);
+}
+
+/// Sparse rows under churn: in-place patches on the hierarchical
+/// encoding stay canonical and the maintained count stays exact, with
+/// folds recounted through the sparse pipeline (`verify_on_fold`).
+#[test]
+fn er_churn_stays_exact_on_forced_sparse_rows() {
+    let g = gnm(120, 700, 3).unwrap();
+    churn_with(&g, "er-sparse", 13, tcim_bitmatrix::EncodingPolicy::ForceSparse);
+}
+
+#[test]
+fn wheel_churn_stays_exact_on_forced_sparse_rows() {
+    churn_with(
+        &classic::wheel(40),
+        "wheel-sparse",
+        7,
+        tcim_bitmatrix::EncodingPolicy::ForceSparse,
+    );
 }

@@ -1,0 +1,136 @@
+//! The encoding-equivalence grid: sparse rows answer every `Query`
+//! bit-identically to dense rows, across all six backends × the
+//! generator grid × both orientations — while strictly reducing kernel
+//! dispatches and AND+BitCount work on power-law graphs.
+//!
+//! These are the PR's acceptance properties: the hierarchical sparse
+//! encoding is an *exact* filter (skipped pairs are provably zero), so
+//! only the work accounting may change, never an answer.
+
+use tcim_repro::bitmatrix::popcount::PopcountMethod;
+use tcim_repro::bitmatrix::EncodingPolicy;
+use tcim_repro::graph::generators::{barabasi_albert, gnm, rmat, watts_strogatz, RmatParams};
+use tcim_repro::graph::{CsrGraph, Orientation};
+use tcim_repro::shard::{ShardMode, ShardSpec};
+use tcim_repro::tcim::{Backend, Query, SchedPolicy, ShardPolicy, TcimConfig, TcimPipeline};
+
+/// The generator grid the satellite task names.
+fn generator_grid() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("erdos-renyi", gnm(640, 4800, 7).unwrap()),
+        ("barabasi-albert", barabasi_albert(600, 5, 7).unwrap()),
+        ("rmat", rmat(9, 2600, RmatParams::default(), 17).unwrap()),
+        ("watts-strogatz", watts_strogatz(576, 8, 0.2, 5).unwrap()),
+    ]
+}
+
+/// All six backend families.
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend::SerialPim,
+        Backend::ScheduledPim(SchedPolicy::with_arrays(4)),
+        Backend::Software(PopcountMethod::Native),
+        Backend::CpuMerge,
+        Backend::CpuForward,
+        Backend::Sharded(ShardPolicy {
+            spec: ShardSpec { shards: 4, mode: ShardMode::OneD },
+            inner: SchedPolicy::with_arrays(2),
+        }),
+    ]
+}
+
+fn pipeline_for(orientation: Orientation, encoding: EncodingPolicy) -> TcimPipeline {
+    TcimPipeline::new(&TcimConfig { orientation, encoding, ..TcimConfig::default() }).unwrap()
+}
+
+/// Sparse and dense artifacts answer every query shape identically —
+/// the whole `QueryValue`, on every backend, under both orientations.
+#[test]
+fn sparse_answers_are_bit_identical_to_dense_across_the_grid() {
+    for (name, g) in generator_grid() {
+        for orientation in [Orientation::Natural, Orientation::Degree] {
+            let dense_pipeline = pipeline_for(orientation, EncodingPolicy::ForceDense);
+            let sparse_pipeline = pipeline_for(orientation, EncodingPolicy::ForceSparse);
+            let dense = dense_pipeline.prepare(&g);
+            let sparse = sparse_pipeline.prepare(&g);
+            for query in Query::example_suite() {
+                for backend in backends() {
+                    let ctx = format!("{name} {orientation:?} {query} {backend:?}");
+                    let d = dense_pipeline.query(&dense, &backend, &query).unwrap();
+                    let s = sparse_pipeline.query(&sparse, &backend, &query).unwrap();
+                    assert_eq!(s.triangles, d.triangles, "{ctx}");
+                    assert_eq!(s.value, d.value, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// On power-law graphs (BA, rmat) the sparse encoding strictly reduces
+/// both kernel dispatches and AND+BitCount slice pairs, at equal exact
+/// counts — the PR's headline win, read off `KernelStats`.
+#[test]
+fn sparse_reduces_kernel_work_on_power_law_graphs() {
+    let graphs = vec![
+        ("barabasi-albert", barabasi_albert(600, 5, 7).unwrap()),
+        ("rmat", rmat(9, 2600, RmatParams::default(), 17).unwrap()),
+    ];
+    for (name, g) in graphs {
+        let dense_pipeline = pipeline_for(Orientation::Natural, EncodingPolicy::ForceDense);
+        let sparse_pipeline = pipeline_for(Orientation::Natural, EncodingPolicy::ForceSparse);
+        let dense = dense_pipeline.prepare(&g);
+        let sparse = sparse_pipeline.prepare(&g);
+        for backend in [Backend::SerialPim, Backend::Software(PopcountMethod::Native)] {
+            let ctx = format!("{name} {backend:?}");
+            let d = dense_pipeline.query(&dense, &backend, &Query::TotalTriangles).unwrap();
+            let s = sparse_pipeline.query(&sparse, &backend, &Query::TotalTriangles).unwrap();
+            assert_eq!(s.triangles, d.triangles, "{ctx}");
+            assert!(
+                s.kernel.kernel_invocations < d.kernel.kernel_invocations,
+                "{ctx}: sparse must dispatch fewer kernels \
+                 ({} vs {})",
+                s.kernel.kernel_invocations,
+                d.kernel.kernel_invocations
+            );
+            assert!(
+                s.kernel.slice_pairs < d.kernel.slice_pairs,
+                "{ctx}: sparse must AND fewer pairs ({} vs {})",
+                s.kernel.slice_pairs,
+                d.kernel.slice_pairs
+            );
+            // The byte-mask filter is exact: every pair it drops was a
+            // mutually valid pair of the dense walk, so visited and
+            // skipped partition the dense census.
+            assert_eq!(
+                s.kernel.slice_pairs + s.kernel.blocks_skipped,
+                d.kernel.slice_pairs,
+                "{ctx}: visited + skipped must partition the dense pairs"
+            );
+            assert!(s.kernel.blocks_skipped > 0, "{ctx}");
+            assert_eq!(d.kernel.blocks_skipped, 0, "{ctx}: dense rows never skip");
+            // Compression provenance: sparse rows spend fewer bytes on
+            // these graphs, and both reports expose the footprint.
+            assert!(
+                s.compressed_bytes < d.compressed_bytes,
+                "{ctx}: sparse bytes {} vs dense bytes {}",
+                s.compressed_bytes,
+                d.compressed_bytes
+            );
+        }
+    }
+}
+
+/// The default automatic policy picks sparse exactly when the measured
+/// valid-slice density is below the threshold: rmat at 2600 edges over
+/// 512 vertices sits under 25%, the denser ER graph stays dense.
+#[test]
+fn automatic_policy_resolves_from_measured_density() {
+    use tcim_repro::bitmatrix::RowEncoding;
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let sparse = pipeline.prepare(&rmat(9, 2600, RmatParams::default(), 17).unwrap());
+    assert_eq!(sparse.encoding(), RowEncoding::Sparse);
+    assert!(sparse.slice_stats().valid_fraction() < 0.25);
+    let dense = pipeline.prepare(&gnm(640, 4800, 7).unwrap());
+    assert_eq!(dense.encoding(), RowEncoding::Dense);
+    assert!(dense.slice_stats().valid_fraction() >= 0.25);
+}
