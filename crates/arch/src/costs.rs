@@ -126,6 +126,16 @@ impl SliceCostModel {
         writes as f64 * self.write_latency_s
             + pairs as f64 * (self.and_latency_s + self.bitcount_latency_s)
     }
+
+    /// Estimated end-to-end modelled time of a run described only by its
+    /// operation counts: [`estimate_busy_s`](Self::estimate_busy_s) plus
+    /// serial host dispatch for `edges` kernel launches. This is the
+    /// quantity a query EXPLAIN plan predicts before executing; the
+    /// `tcim_model_error` calibration histograms measure how far it
+    /// lands from the executed run's modelled time.
+    pub fn estimate_modelled_s(&self, writes: u64, pairs: u64, edges: u64) -> f64 {
+        self.estimate_busy_s(writes, pairs) + edges as f64 * self.controller_overhead_s
+    }
 }
 
 #[cfg(test)]

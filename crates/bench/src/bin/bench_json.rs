@@ -17,14 +17,22 @@
 //! ```text
 //! bench_json [--out PATH] [--full]     # run the harness and write PATH
 //! bench_json --validate PATH           # schema-check an existing file
+//! bench_json --compare OLD NEW [--threshold F]
+//!                                      # per-cell QPS/p99 diff; exits
+//!                                      # non-zero past the threshold
 //! ```
 //!
 //! The default smoke mode (what CI runs) uses few iterations; `--full`
 //! raises the iteration count for a lower-noise committed artifact.
+//! `--compare` gates CI against the committed artifact: the threshold
+//! (default 0.25 = 25%) is the fractional QPS drop / p99 rise that
+//! counts as a regression; CI uses a generous one because it compares
+//! a smoke run on a shared runner against a full run's numbers.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use tcim_bench::compare::compare_bench;
 use tcim_bench::json::{self, num_u64, object, Json};
 use tcim_bitmatrix::EncodingPolicy;
 use tcim_core::{
@@ -160,6 +168,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = "BENCH_7.json".to_string();
     let mut validate: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
+    let mut threshold = 0.25f64;
     let mut mode = &SMOKE;
     let mut i = 0;
     while i < args.len() {
@@ -172,16 +182,62 @@ fn main() -> ExitCode {
                 validate = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--compare" if i + 2 < args.len() => {
+                compare = Some((args[i + 1].clone(), args[i + 2].clone()));
+                i += 3;
+            }
+            "--threshold" if i + 1 < args.len() => {
+                threshold = match args[i + 1].parse() {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("bench_json: bad --threshold {:?}: {e}", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                i += 2;
+            }
             "--full" => {
                 mode = &FULL;
                 i += 1;
             }
             other => {
                 eprintln!("bench_json: unknown argument {other:?}");
-                eprintln!("usage: bench_json [--out PATH] [--full] | --validate PATH");
+                eprintln!(
+                    "usage: bench_json [--out PATH] [--full] | --validate PATH \
+                     | --compare OLD NEW [--threshold F]"
+                );
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some((old_path, new_path)) = compare {
+        let load = |path: &str| -> Result<Json, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            json::parse(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        let report = match load(&old_path)
+            .and_then(|old| load(&new_path).map(|new| (old, new)))
+            .and_then(|(old, new)| compare_bench(&old, &new, threshold))
+        {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench_json: compare failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{report}");
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "bench_json: {} regression(s) past the {:.0}% threshold",
+                report.regressions(),
+                threshold * 100.0
+            );
+            ExitCode::FAILURE
+        };
     }
 
     if let Some(path) = validate {

@@ -1,0 +1,277 @@
+//! BENCH artifact comparison: per-cell QPS/p99 deltas between two
+//! `BENCH_*.json` files, with a configurable regression gate.
+//!
+//! `bench_json --compare OLD.json NEW.json [--threshold F]` drives
+//! this from the CLI; CI runs it with a generous threshold against the
+//! committed `BENCH_7.json` so a catastrophic perf regression (an
+//! accidentally quadratic path, a lost fast path) fails the build while
+//! ordinary cross-machine noise between the committed full run and the
+//! CI smoke run does not.
+//!
+//! Cells are keyed by `backend × generator × encoding` (the encoding
+//! key is absent for pre-BENCH_7 artifacts and compares as `-`). A cell
+//! *regresses* when its throughput falls below `old × (1 − threshold)`
+//! or its p99 latency rises above `old × (1 + threshold)`; cells
+//! present in OLD but missing from NEW count as regressions too (a
+//! silently dropped backend must not pass the gate).
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// One compared `backend × generator × encoding` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// Human-readable cell key, `backend × generator × encoding`.
+    pub key: String,
+    /// Throughput in the OLD artifact (queries per second).
+    pub old_qps: f64,
+    /// Throughput in the NEW artifact.
+    pub new_qps: f64,
+    /// p99 latency in the OLD artifact (ns).
+    pub old_p99_ns: f64,
+    /// p99 latency in the NEW artifact (ns).
+    pub new_p99_ns: f64,
+    /// Whether this cell breached the regression threshold.
+    pub regressed: bool,
+}
+
+impl CellDelta {
+    /// `new / old` throughput ratio (> 1 is faster).
+    pub fn qps_ratio(&self) -> f64 {
+        if self.old_qps > 0.0 {
+            self.new_qps / self.old_qps
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// `new / old` p99 ratio (< 1 is faster).
+    pub fn p99_ratio(&self) -> f64 {
+        if self.old_p99_ns > 0.0 {
+            self.new_p99_ns / self.old_p99_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The outcome of comparing two BENCH artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// The regression threshold in force (fractional: 0.25 = 25%).
+    pub threshold: f64,
+    /// Every cell present in both artifacts, in OLD order.
+    pub cells: Vec<CellDelta>,
+    /// Cells present in OLD but missing from NEW (each a regression).
+    pub missing: Vec<String>,
+    /// Cells present only in NEW (informational, never a failure).
+    pub added: Vec<String>,
+}
+
+impl CompareReport {
+    /// Number of regressed cells, dropped cells included.
+    pub fn regressions(&self) -> usize {
+        self.cells.iter().filter(|c| c.regressed).count() + self.missing.len()
+    }
+
+    /// Whether the comparison passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<40} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+            "cell", "old qps", "new qps", "ratio", "old p99 ns", "new p99 ns", "ratio"
+        )?;
+        for cell in &self.cells {
+            writeln!(
+                f,
+                "{:<40} {:>12.1} {:>12.1} {:>7.2}x {:>12.0} {:>12.0} {:>7.2}x{}",
+                cell.key,
+                cell.old_qps,
+                cell.new_qps,
+                cell.qps_ratio(),
+                cell.old_p99_ns,
+                cell.new_p99_ns,
+                cell.p99_ratio(),
+                if cell.regressed { "  REGRESSED" } else { "" }
+            )?;
+        }
+        for key in &self.missing {
+            writeln!(f, "{key:<40} MISSING from new artifact  REGRESSED")?;
+        }
+        for key in &self.added {
+            writeln!(f, "{key:<40} new cell (no baseline)")?;
+        }
+        write!(
+            f,
+            "{} cells compared, {} regressions (threshold {:.0}%)",
+            self.cells.len(),
+            self.regressions(),
+            self.threshold * 100.0
+        )
+    }
+}
+
+fn cells_of(doc: &Json) -> Result<Vec<(String, f64, f64)>, String> {
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array \"results\"".to_string())?;
+    let mut cells = Vec::with_capacity(results.len());
+    for (i, entry) in results.iter().enumerate() {
+        let backend = entry
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("results[{i}]: missing \"backend\""))?;
+        let generator = entry
+            .get("generator")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("results[{i}]: missing \"generator\""))?;
+        let encoding = entry.get("encoding").and_then(Json::as_str).unwrap_or("-");
+        let qps = entry
+            .get("qps")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("results[{i}]: missing number \"qps\""))?;
+        let p99 = entry
+            .get("latency_ns")
+            .and_then(|l| l.get("p99"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("results[{i}]: missing number \"latency_ns.p99\""))?;
+        cells.push((format!("{backend} × {generator} × {encoding}"), qps, p99));
+    }
+    Ok(cells)
+}
+
+/// Compares two parsed BENCH artifacts cell by cell.
+///
+/// # Errors
+///
+/// Returns the first schema problem found in either document, or a
+/// rejection of a non-finite / out-of-range `threshold`.
+pub fn compare_bench(old: &Json, new: &Json, threshold: f64) -> Result<CompareReport, String> {
+    if !threshold.is_finite() || !(0.0..1.0).contains(&threshold) {
+        return Err(format!("threshold must be in [0, 1), got {threshold}"));
+    }
+    let old_cells = cells_of(old).map_err(|e| format!("old artifact: {e}"))?;
+    let new_cells = cells_of(new).map_err(|e| format!("new artifact: {e}"))?;
+
+    let mut cells = Vec::new();
+    let mut missing = Vec::new();
+    for (key, old_qps, old_p99) in &old_cells {
+        match new_cells.iter().find(|(k, _, _)| k == key) {
+            Some((_, new_qps, new_p99)) => {
+                let regressed = *new_qps < old_qps * (1.0 - threshold)
+                    || *new_p99 > old_p99 * (1.0 + threshold);
+                cells.push(CellDelta {
+                    key: key.clone(),
+                    old_qps: *old_qps,
+                    new_qps: *new_qps,
+                    old_p99_ns: *old_p99,
+                    new_p99_ns: *new_p99,
+                    regressed,
+                });
+            }
+            None => missing.push(key.clone()),
+        }
+    }
+    let added = new_cells
+        .iter()
+        .filter(|(k, _, _)| !old_cells.iter().any(|(ok, _, _)| ok == k))
+        .map(|(k, _, _)| k.clone())
+        .collect();
+    Ok(CompareReport { threshold, cells, missing, added })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{num_u64, object, parse};
+
+    fn artifact(cells: &[(&str, &str, &str, f64, u64)]) -> Json {
+        object([
+            ("bench", num_u64(7)),
+            (
+                "results",
+                Json::Array(
+                    cells
+                        .iter()
+                        .map(|(b, g, e, qps, p99)| {
+                            object([
+                                ("backend", Json::String((*b).to_string())),
+                                ("generator", Json::String((*g).to_string())),
+                                ("encoding", Json::String((*e).to_string())),
+                                ("qps", Json::Number(*qps)),
+                                ("latency_ns", object([("p99", num_u64(*p99))])),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn equal_artifacts_pass() {
+        let doc = artifact(&[("serial-pim", "ba", "dense", 1000.0, 900)]);
+        let report = compare_bench(&doc, &doc, 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.cells.len(), 1);
+        assert!((report.cells[0].qps_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qps_collapse_and_p99_blowup_regress() {
+        let old = artifact(&[
+            ("serial-pim", "ba", "dense", 1000.0, 900),
+            ("sharded-4", "rmat", "sparse", 500.0, 2000),
+        ]);
+        let new = artifact(&[
+            ("serial-pim", "ba", "dense", 700.0, 900), // −30% qps
+            ("sharded-4", "rmat", "sparse", 500.0, 2600), // +30% p99
+        ]);
+        let report = compare_bench(&old, &new, 0.25).unwrap();
+        assert_eq!(report.regressions(), 2);
+        assert!(!report.passed());
+        // A looser gate lets both through.
+        assert!(compare_bench(&old, &new, 0.35).unwrap().passed());
+    }
+
+    #[test]
+    fn dropped_cells_regress_and_added_cells_inform() {
+        let old = artifact(&[("serial-pim", "ba", "dense", 1000.0, 900)]);
+        let new = artifact(&[("scheduled-pim-4", "ba", "dense", 1000.0, 900)]);
+        let report = compare_bench(&old, &new, 0.25).unwrap();
+        assert_eq!(report.missing, vec!["serial-pim × ba × dense"]);
+        assert_eq!(report.added, vec!["scheduled-pim-4 × ba × dense"]);
+        assert!(!report.passed());
+        let text = report.to_string();
+        assert!(text.contains("MISSING"), "{text}");
+    }
+
+    #[test]
+    fn invalid_thresholds_are_rejected() {
+        let doc = artifact(&[("serial-pim", "ba", "dense", 1000.0, 900)]);
+        assert!(compare_bench(&doc, &doc, 1.0).is_err());
+        assert!(compare_bench(&doc, &doc, -0.1).is_err());
+        assert!(compare_bench(&doc, &doc, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn compares_the_committed_artifact_against_itself() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_7.json"
+        ))
+        .expect("committed artifact exists");
+        let doc = parse(&text).expect("committed artifact parses");
+        let report = compare_bench(&doc, &doc, 0.25).unwrap();
+        assert!(report.passed());
+        assert_eq!(report.cells.len(), 12, "3 backends × 2 generators × 2 encodings");
+    }
+}

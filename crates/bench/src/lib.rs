@@ -5,6 +5,7 @@
 //! figure of the paper (see EXPERIMENTS.md). Both consume the experiment
 //! drivers in `tcim_core::experiments`.
 
+pub mod compare;
 pub mod json;
 
 use tcim_core::experiments::ExperimentScale;

@@ -55,6 +55,15 @@
 //! every [`Query`] shape with shard provenance
 //! ([`ShardProvenance`]).
 //!
+//! Every routing decision above is inspectable *before* executing:
+//! [`TcimPipeline::explain`] assembles an [`ExplainReport`] — resolved
+//! encoding, backend selection, scheduler placement, shard plan, cache
+//! provenance, and the exact predicted kernel census next to the cost
+//! model's latency estimate — from the same structs the executor
+//! consumes ([`explain`]). The pipeline's [`PipelineMetrics`] score
+//! that prediction against every executed run in the
+//! `tcim_model_error_permille` calibration histograms.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -88,6 +97,7 @@ pub mod backend;
 pub mod baseline;
 mod error;
 pub mod experiments;
+pub mod explain;
 pub mod metrics;
 pub mod pipeline;
 pub mod query;
@@ -100,6 +110,10 @@ pub mod verify;
 pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
 pub use backend::{AttributedRun, Backend, BackendDetail, CountReport, ExecutionBackend};
 pub use error::{CoreError, Result};
+pub use explain::{
+    CacheProvenance, EncodingDecision, ExplainReport, KernelCensus, MeasuredCost,
+    PredictedCost, SchedPlanSummary, ShardPieceSummary, ShardPlanSummary,
+};
 pub use pipeline::{PreparedCache, PreparedGraph, PreparedKey, PreparedPricing, TcimPipeline};
 pub use query::{
     EdgeSupport, KernelStats, Query, QueryReport, QueryValue, VertexClustering,
@@ -109,7 +123,7 @@ pub use sharded::{
     ShardPolicy, ShardProvenance, ShardSliceReport, ShardedBackend, ShardedCache,
     ShardedPreparedGraph,
 };
-pub use telemetry::PipelineMetrics;
+pub use telemetry::{ExecutionSample, PipelineMetrics};
 // Scheduling types surface in the accelerator's public API
 // (`TcimAccelerator::count_triangles_scheduled`), so re-export them.
 pub use tcim_sched::{PlacementPolicy, SchedPolicy, ScheduledReport};

@@ -23,7 +23,7 @@ use crate::backend::{Backend, CountReport, ExecutionBackend};
 use crate::error::Result;
 use crate::query::{Query, QueryReport};
 use crate::sharded::{ShardedBackend, ShardedCache, ShardedPreparedGraph};
-use crate::telemetry::PipelineMetrics;
+use crate::telemetry::{ExecutionSample, PipelineMetrics};
 use tcim_shard::ShardSpec;
 
 /// Cache key of one prepared artifact: the graph's structural
@@ -75,6 +75,16 @@ pub struct PreparedPricing {
     /// Valid slice pairs across all edges — the exact number of AND +
     /// BitCount operations any faithful execution performs.
     pub slice_pairs: u64,
+    /// Per-arc kernel dispatches a faithful sliced execution performs:
+    /// every arc under the dense encoding; under the sparse encoding
+    /// only the arcs with at least one mutually valid slice pair (the
+    /// controller proves the rest empty and never launches). This is
+    /// the exact `kernel_invocations` the serial, scheduled and
+    /// software backends report.
+    pub kernel_dispatches: u64,
+    /// Mutually valid slice pairs the sparse row encoding proves zero
+    /// and skips before the AND (always 0 under the dense encoding).
+    pub blocks_skipped: u64,
     /// Optimistic single-array busy time (s): every valid slice written
     /// once plus the AND/BitCount work (an all-hits lower bound).
     pub est_busy_s: f64,
@@ -119,16 +129,28 @@ impl PreparedGraph {
         // walk the controller performs, skipping what the sparse
         // encoding proves zero), the busy time optimistic.
         let mut slice_pairs = 0u64;
+        let mut kernel_dispatches = 0u64;
+        let mut blocks_skipped = 0u64;
+        let sparse = matrix.encoding() == RowEncoding::Sparse;
         for (i, j) in matrix.edges() {
             let pairs = matrix
                 .row(i)
                 .matching_stats(matrix.col(j))
                 .expect("rows and columns of one matrix always align");
             slice_pairs += pairs.visited;
+            blocks_skipped += pairs.skipped;
+            // Mirror of the runtime dispatch rule: dense rows always
+            // launch; sparse rows launch only when the walk visited at
+            // least one mutually valid pair.
+            if !sparse || pairs.visited > 0 {
+                kernel_dispatches += 1;
+            }
         }
         let costs = engine.cost_model();
         let pricing = PreparedPricing {
             slice_pairs,
+            kernel_dispatches,
+            blocks_skipped,
             est_busy_s: costs.estimate_busy_s(stats.valid_slices, slice_pairs),
             controller_s: matrix.edge_count() as f64 * costs.controller_overhead_s,
         };
@@ -521,11 +543,14 @@ impl TcimPipeline {
     /// scheduling policy).
     pub fn execute(&self, prepared: &PreparedGraph, spec: &Backend) -> Result<CountReport> {
         let report = self.backend(spec).execute(prepared)?;
-        self.metrics.record_execution(
-            &report.kernel,
-            report.execute_time,
-            report.modelled_time_s,
-        );
+        self.metrics.record_execution(&ExecutionSample {
+            backend: &report.backend,
+            encoding: prepared.encoding(),
+            kernel: &report.kernel,
+            execute_time: report.execute_time,
+            modelled_time_s: report.modelled_time_s,
+            predicted_modelled_s: self.predicted_modelled_s(prepared, spec),
+        });
         Ok(report)
     }
 
@@ -559,11 +584,14 @@ impl TcimPipeline {
         query: &Query,
     ) -> Result<QueryReport> {
         let report = self.backend(spec).query(prepared, query)?;
-        self.metrics.record_execution(
-            &report.kernel,
-            report.execute_time,
-            report.modelled_time_s,
-        );
+        self.metrics.record_execution(&ExecutionSample {
+            backend: &report.backend,
+            encoding: prepared.encoding(),
+            kernel: &report.kernel,
+            execute_time: report.execute_time,
+            modelled_time_s: report.modelled_time_s,
+            predicted_modelled_s: self.predicted_modelled_s(prepared, spec),
+        });
         Ok(report)
     }
 
@@ -584,11 +612,14 @@ impl TcimPipeline {
             .iter()
             .map(|q| {
                 let report = backend.query(prepared, q)?;
-                self.metrics.record_execution(
-                    &report.kernel,
-                    report.execute_time,
-                    report.modelled_time_s,
-                );
+                self.metrics.record_execution(&ExecutionSample {
+                    backend: &report.backend,
+                    encoding: prepared.encoding(),
+                    kernel: &report.kernel,
+                    execute_time: report.execute_time,
+                    modelled_time_s: report.modelled_time_s,
+                    predicted_modelled_s: self.predicted_modelled_s(prepared, spec),
+                });
                 Ok(report)
             })
             .collect()

@@ -44,7 +44,10 @@ use tcim_arch::{AccessStats, PimEngine};
 use tcim_bitmatrix::EncodingPolicy;
 use tcim_graph::CsrGraph;
 use tcim_sched::{parallel_map_indexed, SchedPolicy};
-use tcim_shard::{compose, plan_shards, BoundarySlices, ShardMode, ShardPlan, ShardSpec};
+use tcim_shard::{
+    compose, compose_census, plan_shards, BoundarySlices, ComposeCensus, ShardMode, ShardPlan,
+    ShardSpec,
+};
 
 use crate::backend::{
     AttributedRun, Backend, BackendDetail, CountReport, ExecutionBackend, ScheduledPimBackend,
@@ -153,6 +156,7 @@ pub struct ShardedPreparedGraph {
     spec: ShardSpec,
     plan: ShardPlan,
     boundary: BoundarySlices,
+    compose_census: ComposeCensus,
     pieces: Vec<ShardPiece>,
     prepare_time: Duration,
 }
@@ -189,6 +193,13 @@ impl ShardedPreparedGraph {
         let plan = plan_shards(oriented, spec, slice_size).map_err(CoreError::Shard)?;
         let boundary =
             BoundarySlices::extract(oriented, &plan, slice_size, prepared.encoding());
+        // The composition pass's kernel census is structural (it depends
+        // only on the boundary operands, not on placement), so one dry
+        // walk at preparation time makes every later EXPLAIN plan and
+        // calibration prediction O(shards) instead of O(cross arcs).
+        let compose_census = compose_census(&boundary)
+            .map_err(CoreError::Shard)
+            .expect("a freshly extracted boundary holds both operands of every cross arc");
 
         let pieces = plan
             .ranges()
@@ -225,6 +236,7 @@ impl ShardedPreparedGraph {
             spec: *spec,
             plan,
             boundary,
+            compose_census,
             pieces,
             prepare_time: start.elapsed(),
         })
@@ -252,6 +264,13 @@ impl ShardedPreparedGraph {
     /// The extracted cross-shard boundary slices.
     pub fn boundary(&self) -> &BoundarySlices {
         &self.boundary
+    }
+
+    /// The composition pass's exact kernel census (dispatches, slice
+    /// pairs, skipped blocks), measured structurally at preparation
+    /// time — what the pass *will* execute, before it runs.
+    pub fn compose_census(&self) -> ComposeCensus {
+        self.compose_census
     }
 
     /// The per-shard prepared pieces, in shard order.
@@ -367,6 +386,22 @@ impl ShardedCache {
         spec: &ShardSpec,
         engine: &PimEngine,
     ) -> Result<Arc<ShardedPreparedGraph>> {
+        self.get_or_build_reporting(prepared, spec, engine).map(|(artifact, _)| artifact)
+    }
+
+    /// As [`ShardedCache::get_or_build`], additionally reporting whether
+    /// the artifact was served from the cache (`true`) or built by this
+    /// call (`false`) — the provenance an EXPLAIN plan records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedPreparedGraph::build`] failures.
+    pub fn get_or_build_reporting(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &ShardSpec,
+        engine: &PimEngine,
+    ) -> Result<(Arc<ShardedPreparedGraph>, bool)> {
         let key = (*prepared.key(), *spec);
         {
             let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
@@ -374,7 +409,7 @@ impl ShardedCache {
                 inner.hits += 1;
                 inner.order.retain(|k| k != &key);
                 inner.order.push(key);
-                return Ok(found);
+                return Ok((found, true));
             }
             inner.misses += 1;
         }
@@ -383,7 +418,7 @@ impl ShardedCache {
         let built = Arc::new(ShardedPreparedGraph::build(prepared, spec, engine)?);
         let mut inner = self.inner.lock().expect("cache mutex is never poisoned");
         if let Some(existing) = inner.map.get(&key).cloned() {
-            return Ok(existing);
+            return Ok((existing, true));
         }
         inner.map.insert(key, Arc::clone(&built));
         inner.order.push(key);
@@ -391,7 +426,7 @@ impl ShardedCache {
             let evicted = inner.order.remove(0);
             inner.map.remove(&evicted);
         }
-        Ok(built)
+        Ok((built, false))
     }
 
     /// Number of cached artifacts.

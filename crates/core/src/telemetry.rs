@@ -9,15 +9,54 @@
 //! at all. Snapshots additionally fold in the prepared- and
 //! sharded-cache hit/miss counters, which the caches themselves own.
 //!
+//! Besides the unlabelled totals, every execution is attributed to its
+//! `{backend, encoding}` series: the execution/kernel/slice-pair
+//! counter families gain one labelled series per combination observed,
+//! and the `tcim_model_error_permille` histogram family records how far
+//! the cost model's *predicted* modelled time landed from the executed
+//! run's — the calibration loop a query EXPLAIN plan closes.
+//!
 //! Metric names follow the Prometheus convention and are listed in the
 //! ARCHITECTURE.md observability glossary.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use tcim_bitmatrix::RowEncoding;
 use tcim_telemetry::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::query::KernelStats;
+
+/// Per-`{backend, encoding}` series, keyed by the pre-rendered
+/// Prometheus label pairs.
+#[derive(Debug, Default)]
+struct LabelledSeries {
+    executions: u64,
+    kernel_invocations: u64,
+    slice_pairs: u64,
+    model_error: Histogram,
+}
+
+/// One completed execution's accounting, handed to
+/// [`PipelineMetrics::record_execution`] by the pipeline entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionSample<'a> {
+    /// The executing backend's display label (e.g. `tcim-serial`).
+    pub backend: &'a str,
+    /// The row encoding the prepared artifact resolved to.
+    pub encoding: RowEncoding,
+    /// The run's normalized kernel accounting.
+    pub kernel: &'a KernelStats,
+    /// Host wall-clock time of the execution stage.
+    pub execute_time: Duration,
+    /// Modelled accelerator latency (s), for simulated backends.
+    pub modelled_time_s: Option<f64>,
+    /// The cost model's *pre-execution* prediction of the modelled
+    /// latency (s), when the backend has one — feeds the
+    /// `tcim_model_error_permille` calibration histograms.
+    pub predicted_modelled_s: Option<f64>,
+}
 
 /// Per-pipeline metric instruments, recorded at execution boundaries.
 ///
@@ -37,6 +76,8 @@ pub struct PipelineMetrics {
     encoding_sparse: Counter,
     execute_latency: Histogram,
     modelled_latency: Histogram,
+    model_error: Histogram,
+    labelled: Arc<Mutex<BTreeMap<String, LabelledSeries>>>,
 }
 
 impl Default for PipelineMetrics {
@@ -91,6 +132,12 @@ impl PipelineMetrics {
                 "tcim_modelled_latency_nanoseconds",
                 "modelled accelerator latency, for simulated-hardware backends",
             ),
+            model_error: registry.histogram(
+                "tcim_model_error_permille",
+                "absolute relative error of the cost model's predicted modelled \
+                 time against the executed run's, in permille",
+            ),
+            labelled: Arc::new(Mutex::new(BTreeMap::new())),
             registry,
         }
     }
@@ -101,21 +148,45 @@ impl PipelineMetrics {
         &self.registry
     }
 
-    /// Records one completed execution's aggregate accounting.
-    pub fn record_execution(
-        &self,
-        kernel: &KernelStats,
-        execute_time: Duration,
-        modelled_time_s: Option<f64>,
-    ) {
+    /// The pre-rendered Prometheus label pairs a `{backend, encoding}`
+    /// series is keyed by.
+    pub fn series_labels(backend: &str, encoding: RowEncoding) -> String {
+        format!("backend=\"{backend}\",encoding=\"{encoding}\"")
+    }
+
+    /// Records one completed execution's aggregate accounting: the
+    /// unlabelled totals, the `{backend, encoding}` labelled series,
+    /// and (when both a prediction and a measured modelled time are
+    /// present) one cost-model calibration observation.
+    pub fn record_execution(&self, sample: &ExecutionSample<'_>) {
         self.executions.incr();
-        self.kernel_invocations.add(kernel.kernel_invocations);
-        self.slice_pairs.add(kernel.slice_pairs);
-        self.result_readouts.add(kernel.result_readouts);
-        self.blocks_skipped.add(kernel.blocks_skipped);
-        self.execute_latency.observe_duration(execute_time);
-        if let Some(s) = modelled_time_s {
+        self.kernel_invocations.add(sample.kernel.kernel_invocations);
+        self.slice_pairs.add(sample.kernel.slice_pairs);
+        self.result_readouts.add(sample.kernel.result_readouts);
+        self.blocks_skipped.add(sample.kernel.blocks_skipped);
+        self.execute_latency.observe_duration(sample.execute_time);
+        if let Some(s) = sample.modelled_time_s {
             self.modelled_latency.observe_duration(Duration::from_secs_f64(s.max(0.0)));
+        }
+        let error_permille = match (sample.predicted_modelled_s, sample.modelled_time_s) {
+            (Some(predicted), Some(measured)) if measured > 0.0 => {
+                let permille = ((predicted - measured).abs() / measured) * 1000.0;
+                Some(permille.round().min(u64::MAX as f64) as u64)
+            }
+            _ => None,
+        };
+        if let Some(err) = error_permille {
+            self.model_error.observe(err);
+        }
+
+        let labels = Self::series_labels(sample.backend, sample.encoding);
+        let mut labelled = self.labelled.lock().expect("metrics mutex is never poisoned");
+        let series = labelled.entry(labels).or_default();
+        series.executions += 1;
+        series.kernel_invocations += sample.kernel.kernel_invocations;
+        series.slice_pairs += sample.kernel.slice_pairs;
+        if let Some(err) = error_permille {
+            series.model_error.observe(err);
         }
     }
 
@@ -130,15 +201,65 @@ impl PipelineMetrics {
         }
     }
 
-    /// Point-in-time read of every instrument.
+    /// Point-in-time read of every instrument: the registry's
+    /// unlabelled totals followed by one labelled series per
+    /// `{backend, encoding}` combination observed so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.registry.snapshot()
+        let mut snapshot = self.registry.snapshot();
+        let labelled = self.labelled.lock().expect("metrics mutex is never poisoned");
+        for (labels, series) in labelled.iter() {
+            snapshot.push_labelled_counter(
+                "tcim_executions_total",
+                "backend executions (execute or query) completed",
+                labels,
+                series.executions,
+            );
+            snapshot.push_labelled_counter(
+                "tcim_kernel_invocations_total",
+                "per-edge kernel dispatches across all executions",
+                labels,
+                series.kernel_invocations,
+            );
+            snapshot.push_labelled_counter(
+                "tcim_slice_pairs_total",
+                "valid slice pairs AND + BitCounted across all executions",
+                labels,
+                series.slice_pairs,
+            );
+            let errors = series.model_error.summary();
+            if errors.count > 0 {
+                snapshot.push_labelled_histogram(
+                    "tcim_model_error_permille",
+                    "absolute relative error of the cost model's predicted \
+                     modelled time against the executed run's, in permille",
+                    labels,
+                    errors,
+                );
+            }
+        }
+        snapshot
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample<'a>(
+        backend: &'a str,
+        kernel: &'a KernelStats,
+        modelled: Option<f64>,
+        predicted: Option<f64>,
+    ) -> ExecutionSample<'a> {
+        ExecutionSample {
+            backend,
+            encoding: RowEncoding::Dense,
+            kernel,
+            execute_time: Duration::from_micros(10),
+            modelled_time_s: modelled,
+            predicted_modelled_s: predicted,
+        }
+    }
 
     #[test]
     fn execution_recording_accumulates_kernel_counters() {
@@ -155,8 +276,8 @@ mod tests {
             result_readouts: 0,
             blocks_skipped: 1,
         };
-        m.record_execution(&a, Duration::from_micros(10), Some(1e-6));
-        m.record_execution(&b, Duration::from_micros(20), None);
+        m.record_execution(&sample("tcim-serial", &a, Some(1e-6), None));
+        m.record_execution(&sample("cpu-merge", &b, None, None));
         let snap = m.snapshot();
         assert_eq!(snap.counter("tcim_executions_total"), Some(2));
         assert_eq!(snap.counter("tcim_kernel_invocations_total"), Some(7));
@@ -167,6 +288,51 @@ mod tests {
         assert_eq!(lat.count, 2);
         let modelled = snap.histogram("tcim_modelled_latency_nanoseconds").unwrap();
         assert_eq!(modelled.count, 1);
+    }
+
+    #[test]
+    fn executions_split_into_backend_encoding_series() {
+        let m = PipelineMetrics::new();
+        let k = KernelStats {
+            kernel_invocations: 4,
+            slice_pairs: 6,
+            result_readouts: 0,
+            blocks_skipped: 0,
+        };
+        m.record_execution(&sample("tcim-serial", &k, None, None));
+        m.record_execution(&sample("tcim-serial", &k, None, None));
+        m.record_execution(&sample("cpu-merge", &k, None, None));
+        let snap = m.snapshot();
+        let serial = PipelineMetrics::series_labels("tcim-serial", RowEncoding::Dense);
+        assert_eq!(serial, "backend=\"tcim-serial\",encoding=\"dense\"");
+        assert_eq!(snap.labelled_counter("tcim_executions_total", &serial), Some(2));
+        assert_eq!(snap.labelled_counter("tcim_kernel_invocations_total", &serial), Some(8));
+        assert_eq!(snap.labelled_counter("tcim_slice_pairs_total", &serial), Some(12));
+        let cpu = PipelineMetrics::series_labels("cpu-merge", RowEncoding::Dense);
+        assert_eq!(snap.labelled_counter("tcim_executions_total", &cpu), Some(1));
+        // The unlabelled totals keep covering everything.
+        assert_eq!(snap.counter("tcim_executions_total"), Some(3));
+    }
+
+    #[test]
+    fn model_error_records_permille_gap_when_both_sides_present() {
+        let m = PipelineMetrics::new();
+        let k = KernelStats::default();
+        // 10% over-prediction → 100 permille.
+        m.record_execution(&sample("tcim-serial", &k, Some(1.0), Some(1.1)));
+        // Missing either side records nothing.
+        m.record_execution(&sample("tcim-serial", &k, Some(1.0), None));
+        m.record_execution(&sample("cpu-merge", &k, None, Some(1.0)));
+        let snap = m.snapshot();
+        let errors = snap.histogram("tcim_model_error_permille").unwrap();
+        assert_eq!(errors.count, 1);
+        assert_eq!(errors.sum, 100);
+        let serial = PipelineMetrics::series_labels("tcim-serial", RowEncoding::Dense);
+        let labelled = snap.labelled_histogram("tcim_model_error_permille", &serial).unwrap();
+        assert_eq!(labelled.count, 1);
+        // Series that never produced a calibration sample render none.
+        let cpu = PipelineMetrics::series_labels("cpu-merge", RowEncoding::Dense);
+        assert!(snap.labelled_histogram("tcim_model_error_permille", &cpu).is_none());
     }
 
     #[test]

@@ -75,7 +75,7 @@ mod runner;
 pub use delta::{plan_deltas, DeltaJob, DeltaPlan};
 pub use error::{Result, SchedError};
 pub use jobs::RowJob;
-pub use placement::Placement;
+pub use placement::{ArrayAssignment, Placement};
 pub use policy::{PlacementPolicy, SchedPolicy};
 pub use report::{ArrayReport, ScheduledReport};
 pub use runner::{parallel_map_indexed, AttributedScheduledRun, BatchRunner, ScheduledRun};

@@ -102,6 +102,43 @@ impl Placement {
     pub fn est_imbalance(&self) -> f64 {
         imbalance(&self.est_busy_per_array)
     }
+
+    /// Summarizes each array's share of the placement — job count,
+    /// arcs, slice pairs, estimated busy time — for diagnostics (query
+    /// EXPLAIN plans render one line per array from this).
+    pub fn per_array_summary(&self) -> Vec<ArrayAssignment> {
+        let mut summary: Vec<ArrayAssignment> = (0..self.arrays)
+            .map(|array| ArrayAssignment {
+                array,
+                jobs: 0,
+                arcs: 0,
+                slice_pairs: 0,
+                est_busy_s: self.est_busy_per_array[array],
+            })
+            .collect();
+        for (job, &a) in self.jobs.iter().zip(&self.assignment) {
+            let entry = &mut summary[a as usize];
+            entry.jobs += 1;
+            entry.arcs += job.cols.len() as u64;
+            entry.slice_pairs += job.pairs;
+        }
+        summary
+    }
+}
+
+/// One array's share of a [`Placement`], summarized for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayAssignment {
+    /// Array index.
+    pub array: usize,
+    /// Row jobs assigned to this array.
+    pub jobs: usize,
+    /// Processed arcs (edges) across those jobs.
+    pub arcs: u64,
+    /// Valid slice pairs across those jobs.
+    pub slice_pairs: u64,
+    /// Estimated busy time under the cold-cache cost model (s).
+    pub est_busy_s: f64,
 }
 
 /// Max-over-mean of a non-negative load vector; 1.0 when empty or idle.

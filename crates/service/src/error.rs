@@ -25,6 +25,13 @@ pub enum ServiceError {
         /// The conflicting name.
         name: String,
     },
+    /// An EXPLAIN was requested for a live graph. Live graphs answer
+    /// from incrementally maintained state — there is no planned
+    /// execution to explain.
+    NotPlannable {
+        /// The live graph's name.
+        name: String,
+    },
     /// A pipeline/backend/query failure from `tcim-core`.
     Core(CoreError),
     /// An update or maintenance failure from a live `tcim-stream`
@@ -40,6 +47,13 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::NameInUse { name } => {
                 write!(f, "graph name {name:?} is already in use")
+            }
+            ServiceError::NotPlannable { name } => {
+                write!(
+                    f,
+                    "graph {name:?} is live — it answers from maintained state, \
+                     so there is no execution plan to explain"
+                )
             }
             ServiceError::Core(e) => write!(f, "query error: {e}"),
             ServiceError::Stream(e) => write!(f, "stream error: {e}"),

@@ -22,6 +22,14 @@
 //!   cost, wall time) so callers can audit how every answer was made.
 //! * [`ServiceError`] — unknown names, name conflicts, and wrapped
 //!   core/stream failures.
+//! * Observability — [`TcimService::explain`] plans a request (backend
+//!   auto-selection included) without executing it; with
+//!   `explain_queries` on, every response carries its
+//!   [`ExplainReport`](tcim_core::ExplainReport) with measured
+//!   accounting attached; [`SlowQueryLog`] retains full forensic
+//!   records of requests over the `slow_query_threshold`; and
+//!   [`TcimService::render_prometheus`] exposes the lot, flight-recorder
+//!   health included.
 //!
 //! # Example
 //!
@@ -53,8 +61,10 @@
 
 mod error;
 mod service;
+mod slow_query;
 mod store;
 
 pub use error::{Result, ServiceError};
 pub use service::{QueryRequest, QueryResponse, ServiceConfig, TcimService};
+pub use slow_query::{SlowQueryLog, SlowQueryRecord};
 pub use store::{GraphInfo, GraphStore};

@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use tcim_core::query::shape_value;
 use tcim_core::{
-    Backend, EdgeSupport, KernelStats, PreparedGraph, Query, QueryValue, ShardPolicy,
-    ShardProvenance, ShardSpec, TcimConfig, TcimPipeline,
+    Backend, EdgeSupport, ExplainReport, KernelStats, PreparedGraph, Query, QueryValue,
+    ShardPolicy, ShardProvenance, ShardSpec, TcimConfig, TcimPipeline,
 };
 use tcim_graph::CsrGraph;
 use tcim_sched::parallel_map_indexed;
@@ -20,6 +20,7 @@ use tcim_telemetry::{
 };
 
 use crate::error::{Result, ServiceError};
+use crate::slow_query::{SlowQueryLog, SlowQueryRecord};
 use crate::store::{GraphInfo, GraphStore};
 
 /// Configuration of a [`TcimService`].
@@ -57,6 +58,20 @@ pub struct ServiceConfig {
     /// thread for the duration of one request, so concurrent requests
     /// never observe each other's spans.
     pub profile_queries: bool,
+    /// When set, every static-graph response carries the full
+    /// [`ExplainReport`] of its execution — the plan assembled before
+    /// running, with the measured kernel accounting attached after —
+    /// on [`QueryResponse::explain`].
+    pub explain_queries: bool,
+    /// Wall-time threshold for slow-query capture: requests slower
+    /// than this are recorded (with their explain plan and, when
+    /// profiling is on, per-phase breakdown) in the service's
+    /// [`SlowQueryLog`] and counted by `tcim_slow_queries_total`.
+    /// `None` disables capture.
+    pub slow_query_threshold: Option<Duration>,
+    /// Capacity of the slow-query flight recorder (drop-oldest; 0
+    /// counts offenders without retaining records).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +85,9 @@ impl Default for ServiceConfig {
             shard_slice_budget: None,
             shard: ShardPolicy::with_shards(2),
             profile_queries: false,
+            explain_queries: false,
+            slow_query_threshold: None,
+            slow_query_capacity: 32,
         }
     }
 }
@@ -151,6 +169,11 @@ pub struct QueryResponse {
     /// `execute`, …), present when [`ServiceConfig::profile_queries`]
     /// is set.
     pub phases: Option<PhaseBreakdown>,
+    /// The full explain plan of this execution — routing, predicted
+    /// kernel census, scheduler/shard summaries — with the measured
+    /// accounting attached, present for static-graph answers when
+    /// [`ServiceConfig::explain_queries`] is set.
+    pub explain: Option<ExplainReport>,
 }
 
 impl fmt::Display for QueryResponse {
@@ -180,6 +203,7 @@ struct ServiceMetrics {
     queries: Counter,
     failures: Counter,
     updates: Counter,
+    slow: Counter,
     inflight: Gauge,
     wall: Histogram,
 }
@@ -197,6 +221,10 @@ impl ServiceMetrics {
             updates: registry.counter(
                 "tcim_service_update_batches_total",
                 "update batches applied to live graphs",
+            ),
+            slow: registry.counter(
+                "tcim_slow_queries_total",
+                "queries that exceeded the slow-query wall-time threshold",
             ),
             inflight: registry
                 .gauge("tcim_service_inflight_queries", "queries currently executing"),
@@ -255,6 +283,7 @@ pub struct TcimService {
     store: GraphStore,
     live: RwLock<HashMap<String, Arc<LiveGraph>>>,
     metrics: ServiceMetrics,
+    slow_queries: SlowQueryLog,
 }
 
 impl fmt::Debug for TcimService {
@@ -284,6 +313,7 @@ impl TcimService {
             store: GraphStore::new(),
             live: RwLock::new(HashMap::new()),
             metrics: ServiceMetrics::new(),
+            slow_queries: SlowQueryLog::new(config.slow_query_capacity),
         })
     }
 
@@ -441,7 +471,72 @@ impl TcimService {
         }
         let mut response = result?;
         response.phases = profiled.map(|report| report.breakdown());
+        if let Some(threshold) = self.config.slow_query_threshold {
+            if response.wall >= threshold {
+                self.metrics.slow.incr();
+                self.slow_queries.record(SlowQueryRecord {
+                    graph: response.graph.clone(),
+                    backend: response.backend.clone(),
+                    query: response.query.clone(),
+                    wall: response.wall,
+                    threshold,
+                    triangles: response.triangles,
+                    explain: response.explain.clone(),
+                    phases: response.phases.clone(),
+                });
+            }
+        }
+        // The plan was assembled for the slow-query record even when
+        // responses are not asked to carry it; strip it here so the
+        // response surface follows `explain_queries` exactly.
+        if !self.config.explain_queries {
+            response.explain = None;
+        }
         Ok(response)
+    }
+
+    /// Plans one query on the graph bound to `graph` — backend
+    /// auto-selection included — without executing anything.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcimService::explain_with`].
+    pub fn explain(&self, graph: &str, query: &Query) -> Result<ExplainReport> {
+        self.explain_with(&QueryRequest::new(graph, query.clone()))
+    }
+
+    /// Plans one request without executing it: resolves the graph,
+    /// runs the *same* backend selection a real request would get
+    /// (explicit override, else the default backend or slice-budget
+    /// auto-sharding), and assembles the [`ExplainReport`] from the
+    /// artifacts a subsequent execution will consume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownGraph`] for unbound names,
+    /// [`ServiceError::NotPlannable`] for live graphs (they answer
+    /// from maintained state, not a planned execution), and propagates
+    /// planning failures.
+    pub fn explain_with(&self, request: &QueryRequest) -> Result<ExplainReport> {
+        let Some(prepared) = self.store.get(&request.graph) else {
+            return Err(if self.live_graph(&request.graph).is_some() {
+                ServiceError::NotPlannable { name: request.graph.clone() }
+            } else {
+                ServiceError::UnknownGraph { name: request.graph.clone() }
+            });
+        };
+        let backend = match &request.backend {
+            Some(explicit) => explicit.clone(),
+            None => self.select_backend(&prepared),
+        };
+        Ok(self.pipeline.explain_prepared(&prepared, true, &backend, &request.query)?)
+    }
+
+    /// The slow-query flight recorder: drain or snapshot the captured
+    /// records (always empty unless
+    /// [`ServiceConfig::slow_query_threshold`] is set).
+    pub fn slow_queries(&self) -> &SlowQueryLog {
+        &self.slow_queries
     }
 
     /// Routes the request to the answering graph and executes it
@@ -496,9 +591,24 @@ impl TcimService {
         backend: Backend,
         start: Instant,
     ) -> Result<QueryResponse> {
+        // Plan before executing when anything downstream wants the
+        // explain — the response itself or a potential slow-query
+        // record. The plan reads the same cached artifacts the
+        // execution consumes, so nothing is re-prepared.
+        let mut plan = if self.config.explain_queries
+            || self.config.slow_query_threshold.is_some()
+        {
+            let _explain = tcim_telemetry::span("explain");
+            Some(self.pipeline.explain_prepared(prepared, true, &backend, &request.query)?)
+        } else {
+            None
+        };
         let execute_span = tcim_telemetry::span("execute");
         let report = self.pipeline.query(prepared, &backend, &request.query)?;
         drop(execute_span);
+        if let Some(plan) = plan.as_mut() {
+            plan.attach_measured(&report);
+        }
         Ok(QueryResponse {
             graph: request.graph.clone(),
             fingerprint: prepared.key().fingerprint,
@@ -515,6 +625,7 @@ impl TcimService {
             sharding: report.sharding,
             wall: start.elapsed(),
             phases: None,
+            explain: plan,
         })
     }
 
@@ -553,6 +664,27 @@ impl TcimService {
             "tcim_service_live_graphs",
             "live graphs currently registered",
             self.live.read().expect("live lock is never poisoned").len() as i64,
+        );
+        snapshot.push_gauge(
+            "tcim_slow_query_log_retained",
+            "slow-query records currently retained in the flight recorder",
+            self.slow_queries.len() as i64,
+        );
+        let flight = tcim_telemetry::flight_recorder_stats();
+        snapshot.push_counter(
+            "tcim_spans_dropped_total",
+            "spans evicted from the span flight recorder by capacity pressure",
+            flight.dropped,
+        );
+        snapshot.push_gauge(
+            "tcim_flight_recorder_capacity",
+            "configured span flight-recorder capacity (0 = disabled)",
+            flight.capacity as i64,
+        );
+        snapshot.push_gauge(
+            "tcim_flight_recorder_retained_spans",
+            "spans currently retained by the span flight recorder",
+            flight.retained as i64,
         );
         snapshot
     }
@@ -628,5 +760,6 @@ fn answer_live(
         sharding: None,
         wall: start.elapsed(),
         phases: None,
+        explain: None,
     })
 }

@@ -1,0 +1,198 @@
+//! Slow-query capture: a bounded flight recorder of forensic records
+//! for requests that exceeded the configured wall-time threshold.
+//!
+//! When [`ServiceConfig::slow_query_threshold`](crate::ServiceConfig)
+//! is set, every served request is timed against it; offenders are
+//! pushed into a [`SlowQueryLog`] — a drop-oldest
+//! [`BoundedRing`] — carrying the full
+//! [`ExplainReport`] (routing, predicted census, measured kernel
+//! accounting) and, when profiling is on, the per-phase wall-time
+//! breakdown. The log is drainable ([`SlowQueryLog::drain`]) so an
+//! operator can pull the evidence *after* noticing the
+//! `tcim_slow_queries_total` counter move, without having had tracing
+//! enabled in advance.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tcim_core::{ExplainReport, Query};
+use tcim_telemetry::{BoundedRing, PhaseBreakdown};
+
+/// One captured slow query: everything needed to reconstruct *why* the
+/// request was slow after the fact.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// The graph that answered.
+    pub graph: String,
+    /// The backend label that answered.
+    pub backend: String,
+    /// The question.
+    pub query: Query,
+    /// Host wall-clock time of the whole request.
+    pub wall: Duration,
+    /// The threshold in force when the record was captured.
+    pub threshold: Duration,
+    /// The answer's global triangle count (a cheap sanity anchor).
+    pub triangles: u64,
+    /// The full explain plan with measured accounting attached.
+    /// `None` only for live-graph answers, which have no plan.
+    pub explain: Option<ExplainReport>,
+    /// Per-phase wall-time breakdown, when
+    /// [`ServiceConfig::profile_queries`](crate::ServiceConfig) was on.
+    pub phases: Option<PhaseBreakdown>,
+}
+
+impl fmt::Display for SlowQueryRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SLOW {} {} via {}: {:.3} ms (threshold {:.3} ms)",
+            self.graph,
+            self.query,
+            self.backend,
+            self.wall.as_secs_f64() * 1e3,
+            self.threshold.as_secs_f64() * 1e3
+        )?;
+        if let Some(phases) = &self.phases {
+            for p in &phases.phases {
+                writeln!(
+                    f,
+                    "  phase {:<10} {:.3} ms ({} spans)",
+                    p.name,
+                    p.total.as_secs_f64() * 1e3,
+                    p.count
+                )?;
+            }
+        }
+        if let Some(explain) = &self.explain {
+            write!(f, "{explain}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A bounded, drop-oldest log of [`SlowQueryRecord`]s with a monotonic
+/// capture counter (the counter survives drains and evictions, so the
+/// exported `tcim_slow_queries_total` metric never moves backwards).
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    ring: Mutex<BoundedRing<SlowQueryRecord>>,
+    captured: AtomicU64,
+}
+
+impl SlowQueryLog {
+    /// Creates a log retaining up to `capacity` records (0 disables
+    /// retention; the capture counter still counts).
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            ring: Mutex::new(BoundedRing::new(capacity)),
+            captured: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().expect("slow-query log lock is never poisoned").capacity()
+    }
+
+    /// Captures one record, evicting the oldest if at capacity.
+    pub fn record(&self, record: SlowQueryRecord) {
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        self.ring.lock().expect("slow-query log lock is never poisoned").push(record);
+    }
+
+    /// Slow queries captured since the service started (monotonic —
+    /// unaffected by drains or ring eviction).
+    pub fn total(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("slow-query log lock is never poisoned").len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted by capacity pressure since the service started.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("slow-query log lock is never poisoned").dropped()
+    }
+
+    /// Removes and returns every retained record, oldest first.
+    pub fn drain(&self) -> Vec<SlowQueryRecord> {
+        self.ring.lock().expect("slow-query log lock is never poisoned").drain()
+    }
+
+    /// Clones the retained records, oldest first, without clearing.
+    pub fn snapshot(&self) -> Vec<SlowQueryRecord> {
+        self.ring
+            .lock()
+            .expect("slow-query log lock is never poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(graph: &str, ms: u64) -> SlowQueryRecord {
+        SlowQueryRecord {
+            graph: graph.to_string(),
+            backend: "tcim-serial".to_string(),
+            query: Query::TotalTriangles,
+            wall: Duration::from_millis(ms),
+            threshold: Duration::from_millis(1),
+            triangles: 7,
+            explain: None,
+            phases: None,
+        }
+    }
+
+    #[test]
+    fn log_retains_drops_and_counts_monotonically() {
+        let log = SlowQueryLog::new(2);
+        log.record(record("a", 5));
+        log.record(record("b", 6));
+        log.record(record("c", 7));
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].graph, "b");
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 3, "drain must not reset the capture counter");
+    }
+
+    #[test]
+    fn snapshot_leaves_records_in_place() {
+        let log = SlowQueryLog::new(4);
+        log.record(record("a", 5));
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_still_counts() {
+        let log = SlowQueryLog::new(0);
+        log.record(record("a", 5));
+        assert_eq!(log.total(), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn display_names_the_offender_and_threshold() {
+        let text = record("web-graph", 12).to_string();
+        assert!(text.contains("SLOW web-graph"));
+        assert!(text.contains("threshold 1.000 ms"));
+    }
+}

@@ -67,6 +67,62 @@ pub struct CompositionRun {
     pub placement_units: usize,
 }
 
+/// The structural kernel census of a composition pass, computed
+/// without executing any kernels.
+///
+/// The composition's dispatch accounting is *structural*: whether an
+/// arc dispatches and how many slice pairs it visits depend only on
+/// the boundary operands' valid-slice structure (and the sparse
+/// byte-mask filter), never on placement or AND results. A dry run
+/// over the same [`BoundarySlices`] therefore predicts the executed
+/// [`CompositionRun`]'s `kernel_invocations` / `slice_pairs` /
+/// `blocks_skipped` bit-exactly — which is what query EXPLAIN plans
+/// rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComposeCensus {
+    /// Kernel dispatches the pass will make (one per cross arc on
+    /// dense operands; sparse arcs whose sub-passes all filter to
+    /// nothing are skipped).
+    pub kernel_invocations: u64,
+    /// Valid slice pairs the pass will AND + BitCount.
+    pub slice_pairs: u64,
+    /// Mutually valid pairs the sparse byte-mask filter will skip.
+    pub blocks_skipped: u64,
+}
+
+/// Walks the composition pass's arcs without executing kernels and
+/// returns the exact dispatch census the pass will produce (the same
+/// per-arc rule as [`compose`]'s inner loop, minus the ANDs).
+///
+/// # Errors
+///
+/// Returns [`ShardError::MissingBoundary`] when an arc's operands were
+/// not extracted (an internal invariant violation).
+pub fn compose_census(boundary: &BoundarySlices) -> Result<ComposeCensus> {
+    let mut census = ComposeCensus::default();
+    for &(a, c) in boundary.cross_arcs() {
+        let row = operand(boundary.row(a), a, "row")?;
+        let col = operand(boundary.col(c), c, "column")?;
+        let sparse = row.local.encoding() == RowEncoding::Sparse;
+        let pairs_before = census.slice_pairs;
+        for (left, right) in [
+            (&row.local, &col.boundary),
+            (&row.boundary, &col.boundary),
+            (&row.boundary, &col.local),
+        ] {
+            let pair_stats = left
+                .for_each_matching_index(right, |_| {})
+                .expect("boundary operands share slice size and universe");
+            census.slice_pairs += pair_stats.visited;
+            census.blocks_skipped += pair_stats.skipped;
+        }
+        if !sparse || census.slice_pairs > pairs_before {
+            census.kernel_invocations += 1;
+        }
+    }
+    Ok(census)
+}
+
 /// One worker array's partial results.
 struct ArrayPartial {
     triangles: u64,
@@ -454,6 +510,30 @@ mod tests {
             expected += row.matching_slices(&col).unwrap().count() as u64;
         }
         assert_eq!(run.slice_pairs, expected);
+    }
+
+    #[test]
+    fn census_dry_run_matches_the_executed_pass_exactly() {
+        for encoding in [RowEncoding::Dense, RowEncoding::Sparse] {
+            let g = gnm(512, 3500, 9).unwrap();
+            let oriented = Orientation::Natural.orient(&g);
+            let plan = plan_shards(&oriented, &ShardSpec::one_d(4), SliceSize::S64).unwrap();
+            let boundary = BoundarySlices::extract(&oriented, &plan, SliceSize::S64, encoding);
+            let census = compose_census(&boundary).unwrap();
+            let run = compose(
+                oriented.vertex_count(),
+                &plan,
+                &boundary,
+                &SchedPolicy::with_arrays(4),
+                &costs(),
+                false,
+                false,
+            )
+            .unwrap();
+            assert_eq!(census.kernel_invocations, run.kernel_invocations, "{encoding}");
+            assert_eq!(census.slice_pairs, run.slice_pairs, "{encoding}");
+            assert_eq!(census.blocks_skipped, run.blocks_skipped, "{encoding}");
+        }
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Export recorded spans as chrome://tracing "Trace Event Format"
+//! JSON.
+//!
+//! Every [`SpanRecord`] becomes one complete event (`"ph": "X"`) with
+//! microsecond timestamps; the span's [`trace_id`](SpanRecord::trace_id)
+//! is used as the `tid`, so each profiled query renders as its own
+//! horizontal track and interleaved requests stay visually separate.
+//! The output is a single JSON object (`{"traceEvents": [...]}`) that
+//! loads directly in `chrome://tracing` or Perfetto, and is written
+//! with the hand-rolled [`crate::json`] writer so it round-trips
+//! through [`crate::json::parse`].
+//!
+//! # Example
+//!
+//! ```
+//! use tcim_telemetry::{chrome_trace, json, profile, span};
+//!
+//! let (_, report) = profile("query", || drop(span("execute")));
+//! let trace = chrome_trace::render(&[report.expect("top-level profile")]);
+//! let doc = json::parse(&trace).expect("exporter emits valid JSON");
+//! assert_eq!(doc.get("traceEvents").and_then(|e| e.as_array()).unwrap().len(), 2);
+//! ```
+
+use crate::json::{num_u64, object, Json};
+use crate::span::{ProfileReport, SpanRecord};
+
+/// Converts a duration offset to fractional microseconds, the unit the
+/// Trace Event Format expects for `ts` and `dur`.
+fn micros(d: std::time::Duration) -> Json {
+    Json::Number(d.as_secs_f64() * 1e6)
+}
+
+/// One complete ("X") trace event for a span.
+fn event(span: &SpanRecord) -> Json {
+    object([
+        ("name", Json::String(span.name.to_string())),
+        ("cat", Json::String("tcim".to_string())),
+        ("ph", Json::String("X".to_string())),
+        ("ts", micros(span.start)),
+        ("dur", micros(span.elapsed)),
+        ("pid", num_u64(1)),
+        // One track per profiled query: interleaved requests separate.
+        ("tid", num_u64(span.trace_id)),
+        ("args", object([("depth", num_u64(span.depth as u64))])),
+    ])
+}
+
+/// Renders profiled queries as a Trace Event Format JSON document.
+///
+/// Spans keep their per-profile relative timestamps; with one report
+/// per track (`tid` = trace id) the viewer lays queries out side by
+/// side, which is what per-query debugging wants.
+pub fn render(reports: &[ProfileReport]) -> String {
+    render_spans(reports.iter().flat_map(|r| r.spans.iter().copied()))
+}
+
+/// Renders a flat span stream (e.g. a [`crate::span::recent_spans`]
+/// flight-recorder dump) as a Trace Event Format JSON document.
+pub fn render_spans(spans: impl IntoIterator<Item = SpanRecord>) -> String {
+    let events: Vec<Json> = spans.into_iter().map(|s| event(&s)).collect();
+    object([
+        ("traceEvents", Json::Array(events)),
+        ("displayTimeUnit", Json::String("ms".to_string())),
+    ])
+    .to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::{profile, span};
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let ((), report) = profile("query", || {
+            let _execute = span("execute");
+            drop(span("shard"));
+        });
+        let report = report.expect("top-level profile");
+        let trace = render(std::slice::from_ref(&report));
+        let doc = json::parse(&trace).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).expect("event array");
+        assert_eq!(events.len(), report.spans.len());
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(ev.get("ts").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(ev.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert_eq!(
+                ev.get("tid").and_then(Json::as_f64),
+                Some(report.trace_id as f64),
+                "every span sits on the profile's track"
+            );
+        }
+        let names: Vec<&str> =
+            events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+        assert!(names.contains(&"query") && names.contains(&"execute"));
+    }
+
+    #[test]
+    fn reports_render_on_separate_tracks() {
+        let ((), a) = profile("a", || ());
+        let ((), b) = profile("b", || ());
+        let trace = render(&[a.expect("profile a"), b.expect("profile b")]);
+        let doc = json::parse(&trace).expect("valid JSON");
+        let tids: std::collections::BTreeSet<u64> = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Json::as_f64))
+            .map(|t| t as u64)
+            .collect();
+        assert_eq!(tids.len(), 2);
+    }
+}

@@ -22,8 +22,14 @@
 //!   `update → delta → fold`) into a per-request profiler
 //!   ([`span::profile`]) and an optional global flight-recorder ring.
 //! * [`metrics`] — [`Counter`]/[`Gauge`]/[`Histogram`] primitives, a
-//!   named [`MetricsRegistry`], point-in-time [`MetricsSnapshot`]s and
-//!   [`render_prometheus`] for scrape-style export.
+//!   named [`MetricsRegistry`], point-in-time [`MetricsSnapshot`]s
+//!   (including labelled counter families) and [`render_prometheus`]
+//!   for scrape-style export.
+//! * [`json`] — the hand-rolled JSON value/writer/parser shared by the
+//!   trace exporter here and the `tcim-bench` perf artifacts.
+//! * [`chrome_trace`] — renders [`SpanRecord`]s/[`ProfileReport`]s as
+//!   chrome://tracing "Trace Event Format" JSON, one track per
+//!   per-query trace id.
 //!
 //! # Example
 //!
@@ -47,18 +53,21 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chrome_trace;
+pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod span;
 pub mod trace;
 
+pub use json::Json;
 pub use metrics::{
     render_prometheus, Counter, Gauge, Histogram, HistogramSummary, MetricSample,
     MetricsRegistry, MetricsSnapshot, SampleValue,
 };
 pub use ring::BoundedRing;
 pub use span::{
-    profile, recent_spans, set_flight_recorder, span, PhaseBreakdown, PhaseTime,
-    ProfileReport, SpanGuard, SpanRecord,
+    flight_recorder_stats, profile, recent_spans, set_flight_recorder, span,
+    FlightRecorderStats, PhaseBreakdown, PhaseTime, ProfileReport, SpanGuard, SpanRecord,
 };
 pub use trace::{EventTrace, KernelEvent};

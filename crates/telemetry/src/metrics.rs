@@ -190,6 +190,25 @@ pub enum SampleValue {
     Gauge(i64),
     /// A histogram summary.
     Histogram(HistogramSummary),
+    /// One labelled series of a counter family: the same metric name
+    /// may appear in many samples, each with a distinct label set
+    /// (rendered as `name{labels} value`).
+    LabelledCounter {
+        /// Pre-rendered Prometheus label pairs, e.g.
+        /// `backend="tcim-serial",encoding="dense"`.
+        labels: String,
+        /// The series' counter value.
+        value: u64,
+    },
+    /// One labelled series of a histogram family, rendered as summary
+    /// quantiles with the label pairs merged into every line.
+    LabelledHistogram {
+        /// Pre-rendered Prometheus label pairs (as for
+        /// [`SampleValue::LabelledCounter`]).
+        labels: String,
+        /// The series' point-in-time summary.
+        summary: HistogramSummary,
+    },
 }
 
 /// One named instrument read out of a registry.
@@ -372,6 +391,59 @@ impl MetricsSnapshot {
             value: SampleValue::Gauge(value),
         });
     }
+
+    /// Appends one labelled series of a counter family. `labels` is
+    /// the pre-rendered Prometheus pair list (without braces), e.g.
+    /// `backend="tcim-serial",encoding="dense"`; the same `name` may
+    /// be pushed repeatedly with different label sets.
+    pub fn push_labelled_counter(&mut self, name: &str, help: &str, labels: &str, value: u64) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SampleValue::LabelledCounter { labels: labels.to_string(), value },
+        });
+    }
+
+    /// Value of the labelled counter series `name{labels}`, if present.
+    pub fn labelled_counter(&self, name: &str, labels: &str) -> Option<u64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            SampleValue::LabelledCounter { labels: l, value }
+                if s.name == name && l == labels =>
+            {
+                Some(*value)
+            }
+            _ => None,
+        })
+    }
+
+    /// Appends one labelled series of a histogram family, from an
+    /// externally held [`Histogram`]'s summary.
+    pub fn push_labelled_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &str,
+        summary: HistogramSummary,
+    ) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: SampleValue::LabelledHistogram { labels: labels.to_string(), summary },
+        });
+    }
+
+    /// Summary of the labelled histogram series `name{labels}`, if
+    /// present.
+    pub fn labelled_histogram(&self, name: &str, labels: &str) -> Option<&HistogramSummary> {
+        self.samples.iter().find_map(|s| match &s.value {
+            SampleValue::LabelledHistogram { labels: l, summary }
+                if s.name == name && l == labels =>
+            {
+                Some(summary)
+            }
+            _ => None,
+        })
+    }
 }
 
 /// Serializes a snapshot in the Prometheus text exposition format
@@ -379,24 +451,46 @@ impl MetricsSnapshot {
 /// `_count` series).
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    // A labelled counter family appears as one sample per label set;
+    // its HELP/TYPE header must be emitted once per family, not per
+    // series.
+    let mut headed: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for sample in &snapshot.samples {
-        out.push_str(&format!("# HELP {} {}\n", sample.name, sample.help));
+        if headed.insert(&sample.name) {
+            out.push_str(&format!("# HELP {} {}\n", sample.name, sample.help));
+            let kind = match &sample.value {
+                SampleValue::Counter(_) | SampleValue::LabelledCounter { .. } => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) | SampleValue::LabelledHistogram { .. } => "summary",
+            };
+            out.push_str(&format!("# TYPE {} {kind}\n", sample.name));
+        }
         match &sample.value {
             SampleValue::Counter(v) => {
-                out.push_str(&format!("# TYPE {} counter\n", sample.name));
                 out.push_str(&format!("{} {v}\n", sample.name));
             }
             SampleValue::Gauge(v) => {
-                out.push_str(&format!("# TYPE {} gauge\n", sample.name));
                 out.push_str(&format!("{} {v}\n", sample.name));
             }
+            SampleValue::LabelledCounter { labels, value } => {
+                out.push_str(&format!("{}{{{labels}}} {value}\n", sample.name));
+            }
             SampleValue::Histogram(h) => {
-                out.push_str(&format!("# TYPE {} summary\n", sample.name));
                 out.push_str(&format!("{}{{quantile=\"0.5\"}} {}\n", sample.name, h.p50));
                 out.push_str(&format!("{}{{quantile=\"0.9\"}} {}\n", sample.name, h.p90));
                 out.push_str(&format!("{}{{quantile=\"0.99\"}} {}\n", sample.name, h.p99));
                 out.push_str(&format!("{}_sum {}\n", sample.name, h.sum));
                 out.push_str(&format!("{}_count {}\n", sample.name, h.count));
+            }
+            SampleValue::LabelledHistogram { labels, summary: h } => {
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    out.push_str(&format!(
+                        "{}{{{labels},quantile=\"{q}\"}} {v}\n",
+                        sample.name
+                    ));
+                }
+                out.push_str(&format!("{}_sum{{{labels}}} {}\n", sample.name, h.sum));
+                out.push_str(&format!("{}_count{{{labels}}} {}\n", sample.name, h.count));
             }
         }
     }
@@ -479,5 +573,71 @@ mod tests {
         assert!(text.contains("tcim_c_nanoseconds_count 1"));
         assert!(text.contains("tcim_c_nanoseconds{quantile=\"0.99\"}"));
         assert!(text.contains("tcim_external_total 9"));
+    }
+
+    #[test]
+    fn labelled_counter_family_renders_one_header_per_name() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.push_labelled_counter(
+            "tcim_kernels_total",
+            "kernels by backend",
+            "backend=\"tcim-serial\",encoding=\"dense\"",
+            4,
+        );
+        snapshot.push_labelled_counter(
+            "tcim_kernels_total",
+            "kernels by backend",
+            "backend=\"cpu-merge\",encoding=\"sparse\"",
+            2,
+        );
+        assert_eq!(
+            snapshot.labelled_counter(
+                "tcim_kernels_total",
+                "backend=\"tcim-serial\",encoding=\"dense\""
+            ),
+            Some(4)
+        );
+        assert_eq!(snapshot.labelled_counter("tcim_kernels_total", "nope"), None);
+        let text = render_prometheus(&snapshot);
+        assert_eq!(text.matches("# HELP tcim_kernels_total").count(), 1);
+        assert_eq!(text.matches("# TYPE tcim_kernels_total counter").count(), 1);
+        assert!(
+            text.contains("tcim_kernels_total{backend=\"tcim-serial\",encoding=\"dense\"} 4")
+        );
+        assert!(
+            text.contains("tcim_kernels_total{backend=\"cpu-merge\",encoding=\"sparse\"} 2")
+        );
+    }
+
+    #[test]
+    fn labelled_histogram_series_render_with_merged_labels() {
+        let h = Histogram::default();
+        for v in [10u64, 20, 30] {
+            h.observe(v);
+        }
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.push_labelled_histogram(
+            "tcim_model_error_permille",
+            "cost-model error",
+            "backend=\"tcim-serial\",encoding=\"dense\"",
+            h.summary(),
+        );
+        let found = snapshot
+            .labelled_histogram(
+                "tcim_model_error_permille",
+                "backend=\"tcim-serial\",encoding=\"dense\"",
+            )
+            .unwrap();
+        assert_eq!(found.count, 3);
+        assert!(snapshot.labelled_histogram("tcim_model_error_permille", "nope").is_none());
+        let text = render_prometheus(&snapshot);
+        assert_eq!(text.matches("# TYPE tcim_model_error_permille summary").count(), 1);
+        assert!(text.contains(
+            "tcim_model_error_permille{backend=\"tcim-serial\",encoding=\"dense\",\
+             quantile=\"0.5\"}"
+        ));
+        assert!(text.contains(
+            "tcim_model_error_permille_count{backend=\"tcim-serial\",encoding=\"dense\"} 3"
+        ));
     }
 }

@@ -18,6 +18,7 @@
 //! for post-hoc inspection of the last N spans process-wide.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -34,14 +35,23 @@ pub struct SpanRecord {
     pub start: Duration,
     /// Wall-clock duration of the span.
     pub elapsed: Duration,
+    /// Process-unique id of the enclosing [`profile`] call, so spans
+    /// from interleaved requests stay attributable after they are
+    /// mixed in the flight recorder or a merged trace export.
+    pub trace_id: u64,
 }
 
 struct Collector {
     root: &'static str,
     origin: Instant,
     depth: u16,
+    trace_id: u64,
     records: Vec<SpanRecord>,
 }
+
+/// Monotonic allocator for [`SpanRecord::trace_id`]; ids start at 1 so
+/// 0 never names a real trace.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
@@ -54,6 +64,9 @@ static FLIGHT: Mutex<Option<BoundedRing<SpanRecord>>> = Mutex::new(None);
 pub struct ProfileReport {
     /// Name passed to [`profile`].
     pub root: &'static str,
+    /// Process-unique id allocated for this profile; every span in
+    /// [`ProfileReport::spans`] carries the same value.
+    pub trace_id: u64,
     /// Total wall-clock time of the profiled closure.
     pub total: Duration,
     /// Spans recorded inside the closure, in completion order.
@@ -140,6 +153,7 @@ impl Drop for SpanGuard {
                     depth: active.depth,
                     start: active.start_offset,
                     elapsed,
+                    trace_id: collector.trace_id,
                 });
                 collector.depth = collector.depth.saturating_sub(1);
             }
@@ -186,8 +200,13 @@ pub fn profile<R>(root: &'static str, f: impl FnOnce() -> R) -> (R, Option<Profi
         if slot.is_some() {
             return false;
         }
-        *slot =
-            Some(Collector { root, origin: Instant::now(), depth: 0, records: Vec::new() });
+        *slot = Some(Collector {
+            root,
+            origin: Instant::now(),
+            depth: 0,
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            records: Vec::new(),
+        });
         true
     });
     if !installed {
@@ -205,8 +224,10 @@ pub fn profile<R>(root: &'static str, f: impl FnOnce() -> R) -> (R, Option<Profi
             depth: 0,
             start: Duration::ZERO,
             elapsed: total,
+            trace_id: collector.trace_id,
         });
-        let report = ProfileReport { root: collector.root, total, spans };
+        let report =
+            ProfileReport { root: collector.root, trace_id: collector.trace_id, total, spans };
         record_flight(&report);
         report
     });
@@ -226,6 +247,33 @@ pub fn set_flight_recorder(capacity: usize) {
 pub fn recent_spans() -> Vec<SpanRecord> {
     let flight = FLIGHT.lock().expect("flight recorder lock");
     flight.as_ref().map(|ring| ring.iter().copied().collect()).unwrap_or_default()
+}
+
+/// Health counters of the global flight recorder, for export as
+/// metrics (`tcim_spans_dropped_total`, capacity/occupancy gauges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightRecorderStats {
+    /// Configured ring capacity (0 when the recorder is disabled).
+    pub capacity: usize,
+    /// Spans currently retained.
+    pub retained: usize,
+    /// Spans evicted since the recorder was last (re)sized — silent
+    /// span loss made visible.
+    pub dropped: u64,
+}
+
+/// Reads the flight recorder's health counters (all zero when the
+/// recorder is disabled).
+pub fn flight_recorder_stats() -> FlightRecorderStats {
+    let flight = FLIGHT.lock().expect("flight recorder lock");
+    flight
+        .as_ref()
+        .map(|ring| FlightRecorderStats {
+            capacity: ring.capacity(),
+            retained: ring.len(),
+            dropped: ring.dropped(),
+        })
+        .unwrap_or_default()
 }
 
 fn record_flight(report: &ProfileReport) {
@@ -306,6 +354,19 @@ mod tests {
         let outer = outer.expect("outer profile");
         // The inner profile's spans attach to the outer collector.
         assert!(outer.spans.iter().any(|s| s.name == "work"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_per_profile_and_shared_by_spans() {
+        let ((), first) = profile("first", || drop(span("work")));
+        let ((), second) = profile("second", || drop(span("work")));
+        let first = first.expect("top-level profile");
+        let second = second.expect("top-level profile");
+        assert_ne!(first.trace_id, 0);
+        assert_ne!(first.trace_id, second.trace_id);
+        for report in [&first, &second] {
+            assert!(report.spans.iter().all(|s| s.trace_id == report.trace_id));
+        }
     }
 
     #[test]

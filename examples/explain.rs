@@ -1,0 +1,103 @@
+//! Query EXPLAIN end to end: plan a query before running it, serve it
+//! with per-response explain + slow-query capture enabled, then export
+//! the traced spans as a chrome://tracing file — validated by
+//! re-parsing it with the workspace's own JSON parser.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example explain [TRACE_PATH]
+//! ```
+//!
+//! `TRACE_PATH` defaults to `explain-trace.json`; open it in
+//! chrome://tracing or https://ui.perfetto.dev to see one track per
+//! query.
+
+use std::time::Duration;
+
+use tcim_repro::graph::generators::{barabasi_albert, rmat, RmatParams};
+use tcim_repro::service::{QueryRequest, ServiceConfig, TcimService};
+use tcim_repro::tcim::{Backend, Query, ShardPolicy};
+use tcim_repro::telemetry::json;
+use tcim_repro::telemetry::{chrome_trace, recent_spans, set_flight_recorder};
+
+fn main() -> tcim_repro::Result<()> {
+    let trace_path =
+        std::env::args().nth(1).unwrap_or_else(|| "explain-trace.json".to_string());
+
+    // Retain spans for the chrome-trace export at the end.
+    set_flight_recorder(2048);
+
+    // Diagnostics all the way up: per-query profiling, explain on every
+    // response, and slow-query capture with a deliberately hair-trigger
+    // threshold so this example always has records to show.
+    let config = ServiceConfig {
+        profile_queries: true,
+        explain_queries: true,
+        slow_query_threshold: Some(Duration::from_micros(50)),
+        slow_query_capacity: 16,
+        shard_slice_budget: Some(4_096),
+        ..ServiceConfig::default()
+    };
+    let service = TcimService::new(&config)?;
+    service.register("social", &barabasi_albert(2_000, 8, 7)?)?;
+    service.register("power-law", &rmat(11, 16_000, RmatParams::default(), 23)?)?;
+
+    // --- Plan without executing --------------------------------------
+    // The same backend auto-selection a real request gets: "power-law"
+    // busts the slice budget, so the plan goes sharded.
+    println!("== explain (plan only, nothing executed) ==");
+    let plan = service.explain("power-law", &Query::TotalTriangles)?;
+    print!("{plan}");
+
+    // --- Execute with explain attached -------------------------------
+    println!("\n== served responses carry the plan + measurement ==");
+    let requests = [
+        QueryRequest::new("social", Query::TotalTriangles),
+        QueryRequest::new("power-law", Query::TotalTriangles),
+        QueryRequest::new("social", Query::PerVertexTriangles)
+            .with_backend(Backend::Sharded(ShardPolicy::with_shards(4))),
+    ];
+    for request in &requests {
+        let response = service.query_with(request)?;
+        let explain = response.explain.as_ref().expect("explain_queries is on");
+        println!(
+            "  {:<10} {:<18} via {:<38} census {}",
+            response.graph,
+            response.query.to_string(),
+            response.backend,
+            match explain.census_matches() {
+                Some(true) => "exact match",
+                Some(false) => "MISMATCH",
+                None => "unmeasured",
+            }
+        );
+    }
+
+    // --- Slow-query forensics ----------------------------------------
+    println!("\n== slow-query log ({} captured) ==", service.slow_queries().total());
+    if let Some(record) = service.slow_queries().drain().into_iter().next_back() {
+        print!("{record}");
+    }
+
+    // --- Chrome trace export -----------------------------------------
+    let spans = recent_spans();
+    let trace = chrome_trace::render_spans(spans.iter().copied());
+    // The export must round-trip through our own parser: a malformed
+    // document here is a bug, not a formatting nit.
+    let doc = json::parse(&trace).expect("chrome trace round-trips through the json parser");
+    let events = doc
+        .get("traceEvents")
+        .and_then(tcim_repro::telemetry::Json::as_array)
+        .expect("trace document carries traceEvents");
+    std::fs::write(&trace_path, &trace).expect("trace file is writable");
+    println!(
+        "\n== chrome trace ==\n  {} spans -> {} events -> {trace_path} ({} bytes)",
+        spans.len(),
+        events.len(),
+        trace.len()
+    );
+    println!("  open in chrome://tracing or https://ui.perfetto.dev");
+
+    set_flight_recorder(0);
+    Ok(())
+}
