@@ -1,0 +1,70 @@
+//! Gateway benchmarks: what admission control costs over calling the
+//! service directly, and how coalescing amortizes one attributed
+//! execution over growing compatible bursts.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcim_core::Query;
+use tcim_gateway::{Gateway, GatewayConfig};
+use tcim_graph::generators::barabasi_albert;
+use tcim_service::{BatchOptions, LiveReadMode, QueryRequest, ServiceConfig, TcimService};
+
+fn serving() -> (Arc<TcimService>, Gateway) {
+    let service = Arc::new(
+        TcimService::new(&ServiceConfig::default()).expect("default config characterizes"),
+    );
+    let g = barabasi_albert(800, 6, 3).expect("generator parameters are valid");
+    service.register("g", &g).expect("registration succeeds");
+    let gateway = Gateway::new(Arc::clone(&service), &GatewayConfig::default());
+    (service, gateway)
+}
+
+/// Admission overhead: one query answered directly by the service vs
+/// submitted through the gateway's queue → wave → ticket path. The
+/// difference is the price of backpressure, fairness and provenance.
+fn bench_admission_overhead(c: &mut Criterion) {
+    let (service, gateway) = serving();
+    let mut group = c.benchmark_group("gateway/admission");
+    group.sample_size(20);
+    group.bench_function("direct-serve", |b| {
+        b.iter(|| {
+            let requests = [QueryRequest::new("g", Query::TotalTriangles)];
+            black_box(service.serve(black_box(&requests)))
+        })
+    });
+    group.bench_function("gateway-submit-pump", |b| {
+        b.iter(|| {
+            let ticket = gateway
+                .submit("bench", QueryRequest::new("g", Query::TotalTriangles))
+                .expect("admission succeeds");
+            gateway.run_until_idle();
+            black_box(ticket.wait().expect("query succeeds"))
+        })
+    });
+    group.finish();
+}
+
+/// Coalescing amortization: a burst of k compatible attributed queries
+/// served as one wave. With coalescing the wave costs ~1 execution
+/// regardless of k; without, it costs k.
+fn bench_coalescing_amortization(c: &mut Criterion) {
+    let (service, _) = serving();
+    let mut group = c.benchmark_group("gateway/coalesce");
+    group.sample_size(10);
+    for k in [2usize, 8, 32] {
+        let requests: Vec<QueryRequest> =
+            (0..k).map(|_| QueryRequest::new("g", Query::PerVertexTriangles)).collect();
+        for (label, coalesce) in [("on", true), ("off", false)] {
+            group.bench_with_input(BenchmarkId::new(label, k), &requests, |b, requests| {
+                let opts = BatchOptions { coalesce, live: LiveReadMode::Pinned };
+                b.iter(|| black_box(service.serve_with(black_box(requests), &opts)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission_overhead, bench_coalescing_amortization);
+criterion_main!(benches);

@@ -16,11 +16,24 @@
 //!
 //! ```text
 //! bench_json [--out PATH] [--full]     # run the harness and write PATH
+//! bench_json --load [--out PATH] [--full]
+//!                                      # gateway load generator: mixed
+//!                                      # read/update traffic at several
+//!                                      # offered loads × coalescing
+//!                                      # on/off (BENCH_9.json)
 //! bench_json --validate PATH           # schema-check an existing file
 //! bench_json --compare OLD NEW [--threshold F]
 //!                                      # per-cell QPS/p99 diff; exits
 //!                                      # non-zero past the threshold
 //! ```
+//!
+//! The `--load` harness drives a `tcim_gateway::Gateway` (worker
+//! threads, admission queue, micro-batching, snapshot-isolated live
+//! reads) instead of a bare pipeline. It self-checks two acceptance
+//! claims on every run: static-graph responses are bit-identical to
+//! their unbatched reference, and at the highest offered load with
+//! coalescing on, the attributed executions run are strictly fewer
+//! than the queries answered (proven from per-response provenance).
 //!
 //! The default smoke mode (what CI runs) uses few iterations; `--full`
 //! raises the iteration count for a lower-noise committed artifact.
@@ -29,17 +42,23 @@
 //! counts as a regression; CI uses a generous one because it compares
 //! a smoke run on a shared runner against a full run's numbers.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tcim_bench::compare::compare_bench;
 use tcim_bench::json::{self, num_u64, object, Json};
 use tcim_bitmatrix::EncodingPolicy;
 use tcim_core::{
-    Backend, Query, SchedPolicy, ShardMode, ShardPolicy, ShardSpec, TcimConfig, TcimPipeline,
+    Backend, Query, QueryValue, SchedPolicy, ShardMode, ShardPolicy, ShardSpec, TcimConfig,
+    TcimPipeline,
 };
-use tcim_graph::generators::{barabasi_albert, rmat, RmatParams};
+use tcim_gateway::{Gateway, GatewayConfig, PublishPolicy, Ticket};
+use tcim_graph::generators::{barabasi_albert, gnm, rmat, RmatParams};
 use tcim_graph::CsrGraph;
+use tcim_service::{QueryRequest, ServiceConfig, TcimService};
+use tcim_stream::UpdateBatch;
 
 struct Mode {
     label: &'static str,
@@ -164,19 +183,222 @@ fn run(mode: &Mode) -> Json {
     ])
 }
 
+/// The read-side query rotation of the load mix.
+fn load_queries() -> Vec<Query> {
+    vec![
+        Query::TotalTriangles,
+        Query::PerVertexTriangles,
+        Query::TopKVertices { k: 8 },
+        Query::GlobalClustering,
+    ]
+}
+
+/// One offered-load × coalescing cell: paced mixed read/update traffic
+/// through a worker-driven gateway. Returns the result entry.
+fn run_load_cell(mode: &Mode, offered_qps: u64, coalesce: bool) -> Json {
+    let queries = if mode.iterations >= FULL.iterations { 2_000 } else { 240 };
+    eprintln!(
+        "bench_json: gateway load, {offered_qps} offered qps, coalesce {}, {queries} queries",
+        if coalesce { "on" } else { "off" }
+    );
+    let service = Arc::new(
+        TcimService::new(&ServiceConfig::default()).expect("default config characterizes"),
+    );
+    let static_graph = barabasi_albert(600, 5, 7).expect("generator parameters are valid");
+    let live_graph = gnm(400, 2_400, 11).expect("generator parameters are valid");
+    service.register("static", &static_graph).expect("static registration succeeds");
+    service.register_live("live", &live_graph).expect("live registration succeeds");
+
+    // Unbatched reference answers for the static graph: the harness
+    // asserts every coalesced response is bit-identical to these.
+    let reference: HashMap<Query, QueryValue> = load_queries()
+        .into_iter()
+        .map(|q| {
+            let value = service
+                .serve(&[QueryRequest::new("static", q.clone())])
+                .remove(0)
+                .expect("reference query succeeds")
+                .value;
+            (q, value)
+        })
+        .collect();
+
+    let gateway = Arc::new(Gateway::new(
+        Arc::clone(&service),
+        &GatewayConfig {
+            queue_capacity: 4_096,
+            workers: 2,
+            coalesce,
+            publish: PublishPolicy::OnDrift,
+            ..GatewayConfig::default()
+        },
+    ));
+    gateway.start_workers();
+
+    // The collector waits tickets in submission order (resolved tickets
+    // return immediately, so it keeps up) and records completion-
+    // observed latency plus per-batch execution provenance.
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, Option<Query>, Ticket)>();
+    let collector = {
+        let reference: HashMap<Query, QueryValue> = reference.clone();
+        std::thread::spawn(move || {
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut batch_executions: HashMap<u64, u64> = HashMap::new();
+            let mut unbatched = 0u64;
+            let mut answered = 0u64;
+            for (submitted, static_query, ticket) in rx {
+                let response = ticket.wait().expect("admitted load queries succeed");
+                latencies_ns.push(submitted.elapsed().as_nanos() as u64);
+                answered += 1;
+                match &response.batch {
+                    Some(batch) => {
+                        batch_executions.insert(batch.batch_id, batch.executions);
+                    }
+                    None => unbatched += 1,
+                }
+                if let Some(query) = static_query {
+                    assert_eq!(
+                        response.value, reference[&query],
+                        "coalesced answer diverged from the unbatched reference: {query:?}"
+                    );
+                }
+            }
+            let executions: u64 = batch_executions.values().sum::<u64>() + unbatched;
+            (latencies_ns, answered, executions, batch_executions.len() as u64)
+        })
+    };
+
+    let interval = Duration::from_nanos(1_000_000_000 / offered_qps.max(1));
+    let rotation = load_queries();
+    let mut shed = 0u64;
+    let mut updates = 0u64;
+    let started = Instant::now();
+    for i in 0..queries {
+        // 1 in 4 requests reads the live graph; every 40th submission
+        // interleaves a write batch (the "update" half of the mix).
+        if i % 40 == 39 {
+            let mut batch = UpdateBatch::new();
+            let n = live_graph.vertex_count() as u32;
+            for j in 0..4u32 {
+                let u = (i as u32).wrapping_mul(31).wrapping_add(j * 7) % n;
+                let v = (i as u32).wrapping_mul(17).wrapping_add(j * 13 + 1) % n;
+                if u != v {
+                    if (i + j as usize).is_multiple_of(3) {
+                        batch.delete(u, v);
+                    } else {
+                        batch.insert(u, v);
+                    }
+                }
+            }
+            gateway.update("live", &batch).expect("live updates apply");
+            updates += 1;
+        }
+        let query = rotation[i % rotation.len()].clone();
+        let (graph, static_query) =
+            if i % 4 == 3 { ("live", None) } else { ("static", Some(query.clone())) };
+        match gateway.submit("load", QueryRequest::new(graph, query)) {
+            Ok(ticket) => {
+                tx.send((Instant::now(), static_query, ticket)).expect("collector alive")
+            }
+            Err(_) => shed += 1,
+        }
+        let next = interval * (i as u32 + 1);
+        while started.elapsed() < next {
+            std::hint::spin_loop();
+        }
+    }
+    drop(tx);
+    let (mut latencies_ns, answered, executions, batches) =
+        collector.join().expect("collector thread completes");
+    let elapsed = started.elapsed();
+    gateway.shutdown();
+
+    latencies_ns.sort_unstable();
+    assert!(!latencies_ns.is_empty(), "load run answered no queries");
+    assert!(executions <= answered, "provenance cannot exceed answered queries");
+    let sum: u64 = latencies_ns.iter().sum();
+    object([
+        ("backend", Json::String("gateway".to_string())),
+        ("generator", Json::String("mixed".to_string())),
+        ("coalesce", Json::Bool(coalesce)),
+        ("offered_qps", num_u64(offered_qps)),
+        ("queries", num_u64(answered)),
+        ("executions", num_u64(executions)),
+        ("batches", num_u64(batches)),
+        ("shed", num_u64(shed)),
+        ("updates", num_u64(updates)),
+        ("qps", Json::Number(answered as f64 / elapsed.as_secs_f64())),
+        (
+            "latency_ns",
+            object([
+                ("min", num_u64(latencies_ns[0])),
+                ("p50", num_u64(percentile(&latencies_ns, 0.50))),
+                ("p90", num_u64(percentile(&latencies_ns, 0.90))),
+                ("p99", num_u64(percentile(&latencies_ns, 0.99))),
+                ("max", num_u64(*latencies_ns.last().expect("non-empty samples"))),
+                ("mean", Json::Number(sum as f64 / latencies_ns.len() as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// The `--load` harness: offered-load sweep × coalescing on/off.
+fn run_load(mode: &Mode) -> Json {
+    let offered = [500u64, 2_000, 8_000];
+    let mut results = Vec::new();
+    for coalesce in [true, false] {
+        for qps in offered {
+            results.push(run_load_cell(mode, qps, coalesce));
+        }
+    }
+    // Acceptance: at the highest offered load with coalescing on, the
+    // gateway must answer with strictly fewer attributed executions
+    // than queries — provenance-proven amortization under pressure.
+    let peak = results
+        .iter()
+        .find(|entry| {
+            entry.get("coalesce") == Some(&Json::Bool(true))
+                && entry.get("offered_qps").and_then(Json::as_f64) == Some(8_000.0)
+        })
+        .expect("the sweep includes the peak coalesced cell");
+    let answered = peak.get("queries").and_then(Json::as_f64).expect("queries is numeric");
+    let executions =
+        peak.get("executions").and_then(Json::as_f64).expect("executions is numeric");
+    assert!(
+        executions < answered,
+        "coalescing at peak load must save executions: {executions} for {answered} queries"
+    );
+    eprintln!(
+        "bench_json: peak coalesced cell answered {answered} queries with {executions} executions"
+    );
+    object([
+        ("bench", num_u64(9)),
+        ("schema_version", num_u64(2)),
+        ("mode", Json::String(mode.label.to_string())),
+        ("iterations", num_u64(if mode.iterations >= FULL.iterations { 2_000 } else { 240 })),
+        ("query", Json::String("mixed".to_string())),
+        ("results", Json::Array(results)),
+    ])
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_7.json".to_string();
+    let mut out: Option<String> = None;
     let mut validate: Option<String> = None;
     let mut compare: Option<(String, String)> = None;
     let mut threshold = 0.25f64;
     let mut mode = &SMOKE;
+    let mut load = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" if i + 1 < args.len() => {
-                out = args[i + 1].clone();
+                out = Some(args[i + 1].clone());
                 i += 2;
+            }
+            "--load" => {
+                load = true;
+                i += 1;
             }
             "--validate" if i + 1 < args.len() => {
                 validate = Some(args[i + 1].clone());
@@ -203,7 +425,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("bench_json: unknown argument {other:?}");
                 eprintln!(
-                    "usage: bench_json [--out PATH] [--full] | --validate PATH \
+                    "usage: bench_json [--load] [--out PATH] [--full] | --validate PATH \
                      | --compare OLD NEW [--threshold F]"
                 );
                 return ExitCode::FAILURE;
@@ -260,7 +482,9 @@ fn main() -> ExitCode {
         };
     }
 
-    let doc = run(mode);
+    let doc = if load { run_load(mode) } else { run(mode) };
+    let out =
+        out.unwrap_or_else(|| if load { "BENCH_9.json" } else { "BENCH_7.json" }.to_string());
     json::validate_bench(&doc).expect("the harness emits its own schema");
     if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
         eprintln!("bench_json: cannot write {out}: {e}");

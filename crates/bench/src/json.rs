@@ -24,7 +24,12 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
     }
     // BENCH_7 added the row-encoding dimension and its kernel/memory
     // accounting; earlier artifacts stay valid without them.
-    let per_encoding = doc.get("bench").and_then(Json::as_f64).unwrap_or(0.0) >= 7.0;
+    let bench = doc.get("bench").and_then(Json::as_f64).unwrap_or(0.0);
+    let per_encoding = bench >= 7.0;
+    // BENCH_9 added gateway load-generator entries (recognized by their
+    // "offered_qps" key): those carry admission/coalescing accounting
+    // instead of the per-encoding kernel columns.
+    let per_load = bench >= 9.0;
     let results = doc
         .get("results")
         .and_then(Json::as_array)
@@ -38,6 +43,37 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
                 .get(key)
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("results[{i}]: missing string {key:?}"))?;
+        }
+        if per_load && entry.get("offered_qps").is_some() {
+            if !matches!(entry.get("coalesce"), Some(Json::Bool(_))) {
+                return Err(format!("results[{i}]: load entry missing bool \"coalesce\""));
+            }
+            let mut counts = [0.0f64; 2];
+            for (slot, key) in
+                ["queries", "executions", "batches", "shed", "updates", "offered_qps", "qps"]
+                    .into_iter()
+                    .enumerate()
+            {
+                let n = entry.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                    format!("results[{i}]: load entry missing number {key:?}")
+                })?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err(format!(
+                        "results[{i}]: {key:?} must be finite and non-negative"
+                    ));
+                }
+                if slot < 2 {
+                    counts[slot] = n;
+                }
+            }
+            if counts[1] > counts[0] {
+                return Err(format!(
+                    "results[{i}]: \"executions\" ({}) exceeds \"queries\" ({})",
+                    counts[1], counts[0]
+                ));
+            }
+            validate_latency(entry, i)?;
+            continue;
         }
         let mut numbers = vec!["vertices", "edges", "triangles", "iterations", "qps"];
         if per_encoding {
@@ -66,22 +102,29 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
                 return Err(format!("results[{i}]: {key:?} must be finite and non-negative"));
             }
         }
-        let latency = entry
-            .get("latency_ns")
-            .ok_or_else(|| format!("results[{i}]: missing \"latency_ns\""))?;
-        let mut prev = 0.0f64;
-        for key in ["min", "p50", "p90", "p99", "max"] {
-            let n = latency
-                .get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("results[{i}].latency_ns: missing {key:?}"))?;
-            if n < prev {
-                return Err(format!(
-                    "results[{i}].latency_ns: {key:?} = {n} below preceding percentile {prev}"
-                ));
-            }
-            prev = n;
+        validate_latency(entry, i)?;
+    }
+    Ok(())
+}
+
+/// Checks one result entry's `latency_ns` block: present, with
+/// monotonically non-decreasing percentiles.
+fn validate_latency(entry: &Json, i: usize) -> Result<(), String> {
+    let latency = entry
+        .get("latency_ns")
+        .ok_or_else(|| format!("results[{i}]: missing \"latency_ns\""))?;
+    let mut prev = 0.0f64;
+    for key in ["min", "p50", "p90", "p99", "max"] {
+        let n = latency
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("results[{i}].latency_ns: missing {key:?}"))?;
+        if n < prev {
+            return Err(format!(
+                "results[{i}].latency_ns: {key:?} = {n} below preceding percentile {prev}"
+            ));
         }
+        prev = n;
     }
     Ok(())
 }
@@ -152,6 +195,55 @@ mod tests {
             }
         }
         assert_eq!(validate_bench(&v7), Ok(()));
+    }
+
+    #[test]
+    fn validator_accepts_and_checks_load_entries() {
+        let load_entry = |executions: u64| {
+            object([
+                ("backend", Json::String("gateway".to_string())),
+                ("generator", Json::String("mixed".to_string())),
+                ("coalesce", Json::Bool(true)),
+                ("offered_qps", num_u64(2000)),
+                ("queries", num_u64(240)),
+                ("executions", num_u64(executions)),
+                ("batches", num_u64(40)),
+                ("shed", num_u64(0)),
+                ("updates", num_u64(6)),
+                ("qps", Json::Number(1987.0)),
+                (
+                    "latency_ns",
+                    object([
+                        ("min", num_u64(100)),
+                        ("p50", num_u64(110)),
+                        ("p90", num_u64(120)),
+                        ("p99", num_u64(130)),
+                        ("max", num_u64(140)),
+                        ("mean", Json::Number(112.5)),
+                    ]),
+                ),
+            ])
+        };
+        let doc = |entry: Json| {
+            object([
+                ("bench", num_u64(9)),
+                ("schema_version", num_u64(2)),
+                ("mode", Json::String("smoke".to_string())),
+                ("iterations", num_u64(240)),
+                ("results", Json::Array(vec![entry])),
+            ])
+        };
+        assert_eq!(validate_bench(&doc(load_entry(60))), Ok(()));
+        // More executions than queries is impossible provenance.
+        let err = validate_bench(&doc(load_entry(241))).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+        // A load entry without its coalesce flag is rejected.
+        let mut stripped = load_entry(60);
+        if let Json::Object(map) = &mut stripped {
+            map.remove("coalesce");
+        }
+        let err = validate_bench(&doc(stripped)).unwrap_err();
+        assert!(err.contains("coalesce"), "{err}");
     }
 
     #[test]

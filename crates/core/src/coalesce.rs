@@ -1,0 +1,257 @@
+//! Batched attributed dispatch: answer many compatible queries from
+//! one execution.
+//!
+//! Every [`Query`] shape is a projection of the same underlying
+//! triangle quantities — the global count, the per-vertex
+//! participation vector, undirected degrees, and the per-edge support
+//! list. A *batch* of queries against one prepared artifact therefore
+//! never needs one kernel sweep per member: a single **carrier**
+//! execution, chosen as the weakest query shape whose report recovers
+//! every quantity any member needs, is run once and its attribution
+//! fans out into each member's [`QueryReport`] through the shared
+//! [`shape_value`] path.
+//!
+//! The carrier ladder, from strongest requirement down:
+//!
+//! | any member needs            | carrier                    |
+//! |-----------------------------|----------------------------|
+//! | the per-edge support list   | [`Query::EdgeSupport`]     |
+//! | per-triangle attribution    | [`Query::PerVertexTriangles`] |
+//! | degrees (global clustering) | [`Query::GlobalClustering`]|
+//! | only the count              | [`Query::TotalTriangles`]  |
+//!
+//! Because the recovered quantities are exact integers (per-vertex
+//! counts recovered from edge support via `Σ support(e ∋ v) / 2`,
+//! degrees re-read from the prepared DAG exactly as the unbatched path
+//! reads them), every shaped value is **bit-identical** to what a
+//! one-at-a-time execution of the same member would have produced —
+//! floating-point clustering coefficients included, since they are
+//! computed from the same integer inputs by the same expressions.
+
+use crate::backend::Backend;
+use crate::error::Result;
+use crate::pipeline::{PreparedGraph, TcimPipeline};
+use crate::query::{original_degrees, shape_value, EdgeSupport, Query, QueryReport};
+
+/// The outcome of answering a batch of queries through one carrier
+/// execution: per-member reports (in input order) plus the execution
+/// accounting that proves the coalescing happened.
+#[derive(Debug)]
+pub struct CoalescedOutcome {
+    /// One report per input query, in input order. Individual members
+    /// can fail shaping (an out-of-bounds local-clustering vertex)
+    /// without failing their batch-mates.
+    pub reports: Vec<Result<QueryReport>>,
+    /// Attributed executions actually performed: `1` for a non-empty
+    /// batch, `0` for an empty one. The saving is
+    /// `queries answered − executions`.
+    pub executions: u64,
+    /// The carrier query shape that ran, when one did.
+    pub carrier: Option<Query>,
+}
+
+/// Picks the weakest carrier shape that recovers every quantity any
+/// member of `queries` needs.
+fn carrier_for(queries: &[Query]) -> Query {
+    if queries.iter().any(|q| matches!(q, Query::EdgeSupport)) {
+        Query::EdgeSupport
+    } else if queries.iter().any(Query::needs_attribution) {
+        Query::PerVertexTriangles
+    } else if queries.iter().any(|q| matches!(q, Query::GlobalClustering)) {
+        Query::GlobalClustering
+    } else {
+        Query::TotalTriangles
+    }
+}
+
+/// Recovers the per-vertex participation vector from a complete
+/// per-edge support list: every triangle through `v` has exactly two
+/// edges incident to `v`, so `Σ support(e ∋ v) = 2 · triangles(v)`.
+fn per_vertex_from_support(support: &[EdgeSupport], n: usize) -> Vec<u64> {
+    let mut doubled = vec![0u64; n];
+    for e in support {
+        doubled[e.u as usize] += e.support;
+        doubled[e.v as usize] += e.support;
+    }
+    for v in &mut doubled {
+        *v /= 2;
+    }
+    doubled
+}
+
+impl TcimPipeline {
+    /// Answers every query in `queries` over one prepared artifact on
+    /// one backend with a **single** carrier execution, fanning the
+    /// carrier's attribution out into per-member reports.
+    ///
+    /// Each member's report carries the carrier's execution envelope
+    /// (backend label, kernel accounting, modelled cost, wall time) —
+    /// the members shared that one run — with the member's own query
+    /// and its bit-identical shaped value. Pipeline execution metrics
+    /// record one execution, because one happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates carrier execution failures. Per-member *shaping*
+    /// failures (invalid query parameters) are returned in that
+    /// member's slot without failing the batch.
+    pub fn query_coalesced(
+        &self,
+        prepared: &PreparedGraph,
+        spec: &Backend,
+        queries: &[Query],
+    ) -> Result<CoalescedOutcome> {
+        if queries.is_empty() {
+            return Ok(CoalescedOutcome { reports: Vec::new(), executions: 0, carrier: None });
+        }
+        let carrier = carrier_for(queries);
+        let report = self.query(prepared, spec, &carrier)?;
+
+        let support: Option<Vec<EdgeSupport>> = match &report.value {
+            crate::query::QueryValue::EdgeSupport(list) => Some(list.clone()),
+            _ => None,
+        };
+        let per_vertex: Vec<u64> = match (&report.value, &support) {
+            (crate::query::QueryValue::PerVertex(pv), _) => pv.clone(),
+            (_, Some(list)) => per_vertex_from_support(list, prepared.key().vertices),
+            _ => Vec::new(),
+        };
+        // Degrees are re-read from the prepared DAG exactly as the
+        // unbatched shaping path reads them, so clustering members stay
+        // bit-identical regardless of which carrier ran.
+        let degrees: Vec<u64> = if queries
+            .iter()
+            .any(|q| matches!(q, Query::LocalClustering { .. } | Query::GlobalClustering))
+        {
+            original_degrees(prepared)
+        } else {
+            Vec::new()
+        };
+
+        let reports = queries
+            .iter()
+            .map(|query| {
+                let member_support = matches!(query, Query::EdgeSupport).then(|| {
+                    support.clone().expect("edge-support carrier ran for this batch")
+                });
+                let value = shape_value(
+                    query,
+                    report.triangles,
+                    &per_vertex,
+                    &degrees,
+                    member_support,
+                )?;
+                Ok(QueryReport { query: query.clone(), value, ..report.clone() })
+            })
+            .collect();
+        Ok(CoalescedOutcome { reports, executions: 1, carrier: Some(carrier) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::TcimConfig;
+    use tcim_graph::generators::{barabasi_albert, classic};
+
+    fn pipeline() -> TcimPipeline {
+        TcimPipeline::new(&TcimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn carrier_ladder_picks_the_weakest_sufficient_shape() {
+        assert_eq!(carrier_for(&[Query::TotalTriangles]), Query::TotalTriangles);
+        assert_eq!(
+            carrier_for(&[Query::TotalTriangles, Query::GlobalClustering]),
+            Query::GlobalClustering
+        );
+        assert_eq!(
+            carrier_for(&[Query::TotalTriangles, Query::TopKVertices { k: 2 }]),
+            Query::PerVertexTriangles
+        );
+        assert_eq!(
+            carrier_for(&[Query::PerVertexTriangles, Query::EdgeSupport]),
+            Query::EdgeSupport
+        );
+    }
+
+    #[test]
+    fn coalesced_reports_are_bit_identical_to_one_at_a_time() {
+        let p = pipeline();
+        let g = barabasi_albert(160, 4, 11).unwrap();
+        let prepared = p.prepare(&g);
+        let suite = Query::example_suite();
+        for backend in [Backend::SerialPim, Backend::CpuMerge, Backend::CpuForward] {
+            let outcome = p.query_coalesced(&prepared, &backend, &suite).unwrap();
+            assert_eq!(outcome.executions, 1);
+            assert_eq!(outcome.carrier, Some(Query::EdgeSupport));
+            for (query, coalesced) in suite.iter().zip(&outcome.reports) {
+                let coalesced = coalesced.as_ref().unwrap();
+                let solo = p.query(&prepared, &backend, query).unwrap();
+                assert_eq!(coalesced.value, solo.value, "{backend:?} {query}");
+                assert_eq!(coalesced.triangles, solo.triangles);
+                assert_eq!(&coalesced.query, query);
+            }
+        }
+    }
+
+    #[test]
+    fn count_only_batches_never_pay_for_attribution() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::complete(6));
+        let outcome = p
+            .query_coalesced(
+                &prepared,
+                &Backend::SerialPim,
+                &[Query::TotalTriangles, Query::TotalTriangles],
+            )
+            .unwrap();
+        assert_eq!(outcome.carrier, Some(Query::TotalTriangles));
+        for report in &outcome.reports {
+            assert_eq!(report.as_ref().unwrap().kernel.result_readouts, 0);
+            assert_eq!(report.as_ref().unwrap().triangles, 20);
+        }
+    }
+
+    #[test]
+    fn member_failures_do_not_poison_batch_mates() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::fig2_example());
+        let outcome = p
+            .query_coalesced(
+                &prepared,
+                &Backend::SerialPim,
+                &[Query::LocalClustering { vertices: Some(vec![999]) }, Query::TotalTriangles],
+            )
+            .unwrap();
+        assert!(outcome.reports[0].is_err());
+        assert_eq!(outcome.reports[1].as_ref().unwrap().triangles, 2);
+    }
+
+    #[test]
+    fn empty_batches_execute_nothing() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::fig2_example());
+        let outcome = p.query_coalesced(&prepared, &Backend::SerialPim, &[]).unwrap();
+        assert_eq!(outcome.executions, 0);
+        assert!(outcome.reports.is_empty());
+        assert!(outcome.carrier.is_none());
+    }
+
+    #[test]
+    fn per_vertex_recovered_from_support_matches_attribution() {
+        let p = pipeline();
+        let g = classic::wheel(9);
+        let prepared = p.prepare(&g);
+        let outcome = p
+            .query_coalesced(
+                &prepared,
+                &Backend::CpuForward,
+                &[Query::EdgeSupport, Query::PerVertexTriangles],
+            )
+            .unwrap();
+        let solo =
+            p.query(&prepared, &Backend::CpuForward, &Query::PerVertexTriangles).unwrap();
+        assert_eq!(outcome.reports[1].as_ref().unwrap().value, solo.value);
+    }
+}

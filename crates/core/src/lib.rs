@@ -95,6 +95,7 @@ pub mod ablations;
 mod accelerator;
 pub mod backend;
 pub mod baseline;
+pub mod coalesce;
 mod error;
 pub mod experiments;
 pub mod explain;
@@ -109,6 +110,7 @@ pub mod verify;
 
 pub use accelerator::{LocalTcimReport, TcimAccelerator, TcimConfig, TcimReport};
 pub use backend::{AttributedRun, Backend, BackendDetail, CountReport, ExecutionBackend};
+pub use coalesce::CoalescedOutcome;
 pub use error::{CoreError, Result};
 pub use explain::{
     CacheProvenance, EncodingDecision, ExplainReport, KernelCensus, MeasuredCost,

@@ -342,7 +342,7 @@ impl fmt::Display for QueryReport {
 /// Undirected degree of every vertex, indexed by *input-graph* id,
 /// recovered from the prepared DAG (out-degree + in-degree per
 /// oriented vertex, mapped back through the relabelling).
-fn original_degrees(prepared: &PreparedGraph) -> Vec<u64> {
+pub(crate) fn original_degrees(prepared: &PreparedGraph) -> Vec<u64> {
     let oriented = prepared.oriented();
     let mut by_new = vec![0u64; oriented.vertex_count()];
     for (i, j) in oriented.arcs() {

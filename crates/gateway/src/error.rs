@@ -1,0 +1,91 @@
+//! Gateway error types: admission rejections and wrapped service
+//! failures.
+
+use std::error::Error;
+use std::fmt;
+
+use tcim_service::ServiceError;
+
+/// Why the gateway refused to admit a request. Admission errors are
+/// *backpressure signals*, not failures: the caller is expected to
+/// retry later, slow down, or shed its own load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The queue (or the submitting tenant's slice of it) is full.
+    QueueFull {
+        /// The capacity that was exhausted: the global queue bound, or
+        /// the tenant's `max_queued` quota when `tenant` is set.
+        capacity: usize,
+        /// `Some(tenant)` when a per-tenant quota tripped rather than
+        /// the global bound.
+        tenant: Option<String>,
+    },
+    /// The request's deadline expired before a worker reached it; it
+    /// was shed from the queue unanswered.
+    DeadlineExceeded,
+    /// The gateway is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity, tenant: Some(tenant) } => {
+                write!(f, "tenant {tenant:?} queue full (max_queued = {capacity})")
+            }
+            AdmissionError::QueueFull { capacity, tenant: None } => {
+                write!(f, "admission queue full (capacity = {capacity})")
+            }
+            AdmissionError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request was served")
+            }
+            AdmissionError::ShuttingDown => write!(f, "gateway is shutting down"),
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// Any error a gateway-submitted request can resolve to.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// Refused (or later shed) by admission control.
+    Admission(AdmissionError),
+    /// Admitted and dispatched, but the service failed to answer.
+    Service(ServiceError),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Admission(e) => write!(f, "admission: {e}"),
+            GatewayError::Service(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl Error for GatewayError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GatewayError::Admission(e) => Some(e),
+            GatewayError::Service(e) => Some(e),
+        }
+    }
+}
+
+impl From<AdmissionError> for GatewayError {
+    fn from(e: AdmissionError) -> Self {
+        GatewayError::Admission(e)
+    }
+}
+
+impl From<ServiceError> for GatewayError {
+    fn from(e: ServiceError) -> Self {
+        GatewayError::Service(e)
+    }
+}
+
+/// Convenience alias for gateway results.
+pub type Result<T> = std::result::Result<T, GatewayError>;

@@ -1,0 +1,308 @@
+//! The gateway itself: admission → queue → dispatch waves → tickets.
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tcim_service::{BatchOptions, LiveReadMode, QueryRequest, TcimService};
+use tcim_stream::{BatchReport, UpdateBatch};
+use tcim_telemetry::MetricsSnapshot;
+
+use crate::error::{AdmissionError, GatewayError};
+use crate::metrics::GatewayMetrics;
+use crate::queue::{AdmissionQueue, QueuedRequest};
+use crate::tenant::TenantPolicy;
+use crate::ticket::Ticket;
+
+/// When a live graph's updates become visible to the gateway's
+/// snapshot-isolated readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PublishPolicy {
+    /// Epochs publish when the stream layer's `DriftPolicy` folds (and
+    /// on explicit [`TcimService::publish`] calls) — updates batch up
+    /// invisibly until then. Cheapest; readers lag by at most one
+    /// drift window.
+    #[default]
+    OnDrift,
+    /// Every update batch applied through [`Gateway::update`]
+    /// immediately folds and publishes the next epoch. Freshest;
+    /// pays a fold per batch.
+    EveryBatch,
+}
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Global admission bound: requests queued across all tenants.
+    pub queue_capacity: usize,
+    /// Most requests one dispatch wave drains; within a wave,
+    /// compatible requests coalesce into shared executions.
+    pub max_wave: usize,
+    /// Whether dispatch waves coalesce compatible queries (same graph
+    /// × same backend override) into one attributed execution.
+    pub coalesce: bool,
+    /// Background worker threads draining the queue. `0` (the
+    /// default) means caller-driven dispatch: call [`Gateway::pump`]
+    /// or [`Gateway::run_until_idle`] yourself — the deterministic
+    /// mode tests and benchmarks want.
+    pub workers: usize,
+    /// When live-graph updates become visible to readers.
+    pub publish: PublishPolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            queue_capacity: 1024,
+            max_wave: 64,
+            coalesce: true,
+            workers: 0,
+            publish: PublishPolicy::OnDrift,
+        }
+    }
+}
+
+/// The serving front-end: admission-controlled, tenant-fair,
+/// micro-batching ingress over a shared [`TcimService`].
+///
+/// Requests enter through [`Gateway::submit`], which either admits
+/// them into the bounded queue (returning a [`Ticket`]) or sheds them
+/// with a typed [`AdmissionError`]. Dispatch drains the queue in
+/// weighted tenant order and serves each wave through the service's
+/// shared batch path with [`LiveReadMode::Pinned`]: live graphs are
+/// answered from their last *published* epoch snapshot, so update
+/// batches never block a reader and every response records the epoch
+/// it saw.
+pub struct Gateway {
+    service: Arc<TcimService>,
+    config: GatewayConfig,
+    queue: AdmissionQueue,
+    metrics: GatewayMetrics,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Gateway(depth={}, capacity={}, coalesce={})",
+            self.queue.depth(),
+            self.config.queue_capacity,
+            self.config.coalesce
+        )
+    }
+}
+
+impl Gateway {
+    /// A gateway over `service`. Worker threads (if
+    /// [`GatewayConfig::workers`] > 0) are not spawned until
+    /// [`Gateway::start_workers`].
+    pub fn new(service: Arc<TcimService>, config: &GatewayConfig) -> Gateway {
+        Gateway {
+            service,
+            config: config.clone(),
+            queue: AdmissionQueue::new(config.queue_capacity.max(1)),
+            metrics: GatewayMetrics::new(),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The service this gateway fronts.
+    pub fn service(&self) -> &TcimService {
+        &self.service
+    }
+
+    /// Installs (or replaces) `tenant`'s admission policy. Unknown
+    /// tenants are admitted under [`TenantPolicy::default`].
+    pub fn set_tenant(&self, tenant: &str, policy: TenantPolicy) {
+        self.queue.set_policy(tenant, policy);
+    }
+
+    /// Admits `request` under `tenant`, returning a [`Ticket`] to wait
+    /// on, or sheds it with backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::QueueFull`] when the global capacity or the
+    /// tenant's `max_queued` quota is exhausted (the error names the
+    /// tenant in the quota case); [`AdmissionError::ShuttingDown`]
+    /// after [`Gateway::shutdown`].
+    pub fn submit(
+        &self,
+        tenant: &str,
+        request: QueryRequest,
+    ) -> std::result::Result<Ticket, AdmissionError> {
+        self.admit(tenant, request, None)
+    }
+
+    /// As [`Gateway::submit`] with a deadline: if the request is still
+    /// queued `deadline` from now, it is shed (its ticket resolves to
+    /// [`AdmissionError::DeadlineExceeded`]) instead of served.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        request: QueryRequest,
+        deadline: Duration,
+    ) -> std::result::Result<Ticket, AdmissionError> {
+        self.admit(tenant, request, Some(Instant::now() + deadline))
+    }
+
+    fn admit(
+        &self,
+        tenant: &str,
+        request: QueryRequest,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<Ticket, AdmissionError> {
+        let ticket = Ticket::new();
+        let entry = QueuedRequest {
+            request,
+            deadline,
+            enqueued: Instant::now(),
+            ticket: ticket.clone(),
+            _depth: self.metrics.queue_depth.track(),
+        };
+        match self.queue.push(tenant, entry) {
+            Ok(()) => {
+                self.metrics.admitted.incr();
+                Ok(ticket)
+            }
+            Err(e) => {
+                match &e {
+                    AdmissionError::QueueFull { tenant: Some(_), .. } => {
+                        self.metrics.shed_quota.incr()
+                    }
+                    AdmissionError::QueueFull { tenant: None, .. } => {
+                        self.metrics.shed_queue_full.incr()
+                    }
+                    _ => {}
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains and serves one dispatch wave (up to
+    /// [`GatewayConfig::max_wave`] requests in weighted tenant order),
+    /// fulfilling every drained ticket. Safe to call concurrently —
+    /// waves interleave but each request lands in exactly one.
+    /// Returns the number of requests resolved (served + shed).
+    pub fn pump(&self) -> usize {
+        let wave = self.queue.take_wave(self.config.max_wave.max(1));
+        if wave.is_empty() {
+            return 0;
+        }
+        self.metrics.waves.incr();
+        self.metrics.wave_size.observe(wave.len() as u64);
+        let now = Instant::now();
+        let (live, expired): (Vec<QueuedRequest>, Vec<QueuedRequest>) =
+            wave.into_iter().partition(|e| e.deadline.is_none_or(|d| d >= now));
+        for entry in &expired {
+            self.metrics.shed_deadline.incr();
+            entry
+                .ticket
+                .fulfill(Err(GatewayError::Admission(AdmissionError::DeadlineExceeded)));
+        }
+        let resolved = expired.len() + live.len();
+        if live.is_empty() {
+            return resolved;
+        }
+        let requests: Vec<QueryRequest> = live.iter().map(|e| e.request.clone()).collect();
+        let opts = BatchOptions { coalesce: self.config.coalesce, live: LiveReadMode::Pinned };
+        let results = self.service.serve_with(&requests, &opts);
+        for (entry, result) in live.into_iter().zip(results) {
+            self.metrics.served.incr();
+            self.metrics.queue_wait.observe_duration(entry.enqueued.elapsed());
+            entry.ticket.fulfill(result.map_err(GatewayError::Service));
+        }
+        resolved
+    }
+
+    /// Pumps until the queue is empty; returns the number of requests
+    /// resolved. The caller-driven alternative to worker threads.
+    pub fn run_until_idle(&self) -> usize {
+        let mut resolved = 0;
+        loop {
+            let n = self.pump();
+            if n == 0 {
+                return resolved;
+            }
+            resolved += n;
+        }
+    }
+
+    /// Spawns [`GatewayConfig::workers`] background threads that drain
+    /// the queue until [`Gateway::shutdown`]. No-op when `workers` is
+    /// 0 or workers are already running.
+    pub fn start_workers(self: &Arc<Self>) {
+        let mut workers = self.workers.lock().expect("worker lock is never poisoned");
+        if !workers.is_empty() {
+            return;
+        }
+        for _ in 0..self.config.workers {
+            let gateway = Arc::clone(self);
+            workers.push(std::thread::spawn(move || loop {
+                if gateway.queue.wait_for_work(Duration::from_millis(50)) {
+                    gateway.pump();
+                } else if gateway.queue.is_shutdown() {
+                    return;
+                }
+            }));
+        }
+    }
+
+    /// Stops admission, drains everything still queued, and joins the
+    /// worker threads. Subsequent [`Gateway::submit`]s shed with
+    /// [`AdmissionError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        self.queue.shutdown();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("worker lock is never poisoned"));
+        if handles.is_empty() {
+            self.run_until_idle();
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Applies `batch` to the live graph bound to `name` through the
+    /// service, honouring the configured [`PublishPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the service's errors (unknown graph, rejected
+    /// updates) as [`GatewayError::Service`].
+    pub fn update(
+        &self,
+        name: &str,
+        batch: &UpdateBatch,
+    ) -> std::result::Result<BatchReport, GatewayError> {
+        let report = self.service.update(name, batch)?;
+        if self.config.publish == PublishPolicy::EveryBatch {
+            self.service.publish(name)?;
+        }
+        Ok(report)
+    }
+
+    /// Requests admitted but not yet dispatched (all tenants).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Requests queued under `tenant`.
+    pub fn tenant_depth(&self, tenant: &str) -> usize {
+        self.queue.depth_for(tenant)
+    }
+
+    /// A point-in-time snapshot of the gateway's metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The gateway's metrics in Prometheus exposition format (the
+    /// service's own registry renders separately via
+    /// [`TcimService::render_prometheus`]).
+    pub fn render_prometheus(&self) -> String {
+        tcim_telemetry::render_prometheus(&self.metrics.snapshot())
+    }
+}

@@ -1,0 +1,77 @@
+//! The serving front-end for the TCIM reproduction: admission control,
+//! tenant-fair queueing, query micro-batching, and snapshot-isolated
+//! live reads over [`tcim_service::TcimService`].
+//!
+//! `tcim-service` answers queries; this crate decides *which* queries
+//! get to run, *when*, and *at whose expense* — the difference between
+//! a library and a front door that survives heavy traffic:
+//!
+//! * [`Gateway`] — the ingress: [`Gateway::submit`] either admits a
+//!   request into a bounded queue (returning a [`Ticket`] to wait on)
+//!   or sheds it with a typed [`AdmissionError`] — global capacity,
+//!   per-tenant quota, queued-past-deadline, or shutdown.
+//! * [`TenantPolicy`] — per-tenant weight + `max_queued` quota.
+//!   Dispatch drains tenants by stride scheduling: weight-proportional
+//!   bandwidth, starvation-free.
+//! * Micro-batching — each dispatch wave routes through the service's
+//!   shared batch path ([`TcimService::serve_with`]), where requests
+//!   against the same graph × backend coalesce into **one** attributed
+//!   execution; every response carries
+//!   [`BatchProvenance`](tcim_service::BatchProvenance) proving the
+//!   saving.
+//! * Snapshot isolation — live graphs are read
+//!   [`Pinned`](tcim_service::LiveReadMode::Pinned): answers come from
+//!   the last *published* [`EpochSnapshot`](tcim_service::EpochSnapshot),
+//!   so writers never block readers and every response records the
+//!   epoch it saw. [`PublishPolicy`] picks when updates become
+//!   visible.
+//! * Telemetry — queue depth (RAII-guarded, leak-proof), admitted /
+//!   shed / served counters, wave-size and queue-wait histograms, all
+//!   Prometheus-renderable.
+//!
+//! [`TcimService::serve_with`]: tcim_service::TcimService::serve_with
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tcim_core::Query;
+//! use tcim_gateway::{Gateway, GatewayConfig, TenantPolicy};
+//! use tcim_graph::generators::classic;
+//! use tcim_service::{QueryRequest, ServiceConfig, TcimService};
+//!
+//! let service = Arc::new(TcimService::new(&ServiceConfig::default())?);
+//! service.register("wheel", &classic::wheel(64))?;
+//!
+//! let gateway = Gateway::new(Arc::clone(&service), &GatewayConfig::default());
+//! gateway.set_tenant("analytics", TenantPolicy::weighted(2));
+//!
+//! // A burst of identical-shape queries coalesces into one execution.
+//! let tickets: Vec<_> = (0..8)
+//!     .map(|_| gateway.submit("analytics", QueryRequest::new("wheel", Query::TotalTriangles)))
+//!     .collect::<Result<_, _>>()?;
+//! gateway.run_until_idle();
+//! for ticket in tickets {
+//!     let response = ticket.wait()?;
+//!     assert_eq!(response.triangles, 63);
+//!     let batch = response.batch.expect("gateway responses carry batch provenance");
+//!     assert_eq!(batch.coalesced, 8);
+//!     assert_eq!(batch.executions, 1, "one execution answered all eight");
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod error;
+mod gateway;
+mod metrics;
+mod queue;
+mod tenant;
+mod ticket;
+
+pub use error::{AdmissionError, GatewayError, Result};
+pub use gateway::{Gateway, GatewayConfig, PublishPolicy};
+pub use tenant::TenantPolicy;
+pub use ticket::Ticket;

@@ -1,0 +1,76 @@
+//! Gateway observability: admission, shedding, queueing and wave
+//! shape, in the same registry/exporter idiom as the service layer.
+
+use tcim_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+
+/// The gateway's instrument set. Coalescing effectiveness
+/// (`tcim_service_batches_total`, `tcim_service_executions_saved_total`
+/// …) is accounted where it happens — in the service's shared batch
+/// path — so the gateway registry covers what only the gateway knows:
+/// admission decisions and queue dynamics.
+pub(crate) struct GatewayMetrics {
+    pub(crate) registry: MetricsRegistry,
+    /// `tcim_gateway_queue_depth` — requests admitted but not yet
+    /// dispatched. Held up by a [`GaugeGuard`](tcim_telemetry::GaugeGuard)
+    /// per queued entry, so sheds and panics cannot leak it.
+    pub(crate) queue_depth: Gauge,
+    /// `tcim_gateway_admitted_total`.
+    pub(crate) admitted: Counter,
+    /// `tcim_gateway_served_total` — admitted requests answered
+    /// (successfully or with a service error).
+    pub(crate) served: Counter,
+    /// `tcim_gateway_shed_queue_full_total` — rejected at the global
+    /// capacity bound.
+    pub(crate) shed_queue_full: Counter,
+    /// `tcim_gateway_shed_quota_total` — rejected at a per-tenant
+    /// `max_queued` quota.
+    pub(crate) shed_quota: Counter,
+    /// `tcim_gateway_shed_deadline_total` — admitted but expired in
+    /// the queue before dispatch.
+    pub(crate) shed_deadline: Counter,
+    /// `tcim_gateway_waves_total` — dispatch waves pumped.
+    pub(crate) waves: Counter,
+    /// `tcim_gateway_wave_size` — requests per dispatch wave.
+    pub(crate) wave_size: Histogram,
+    /// `tcim_gateway_queue_wait_nanoseconds` — admission → dispatch
+    /// latency per served request.
+    pub(crate) queue_wait: Histogram,
+}
+
+impl GatewayMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        GatewayMetrics {
+            queue_depth: registry
+                .gauge("tcim_gateway_queue_depth", "requests admitted but not yet dispatched"),
+            admitted: registry
+                .counter("tcim_gateway_admitted_total", "requests admitted to the queue"),
+            served: registry
+                .counter("tcim_gateway_served_total", "admitted requests answered"),
+            shed_queue_full: registry.counter(
+                "tcim_gateway_shed_queue_full_total",
+                "requests rejected at the global queue capacity",
+            ),
+            shed_quota: registry.counter(
+                "tcim_gateway_shed_quota_total",
+                "requests rejected at a per-tenant max_queued quota",
+            ),
+            shed_deadline: registry.counter(
+                "tcim_gateway_shed_deadline_total",
+                "admitted requests shed because their deadline expired in the queue",
+            ),
+            waves: registry.counter("tcim_gateway_waves_total", "dispatch waves pumped"),
+            wave_size: registry
+                .histogram("tcim_gateway_wave_size", "requests per dispatch wave"),
+            queue_wait: registry.histogram(
+                "tcim_gateway_queue_wait_nanoseconds",
+                "admission-to-dispatch latency per served request",
+            ),
+            registry,
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}

@@ -1,0 +1,36 @@
+//! Per-tenant admission policy: queue quotas and scheduling weight.
+
+/// A tenant's slice of the gateway: how much of the queue it may
+/// occupy and how much of the dispatch bandwidth it receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Scheduling weight (stride scheduling: a tenant with weight 3
+    /// is drained ~3× as often as a tenant with weight 1). Clamped to
+    /// at least 1.
+    pub weight: u64,
+    /// Maximum requests this tenant may have queued at once; pushing
+    /// past it sheds with
+    /// [`AdmissionError::QueueFull`](crate::AdmissionError::QueueFull)
+    /// naming the tenant, independent of global queue occupancy.
+    pub max_queued: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy { weight: 1, max_queued: usize::MAX }
+    }
+}
+
+impl TenantPolicy {
+    /// A policy with the given weight and no per-tenant queue bound.
+    pub fn weighted(weight: u64) -> Self {
+        TenantPolicy { weight: weight.max(1), ..TenantPolicy::default() }
+    }
+
+    /// Caps this tenant's queued requests.
+    #[must_use]
+    pub fn with_max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+}

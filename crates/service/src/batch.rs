@@ -1,0 +1,339 @@
+//! The shared batch path: grouping, coalesced execution and fan-out.
+//!
+//! Both serving entry points route through [`TcimService::serve_with`]:
+//! the compatibility shim [`TcimService::serve`](crate::TcimService)
+//! and the gateway's worker-pool dispatcher draining its admission
+//! queue. Requests are grouped by *answering artifact* — the graph
+//! name plus the explicit backend override, which together determine
+//! the resolved `PreparedKey` and backend — and every multi-member
+//! group with coalescing enabled is answered by **one** attributed
+//! execution ([`TcimPipeline::query_coalesced`]) whose attribution
+//! fans out into each member's [`QueryResponse`], stamped with
+//! [`BatchProvenance`] so the saving is provable per response.
+//!
+//! Live graphs are read in one of two [`LiveReadMode`]s: `Maintained`
+//! preserves the classic behaviour (lock the dynamic state, answer
+//! from the incrementally maintained counts), while `Pinned` answers
+//! from the last *published* [`EpochSnapshot`] without ever touching
+//! the dynamic mutex — the gateway's snapshot-isolated read path, on
+//! which update batches never block readers.
+//!
+//! [`TcimPipeline::query_coalesced`]: tcim_core::TcimPipeline::query_coalesced
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tcim_core::{Backend, PreparedGraph, Query};
+use tcim_sched::parallel_map_indexed;
+use tcim_stream::EpochSnapshot;
+
+use crate::error::{Result, ServiceError};
+use crate::service::{QueryRequest, QueryResponse, TcimService};
+
+/// Coalescing provenance carried by every response a batch path
+/// produced: which batch answered, how many requests shared it, and
+/// how many attributed executions actually ran for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchProvenance {
+    /// Service-wide monotonic id of the batch that answered.
+    pub batch_id: u64,
+    /// Requests that shared this batch (1 = a singleton group).
+    pub coalesced: usize,
+    /// Attributed executions the batch actually ran. A burst is
+    /// provably coalesced when `executions < coalesced` across its
+    /// batches.
+    pub executions: u64,
+}
+
+/// How batch paths read live (dynamic) graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LiveReadMode {
+    /// Lock the dynamic state briefly and answer from the maintained
+    /// counts — the freshest possible answer, serialized behind
+    /// writers. The classic [`TcimService::serve`] behaviour.
+    #[default]
+    Maintained,
+    /// Answer from the last *published* [`EpochSnapshot`] without
+    /// touching the dynamic mutex: readers are never blocked by update
+    /// batches and see exactly their pinned epoch's state. The
+    /// gateway's snapshot-isolation mode.
+    Pinned,
+}
+
+/// Options of one [`TcimService::serve_with`] wave.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Coalesce compatible requests (same graph × same backend
+    /// override) into one attributed execution per group.
+    pub coalesce: bool,
+    /// How live graphs are read.
+    pub live: LiveReadMode,
+}
+
+/// One group of compatible requests: indices into the wave, in
+/// submission order.
+struct Group {
+    graph: String,
+    backend: Option<Backend>,
+    members: Vec<usize>,
+}
+
+impl TcimService {
+    /// The shared batch path: serves `requests` in one wave, grouped
+    /// by answering artifact, returning per-request outcomes in
+    /// submission order. Groups execute concurrently over scoped
+    /// worker threads; with `opts.coalesce`, each multi-member group
+    /// is answered by a single attributed execution whose per-triangle
+    /// attribution fans out into every member's response.
+    pub fn serve_with(
+        &self,
+        requests: &[QueryRequest],
+        opts: &BatchOptions,
+    ) -> Vec<Result<QueryResponse>> {
+        let threads = self.serve_threads();
+        if !opts.coalesce {
+            // Ungrouped: per-request fan-out, identical provenance to
+            // the classic path.
+            return parallel_map_indexed(requests.len(), threads, |i| {
+                self.query_with_mode(&requests[i], opts.live)
+            });
+        }
+        let groups = group_requests(requests);
+        let grouped: Vec<Vec<(usize, Result<QueryResponse>)>> =
+            parallel_map_indexed(groups.len(), threads, |gi| {
+                self.answer_group(requests, &groups[gi], opts)
+            });
+        let mut out: Vec<Option<Result<QueryResponse>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (idx, result) in grouped.into_iter().flatten() {
+            out[idx] = Some(result);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every request lands in exactly one group"))
+            .collect()
+    }
+
+    /// Answers one compatible group. Singleton groups take the classic
+    /// single-request path (identical provenance, still stamped as a
+    /// batch of one); larger groups share one attributed execution.
+    fn answer_group(
+        &self,
+        requests: &[QueryRequest],
+        group: &Group,
+        opts: &BatchOptions,
+    ) -> Vec<(usize, Result<QueryResponse>)> {
+        let batch_id = self.batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let size = group.members.len();
+        self.metrics.batches.incr();
+        self.metrics.coalesced.add(size as u64);
+        self.metrics.batch_size.observe(size as u64);
+        let stamp = |mut result: Result<QueryResponse>, executions: u64| {
+            if let Ok(response) = result.as_mut() {
+                response.batch =
+                    Some(BatchProvenance { batch_id, coalesced: size, executions });
+            }
+            result
+        };
+        if size == 1 {
+            let idx = group.members[0];
+            return vec![(idx, stamp(self.query_with_mode(&requests[idx], opts.live), 1))];
+        }
+
+        // Resolve the answering artifact once for the whole group.
+        if let Some(prepared) = self.store.get_counted(&group.graph, size as u64) {
+            let backend = match &group.backend {
+                Some(explicit) => explicit.clone(),
+                None => self.select_backend(&prepared),
+            };
+            return self.answer_group_prepared(requests, group, &prepared, &backend, None);
+        }
+        if let Some(live) = self.live_graph(&group.graph) {
+            live.served.fetch_add(size as u64, Ordering::Relaxed);
+            match opts.live {
+                LiveReadMode::Pinned => {
+                    let snapshot: EpochSnapshot = live
+                        .published
+                        .read()
+                        .expect("published lock is never poisoned")
+                        .clone();
+                    let backend = match &group.backend {
+                        Some(explicit) => explicit.clone(),
+                        None => self.select_backend(&snapshot.prepared),
+                    };
+                    let prepared = Arc::clone(&snapshot.prepared);
+                    return self.answer_group_prepared(
+                        requests,
+                        group,
+                        &prepared,
+                        &backend,
+                        Some(snapshot.epoch),
+                    );
+                }
+                LiveReadMode::Maintained => {
+                    // Maintained live reads answer from mutable state;
+                    // there is no shared immutable artifact to coalesce
+                    // over, so members take the single-request path.
+                    // (`served` was already bumped for the group.)
+                    return group
+                        .members
+                        .iter()
+                        .map(|&idx| {
+                            live.served.fetch_sub(1, Ordering::Relaxed);
+                            (idx, stamp(self.query_with_mode(&requests[idx], opts.live), 1))
+                        })
+                        .collect();
+                }
+            }
+        }
+        group
+            .members
+            .iter()
+            .map(|&idx| {
+                (
+                    idx,
+                    Err(ServiceError::UnknownGraph { name: group.graph.clone() })
+                        as Result<QueryResponse>,
+                )
+            })
+            .collect()
+    }
+
+    /// Answers a multi-member group from one immutable prepared
+    /// artifact with a single coalesced execution. When the carrier
+    /// execution itself fails (a backend configuration error would
+    /// fail every member identically), members fall back to the
+    /// single-request path so each reports its own error.
+    fn answer_group_prepared(
+        &self,
+        requests: &[QueryRequest],
+        group: &Group,
+        prepared: &Arc<PreparedGraph>,
+        backend: &Backend,
+        epoch: Option<u64>,
+    ) -> Vec<(usize, Result<QueryResponse>)> {
+        let batch_id = self.batch_ids.load(Ordering::Relaxed);
+        let size = group.members.len();
+        let _inflight: Vec<_> =
+            group.members.iter().map(|_| self.metrics.inflight.track()).collect();
+        let start = Instant::now();
+        let queries: Vec<Query> =
+            group.members.iter().map(|&idx| requests[idx].query.clone()).collect();
+        let run = || self.pipeline.query_coalesced(prepared, backend, &queries);
+        let (outcome, profiled) = if self.config.profile_queries {
+            let (outcome, profile) = tcim_telemetry::profile("batch", run);
+            (outcome, profile.map(|report| report.breakdown()))
+        } else {
+            (run(), None)
+        };
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                // Carrier failed: degrade to per-member execution so
+                // every member owns its error (or its answer, for
+                // failures scoped narrower than the whole group).
+                return group
+                    .members
+                    .iter()
+                    .map(|&idx| {
+                        (idx, self.query_with_mode(&requests[idx], LiveReadMode::Pinned))
+                    })
+                    .collect();
+            }
+        };
+        self.metrics.executions_saved.add(size as u64 - outcome.executions.min(size as u64));
+        let wall = start.elapsed();
+        group
+            .members
+            .iter()
+            .zip(outcome.reports)
+            .map(|(&idx, report)| {
+                self.metrics.queries.incr();
+                self.metrics.wall.observe_duration(wall);
+                let result = match report {
+                    Ok(report) => {
+                        let response = QueryResponse {
+                            graph: group.graph.clone(),
+                            fingerprint: prepared.key().fingerprint,
+                            backend: report.backend,
+                            query: report.query,
+                            value: report.value,
+                            triangles: report.triangles,
+                            prepared_cache_hit: true,
+                            live: epoch.is_some(),
+                            modelled_time_s: report.modelled_time_s,
+                            modelled_energy_j: report.modelled_energy_j,
+                            kernel: report.kernel,
+                            compressed_bytes: report.compressed_bytes,
+                            sharding: report.sharding,
+                            wall,
+                            phases: profiled.clone(),
+                            explain: None,
+                            batch: Some(BatchProvenance {
+                                batch_id,
+                                coalesced: size,
+                                executions: outcome.executions,
+                            }),
+                            epoch,
+                        };
+                        self.capture_slow(&response);
+                        Ok(response)
+                    }
+                    Err(e) => {
+                        self.metrics.failures.incr();
+                        Err(ServiceError::Core(e))
+                    }
+                };
+                (idx, result)
+            })
+            .collect()
+    }
+}
+
+/// Groups wave indices by answering artifact: graph name × explicit
+/// backend override (the override participates in the key because it
+/// changes the resolved execution; requests without one coalesce under
+/// the service's selection). First-seen order, members in submission
+/// order.
+fn group_requests(requests: &[QueryRequest]) -> Vec<Group> {
+    let mut order: Vec<Group> = Vec::new();
+    let mut index: HashMap<(String, String), usize> = HashMap::new();
+    for (i, request) in requests.iter().enumerate() {
+        let backend_key = request.backend.as_ref().map(Backend::label).unwrap_or_default();
+        let key = (request.graph.clone(), backend_key);
+        match index.get(&key) {
+            Some(&slot) => order[slot].members.push(i),
+            None => {
+                index.insert(key, order.len());
+                order.push(Group {
+                    graph: request.graph.clone(),
+                    backend: request.backend.clone(),
+                    members: vec![i],
+                });
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_keys_on_graph_and_backend_override() {
+        let requests = vec![
+            QueryRequest::new("a", Query::TotalTriangles),
+            QueryRequest::new("b", Query::TotalTriangles),
+            QueryRequest::new("a", Query::PerVertexTriangles),
+            QueryRequest::new("a", Query::TotalTriangles).with_backend(Backend::CpuMerge),
+            QueryRequest::new("b", Query::EdgeSupport),
+        ];
+        let groups = group_requests(&requests);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].members, vec![0, 2]);
+        assert_eq!(groups[1].members, vec![1, 4]);
+        assert_eq!(groups[2].members, vec![3], "an explicit backend splits the group");
+    }
+}

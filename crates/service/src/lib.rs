@@ -59,12 +59,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod batch;
 mod error;
 mod service;
 mod slow_query;
 mod store;
 
+pub use batch::{BatchOptions, BatchProvenance, LiveReadMode};
 pub use error::{Result, ServiceError};
 pub use service::{QueryRequest, QueryResponse, ServiceConfig, TcimService};
 pub use slow_query::{SlowQueryLog, SlowQueryRecord};
 pub use store::{GraphInfo, GraphStore};
+pub use tcim_stream::EpochSnapshot;

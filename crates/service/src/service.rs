@@ -13,12 +13,12 @@ use tcim_core::{
     ShardPolicy, ShardProvenance, ShardSpec, TcimConfig, TcimPipeline,
 };
 use tcim_graph::CsrGraph;
-use tcim_sched::parallel_map_indexed;
-use tcim_stream::{BatchReport, DynamicGraph, StreamConfig, UpdateBatch};
+use tcim_stream::{BatchReport, DynamicGraph, EpochSnapshot, StreamConfig, UpdateBatch};
 use tcim_telemetry::{
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, PhaseBreakdown,
 };
 
+use crate::batch::{BatchOptions, BatchProvenance, LiveReadMode};
 use crate::error::{Result, ServiceError};
 use crate::slow_query::{SlowQueryLog, SlowQueryRecord};
 use crate::store::{GraphInfo, GraphStore};
@@ -72,6 +72,12 @@ pub struct ServiceConfig {
     /// Capacity of the slow-query flight recorder (drop-oldest; 0
     /// counts offenders without retaining records).
     pub slow_query_capacity: usize,
+    /// When set, [`TcimService::serve`] coalesces compatible requests
+    /// (same graph, same resolved backend) into one attributed
+    /// execution each, exactly as the gateway's batch path does.
+    /// Off by default: direct `serve` callers keep per-request
+    /// execution provenance unless they opt in.
+    pub coalesce: bool,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +94,7 @@ impl Default for ServiceConfig {
             explain_queries: false,
             slow_query_threshold: None,
             slow_query_capacity: 32,
+            coalesce: false,
         }
     }
 }
@@ -174,6 +181,15 @@ pub struct QueryResponse {
     /// accounting attached, present for static-graph answers when
     /// [`ServiceConfig::explain_queries`] is set.
     pub explain: Option<ExplainReport>,
+    /// Coalescing provenance: which batch answered this request and
+    /// how many requests shared its one execution. Present only when
+    /// the request went through a coalescing batch path (the gateway,
+    /// or [`TcimService::serve`] with [`ServiceConfig::coalesce`]).
+    pub batch: Option<BatchProvenance>,
+    /// The fold epoch that answered, for snapshot-isolated reads over
+    /// a live graph ([`LiveReadMode::Pinned`]). `None` for static
+    /// graphs and for maintained-state live answers.
+    pub epoch: Option<u64>,
 }
 
 impl fmt::Display for QueryResponse {
@@ -191,21 +207,38 @@ impl fmt::Display for QueryResponse {
     }
 }
 
-struct LiveGraph {
-    dynamic: Mutex<DynamicGraph>,
-    served: AtomicU64,
+pub(crate) struct LiveGraph {
+    pub(crate) dynamic: Mutex<DynamicGraph>,
+    /// The latest published epoch snapshot, refreshed whenever the
+    /// dynamic graph folds. Readers clone it out from under the
+    /// `RwLock` without ever touching the `dynamic` mutex, so update
+    /// batches never block snapshot-isolated reads. Lock order on
+    /// writer paths is `dynamic` → `published`; readers take only
+    /// `published`.
+    pub(crate) published: RwLock<EpochSnapshot>,
+    pub(crate) served: AtomicU64,
 }
 
 /// Service-level instruments, registered once per service.
 #[derive(Debug, Clone)]
-struct ServiceMetrics {
-    registry: MetricsRegistry,
-    queries: Counter,
-    failures: Counter,
-    updates: Counter,
-    slow: Counter,
-    inflight: Gauge,
-    wall: Histogram,
+pub(crate) struct ServiceMetrics {
+    pub(crate) registry: MetricsRegistry,
+    pub(crate) queries: Counter,
+    pub(crate) failures: Counter,
+    pub(crate) updates: Counter,
+    pub(crate) slow: Counter,
+    pub(crate) inflight: Gauge,
+    pub(crate) wall: Histogram,
+    /// Batches the coalescing path answered (singleton groups
+    /// included — every group is one batch).
+    pub(crate) batches: Counter,
+    /// Requests answered through the coalescing path.
+    pub(crate) coalesced: Counter,
+    /// Attributed executions the coalescing path avoided
+    /// (`Σ (batch size − executions run)`).
+    pub(crate) executions_saved: Counter,
+    /// Distribution of coalesced-batch sizes.
+    pub(crate) batch_size: Histogram,
 }
 
 impl ServiceMetrics {
@@ -231,6 +264,22 @@ impl ServiceMetrics {
             wall: registry.histogram(
                 "tcim_service_query_wall_nanoseconds",
                 "host wall-clock time per served query",
+            ),
+            batches: registry.counter(
+                "tcim_service_batches_total",
+                "coalesced batches answered (singleton groups included)",
+            ),
+            coalesced: registry.counter(
+                "tcim_service_coalesced_queries_total",
+                "queries answered through the coalescing batch path",
+            ),
+            executions_saved: registry.counter(
+                "tcim_service_executions_saved_total",
+                "attributed executions avoided by query coalescing",
+            ),
+            batch_size: registry.histogram(
+                "tcim_service_batch_size",
+                "requests sharing one coalesced execution, per batch",
             ),
             registry,
         }
@@ -278,12 +327,14 @@ impl ServiceMetrics {
 /// # Ok::<(), tcim_service::ServiceError>(())
 /// ```
 pub struct TcimService {
-    config: ServiceConfig,
-    pipeline: TcimPipeline,
-    store: GraphStore,
-    live: RwLock<HashMap<String, Arc<LiveGraph>>>,
-    metrics: ServiceMetrics,
-    slow_queries: SlowQueryLog,
+    pub(crate) config: ServiceConfig,
+    pub(crate) pipeline: TcimPipeline,
+    pub(crate) store: GraphStore,
+    pub(crate) live: RwLock<HashMap<String, Arc<LiveGraph>>>,
+    pub(crate) metrics: ServiceMetrics,
+    pub(crate) slow_queries: SlowQueryLog,
+    /// Monotonic batch-id source for coalescing provenance.
+    pub(crate) batch_ids: AtomicU64,
 }
 
 impl fmt::Debug for TcimService {
@@ -314,6 +365,7 @@ impl TcimService {
             live: RwLock::new(HashMap::new()),
             metrics: ServiceMetrics::new(),
             slow_queries: SlowQueryLog::new(config.slow_query_capacity),
+            batch_ids: AtomicU64::new(0),
         })
     }
 
@@ -378,9 +430,14 @@ impl TcimService {
             return Err(ServiceError::NameInUse { name: name.to_string() });
         }
         let info = live_info(name, &dynamic, 0);
+        let published = RwLock::new(dynamic.epoch_snapshot());
         live.insert(
             name.to_string(),
-            Arc::new(LiveGraph { dynamic: Mutex::new(dynamic), served: AtomicU64::new(0) }),
+            Arc::new(LiveGraph {
+                dynamic: Mutex::new(dynamic),
+                published,
+                served: AtomicU64::new(0),
+            }),
         );
         Ok(info)
     }
@@ -397,8 +454,54 @@ impl TcimService {
             .ok_or_else(|| ServiceError::UnknownGraph { name: name.to_string() })?;
         let mut dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
         let report = dynamic.apply_batch(batch)?;
+        if report.folded {
+            // The drift policy folded a fresh epoch: publish it for
+            // snapshot-isolated readers. Lock order dynamic → published
+            // (readers only ever take `published`, so no cycle).
+            *graph.published.write().expect("published lock is never poisoned") =
+                dynamic.epoch_snapshot();
+        }
         self.metrics.updates.incr();
         Ok(report)
+    }
+
+    /// Forces the live graph bound to `name` to fold and publish its
+    /// current state as the next epoch, returning the fresh snapshot.
+    /// A no-op (returning the current snapshot) when no update has been
+    /// applied since the last fold. Concurrent snapshot-isolated
+    /// readers are never blocked: they keep answering from the
+    /// previously published epoch until the atomic swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownGraph`] for unbound (or static)
+    /// names and propagates fold failures.
+    pub fn publish(&self, name: &str) -> Result<EpochSnapshot> {
+        let graph = self
+            .live_graph(name)
+            .ok_or_else(|| ServiceError::UnknownGraph { name: name.to_string() })?;
+        let mut dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
+        let snapshot = dynamic.publish()?;
+        *graph.published.write().expect("published lock is never poisoned") = snapshot.clone();
+        Ok(snapshot)
+    }
+
+    /// The latest *published* epoch snapshot of the live graph bound to
+    /// `name` — what snapshot-isolated reads answer from. Never touches
+    /// the dynamic state's mutex, so it cannot be blocked by an
+    /// in-flight update batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownGraph`] for unbound (or static)
+    /// names.
+    pub fn pinned_snapshot(&self, name: &str) -> Result<EpochSnapshot> {
+        let graph = self
+            .live_graph(name)
+            .ok_or_else(|| ServiceError::UnknownGraph { name: name.to_string() })?;
+        let snapshot =
+            graph.published.read().expect("published lock is never poisoned").clone();
+        Ok(snapshot)
     }
 
     /// Evicts the graph bound to `name` (static or live), returning
@@ -456,14 +559,25 @@ impl TcimService {
     ///
     /// As [`TcimService::query`].
     pub fn query_with(&self, request: &QueryRequest) -> Result<QueryResponse> {
-        self.metrics.inflight.add(1);
+        self.query_with_mode(request, LiveReadMode::Maintained)
+    }
+
+    /// The metrics-instrumented single-request path shared by direct
+    /// queries and singleton batch groups: the in-flight gauge is held
+    /// by an RAII guard, so `?` propagation (or a panicking backend)
+    /// can never leak it.
+    pub(crate) fn query_with_mode(
+        &self,
+        request: &QueryRequest,
+        mode: LiveReadMode,
+    ) -> Result<QueryResponse> {
+        let _inflight = self.metrics.inflight.track();
         let start = Instant::now();
         let (result, profiled) = if self.config.profile_queries {
-            tcim_telemetry::profile("query", || self.answer(request))
+            tcim_telemetry::profile("query", || self.answer(request, mode))
         } else {
-            (self.answer(request), None)
+            (self.answer(request, mode), None)
         };
-        self.metrics.inflight.sub(1);
         self.metrics.queries.incr();
         self.metrics.wall.observe_duration(start.elapsed());
         if result.is_err() {
@@ -471,6 +585,19 @@ impl TcimService {
         }
         let mut response = result?;
         response.phases = profiled.map(|report| report.breakdown());
+        self.capture_slow(&response);
+        // The plan was assembled for the slow-query record even when
+        // responses are not asked to carry it; strip it here so the
+        // response surface follows `explain_queries` exactly.
+        if !self.config.explain_queries {
+            response.explain = None;
+        }
+        Ok(response)
+    }
+
+    /// Records `response` in the slow-query flight recorder when it
+    /// breached the configured threshold.
+    pub(crate) fn capture_slow(&self, response: &QueryResponse) {
         if let Some(threshold) = self.config.slow_query_threshold {
             if response.wall >= threshold {
                 self.metrics.slow.incr();
@@ -486,13 +613,6 @@ impl TcimService {
                 });
             }
         }
-        // The plan was assembled for the slow-query record even when
-        // responses are not asked to carry it; strip it here so the
-        // response surface follows `explain_queries` exactly.
-        if !self.config.explain_queries {
-            response.explain = None;
-        }
-        Ok(response)
     }
 
     /// Plans one query on the graph bound to `graph` — backend
@@ -541,7 +661,7 @@ impl TcimService {
 
     /// Routes the request to the answering graph and executes it
     /// (the profiled body of [`TcimService::query_with`]).
-    fn answer(&self, request: &QueryRequest) -> Result<QueryResponse> {
+    fn answer(&self, request: &QueryRequest, mode: LiveReadMode) -> Result<QueryResponse> {
         let start = Instant::now();
         let route_span = tcim_telemetry::span("route");
         if let Some(prepared) = self.store.get(&request.graph) {
@@ -555,21 +675,80 @@ impl TcimService {
         match self.live_graph(&request.graph) {
             Some(graph) => {
                 graph.served.fetch_add(1, Ordering::Relaxed);
-                let dynamic = graph.dynamic.lock().expect("live graph lock is never poisoned");
-                drop(route_span);
-                let _execute = tcim_telemetry::span("execute");
-                answer_live(&request.graph, &dynamic, &request.query, start)
+                match mode {
+                    LiveReadMode::Maintained => {
+                        let dynamic =
+                            graph.dynamic.lock().expect("live graph lock is never poisoned");
+                        drop(route_span);
+                        let _execute = tcim_telemetry::span("execute");
+                        answer_live(&request.graph, &dynamic, &request.query, start)
+                    }
+                    LiveReadMode::Pinned => {
+                        let snapshot = graph
+                            .published
+                            .read()
+                            .expect("published lock is never poisoned")
+                            .clone();
+                        drop(route_span);
+                        let _execute = tcim_telemetry::span("execute");
+                        self.answer_pinned(request, &snapshot, start)
+                    }
+                }
             }
             None => Err(ServiceError::UnknownGraph { name: request.graph.clone() }),
         }
+    }
+
+    /// Answers one request from an epoch-pinned snapshot: the published
+    /// prepared artifact is queried exactly like a static graph (same
+    /// backend selection), so the response reflects the pinned epoch's
+    /// state no matter how far the live state has moved on.
+    fn answer_pinned(
+        &self,
+        request: &QueryRequest,
+        snapshot: &EpochSnapshot,
+        start: Instant,
+    ) -> Result<QueryResponse> {
+        let backend = match &request.backend {
+            Some(explicit) => explicit.clone(),
+            None => self.select_backend(&snapshot.prepared),
+        };
+        let report = self.pipeline.query(&snapshot.prepared, &backend, &request.query)?;
+        Ok(QueryResponse {
+            graph: request.graph.clone(),
+            fingerprint: snapshot.prepared.key().fingerprint,
+            backend: report.backend,
+            query: report.query,
+            value: report.value,
+            triangles: report.triangles,
+            prepared_cache_hit: true,
+            live: true,
+            modelled_time_s: report.modelled_time_s,
+            modelled_energy_j: report.modelled_energy_j,
+            kernel: report.kernel,
+            compressed_bytes: report.compressed_bytes,
+            sharding: report.sharding,
+            wall: start.elapsed(),
+            phases: None,
+            explain: None,
+            batch: None,
+            epoch: Some(snapshot.epoch),
+        })
     }
 
     /// Clones the live graph bound to `name` out of the registry, so
     /// callers never hold the registry lock while executing against the
     /// graph (the registry lock guards only the name table; each live
     /// graph serializes behind its own mutex).
-    fn live_graph(&self, name: &str) -> Option<Arc<LiveGraph>> {
+    pub(crate) fn live_graph(&self, name: &str) -> Option<Arc<LiveGraph>> {
         self.live.read().expect("live lock is never poisoned").get(name).cloned()
+    }
+
+    /// The worker-thread count batch paths fan over.
+    pub(crate) fn serve_threads(&self) -> usize {
+        self.config.serve_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
+        })
     }
 
     /// Serves a batch of requests concurrently over scoped worker
@@ -577,11 +756,18 @@ impl TcimService {
     /// Requests may mix graphs, query shapes and backends freely; all
     /// of them answer from already-prepared artifacts (nothing is
     /// re-oriented or re-sliced at serve time).
+    ///
+    /// This is a thin compatibility shim over the shared batch path
+    /// ([`TcimService::serve_with`]) — the same code the gateway's
+    /// dispatcher drains its admission queue into. By default requests
+    /// keep per-request execution provenance; set
+    /// [`ServiceConfig::coalesce`] to let compatible requests share one
+    /// attributed execution each.
     pub fn serve(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
-        let threads = self.config.serve_threads.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
-        });
-        parallel_map_indexed(requests.len(), threads, |i| self.query_with(&requests[i]))
+        self.serve_with(
+            requests,
+            &BatchOptions { coalesce: self.config.coalesce, live: LiveReadMode::Maintained },
+        )
     }
 
     fn answer_static(
@@ -626,6 +812,8 @@ impl TcimService {
             wall: start.elapsed(),
             phases: None,
             explain: plan,
+            batch: None,
+            epoch: None,
         })
     }
 
@@ -634,7 +822,7 @@ impl TcimService {
     /// per-array slice budget — then sharded execution with
     /// `⌈valid slices / budget⌉` shards (the sharded artifact is built
     /// once and cached in the pipeline's `ShardedCache`).
-    fn select_backend(&self, prepared: &PreparedGraph) -> Backend {
+    pub(crate) fn select_backend(&self, prepared: &PreparedGraph) -> Backend {
         let Some(budget) = self.config.shard_slice_budget else {
             return self.config.default_backend.clone();
         };
@@ -761,5 +949,7 @@ fn answer_live(
         wall: start.elapsed(),
         phases: None,
         explain: None,
+        batch: None,
+        epoch: None,
     })
 }

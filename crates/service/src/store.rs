@@ -103,9 +103,15 @@ impl GraphStore {
 
     /// The artifact bound to `name`, bumping its serving counter.
     pub fn get(&self, name: &str) -> Option<Arc<PreparedGraph>> {
+        self.get_counted(name, 1)
+    }
+
+    /// As [`GraphStore::get`], bumping the serving counter by `served`
+    /// — one lookup can answer a whole coalesced batch.
+    pub fn get_counted(&self, name: &str, served: u64) -> Option<Arc<PreparedGraph>> {
         let inner = self.inner.read().expect("store lock is never poisoned");
         inner.get(name).map(|stored| {
-            stored.served.fetch_add(1, Ordering::Relaxed);
+            stored.served.fetch_add(served, Ordering::Relaxed);
             Arc::clone(&stored.prepared)
         })
     }

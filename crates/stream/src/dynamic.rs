@@ -86,6 +86,32 @@ impl Default for StreamConfig {
     }
 }
 
+/// An immutable, epoch-pinned view of a dynamic graph as of its last
+/// fold: the prepared artifact together with the maintained counts
+/// captured at the instant the fold ran, when the artifact and the
+/// live state agree exactly.
+///
+/// Snapshots are what serving layers hand to concurrent readers: a
+/// reader holding one answers every query shape against a consistent
+/// epoch without touching (or being blocked by) the mutable dynamic
+/// state, while writers keep applying batches and publish the *next*
+/// epoch by swapping in a fresh snapshot. Cloning is cheap (two `Arc`
+/// bumps), so publication is a pointer swap, never a copy.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// The fold epoch this snapshot pins (0 = the construction state).
+    pub epoch: u64,
+    /// The epoch's prepared artifact — queryable on any backend like
+    /// any static graph.
+    pub prepared: Arc<PreparedGraph>,
+    /// The exact triangle count at the pinned epoch.
+    pub triangles: u64,
+    /// The exact per-vertex participation counts at the pinned epoch.
+    pub per_vertex: Arc<Vec<u64>>,
+    /// Undirected edge count at the pinned epoch.
+    pub edges: usize,
+}
+
 /// One member of an endpoint-disjoint execution round.
 #[derive(Debug, Clone, Copy)]
 struct RoundMember {
@@ -144,6 +170,9 @@ pub struct DynamicGraph {
     updates_since_fold: u64,
     epoch: u64,
     prepared: Arc<PreparedGraph>,
+    /// The epoch snapshot captured at construction / the last fold,
+    /// handed out (cheaply, by clone) to snapshot-isolated readers.
+    published: EpochSnapshot,
     report: StreamReport,
 }
 
@@ -194,6 +223,13 @@ impl DynamicGraph {
         };
         let valid_slices = rows.iter().map(|r| r.valid_slice_count() as u64).sum();
         let costs = pipeline.engine().cost_model();
+        let published = EpochSnapshot {
+            epoch: 0,
+            prepared: Arc::clone(&prepared),
+            triangles: local.triangles,
+            per_vertex: Arc::new(per_vertex.clone()),
+            edges: g.edge_count(),
+        };
         Ok(DynamicGraph {
             config,
             costs,
@@ -211,6 +247,7 @@ impl DynamicGraph {
             updates_since_fold: 0,
             epoch: 0,
             prepared,
+            published,
             pipeline,
             report: StreamReport::default(),
         })
@@ -330,6 +367,30 @@ impl DynamicGraph {
     /// May lag the live state by up to one drift threshold.
     pub fn prepared(&self) -> &Arc<PreparedGraph> {
         &self.prepared
+    }
+
+    /// The latest published [`EpochSnapshot`] (from construction or the
+    /// last fold), cheap to clone and safe to read long after the live
+    /// state has moved on. Like [`DynamicGraph::prepared`], it may lag
+    /// the live state by up to one drift threshold; use
+    /// [`DynamicGraph::publish`] to force it current.
+    pub fn epoch_snapshot(&self) -> EpochSnapshot {
+        self.published.clone()
+    }
+
+    /// Publishes the live state as the next epoch: folds (exactly as
+    /// the drift policy would) when any update has been applied since
+    /// the last fold, then returns the now-current snapshot. A no-op
+    /// returning the existing snapshot when nothing changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fold failures.
+    pub fn publish(&mut self) -> Result<EpochSnapshot> {
+        if self.updates_since_fold > 0 {
+            self.fold()?;
+        }
+        Ok(self.published.clone())
     }
 
     /// The pipeline folding snapshots (exposes the `PreparedCache`).
@@ -497,6 +558,16 @@ impl DynamicGraph {
         let prepared = self.pipeline.prepare(&snapshot);
         self.prepared = Arc::clone(&prepared);
         self.epoch += 1;
+        // At fold time the artifact and the maintained quantities agree
+        // exactly, so this is the one moment an epoch snapshot can be
+        // captured consistently.
+        self.published = EpochSnapshot {
+            epoch: self.epoch,
+            prepared: Arc::clone(&prepared),
+            triangles: self.triangles,
+            per_vertex: Arc::new(self.per_vertex.clone()),
+            edges: self.edges,
+        };
         self.report.rebuilds += 1;
         self.touched.fill(false);
         self.touched_rows = 0;
@@ -922,6 +993,58 @@ mod tests {
         assert_eq!(dg.drift().touched_rows, 0);
         // The folded artifact reflects the live state.
         assert_eq!(dg.prepared().key().edges, dg.edge_count());
+    }
+
+    #[test]
+    fn epoch_snapshots_pin_fold_time_state() {
+        let mut dg = fig2_dynamic(no_fold());
+        let epoch0 = dg.epoch_snapshot();
+        assert_eq!(epoch0.epoch, 0);
+        assert_eq!(epoch0.triangles, 2);
+        assert_eq!(epoch0.per_vertex.as_slice(), &[1, 2, 2, 1]);
+        assert_eq!(epoch0.edges, 5);
+
+        // Updates move the live state but never the pinned snapshot.
+        dg.apply(Update::Insert(0, 3)).unwrap();
+        assert_eq!(dg.triangles(), 4);
+        assert_eq!(epoch0.triangles, 2);
+        assert_eq!(dg.epoch_snapshot().epoch, 0, "no fold ⇒ no new epoch");
+        assert_eq!(dg.epoch_snapshot().triangles, 2, "published state lags until a fold");
+
+        // Publishing folds and captures the live state exactly.
+        let epoch1 = dg.publish().unwrap();
+        assert_eq!(epoch1.epoch, 1);
+        assert_eq!(epoch1.triangles, 4);
+        assert_eq!(epoch1.per_vertex.as_slice(), &[3, 3, 3, 3]);
+        assert_eq!(epoch1.edges, 6);
+        assert_eq!(epoch1.prepared.key().edges, 6);
+        // The old snapshot is still intact for readers pinned to it.
+        assert_eq!(epoch0.triangles, 2);
+
+        // Publishing with nothing applied is a no-op.
+        let again = dg.publish().unwrap();
+        assert_eq!(again.epoch, 1);
+        assert_eq!(dg.report().rebuilds, 1);
+    }
+
+    #[test]
+    fn drift_folds_refresh_the_published_snapshot() {
+        let config = StreamConfig {
+            drift: DriftPolicy {
+                max_touched_fraction: None,
+                max_valid_slice_drift: None,
+                max_updates: Some(1),
+            },
+            ..StreamConfig::default()
+        };
+        let mut dg = fig2_dynamic(config);
+        let mut batch = UpdateBatch::new();
+        batch.insert(0, 3).delete(1, 2);
+        let outcome = dg.apply_batch(&batch).unwrap();
+        assert!(outcome.folded);
+        let snap = dg.epoch_snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.triangles, dg.triangles());
     }
 
     #[test]

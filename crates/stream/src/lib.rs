@@ -51,7 +51,7 @@ mod report;
 mod update;
 
 pub use drift::{DriftMeasure, DriftPolicy};
-pub use dynamic::{DynamicGraph, StreamConfig};
+pub use dynamic::{DynamicGraph, EpochSnapshot, StreamConfig};
 pub use error::{Result, StreamError};
 pub use report::{BatchReport, Delta, Rejected, StreamReport};
 pub use update::{Update, UpdateBatch};

@@ -62,7 +62,7 @@ pub mod trace;
 
 pub use json::Json;
 pub use metrics::{
-    render_prometheus, Counter, Gauge, Histogram, HistogramSummary, MetricSample,
+    render_prometheus, Counter, Gauge, GaugeGuard, Histogram, HistogramSummary, MetricSample,
     MetricsRegistry, MetricsSnapshot, SampleValue,
 };
 pub use ring::BoundedRing;

@@ -69,6 +69,29 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Increments the gauge and returns a guard that decrements it on
+    /// drop, so early returns, `?` propagation and panics can never
+    /// leak the increment. This is the required idiom for occupancy
+    /// gauges (in-flight requests, queue depths): pair every entry
+    /// with a held guard instead of bracketing the exit manually.
+    pub fn track(&self) -> GaugeGuard {
+        self.add(1);
+        GaugeGuard { gauge: self.clone() }
+    }
+}
+
+/// An RAII decrement for a [`Gauge`]: created by [`Gauge::track`],
+/// subtracts one from the gauge when dropped.
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Gauge,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.sub(1);
+    }
 }
 
 #[derive(Debug)]
@@ -528,6 +551,25 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set(-1);
         assert_eq!(registry.snapshot().gauge("tcim_inflight"), Some(-1));
+    }
+
+    #[test]
+    fn gauge_guard_releases_on_drop_and_panic() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("tcim_inflight_guarded", "in-flight queries");
+        {
+            let _a = g.track();
+            let _b = g.track();
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+        let panicking = g.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _guard = panicking.track();
+            panic!("query path exploded");
+        });
+        assert!(result.is_err());
+        assert_eq!(g.get(), 0, "a panic must not leak the gauge increment");
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   PIM delta kernels.
 //! * [`tcim_service`] — the serving facade: a named multi-graph registry
 //!   answering concurrent typed queries with provenance.
+//! * [`tcim_gateway`] — the serving front-end: bounded tenant-fair
+//!   admission, query micro-batching, snapshot-isolated live reads.
 //! * [`tcim_telemetry`] — the observability substrate: tracing spans,
 //!   the bounded ring recorder, the metrics registry and the
 //!   Prometheus-style exporter.
@@ -36,6 +38,7 @@ use std::fmt;
 pub use tcim_arch as arch;
 pub use tcim_bitmatrix as bitmatrix;
 pub use tcim_core as tcim;
+pub use tcim_gateway as gateway;
 pub use tcim_graph as graph;
 pub use tcim_mtj as mtj;
 pub use tcim_nvsim as nvsim;
@@ -74,6 +77,8 @@ pub enum TcimError {
     Stream(tcim_stream::StreamError),
     /// From `tcim-service` (registry and serving).
     Service(tcim_service::ServiceError),
+    /// From `tcim-gateway` (admission control and dispatch).
+    Gateway(tcim_gateway::GatewayError),
 }
 
 impl fmt::Display for TcimError {
@@ -89,6 +94,7 @@ impl fmt::Display for TcimError {
             TcimError::Core(e) => write!(f, "core: {e}"),
             TcimError::Stream(e) => write!(f, "stream: {e}"),
             TcimError::Service(e) => write!(f, "service: {e}"),
+            TcimError::Gateway(e) => write!(f, "gateway: {e}"),
         }
     }
 }
@@ -106,6 +112,7 @@ impl Error for TcimError {
             TcimError::Core(e) => Some(e),
             TcimError::Stream(e) => Some(e),
             TcimError::Service(e) => Some(e),
+            TcimError::Gateway(e) => Some(e),
         }
     }
 }
@@ -130,6 +137,7 @@ from_member!(Shard, tcim_shard::ShardError);
 from_member!(Core, tcim_core::CoreError);
 from_member!(Stream, tcim_stream::StreamError);
 from_member!(Service, tcim_service::ServiceError);
+from_member!(Gateway, tcim_gateway::GatewayError);
 
 #[cfg(test)]
 mod tests {

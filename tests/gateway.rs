@@ -1,0 +1,326 @@
+//! Acceptance tests of the `tcim-gateway` serving front-end.
+//!
+//! Three claims from the issue, each proven here:
+//! 1. **Bit-identity** — coalesced execution returns `QueryValue`s
+//!    bit-identical to one-at-a-time serving, across backends ×
+//!    generators × the full query suite.
+//! 2. **Snapshot isolation** — under randomized concurrent churn,
+//!    every reader sees exactly the state of the epoch its response is
+//!    pinned to, and readers are never blocked by writers.
+//! 3. **Quotas and backpressure** — a starved low-weight tenant still
+//!    progresses, an over-quota tenant is shed with `QueueFull`, and
+//!    the queue-depth gauge tracks reality.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use tcim_repro::gateway::{
+    AdmissionError, Gateway, GatewayConfig, GatewayError, PublishPolicy, TenantPolicy,
+};
+use tcim_repro::graph::generators::{barabasi_albert, classic, gnm};
+use tcim_repro::service::{QueryRequest, ServiceConfig, TcimService};
+use tcim_repro::stream::UpdateBatch;
+use tcim_repro::tcim::{Backend, Query};
+
+fn service() -> Arc<TcimService> {
+    Arc::new(TcimService::new(&ServiceConfig::default()).unwrap())
+}
+
+/// Claim 1: for every backend × generator × query, a coalesced burst
+/// answers bit-identically to one-at-a-time serving — including the
+/// `f64` clustering coefficients, which must come from the same
+/// integer inputs through the same expressions.
+#[test]
+fn coalesced_values_are_bit_identical_to_one_at_a_time() {
+    let svc = service();
+    let graphs = vec![
+        ("ba", barabasi_albert(180, 4, 33).unwrap()),
+        ("er", gnm(150, 900, 7).unwrap()),
+        ("wheel", classic::wheel(40)),
+    ];
+    for (name, g) in &graphs {
+        svc.register(name, g).unwrap();
+    }
+
+    for backend in [None, Some(Backend::CpuMerge), Some(Backend::CpuForward)] {
+        // Reference: one-at-a-time, no coalescing, fresh responses.
+        let mut solo: HashMap<(String, Query), _> = HashMap::new();
+        for (name, _) in &graphs {
+            for query in Query::example_suite() {
+                let mut request = QueryRequest::new(*name, query.clone());
+                if let Some(b) = &backend {
+                    request = request.with_backend(b.clone());
+                }
+                let response = svc.serve(&[request]).remove(0).unwrap();
+                solo.insert((name.to_string(), query), response);
+            }
+        }
+
+        // Gateway: everything submitted as one burst, coalesced.
+        let gateway = Gateway::new(Arc::clone(&svc), &GatewayConfig::default());
+        let mut tickets = Vec::new();
+        for (name, _) in &graphs {
+            for query in Query::example_suite() {
+                let mut request = QueryRequest::new(*name, query.clone());
+                if let Some(b) = &backend {
+                    request = request.with_backend(b.clone());
+                }
+                let ticket = gateway.submit("t", request).unwrap();
+                tickets.push((name.to_string(), query, ticket));
+            }
+        }
+        gateway.run_until_idle();
+
+        for (name, query, ticket) in tickets {
+            let coalesced = ticket.wait().unwrap();
+            let reference = &solo[&(name.clone(), query.clone())];
+            assert_eq!(
+                coalesced.value, reference.value,
+                "value mismatch: {name} / {query:?} / {backend:?}"
+            );
+            assert_eq!(coalesced.triangles, reference.triangles);
+            let provenance = coalesced.batch.expect("gateway responses carry provenance");
+            // The full suite shares one graph × backend group, so six
+            // queries ran as one batch with one execution.
+            assert_eq!(provenance.coalesced, 6);
+            assert_eq!(provenance.executions, 1);
+        }
+    }
+}
+
+/// Claim 1 corollary (the issue's load-test acceptance shape): a
+/// compatible burst is answered with strictly fewer attributed
+/// executions than queries answered, and provenance proves it.
+#[test]
+fn compatible_burst_runs_strictly_fewer_executions_than_queries() {
+    let svc = service();
+    svc.register("g", &barabasi_albert(200, 4, 5).unwrap()).unwrap();
+    let gateway = Gateway::new(Arc::clone(&svc), &GatewayConfig::default());
+    let queries = 24;
+    let tickets: Vec<_> = (0..queries)
+        .map(|i| {
+            let query = match i % 3 {
+                0 => Query::TotalTriangles,
+                1 => Query::PerVertexTriangles,
+                _ => Query::TopKVertices { k: 4 },
+            };
+            gateway.submit("burst", QueryRequest::new("g", query)).unwrap()
+        })
+        .collect();
+    gateway.run_until_idle();
+    let mut executions: HashMap<u64, u64> = HashMap::new();
+    for ticket in tickets {
+        let response = ticket.wait().unwrap();
+        let batch = response.batch.unwrap();
+        executions.insert(batch.batch_id, batch.executions);
+    }
+    let total: u64 = executions.values().sum();
+    assert!(
+        total < queries as u64,
+        "coalescing must save executions: {total} executions for {queries} queries"
+    );
+}
+
+/// Claim 2: readers pinned to an epoch see exactly that epoch's
+/// triangle count, under randomized concurrent churn, and are never
+/// blocked by the writer (they run while the writer holds the dynamic
+/// state lock).
+#[test]
+fn snapshot_isolated_reads_match_their_pinned_epoch_under_churn() {
+    let svc = service();
+    let n = 120;
+    svc.register_live("live", &gnm(n, 700, 91).unwrap()).unwrap();
+    let gateway = Arc::new(Gateway::new(
+        Arc::clone(&svc),
+        &GatewayConfig {
+            workers: 2,
+            publish: PublishPolicy::EveryBatch,
+            ..GatewayConfig::default()
+        },
+    ));
+    gateway.start_workers();
+
+    // The writer records the ground truth of every epoch it publishes;
+    // epoch 0 is on record before any update.
+    let truth: Arc<std::sync::Mutex<HashMap<u64, u64>>> =
+        Arc::new(std::sync::Mutex::new(HashMap::new()));
+    let initial = svc.pinned_snapshot("live").unwrap();
+    truth.lock().unwrap().insert(initial.epoch, initial.triangles);
+
+    let writer = {
+        let gateway = Arc::clone(&gateway);
+        let truth = Arc::clone(&truth);
+        std::thread::spawn(move || {
+            let mut rng = ChaCha12Rng::seed_from_u64(17);
+            for _ in 0..25 {
+                let mut batch = UpdateBatch::new();
+                for _ in 0..8 {
+                    let u = rng.gen_range(0..n as u32);
+                    let v = rng.gen_range(0..n as u32);
+                    if u == v {
+                        continue;
+                    }
+                    if rng.gen_bool(0.7) {
+                        batch.insert(u, v);
+                    } else {
+                        batch.delete(u, v);
+                    }
+                }
+                gateway.update("live", &batch).unwrap();
+                let snapshot = gateway.service().pinned_snapshot("live").unwrap();
+                truth.lock().unwrap().insert(snapshot.epoch, snapshot.triangles);
+            }
+        })
+    };
+
+    let mut tickets = Vec::new();
+    for _ in 0..200 {
+        tickets.push(
+            gateway
+                .submit("reader", QueryRequest::new("live", Query::TotalTriangles))
+                .unwrap(),
+        );
+        if tickets.len() % 20 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    writer.join().unwrap();
+    gateway.shutdown();
+
+    let truth = truth.lock().unwrap();
+    for ticket in tickets {
+        let response = ticket.wait().unwrap();
+        let epoch = response.epoch.expect("pinned reads record their epoch");
+        let expected = truth
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("reader saw unpublished epoch {epoch}"));
+        assert_eq!(
+            response.triangles, *expected,
+            "epoch {epoch}: reader saw {} but the published count was {expected}",
+            response.triangles
+        );
+        assert!(response.live);
+    }
+}
+
+/// Claim 3: weighted scheduling keeps a low-weight tenant progressing
+/// while a heavy tenant floods; an over-quota tenant is shed with
+/// `QueueFull` naming it; and the queue-depth gauge matches the
+/// queue's actual depth through admit → dispatch.
+#[test]
+fn quotas_weights_and_backpressure_behave() {
+    let svc = service();
+    svc.register("g", &classic::wheel(48)).unwrap();
+    let gateway = Gateway::new(
+        Arc::clone(&svc),
+        &GatewayConfig { queue_capacity: 32, max_wave: 4, ..GatewayConfig::default() },
+    );
+    gateway.set_tenant("whale", TenantPolicy::weighted(4).with_max_queued(24));
+    gateway.set_tenant("minnow", TenantPolicy::weighted(1).with_max_queued(4));
+
+    // Over-quota shed: the 5th queued minnow request trips its quota,
+    // and the error names the tenant.
+    let minnow_tickets: Vec<_> = (0..4)
+        .map(|_| {
+            gateway.submit("minnow", QueryRequest::new("g", Query::TotalTriangles)).unwrap()
+        })
+        .collect();
+    let shed =
+        gateway.submit("minnow", QueryRequest::new("g", Query::TotalTriangles)).unwrap_err();
+    assert_eq!(shed, AdmissionError::QueueFull { capacity: 4, tenant: Some("minnow".into()) });
+
+    // The whale trips its own (larger) quota the same way…
+    let whale_tickets: Vec<_> = (0..24)
+        .map(|_| {
+            gateway.submit("whale", QueryRequest::new("g", Query::PerVertexTriangles)).unwrap()
+        })
+        .collect();
+    let shed =
+        gateway.submit("whale", QueryRequest::new("g", Query::TotalTriangles)).unwrap_err();
+    assert_eq!(shed, AdmissionError::QueueFull { capacity: 24, tenant: Some("whale".into()) });
+
+    // …and an unquota'd tenant filling the rest hits the global bound.
+    let flood_tickets: Vec<_> = (0..4)
+        .map(|_| {
+            gateway.submit("flood", QueryRequest::new("g", Query::TotalTriangles)).unwrap()
+        })
+        .collect();
+    let global =
+        gateway.submit("flood", QueryRequest::new("g", Query::TotalTriangles)).unwrap_err();
+    assert_eq!(global, AdmissionError::QueueFull { capacity: 32, tenant: None });
+
+    // Queue-depth gauge matches actual depth while queued.
+    assert_eq!(gateway.queue_depth(), 32);
+    assert_eq!(
+        gateway.metrics_snapshot().gauge("tcim_gateway_queue_depth"),
+        Some(32),
+        "gauge tracks the queue"
+    );
+
+    // One small wave: the minnow is not starved even though the whale
+    // has 6× its backlog and 4× its weight.
+    gateway.pump();
+    assert!(
+        gateway.tenant_depth("minnow") < 4,
+        "low-weight tenant progressed in the first wave"
+    );
+
+    gateway.run_until_idle();
+    assert_eq!(gateway.queue_depth(), 0);
+    assert_eq!(gateway.metrics_snapshot().gauge("tcim_gateway_queue_depth"), Some(0));
+    for ticket in minnow_tickets.into_iter().chain(whale_tickets).chain(flood_tickets) {
+        ticket.wait().unwrap();
+    }
+    let snapshot = gateway.metrics_snapshot();
+    assert_eq!(snapshot.counter("tcim_gateway_admitted_total"), Some(32));
+    assert_eq!(snapshot.counter("tcim_gateway_served_total"), Some(32));
+    assert_eq!(snapshot.counter("tcim_gateway_shed_quota_total"), Some(2));
+    assert_eq!(snapshot.counter("tcim_gateway_shed_queue_full_total"), Some(1));
+}
+
+/// Deadlines: a request that expires in the queue resolves to
+/// `DeadlineExceeded` instead of being served; fresh requests in the
+/// same wave are unaffected.
+#[test]
+fn expired_deadlines_are_shed_not_served() {
+    let svc = service();
+    svc.register("g", &classic::wheel(16)).unwrap();
+    let gateway = Gateway::new(Arc::clone(&svc), &GatewayConfig::default());
+    let doomed = gateway
+        .submit_with_deadline(
+            "t",
+            QueryRequest::new("g", Query::TotalTriangles),
+            Duration::ZERO,
+        )
+        .unwrap();
+    let fine = gateway.submit("t", QueryRequest::new("g", Query::TotalTriangles)).unwrap();
+    std::thread::sleep(Duration::from_millis(2));
+    gateway.run_until_idle();
+    match doomed.wait() {
+        Err(GatewayError::Admission(AdmissionError::DeadlineExceeded)) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(fine.wait().unwrap().triangles, 15);
+    assert_eq!(
+        gateway.metrics_snapshot().counter("tcim_gateway_shed_deadline_total"),
+        Some(1)
+    );
+}
+
+/// Shutdown drains in-flight work, then sheds new submissions.
+#[test]
+fn shutdown_drains_then_rejects() {
+    let svc = service();
+    svc.register("g", &classic::wheel(16)).unwrap();
+    let gateway = Gateway::new(Arc::clone(&svc), &GatewayConfig::default());
+    let ticket = gateway.submit("t", QueryRequest::new("g", Query::TotalTriangles)).unwrap();
+    gateway.shutdown();
+    assert_eq!(ticket.wait().unwrap().triangles, 15, "queued work drains on shutdown");
+    let refused =
+        gateway.submit("t", QueryRequest::new("g", Query::TotalTriangles)).unwrap_err();
+    assert_eq!(refused, AdmissionError::ShuttingDown);
+}
