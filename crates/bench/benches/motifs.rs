@@ -1,0 +1,76 @@
+//! Motif-query benchmark: what the iterated k-truss peeling and the
+//! chained 4-clique pass cost on top of the anchor triangle run, per
+//! backend, and how the sliced engine compares to the naive reference
+//! oracle it is differentially tested against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcim_core::{Backend, Query, SchedPolicy, TcimConfig, TcimPipeline};
+use tcim_graph::generators::{barabasi_albert, rmat, RmatParams};
+use tcim_graph::oracle;
+
+/// Per-backend motif cost over one prepared power-law artifact: the
+/// peeling rounds re-run kernels per peeled edge, the clique pass
+/// chains a second AND per surviving triangle.
+fn bench_motif_queries(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let g = barabasi_albert(900, 6, 5).unwrap();
+    let prepared = pipeline.prepare(&g);
+    let mut group = c.benchmark_group("motifs");
+    group.sample_size(10);
+    for backend in [
+        Backend::SerialPim,
+        Backend::ScheduledPim(SchedPolicy::with_arrays(4)),
+        Backend::CpuMerge,
+    ] {
+        for query in [Query::KTruss { k: 4 }, Query::FourCliques] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.label(), query.to_string()),
+                &query,
+                |b, query| {
+                    b.iter(|| {
+                        pipeline
+                            .query(black_box(&prepared), &backend, query)
+                            .unwrap()
+                            .triangles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The sliced engine against the naive oracle on the same graph —
+/// the differential harness's two sides, timed head to head.
+fn bench_engine_vs_oracle(c: &mut Criterion) {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let g = rmat(9, 2_600, RmatParams::default(), 17).unwrap();
+    let prepared = pipeline.prepare(&g);
+    let mut group = c.benchmark_group("motifs-vs-oracle");
+    group.sample_size(10);
+    group.bench_function("engine/k-truss", |b| {
+        b.iter(|| {
+            pipeline
+                .query(black_box(&prepared), &Backend::SerialPim, &Query::KTruss { k: 4 })
+                .unwrap()
+                .triangles
+        })
+    });
+    group.bench_function("oracle/k-truss", |b| b.iter(|| oracle::trussness(black_box(&g))));
+    group.bench_function("engine/four-cliques", |b| {
+        b.iter(|| {
+            pipeline
+                .query(black_box(&prepared), &Backend::SerialPim, &Query::FourCliques)
+                .unwrap()
+                .triangles
+        })
+    });
+    group.bench_function("oracle/four-cliques", |b| {
+        b.iter(|| oracle::four_cliques(black_box(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(motifs, bench_motif_queries, bench_engine_vs_oracle);
+criterion_main!(motifs);

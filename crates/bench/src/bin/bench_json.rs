@@ -21,6 +21,10 @@
 //!                                      # read/update traffic at several
 //!                                      # offered loads × coalescing
 //!                                      # on/off (BENCH_9.json)
+//! bench_json --motifs [--out PATH] [--full]
+//!                                      # k-truss + 4-clique sweep per
+//!                                      # backend × generator × encoding,
+//!                                      # oracle-checked (BENCH_10.json)
 //! bench_json --validate PATH           # schema-check an existing file
 //! bench_json --compare OLD NEW [--threshold F]
 //!                                      # per-cell QPS/p99 diff; exits
@@ -179,6 +183,122 @@ fn run(mode: &Mode) -> Json {
         ("mode", Json::String(mode.label.to_string())),
         ("iterations", num_u64(mode.iterations as u64)),
         ("query", Json::String("TotalTriangles".to_string())),
+        ("results", Json::Array(results)),
+    ])
+}
+
+/// The `--motifs` harness (BENCH_10): the k-truss peeling and chained
+/// 4-clique passes per backend × generator × forced encoding, with the
+/// answer's cardinality recorded so the artifact doubles as a coarse
+/// correctness pin — and a self-check against the reference oracle on
+/// every cell before any timing is trusted.
+fn run_motifs(mode: &Mode) -> Json {
+    let motif_queries = [Query::KTruss { k: 4 }, Query::FourCliques];
+    let mut results = Vec::new();
+    for (encoding_label, encoding) in encodings() {
+        let pipeline = TcimPipeline::new(&TcimConfig { encoding, ..TcimConfig::default() })
+            .expect("default config characterizes");
+        for (gen_label, graph) in generators() {
+            let prepared = pipeline.prepare(&graph);
+            let truss_oracle = tcim_graph::oracle::trussness(&graph);
+            let (k4_oracle, _) = tcim_graph::oracle::four_cliques(&graph);
+            for (backend_label, backend) in backends() {
+                for query in &motif_queries {
+                    eprintln!(
+                        "bench_json: motifs {backend_label} × {gen_label} × {encoding_label} \
+                         × {query} ({} iterations)",
+                        mode.iterations
+                    );
+                    for _ in 0..mode.warmup {
+                        pipeline.query(&prepared, &backend, query).expect("warmup succeeds");
+                    }
+                    let mut samples_ns = Vec::with_capacity(mode.iterations);
+                    let mut cardinality = 0u64;
+                    let mut kernel_invocations = 0u64;
+                    let mut slice_pairs = 0u64;
+                    let mut blocks_skipped = 0u64;
+                    let mut compressed_bytes = 0u64;
+                    let mut triangles = 0u64;
+                    let mut modelled_s = 0.0f64;
+                    let started = Instant::now();
+                    for _ in 0..mode.iterations {
+                        let iter_start = Instant::now();
+                        let report = pipeline
+                            .query(&prepared, &backend, query)
+                            .expect("measured query succeeds");
+                        samples_ns.push(iter_start.elapsed().as_nanos() as u64);
+                        cardinality = match &report.value {
+                            QueryValue::KTruss { edges, .. } => {
+                                // Differential self-check: the timed
+                                // engine must agree with the oracle.
+                                assert!(
+                                    edges.iter().zip(&truss_oracle).all(|(e, &(u, v, t))| {
+                                        (e.u, e.v, e.trussness) == (u, v, t)
+                                    }),
+                                    "{backend_label} × {gen_label}: trussness diverged"
+                                );
+                                edges.len() as u64
+                            }
+                            QueryValue::FourCliques { total, .. } => {
+                                assert_eq!(
+                                    *total, k4_oracle,
+                                    "{backend_label} × {gen_label}: 4-clique count diverged"
+                                );
+                                *total
+                            }
+                            other => panic!("unexpected motif answer shape {other:?}"),
+                        };
+                        triangles = report.triangles;
+                        kernel_invocations = report.kernel.kernel_invocations;
+                        slice_pairs = report.kernel.slice_pairs;
+                        blocks_skipped = report.kernel.blocks_skipped;
+                        compressed_bytes = report.compressed_bytes;
+                        modelled_s = report.modelled_time_s.unwrap_or(0.0);
+                    }
+                    let total = started.elapsed();
+                    samples_ns.sort_unstable();
+                    let sum: u64 = samples_ns.iter().sum();
+                    results.push(object([
+                        ("backend", Json::String(backend_label.to_string())),
+                        ("generator", Json::String(gen_label.to_string())),
+                        ("encoding", Json::String(encoding_label.to_string())),
+                        ("query", Json::String(query.label().to_string())),
+                        ("vertices", num_u64(graph.vertex_count() as u64)),
+                        ("edges", num_u64(graph.edge_count() as u64)),
+                        ("triangles", num_u64(triangles)),
+                        ("result_cardinality", num_u64(cardinality)),
+                        ("iterations", num_u64(mode.iterations as u64)),
+                        ("qps", Json::Number(mode.iterations as f64 / total.as_secs_f64())),
+                        (
+                            "latency_ns",
+                            object([
+                                ("min", num_u64(samples_ns[0])),
+                                ("p50", num_u64(percentile(&samples_ns, 0.50))),
+                                ("p90", num_u64(percentile(&samples_ns, 0.90))),
+                                ("p99", num_u64(percentile(&samples_ns, 0.99))),
+                                (
+                                    "max",
+                                    num_u64(*samples_ns.last().expect("non-empty samples")),
+                                ),
+                                ("mean", Json::Number(sum as f64 / samples_ns.len() as f64)),
+                            ]),
+                        ),
+                        ("modelled_time_s", Json::Number(modelled_s)),
+                        ("kernel_invocations", num_u64(kernel_invocations)),
+                        ("slice_pairs", num_u64(slice_pairs)),
+                        ("blocks_skipped", num_u64(blocks_skipped)),
+                        ("compressed_bytes", num_u64(compressed_bytes)),
+                    ]));
+                }
+            }
+        }
+    }
+    object([
+        ("bench", num_u64(10)),
+        ("schema_version", num_u64(2)),
+        ("mode", Json::String(mode.label.to_string())),
+        ("iterations", num_u64(mode.iterations as u64)),
+        ("query", Json::String("motifs".to_string())),
         ("results", Json::Array(results)),
     ])
 }
@@ -389,6 +509,7 @@ fn main() -> ExitCode {
     let mut threshold = 0.25f64;
     let mut mode = &SMOKE;
     let mut load = false;
+    let mut motifs = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -398,6 +519,10 @@ fn main() -> ExitCode {
             }
             "--load" => {
                 load = true;
+                i += 1;
+            }
+            "--motifs" => {
+                motifs = true;
                 i += 1;
             }
             "--validate" if i + 1 < args.len() => {
@@ -425,8 +550,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("bench_json: unknown argument {other:?}");
                 eprintln!(
-                    "usage: bench_json [--load] [--out PATH] [--full] | --validate PATH \
-                     | --compare OLD NEW [--threshold F]"
+                    "usage: bench_json [--load | --motifs] [--out PATH] [--full] \
+                     | --validate PATH | --compare OLD NEW [--threshold F]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -482,9 +607,23 @@ fn main() -> ExitCode {
         };
     }
 
-    let doc = if load { run_load(mode) } else { run(mode) };
-    let out =
-        out.unwrap_or_else(|| if load { "BENCH_9.json" } else { "BENCH_7.json" }.to_string());
+    let doc = if load {
+        run_load(mode)
+    } else if motifs {
+        run_motifs(mode)
+    } else {
+        run(mode)
+    };
+    let out = out.unwrap_or_else(|| {
+        if load {
+            "BENCH_9.json"
+        } else if motifs {
+            "BENCH_10.json"
+        } else {
+            "BENCH_7.json"
+        }
+        .to_string()
+    });
     json::validate_bench(&doc).expect("the harness emits its own schema");
     if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
         eprintln!("bench_json: cannot write {out}: {e}");

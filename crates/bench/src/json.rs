@@ -30,6 +30,11 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
     // "offered_qps" key): those carry admission/coalescing accounting
     // instead of the per-encoding kernel columns.
     let per_load = bench >= 9.0;
+    // BENCH_10 added the motif-query dimension: every entry names the
+    // query shape it timed and the answer's cardinality (truss edges
+    // decomposed / 4-cliques counted), so the artifact doubles as a
+    // coarse correctness pin.
+    let per_query = bench >= 10.0;
     let results = doc
         .get("results")
         .and_then(Json::as_array)
@@ -76,6 +81,13 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             continue;
         }
         let mut numbers = vec!["vertices", "edges", "triangles", "iterations", "qps"];
+        if per_query {
+            entry
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("results[{i}]: missing string \"query\""))?;
+            numbers.push("result_cardinality");
+        }
         if per_encoding {
             let encoding = entry
                 .get("encoding")
@@ -244,6 +256,48 @@ mod tests {
         }
         let err = validate_bench(&doc(stripped)).unwrap_err();
         assert!(err.contains("coalesce"), "{err}");
+    }
+
+    #[test]
+    fn validator_requires_query_shape_from_bench_ten_on() {
+        let mut v10 = minimal_bench();
+        if let Json::Object(map) = &mut v10 {
+            map.insert("bench".to_string(), num_u64(10));
+            if let Some(Json::Array(items)) = map.get_mut("results") {
+                if let Json::Object(entry) = &mut items[0] {
+                    entry.insert("encoding".to_string(), Json::String("dense".to_string()));
+                    for key in [
+                        "kernel_invocations",
+                        "slice_pairs",
+                        "blocks_skipped",
+                        "compressed_bytes",
+                    ] {
+                        entry.insert(key.to_string(), num_u64(1));
+                    }
+                }
+            }
+        }
+        let err = validate_bench(&v10).unwrap_err();
+        assert!(err.contains("query"), "{err}");
+
+        if let Json::Object(map) = &mut v10 {
+            if let Some(Json::Array(items)) = map.get_mut("results") {
+                if let Json::Object(entry) = &mut items[0] {
+                    entry.insert("query".to_string(), Json::String("k-truss".to_string()));
+                }
+            }
+        }
+        let err = validate_bench(&v10).unwrap_err();
+        assert!(err.contains("result_cardinality"), "{err}");
+
+        if let Json::Object(map) = &mut v10 {
+            if let Some(Json::Array(items)) = map.get_mut("results") {
+                if let Json::Object(entry) = &mut items[0] {
+                    entry.insert("result_cardinality".to_string(), num_u64(42));
+                }
+            }
+        }
+        assert_eq!(validate_bench(&v10), Ok(()));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use tcim_bitmatrix::popcount::PopcountMethod;
 use tcim_sched::{SchedPolicy, ScheduledReport, ScheduledRun};
 
 use crate::error::{CoreError, Result};
+use crate::motifs::{self, MotifFlavor, MotifPricing};
 use crate::pipeline::PreparedGraph;
 use crate::query::{self, KernelStats, Query, QueryReport};
 use crate::sharded::{ShardPolicy, ShardProvenance, ShardedBackend};
@@ -64,18 +65,68 @@ pub trait ExecutionBackend {
         need_support: bool,
     ) -> Result<AttributedRun>;
 
+    /// How this backend's motif engine intersects neighbourhoods:
+    /// sliced AND+BitCount kernels by default; the CPU baselines
+    /// override to sorted-list merges, preserving their "zero slice
+    /// pairs" accounting invariant.
+    fn motif_flavor(&self) -> MotifFlavor {
+        MotifFlavor::Sliced
+    }
+
+    /// The cost model motif kernels are priced with, for
+    /// simulated-hardware backends; `None` (the default) leaves the
+    /// modelled time/energy of motif reports at the anchor run's.
+    fn motif_pricing(&self) -> Option<MotifPricing> {
+        None
+    }
+
     /// Answers a typed query over a prepared graph, dispatching to the
     /// cheapest primitive that can answer it: count-only queries run
     /// [`execute`](ExecutionBackend::execute), everything else runs
     /// [`execute_attributed`](ExecutionBackend::execute_attributed).
+    /// Motif queries ([`Query::is_motif`]) anchor on an attributed run
+    /// and then hand over to the motif engine ([`crate::motifs`]),
+    /// which peels / chains further kernels without ever re-slicing.
     ///
     /// # Errors
     ///
     /// As [`ExecutionBackend::execute`], plus [`CoreError::Query`] for
     /// invalid query parameters (e.g. out-of-bounds vertices).
     fn query(&self, prepared: &PreparedGraph, query: &Query) -> Result<QueryReport> {
+        match query {
+            // The k-truss peel seeds from the anchor run's edge
+            // supports (the kernels EdgeSupport already runs).
+            Query::KTruss { k } => {
+                let run = self.execute_attributed(prepared, true)?;
+                return motifs::ktruss_report(
+                    prepared,
+                    query,
+                    run,
+                    self.motif_flavor(),
+                    self.motif_pricing(),
+                    *k,
+                );
+            }
+            // The 4-clique witness pass re-derives the triangle census
+            // as a built-in cross-check against the anchor run.
+            Query::FourCliques => {
+                let run = self.execute_attributed(prepared, false)?;
+                return motifs::four_clique_report(
+                    prepared,
+                    query,
+                    run,
+                    self.motif_flavor(),
+                    self.motif_pricing(),
+                );
+            }
+            _ => {}
+        }
         if !query.needs_attribution() {
             let report = self.execute(prepared)?;
+            let sharding = match &report.detail {
+                BackendDetail::Sharded(provenance) => Some((**provenance).clone()),
+                _ => None,
+            };
             let value = query::shape_count(query, prepared, report.triangles);
             return Ok(QueryReport {
                 backend: report.backend,
@@ -87,12 +138,13 @@ pub trait ExecutionBackend {
                 modelled_energy_j: report.modelled_energy_j,
                 kernel: report.kernel,
                 compressed_bytes: prepared.slice_stats().compressed_bytes,
-                sharding: None,
+                sharding,
             });
         }
         let need_support = matches!(query, Query::EdgeSupport);
         let run = self.execute_attributed(prepared, need_support)?;
         let per_vertex = query::to_original_ids(prepared, &run.per_vertex);
+        let sharding = run.sharding.clone();
         let value = query::shape_attributed(query, prepared, per_vertex, run.support)?;
         Ok(QueryReport {
             backend: run.backend,
@@ -104,7 +156,7 @@ pub trait ExecutionBackend {
             modelled_energy_j: run.modelled_energy_j,
             kernel: run.kernel,
             compressed_bytes: prepared.slice_stats().compressed_bytes,
-            sharding: None,
+            sharding,
         })
     }
 }
@@ -131,6 +183,10 @@ pub struct AttributedRun {
     pub modelled_energy_j: Option<f64>,
     /// Normalized kernel accounting (includes the readouts).
     pub kernel: KernelStats,
+    /// Shard-level provenance, carried only by sharded executions so
+    /// every query shape (including the motif queries, which consume
+    /// the run whole) reports it without a backend-specific override.
+    pub sharding: Option<ShardProvenance>,
 }
 
 /// Backend-specific payload of a [`CountReport`].
@@ -355,7 +411,13 @@ impl ExecutionBackend for SerialPimBackend<'_> {
             modelled_time_s: Some(sim.total_time_s()),
             modelled_energy_j: Some(sim.total_energy_j()),
             kernel: kernel_from_stats(&sim.stats),
+            sharding: None,
         })
+    }
+
+    fn motif_pricing(&self) -> Option<MotifPricing> {
+        // The serial engine runs every kernel on its one array.
+        Some(MotifPricing::new(self.engine.cost_model(), SchedPolicy::with_arrays(1)))
     }
 }
 
@@ -431,7 +493,14 @@ impl ExecutionBackend for ScheduledPimBackend<'_> {
             modelled_time_s: Some(run.report.critical_path_s),
             modelled_energy_j: Some(run.report.total_energy_j),
             kernel: kernel_from_stats(&run.report.stats),
+            sharding: None,
         })
+    }
+
+    fn motif_pricing(&self) -> Option<MotifPricing> {
+        // Peel passes and chained-AND waves are placed across the same
+        // arrays, under the same policy, as the triangle kernels.
+        Some(MotifPricing::new(self.costs, self.policy.clone()))
     }
 }
 
@@ -499,6 +568,7 @@ impl ExecutionBackend for SoftwareBackend {
                 result_readouts: 0,
                 blocks_skipped: run.blocks_skipped,
             },
+            sharding: None,
         })
     }
 }
@@ -591,7 +661,12 @@ impl ExecutionBackend for CpuMergeBackend {
             modelled_time_s: None,
             modelled_energy_j: None,
             kernel: cpu_kernel(prepared),
+            sharding: None,
         })
+    }
+
+    fn motif_flavor(&self) -> MotifFlavor {
+        MotifFlavor::Adjacency
     }
 }
 
@@ -663,7 +738,12 @@ impl ExecutionBackend for CpuForwardBackend {
             modelled_time_s: None,
             modelled_energy_j: None,
             kernel: cpu_kernel(prepared),
+            sharding: None,
         })
+    }
+
+    fn motif_flavor(&self) -> MotifFlavor {
+        MotifFlavor::Adjacency
     }
 }
 

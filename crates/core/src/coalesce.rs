@@ -27,11 +27,22 @@
 //! one-at-a-time execution of the same member would have produced —
 //! floating-point clustering coefficients included, since they are
 //! computed from the same integer inputs by the same expressions.
+//!
+//! **Motif queries** are not projections of those quantities, so they
+//! form their own coalescing classes alongside the classic carrier:
+//! all [`Query::KTruss`] members share one decomposition run (the
+//! value carries *every* edge's trussness, so members differing only
+//! in `k` re-filter without re-peeling) and all [`Query::FourCliques`]
+//! members share one chained-AND run. A mixed batch therefore performs
+//! one execution per non-empty class — still far fewer than one per
+//! member — and `carrier` reports the classic class's carrier shape.
 
 use crate::backend::Backend;
 use crate::error::Result;
 use crate::pipeline::{PreparedGraph, TcimPipeline};
-use crate::query::{original_degrees, shape_value, EdgeSupport, Query, QueryReport};
+use crate::query::{
+    original_degrees, shape_value, EdgeSupport, Query, QueryReport, QueryValue,
+};
 
 /// The outcome of answering a batch of queries through one carrier
 /// execution: per-member reports (in input order) plus the execution
@@ -42,11 +53,13 @@ pub struct CoalescedOutcome {
     /// can fail shaping (an out-of-bounds local-clustering vertex)
     /// without failing their batch-mates.
     pub reports: Vec<Result<QueryReport>>,
-    /// Attributed executions actually performed: `1` for a non-empty
-    /// batch, `0` for an empty one. The saving is
+    /// Executions actually performed: one per non-empty coalescing
+    /// class (classic carrier, k-truss decomposition, 4-clique run),
+    /// `0` for an empty batch. The saving is
     /// `queries answered − executions`.
     pub executions: u64,
-    /// The carrier query shape that ran, when one did.
+    /// The carrier query shape of the *classic* class, when one ran
+    /// (`None` for empty or motif-only batches).
     pub carrier: Option<Query>,
 }
 
@@ -104,47 +117,104 @@ impl TcimPipeline {
         if queries.is_empty() {
             return Ok(CoalescedOutcome { reports: Vec::new(), executions: 0, carrier: None });
         }
-        let carrier = carrier_for(queries);
-        let report = self.query(prepared, spec, &carrier)?;
+        let mut slots: Vec<Option<Result<QueryReport>>> =
+            queries.iter().map(|_| None).collect();
+        let mut executions = 0u64;
 
-        let support: Option<Vec<EdgeSupport>> = match &report.value {
-            crate::query::QueryValue::EdgeSupport(list) => Some(list.clone()),
-            _ => None,
-        };
-        let per_vertex: Vec<u64> = match (&report.value, &support) {
-            (crate::query::QueryValue::PerVertex(pv), _) => pv.clone(),
-            (_, Some(list)) => per_vertex_from_support(list, prepared.key().vertices),
-            _ => Vec::new(),
-        };
-        // Degrees are re-read from the prepared DAG exactly as the
-        // unbatched shaping path reads them, so clustering members stay
-        // bit-identical regardless of which carrier ran.
-        let degrees: Vec<u64> = if queries
-            .iter()
-            .any(|q| matches!(q, Query::LocalClustering { .. } | Query::GlobalClustering))
-        {
-            original_degrees(prepared)
-        } else {
-            Vec::new()
-        };
+        // The k-truss class: one decomposition answers every member —
+        // the value carries the full trussness map, so members that
+        // only differ in `k` re-filter the same edges.
+        let ktruss: Vec<usize> = (0..queries.len())
+            .filter(|&i| matches!(queries[i], Query::KTruss { .. }))
+            .collect();
+        if let Some(&first) = ktruss.first() {
+            executions += 1;
+            let base = self.query(prepared, spec, &queries[first])?;
+            let edges = base
+                .value
+                .trussness()
+                .expect("a k-truss query always yields a k-truss value")
+                .to_vec();
+            for &i in &ktruss {
+                let Query::KTruss { k } = queries[i] else { unreachable!() };
+                slots[i] = Some(Ok(QueryReport {
+                    query: queries[i].clone(),
+                    value: QueryValue::KTruss { k, edges: edges.clone() },
+                    ..base.clone()
+                }));
+            }
+        }
 
-        let reports = queries
-            .iter()
-            .map(|query| {
+        // The 4-clique class: members are identical; run once, share.
+        let cliques: Vec<usize> =
+            (0..queries.len()).filter(|&i| matches!(queries[i], Query::FourCliques)).collect();
+        if !cliques.is_empty() {
+            executions += 1;
+            let base = self.query(prepared, spec, &Query::FourCliques)?;
+            for &i in &cliques {
+                slots[i] = Some(Ok(base.clone()));
+            }
+        }
+
+        // The classic class: one carrier execution, attribution fanned
+        // out through the shared shaping path.
+        let classic: Vec<(usize, &Query)> =
+            queries.iter().enumerate().filter(|(_, q)| !q.is_motif()).collect();
+        let mut carrier = None;
+        if !classic.is_empty() {
+            executions += 1;
+            let members: Vec<Query> = classic.iter().map(|(_, q)| (*q).clone()).collect();
+            let carrier_query = carrier_for(&members);
+            let report = self.query(prepared, spec, &carrier_query)?;
+            carrier = Some(carrier_query);
+
+            let support: Option<Vec<EdgeSupport>> = match &report.value {
+                QueryValue::EdgeSupport(list) => Some(list.clone()),
+                _ => None,
+            };
+            let per_vertex: Vec<u64> = match (&report.value, &support) {
+                (QueryValue::PerVertex(pv), _) => pv.clone(),
+                (_, Some(list)) => per_vertex_from_support(list, prepared.key().vertices),
+                _ => Vec::new(),
+            };
+            // Degrees are re-read from the prepared DAG exactly as the
+            // unbatched shaping path reads them, so clustering members
+            // stay bit-identical regardless of which carrier ran.
+            let degrees: Vec<u64> = if members
+                .iter()
+                .any(|q| matches!(q, Query::LocalClustering { .. } | Query::GlobalClustering))
+            {
+                original_degrees(prepared)
+            } else {
+                Vec::new()
+            };
+
+            for (i, query) in classic {
                 let member_support = matches!(query, Query::EdgeSupport).then(|| {
                     support.clone().expect("edge-support carrier ran for this batch")
                 });
-                let value = shape_value(
-                    query,
-                    report.triangles,
-                    &per_vertex,
-                    &degrees,
-                    member_support,
-                )?;
-                Ok(QueryReport { query: query.clone(), value, ..report.clone() })
-            })
+                slots[i] = Some(
+                    shape_value(
+                        query,
+                        report.triangles,
+                        &per_vertex,
+                        &degrees,
+                        member_support,
+                    )
+                    .map(|value| QueryReport {
+                        query: query.clone(),
+                        value,
+                        ..report.clone()
+                    }),
+                );
+            }
+        }
+
+        let reports = slots
+            .into_iter()
+            .map(|slot| slot.expect("every member belongs to exactly one class"))
             .collect();
-        Ok(CoalescedOutcome { reports, executions: 1, carrier: Some(carrier) })
+        Ok(CoalescedOutcome { reports, executions, carrier })
     }
 }
 
@@ -236,6 +306,57 @@ mod tests {
         assert_eq!(outcome.executions, 0);
         assert!(outcome.reports.is_empty());
         assert!(outcome.carrier.is_none());
+    }
+
+    /// The k-truss class shares one decomposition across members that
+    /// differ only in `k`, and a mixed batch pays one execution per
+    /// non-empty class while staying bit-identical to solo serving.
+    #[test]
+    fn motif_classes_coalesce_without_changing_answers() {
+        let p = pipeline();
+        let g = barabasi_albert(120, 5, 3).unwrap();
+        let prepared = p.prepare(&g);
+        let batch = vec![
+            Query::KTruss { k: 3 },
+            Query::TotalTriangles,
+            Query::FourCliques,
+            Query::KTruss { k: 4 },
+            Query::EdgeSupport,
+        ];
+        let outcome = p.query_coalesced(&prepared, &Backend::SerialPim, &batch).unwrap();
+        // Three classes ran: classic carrier, k-truss, 4-clique.
+        assert_eq!(outcome.executions, 3);
+        assert_eq!(outcome.carrier, Some(Query::EdgeSupport));
+        for (query, coalesced) in batch.iter().zip(&outcome.reports) {
+            let coalesced = coalesced.as_ref().unwrap();
+            let solo = p.query(&prepared, &Backend::SerialPim, query).unwrap();
+            assert_eq!(coalesced.value, solo.value, "{query}");
+            assert_eq!(&coalesced.query, query);
+        }
+        // Both k-truss members carry the same full decomposition with
+        // their own k.
+        let (t3, t4) =
+            (outcome.reports[0].as_ref().unwrap(), outcome.reports[3].as_ref().unwrap());
+        assert_eq!(t3.value.trussness(), t4.value.trussness());
+        assert!(
+            t3.value.truss_members().unwrap().len() >= t4.value.truss_members().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn motif_only_batches_have_no_classic_carrier() {
+        let p = pipeline();
+        let prepared = p.prepare(&classic::wheel(10));
+        let outcome = p
+            .query_coalesced(
+                &prepared,
+                &Backend::CpuMerge,
+                &[Query::KTruss { k: 3 }, Query::KTruss { k: 4 }],
+            )
+            .unwrap();
+        assert_eq!(outcome.executions, 1);
+        assert!(outcome.carrier.is_none());
+        assert!(outcome.reports.iter().all(|r| r.is_ok()));
     }
 
     #[test]

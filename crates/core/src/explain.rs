@@ -172,9 +172,18 @@ pub struct ShardPlanSummary {
 /// What the cost model predicts the run will do and cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PredictedCost {
-    /// The exact kernel census the run will produce (bit-exact on
-    /// deterministic backends; property-tested in `tests/explain.rs`).
+    /// The kernel census of the *anchor* execution. When
+    /// [`exact`](PredictedCost::exact) is set this is the run's full,
+    /// bit-exact census (property-tested in `tests/explain.rs`); for
+    /// motif queries it covers only the anchoring attributed pass —
+    /// the data-dependent peeling / chained-AND rounds on top cannot
+    /// be counted without running them.
     pub census: KernelCensus,
+    /// Whether [`census`](PredictedCost::census) is the run's complete
+    /// kernel census. `false` for motif queries
+    /// ([`Query::is_motif`](crate::Query::is_motif)), whose extra
+    /// rounds are data-dependent.
+    pub exact: bool,
     /// The cost model's modelled-latency estimate (s). `None` for host
     /// backends, which have no modelled time to predict.
     pub modelled_s: Option<f64>,
@@ -232,8 +241,13 @@ impl ExplainReport {
     }
 
     /// Whether the predicted census matched the measured run exactly
-    /// (`None` until a measurement is attached).
+    /// (`None` until a measurement is attached, and `None` for plans
+    /// whose census is not exact — motif queries run data-dependent
+    /// rounds the anchor census deliberately excludes).
     pub fn census_matches(&self) -> Option<bool> {
+        if !self.predicted.exact {
+            return None;
+        }
         self.measured.as_ref().map(|m| self.predicted.census.matches(&m.kernel))
     }
 }
@@ -261,7 +275,16 @@ impl fmt::Display for ExplainReport {
             if self.cache.prepared_cache_hit { "hit" } else { "miss" },
             sharded_cache
         )?;
-        writeln!(f, "  predicted  {}", self.predicted.census)?;
+        writeln!(
+            f,
+            "  predicted  {}{}",
+            self.predicted.census,
+            if self.predicted.exact {
+                ""
+            } else {
+                "  (anchor pass only; motif rounds on top)"
+            }
+        )?;
         if let Some(s) = self.predicted.modelled_s {
             writeln!(f, "  modelled   {s:.3e} s (cost model)")?;
         }
@@ -466,6 +489,7 @@ impl TcimPipeline {
             cache,
             predicted: PredictedCost {
                 census,
+                exact: !query.is_motif(),
                 modelled_s: self.predicted_modelled_s(prepared, spec),
             },
             sched,
@@ -613,6 +637,32 @@ mod tests {
         assert!(text.contains("EXPLAIN"));
         assert!(text.contains("cpu-merge"));
         assert!(text.contains("exact match"));
+    }
+
+    /// Motif plans carry the anchor pass's census but are marked
+    /// inexact: the peeling / chained-AND rounds on top are
+    /// data-dependent, so `census_matches` must stay `None` even after
+    /// a measurement is attached (the measured kernel counts are a
+    /// strict superset of the anchor census).
+    #[test]
+    fn motif_plans_are_census_inexact() {
+        let p = pipeline();
+        let g = gnm(150, 900, 5).unwrap();
+        for query in [Query::KTruss { k: 3 }, Query::FourCliques] {
+            let mut plan = p.explain(&g, &Backend::SerialPim, &query).unwrap();
+            assert!(!plan.predicted.exact, "{query}");
+            assert!(plan.to_string().contains("anchor pass only"));
+            let report = p.query(&p.prepare(&g), &Backend::SerialPim, &query).unwrap();
+            assert!(
+                report.kernel.kernel_invocations > plan.predicted.census.kernel_invocations,
+                "{query}: motif rounds add kernels on top of the anchor pass"
+            );
+            plan.attach_measured(&report);
+            assert_eq!(plan.census_matches(), None, "{query}");
+        }
+        // Classic plans are unaffected.
+        let plan = p.explain(&g, &Backend::SerialPim, &Query::TotalTriangles).unwrap();
+        assert!(plan.predicted.exact);
     }
 
     #[test]

@@ -100,6 +100,7 @@ mod error;
 pub mod experiments;
 pub mod explain;
 pub mod metrics;
+pub mod motifs;
 pub mod pipeline;
 pub mod query;
 pub mod reported;
@@ -116,9 +117,12 @@ pub use explain::{
     CacheProvenance, EncodingDecision, ExplainReport, KernelCensus, MeasuredCost,
     PredictedCost, SchedPlanSummary, ShardPieceSummary, ShardPlanSummary,
 };
+pub use motifs::{
+    four_cliques_from_adjacency, ktruss_value_from_adjacency, MotifFlavor, MotifPricing,
+};
 pub use pipeline::{PreparedCache, PreparedGraph, PreparedKey, PreparedPricing, TcimPipeline};
 pub use query::{
-    EdgeSupport, KernelStats, Query, QueryReport, QueryValue, VertexClustering,
+    EdgeSupport, EdgeTruss, KernelStats, Query, QueryReport, QueryValue, VertexClustering,
     VertexTriangles,
 };
 pub use sharded::{

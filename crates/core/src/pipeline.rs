@@ -550,6 +550,7 @@ impl TcimPipeline {
             execute_time: report.execute_time,
             modelled_time_s: report.modelled_time_s,
             predicted_modelled_s: self.predicted_modelled_s(prepared, spec),
+            query: None,
         });
         Ok(report)
     }
@@ -591,6 +592,7 @@ impl TcimPipeline {
             execute_time: report.execute_time,
             modelled_time_s: report.modelled_time_s,
             predicted_modelled_s: self.predicted_modelled_s(prepared, spec),
+            query: Some(query.label()),
         });
         Ok(report)
     }
@@ -619,6 +621,7 @@ impl TcimPipeline {
                     execute_time: report.execute_time,
                     modelled_time_s: report.modelled_time_s,
                     predicted_modelled_s: self.predicted_modelled_s(prepared, spec),
+                    query: Some(q.label()),
                 });
                 Ok(report)
             })

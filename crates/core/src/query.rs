@@ -86,6 +86,18 @@ pub enum Query {
         /// How many vertices to return.
         k: usize,
     },
+    /// The maximal k-truss edge set plus per-edge trussness, computed
+    /// by iterated support peeling over the same AND+BitCount kernels
+    /// (one deletion-delta kernel per peeled edge, never a re-slice).
+    KTruss {
+        /// The truss level: members must close at least `k − 2`
+        /// triangles inside the truss. Levels below 3 return every
+        /// edge (the 2-truss is the whole graph).
+        k: u32,
+    },
+    /// Total and per-vertex 4-clique counts, computed by chaining a
+    /// second AND over each triangle's witness row.
+    FourCliques,
 }
 
 impl Query {
@@ -98,6 +110,8 @@ impl Query {
             Query::GlobalClustering => "global-clustering",
             Query::EdgeSupport => "edge-support",
             Query::TopKVertices { .. } => "top-k-vertices",
+            Query::KTruss { .. } => "k-truss",
+            Query::FourCliques => "four-cliques",
         }
     }
 
@@ -107,8 +121,10 @@ impl Query {
         !matches!(self, Query::TotalTriangles | Query::GlobalClustering)
     }
 
-    /// One representative of every query shape — test grids and
-    /// benchmark workloads iterate this.
+    /// One representative of every *triangle-quantity* query shape —
+    /// the shapes a single attributed carrier execution can answer.
+    /// Test grids and benchmark workloads iterate this;
+    /// [`Query::extended_suite`] adds the motif shapes on top.
     pub fn example_suite() -> Vec<Query> {
         vec![
             Query::TotalTriangles,
@@ -119,6 +135,22 @@ impl Query {
             Query::TopKVertices { k: 5 },
         ]
     }
+
+    /// [`Query::example_suite`] plus one representative of every motif
+    /// shape (k-truss, 4-clique) — the full query surface.
+    pub fn extended_suite() -> Vec<Query> {
+        let mut suite = Query::example_suite();
+        suite.push(Query::KTruss { k: 3 });
+        suite.push(Query::FourCliques);
+        suite
+    }
+
+    /// Whether this query is answered by the motif engine (iterated
+    /// peeling / chained AND) rather than shaped from the triangle
+    /// quantities of a single attributed execution.
+    pub fn is_motif(&self) -> bool {
+        matches!(self, Query::KTruss { .. } | Query::FourCliques)
+    }
 }
 
 impl fmt::Display for Query {
@@ -128,6 +160,7 @@ impl fmt::Display for Query {
                 write!(f, "local-clustering[{} vertices]", v.len())
             }
             Query::TopKVertices { k } => write!(f, "top-{k}-vertices"),
+            Query::KTruss { k } => write!(f, "{k}-truss"),
             _ => f.write_str(self.label()),
         }
     }
@@ -155,6 +188,18 @@ pub struct EdgeSupport {
     pub v: u32,
     /// Triangles containing the edge `{u, v}`.
     pub support: u64,
+}
+
+/// One edge's entry in a [`QueryValue::KTruss`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeTruss {
+    /// Smaller endpoint (input-graph id).
+    pub u: u32,
+    /// Larger endpoint (input-graph id).
+    pub v: u32,
+    /// The largest `k` such that the edge belongs to the k-truss
+    /// (2 for edges in no triangle).
+    pub trussness: u32,
 }
 
 /// One vertex's entry in a [`QueryValue::TopK`].
@@ -190,8 +235,29 @@ pub enum QueryValue {
     /// Answer to [`Query::EdgeSupport`], every edge once, ascending
     /// `(u, v)`.
     EdgeSupport(Vec<EdgeSupport>),
-    /// Answer to [`Query::TopKVertices`], descending triangle count.
+    /// Answer to [`Query::TopKVertices`], descending triangle count,
+    /// ties broken by ascending **input** vertex id — deterministic
+    /// and backend-independent even when every vertex ties (regular
+    /// graphs), because ranking always runs over the input-id
+    /// `per_vertex` array, never the oriented ordering.
     TopK(Vec<VertexTriangles>),
+    /// Answer to [`Query::KTruss`]: the full trussness decomposition
+    /// (every edge once, ascending `(u, v)`), with the queried level
+    /// carried so members can be filtered without re-peeling.
+    KTruss {
+        /// The queried truss level.
+        k: u32,
+        /// Every edge's trussness, ascending `(u, v)`.
+        edges: Vec<EdgeTruss>,
+    },
+    /// Answer to [`Query::FourCliques`].
+    FourCliques {
+        /// Total 4-cliques in the graph.
+        total: u64,
+        /// 4-cliques through each vertex, indexed by input-graph id
+        /// (sums to `4 × total`).
+        per_vertex: Vec<u64>,
+    },
 }
 
 impl QueryValue {
@@ -233,6 +299,35 @@ impl QueryValue {
     pub fn top_k(&self) -> Option<&[VertexTriangles]> {
         match self {
             QueryValue::TopK(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The full trussness decomposition, when this is a
+    /// [`QueryValue::KTruss`].
+    pub fn trussness(&self) -> Option<&[EdgeTruss]> {
+        match self {
+            QueryValue::KTruss { edges, .. } => Some(edges),
+            _ => None,
+        }
+    }
+
+    /// The maximal k-truss members at the queried level — edges with
+    /// trussness at least `k` — when this is a [`QueryValue::KTruss`].
+    pub fn truss_members(&self) -> Option<Vec<(u32, u32)>> {
+        match self {
+            QueryValue::KTruss { k, edges } => {
+                Some(edges.iter().filter(|e| e.trussness >= *k).map(|e| (e.u, e.v)).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// The `(total, per_vertex)` 4-clique counts, when this is a
+    /// [`QueryValue::FourCliques`].
+    pub fn four_cliques(&self) -> Option<(u64, &[u64])> {
+        match self {
+            QueryValue::FourCliques { total, per_vertex } => Some((*total, per_vertex)),
             _ => None,
         }
     }
@@ -443,6 +538,16 @@ pub fn shape_value(
         Query::EdgeSupport => Ok(QueryValue::EdgeSupport(
             edge_support.expect("edge-support queries always carry the per-edge list"),
         )),
+        // Motif queries are not projections of the triangle quantities:
+        // they need the iterated peeling / chained-AND engine
+        // (`crate::motifs`), which every dispatch path routes them to
+        // before shaping. Reaching here is a routing bug.
+        Query::KTruss { .. } | Query::FourCliques => Err(CoreError::Query {
+            reason: format!(
+                "{query} is a motif query; it is answered by the motif engine, \
+                 not shaped from triangle quantities"
+            ),
+        }),
     }
 }
 

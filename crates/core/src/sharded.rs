@@ -20,11 +20,11 @@
 //!   [`TcimPipeline`](crate::TcimPipeline) partition and re-slice
 //!   nothing.
 //! * [`ShardedBackend`] — the [`ExecutionBackend`] answering every
-//!   [`Query`] shape: shards run concurrently through the `tcim-sched`
+//!   [`Query`](crate::Query) shape: shards run concurrently through the `tcim-sched`
 //!   executor, the composition pass rides its delta-job machinery, and
 //!   partial results merge deterministically in shard/array order.
 //! * [`ShardProvenance`] — shard-count / imbalance / boundary-edge
-//!   provenance, surfaced on [`QueryReport`] and `tcim-service`'s
+//!   provenance, surfaced on [`QueryReport`](crate::QueryReport) and `tcim-service`'s
 //!   `QueryResponse`.
 //!
 //! **Exactness.** Shard ranges are contiguous in oriented-id order and
@@ -53,8 +53,9 @@ use crate::backend::{
     AttributedRun, Backend, BackendDetail, CountReport, ExecutionBackend, ScheduledPimBackend,
 };
 use crate::error::{CoreError, Result};
+use crate::motifs::MotifPricing;
 use crate::pipeline::{PreparedGraph, PreparedKey};
-use crate::query::{self, KernelStats, Query, QueryReport};
+use crate::query::KernelStats;
 
 /// Value-level selection of a sharded execution: how to partition and
 /// what each piece runs on.
@@ -286,7 +287,7 @@ impl ShardedPreparedGraph {
 }
 
 /// Shard-level provenance of a sharded execution, surfaced on
-/// [`QueryReport`] and the service's `QueryResponse`.
+/// [`QueryReport`](crate::QueryReport) and the service's `QueryResponse`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardProvenance {
     /// Configured shard count.
@@ -484,7 +485,7 @@ struct ShardedOutcome {
 }
 
 /// Sharded execution over a prepared graph: intra-shard scheduled runs
-/// plus the cross-shard composition pass, answering every [`Query`]
+/// plus the cross-shard composition pass, answering every [`Query`](crate::Query)
 /// shape.
 ///
 /// Bound through a [`TcimPipeline`](crate::TcimPipeline) the backend
@@ -757,46 +758,19 @@ impl ExecutionBackend for ShardedBackend<'_> {
             modelled_time_s: Some(out.modelled_time_s),
             modelled_energy_j: Some(out.modelled_energy_j),
             kernel: out.kernel,
+            sharding: Some(out.provenance),
         })
     }
 
-    fn query(&self, prepared: &PreparedGraph, query: &Query) -> Result<QueryReport> {
-        // Same dispatch as the provided method, plus shard provenance.
-        if !query.needs_attribution() {
-            let (out, wall) = self.run(prepared, false, false)?;
-            let value = query::shape_count(query, prepared, out.triangles);
-            return Ok(QueryReport {
-                backend: self.name(),
-                query: query.clone(),
-                value,
-                triangles: out.triangles,
-                execute_time: wall,
-                modelled_time_s: Some(out.modelled_time_s),
-                modelled_energy_j: Some(out.modelled_energy_j),
-                kernel: out.kernel,
-                compressed_bytes: prepared.slice_stats().compressed_bytes,
-                sharding: Some(out.provenance),
-            });
-        }
-        let need_support = matches!(query, Query::EdgeSupport);
-        let (out, wall) = self.run(prepared, true, need_support)?;
-        let per_vertex = query::to_original_ids(
-            prepared,
-            out.per_vertex.as_deref().expect("attributed runs always tally"),
-        );
-        let value = query::shape_attributed(query, prepared, per_vertex, out.support)?;
-        Ok(QueryReport {
-            backend: self.name(),
-            query: query.clone(),
-            value,
-            triangles: out.triangles,
-            execute_time: wall,
-            modelled_time_s: Some(out.modelled_time_s),
-            modelled_energy_j: Some(out.modelled_energy_j),
-            kernel: out.kernel,
-            compressed_bytes: prepared.slice_stats().compressed_bytes,
-            sharding: Some(out.provenance),
-        })
+    // Query dispatch (including the motif engines) is the provided
+    // trait method: shard provenance flows through the run itself
+    // (`AttributedRun::sharding` / `BackendDetail::Sharded`), and the
+    // peeling / chained-AND rounds are priced under the *inner*
+    // scheduling policy — post-composition delta work is planned across
+    // the same arrays a shard runs on.
+
+    fn motif_pricing(&self) -> Option<MotifPricing> {
+        Some(MotifPricing::new(self.engine.cost_model(), self.policy.inner.clone()))
     }
 }
 
@@ -805,6 +779,7 @@ mod tests {
     use super::*;
     use crate::accelerator::TcimConfig;
     use crate::pipeline::TcimPipeline;
+    use crate::query::Query;
     use tcim_graph::generators::gnm;
 
     fn pipeline() -> TcimPipeline {

@@ -56,6 +56,13 @@ pub struct ExecutionSample<'a> {
     /// latency (s), when the backend has one — feeds the
     /// `tcim_model_error_permille` calibration histograms.
     pub predicted_modelled_s: Option<f64>,
+    /// The answered query's stable label ([`Query::label`]), when the
+    /// execution served a typed query — feeds the per-variant
+    /// `tcim_query_variant_total` series. `None` for plain count
+    /// executions.
+    ///
+    /// [`Query::label`]: crate::Query::label
+    pub query: Option<&'a str>,
 }
 
 /// Per-pipeline metric instruments, recorded at execution boundaries.
@@ -78,6 +85,7 @@ pub struct PipelineMetrics {
     modelled_latency: Histogram,
     model_error: Histogram,
     labelled: Arc<Mutex<BTreeMap<String, LabelledSeries>>>,
+    query_variants: Arc<Mutex<BTreeMap<String, u64>>>,
 }
 
 impl Default for PipelineMetrics {
@@ -138,6 +146,7 @@ impl PipelineMetrics {
                  time against the executed run's, in permille",
             ),
             labelled: Arc::new(Mutex::new(BTreeMap::new())),
+            query_variants: Arc::new(Mutex::new(BTreeMap::new())),
             registry,
         }
     }
@@ -188,6 +197,13 @@ impl PipelineMetrics {
         if let Some(err) = error_permille {
             series.model_error.observe(err);
         }
+        drop(labelled);
+
+        if let Some(query) = sample.query {
+            let mut variants =
+                self.query_variants.lock().expect("metrics mutex is never poisoned");
+            *variants.entry(format!("query=\"{query}\"")).or_insert(0) += 1;
+        }
     }
 
     /// Records one prepared-graph build (a prepare that did the work
@@ -237,6 +253,15 @@ impl PipelineMetrics {
                 );
             }
         }
+        let variants = self.query_variants.lock().expect("metrics mutex is never poisoned");
+        for (labels, &count) in variants.iter() {
+            snapshot.push_labelled_counter(
+                "tcim_query_variant_total",
+                "typed queries answered, by query shape",
+                labels,
+                count,
+            );
+        }
         snapshot
     }
 }
@@ -258,6 +283,7 @@ mod tests {
             execute_time: Duration::from_micros(10),
             modelled_time_s: modelled,
             predicted_modelled_s: predicted,
+            query: None,
         }
     }
 
@@ -345,6 +371,40 @@ mod tests {
         assert_eq!(snap.counter("tcim_prepared_builds_total"), Some(3));
         assert_eq!(snap.counter("tcim_encoding_selected_dense_total"), Some(2));
         assert_eq!(snap.counter("tcim_encoding_selected_sparse_total"), Some(1));
+    }
+
+    #[test]
+    fn query_variants_split_into_per_shape_series() {
+        let m = PipelineMetrics::new();
+        let k = KernelStats::default();
+        m.record_execution(&ExecutionSample {
+            query: Some("k-truss"),
+            ..sample("tcim-serial", &k, None, None)
+        });
+        m.record_execution(&ExecutionSample {
+            query: Some("k-truss"),
+            ..sample("cpu-merge", &k, None, None)
+        });
+        m.record_execution(&ExecutionSample {
+            query: Some("four-cliques"),
+            ..sample("tcim-serial", &k, None, None)
+        });
+        // A plain count execution carries no query label and records no variant.
+        m.record_execution(&sample("tcim-serial", &k, None, None));
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.labelled_counter("tcim_query_variant_total", "query=\"k-truss\""),
+            Some(2)
+        );
+        assert_eq!(
+            snap.labelled_counter("tcim_query_variant_total", "query=\"four-cliques\""),
+            Some(1)
+        );
+        assert_eq!(
+            snap.labelled_counter("tcim_query_variant_total", "query=\"total-triangles\""),
+            None
+        );
+        assert_eq!(snap.counter("tcim_executions_total"), Some(4));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   Equation (5) count each triangle exactly once.
 //! * [`components`] — connected components and the largest-component
 //!   extraction SNAP datasets conventionally apply.
+//! * [`oracle`] — naive, obviously-correct reference implementations of
+//!   the motif analytics (k-truss trussness, 4-clique counts) that the
+//!   accelerated kernel paths are differentially tested against.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod datasets;
 mod error;
 pub mod generators;
 pub mod io;
+pub mod oracle;
 mod orientation;
 mod stats;
 

@@ -1,0 +1,277 @@
+//! Naive reference oracles for motif queries: k-truss decomposition
+//! and 4-clique counting by direct definition-chasing enumeration.
+//!
+//! The accelerated paths (`tcim-core`'s peeling engine and chained-AND
+//! clique kernels) are subtle: peeling is iterative and order-
+//! sensitive, and 4-clique attribution double-counts easily. These
+//! oracles are the differential anchor — deliberately slow, obviously
+//! correct, and shared by every integration test:
+//!
+//! * [`trussness`] — per-edge trussness by **repeated support
+//!   recomputation**: at each level `k`, every live edge's support is
+//!   recounted from scratch over the surviving edge set before peeling,
+//!   so no incremental bookkeeping can hide a bug.
+//! * [`ktruss_edges`] — the maximal k-truss edge set, filtered from
+//!   the trussness map.
+//! * [`four_cliques`] — total and per-vertex 4-clique counts by
+//!   quadruple enumeration anchored at each clique's two smallest
+//!   vertices, so each `K_4` is visited exactly once.
+//!
+//! # Golden fixtures
+//!
+//! The closed-form graphs of [`generators::classic`] have hand-derived
+//! truth, doc-tested here so the oracle itself is pinned:
+//!
+//! The paper's Fig. 2 graph (two triangles sharing edge `1–2`): every
+//! edge lies in a triangle whose other two edges survive with it up to
+//! level 3, and none survives level 4 — all five edges have trussness
+//! exactly 3, and the 4-vertex graph has no 4-clique.
+//!
+//! ```
+//! use tcim_graph::generators::classic;
+//! use tcim_graph::oracle;
+//!
+//! let g = classic::fig2_example();
+//! let truss = oracle::trussness(&g);
+//! assert_eq!(truss.len(), 5);
+//! assert!(truss.iter().all(|&(_, _, t)| t == 3));
+//! assert_eq!(oracle::ktruss_edges(&g, 3).len(), 5);
+//! assert!(oracle::ktruss_edges(&g, 4).is_empty());
+//! assert_eq!(oracle::four_cliques(&g), (0, vec![0, 0, 0, 0]));
+//! ```
+//!
+//! A wheel: rim edges have support 1, spokes support 2, but peeling at
+//! level 4 removes every rim edge (support 1 < 2) and the spokes
+//! cascade to support 0 — the whole wheel is a 3-truss and the 4-truss
+//! is empty. The wheel contains no 4-clique (any four vertices include
+//! two non-adjacent rim vertices).
+//!
+//! ```
+//! use tcim_graph::generators::classic;
+//! use tcim_graph::oracle;
+//!
+//! let g = classic::wheel(8); // hub + 7 rim vertices
+//! let truss = oracle::trussness(&g);
+//! assert!(truss.iter().all(|&(_, _, t)| t == 3));
+//! assert!(oracle::ktruss_edges(&g, 4).is_empty());
+//! assert_eq!(oracle::four_cliques(&g).0, 0);
+//! ```
+//!
+//! Complete graphs: in `K_n` every edge has support `n − 2`, the whole
+//! graph is an n-truss, and 4-clique counts are closed-form — `C(n,4)`
+//! total, `C(n−1,3)` per vertex. For `K_5`: trussness 5 everywhere,
+//! `C(5,4) = 5` cliques, `C(4,3) = 4` per vertex. For `K_6`:
+//! `C(6,4) = 15` total, `C(5,3) = 10` per vertex.
+//!
+//! ```
+//! use tcim_graph::generators::classic;
+//! use tcim_graph::oracle;
+//!
+//! let k5 = classic::complete(5);
+//! assert!(oracle::trussness(&k5).iter().all(|&(_, _, t)| t == 5));
+//! assert_eq!(oracle::four_cliques(&k5), (5, vec![4; 5]));
+//!
+//! let k6 = classic::complete(6);
+//! assert!(oracle::trussness(&k6).iter().all(|&(_, _, t)| t == 6));
+//! assert_eq!(oracle::four_cliques(&k6), (15, vec![10; 6]));
+//! ```
+//!
+//! [`generators::classic`]: crate::generators::classic
+
+use std::collections::BTreeMap;
+
+use crate::csr::CsrGraph;
+
+/// Counts the common live neighbours of `u` and `v` over a mutable
+/// adjacency snapshot (sorted neighbour lists) — the support of edge
+/// `(u, v)` in the surviving subgraph.
+fn live_support(adj: &[Vec<u32>], u: u32, v: u32) -> u64 {
+    let (mut a, mut b) = (adj[u as usize].iter(), adj[v as usize].iter());
+    let (mut x, mut y) = (a.next(), b.next());
+    let mut count = 0;
+    while let (Some(&p), Some(&q)) = (x, y) {
+        match p.cmp(&q) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    count
+}
+
+/// Per-edge trussness by repeated support recomputation: the largest
+/// `k` such that the edge belongs to the k-truss (the maximal subgraph
+/// where every edge closes at least `k − 2` triangles inside it).
+///
+/// Edges in no triangle have trussness 2 by convention. Returned as
+/// `(u, v, trussness)` triples with `u < v`, ascending.
+pub fn trussness(g: &CsrGraph) -> Vec<(u32, u32, u32)> {
+    let mut adj: Vec<Vec<u32>> = g.vertices().map(|v| g.neighbors(v).to_vec()).collect();
+    let mut live: Vec<(u32, u32)> = g.edges().collect();
+    live.sort_unstable();
+    let mut truss: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+    let mut k = 3u32;
+    while !live.is_empty() {
+        // Peel to a fixpoint at this level, recomputing every support
+        // from scratch each pass — the slow, obviously-correct form.
+        loop {
+            let peel: Vec<(u32, u32)> = live
+                .iter()
+                .copied()
+                .filter(|&(u, v)| live_support(&adj, u, v) < u64::from(k - 2))
+                .collect();
+            if peel.is_empty() {
+                break;
+            }
+            for &(u, v) in &peel {
+                truss.insert((u, v), k - 1);
+                adj[u as usize].retain(|&w| w != v);
+                adj[v as usize].retain(|&w| w != u);
+            }
+            live.retain(|e| !truss.contains_key(e));
+        }
+        k += 1;
+    }
+    truss.into_iter().map(|((u, v), t)| (u, v, t)).collect()
+}
+
+/// The maximal k-truss edge set: edges with trussness at least `k`,
+/// as `(u, v)` pairs with `u < v`, ascending. For `k ≤ 2` this is the
+/// whole edge set (every edge is trivially in the 2-truss).
+pub fn ktruss_edges(g: &CsrGraph, k: u32) -> Vec<(u32, u32)> {
+    trussness(g).into_iter().filter(|&(_, _, t)| t >= k).map(|(u, v, _)| (u, v)).collect()
+}
+
+/// Counts 4-cliques by quadruple enumeration: `(total, per_vertex)`,
+/// where `per_vertex[v]` is the number of 4-cliques containing `v`
+/// (so `Σ per_vertex = 4 · total`).
+///
+/// Each clique `{a < b < c < d}` is found exactly once: anchored at
+/// its smallest edge `(a, b)`, scanning common-neighbour pairs
+/// `c < d` above `b` and testing the closing edge `(c, d)`.
+pub fn four_cliques(g: &CsrGraph) -> (u64, Vec<u64>) {
+    let n = g.vertex_count();
+    let mut per_vertex = vec![0u64; n];
+    let mut total = 0u64;
+    for (a, b) in g.edges() {
+        // Common neighbours of the anchor edge, above both endpoints.
+        let common: Vec<u32> = {
+            let (na, nb) = (g.neighbors(a), g.neighbors(b));
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < na.len() && j < nb.len() {
+                match na[i].cmp(&nb[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if na[i] > b {
+                            out.push(na[i]);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out
+        };
+        for (ci, &c) in common.iter().enumerate() {
+            for &d in &common[ci + 1..] {
+                if g.has_edge(c, d) {
+                    total += 1;
+                    per_vertex[a as usize] += 1;
+                    per_vertex[b as usize] += 1;
+                    per_vertex[c as usize] += 1;
+                    per_vertex[d as usize] += 1;
+                }
+            }
+        }
+    }
+    (total, per_vertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+    use crate::generators::{gnm, watts_strogatz};
+
+    #[test]
+    fn triangle_free_graphs_have_trussness_two_everywhere() {
+        for g in [classic::star(8), classic::path(9), classic::complete_bipartite(3, 4)] {
+            let truss = trussness(&g);
+            assert_eq!(truss.len(), g.edge_count());
+            assert!(truss.iter().all(|&(_, _, t)| t == 2), "{truss:?}");
+            assert_eq!(four_cliques(&g).0, 0);
+        }
+    }
+
+    #[test]
+    fn complete_graph_trussness_is_n() {
+        for n in 3..8usize {
+            let g = classic::complete(n);
+            assert!(trussness(&g).iter().all(|&(_, _, t)| t == n as u32));
+        }
+    }
+
+    #[test]
+    fn complete_graph_four_cliques_are_closed_form() {
+        // C(n,4) total, C(n-1,3) per vertex.
+        let choose =
+            |n: u64, k: u64| -> u64 { (1..=k).fold(1u64, |acc, i| acc * (n - k + i) / i) };
+        for n in 4..9u64 {
+            let (total, per_vertex) = four_cliques(&classic::complete(n as usize));
+            assert_eq!(total, choose(n, 4));
+            assert!(per_vertex.iter().all(|&c| c == choose(n - 1, 3)));
+            assert_eq!(per_vertex.iter().sum::<u64>(), 4 * total);
+        }
+    }
+
+    #[test]
+    fn ktruss_membership_is_monotone_in_k() {
+        let g = gnm(60, 300, 3).unwrap();
+        let mut prev = ktruss_edges(&g, 2);
+        assert_eq!(prev.len(), g.edge_count());
+        for k in 3..8 {
+            let cur = ktruss_edges(&g, k);
+            assert!(cur.iter().all(|e| prev.contains(e)), "k={k} not nested");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn ktruss_edges_satisfy_the_truss_condition() {
+        // Every edge of the k-truss must close >= k-2 triangles INSIDE
+        // the truss — the defining property, checked directly.
+        let g = watts_strogatz(40, 6, 0.2, 9).unwrap();
+        for k in 3..6u32 {
+            let members = ktruss_edges(&g, k);
+            let adj = {
+                let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.vertex_count()];
+                for &(u, v) in &members {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+                adj.iter_mut().for_each(|l| l.sort_unstable());
+                adj
+            };
+            for &(u, v) in &members {
+                assert!(
+                    live_support(&adj, u, v) >= u64::from(k - 2),
+                    "edge ({u},{v}) violates the {k}-truss condition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_vertex_four_cliques_sum_to_four_times_total() {
+        let g = gnm(50, 400, 7).unwrap();
+        let (total, per_vertex) = four_cliques(&g);
+        assert!(total > 0, "a dense gnm(50,400) surely has a 4-clique");
+        assert_eq!(per_vertex.iter().sum::<u64>(), 4 * total);
+    }
+}

@@ -909,6 +909,35 @@ fn answer_live(
     query: &Query,
     start: Instant,
 ) -> Result<QueryResponse> {
+    // Motif queries run their own kernel rounds over the live rows
+    // (peeling for trusses, chained ANDs for cliques) instead of
+    // reshaping the maintained counters — still never a re-slice.
+    if query.is_motif() {
+        let (value, kernel) = match *query {
+            Query::KTruss { k } => dynamic.trussness(k),
+            _ => dynamic.four_cliques(),
+        };
+        return Ok(QueryResponse {
+            graph: name.to_string(),
+            fingerprint: dynamic.prepared().key().fingerprint,
+            backend: "stream-incremental".to_string(),
+            query: query.clone(),
+            value,
+            triangles: dynamic.triangles(),
+            prepared_cache_hit: true,
+            live: true,
+            modelled_time_s: None,
+            modelled_energy_j: None,
+            kernel,
+            compressed_bytes: dynamic.compressed_bytes(),
+            sharding: None,
+            wall: start.elapsed(),
+            phases: None,
+            explain: None,
+            batch: None,
+            epoch: None,
+        });
+    }
     let n = dynamic.vertex_count();
     let degrees: Vec<u64> = match query {
         Query::LocalClustering { .. } | Query::GlobalClustering => {

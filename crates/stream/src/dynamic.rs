@@ -308,6 +308,33 @@ impl DynamicGraph {
         (support, slice_pairs, skipped)
     }
 
+    /// The live k-truss decomposition: trussness for every current
+    /// edge plus the maximal `k`-truss membership, answered directly
+    /// over the maintained adjacency with the same peeling engine the
+    /// prepared path runs — no fold, no re-slice. Returns the
+    /// [`QueryValue::KTruss`] value and the motif kernel accounting.
+    ///
+    /// [`QueryValue::KTruss`]: tcim_core::QueryValue::KTruss
+    pub fn trussness(&self, k: u32) -> (tcim_core::QueryValue, tcim_core::KernelStats) {
+        tcim_core::ktruss_value_from_adjacency(
+            &self.adjacency,
+            self.slice_size,
+            self.encoding,
+            k,
+        )
+    }
+
+    /// The live 4-clique census: total count plus per-vertex
+    /// memberships, answered by chained ANDs over full-neighbourhood
+    /// rows built from the maintained adjacency. Returns the
+    /// [`QueryValue::FourCliques`] value and the motif kernel
+    /// accounting.
+    ///
+    /// [`QueryValue::FourCliques`]: tcim_core::QueryValue::FourCliques
+    pub fn four_cliques(&self) -> (tcim_core::QueryValue, tcim_core::KernelStats) {
+        tcim_core::four_cliques_from_adjacency(&self.adjacency, self.slice_size, self.encoding)
+    }
+
     /// The slice size `|S|` every dynamic row is compressed with.
     pub fn slice_size(&self) -> SliceSize {
         self.slice_size

@@ -66,6 +66,36 @@ fn sparse_answers_are_bit_identical_to_dense_across_the_grid() {
     }
 }
 
+/// The motif extension of the equivalence grid: `KTruss` and
+/// `FourCliques` answers are bit-identical between forced-sparse and
+/// forced-dense artifacts on every backend — the skip-empty filter
+/// must stay exact through peeling's in-place row mutations and the
+/// chained witness-row ANDs, not just on static rows.
+#[test]
+fn sparse_motif_answers_are_bit_identical_to_dense() {
+    let graphs = vec![
+        ("barabasi-albert", barabasi_albert(220, 5, 7).unwrap()),
+        ("rmat", rmat(8, 1100, RmatParams::default(), 17).unwrap()),
+    ];
+    for (name, g) in graphs {
+        for orientation in [Orientation::Natural, Orientation::Degree] {
+            let dense_pipeline = pipeline_for(orientation, EncodingPolicy::ForceDense);
+            let sparse_pipeline = pipeline_for(orientation, EncodingPolicy::ForceSparse);
+            let dense = dense_pipeline.prepare(&g);
+            let sparse = sparse_pipeline.prepare(&g);
+            for query in [Query::KTruss { k: 3 }, Query::KTruss { k: 5 }, Query::FourCliques] {
+                for backend in backends() {
+                    let ctx = format!("{name} {orientation:?} {query} {backend:?}");
+                    let d = dense_pipeline.query(&dense, &backend, &query).unwrap();
+                    let s = sparse_pipeline.query(&sparse, &backend, &query).unwrap();
+                    assert_eq!(s.triangles, d.triangles, "{ctx}");
+                    assert_eq!(s.value, d.value, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
 /// On power-law graphs (BA, rmat) the sparse encoding strictly reduces
 /// both kernel dispatches and AND+BitCount slice pairs, at equal exact
 /// counts — the PR's headline win, read off `KernelStats`.

@@ -92,6 +92,59 @@ fn coalesced_values_are_bit_identical_to_one_at_a_time() {
     }
 }
 
+/// Claim 1 for the motif variants: a burst mixing `KTruss` (two
+/// different levels), `FourCliques` and the classic suite coalesces
+/// into one batch per graph × backend group, answers every member
+/// bit-identically to one-at-a-time serving, and provenance shows the
+/// motif classes shared executions — two truss levels ride one
+/// decomposition, so ten queries cost exactly three executions.
+#[test]
+fn mixed_motif_and_classic_bursts_coalesce_bit_identically() {
+    let svc = service();
+    svc.register("ba", &barabasi_albert(150, 4, 33).unwrap()).unwrap();
+    let queries: Vec<Query> = Query::example_suite()
+        .into_iter()
+        .chain([
+            Query::KTruss { k: 3 },
+            Query::KTruss { k: 4 },
+            Query::FourCliques,
+            Query::KTruss { k: 5 },
+        ])
+        .collect();
+
+    // Reference: one-at-a-time, no coalescing.
+    let mut solo: HashMap<Query, _> = HashMap::new();
+    for query in &queries {
+        let response = svc.serve(&[QueryRequest::new("ba", query.clone())]).remove(0).unwrap();
+        solo.insert(query.clone(), response);
+    }
+
+    // Gateway: the whole mixed burst at once.
+    let gateway = Gateway::new(Arc::clone(&svc), &GatewayConfig::default());
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|query| {
+            (
+                query.clone(),
+                gateway.submit("t", QueryRequest::new("ba", query.clone())).unwrap(),
+            )
+        })
+        .collect();
+    gateway.run_until_idle();
+
+    for (query, ticket) in tickets {
+        let coalesced = ticket.wait().unwrap();
+        let reference = &solo[&query];
+        assert_eq!(coalesced.value, reference.value, "value mismatch: {query:?}");
+        assert_eq!(coalesced.triangles, reference.triangles, "{query:?}");
+        let provenance = coalesced.batch.expect("gateway responses carry provenance");
+        assert_eq!(provenance.coalesced, queries.len(), "{query:?}");
+        // One classic carrier + one shared truss decomposition + one
+        // clique census.
+        assert_eq!(provenance.executions, 3, "{query:?}");
+    }
+}
+
 /// Claim 1 corollary (the issue's load-test acceptance shape): a
 /// compatible burst is answered with strictly fewer attributed
 /// executions than queries answered, and provenance proves it.

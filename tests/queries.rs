@@ -7,8 +7,11 @@
 use tcim_repro::graph::generators::{
     barabasi_albert, classic, gnm, rmat, watts_strogatz, RmatParams,
 };
-use tcim_repro::graph::{CsrGraph, Orientation};
-use tcim_repro::tcim::{baseline, Backend, Query, QueryValue, TcimConfig, TcimPipeline};
+use tcim_repro::graph::{oracle, CsrGraph, Orientation};
+use tcim_repro::shard::{ShardMode, ShardSpec};
+use tcim_repro::tcim::{
+    baseline, Backend, Query, QueryValue, SchedPolicy, ShardPolicy, TcimConfig, TcimPipeline,
+};
 
 /// The generator grid the satellite task names: fig2, wheel, ER, BA,
 /// R-MAT and Watts–Strogatz.
@@ -124,6 +127,93 @@ fn backend_query_agreement_grid() {
             built_after_prepare,
             "{name}: queries must never re-slice"
         );
+    }
+}
+
+/// The motif extension of the agreement grid: every backend (the
+/// default suite plus a sharded member) answers `KTruss` and
+/// `FourCliques` whole-`QueryValue`-identically to the naive oracle on
+/// every generator, and the peeling rounds never re-slice — the pin is
+/// taken after each backend's one-time prepare so it isolates the
+/// motif rounds.
+#[test]
+fn motif_queries_agree_with_the_oracle_across_the_grid() {
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    let mut suite = Backend::default_suite();
+    suite.push(Backend::Sharded(ShardPolicy {
+        spec: ShardSpec { shards: 4, mode: ShardMode::OneD },
+        inner: SchedPolicy::with_arrays(2),
+    }));
+    for (name, g) in generator_grid() {
+        let truss = oracle::trussness(&g);
+        let (k4_total, k4_per_vertex) = oracle::four_cliques(&g);
+        let prepared = pipeline.prepare(&g);
+        for spec in &suite {
+            pipeline.query(&prepared, spec, &Query::TotalTriangles).unwrap();
+        }
+        let built = tcim_repro::bitmatrix::matrices_built();
+        for spec in &suite {
+            let ctx = format!("{name} on {}", spec.label());
+            let report = pipeline.query(&prepared, spec, &Query::KTruss { k: 4 }).unwrap();
+            let got: Vec<(u32, u32, u32)> = report
+                .value
+                .trussness()
+                .unwrap()
+                .iter()
+                .map(|e| (e.u, e.v, e.trussness))
+                .collect();
+            assert_eq!(got, truss, "{ctx}: trussness");
+            assert_eq!(
+                report.value.truss_members().unwrap(),
+                oracle::ktruss_edges(&g, 4),
+                "{ctx}: 4-truss members"
+            );
+            let report = pipeline.query(&prepared, spec, &Query::FourCliques).unwrap();
+            assert_eq!(
+                report.value,
+                QueryValue::FourCliques { total: k4_total, per_vertex: k4_per_vertex.clone() },
+                "{ctx}: four-cliques"
+            );
+        }
+        assert_eq!(
+            tcim_repro::bitmatrix::matrices_built(),
+            built,
+            "{name}: motif peeling must never re-slice"
+        );
+    }
+}
+
+/// When *every* vertex ties (a p=0 Watts–Strogatz ring is
+/// vertex-transitive: every vertex closes the same number of
+/// triangles), the top-k ranking must still be deterministic and
+/// backend-independent — ascending input id, on every backend, under
+/// every orientation. This pins the documented tie-break on the
+/// all-ties worst case.
+#[test]
+fn topk_breaks_total_ties_by_ascending_input_id_on_every_backend() {
+    let g = watts_strogatz(64, 6, 0.0, 1).unwrap();
+    let local = baseline::local_triangles(&g);
+    assert!(
+        local.iter().all(|&t| t == local[0]) && local[0] > 0,
+        "the ring must be a non-trivial all-ties instance"
+    );
+    for orientation in [Orientation::Natural, Orientation::Degree, Orientation::Degeneracy] {
+        let pipeline =
+            TcimPipeline::new(&TcimConfig { orientation, ..TcimConfig::default() }).unwrap();
+        let prepared = pipeline.prepare(&g);
+        for spec in Backend::default_suite() {
+            let ctx = format!("{orientation:?} on {}", spec.label());
+            let report =
+                pipeline.query(&prepared, &spec, &Query::TopKVertices { k: 7 }).unwrap();
+            let ranked = match report.value {
+                QueryValue::TopK(ranked) => ranked,
+                other => panic!("{ctx}: unexpected value shape {other:?}"),
+            };
+            let got: Vec<(u32, u64)> =
+                ranked.iter().map(|e| (e.vertex, e.triangles)).collect();
+            let expected: Vec<(u32, u64)> = (0..7).map(|v| (v, local[0])).collect();
+            assert_eq!(got, expected, "{ctx}: ties break by ascending input id");
+        }
     }
 }
 

@@ -87,6 +87,86 @@ proptest! {
     }
 }
 
+/// Churn, then motif: after a randomized insert/delete sequence, the
+/// live graph's k-truss and 4-clique answers equal both the naive
+/// oracle on the live snapshot and a from-scratch prepared-pipeline
+/// recount of the same snapshot — the live motif path peels the
+/// maintained rows, it never folds or re-slices.
+#[test]
+fn churned_motif_answers_equal_from_scratch_recount() {
+    use tcim_repro::graph::oracle;
+    use tcim_repro::tcim::{Backend, Query, TcimConfig, TcimPipeline};
+
+    let pipeline = TcimPipeline::new(&TcimConfig::default()).unwrap();
+    for (label, g) in seed_graphs() {
+        let config = StreamConfig { drift: DriftPolicy::never(), ..StreamConfig::default() };
+        let mut dg = DynamicGraph::new(&g, config).unwrap();
+        // Deterministic churn: delete every third edge, then wire each
+        // deleted endpoint to a handful of new partners.
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let mut batch = UpdateBatch::new();
+        for &(u, v) in edges.iter().step_by(3) {
+            batch.delete(u, v);
+        }
+        let n = g.vertex_count() as u32;
+        for (i, &(u, _)) in edges.iter().step_by(3).enumerate() {
+            let w = (u + 2 + i as u32) % n;
+            let pending = |a: u32, b: u32| {
+                batch.iter().any(|up| {
+                    let (x, y) = up.normalized().endpoints();
+                    (x, y) == (a.min(b), a.max(b))
+                })
+            };
+            if u != w && !dg.has_edge(u, w) && !pending(u, w) {
+                batch.insert(u, w);
+            }
+        }
+        let outcome = dg.apply_batch(&batch).unwrap();
+        assert_eq!(outcome.rejected.len(), 0, "{label}: churn batch is valid");
+
+        let live = dg.snapshot();
+        let truss = oracle::trussness(&live);
+        let (k4_total, k4_per_vertex) = oracle::four_cliques(&live);
+
+        // Live answers against the oracle on the live snapshot.
+        let (value, kernel) = dg.trussness(4);
+        let got: Vec<(u32, u32, u32)> =
+            value.trussness().unwrap().iter().map(|e| (e.u, e.v, e.trussness)).collect();
+        assert_eq!(got, truss, "{label}: live trussness equals the oracle");
+        assert!(kernel.kernel_invocations >= live.edge_count() as u64, "{label}");
+        let (value, _) = dg.four_cliques();
+        assert_eq!(
+            value.four_cliques().unwrap(),
+            (k4_total, k4_per_vertex.as_slice()),
+            "{label}: live 4-cliques equal the oracle"
+        );
+
+        // And against a from-scratch prepared recount of the snapshot.
+        let prepared = pipeline.prepare(&live);
+        for (query, expected_truss) in
+            [(Query::KTruss { k: 4 }, true), (Query::FourCliques, false)]
+        {
+            let report = pipeline.query(&prepared, &Backend::SerialPim, &query).unwrap();
+            if expected_truss {
+                let scratch: Vec<(u32, u32, u32)> = report
+                    .value
+                    .trussness()
+                    .unwrap()
+                    .iter()
+                    .map(|e| (e.u, e.v, e.trussness))
+                    .collect();
+                assert_eq!(scratch, truss, "{label}: from-scratch trussness agrees");
+            } else {
+                assert_eq!(
+                    report.value.four_cliques().unwrap(),
+                    (k4_total, k4_per_vertex.as_slice()),
+                    "{label}: from-scratch 4-cliques agree"
+                );
+            }
+        }
+    }
+}
+
 /// Deleting edges that were never inserted is rejected cleanly, with
 /// the precise error and zero state change — including edges deleted
 /// earlier in the same batch.
